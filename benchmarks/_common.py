@@ -1,0 +1,40 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one of the paper's tables or figures.
+Each prints its output (visible with ``pytest benchmarks/ --benchmark-only
+-s`` or by running the file directly) and also writes it under
+``benchmarks/results/`` so a full run leaves a reviewable artifact trail.
+
+The timing side (pytest-benchmark) measures a representative unit of work
+per experiment; the *content* -- the rows of the table -- is produced once
+and checked against the paper's qualitative claims by assertions inside
+the bench itself, so ``--benchmark-only`` doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The (epsilon, N) grid of Table 1 / Figure 7.
+EPSILONS = [0.100, 0.050, 0.010, 0.005, 0.001]
+NS = [10**5, 10**6, 10**7, 10**8, 10**9]
+DELTAS = [1e-2, 1e-3, 1e-4]
+
+#: The 15 quantile fractions of Table 3.
+PHIS_15 = [q / 16 for q in range(1, 16)]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def grid_header(ns: Iterable[int]) -> list:
+    return ["eps \\ N"] + [f"1e{len(str(n)) - 1}" for n in ns]

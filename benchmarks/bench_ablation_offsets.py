@@ -1,0 +1,107 @@
+"""Ablation: the even-weight offset alternation of Section 3.2.
+
+Lemma 1 -- the foundation of the paper's error bound -- states that with
+alternation the sum of COLLAPSE offsets is at least ``(W + C - 1) / 2``.
+Pinning the even-weight offset to its "low" choice makes every even
+collapse contribute ``w/2`` instead of averaging ``(w+1)/2``, so on a
+schedule dominated by even weights (Munro-Paterson's power-of-two weights
+are *all* even) the inequality fails and the bound's derivation collapses.
+
+This bench runs the same stream under the three offset modes and reports:
+
+* the Lemma 1 slack ``sum(offsets) - (W + C - 1)/2`` (the invariant);
+* the observed quantile error (in practice the output degrades only
+  mildly -- the paper's bound is a worst case -- but the *certificate* is
+  void, which for a guarantee-driven system is the failure that matters).
+
+Expected shape: "alternate" has non-negative slack always; "low" has
+clearly negative slack on the Munro-Paterson schedule; "high" has
+positive slack (it over-satisfies the lemma at the cost of symmetric
+bias).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import PHIS_15, emit
+
+from repro.analysis import format_table
+from repro.core import QuantileFramework
+from repro.streams import random_permutation_stream, sorted_stream
+
+N = 2**17 * 6  # enough leaves for several Munro-Paterson levels
+B, K = 6, 2**11
+
+
+def _run(stream, offset_mode: str):
+    fw = QuantileFramework(
+        B, K, policy="munro-paterson", offset_mode=offset_mode,
+        record_tree=True,
+    )
+    for chunk in stream.chunks(1 << 18):
+        fw.extend(chunk)
+    fw.finish([0.5])
+    stats = fw.recorder.stats()
+    slack = stats.sum_offsets - stats.lemma1_lower_bound()
+    estimates = fw.quantiles(PHIS_15)
+    errors = []
+    for phi, value in zip(PHIS_15, estimates):
+        target = min(max(math.ceil(phi * stream.n), 1), stream.n)
+        errors.append(abs((value + 1) - target) / stream.n)
+    return slack, max(errors), stats.error_bound / stream.n
+
+
+def build_ablation() -> str:
+    rows = []
+    slacks = {}
+    for order, stream_fn in (
+        ("sorted", lambda: sorted_stream(N)),
+        ("random", lambda: random_permutation_stream(N, seed=5)),
+    ):
+        for mode in ("alternate", "low", "high"):
+            slack, max_err, bound = _run(stream_fn(), mode)
+            slacks[(order, mode)] = slack
+            rows.append(
+                [
+                    order,
+                    mode,
+                    f"{slack:+.1f}",
+                    f"{max_err:.6f}",
+                    f"{bound:.6f}",
+                ]
+            )
+    table = format_table(
+        [
+            "order",
+            "offset mode",
+            "Lemma 1 slack",
+            "max observed eps",
+            "nominal bound / N",
+        ],
+        rows,
+        title=(
+            f"Offset alternation ablation "
+            f"(Munro-Paterson schedule, b={B}, k={K}, N={N})"
+        ),
+    )
+
+    # -- shape checks ---------------------------------------------------------
+    for order in ("sorted", "random"):
+        assert slacks[(order, "alternate")] >= 0, "Lemma 1 must hold"
+        assert slacks[(order, "low")] < 0, (
+            "pinned-low must violate Lemma 1 on an even-weight schedule"
+        )
+        assert slacks[(order, "high")] > slacks[(order, "alternate")]
+    return table
+
+
+def test_ablation_offsets(benchmark):
+    output = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    emit("ablation_offsets", output)
+
+
+if __name__ == "__main__":
+    print(build_ablation())

@@ -1,0 +1,80 @@
+"""Ablation: the three collapse policies head-to-head at equal accuracy.
+
+Sizes each policy for the *same* (epsilon, N) target -- so they deliver
+the same guarantee -- and reports the memory each needs plus the observed
+error across all the arrival orders of Section 1.2.  This is the runtime
+counterpart of Table 1: not just "the new policy needs fewer bytes on
+paper" but "it needs fewer bytes while actually honouring the same
+guarantee on real streams".
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import PHIS_15, emit
+
+from repro.analysis import format_memory, format_table
+from repro.core import QuantileFramework
+from repro.core.parameters import optimal_parameters
+from repro.streams import STANDARD_ORDERS
+
+EPSILON = 0.005
+N = 2 * 10**5
+POLICIES = ("new", "munro-paterson", "alsabti-ranka-singh")
+
+
+def build_ablation() -> str:
+    rows = []
+    memories = {}
+    worst = {policy: 0.0 for policy in POLICIES}
+    for policy in POLICIES:
+        plan = optimal_parameters(EPSILON, N, policy=policy)
+        memories[policy] = plan.memory
+        for stream in STANDARD_ORDERS(N, seed=2):
+            fw = QuantileFramework(plan.b, plan.k, policy=policy)
+            for chunk in stream.chunks():
+                fw.extend(chunk)
+            estimates = fw.quantiles(PHIS_15)
+            errors = [
+                abs((v + 1) - min(max(math.ceil(phi * N), 1), N)) / N
+                for phi, v in zip(PHIS_15, estimates)
+            ]
+            worst[policy] = max(worst[policy], max(errors))
+            rows.append(
+                [
+                    policy,
+                    stream.name,
+                    format_memory(plan.memory),
+                    f"{max(errors):.6f}",
+                    f"{sum(errors) / len(errors):.6f}",
+                ]
+            )
+    table = format_table(
+        ["policy", "arrival order", "memory bk", "max eps", "mean eps"],
+        rows,
+        title=(
+            f"Policies at equal guarantee (eps={EPSILON}, N={N}, "
+            f"15 quantiles)"
+        ),
+    )
+
+    # -- shape checks ---------------------------------------------------------
+    # every policy honours the guarantee on every order
+    for policy in POLICIES:
+        assert worst[policy] <= EPSILON, (policy, worst[policy])
+    # the new policy needs the least memory for it (Section 4.6)
+    assert memories["new"] <= memories["munro-paterson"]
+    assert memories["new"] <= memories["alsabti-ranka-singh"]
+    return table
+
+
+def test_ablation_policies(benchmark):
+    output = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    emit("ablation_policies", output)
+
+
+if __name__ == "__main__":
+    print(build_ablation())

@@ -1,0 +1,76 @@
+"""Figure 7: memory requirements vs N at epsilon = 0.01.
+
+Sweeps N over a log grid and reports the total memory ``b * k`` for the
+three deterministic algorithms.  The reproduction targets:
+
+* the new algorithm is the uniform winner;
+* Munro-Paterson shows the "kinks" Section 4.6 explains (memory drops
+  roughly in half each time the optimal b increments);
+* Alsabti-Ranka-Singh grows like sqrt(N/eps) -- an exponential curve
+  against log N -- while the other two grow poly-logarithmically.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import ascii_series, format_table
+from repro.core.parameters import optimal_parameters
+
+EPSILON = 0.01
+
+
+def build_figure7() -> str:
+    ns = [int(n) for n in np.logspace(5, 9, 33)]
+    series = {
+        "new": [
+            optimal_parameters(EPSILON, n, policy="new").memory for n in ns
+        ],
+        "munro-paterson": [
+            optimal_parameters(EPSILON, n, policy="mp").memory for n in ns
+        ],
+        "alsabti-ranka-singh": [
+            optimal_parameters(EPSILON, n, policy="ars").memory for n in ns
+        ],
+    }
+    rows = [
+        [f"{n:.2e}", series["new"][i], series["munro-paterson"][i],
+         series["alsabti-ranka-singh"][i]]
+        for i, n in enumerate(ns)
+    ]
+    table = format_table(
+        ["N", "new", "munro-paterson", "alsabti-ranka-singh"],
+        rows,
+        title=f"Total memory bk vs N at eps = {EPSILON}",
+    )
+    profile = ascii_series(
+        [float(n) for n in ns], series, log_y=True, width=56
+    )
+
+    # -- reproduction checks ------------------------------------------------
+    for i in range(len(ns)):
+        assert series["new"][i] <= series["munro-paterson"][i]
+        assert series["new"][i] <= series["alsabti-ranka-singh"][i]
+    # MP kinks: memory decreases somewhere along the sweep
+    mp = series["munro-paterson"]
+    assert any(b < a for a, b in zip(mp, mp[1:]))
+    # ARS explodes: 1e9/1e5 ratio ~ sqrt(1e4) = 100x
+    ars = series["alsabti-ranka-singh"]
+    assert ars[-1] / ars[0] > 50
+    # new stays polylog: far less than 100x over the same range
+    assert series["new"][-1] / series["new"][0] < 40
+    return table + "\n\nlog-scale profile (x: N, y: log10 bk):\n" + profile
+
+
+def test_figure7(benchmark):
+    output = benchmark(build_figure7)
+    emit("figure7", output)
+
+
+if __name__ == "__main__":
+    print(build_figure7())

@@ -1,0 +1,86 @@
+"""Figure 8: the dataset size above which sampling beats the direct
+algorithm, for confidence 99.99% (delta = 1e-4).
+
+For each epsilon the sampling configuration's memory is independent of N
+while the direct algorithm's grows with N; their crossing point is the
+threshold plotted in the paper's Figure 8.  The reproduction targets:
+
+* a finite threshold exists for every epsilon in [1e-4, 1e-1];
+* the threshold *rises* steeply as epsilon shrinks (tighter guarantees
+  make sampling expensive, so direct computation stays competitive
+  longer) -- the figure's characteristic upward sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.core.parameters import optimal_parameters
+from repro.core.sampling import optimize_alpha, sampling_threshold
+
+DELTA = 1e-4
+EPS_SWEEP = [0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0001]
+
+
+def build_figure8() -> str:
+    rows = []
+    thresholds = {}
+    for eps in EPS_SWEEP:
+        threshold = sampling_threshold(eps, DELTA)
+        thresholds[eps] = threshold
+        sampled = optimize_alpha(eps, DELTA)
+        direct_at = optimal_parameters(eps, threshold, policy="new")
+        rows.append(
+            [
+                f"{eps:g}",
+                f"{threshold:.3e}",
+                format_memory(sampled.memory),
+                format_memory(direct_at.memory),
+                format_memory(sampled.sample_size),
+            ]
+        )
+    table = format_table(
+        [
+            "eps",
+            "threshold N",
+            "sampling bk",
+            "direct bk at threshold",
+            "sample size S",
+        ],
+        rows,
+        title=f"Threshold N above which sampling wins (delta = {DELTA})",
+    )
+
+    # -- reproduction checks ------------------------------------------------
+    # EPS_SWEEP is descending in eps, so thresholds must be ascending
+    ordered = [thresholds[eps] for eps in EPS_SWEEP]
+    assert ordered == sorted(ordered), (
+        "threshold must rise as epsilon shrinks"
+    )
+    # Table 1 cross-check: at eps=0.01 the crossover sits in (1e6, 1e7]
+    assert 10**6 < thresholds[0.01] <= 10**7
+    # at the threshold the two memories are (by construction) comparable
+    for eps in (0.1, 0.01, 0.001):
+        sampled = optimize_alpha(eps, DELTA).memory
+        below = optimal_parameters(
+            eps, max(thresholds[eps] - 1, 1), policy="new"
+        ).memory
+        above = optimal_parameters(
+            eps, thresholds[eps] + 1, policy="new"
+        ).memory
+        assert below <= sampled
+        assert above > sampled or above == sampled
+    return table
+
+
+def test_figure8(benchmark):
+    output = benchmark.pedantic(build_figure8, rounds=1, iterations=1)
+    emit("figure8", output)
+
+
+if __name__ == "__main__":
+    print(build_figure8())

@@ -1,0 +1,115 @@
+"""GROUP BY with quantile aggregates: the Section 7 execution scenario.
+
+Measures the miniature engine running the paper's motivating SQL --
+many concurrent QUANTILE aggregates in one pass -- and reports per-group
+accuracy and total sketch memory.  The shape targets:
+
+* every group's quantiles honour the stipulated epsilon;
+* memory grows with the number of *groups*, not with the number of
+  quantiles per column (Section 4.7: extra quantiles are free);
+* total sketch memory stays orders of magnitude below the data size
+  (the point of using the MRL summary inside GROUP BY at all).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.engine import Query, Table, count, quantile
+
+EPSILON = 0.01
+N = 200_000
+N_GROUPS = 8
+
+
+def _table(seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    groups = [f"g{i}" for i in rng.integers(0, N_GROUPS, N)]
+    values = rng.lognormal(3.0, 1.0, N)
+    return Table.from_dict("metrics", {"grp": groups, "value": values})
+
+
+def build_groupby() -> str:
+    table = _table()
+    one_q = (
+        Query(table)
+        .group_by("grp")
+        .aggregate(quantile("value", 0.5, EPSILON), count())
+        .execute()
+    )
+    many_q = (
+        Query(table)
+        .group_by("grp")
+        .aggregate(
+            quantile("value", 0.25, EPSILON),
+            quantile("value", 0.5, EPSILON),
+            quantile("value", 0.75, EPSILON),
+            quantile("value", 0.95, EPSILON),
+            quantile("value", 0.99, EPSILON),
+            count(),
+        )
+        .execute()
+    )
+
+    groups = np.array(table.column("grp"))
+    values = np.asarray(table.column("value"))
+    rows = []
+    worst = 0.0
+    for row in many_q.sorted_rows():
+        mask = groups == row["grp"]
+        ordered = np.sort(values[mask])
+        n_g = len(ordered)
+        errors = []
+        for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
+            got = row[f"q{phi:g}_value"]
+            rank = int(np.searchsorted(ordered, got, side="left")) + 1
+            hi = int(np.searchsorted(ordered, got, side="right"))
+            target = int(np.ceil(phi * n_g))
+            err = 0 if rank <= target <= hi else min(
+                abs(target - rank), abs(target - hi)
+            )
+            errors.append(err / n_g)
+        worst = max(worst, max(errors))
+        rows.append(
+            [row["grp"], row["count"], f"{max(errors):.6f}"]
+        )
+    table_txt = format_table(
+        ["group", "rows", "max observed eps (5 quantiles)"],
+        rows,
+        title=(
+            f"GROUP BY quantiles (eps={EPSILON}, N={N}, "
+            f"{N_GROUPS} groups)"
+        ),
+    )
+    memory_txt = (
+        f"\nsketch memory, 1 quantile/group:  "
+        f"{format_memory(one_q.sketch_memory_elements)} elements"
+        f"\nsketch memory, 5 quantiles/group: "
+        f"{format_memory(many_q.sketch_memory_elements)} elements"
+        f"\ndata size:                        {format_memory(N)} elements"
+    )
+
+    # -- shape checks ---------------------------------------------------------
+    # per-group error honours the table-level epsilon with huge slack
+    # (each sketch was sized for the full table; groups are ~N/8)
+    assert worst <= EPSILON * N_GROUPS  # eps*N error over ~N/8 rows
+    # extra quantiles on the same column are free
+    assert many_q.sketch_memory_elements == one_q.sketch_memory_elements
+    # memory is a small fraction of the data
+    assert many_q.sketch_memory_elements < N / 4
+    return table_txt + memory_txt
+
+
+def test_groupby(benchmark):
+    output = benchmark.pedantic(build_groupby, rounds=1, iterations=1)
+    emit("groupby_quantiles", output)
+
+
+if __name__ == "__main__":
+    print(build_groupby())

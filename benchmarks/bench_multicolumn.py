@@ -1,0 +1,100 @@
+"""Application bench: many columns summarised in one table scan.
+
+Section 1.2: *"it is desirable to compute histograms for multiple columns
+of a table in a single pass over a table"*.  This bench scans one wide
+table once, summarising 1 / 4 / 16 / 64 columns concurrently, and reports
+total sketch memory and per-column accuracy.
+
+Expected shape: memory scales linearly in the number of columns (each
+column owns one `O((1/eps) log^2 eps N)` sketch), stays a small fraction
+of the table, and every column's quantiles honour epsilon -- there is no
+cross-column interference.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.multicolumn import MultiColumnSketcher
+
+N = 100_000
+EPSILON = 0.005
+COLUMN_COUNTS = [1, 4, 16, 64]
+
+
+def _wide_chunks(n_columns: int, chunk: int = 1 << 14):
+    rng = np.random.default_rng(9)
+    names = [f"c{i}" for i in range(n_columns)]
+    for start in range(0, N, chunk):
+        size = min(chunk, N - start)
+        yield {
+            name: rng.normal(i, 1 + i * 0.1, size)
+            for i, name in enumerate(names)
+        }
+
+
+def build_multicolumn() -> str:
+    rows = []
+    memories = {}
+    for n_cols in COLUMN_COUNTS:
+        names = [f"c{i}" for i in range(n_cols)]
+        sketcher = MultiColumnSketcher(names, EPSILON, n=N)
+        collected: dict = {name: [] for name in names}
+        for chunk in _wide_chunks(n_cols):
+            sketcher.consume(chunk)
+            for name in names:
+                collected[name].append(chunk[name])
+        # verify a sample of columns end to end
+        worst = 0.0
+        for name in (names[0], names[-1]):
+            data = np.sort(np.concatenate(collected[name]))
+            for phi in (0.25, 0.5, 0.75):
+                got = sketcher.quantiles(name, [phi])[0]
+                rank = int(np.searchsorted(data, got, side="left")) + 1
+                target = int(np.ceil(phi * N))
+                worst = max(worst, abs(rank - target) / N)
+        memories[n_cols] = sketcher.memory_elements
+        rows.append(
+            [
+                n_cols,
+                format_memory(sketcher.memory_elements),
+                f"{sketcher.memory_elements / (n_cols * N):.3%}",
+                f"{worst:.6f}",
+            ]
+        )
+    table = format_table(
+        [
+            "columns",
+            "total sketch memory",
+            "memory / table cells",
+            "worst observed eps (sampled cols)",
+        ],
+        rows,
+        title=(
+            f"Multi-column single-pass summaries "
+            f"(eps={EPSILON}, {N} rows)"
+        ),
+    )
+
+    # -- shape checks ---------------------------------------------------------
+    # linear scaling in column count
+    assert memories[4] == 4 * memories[1]
+    assert memories[64] == 64 * memories[1]
+    # still a small fraction of the table itself
+    assert memories[64] < 64 * N / 10
+    return table
+
+
+def test_multicolumn(benchmark):
+    output = benchmark.pedantic(build_multicolumn, rounds=1, iterations=1)
+    emit("multicolumn_single_pass", output)
+
+
+if __name__ == "__main__":
+    print(build_multicolumn())

@@ -1,0 +1,84 @@
+"""Section 4.9: the parallel version across degrees of parallelism.
+
+Partitions one stream across P workers (P = 1 .. 64), combines their root
+buffers under a single OUTPUT, and reports accuracy, per-worker memory
+and total memory.  For P > 100 the paper proposes a two-stage
+recombination; P = 64 with ``combine_fanin=8`` exercises that path.
+
+Expected shape: accuracy stays within the guarantee at every P (the
+dataflow is what matters, not the parallelism), and aggregate memory
+scales linearly with P while per-worker memory is constant -- the
+"scales linearly ... except for the final phase" claim.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.core.parallel import ParallelQuantileEngine
+from repro.core.parameters import optimal_parameters
+from repro.streams import random_permutation_stream
+
+EPSILON = 0.005
+N = 10**6
+WORKER_COUNTS = [1, 2, 4, 8, 24, 64]
+
+
+def build_parallel() -> str:
+    plan = optimal_parameters(EPSILON, N, policy="new")
+    rows = []
+    errors = {}
+    for p in WORKER_COUNTS:
+        engine = ParallelQuantileEngine(
+            p, plan.b, plan.k, combine_fanin=8 if p > 32 else None
+        )
+        stream = random_permutation_stream(N, seed=13)
+        for chunk in stream.chunks(1 << 18):
+            engine.dispatch(chunk)
+        worst = 0.0
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
+            got = engine.query(phi)
+            target = min(max(math.ceil(phi * N), 1), N)
+            worst = max(worst, abs((got + 1) - target) / N)
+        errors[p] = worst
+        rows.append(
+            [
+                p,
+                format_memory(plan.memory),
+                format_memory(engine.memory_elements),
+                f"{worst:.6f}",
+                f"{engine.error_bound() / N:.6f}",
+            ]
+        )
+    table = format_table(
+        [
+            "workers",
+            "memory/worker",
+            "total memory",
+            "max observed eps",
+            "certified bound / N",
+        ],
+        rows,
+        title=f"Parallel quantiles (eps={EPSILON}, N={N})",
+    )
+
+    # -- shape checks ---------------------------------------------------------
+    # The per-worker configuration was sized for the whole stream, so the
+    # combined answer keeps the full-stream guarantee at every P.
+    for p, err in errors.items():
+        assert err <= EPSILON, (p, err)
+    return table
+
+
+def test_parallel(benchmark):
+    output = benchmark.pedantic(build_parallel, rounds=1, iterations=1)
+    emit("parallel_scaling", output)
+
+
+if __name__ == "__main__":
+    print(build_parallel())

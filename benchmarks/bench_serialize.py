@@ -1,0 +1,80 @@
+"""Extension bench: serialised sketch sizes.
+
+Statistics catalogs store one sketch per column; their on-disk size is an
+operational concern.  This bench serialises summaries across the Table 1
+configuration grid and reports bytes on the wire vs the in-memory element
+footprint.
+
+Expected shape: the wire size is ~8 bytes per resident element plus a few
+dozen bytes of header/bookkeeping -- i.e. the summary's compactness
+survives persistence, and a whole 100-column catalog at eps=0.005 fits in
+a few megabytes regardless of table size.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.core import QuantileFramework
+from repro.core.serialize import dumps
+
+CONFIGS = [
+    (0.05, 10**5),
+    (0.01, 10**5),
+    (0.01, 10**6),
+    (0.005, 10**6),
+    (0.001, 10**6),
+]
+
+
+def build_serialize() -> str:
+    rng = np.random.default_rng(6)
+    rows = []
+    overheads = []
+    for eps, n in CONFIGS:
+        fw = QuantileFramework.from_accuracy(eps, n)
+        fw.extend(rng.permutation(n).astype(np.float64))
+        raw = dumps(fw)
+        data_bytes = 8 * fw.memory_elements
+        overhead = len(raw) / data_bytes
+        overheads.append(overhead)
+        rows.append(
+            [
+                f"{eps:g}",
+                n,
+                format_memory(fw.memory_elements),
+                len(raw),
+                f"{overhead:.2f}x",
+            ]
+        )
+    table = format_table(
+        [
+            "eps",
+            "N",
+            "resident elements",
+            "serialised bytes",
+            "bytes / (8 * b*k)",
+        ],
+        rows,
+        title="Serialised sketch size vs in-memory footprint",
+    )
+    # the wire format stays within 2x of the raw element payload: only
+    # occupied buffers are written, so a partially filled summary can
+    # even undershoot b*k.
+    assert all(o <= 2.0 for o in overheads)
+    return table
+
+
+def test_serialize(benchmark):
+    output = benchmark.pedantic(build_serialize, rounds=1, iterations=1)
+    emit("serialized_sizes", output)
+
+
+if __name__ == "__main__":
+    print(build_serialize())

@@ -1,0 +1,99 @@
+"""Table 1: optimal b, k and total memory bk for all four algorithms.
+
+Regenerates, for every (epsilon, N) cell of the paper's grid:
+
+* the Munro-Paterson sub-table (Section 4.3),
+* the Alsabti-Ranka-Singh sub-table (Section 4.4),
+* the new algorithm's sub-table (Section 4.5),
+* the "Sampling followed by New Algorithm for 99.99% confidence"
+  sub-table (Section 5.2, delta = 1e-4).
+
+These are pure arithmetic, so the reproduction is exact: the asserts at
+the bottom pin a sample of cells to the paper's printed values, and the
+qualitative claim of Section 4.6 ("the new algorithm is always better")
+is checked across the whole grid.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import EPSILONS, NS, emit, grid_header
+
+from repro.analysis import format_memory, format_table
+from repro.core.parameters import optimal_parameters
+from repro.core.sampling import choose_strategy
+
+
+def _policy_grid(policy: str):
+    return {
+        (eps, n): optimal_parameters(eps, n, policy=policy)
+        for eps in EPSILONS
+        for n in NS
+    }
+
+
+def _sampling_grid(delta: float):
+    return {
+        (eps, n): choose_strategy(eps, n, delta)
+        for eps in EPSILONS
+        for n in NS
+    }
+
+
+def _render(name: str, grid) -> str:
+    blocks = []
+    for title, cell in (
+        ("Number of buffers b", lambda p: p.b),
+        ("Size of buffer k", lambda p: p.k),
+        ("Total memory bk", lambda p: format_memory(p.memory)),
+    ):
+        rows = [
+            [f"{eps:.3f}"] + [cell(grid[(eps, n)]) for n in NS]
+            for eps in EPSILONS
+        ]
+        blocks.append(
+            format_table(grid_header(NS), rows, title=f"{name} -- {title}")
+        )
+    return "\n\n".join(blocks)
+
+
+def build_table1() -> str:
+    sections = []
+    mp = _policy_grid("munro-paterson")
+    ars = _policy_grid("alsabti-ranka-singh")
+    new = _policy_grid("new")
+    sampled = _sampling_grid(1e-4)
+    sections.append(_render("Munro-Paterson Algorithm", mp))
+    sections.append(_render("Alsabti-Ranka-Singh Algorithm", ars))
+    sections.append(_render("New Algorithm", new))
+    sections.append(
+        _render("Sampling + New Algorithm (99.99% confidence)", sampled)
+    )
+
+    # -- reproduction checks (exact cells from the paper) ------------------
+    assert (mp[(0.1, 10**5)].b, mp[(0.1, 10**5)].k) == (11, 98)
+    assert (mp[(0.001, 10**9)].b, mp[(0.001, 10**9)].k) == (17, 15259)
+    assert (ars[(0.05, 10**7)].b, ars[(0.05, 10**7)].k) == (1998, 11)
+    assert (new[(0.01, 10**8)].b, new[(0.01, 10**8)].k) == (10, 596)
+    assert (new[(0.001, 10**5)].b, new[(0.001, 10**5)].k) == (3, 2778)
+    # sampling sub-table: direct below the threshold, fixed plan above it
+    small = sampled[(0.01, 10**5)]
+    large = sampled[(0.01, 10**8)]
+    assert (small.b, small.k) == (7, 217)  # same as the direct algorithm
+    assert (large.b, large.k) == (6, 472)  # the paper's sampled plan
+    # Section 4.6: the new algorithm is always better in space
+    for key, plan in new.items():
+        assert plan.memory <= mp[key].memory
+        assert plan.memory <= ars[key].memory
+    return "\n\n\n".join(sections)
+
+
+def test_table1(benchmark):
+    table = benchmark(build_table1)
+    emit("table1", table)
+
+
+if __name__ == "__main__":
+    print(build_table1())

@@ -1,0 +1,126 @@
+"""Ingest throughput: the timing benchmark proper.
+
+Where the other bench files regenerate the paper's tables/figures (and
+use pytest-benchmark only to time table construction), this one measures
+the library as software: elements/second through each policy's summary
+and through the sampling front-end, at the paper's flagship setting
+(eps = 0.01 sized for N = 1e6).
+
+pytest-benchmark reports the timing; the derived elements/second figures
+are also printed for the results directory.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_table
+from repro.core import QuantileFramework
+from repro.core.parameters import optimal_parameters
+from repro.core.sampling import SampledQuantileFramework
+
+EPSILON = 0.01
+N = 10**6
+CHUNK = 1 << 17
+
+
+def _data():
+    return np.random.default_rng(3).permutation(N).astype(np.float64)
+
+
+def _ingest(summary, data):
+    for i in range(0, len(data), CHUNK):
+        summary.extend(data[i : i + CHUNK])
+    return summary.query(0.5)
+
+
+def _make(policy: str):
+    plan = optimal_parameters(EPSILON, N, policy=policy)
+    return QuantileFramework(plan.b, plan.k, policy=policy)
+
+
+def test_ingest_new_policy(benchmark):
+    data = _data()
+    benchmark.pedantic(
+        lambda: _ingest(_make("new"), data), rounds=3, iterations=1
+    )
+
+
+def test_ingest_munro_paterson(benchmark):
+    data = _data()
+    benchmark.pedantic(
+        lambda: _ingest(_make("munro-paterson"), data), rounds=3, iterations=1
+    )
+
+
+def test_ingest_alsabti_ranka_singh(benchmark):
+    data = _data()
+    benchmark.pedantic(
+        lambda: _ingest(_make("alsabti-ranka-singh"), data),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ingest_sampled(benchmark):
+    data = _data()
+    benchmark.pedantic(
+        lambda: _ingest(
+            SampledQuantileFramework(EPSILON, N, 1e-4, seed=1), data
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_throughput_summary(benchmark):
+    """One pass per contender, reported as elements/second."""
+
+    def build() -> str:
+        data = _data()
+        rows = []
+        for name, factory in (
+            ("new", lambda: _make("new")),
+            ("munro-paterson", lambda: _make("munro-paterson")),
+            ("alsabti-ranka-singh", lambda: _make("alsabti-ranka-singh")),
+            (
+                "sampling+new (delta=1e-4)",
+                lambda: SampledQuantileFramework(EPSILON, N, 1e-4, seed=1),
+            ),
+        ):
+            summary = factory()
+            start = time.perf_counter()
+            _ingest(summary, data)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    name,
+                    summary.memory_elements,
+                    f"{N / elapsed / 1e6:.2f}",
+                ]
+            )
+        return format_table(
+            ["algorithm", "memory (elems)", "M elements / s"],
+            rows,
+            title=f"Single-pass ingest throughput (eps={EPSILON}, N={N})",
+        )
+
+    output = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("throughput", output)
+
+
+if __name__ == "__main__":
+    emit_target = test_throughput_summary
+
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, rounds=1, iterations=1):
+            return fn()
+
+    test_throughput_summary(_Bench())

@@ -1,0 +1,111 @@
+"""Figures 2-4: the collapse trees of the three policies.
+
+Renders, with each node labelled by its weight:
+
+* Figure 2 -- the canonical Munro-Paterson tree for b = 6 (built
+  symbolically: the stipulated schedule with exactly 2^(b-1) leaves);
+* Figure 3 -- the Alsabti-Ranka-Singh tree for b = 10 (from an actual
+  run, which matches the canonical shape exactly);
+* Figure 4 -- the new policy's tree for b = 5 (from an actual run;
+  root children of weights 5, 4, 3, 2, 1).
+
+The per-tree statistics (L, C, W, w_max) are asserted against the closed
+forms of Sections 4.3-4.5.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.core import QuantileFramework
+from repro.core.parameters import (
+    alsabti_ranka_singh_stats,
+    munro_paterson_stats,
+)
+from repro.core.tree import canonical_munro_paterson_tree
+
+
+def _run(b: int, k: int, n_leaves: int, policy: str):
+    fw = QuantileFramework(b=b, k=k, policy=policy, record_tree=True)
+    fw.extend(np.arange(n_leaves * k, dtype=np.float64))
+    fw.finish([0.5])
+    return fw.recorder
+
+
+def build_trees() -> str:
+    sections = []
+
+    mp = canonical_munro_paterson_tree(6)
+    mp_stats = mp.stats()
+    closed_mp = munro_paterson_stats(6)
+    assert (
+        mp_stats.n_leaves,
+        mp_stats.n_collapses,
+        mp_stats.sum_collapse_weights,
+        mp_stats.w_max,
+    ) == (
+        closed_mp.n_leaves,
+        closed_mp.n_collapses,
+        closed_mp.sum_collapse_weights,
+        closed_mp.w_max,
+    )
+    sections.append(
+        "Figure 2 -- Munro-Paterson, b=6 (canonical; weights by depth)\n"
+        + "\n".join(
+            f"  depth {d}: {weights}"
+            for d, weights in enumerate(mp.weights_by_depth())
+        )
+        + f"\n  stats: L={mp_stats.n_leaves} C={mp_stats.n_collapses} "
+        f"W={mp_stats.sum_collapse_weights} w_max={mp_stats.w_max} "
+        f"error_bound={mp_stats.error_bound}"
+    )
+
+    ars = _run(b=10, k=2, n_leaves=25, policy="alsabti-ranka-singh")
+    ars_stats = ars.stats()
+    closed_ars = alsabti_ranka_singh_stats(10)
+    assert (
+        ars_stats.n_leaves,
+        ars_stats.n_collapses,
+        ars_stats.sum_collapse_weights,
+        ars_stats.w_max,
+    ) == (
+        closed_ars.n_leaves,
+        closed_ars.n_collapses,
+        closed_ars.sum_collapse_weights,
+        closed_ars.w_max,
+    )
+    sections.append(
+        "Figure 3 -- Alsabti-Ranka-Singh, b=10 (actual run)\n"
+        + ars.render()
+        + f"\n  stats: L={ars_stats.n_leaves} C={ars_stats.n_collapses} "
+        f"W={ars_stats.sum_collapse_weights} w_max={ars_stats.w_max} "
+        f"error_bound={ars_stats.error_bound}"
+    )
+
+    new = _run(b=5, k=2, n_leaves=15, policy="new")
+    new_stats = new.stats()
+    top = sorted(new.nodes[i].weight for i in new.root_children)
+    assert top == [1, 2, 3, 4, 5], top
+    sections.append(
+        "Figure 4 -- New policy, b=5 (actual run)\n"
+        + new.render()
+        + f"\n  stats: L={new_stats.n_leaves} C={new_stats.n_collapses} "
+        f"W={new_stats.sum_collapse_weights} w_max={new_stats.w_max} "
+        f"error_bound={new_stats.error_bound}"
+    )
+
+    return "\n\n".join(sections)
+
+
+def test_trees(benchmark):
+    output = benchmark(build_trees)
+    emit("figures_2_3_4_trees", output)
+
+
+if __name__ == "__main__":
+    print(build_trees())

@@ -1,0 +1,70 @@
+"""Extension bench: exact quantiles in two passes.
+
+Section 2.1 recalls Munro & Paterson's p-pass bound (O(N^(1/p)) memory for
+exact selection).  Composing the paper's one-pass sketch with a second
+filtered scan realises the p=2 case with small constants; this bench
+measures the peak memory of the exact computation across stream sizes and
+checks it grows like ~sqrt(N) (times logs), far below N.
+
+Expected shape: the answer is *exact* at every size; peak memory as a
+fraction of N falls steadily (sub-linear growth).
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_memory, format_table
+from repro.streams import random_permutation_stream
+from repro.twopass import exact_quantile_two_pass
+
+SIZES = [10**4, 10**5, 10**6, 5 * 10**6]
+
+
+def build_twopass() -> str:
+    rows = []
+    fractions = []
+    for n in SIZES:
+        stream = random_permutation_stream(n, seed=21)
+        result = exact_quantile_two_pass(stream, 0.5)
+        assert result.value == stream.exact_quantile(0.5)  # exactness
+        fraction = result.peak_memory / n
+        fractions.append(fraction)
+        rows.append(
+            [
+                n,
+                f"{result.epsilon:.5f}",
+                format_memory(result.sketch_memory),
+                format_memory(result.retained),
+                format_memory(result.peak_memory),
+                f"{fraction:.2%}",
+            ]
+        )
+    table = format_table(
+        [
+            "N",
+            "auto eps",
+            "pass-1 sketch",
+            "pass-2 retained",
+            "peak memory",
+            "peak / N",
+        ],
+        rows,
+        title="Exact median in two passes (sketch bracket + filtered scan)",
+    )
+    # peak memory fraction shrinks as N grows (sub-linear memory)
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[-1] < 0.02
+    return table
+
+
+def test_twopass(benchmark):
+    output = benchmark.pedantic(build_twopass, rounds=1, iterations=1)
+    emit("twopass_exact", output)
+
+
+if __name__ == "__main__":
+    print(build_twopass())

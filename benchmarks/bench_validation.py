@@ -1,0 +1,80 @@
+"""Statistical validation bench: the guarantee over many trials.
+
+Table 3 reports one run per cell.  This bench strengthens the claim
+statistically: for several (epsilon, policy) configurations it runs many
+independent trials over the full arrival-order suite and reports the
+observed-error distribution (mean / p95 / max) against both epsilon and
+the certified bound.
+
+Expected shape: zero breaches anywhere; observed errors concentrate an
+order of magnitude below epsilon (the Section 6 observation); the
+certified bound sits between the observed errors and epsilon.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit
+
+from repro.analysis import format_table
+from repro.validation import verify_guarantee
+
+N = 50_000
+TRIALS = 15
+CONFIGS = [
+    (0.01, "new"),
+    (0.005, "new"),
+    (0.01, "munro-paterson"),
+    (0.01, "alsabti-ranka-singh"),
+]
+
+
+def build_validation() -> str:
+    rows = []
+    for epsilon, policy in CONFIGS:
+        report = verify_guarantee(
+            epsilon, N, policy=policy, n_trials=TRIALS, seed=1998
+        )
+        assert report.breaches == 0, (epsilon, policy)
+        assert report.max_observed <= report.worst_certified + 1e-12
+        assert report.worst_certified <= epsilon
+        rows.append(
+            [
+                policy,
+                f"{epsilon:g}",
+                report.n_measurements,
+                f"{report.mean_observed:.2e}",
+                f"{report.percentile(0.95):.2e}",
+                f"{report.max_observed:.2e}",
+                f"{report.worst_certified:.2e}",
+                report.breaches,
+            ]
+        )
+    return format_table(
+        [
+            "policy",
+            "eps",
+            "measurements",
+            "mean observed",
+            "p95 observed",
+            "max observed",
+            "worst certified",
+            "breaches",
+        ],
+        rows,
+        title=(
+            f"Guarantee validation: {TRIALS} trials x 5 quantiles x "
+            f"5 arrival orders, N={N}"
+        ),
+    )
+
+
+def test_validation(benchmark):
+    output = benchmark.pedantic(build_validation, rounds=1, iterations=1)
+    emit("guarantee_validation", output)
+
+
+if __name__ == "__main__":
+    print(build_validation())

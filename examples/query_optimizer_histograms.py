@@ -1,0 +1,63 @@
+"""Equi-depth histograms for query optimisation (Section 1.1 of the paper).
+
+A query optimiser estimating ``SELECT ... WHERE price BETWEEN x AND y``
+needs the fraction of rows the predicate selects.  Equi-depth histograms
+answer that -- and their bucket boundaries are exactly the i/p-quantiles
+of the column, which this library computes in one pass with a guarantee.
+
+The demo builds a 20-bucket histogram over a skewed "price" column,
+fires 1000 random range predicates at it, and compares estimated vs true
+selectivity against the histogram's a-priori error bound.
+
+Run:  python examples/query_optimizer_histograms.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histogram import build_histogram, selectivity_experiment
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    n = 500_000
+    # a lognormal price column: heavily skewed, like real money data
+    prices = rng.lognormal(mean=3.5, sigma=1.2, size=n)
+
+    epsilon = 0.002
+    n_buckets = 20
+    hist = build_histogram(prices, n_buckets, epsilon=epsilon)
+
+    print(
+        f"{n_buckets}-bucket equi-depth histogram over {n} rows "
+        f"(boundary guarantee eps={epsilon})"
+    )
+    print(f"bucket depth: ~{hist.depth:.0f} rows each")
+    print("boundaries (= i/20-quantiles of price):")
+    for i, b in enumerate(hist.boundaries, start=1):
+        print(f"  {i / n_buckets:4.2f}-quantile  ~ {b:10.2f}")
+
+    results = selectivity_experiment(
+        prices, hist, n_predicates=1000, seed=11
+    )
+    errors = np.array([r.absolute_error for r in results])
+    bound = hist.selectivity_error_bound()
+
+    print(f"\n1000 random range predicates:")
+    print(f"  mean |selectivity error|: {errors.mean():.4f}")
+    print(f"  max  |selectivity error|: {errors.max():.4f}")
+    print(f"  a-priori bound:           {bound:.4f}")
+    assert errors.max() <= bound
+
+    # a concrete optimiser decision: which predicate is more selective?
+    cheap = results[0]
+    print(
+        f"\nexample predicate price in [{cheap.low:.1f}, {cheap.high:.1f}]:"
+        f"\n  estimated selectivity {cheap.estimated:.3f}"
+        f" vs true {cheap.true:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

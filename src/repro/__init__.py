@@ -1,0 +1,55 @@
+"""repro: a full reproduction of Manku, Rajagopalan & Lindsay (SIGMOD 1998),
+"Approximate Medians and other Quantiles in One Pass and with Limited Memory".
+
+The package is organised as:
+
+* :mod:`repro.core` -- the paper's contribution: the uniform b/k-buffer
+  framework, the three collapse policies, optimal parameter selection,
+  the sampling front-end and the parallel mode;
+* :mod:`repro.streams` -- workload generators and disk-resident streams;
+* :mod:`repro.baselines` -- prior one-pass algorithms (P^2, Agrawal-Swami,
+  naive random sampling) plus exact ground truth;
+* :mod:`repro.histogram` -- equi-depth histograms and selectivity
+  estimation for query optimisation;
+* :mod:`repro.partitioning` -- splitter generation and a simulated
+  shared-nothing parallel sort;
+* :mod:`repro.engine` -- a miniature column engine with one-pass GROUP BY
+  quantile aggregates and a small SQL front-end;
+* :mod:`repro.analysis` -- rank-error measurement and experiment
+  table formatting.
+
+Quick start::
+
+    from repro import QuantileSketch
+    sk = QuantileSketch(epsilon=0.01, n=1_000_000)
+    sk.extend(my_numpy_chunk)
+    print(sk.median(), sk.quantiles([0.25, 0.75]))
+"""
+
+from .core import (
+    AdaptiveQuantileSketch,
+    ParallelQuantileEngine,
+    QuantileFramework,
+    QuantileSketch,
+    approximate_quantiles,
+    optimal_parameters,
+)
+
+__version__ = "1.0.0"
+
+from .multicolumn import MultiColumnSketcher
+from .twopass import exact_quantile_two_pass
+from .validation import verify_guarantee
+
+__all__ = [
+    "QuantileSketch",
+    "AdaptiveQuantileSketch",
+    "MultiColumnSketcher",
+    "exact_quantile_two_pass",
+    "verify_guarantee",
+    "QuantileFramework",
+    "ParallelQuantileEngine",
+    "approximate_quantiles",
+    "optimal_parameters",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Measurement utilities: observed epsilon (Section 6), memory, tables,
+and a one-pass ``describe()`` distribution report."""
+
+from .describe import Description, describe
+from .memory import MemoryReport, report_memory
+from .rank_error import (
+    QuantileEvaluation,
+    evaluate,
+    observed_epsilon,
+    observed_rank_error,
+)
+from .tables import ascii_series, format_memory, format_table
+
+__all__ = [
+    "describe",
+    "Description",
+    "observed_rank_error",
+    "observed_epsilon",
+    "evaluate",
+    "QuantileEvaluation",
+    "MemoryReport",
+    "report_memory",
+    "format_table",
+    "format_memory",
+    "ascii_series",
+]

@@ -1,0 +1,118 @@
+"""``describe``: a one-pass five-number-summary report.
+
+The statistics-distillation application of Section 1.1 packaged as a
+single call: stream the data once through a sketch and report count, exact
+min/max, quartiles and selected tail percentiles -- the familiar
+``describe()`` shape, but with bounded memory and certified rank accuracy
+instead of a full sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import EmptySummaryError
+from ..core.sketch import QuantileSketch
+
+__all__ = ["Description", "describe"]
+
+_DEFAULT_PHIS = (0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class Description:
+    """A bounded-memory distribution summary."""
+
+    n: int
+    minimum: float
+    maximum: float
+    quantiles: List[Tuple[float, float]]  #: (phi, value) pairs
+    epsilon: float
+    certified_error: float  #: a-posteriori rank bound / n
+    memory_elements: int
+
+    def value(self, phi: float) -> float:
+        """The reported quantile value for fraction *phi*."""
+        for p, v in self.quantiles:
+            if p == phi:
+                return v
+        raise KeyError(f"phi={phi} was not part of this description")
+
+    @property
+    def median(self) -> float:
+        return self.value(0.5)
+
+    @property
+    def iqr(self) -> float:
+        """The interquartile range (p75 - p25)."""
+        return self.value(0.75) - self.value(0.25)
+
+    def __str__(self) -> str:
+        lines = [
+            f"n            {self.n}",
+            f"min          {self.minimum:g}",
+        ]
+        for phi, value in self.quantiles:
+            lines.append(f"p{100 * phi:<12g}{value:g}")
+        lines.append(f"max          {self.maximum:g}")
+        lines.append(
+            f"(eps={self.epsilon:g}, certified rank error "
+            f"<= {self.certified_error:.2%} of n, "
+            f"memory {self.memory_elements} elements)"
+        )
+        return "\n".join(lines)
+
+
+def describe(
+    data: "np.ndarray | Iterable[Any]",
+    *,
+    epsilon: float = 0.005,
+    phis: Sequence[float] = _DEFAULT_PHIS,
+    n: Optional[int] = None,
+    chunk_size: int = 1 << 16,
+) -> Description:
+    """Summarise *data* in one bounded-memory pass.
+
+    *data* may be an array (sized exactly) or any iterable of chunks /
+    scalars (sized by *n*, or by the sketch's default design size when
+    unknown).  Quantile fractions 0 and 1 are answered exactly from the
+    tracked extremes regardless of *phis*.
+    """
+    if isinstance(data, np.ndarray):
+        if len(data) == 0:
+            raise EmptySummaryError("describe() of no data")
+        sketch = QuantileSketch(epsilon, n=len(data))
+        for start in range(0, len(data), chunk_size):
+            sketch.extend(data[start : start + chunk_size])
+    else:
+        sketch = QuantileSketch(epsilon, n=n)
+        batch: List[Any] = []
+        for item in data:
+            if isinstance(item, np.ndarray):
+                if batch:
+                    sketch.extend(batch)
+                    batch = []
+                sketch.extend(item)
+            else:
+                batch.append(item)
+                if len(batch) >= chunk_size:
+                    sketch.extend(batch)
+                    batch = []
+        if batch:
+            sketch.extend(batch)
+    if len(sketch) == 0:
+        raise EmptySummaryError("describe() of no data")
+    ordered_phis = sorted(set(float(p) for p in phis))
+    values = sketch.quantiles(ordered_phis)
+    return Description(
+        n=len(sketch),
+        minimum=float(sketch.min()),
+        maximum=float(sketch.max()),
+        quantiles=[(p, float(v)) for p, v in zip(ordered_phis, values)],
+        epsilon=epsilon,
+        certified_error=sketch.error_bound_fraction(),
+        memory_elements=sketch.memory_elements,
+    )

@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's Tables 1-3 report, plus the
+Figure 7/8 series as aligned columns.  No plotting dependency: a reader
+diffing against the paper wants the numbers, and the "figures" are
+monotone curves that read fine as columns (the crossovers and orderings --
+the reproduction target -- are visible directly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "format_memory", "ascii_series"]
+
+
+def format_memory(elements: "int | float") -> str:
+    """Render an element count the way Table 1 does: ``2.6 K``, ``1.1 M``."""
+    if elements >= 10**6:
+        return f"{elements / 10**6:.1f} M"
+    if elements >= 1000:
+        return f"{elements / 1000:.1f} K"
+    return f"{elements:.0f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Monospace-align *rows* under *headers* (right-aligned numbers)."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append(
+            [
+                f"{cell:.5f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(r[i]) for r in str_rows) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(str_rows[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    *,
+    width: int = 60,
+    log_y: bool = False,
+) -> str:
+    """A crude ASCII profile of several y-series over shared x values.
+
+    Each series is scaled to *width* characters; one row per x.  Good
+    enough to eyeball orderings and crossovers (which is all the figure
+    reproductions assert).
+    """
+    import math
+
+    all_vals = [v for vs in series.values() for v in vs]
+    if not all_vals:
+        return "(empty)"
+
+    def scale(v: float) -> float:
+        return math.log10(max(v, 1e-12)) if log_y else v
+
+    lo = min(scale(v) for v in all_vals)
+    hi = max(scale(v) for v in all_vals)
+    span = (hi - lo) or 1.0
+    lines = []
+    markers = "*+o#@%"
+    lines.append(
+        "legend: "
+        + ", ".join(
+            f"{markers[i % len(markers)]}={name}"
+            for i, name in enumerate(series)
+        )
+    )
+    for xi, x in enumerate(xs):
+        row = [" "] * (width + 1)
+        for si, (name, vs) in enumerate(series.items()):
+            pos = int((scale(vs[xi]) - lo) / span * width)
+            row[pos] = markers[si % len(markers)]
+        lines.append(f"{x:>12.4g} |{''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Antecedent algorithms (Section 2) plus exact ground truth.
+
+Every baseline exposes the same ``update`` / ``extend`` / ``query`` /
+``quantiles`` / ``memory_elements`` interface as the core framework so the
+benchmarks can swap them in uniformly:
+
+* :class:`ExactQuantiles` -- sort-everything ground truth (O(N) memory);
+* :class:`P2Quantile` / :class:`P2Ensemble` -- Jain & Chlamtac [16],
+  constant memory, no guarantee;
+* :class:`AgrawalSwamiHistogram` -- adaptive equi-depth histogram [17],
+  no guarantee;
+* :class:`ReservoirSampler` -- the naive random-sampling estimator of
+  Section 2.1, probabilistic guarantee, O(sample) memory.
+"""
+
+from .agrawal_swami import AgrawalSwamiHistogram
+from .exact import ExactQuantiles, exact_quantile, rank_interval
+from .naive_sampling import ReservoirSampler, naive_sample_size
+from .p2 import P2Ensemble, P2Quantile
+
+__all__ = [
+    "ExactQuantiles",
+    "exact_quantile",
+    "rank_interval",
+    "P2Quantile",
+    "P2Ensemble",
+    "AgrawalSwamiHistogram",
+    "ReservoirSampler",
+    "naive_sample_size",
+]

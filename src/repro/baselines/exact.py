@@ -1,0 +1,98 @@
+"""Exact quantiles: the ground truth every experiment compares against.
+
+Stores the entire input (O(N) memory -- exactly what the paper's
+algorithms exist to avoid) and answers rank queries exactly.  Also provides
+the rank arithmetic used by the error-measurement code: with duplicates, an
+estimate is "correct at rank r" if *some* occurrence of it sits at rank r,
+so ranks are reported as closed intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, EmptySummaryError
+
+__all__ = ["ExactQuantiles", "exact_quantile", "rank_interval"]
+
+
+def exact_quantile(data: np.ndarray, phi: float, *, presorted: bool = False) -> float:
+    """The element at rank ``ceil(phi * n)`` (1-indexed) of *data*."""
+    n = len(data)
+    if n == 0:
+        raise EmptySummaryError("cannot take a quantile of no data")
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+    ordered = data if presorted else np.sort(data)
+    rank = min(max(math.ceil(phi * n), 1), n)
+    return float(ordered[rank - 1])
+
+
+def rank_interval(sorted_data: np.ndarray, value: float) -> Tuple[int, int]:
+    """The closed 1-indexed rank interval occupied by *value*.
+
+    For a value present ``m >= 1`` times the interval spans its first and
+    last occurrence; for an absent value both endpoints name the gap it
+    would occupy (``lo = hi + 1`` convention is avoided by clamping to the
+    neighbouring ranks), which is what rank-error measurement wants: the
+    distance from a target rank to the nearest rank the value could hold.
+    """
+    n = len(sorted_data)
+    if n == 0:
+        raise EmptySummaryError("rank query against empty data")
+    lo = int(np.searchsorted(sorted_data, value, side="left")) + 1
+    hi = int(np.searchsorted(sorted_data, value, side="right"))
+    if hi < lo:  # value absent: it would sit between ranks hi and lo
+        return lo - 1 if lo > 1 else 1, min(lo, n)
+    return lo, hi
+
+
+class ExactQuantiles:
+    """Buffer-everything baseline with the same update/query interface."""
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._sorted: "np.ndarray | None" = None
+
+    @property
+    def n(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+    @property
+    def memory_elements(self) -> int:
+        """Elements held -- the whole input, by design."""
+        return self.n
+
+    def update(self, value: float) -> None:
+        self.extend([value])
+
+    def extend(self, data: "np.ndarray | Sequence[float]") -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"expected 1-d data, got {arr.shape}")
+        if len(arr):
+            self._chunks.append(arr.copy())
+            self._sorted = None
+
+    def _ordered(self) -> np.ndarray:
+        if self._sorted is None:
+            if not self._chunks:
+                raise EmptySummaryError("no elements have been ingested")
+            self._sorted = np.sort(np.concatenate(self._chunks))
+        return self._sorted
+
+    def query(self, phi: float) -> float:
+        return exact_quantile(self._ordered(), phi, presorted=True)
+
+    def quantiles(self, phis: Sequence[float]) -> List[float]:
+        ordered = self._ordered()
+        return [exact_quantile(ordered, phi, presorted=True) for phi in phis]
+
+    def error_bound(self) -> float:
+        """Exact answers: zero rank error, always."""
+        return 0.0

@@ -1,0 +1,117 @@
+"""Naive random sampling baseline (Section 2.1 of the paper).
+
+*"The naive randomized algorithm, which outputs the median of a random
+sample of size O(eps^-2 log delta^-1), uses a number of comparisons
+independent of N."*
+
+This is sampling *without* the deterministic summary behind it: keep a
+uniform reservoir of ``m`` elements (Vitter's Algorithm R), answer quantile
+queries from the sorted reservoir.  Memory is the full reservoir -- the
+contrast with Section 5's scheme, which compresses the sample through the
+deterministic framework and therefore needs far less than ``S`` elements
+resident.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, EmptySummaryError
+
+__all__ = ["ReservoirSampler", "naive_sample_size"]
+
+
+def naive_sample_size(epsilon: float, delta: float) -> int:
+    """The classic ``O(eps^-2 log(1/delta))`` sample size.
+
+    Uses the two-sided Hoeffding constant, i.e. ``log(2/delta)/(2 eps^2)``
+    -- the same arithmetic as Lemma 7 with the whole budget assigned to
+    ``eps2``.
+    """
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ConfigurationError("need epsilon and delta in (0, 1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+class ReservoirSampler:
+    """Uniform fixed-size reservoir (Algorithm R) with quantile queries."""
+
+    name = "naive-sampling"
+
+    def __init__(self, size: int, seed: Optional[int] = None) -> None:
+        if size < 1:
+            raise ConfigurationError(f"reservoir size must be >= 1, got {size}")
+        self.size = size
+        self._reservoir = np.empty(size, dtype=np.float64)
+        self._n = 0
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def for_guarantee(
+        cls, epsilon: float, delta: float, seed: Optional[int] = None
+    ) -> "ReservoirSampler":
+        """Reservoir sized so quantiles are ``epsilon``-approximate with
+        probability at least ``1 - delta``."""
+        return cls(naive_sample_size(epsilon, delta), seed=seed)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def memory_elements(self) -> int:
+        """The whole reservoir stays resident."""
+        return self.size
+
+    def update(self, value: float) -> None:
+        self._n += 1
+        if self._n <= self.size:
+            self._reservoir[self._n - 1] = value
+        else:
+            j = int(self._rng.integers(0, self._n))
+            if j < self.size:
+                self._reservoir[j] = value
+
+    def extend(self, data: "np.ndarray | Sequence[float]") -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"expected 1-d data, got {arr.shape}")
+        start = self._n
+        fill = min(max(self.size - start, 0), len(arr))
+        if fill:
+            self._reservoir[start : start + fill] = arr[:fill]
+            self._n += fill
+            arr = arr[fill:]
+        if len(arr) == 0:
+            return
+        # Vectorised Algorithm R for the remainder: element i (0-based in
+        # arr, global index start_n + i, 1-indexed count start_n + i + 1)
+        # replaces a random slot with probability size / count.
+        counts = self._n + 1 + np.arange(len(arr))
+        draws = self._rng.integers(0, counts)
+        hits = np.nonzero(draws < self.size)[0]
+        for i in hits:  # later hits overwrite earlier ones, as in the scalar loop
+            self._reservoir[draws[i]] = arr[i]
+        self._n += len(arr)
+
+    def sample(self) -> np.ndarray:
+        """The current reservoir contents (a copy)."""
+        return self._reservoir[: min(self._n, self.size)].copy()
+
+    def query(self, phi: float) -> float:
+        return self.quantiles([phi])[0]
+
+    def quantiles(self, phis: Sequence[float]) -> List[float]:
+        if self._n == 0:
+            raise EmptySummaryError("no elements have been ingested")
+        ordered = np.sort(self.sample())
+        out = []
+        for phi in phis:
+            if not 0.0 <= phi <= 1.0:
+                raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+            rank = min(max(math.ceil(phi * len(ordered)), 1), len(ordered))
+            out.append(float(ordered[rank - 1]))
+        return out

@@ -1,0 +1,181 @@
+"""The P-squared algorithm of Jain & Chlamtac (CACM 1985) -- reference [16].
+
+Section 2.2 of the MRL paper cites this as the classic constant-memory
+one-pass quantile estimator *without* a-priori error guarantees.  It keeps
+five *markers* per tracked quantile ``p``: the minimum, the ``p/2``,
+``p``, ``(1+p)/2`` quantile estimates and the maximum.  Marker heights are
+nudged toward their desired positions with piecewise-parabolic (P^2)
+interpolation as elements arrive.
+
+It is reproduced here faithfully (marker initialisation from the first
+five observations, parabolic adjustment with linear fallback) because the
+benchmarks contrast its unbounded error against the MRL framework's
+guaranteed one at comparable memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, EmptySummaryError
+
+__all__ = ["P2Quantile", "P2Ensemble"]
+
+
+class P2Quantile:
+    """Single-quantile P^2 estimator (5 markers, O(1) memory)."""
+
+    name = "p2"
+
+    def __init__(self, phi: float) -> None:
+        if not 0.0 < phi < 1.0:
+            raise ConfigurationError(
+                f"P^2 tracks interior quantiles only, got phi={phi}"
+            )
+        self.phi = phi
+        self._initial: List[float] = []
+        # marker heights q, integer positions n (1-indexed), desired
+        # positions n' and desired-position increments dn'
+        self._q: List[float] = []
+        self._n: List[int] = []
+        self._np: List[float] = []
+        self._dn: List[float] = []
+        self._count = 0
+
+    @property
+    def n(self) -> int:
+        return self._count
+
+    @property
+    def memory_elements(self) -> int:
+        """Five markers regardless of stream length."""
+        return 5
+
+    def update(self, value: float) -> None:
+        self._count += 1
+        if len(self._initial) < 5 and not self._q:
+            self._initial.append(float(value))
+            if len(self._initial) == 5:
+                self._initialise()
+            return
+        self._observe(float(value))
+
+    def extend(self, data: "np.ndarray | Sequence[float]") -> None:
+        for v in np.asarray(data, dtype=np.float64):
+            self.update(float(v))
+
+    def _initialise(self) -> None:
+        self._initial.sort()
+        p = self.phi
+        self._q = list(self._initial)
+        self._n = [1, 2, 3, 4, 5]
+        self._np = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._initial = []
+
+    def _observe(self, x: float) -> None:
+        q, n = self._q, self._n
+        if x < q[0]:
+            q[0] = x
+            cell = 0
+        elif x >= q[4]:
+            q[4] = x
+            cell = 3
+        else:
+            cell = 0
+            while x >= q[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # adjust the three interior markers
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (
+                d <= -1 and n[i - 1] - n[i] < -1
+            ):
+                sign = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, sign)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, sign)
+                n[i] += sign
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    def query(self, phi: "float | None" = None) -> float:
+        """Current estimate of the tracked quantile.
+
+        *phi* is accepted for interface compatibility but must match the
+        quantile this instance tracks.
+        """
+        if phi is not None and abs(phi - self.phi) > 1e-12:
+            raise ConfigurationError(
+                f"this P^2 instance tracks phi={self.phi}, asked for {phi}"
+            )
+        if self._count == 0:
+            raise EmptySummaryError("no elements have been ingested")
+        if self._q:
+            return self._q[2]
+        # fewer than 5 observations: answer from the raw values
+        ordered = sorted(self._initial)
+        rank = min(
+            max(int(np.ceil(self.phi * len(ordered))), 1), len(ordered)
+        )
+        return ordered[rank - 1]
+
+
+class P2Ensemble:
+    """Several quantiles tracked by independent P^2 estimators.
+
+    Unlike the MRL framework (Section 4.7: many quantiles for free), P^2
+    pays five markers *per quantile* and offers no shared structure -- one
+    of the contrasts the benchmarks draw.
+    """
+
+    name = "p2-ensemble"
+
+    def __init__(self, phis: Sequence[float]) -> None:
+        if not phis:
+            raise ConfigurationError("need at least one quantile")
+        self.phis = list(phis)
+        self._estimators = [P2Quantile(phi) for phi in self.phis]
+
+    @property
+    def n(self) -> int:
+        return self._estimators[0].n
+
+    @property
+    def memory_elements(self) -> int:
+        return 5 * len(self._estimators)
+
+    def update(self, value: float) -> None:
+        for est in self._estimators:
+            est.update(value)
+
+    def extend(self, data: "np.ndarray | Sequence[float]") -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        for v in arr:
+            self.update(float(v))
+
+    def quantiles(self, phis: "Sequence[float] | None" = None) -> List[float]:
+        if phis is not None and list(phis) != self.phis:
+            raise ConfigurationError(
+                "P^2 ensembles answer exactly the quantiles they track"
+            )
+        return [est.query() for est in self._estimators]

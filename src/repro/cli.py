@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the library's day-to-day uses without writing code:
+
+``plan``
+    Print the optimal configuration for a target ``(epsilon, N)`` --
+    which policy, how many buffers, how much memory, whether sampling
+    would be cheaper at some confidence.
+
+``generate``
+    Write a synthetic stream (any of the workload generators) to the
+    library's binary stream format.
+
+``quantile``
+    One pass over a binary stream file; print epsilon-approximate
+    quantiles with the certified error bound.
+
+``histogram``
+    One pass; print equi-depth bucket boundaries (equivalently:
+    splitters for value-range partitioning).
+
+``describe``
+    One pass; print a five-number-summary-style distribution report
+    with certified accuracy.
+
+All commands are pure, offline, and deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+from .analysis import format_memory
+from .core.errors import ReproError
+from .core.parameters import optimal_parameters
+from .core.sampling import choose_strategy, optimize_alpha, sampling_threshold
+from .core.sketch import QuantileSketch
+from .streams import (
+    FileStream,
+    alternating_extremes_stream,
+    clustered_stream,
+    normal_stream,
+    random_permutation_stream,
+    reverse_sorted_stream,
+    sorted_stream,
+    uniform_stream,
+    write_stream,
+    zipf_stream,
+)
+
+__all__ = ["main"]
+
+_GENERATORS = {
+    "sorted": lambda n, seed: sorted_stream(n),
+    "reverse": lambda n, seed: reverse_sorted_stream(n),
+    "random": random_permutation_stream,
+    "uniform": lambda n, seed: uniform_stream(n, seed=seed),
+    "normal": lambda n, seed: normal_stream(n, seed=seed),
+    "zipf": lambda n, seed: zipf_stream(n, seed=seed),
+    "clustered": lambda n, seed: clustered_stream(n, seed=seed),
+    "alternating": lambda n, seed: alternating_extremes_stream(n),
+}
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    for policy in ("new", "munro-paterson", "alsabti-ranka-singh"):
+        plan = optimal_parameters(args.epsilon, args.n, policy=policy)
+        h = f", h={plan.height}" if plan.height is not None else ""
+        print(
+            f"{policy:<21} b={plan.b:<6} k={plan.k:<8} "
+            f"bk={format_memory(plan.memory)}{h}"
+        )
+    if args.delta is not None:
+        chosen = choose_strategy(args.epsilon, args.n, args.delta)
+        sampled = optimize_alpha(args.epsilon, args.delta)
+        threshold = sampling_threshold(args.epsilon, args.delta)
+        print(
+            f"\nsampling (delta={args.delta:g}): "
+            f"S={sampled.sample_size}, b={sampled.b}, k={sampled.k}, "
+            f"bk={format_memory(sampled.memory)}"
+        )
+        print(f"sampling pays off above N ~ {threshold:.3e}")
+        from .core.sampling import SamplingPlan
+
+        mode = "sampling" if isinstance(chosen, SamplingPlan) else "direct"
+        print(f"recommended for N={args.n}: {mode}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    stream = _GENERATORS[args.kind](args.n, args.seed)
+    n = write_stream(args.output, stream.chunks())
+    print(f"wrote {n} elements ({args.kind}) to {args.output}")
+    return 0
+
+
+def _build_sketch(args: argparse.Namespace, n: int) -> QuantileSketch:
+    return QuantileSketch(
+        epsilon=args.epsilon,
+        n=n,
+        delta=getattr(args, "delta", None),
+        seed=getattr(args, "seed", None),
+    )
+
+
+def _cmd_quantile(args: argparse.Namespace) -> int:
+    stream = FileStream(args.input)
+    if stream.n == 0:
+        print("error: stream is empty", file=sys.stderr)
+        return 1
+    sketch = _build_sketch(args, stream.n)
+    for chunk in stream.chunks():
+        sketch.extend(chunk)
+    mode = "sampling" if sketch.uses_sampling else "deterministic"
+    print(
+        f"n={stream.n}, mode={mode}, "
+        f"memory={format_memory(sketch.memory_elements)} elements"
+    )
+    values = sketch.quantiles(args.phi)
+    for phi, value in zip(args.phi, values):
+        print(f"phi={phi:g}: {float(value):g}")
+    print(f"certified rank bound: {sketch.error_bound_fraction():.6f} * n")
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    stream = FileStream(args.input)
+    if stream.n == 0:
+        print("error: stream is empty", file=sys.stderr)
+        return 1
+    sketch = _build_sketch(args, stream.n)
+    for chunk in stream.chunks():
+        sketch.extend(chunk)
+    boundaries = sorted(
+        float(v) for v in sketch.equidepth_boundaries(args.buckets)
+    )
+    print(
+        f"{args.buckets} equi-depth buckets over {stream.n} elements "
+        f"(~{stream.n / args.buckets:.0f} each, boundary eps={args.epsilon})"
+    )
+    for i, b in enumerate(boundaries, start=1):
+        print(f"  {i / args.buckets:6.3f}-quantile  {b:g}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .analysis import describe
+
+    stream = FileStream(args.input)
+    if stream.n == 0:
+        print("error: stream is empty", file=sys.stderr)
+        return 1
+    report = describe(stream.chunks(), epsilon=args.epsilon, n=stream.n)
+    print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "One-pass approximate quantiles with limited memory "
+            "(Manku-Rajagopalan-Lindsay, SIGMOD 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser(
+        "plan", help="print optimal configurations for (epsilon, N)"
+    )
+    plan.add_argument("--epsilon", type=float, required=True)
+    plan.add_argument("--n", type=int, required=True)
+    plan.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="also evaluate the sampling strategy at this confidence",
+    )
+    plan.set_defaults(func=_cmd_plan)
+
+    gen = sub.add_parser(
+        "generate", help="write a synthetic stream to a binary file"
+    )
+    gen.add_argument("output", help="output path")
+    gen.add_argument(
+        "--kind", choices=sorted(_GENERATORS), default="random"
+    )
+    gen.add_argument("--n", type=int, required=True)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    quant = sub.add_parser(
+        "quantile", help="one-pass quantiles of a binary stream file"
+    )
+    quant.add_argument("input", help="stream file (see 'generate')")
+    quant.add_argument("--epsilon", type=float, required=True)
+    quant.add_argument(
+        "--phi",
+        type=float,
+        action="append",
+        required=True,
+        help="quantile fraction; repeatable",
+    )
+    quant.add_argument("--delta", type=float, default=None)
+    quant.add_argument("--seed", type=int, default=None)
+    quant.set_defaults(func=_cmd_quantile)
+
+    hist = sub.add_parser(
+        "histogram",
+        help="equi-depth bucket boundaries / range-partition splitters",
+    )
+    hist.add_argument("input")
+    hist.add_argument("--epsilon", type=float, required=True)
+    hist.add_argument("--buckets", type=int, required=True)
+    hist.add_argument("--delta", type=float, default=None)
+    hist.add_argument("--seed", type=int, default=None)
+    hist.set_defaults(func=_cmd_histogram)
+
+    desc = sub.add_parser(
+        "describe", help="distribution report of a binary stream file"
+    )
+    desc.add_argument("input")
+    desc.add_argument("--epsilon", type=float, default=0.005)
+    desc.set_defaults(func=_cmd_describe)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,115 @@
+"""Core of the reproduction: the MRL one-pass quantile framework.
+
+Public surface:
+
+* :class:`QuantileSketch` / :func:`approximate_quantiles` -- what most
+  callers want;
+* :class:`QuantileFramework` -- the explicit ``(b, k, policy)`` machinery;
+* :mod:`~repro.core.parameters` -- optimal configuration selection
+  (Table 1);
+* :mod:`~repro.core.sampling` -- the Section 5 sampling front-end
+  (Table 2, Figure 8);
+* :class:`ParallelQuantileEngine` -- the Section 4.9 partitioned mode;
+* :class:`TreeRecorder` -- collapse-tree capture (Figures 2-4, Lemma 5).
+"""
+
+from .buffer import MINUS_INF, PLUS_INF, Buffer
+from .errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    EmptySummaryError,
+    QueryError,
+    ReproError,
+    SQLSyntaxError,
+    StorageError,
+    StreamExhaustedError,
+)
+from .framework import QuantileFramework
+from .operations import (
+    OffsetSelector,
+    augmented_phi,
+    collapse,
+    output,
+    weighted_select,
+)
+from .parallel import ParallelQuantileEngine, merge_frameworks
+from .parameters import (
+    ClosedFormStats,
+    ParameterPlan,
+    alsabti_ranka_singh_stats,
+    best_over_policies,
+    munro_paterson_stats,
+    new_algorithm_stats,
+    optimal_parameters,
+    parameter_table,
+)
+from .policies import (
+    AlsabtiRankaSinghPolicy,
+    CollapsePolicy,
+    MunroPatersonPolicy,
+    NewPolicy,
+    make_policy,
+)
+from .sampling import (
+    SampledQuantileFramework,
+    SamplingPlan,
+    choose_strategy,
+    hoeffding_sample_size,
+    optimize_alpha,
+    sampling_threshold,
+)
+from .adaptive import AdaptiveQuantileSketch
+from .serialize import dump, dumps, load, loads
+from .sketch import QuantileSketch, approximate_quantiles
+from .tree import TreeNode, TreeRecorder, TreeStats
+
+__all__ = [
+    "Buffer",
+    "MINUS_INF",
+    "PLUS_INF",
+    "OffsetSelector",
+    "augmented_phi",
+    "collapse",
+    "output",
+    "weighted_select",
+    "QuantileFramework",
+    "QuantileSketch",
+    "AdaptiveQuantileSketch",
+    "approximate_quantiles",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "ParallelQuantileEngine",
+    "merge_frameworks",
+    "CollapsePolicy",
+    "MunroPatersonPolicy",
+    "AlsabtiRankaSinghPolicy",
+    "NewPolicy",
+    "make_policy",
+    "ClosedFormStats",
+    "ParameterPlan",
+    "optimal_parameters",
+    "best_over_policies",
+    "parameter_table",
+    "munro_paterson_stats",
+    "alsabti_ranka_singh_stats",
+    "new_algorithm_stats",
+    "SamplingPlan",
+    "SampledQuantileFramework",
+    "hoeffding_sample_size",
+    "optimize_alpha",
+    "sampling_threshold",
+    "choose_strategy",
+    "TreeNode",
+    "TreeRecorder",
+    "TreeStats",
+    "ReproError",
+    "ConfigurationError",
+    "StreamExhaustedError",
+    "CapacityExceededError",
+    "EmptySummaryError",
+    "StorageError",
+    "QueryError",
+    "SQLSyntaxError",
+]

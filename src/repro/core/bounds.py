@@ -1,0 +1,96 @@
+"""Analytic guarantees: Lemma 5 instantiations and space complexity.
+
+This module collects the paper's *a-priori* guarantee arithmetic in one
+place so that tests, documentation and the benchmark harness can reference
+a single implementation:
+
+* per-policy worst-case rank-error bounds as a function of the
+  configuration (Sections 4.3-4.5, all derived from Lemma 5);
+* the asymptotic space complexities of Section 4.8 (Theorem 1) and
+  Section 5.1 (Theorem 2), which the benchmarks use to draw reference
+  curves next to the measured memory figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+from .parameters import (
+    alsabti_ranka_singh_stats,
+    munro_paterson_stats,
+    new_algorithm_stats,
+)
+
+__all__ = [
+    "error_bound_munro_paterson",
+    "error_bound_alsabti_ranka_singh",
+    "error_bound_new",
+    "theorem1_space",
+    "theorem2_space",
+    "ars_asymptotic_space",
+]
+
+
+def error_bound_munro_paterson(b: int) -> float:
+    """Worst-case rank error for Munro-Paterson with ``b`` buffers.
+
+    Section 4.3 simplifies Lemma 5 to ``(b-2) * 2^(b-2) + 1/2``.
+    """
+    bound = munro_paterson_stats(b).error_bound
+    closed = (b - 2) * 2 ** (b - 2) + 0.5
+    assert bound == closed, "closed form drifted from Lemma 5 arithmetic"
+    return bound
+
+
+def error_bound_alsabti_ranka_singh(b: int) -> float:
+    """Worst-case rank error for Alsabti-Ranka-Singh with ``b`` buffers.
+
+    Section 4.4 simplifies Lemma 5 to ``b^2/8 + b/4 - 1/2``.
+    """
+    bound = alsabti_ranka_singh_stats(b).error_bound
+    closed = b * b / 8.0 + b / 4.0 - 0.5
+    assert bound == closed, "closed form drifted from Lemma 5 arithmetic"
+    return bound
+
+
+def error_bound_new(b: int, h: int) -> float:
+    """Worst-case rank error for the new policy at height ``h``.
+
+    Section 4.5's constraint divides the paper's combinatorial expression
+    by two: ``[(h-2)C(b+h-2,h-1) - C(b+h-3,h-3) + C(b+h-3,h-2)] / 2``.
+    """
+    return new_algorithm_stats(b, h).error_bound
+
+
+def theorem1_space(epsilon: float, n: int) -> float:
+    """Theorem 1: the new algorithm needs ``O((1/eps) log^2(eps N))`` memory.
+
+    Returns the un-scaled expression ``(1/eps) * log2(eps*N)^2`` (a guide
+    curve, not an exact element count).
+    """
+    if not 0 < epsilon < 1 or n < 1:
+        raise ConfigurationError("need 0 < epsilon < 1 and n >= 1")
+    x = max(epsilon * n, 2.0)
+    return (1.0 / epsilon) * math.log2(x) ** 2
+
+
+def theorem2_space(epsilon: float, delta: float) -> float:
+    """Theorem 2: sampling + new algorithm memory, independent of N.
+
+    Returns the un-scaled expression
+    ``(1/eps) log^2(1/eps) + (1/eps) log^2 log(1/delta)``.
+    """
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ConfigurationError("need epsilon and delta in (0, 1)")
+    t1 = (1.0 / epsilon) * math.log2(1.0 / epsilon) ** 2
+    inner = max(math.log2(1.0 / delta), 2.0)
+    t2 = (1.0 / epsilon) * math.log2(inner) ** 2
+    return t1 + t2
+
+
+def ars_asymptotic_space(epsilon: float, n: int) -> float:
+    """Section 4.8: Alsabti-Ranka-Singh needs ``O(sqrt(N / eps))`` memory."""
+    if not 0 < epsilon < 1 or n < 1:
+        raise ConfigurationError("need 0 < epsilon < 1 and n >= 1")
+    return math.sqrt(n / epsilon)

@@ -1,0 +1,235 @@
+"""Buffers: the unit of memory in the MRL quantile framework.
+
+The framework of Manku, Rajagopalan and Lindsay (SIGMOD 1998, Section 3)
+organises all working memory as ``b`` buffers of ``k`` elements each.  A
+buffer is always *sorted*, carries an integer *weight* (how many input
+elements each stored element represents) and, for the level-based collapsing
+policy, an integer *level*.
+
+The last buffer filled from a stream may be only partially populated; the
+paper pads it with an equal number of ``-inf`` and ``+inf`` sentinels.  We
+keep explicit counts of those pads (``n_low_pad`` / ``n_high_pad``) so that
+rank arithmetic against the *original* (un-augmented) dataset stays exact
+even when the deficit is odd.
+
+Two element domains are supported:
+
+* the *numeric* fast path stores a ``numpy.float64`` array and pads with
+  ``-numpy.inf`` / ``+numpy.inf``;
+* the *generic* path stores a plain Python list of any mutually comparable
+  values and pads with the :data:`MINUS_INF` / :data:`PLUS_INF` sentinels
+  defined here, which compare below / above every other value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "Buffer",
+    "MINUS_INF",
+    "PLUS_INF",
+    "is_sentinel",
+]
+
+
+class _Extreme:
+    """A totally-ordered sentinel comparing below or above everything.
+
+    Instances are singletons (:data:`MINUS_INF`, :data:`PLUS_INF`).  They
+    order consistently against arbitrary values, including each other, which
+    lets the generic merge code treat padded buffers uniformly.
+    """
+
+    __slots__ = ("_sign",)
+
+    def __init__(self, sign: int) -> None:
+        self._sign = sign
+
+    def __lt__(self, other: Any) -> bool:
+        if other is self:
+            return False
+        if isinstance(other, _Extreme):
+            return self._sign < other._sign
+        return self._sign < 0
+
+    def __gt__(self, other: Any) -> bool:
+        if other is self:
+            return False
+        if isinstance(other, _Extreme):
+            return self._sign > other._sign
+        return self._sign > 0
+
+    def __le__(self, other: Any) -> bool:
+        return self is other or self < other
+
+    def __ge__(self, other: Any) -> bool:
+        return self is other or self > other
+
+    def __eq__(self, other: Any) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(("_Extreme", self._sign))
+
+    def __repr__(self) -> str:
+        return "-INF" if self._sign < 0 else "+INF"
+
+
+MINUS_INF = _Extreme(-1)
+PLUS_INF = _Extreme(+1)
+
+
+def is_sentinel(value: Any) -> bool:
+    """Return ``True`` if *value* is one of the padding sentinels."""
+    return isinstance(value, _Extreme)
+
+
+_buffer_ids = itertools.count()
+
+
+@dataclass
+class Buffer:
+    """A full, sorted, weighted buffer of ``k`` (logical) elements.
+
+    Parameters
+    ----------
+    values:
+        The sorted contents, *including* any padding sentinels.  Either a
+        ``numpy.ndarray`` of ``float64`` or a Python list.
+    weight:
+        How many original input elements each stored element stands for.
+        Leaf buffers have weight 1; collapse outputs carry the sum of their
+        inputs' weights.
+    level:
+        The level assigned by the collapsing policy (0 for fresh leaves
+        under the new policy; unused by Munro-Paterson, which keys on
+        weight instead).
+    n_low_pad / n_high_pad:
+        How many leading ``-inf`` / trailing ``+inf`` sentinels the buffer
+        holds.  Only the last leaf of a stream is ever padded, and padded
+        leaves always have weight 1 when created.
+    """
+
+    values: Any
+    weight: int = 1
+    level: int = 0
+    n_low_pad: int = 0
+    n_high_pad: int = 0
+    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ConfigurationError(
+                f"buffer weight must be >= 1, got {self.weight}"
+            )
+        if self.n_low_pad < 0 or self.n_high_pad < 0:
+            raise ConfigurationError("pad counts cannot be negative")
+
+    # -- basic introspection ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def k(self) -> int:
+        """The buffer capacity (number of stored elements, pads included)."""
+        return len(self.values)
+
+    @property
+    def n_real(self) -> int:
+        """Number of stored elements that are genuine data, not padding."""
+        return len(self.values) - self.n_low_pad - self.n_high_pad
+
+    @property
+    def is_numeric(self) -> bool:
+        """``True`` when the buffer stores a numpy array (fast path)."""
+        return isinstance(self.values, np.ndarray)
+
+    @property
+    def weighted_count(self) -> int:
+        """Total augmented elements this buffer represents (``weight * k``)."""
+        return self.weight * len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Buffer(id={self.buffer_id}, k={self.k}, weight={self.weight}, "
+            f"level={self.level}, pads=({self.n_low_pad},{self.n_high_pad}))"
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        raw: Sequence[Any] | np.ndarray,
+        k: int,
+        *,
+        level: int = 0,
+        sort: bool = True,
+    ) -> "Buffer":
+        """Build a weight-1 leaf buffer of capacity *k* from *raw* values.
+
+        If ``len(raw) < k`` the buffer is padded with an (as equal as
+        possible) number of ``-inf`` and ``+inf`` sentinels, exactly as the
+        NEW operation of the paper prescribes.  When the deficit is odd the
+        extra sentinel goes to the low side; the pad counts keep rank
+        arithmetic exact regardless.
+        """
+        if k <= 0:
+            raise ConfigurationError(f"buffer capacity k must be >= 1, got {k}")
+        n = len(raw)
+        if n > k:
+            raise ConfigurationError(
+                f"cannot place {n} elements into a buffer of capacity {k}"
+            )
+        if n == 0:
+            raise ConfigurationError("refusing to create an all-padding buffer")
+        deficit = k - n
+        n_low = (deficit + 1) // 2
+        n_high = deficit // 2
+        if isinstance(raw, np.ndarray) and raw.dtype.kind in "fiu":
+            data = np.asarray(raw, dtype=np.float64)
+            if sort:
+                data = np.sort(data)
+            if deficit:
+                data = np.concatenate(
+                    [np.full(n_low, -np.inf), data, np.full(n_high, np.inf)]
+                )
+            return cls(
+                values=data,
+                weight=1,
+                level=level,
+                n_low_pad=n_low,
+                n_high_pad=n_high,
+            )
+        data_list = list(raw)
+        if sort:
+            data_list.sort()
+        values = (
+            [MINUS_INF] * n_low + data_list + [PLUS_INF] * n_high
+            if deficit
+            else data_list
+        )
+        return cls(
+            values=values,
+            weight=1,
+            level=level,
+            n_low_pad=n_low,
+            n_high_pad=n_high,
+        )
+
+    # -- views ------------------------------------------------------------------
+
+    def real_values(self) -> Iterable[Any]:
+        """Iterate over the genuine (non-padding) stored elements."""
+        hi = len(self.values) - self.n_high_pad
+        if self.is_numeric:
+            return self.values[self.n_low_pad : hi]
+        return self.values[self.n_low_pad : hi]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting genuine programming errors (``TypeError``
+from user callbacks, ``KeyboardInterrupt``, ...) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm was configured with invalid or inconsistent parameters.
+
+    Raised, for example, for a non-positive buffer count, an approximation
+    guarantee outside ``(0, 1)``, or a quantile fraction outside ``[0, 1]``.
+    """
+
+
+class StreamExhaustedError(ReproError, RuntimeError):
+    """More elements were requested from a stream than it can supply."""
+
+
+class CapacityExceededError(ReproError, RuntimeError):
+    """A one-pass summary received more elements than it was sized for.
+
+    The deterministic MRL algorithm promises an ``epsilon``-approximate
+    answer only for datasets up to the ``n`` it was configured with.  By
+    default the framework keeps accepting input past that point (the
+    a-posteriori bound from :meth:`QuantileFramework.error_bound
+    <repro.core.framework.QuantileFramework.error_bound>` remains exact),
+    but callers may request strict mode, in which case this error is raised
+    instead.
+    """
+
+
+class EmptySummaryError(ReproError, RuntimeError):
+    """A quantile query was issued against a summary that saw no data."""
+
+
+class StorageError(ReproError, IOError):
+    """A failure in the mini storage engine (corrupt page, bad magic, ...)."""
+
+
+class QueryError(ReproError, ValueError):
+    """An invalid query against the mini table engine (unknown column, ...)."""
+
+
+class SQLSyntaxError(QueryError):
+    """The miniature SQL front-end could not parse a statement."""

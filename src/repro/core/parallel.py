@@ -1,0 +1,196 @@
+"""The parallel version of the algorithm (Section 4.9).
+
+The new algorithm parallelises by partitioning the input stream among P
+workers (statically or dynamically), running an independent framework on
+each partition, and concatenating the workers' final full buffers ("root
+gates") into the input of a single final OUTPUT.  For very high degrees of
+parallelism the paper suggests a two-stage variant: partition the root
+buffers onto fewer combiner nodes, collapse there, and finish on a single
+node.
+
+Physical parallelism is irrelevant to the accuracy analysis -- only the
+dataflow matters -- so :class:`ParallelQuantileEngine` executes workers
+sequentially while reproducing the exact buffer flow.  The error analysis
+still applies: the combined tree is just a forest whose roots are merged
+under one OUTPUT node, and the certified bound is derived from the summed
+``W``/``C`` statistics and the heaviest surviving buffer, exactly as in
+Lemma 5 (whose proof only needs leaves of weight one and internal nodes
+with at least two children).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .buffer import Buffer
+from .errors import ConfigurationError, EmptySummaryError
+from .framework import QuantileFramework
+from .operations import OffsetSelector, collapse, output
+
+__all__ = ["ParallelQuantileEngine", "merge_frameworks"]
+
+
+def merge_frameworks(
+    workers: Sequence[QuantileFramework],
+    phis: Sequence[float],
+) -> List[Any]:
+    """Final OUTPUT over the concatenated root buffers of *workers*.
+
+    Every worker flushes its staged tail (as a real padded buffer) and
+    contributes its full buffers; a single weighted OUTPUT over the union
+    answers all quantiles.  This is the moderate-parallelism path of
+    Section 4.9 (one final phase on a single node).
+    """
+    buffers: List[Buffer] = []
+    n_total = 0
+    for fw in workers:
+        if fw.n == 0:
+            continue
+        fw.finish(phis=[0.5])  # flush tail + record OUTPUT locally
+        buffers.extend(fw.full_buffers)
+        n_total += fw.n
+    if n_total == 0:
+        raise EmptySummaryError("no worker ingested any elements")
+    return output(buffers, list(phis), n_total)
+
+
+class ParallelQuantileEngine:
+    """P-way partitioned quantile computation (Section 4.9).
+
+    Parameters
+    ----------
+    n_workers:
+        The degree of parallelism P.
+    b, k:
+        Per-worker buffer configuration (every worker gets its own
+        ``b * k`` elements, mirroring per-node memory on an MPP system).
+    policy / offset_mode:
+        Forwarded to every worker's framework.
+    combine_fanin:
+        When set (the >100-node regime of Section 4.9), worker root
+        buffers are first merged in groups of at most this many workers by
+        intermediate COLLAPSE operations before the final OUTPUT, bounding
+        the fan-in of the last node.
+
+    Elements are routed round-robin by default (``dispatch``) or appended
+    to an explicit worker via ``extend_worker`` for static range
+    partitioning experiments.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        b: int,
+        k: int,
+        *,
+        policy: str = "new",
+        offset_mode: str = "alternate",
+        combine_fanin: Optional[int] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"need >= 1 worker, got {n_workers}")
+        if combine_fanin is not None and combine_fanin < 2:
+            raise ConfigurationError("combine_fanin must be >= 2")
+        self.workers = [
+            QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
+            for _ in range(n_workers)
+        ]
+        self.combine_fanin = combine_fanin
+        self._rr = 0
+        self._offsets = OffsetSelector(offset_mode)
+
+    @property
+    def n(self) -> int:
+        return sum(fw.n for fw in self.workers)
+
+    @property
+    def memory_elements(self) -> int:
+        """Aggregate memory across all workers (P * b * k)."""
+        return sum(fw.memory_elements for fw in self.workers)
+
+    def dispatch(self, data: "np.ndarray | Sequence[Any]") -> None:
+        """Split *data* into contiguous blocks, one per worker, round-robin.
+
+        Contiguous blocks model the dynamic stream partitioning of a real
+        system (each worker sees a contiguous run of the input).
+        """
+        arr = np.asarray(data) if not isinstance(data, np.ndarray) else data
+        n_workers = len(self.workers)
+        if len(arr) == 0:
+            return
+        pieces = np.array_split(arr, n_workers)
+        for piece in pieces:
+            if len(piece):
+                self.workers[self._rr].extend(piece)
+                self._rr = (self._rr + 1) % n_workers
+
+    def extend_worker(self, worker: int, data: "np.ndarray | Sequence[Any]") -> None:
+        """Feed *data* to one specific worker (static partitioning)."""
+        self.workers[worker].extend(data)
+
+    def _collect_buffers(self) -> List[Buffer]:
+        buffers: List[Buffer] = []
+        for fw in self.workers:
+            if fw.n == 0:
+                continue
+            fw.finish(phis=[0.5])
+            buffers.extend(fw.full_buffers)
+        return buffers
+
+    def quantiles(self, phis: Sequence[float]) -> List[Any]:
+        """Gather root buffers (optionally pre-combining) and OUTPUT."""
+        n_total = self.n
+        if n_total == 0:
+            raise EmptySummaryError("no worker ingested any elements")
+        buffers = self._collect_buffers()
+        if self.combine_fanin is not None:
+            buffers = self._pre_combine(buffers)
+        return output(buffers, list(phis), n_total)
+
+    def query(self, phi: float) -> Any:
+        return self.quantiles([phi])[0]
+
+    def _pre_combine(self, buffers: List[Buffer]) -> List[Buffer]:
+        """Two-stage recombination for very high parallelism (Section 4.9).
+
+        Root buffers are partitioned into groups of at most
+        ``combine_fanin`` and each group is COLLAPSEd on an intermediate
+        node; the final OUTPUT then sees one buffer per group.
+        """
+        assert self.combine_fanin is not None
+        combined: List[Buffer] = []
+        for i in range(0, len(buffers), self.combine_fanin):
+            group = buffers[i : i + self.combine_fanin]
+            if len(group) == 1:
+                combined.append(group[0])
+            else:
+                weight = sum(b.weight for b in group)
+                combined.append(
+                    collapse(group, self._offsets.offset_for(weight))
+                )
+        return combined
+
+    def error_bound(self) -> float:
+        """Certified rank bound for the combined answer (Lemma 5).
+
+        ``W`` and ``C`` add across workers (the union of the trees is one
+        forest under the final root); ``w_max`` is the heaviest buffer the
+        final OUTPUT reads.  Pre-combining adds its own collapses, which
+        are accounted for at query time, so this bound is computed from
+        the workers' statistics plus the current surviving buffers.
+        """
+        total_w = sum(fw.sum_collapse_weights for fw in self.workers)
+        total_c = sum(fw.n_collapses for fw in self.workers)
+        w_max = max(
+            (
+                buf.weight
+                for fw in self.workers
+                for buf in fw.full_buffers
+            ),
+            default=1,
+        )
+        if total_c == 0:
+            return 0.0
+        return (total_w - total_c - 1) / 2.0 + w_max

@@ -1,0 +1,186 @@
+"""Serialisation of quantile summaries.
+
+A summary that took a full pass over a billion-row table to build is worth
+keeping: real deployments persist sketches next to the data (statistics
+catalogs), ship them between nodes (the §4.9 parallel mode), or merge
+yesterday's sketch with today's.  This module provides a compact, versioned
+binary format for :class:`~repro.core.framework.QuantileFramework` (and a
+thin wrapper for :class:`~repro.core.sketch.QuantileSketch`):
+
+* fixed little-endian header: magic, version, configuration (b, k, policy,
+  offset mode and its alternation state), counters (n, C, W);
+* one record per full buffer: weight, level, pad counts, k float64 values;
+* the staged remainder (not yet buffer-aligned input), if any.
+
+Only numeric summaries serialise -- generic-object summaries would need
+pickling, which this library deliberately avoids (loading pickles from
+disk is an arbitrary-code-execution hazard; a statistics catalog must be
+safe to read).
+
+Round-trip guarantee: ``loads(dumps(fw))`` answers every quantile query
+identically to ``fw`` and reports the same certified error bound.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+from .buffer import Buffer
+from .errors import ConfigurationError, StorageError
+from .framework import QuantileFramework
+
+__all__ = ["dumps", "loads", "dump", "load", "FORMAT_VERSION"]
+
+_MAGIC = b"MRLSKT01"
+FORMAT_VERSION = 1
+
+# magic, version, b, k, policy_id, offset_mode_id, even_toggle,
+# n, n_collapses, sum_collapse_weights, n_buffers, remainder_len, min, max
+_HEADER = struct.Struct("<8sHIIBBBxQQQIQdd")
+# weight, level, n_low_pad, n_high_pad
+_BUFFER_HEADER = struct.Struct("<QiII")
+
+_POLICY_IDS = {"new": 0, "munro-paterson": 1, "alsabti-ranka-singh": 2}
+_POLICY_NAMES = {v: k for k, v in _POLICY_IDS.items()}
+_OFFSET_IDS = {"alternate": 0, "low": 1, "high": 2}
+_OFFSET_NAMES = {v: k for k, v in _OFFSET_IDS.items()}
+
+
+def dump(fw: QuantileFramework, fh: BinaryIO) -> None:
+    """Write *fw* to the binary file object *fh*."""
+    fw._flush_scalars()
+    if fw._mode == "generic":
+        raise ConfigurationError(
+            "only numeric summaries serialise; generic-object buffers "
+            "would require unsafe pickling"
+        )
+    if fw.policy.name not in _POLICY_IDS:
+        raise ConfigurationError(
+            f"cannot serialise custom policy {fw.policy.name!r}"
+        )
+    remainder = fw._remainder
+    rem = (
+        np.asarray(remainder, dtype="<f8")
+        if remainder is not None and len(remainder)
+        else np.empty(0, dtype="<f8")
+    )
+    fh.write(
+        _HEADER.pack(
+            _MAGIC,
+            FORMAT_VERSION,
+            fw.b,
+            fw.k,
+            _POLICY_IDS[fw.policy.name],
+            _OFFSET_IDS[fw._offsets.mode],
+            1 if fw._offsets._next_even_is_high else 0,
+            fw._n,
+            fw._n_collapses,
+            fw._sum_collapse_weights,
+            len(fw._full),
+            len(rem),
+            fw._min if fw._min is not None else float("nan"),
+            fw._max if fw._max is not None else float("nan"),
+        )
+    )
+    for buf in fw._full:
+        if not buf.is_numeric:
+            raise ConfigurationError(
+                "only numeric summaries serialise; generic-object buffers "
+                "would require unsafe pickling"
+            )
+        fh.write(
+            _BUFFER_HEADER.pack(
+                buf.weight, buf.level, buf.n_low_pad, buf.n_high_pad
+            )
+        )
+        fh.write(np.ascontiguousarray(buf.values, dtype="<f8").tobytes())
+    fh.write(rem.tobytes())
+
+
+def dumps(fw: QuantileFramework) -> bytes:
+    """Serialise *fw* to bytes."""
+    out = io.BytesIO()
+    dump(fw, out)
+    return out.getvalue()
+
+
+def _read_exact(fh: BinaryIO, size: int, what: str) -> bytes:
+    raw = fh.read(size)
+    if len(raw) != size:
+        raise StorageError(f"truncated sketch: expected {size} bytes of {what}")
+    return raw
+
+
+def load(fh: BinaryIO) -> QuantileFramework:
+    """Read a summary previously written by :func:`dump`."""
+    header = _read_exact(fh, _HEADER.size, "header")
+    (
+        magic,
+        version,
+        b,
+        k,
+        policy_id,
+        offset_id,
+        even_toggle,
+        n,
+        n_collapses,
+        sum_weights,
+        n_buffers,
+        remainder_len,
+        min_value,
+        max_value,
+    ) = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise StorageError(f"bad magic {magic!r}: not a serialised sketch")
+    if version != FORMAT_VERSION:
+        raise StorageError(f"unsupported sketch format version {version}")
+    if policy_id not in _POLICY_NAMES or offset_id not in _OFFSET_NAMES:
+        raise StorageError("corrupt sketch header (unknown policy/offset)")
+    if n_buffers > b:
+        raise StorageError(
+            f"corrupt sketch: {n_buffers} full buffers exceed b={b}"
+        )
+    fw = QuantileFramework(
+        b, k, policy=_POLICY_NAMES[policy_id],
+        offset_mode=_OFFSET_NAMES[offset_id],
+    )
+    fw._offsets._next_even_is_high = bool(even_toggle)
+    fw._n = n
+    fw._n_collapses = n_collapses
+    fw._sum_collapse_weights = sum_weights
+    fw._mode = "numeric"
+    fw._min = None if np.isnan(min_value) else min_value
+    fw._max = None if np.isnan(max_value) else max_value
+    for _ in range(n_buffers):
+        raw = _read_exact(fh, _BUFFER_HEADER.size, "buffer header")
+        weight, level, n_low, n_high = _BUFFER_HEADER.unpack(raw)
+        values = np.frombuffer(
+            _read_exact(fh, 8 * k, "buffer payload"), dtype="<f8"
+        ).copy()
+        if n_low + n_high > k:
+            raise StorageError("corrupt sketch: pad counts exceed capacity")
+        fw._full.append(
+            Buffer(
+                values=values,
+                weight=weight,
+                level=level,
+                n_low_pad=n_low,
+                n_high_pad=n_high,
+            )
+        )
+    fw._remainder = np.frombuffer(
+        _read_exact(fh, 8 * remainder_len, "remainder"), dtype="<f8"
+    ).copy()
+    trailing = fh.read(1)
+    if trailing:
+        raise StorageError("corrupt sketch: trailing bytes after payload")
+    return fw
+
+
+def loads(raw: bytes) -> QuantileFramework:
+    """Deserialise a summary from bytes."""
+    return load(io.BytesIO(raw))

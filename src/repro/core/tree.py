@@ -1,0 +1,277 @@
+"""Recording and analysing the tree of buffers (Section 4.1).
+
+Every run of a framework algorithm induces a tree: leaves are the buffers
+populated by NEW, internal nodes are COLLAPSE outputs, and the root is the
+final OUTPUT operation whose children are the remaining full buffers.  The
+paper's entire error analysis (Lemmas 1-5) is phrased over this tree.
+
+:class:`TreeRecorder` plugs into :class:`repro.core.framework.QuantileFramework`
+and records the tree as it is produced, so that:
+
+* the quantities ``L`` (leaves), ``C`` (collapses), ``W`` (sum of collapse
+  weights), ``w_max`` (heaviest child of the root) and ``h`` (height) can be
+  measured on *actual* runs and checked against the closed forms of
+  Sections 4.3-4.5;
+* the a-posteriori error bound ``(W - C - 1)/2 + w_max`` of Lemma 5 can be
+  certified for the exact stream that was consumed;
+* the trees of Figures 2-4 can be rendered (each node labelled with its
+  weight) for visual comparison with the paper.
+
+Recording costs O(1) per operation and O(#buffers-ever-created) memory;
+frameworks track the scalar statistics regardless, so attaching a recorder
+is only needed when the shape itself matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .buffer import Buffer
+from .errors import ReproError
+
+__all__ = [
+    "TreeNode",
+    "TreeStats",
+    "TreeRecorder",
+    "canonical_munro_paterson_tree",
+    "canonical_alsabti_ranka_singh_tree",
+]
+
+
+@dataclass
+class TreeNode:
+    """One buffer in the collapse tree."""
+
+    node_id: int
+    weight: int
+    level: int
+    children: List[int] = field(default_factory=list)
+    offset: Optional[int] = None  # set on COLLAPSE outputs only
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """The symbols of Figure 5, measured on an actual run."""
+
+    n_leaves: int  #: L -- number of NEW operations
+    n_collapses: int  #: C -- number of COLLAPSE operations
+    sum_collapse_weights: int  #: W -- sum of weights of all COLLAPSE outputs
+    w_max: int  #: weight of the heaviest child of the root
+    height: int  #: h -- edges on the longest leaf-to-root-child path, +1 for the root
+    sum_offsets: int  #: sum of offsets over all COLLAPSE operations (Lemma 1)
+
+    @property
+    def error_bound(self) -> float:
+        """Lemma 5: rank error is at most ``(W - C - 1)/2 + w_max``."""
+        if self.n_collapses == 0:
+            # A single leaf answers exactly (up to padding half-steps).
+            return 0.0
+        return (
+            self.sum_collapse_weights - self.n_collapses - 1
+        ) / 2.0 + self.w_max
+
+    def lemma1_lower_bound(self) -> float:
+        """Lemma 1's lower bound on the sum of offsets."""
+        return (self.sum_collapse_weights + self.n_collapses - 1) / 2.0
+
+
+class TreeRecorder:
+    """Incrementally records the collapse tree of one framework run."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, TreeNode] = {}
+        self.root_children: List[int] = []
+        self._depth: Dict[int, int] = {}  # node -> height above leaves
+        self.sum_offsets = 0
+        self.n_collapses = 0
+        self.sum_collapse_weights = 0
+
+    # -- framework hooks -----------------------------------------------------
+
+    def on_new(self, buf: Buffer) -> None:
+        self.nodes[buf.buffer_id] = TreeNode(
+            node_id=buf.buffer_id, weight=buf.weight, level=buf.level
+        )
+        self._depth[buf.buffer_id] = 0
+
+    def on_collapse(
+        self, children: Sequence[Buffer], result: Buffer, offset: int
+    ) -> None:
+        node = TreeNode(
+            node_id=result.buffer_id,
+            weight=result.weight,
+            level=result.level,
+            children=[c.buffer_id for c in children],
+            offset=offset,
+        )
+        self.nodes[result.buffer_id] = node
+        self._depth[result.buffer_id] = 1 + max(
+            self._depth[c.buffer_id] for c in children
+        )
+        self.sum_offsets += offset
+        self.n_collapses += 1
+        self.sum_collapse_weights += result.weight
+
+    def on_output(self, children: Sequence[Buffer]) -> None:
+        self.root_children = [c.buffer_id for c in children]
+
+    # -- analysis -------------------------------------------------------------
+
+    def stats(self, final_buffers: Optional[Sequence[Buffer]] = None) -> TreeStats:
+        """Compute the run's :class:`TreeStats`.
+
+        If OUTPUT has not been recorded yet, *final_buffers* supplies the
+        would-be children of the root (the currently full buffers).
+        """
+        if final_buffers is not None:
+            top = [self.nodes[b.buffer_id] for b in final_buffers]
+        elif self.root_children:
+            top = [self.nodes[i] for i in self.root_children]
+        else:
+            raise ReproError("no OUTPUT recorded and no final buffers given")
+        n_leaves = sum(1 for n in self.nodes.values() if n.is_leaf)
+        w_max = max((n.weight for n in top), default=0)
+        height = 1 + max((self._depth[n.node_id] for n in top), default=0)
+        return TreeStats(
+            n_leaves=n_leaves,
+            n_collapses=self.n_collapses,
+            sum_collapse_weights=self.sum_collapse_weights,
+            w_max=w_max,
+            height=height,
+            sum_offsets=self.sum_offsets,
+        )
+
+    # -- rendering (Figures 2-4) ------------------------------------------------
+
+    def render(self, final_buffers: Optional[Sequence[Buffer]] = None) -> str:
+        """Render the tree as indented text, each node labelled by weight.
+
+        The root (the OUTPUT operation) is drawn as ``OUTPUT``; its children
+        hang below it via the paper's "broken edges".  Matches the content
+        of Figures 2-4 (weights), though drawn top-down rather than
+        bottom-up.
+        """
+        if final_buffers is not None:
+            top_ids = [b.buffer_id for b in final_buffers]
+        elif self.root_children:
+            top_ids = list(self.root_children)
+        else:
+            raise ReproError("no OUTPUT recorded and no final buffers given")
+        lines = ["OUTPUT"]
+
+        def walk(node_id: int, prefix: str, is_last: bool) -> None:
+            node = self.nodes[node_id]
+            branch = "`-- " if is_last else "|-- "
+            lines.append(f"{prefix}{branch}{node.weight}")
+            child_prefix = prefix + ("    " if is_last else "|   ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1)
+
+        for i, node_id in enumerate(top_ids):
+            walk(node_id, "", i == len(top_ids) - 1)
+        return "\n".join(lines)
+
+    def weights_by_depth(
+        self, final_buffers: Optional[Sequence[Buffer]] = None
+    ) -> List[List[int]]:
+        """Node weights grouped by distance below the root, top level first.
+
+        ``result[0]`` are the children of the root, ``result[-1]`` contains
+        only leaves.  Useful for compact, order-preserving comparison with
+        the levels drawn in Figures 2-4.
+        """
+        if final_buffers is not None:
+            top_ids = [b.buffer_id for b in final_buffers]
+        elif self.root_children:
+            top_ids = list(self.root_children)
+        else:
+            raise ReproError("no OUTPUT recorded and no final buffers given")
+        levels: List[List[int]] = []
+        frontier = list(top_ids)
+        while frontier:
+            levels.append([self.nodes[i].weight for i in frontier])
+            nxt: List[int] = []
+            for i in frontier:
+                nxt.extend(self.nodes[i].children)
+            frontier = nxt
+        return levels
+
+
+def _synthetic_recorder() -> "tuple[TreeRecorder, list[int]]":
+    return TreeRecorder(), [0]
+
+
+def _add_leaf(recorder: TreeRecorder, counter: List[int]) -> int:
+    counter[0] += 1
+    node_id = -counter[0]  # negative ids cannot collide with real buffers
+    recorder.nodes[node_id] = TreeNode(node_id=node_id, weight=1, level=0)
+    recorder._depth[node_id] = 0
+    return node_id
+
+
+def _add_collapse(
+    recorder: TreeRecorder, counter: List[int], children: Sequence[int]
+) -> int:
+    counter[0] += 1
+    node_id = -counter[0]
+    weight = sum(recorder.nodes[c].weight for c in children)
+    level = 1 + max(recorder.nodes[c].level for c in children)
+    offset = (weight + 1) // 2 if weight % 2 else weight // 2
+    recorder.nodes[node_id] = TreeNode(
+        node_id=node_id,
+        weight=weight,
+        level=level,
+        children=list(children),
+        offset=offset,
+    )
+    recorder._depth[node_id] = 1 + max(recorder._depth[c] for c in children)
+    recorder.sum_offsets += offset
+    recorder.n_collapses += 1
+    recorder.sum_collapse_weights += weight
+    return node_id
+
+
+def canonical_munro_paterson_tree(b: int) -> TreeRecorder:
+    """The stipulated Munro-Paterson tree of Figure 2, built symbolically.
+
+    Exactly ``2^(b-1)`` weight-1 leaves merged pairwise into a perfect
+    binary tree whose top-level merge is replaced by OUTPUT on two buffers
+    of weight ``2^(b-2)`` (Section 4.3).  The runtime policy defers merges
+    to exploit all ``b`` slots and therefore produces a slightly cheaper
+    tree; this canonical construction exists so the paper's figure and
+    closed forms can be reproduced verbatim.
+    """
+    if b < 2:
+        raise ReproError(f"Munro-Paterson needs b >= 2, got {b}")
+    recorder, counter = _synthetic_recorder()
+    frontier = [_add_leaf(recorder, counter) for _ in range(2 ** (b - 1))]
+    while len(frontier) > 2:
+        frontier = [
+            _add_collapse(recorder, counter, frontier[i : i + 2])
+            for i in range(0, len(frontier), 2)
+        ]
+    recorder.root_children = frontier
+    return recorder
+
+
+def canonical_alsabti_ranka_singh_tree(b: int) -> TreeRecorder:
+    """The Alsabti-Ranka-Singh tree of Figure 3, built symbolically.
+
+    ``b/2`` rounds, each collapsing ``b/2`` weight-1 leaves into one
+    weight-``b/2`` buffer; OUTPUT reads the ``b/2`` round outputs.
+    """
+    if b < 2 or b % 2:
+        raise ReproError(f"Alsabti-Ranka-Singh needs even b >= 2, got {b}")
+    recorder, counter = _synthetic_recorder()
+    half = b // 2
+    rounds = []
+    for _ in range(half):
+        leaves = [_add_leaf(recorder, counter) for _ in range(half)]
+        rounds.append(_add_collapse(recorder, counter, leaves))
+    recorder.root_children = rounds
+    return recorder

@@ -1,0 +1,64 @@
+"""Miniature column engine: one-pass GROUP BY quantile aggregation.
+
+The database substrate the paper's introduction and conclusion motivate
+(Sections 1.2 and 7): tables (in memory or paged on disk), scans with
+predicates, a GROUP BY executor whose QUANTILE/MEDIAN aggregates run the
+MRL sketch per group in a single pass, and a small SQL front-end
+demonstrating the ``SELECT QUANTILE(0.35, col1), QUANTILE(0.50, col1)``
+surface.
+"""
+
+from .catalog import Catalog
+from .csv_io import load_csv, save_csv
+from .expressions import Expression, col, lit
+from .groupby import (
+    Aggregate,
+    GroupByResult,
+    avg,
+    count,
+    execute_group_by,
+    max_,
+    median,
+    min_,
+    quantile,
+    stddev,
+    sum_,
+    var_,
+)
+from .query import Query
+from .sql import ParsedQuery, execute_sql, parse_sql
+from .storage import StoredTable, save_table
+from .table import Chunk, Table
+from .types import DataType, Field, Schema
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "Table",
+    "Chunk",
+    "StoredTable",
+    "save_table",
+    "load_csv",
+    "save_csv",
+    "Catalog",
+    "Expression",
+    "col",
+    "lit",
+    "Aggregate",
+    "quantile",
+    "median",
+    "count",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "var_",
+    "stddev",
+    "execute_group_by",
+    "GroupByResult",
+    "Query",
+    "execute_sql",
+    "parse_sql",
+    "ParsedQuery",
+]

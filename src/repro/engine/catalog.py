@@ -1,0 +1,113 @@
+"""A tiny table catalog: named tables, persistence, one-line SQL.
+
+Gathers the engine's pieces behind the interface a user of a real system
+expects: register in-memory tables, attach stored ones, persist and
+re-open a whole database directory, and run SQL against any of it::
+
+    db = Catalog("warehouse/")       # directory created on first save
+    db.register(trades)              # an in-memory Table
+    db.save("trades")                # -> warehouse/trades/ (paged format)
+    db.sql("SELECT MEDIAN(price, 0.005) FROM trades GROUP BY symbol")
+
+Reopening ``Catalog("warehouse/")`` later attaches every stored table
+lazily -- scans stream pages from disk, nothing is materialised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from ..core.errors import QueryError, StorageError
+from .groupby import GroupByResult
+from .query import Query
+from .sql import execute_sql
+from .storage import StoredTable, save_table
+from .table import Table
+
+__all__ = ["Catalog"]
+
+_AnyTable = Union[Table, StoredTable]
+
+
+class Catalog:
+    """Named tables, optionally backed by a database directory."""
+
+    def __init__(self, directory: "str | os.PathLike | None" = None) -> None:
+        self.directory = os.fspath(directory) if directory is not None else None
+        self._tables: Dict[str, _AnyTable] = {}
+        if self.directory is not None and os.path.isdir(self.directory):
+            for entry in sorted(os.listdir(self.directory)):
+                path = os.path.join(self.directory, entry)
+                if os.path.isfile(os.path.join(path, "meta.json")):
+                    self._tables[entry] = StoredTable(path)
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, table: _AnyTable, name: Optional[str] = None) -> None:
+        """Add *table* under *name* (defaults to the table's own name)."""
+        key = name or table.name
+        if not key:
+            raise QueryError("a table needs a name to be registered")
+        self._tables[key] = table
+
+    def attach(self, directory: "str | os.PathLike", name: Optional[str] = None) -> StoredTable:
+        """Attach an existing stored table from *directory*."""
+        stored = StoredTable(directory)
+        self.register(stored, name)
+        return stored
+
+    def drop(self, name: str) -> None:
+        """Forget a table (never deletes files)."""
+        if name not in self._tables:
+            raise QueryError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, name: str) -> StoredTable:
+        """Persist an in-memory table into the catalog directory and swap
+        the registration to its disk-backed form."""
+        if self.directory is None:
+            raise StorageError("this catalog has no backing directory")
+        table = self.table(name)
+        if isinstance(table, StoredTable):
+            return table
+        target = os.path.join(self.directory, name)
+        os.makedirs(self.directory, exist_ok=True)
+        save_table(table, target)
+        stored = StoredTable(target)
+        self._tables[name] = stored
+        return stored
+
+    # -- access -------------------------------------------------------------------
+
+    def table(self, name: str) -> _AnyTable:
+        if name not in self._tables:
+            raise QueryError(
+                f"unknown table {name!r}; catalog has {self.names()}"
+            )
+        return self._tables[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- querying ------------------------------------------------------------------
+
+    def query(self, name: str) -> Query:
+        """A fluent :class:`~repro.engine.query.Query` over one table."""
+        return Query(self.table(name))
+
+    def sql(self, statement: str) -> GroupByResult:
+        """Run a SQL statement against the catalog's tables."""
+        return execute_sql(statement, self._tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = f" @ {self.directory}" if self.directory else ""
+        return f"Catalog({self.names()}{backing})"

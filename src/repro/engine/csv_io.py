@@ -1,0 +1,149 @@
+"""CSV ingestion and export for engine tables.
+
+Real columns arrive as CSV more often than as anything else.  This module
+loads a CSV into a :class:`~repro.engine.table.Table` with simple type
+inference (int64 -> float64 -> string, widening on conflict) and writes
+tables back out, so the quantile machinery can be pointed at ordinary
+data files::
+
+    table = load_csv("trades.csv")
+    execute_sql("SELECT MEDIAN(price) FROM t GROUP BY symbol", {"t": table})
+
+Only the standard library ``csv`` module is used; delimiters and headers
+are configurable, values are never evaluated as code.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, StorageError
+from .table import Table
+from .types import DataType, Field, Schema
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def _classify(text: str) -> DataType:
+    """The narrowest type that can hold *text*."""
+    try:
+        int(text)
+        return DataType.INT64
+    except ValueError:
+        pass
+    try:
+        float(text)
+        return DataType.FLOAT64
+    except ValueError:
+        return DataType.STRING
+
+
+_WIDEN = {
+    (DataType.INT64, DataType.FLOAT64): DataType.FLOAT64,
+    (DataType.FLOAT64, DataType.INT64): DataType.FLOAT64,
+}
+
+
+def _merge(a: "DataType | None", b: DataType) -> DataType:
+    if a is None or a is b:
+        return b
+    return _WIDEN.get((a, b), DataType.STRING)
+
+
+def load_csv(
+    path: "str | os.PathLike",
+    *,
+    table_name: Optional[str] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+) -> Table:
+    """Load a CSV file as an engine table with inferred column types.
+
+    Empty cells become ``nan`` in float columns, ``0`` in integer columns
+    that never see a decimal point (they widen to float if mixed), and
+    empty strings in string columns.  A ragged row raises
+    :class:`~repro.core.errors.StorageError` with its line number.
+    """
+    path = os.fspath(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        rows = [row for row in reader if row]  # skip fully blank lines
+    if not rows:
+        raise StorageError(f"{path}: empty CSV")
+    if has_header:
+        header, rows = rows[0], rows[1:]
+    elif column_names is not None:
+        header = list(column_names)
+    else:
+        header = [f"c{i}" for i in range(len(rows[0]))]
+    if column_names is not None and has_header:
+        header = list(column_names)
+    if len(set(header)) != len(header):
+        raise StorageError(f"{path}: duplicate column names in {header}")
+    if not rows:
+        raise StorageError(f"{path}: CSV has a header but no data rows")
+    width = len(header)
+    for line_no, row in enumerate(rows, start=2 if has_header else 1):
+        if len(row) != width:
+            raise StorageError(
+                f"{path}:{line_no}: expected {width} fields, got {len(row)}"
+            )
+
+    # type inference over non-empty cells, column by column
+    dtypes: List["DataType | None"] = [None] * width
+    for row in rows:
+        for i, cell in enumerate(row):
+            if cell != "" and dtypes[i] is not DataType.STRING:
+                dtypes[i] = _merge(dtypes[i], _classify(cell))
+    columns: Dict[str, Any] = {}
+    fields = []
+    for i, name in enumerate(header):
+        dtype = dtypes[i] or DataType.STRING
+        raw = [row[i] for row in rows]
+        if dtype is DataType.STRING:
+            columns[name] = raw
+        elif dtype is DataType.INT64:
+            if any(cell == "" for cell in raw):
+                dtype = DataType.FLOAT64  # NaN needs a float column
+            else:
+                columns[name] = np.array([int(c) for c in raw], dtype=np.int64)
+        if dtype is DataType.FLOAT64:
+            columns[name] = np.array(
+                [float(c) if c != "" else np.nan for c in raw],
+                dtype=np.float64,
+            )
+        fields.append(Field(name, dtype))
+    name = table_name or os.path.splitext(os.path.basename(path))[0]
+    return Table(name, Schema(fields), columns)
+
+
+def save_csv(
+    table: Table,
+    path: "str | os.PathLike",
+    *,
+    delimiter: str = ",",
+) -> None:
+    """Write *table* to *path* as a headered CSV."""
+    if table.n_rows == 0:
+        raise ConfigurationError("refusing to write an empty table")
+    names = table.schema.names()
+    with open(os.fspath(path), "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(names)
+        data = [table.column(n) for n in names]
+        for i in range(table.n_rows):
+            row = []
+            for column in data:
+                value = column[i]
+                if isinstance(value, str):
+                    row.append(value)
+                elif isinstance(value, (np.integer, int)):
+                    row.append(int(value))
+                else:
+                    row.append(repr(float(value)))
+            writer.writerow(row)

@@ -1,0 +1,193 @@
+"""Predicate expressions for scans (the WHERE clause).
+
+A tiny vectorised expression tree: column references, literals, the six
+comparisons, and AND / OR / NOT.  ``evaluate(chunk)`` returns a boolean
+numpy mask over the chunk's rows, so filtering stays a streaming,
+single-pass operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+import numpy as np
+
+from ..core.errors import QueryError
+from .table import Chunk
+
+__all__ = ["Expression", "col", "lit", "Column", "Literal", "Comparison", "BooleanOp", "Not"]
+
+
+class Expression:
+    """Base class; builds comparisons/boolean combinators via operators."""
+
+    def evaluate(self, chunk: Chunk) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """All column names the expression reads (for scan projection)."""
+        raise NotImplementedError
+
+    # comparisons build predicate nodes
+    def __eq__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "==")
+
+    def __ne__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "!=")
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<")
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<=")
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">")
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">=")
+
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp(self, other, "and")
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp(self, other, "or")
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    __hash__ = None  # type: ignore[assignment]  # == is overloaded
+
+
+def _wrap(value: Any) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Column(Expression):
+    """A reference to a table column."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, chunk: Chunk) -> Any:
+        return chunk[self.name]
+
+    def columns(self) -> List[str]:
+        return [self.name]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value (number or string)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, chunk: Chunk) -> Any:
+        return self.value
+
+    def columns(self) -> List[str]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_COMPARATORS: "dict[str, Callable[[Any, Any], Any]]" = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _as_mask(values: Any, n_rows: int) -> np.ndarray:
+    """Normalise comparison output to a boolean numpy mask."""
+    if isinstance(values, np.ndarray):
+        return values.astype(bool)
+    if isinstance(values, list):
+        return np.asarray(values, dtype=bool)
+    # scalar broadcast (e.g. comparing two literals)
+    return np.full(n_rows, bool(values))
+
+
+class Comparison(Expression):
+    """``left <op> right`` evaluated element-wise."""
+
+    def __init__(self, left: Expression, right: Expression, op: str) -> None:
+        if op not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        lhs = self.left.evaluate(chunk)
+        rhs = self.right.evaluate(chunk)
+        if isinstance(lhs, list) and not isinstance(rhs, (list, np.ndarray)):
+            result = [_COMPARATORS[self.op](v, rhs) for v in lhs]
+        elif isinstance(rhs, list) and not isinstance(lhs, (list, np.ndarray)):
+            result = [_COMPARATORS[self.op](lhs, v) for v in rhs]
+        else:
+            result = _COMPARATORS[self.op](lhs, rhs)
+        return _as_mask(result, chunk.n_rows)
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """``left AND/OR right`` over boolean masks."""
+
+    def __init__(self, left: Expression, right: Expression, op: str) -> None:
+        if op not in ("and", "or"):
+            raise QueryError(f"unsupported boolean operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        lhs = _as_mask(self.left.evaluate(chunk), chunk.n_rows)
+        rhs = _as_mask(self.right.evaluate(chunk), chunk.n_rows)
+        return lhs & rhs if self.op == "and" else lhs | rhs
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Not(Expression):
+    """Boolean negation of a predicate."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return ~_as_mask(self.operand.evaluate(chunk), chunk.n_rows)
+
+    def columns(self) -> List[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+def col(name: str) -> Column:
+    """Reference a column in a predicate: ``col("price") > 10``."""
+    return Column(name)
+
+
+def lit(value: Any) -> Literal:
+    """An explicit literal (usually inferred automatically)."""
+    return Literal(value)

@@ -1,0 +1,235 @@
+"""Fluent query builder over engine tables.
+
+The programmatic counterpart of the SQL front-end::
+
+    result = (
+        Query(trades)
+        .where(col("price") > 0)
+        .group_by("symbol")
+        .aggregate(
+            median("price", epsilon=0.005),
+            quantile("price", 0.99, epsilon=0.005),
+            count(),
+        )
+        .execute()
+    )
+
+Execution is one chunked pass: scan -> filter -> group/aggregate, with all
+quantile aggregates answered by bounded-memory sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from ..core.errors import QueryError
+from .expressions import Expression
+from .groupby import Aggregate, GroupByResult, execute_group_by
+from .storage import StoredTable
+from .table import Table
+
+__all__ = ["Query"]
+
+_SourceTable = Union[Table, StoredTable]
+
+
+class Query:
+    """A single-pass aggregation query against a (stored or in-memory) table."""
+
+    def __init__(self, table: _SourceTable) -> None:
+        self.table = table
+        self._predicate: Optional[Expression] = None
+        self._group_by: List[str] = []
+        self._aggregates: List[Aggregate] = []
+        self._having: Optional[Expression] = None
+        self._order_by: List[tuple] = []  # (column, descending)
+        self._limit: Optional[int] = None
+        self._projection: Optional[List[str]] = None
+
+    def where(self, predicate: Expression) -> "Query":
+        """Filter rows by *predicate* (combines with AND if called twice)."""
+        for name in predicate.columns():
+            self.table.schema[name]  # raises on unknown column
+        if self._predicate is None:
+            self._predicate = predicate
+        else:
+            self._predicate = self._predicate & predicate
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Plain projection: return rows of *columns* (no aggregation).
+
+        Mutually exclusive with :meth:`aggregate` / :meth:`group_by`.
+        ``select("*")`` (or no arguments) selects every column.  Combine
+        with :meth:`where`, :meth:`order_by` and :meth:`limit`; with a
+        LIMIT and no ORDER BY the scan stops early.
+        """
+        if not columns or columns == ("*",):
+            names = self.table.schema.names()
+        else:
+            names = list(columns)
+            for name in names:
+                self.table.schema[name]
+        self._projection = names
+        return self
+
+    def group_by(self, *columns: str) -> "Query":
+        """Group rows by the given key columns."""
+        for name in columns:
+            self.table.schema[name]
+        self._group_by = list(columns)
+        return self
+
+    def aggregate(self, *aggregates: Aggregate) -> "Query":
+        """Set the aggregate output columns."""
+        for agg in aggregates:
+            if agg.column is not None:
+                field = self.table.schema[agg.column]
+                if not field.dtype.is_numeric and agg.kind != "count":
+                    raise QueryError(
+                        f"{agg.kind.upper()} needs a numeric column, "
+                        f"{agg.column!r} is {field.dtype.value}"
+                    )
+        self._aggregates = list(aggregates)
+        return self
+
+    def having(self, predicate: Expression) -> "Query":
+        """Filter *result rows* by a predicate over group keys and
+        aggregate output columns (reference aggregates by their alias)."""
+        if self._having is None:
+            self._having = predicate
+        else:
+            self._having = self._having & predicate
+        return self
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        """Sort result rows by an output column (stack for tie-breaks)."""
+        self._order_by.append((column, descending))
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Keep only the first *n* result rows (after ordering)."""
+        if n < 0:
+            raise QueryError(f"LIMIT must be non-negative, got {n}")
+        self._limit = n
+        return self
+
+    def _postprocess(self, result: GroupByResult) -> GroupByResult:
+        rows = result.rows
+        if self._having is not None and rows:
+            available = set(rows[0])
+            for name in self._having.columns():
+                if name not in available:
+                    raise QueryError(
+                        f"HAVING references unknown output column {name!r}; "
+                        f"available: {sorted(available)}"
+                    )
+            from .table import Chunk
+
+            chunk = Chunk(
+                columns={
+                    name: [row[name] for row in rows] for name in rows[0]
+                },
+                n_rows=len(rows),
+            )
+            mask = self._having.evaluate(chunk)
+            rows = [row for row, keep in zip(rows, mask) if keep]
+        for column, descending in reversed(self._order_by):
+            if rows and column not in rows[0]:
+                raise QueryError(
+                    f"ORDER BY references unknown output column {column!r}"
+                )
+            rows = sorted(rows, key=lambda r: r[column], reverse=descending)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        result.rows = rows
+        return result
+
+    def _scan_columns(self) -> List[str]:
+        needed = set(self._group_by)
+        for agg in self._aggregates:
+            if agg.column is not None:
+                needed.add(agg.column)
+        if self._predicate is not None:
+            needed.update(self._predicate.columns())
+        return [n for n in self.table.schema.names() if n in needed]
+
+    def _execute_projection(
+        self, chunk_size: Optional[int]
+    ) -> GroupByResult:
+        assert self._projection is not None
+        needed = list(self._projection)
+        if self._predicate is not None:
+            for name in self._predicate.columns():
+                if name not in needed:
+                    needed.append(name)
+        for column, _desc in self._order_by:
+            if column not in self._projection:
+                raise QueryError(
+                    f"ORDER BY references unselected column {column!r}"
+                )
+        scan_kwargs: dict = {"columns": needed}
+        if chunk_size is not None:
+            scan_kwargs["chunk_size"] = chunk_size
+        result = GroupByResult(
+            group_columns=[], aggregate_names=list(self._projection)
+        )
+        can_stop_early = self._limit is not None and not self._order_by
+        for chunk in self.table.scan(**scan_kwargs):
+            result.n_rows_scanned += chunk.n_rows
+            if self._predicate is not None:
+                chunk = chunk.take(self._predicate.evaluate(chunk))
+            for i in range(chunk.n_rows):
+                row = {}
+                for name in self._projection:
+                    value = chunk[name][i]
+                    row[name] = value if isinstance(value, str) else value.item()
+                result.rows.append(row)
+                if can_stop_early and len(result.rows) >= self._limit:
+                    break
+            if can_stop_early and len(result.rows) >= self._limit:
+                break
+        for column, descending in reversed(self._order_by):
+            result.rows = sorted(
+                result.rows, key=lambda r: r[column], reverse=descending
+            )
+        if self._limit is not None:
+            result.rows = result.rows[: self._limit]
+        return result
+
+    def execute(self, chunk_size: Optional[int] = None) -> GroupByResult:
+        """Run the query in one pass over the table."""
+        if self._projection is not None:
+            if self._aggregates or self._group_by or self._having is not None:
+                raise QueryError(
+                    "select() projections cannot be combined with "
+                    "aggregate()/group_by()/having()"
+                )
+            return self._execute_projection(chunk_size)
+        if not self._aggregates:
+            raise QueryError(
+                "query has no aggregates; call .aggregate(...) or .select(...)"
+            )
+        columns = self._scan_columns()
+        scan_kwargs: dict = {"columns": columns or None}
+        if chunk_size is not None:
+            scan_kwargs["chunk_size"] = chunk_size
+        chunks = self.table.scan(**scan_kwargs)
+        if self._predicate is not None:
+            predicate = self._predicate
+
+            def filtered():
+                for chunk in chunks:
+                    mask = predicate.evaluate(chunk)
+                    yield chunk.take(mask)
+
+            source: Any = filtered()
+        else:
+            source = chunks
+        result = execute_group_by(
+            source,
+            self._group_by,
+            self._aggregates,
+            n_hint=len(self.table),
+        )
+        return self._postprocess(result)

@@ -1,0 +1,155 @@
+"""In-memory tables and chunked scans for the miniature column engine.
+
+A :class:`Table` is a schema plus one array per column.  The only read
+path is :meth:`Table.scan` -- a forward, chunked, single-pass iterator --
+because the whole point of the reproduction is algorithms that live with
+exactly that access pattern (Section 1.2: one pass, GROUP BY-compatible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .types import DataType, Field, Schema
+
+__all__ = ["Chunk", "Table"]
+
+DEFAULT_SCAN_CHUNK = 1 << 14
+
+
+@dataclass
+class Chunk:
+    """One block of rows from a scan: column name -> values.
+
+    Numeric columns are numpy slices; string columns are Python lists.
+    All columns in a chunk have equal length.
+    """
+
+    columns: Dict[str, Any]
+    n_rows: int
+
+    def __getitem__(self, name: str) -> Any:
+        if name not in self.columns:
+            raise ConfigurationError(
+                f"chunk has no column {name!r}; has {sorted(self.columns)}"
+            )
+        return self.columns[name]
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def take(self, mask: np.ndarray) -> "Chunk":
+        """Row-filter the chunk by a boolean *mask*."""
+        if len(mask) != self.n_rows:
+            raise ConfigurationError(
+                f"mask length {len(mask)} != chunk rows {self.n_rows}"
+            )
+        cols: Dict[str, Any] = {}
+        for name, values in self.columns.items():
+            if isinstance(values, np.ndarray):
+                cols[name] = values[mask]
+            else:
+                cols[name] = [v for v, keep in zip(values, mask) if keep]
+        return Chunk(columns=cols, n_rows=int(mask.sum()))
+
+
+class Table:
+    """A named, schema-typed, column-oriented table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, Any],
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._columns: Dict[str, Any] = {}
+        n_rows: Optional[int] = None
+        for field in schema:
+            if field.name not in columns:
+                raise ConfigurationError(
+                    f"missing data for column {field.name!r}"
+                )
+            data = columns[field.name]
+            if field.dtype.is_numeric:
+                arr = np.asarray(data, dtype=field.dtype.numpy_dtype)
+                if arr.ndim != 1:
+                    raise ConfigurationError(
+                        f"column {field.name!r} must be 1-d"
+                    )
+                self._columns[field.name] = arr
+                length = len(arr)
+            else:
+                lst = [str(v) for v in data]
+                self._columns[field.name] = lst
+                length = len(lst)
+            if n_rows is None:
+                n_rows = length
+            elif n_rows != length:
+                raise ConfigurationError(
+                    f"column {field.name!r} has {length} rows, "
+                    f"expected {n_rows}"
+                )
+        self.n_rows = n_rows or 0
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls, name: str, data: Mapping[str, Any]
+    ) -> "Table":
+        """Build a table, inferring column types from the values."""
+        fields = []
+        for col_name, values in data.items():
+            fields.append(Field(col_name, DataType.infer(values)))
+        return cls(name, Schema(fields), data)
+
+    # -- access ------------------------------------------------------------------
+
+    def column(self, name: str) -> Any:
+        """The full column array (tests / exact baselines only)."""
+        self.schema[name]  # raises on unknown column
+        return self._columns[name]
+
+    def scan(
+        self,
+        chunk_size: int = DEFAULT_SCAN_CHUNK,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Iterator[Chunk]:
+        """Single forward pass over the rows in blocks of *chunk_size*."""
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        names = list(columns) if columns is not None else self.schema.names()
+        for n in names:
+            self.schema[n]  # validate
+        for start in range(0, self.n_rows, chunk_size):
+            stop = min(start + chunk_size, self.n_rows)
+            cols: Dict[str, Any] = {}
+            for n in names:
+                data = self._columns[n]
+                cols[n] = data[start:stop]
+            yield Chunk(columns=cols, n_rows=stop - start)
+
+    def head(self, n: int = 5) -> List[Dict[str, Any]]:
+        """The first *n* rows as dictionaries (debugging convenience)."""
+        out = []
+        for i in range(min(n, self.n_rows)):
+            row = {}
+            for field in self.schema:
+                value = self._columns[field.name][i]
+                row[field.name] = (
+                    value if isinstance(value, str) else value.item()
+                )
+            out.append(row)
+        return out
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.n_rows}, {self.schema!r})"

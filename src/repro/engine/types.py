@@ -1,0 +1,113 @@
+"""Schema types for the miniature column engine.
+
+The engine exists to exercise the paper's database context: one-pass
+GROUP BY aggregation with ``QUANTILE``/``MEDIAN`` column functions
+(Sections 1.2 and 7).  It supports the three column types that scenario
+needs -- 64-bit floats, 64-bit integers, and strings (group keys).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["DataType", "Field", "Schema"]
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the engine."""
+
+    FLOAT64 = "float64"
+    INT64 = "int64"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> "np.dtype | None":
+        if self is DataType.FLOAT64:
+            return np.dtype("<f8")
+        if self is DataType.INT64:
+            return np.dtype("<i8")
+        return None  # strings are stored as Python lists / object arrays
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is not DataType.STRING
+
+    @classmethod
+    def infer(cls, values: Any) -> "DataType":
+        """Infer a column type from sample values."""
+        if isinstance(values, np.ndarray):
+            if values.dtype.kind == "f":
+                return cls.FLOAT64
+            if values.dtype.kind in "iu":
+                return cls.INT64
+            return cls.STRING
+        for v in values:
+            if isinstance(v, str):
+                return cls.STRING
+            if isinstance(v, (bool, np.bool_)):
+                raise ConfigurationError("boolean columns are not supported")
+            if isinstance(v, (float, np.floating)):
+                return cls.FLOAT64
+            if isinstance(v, (int, np.integer)):
+                return cls.INT64
+        raise ConfigurationError("cannot infer a column type from no values")
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column slot in a schema."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ConfigurationError(
+                f"column names must be alphanumeric/underscore, got "
+                f"{self.name!r}"
+            )
+
+
+class Schema:
+    """An ordered collection of :class:`Field` with name lookup."""
+
+    def __init__(self, fields: Sequence[Field]) -> None:
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate column names in {names}")
+        if not fields:
+            raise ConfigurationError("a schema needs at least one column")
+        self.fields: List[Field] = list(fields)
+        self._by_name = {f.name: f for f in self.fields}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Field:
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"unknown column {name!r}; schema has {self.names()}"
+            )
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{f.name}:{f.dtype.value}" for f in self.fields)
+        return f"Schema({cols})"

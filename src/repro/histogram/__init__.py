@@ -1,0 +1,27 @@
+"""Equi-depth histograms and selectivity estimation (Section 1.1)."""
+
+from .compressed import (
+    CompressedHistogram,
+    MisraGries,
+    build_compressed_histogram,
+)
+from .equidepth import EquiDepthHistogram, build_histogram
+from .equiwidth import EquiWidthHistogram, build_equiwidth_histogram
+from .selectivity import (
+    SelectivityResult,
+    selectivity_experiment,
+    true_selectivity,
+)
+
+__all__ = [
+    "EquiDepthHistogram",
+    "build_histogram",
+    "CompressedHistogram",
+    "MisraGries",
+    "build_compressed_histogram",
+    "EquiWidthHistogram",
+    "build_equiwidth_histogram",
+    "SelectivityResult",
+    "selectivity_experiment",
+    "true_selectivity",
+]

@@ -1,0 +1,17 @@
+"""Value-range partitioning and simulated distributed sort (Section 1.1)."""
+
+from .parallel_sort import NodeResult, SortResult, simulate_parallel_sort
+from .splitters import (
+    PartitionReport,
+    compute_splitters,
+    partition_by_splitters,
+)
+
+__all__ = [
+    "compute_splitters",
+    "partition_by_splitters",
+    "PartitionReport",
+    "simulate_parallel_sort",
+    "SortResult",
+    "NodeResult",
+]

@@ -1,0 +1,109 @@
+"""Splitter generation for value-range data partitioning (Section 1.1).
+
+*"Parallel database systems employ value range data partitioning that
+requires generation of splitters to divide the data into approximately
+equal parts.  Distributed parallel sorting can also use splitter values to
+assign data elements to the nodes where they will be sorted."* (citing
+DeWitt, Naughton & Schneider [6])
+
+A splitter vector for ``p`` partitions is exactly the ``i/p``-quantile
+vector, so one pass of the MRL framework yields splitters whose partition
+sizes are guaranteed within ``epsilon * N`` of the ideal ``N / p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, EmptySummaryError
+from ..core.sketch import QuantileSketch
+
+__all__ = ["compute_splitters", "partition_by_splitters", "PartitionReport"]
+
+
+def compute_splitters(
+    data: "np.ndarray | Sequence[float]",
+    n_partitions: int,
+    epsilon: float,
+    *,
+    policy: str = "new",
+    sketch: Optional[QuantileSketch] = None,
+) -> List[float]:
+    """``n_partitions - 1`` splitter values from one pass over *data*.
+
+    Each splitter is an ``epsilon``-approximate ``i/p``-quantile, so every
+    resulting partition holds between ``N/p - 2 eps N`` and
+    ``N/p + 2 eps N`` elements (adjacent splitters can each err by
+    ``eps N``, in opposite directions).
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise EmptySummaryError("cannot compute splitters of no data")
+    if n_partitions < 2:
+        raise ConfigurationError(
+            f"need >= 2 partitions, got {n_partitions}"
+        )
+    if sketch is None:
+        sketch = QuantileSketch(epsilon, n=len(arr), policy=policy)
+        sketch.extend(arr)
+    splitters = [float(v) for v in sketch.equidepth_boundaries(n_partitions)]
+    splitters.sort()
+    return splitters
+
+
+def partition_by_splitters(
+    data: "np.ndarray | Sequence[float]", splitters: Sequence[float]
+) -> List[np.ndarray]:
+    """Route *data* into ``len(splitters) + 1`` ranges (second pass).
+
+    Element ``x`` goes to partition ``i`` where ``splitters[i-1] < x <=
+    splitters[i]`` (ties stay left so duplicated splitter values do not
+    spill everything rightward).
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    cuts = np.asarray(sorted(splitters), dtype=np.float64)
+    assignment = np.searchsorted(cuts, arr, side="left")
+    return [arr[assignment == i] for i in range(len(cuts) + 1)]
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Balance diagnostics for one partitioning."""
+
+    sizes: List[int]
+    n: int
+
+    @property
+    def ideal(self) -> float:
+        return self.n / len(self.sizes)
+
+    @property
+    def max_size(self) -> int:
+        return max(self.sizes)
+
+    @property
+    def min_size(self) -> int:
+        return min(self.sizes)
+
+    @property
+    def imbalance(self) -> float:
+        """Worst deviation from the ideal size, as a fraction of N.
+
+        This is the quantity the splitter guarantee bounds by
+        ``2 * epsilon``.
+        """
+        return max(abs(s - self.ideal) for s in self.sizes) / self.n
+
+    @property
+    def skew(self) -> float:
+        """``max partition / ideal`` -- the classic parallel-sort skew
+        factor (1.0 is perfect)."""
+        return self.max_size / self.ideal
+
+    @classmethod
+    def from_partitions(cls, partitions: Sequence[np.ndarray]) -> "PartitionReport":
+        sizes = [len(p) for p in partitions]
+        return cls(sizes=sizes, n=sum(sizes))

@@ -1,0 +1,40 @@
+"""Workload generators, combinators, and disk-resident streams (§1.2, §6)."""
+
+from .combinators import concat, interleave, repeat, take, transform
+from .file_stream import FileStream, write_stream
+from .generators import (
+    DEFAULT_CHUNK,
+    STANDARD_ORDERS,
+    DataStream,
+    alternating_extremes_stream,
+    clustered_stream,
+    correlated_stream,
+    normal_stream,
+    random_permutation_stream,
+    reverse_sorted_stream,
+    sorted_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__all__ = [
+    "DataStream",
+    "FileStream",
+    "write_stream",
+    "sorted_stream",
+    "reverse_sorted_stream",
+    "random_permutation_stream",
+    "uniform_stream",
+    "normal_stream",
+    "zipf_stream",
+    "clustered_stream",
+    "correlated_stream",
+    "alternating_extremes_stream",
+    "STANDARD_ORDERS",
+    "DEFAULT_CHUNK",
+    "concat",
+    "interleave",
+    "take",
+    "repeat",
+    "transform",
+]

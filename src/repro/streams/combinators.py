@@ -1,0 +1,143 @@
+"""Stream combinators: build compound workloads from simple ones.
+
+The evaluation's arrival orders (Section 1.2) are rarely pure in practice:
+a real table is *mostly* sorted with a shuffled tail, or several sorted
+partitions concatenated, or two sources interleaved by a merge operator.
+These combinators compose :class:`~repro.streams.generators.DataStream`
+objects into such shapes while keeping every property the consumers rely
+on -- deterministic replay, chunked single-pass iteration, exact
+quantiles via a one-off sort.
+
+* :func:`concat` -- one stream after another (partitioned tables);
+* :func:`interleave` -- block-wise round-robin (merge-join-ish arrival);
+* :func:`take` / :func:`repeat` -- prefixes and periodic re-arrival;
+* :func:`transform` -- apply a deterministic element-wise function
+  (unit conversions, jitter with a seeded RNG).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .generators import DataStream
+
+__all__ = ["concat", "interleave", "take", "repeat", "transform"]
+
+
+def _segmented(
+    name: str,
+    segments: "List[tuple[DataStream, int, int]]",
+) -> DataStream:
+    """A stream reading ``(source, src_start, length)`` segments in order."""
+    total = sum(length for _s, _o, length in segments)
+    offsets = []
+    pos = 0
+    for _source, _src_start, length in segments:
+        offsets.append(pos)
+        pos += length
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        out = np.empty(stop - start, dtype=np.float64)
+        written = 0
+        pos = start
+        for (source, src_start, length), seg_off in zip(segments, offsets):
+            if pos >= seg_off + length or pos >= stop:
+                continue
+            if stop <= seg_off:
+                break
+            lo = max(pos, seg_off)
+            hi = min(stop, seg_off + length)
+            if hi <= lo:
+                continue
+            src_lo = src_start + (lo - seg_off)
+            src_hi = src_start + (hi - seg_off)
+            piece = source._chunk_fn(src_lo, src_hi)
+            out[written : written + (hi - lo)] = piece
+            written += hi - lo
+            pos = hi
+        return out[:written] if written != stop - start else out
+
+    return DataStream(name, total, chunk_fn)
+
+
+def concat(*streams: DataStream) -> DataStream:
+    """The streams back to back -- a partitioned table read in order."""
+    if not streams:
+        raise ConfigurationError("concat needs at least one stream")
+    segments = [(s, 0, s.n) for s in streams]
+    name = "+".join(s.name for s in streams)
+    return _segmented(f"concat({name})", segments)
+
+
+def interleave(
+    streams: Sequence[DataStream], block: int = 1024
+) -> DataStream:
+    """Round-robin blocks of *block* elements from each stream.
+
+    Models a merge operator consuming several ordered runs: locally each
+    run is in its own order, globally they alternate.
+    """
+    if not streams:
+        raise ConfigurationError("interleave needs at least one stream")
+    if block < 1:
+        raise ConfigurationError("block must be >= 1")
+    segments: List[tuple] = []
+    cursors = [0] * len(streams)
+    exhausted = 0
+    while exhausted < len(streams):
+        exhausted = 0
+        for i, stream in enumerate(streams):
+            remaining = stream.n - cursors[i]
+            if remaining <= 0:
+                exhausted += 1
+                continue
+            taken = min(block, remaining)
+            segments.append((stream, cursors[i], taken))
+            cursors[i] += taken
+    name = "|".join(s.name for s in streams)
+    return _segmented(f"interleave({name})", segments)
+
+
+def take(stream: DataStream, n: int) -> DataStream:
+    """The first *n* elements of *stream* (a table prefix)."""
+    if not 1 <= n <= stream.n:
+        raise ConfigurationError(
+            f"take needs 1 <= n <= {stream.n}, got {n}"
+        )
+    return _segmented(f"take({stream.name},{n})", [(stream, 0, n)])
+
+
+def repeat(stream: DataStream, times: int) -> DataStream:
+    """The stream played *times* times in a row (periodic re-arrival)."""
+    if times < 1:
+        raise ConfigurationError(f"times must be >= 1, got {times}")
+    segments = [(stream, 0, stream.n) for _ in range(times)]
+    return _segmented(f"repeat({stream.name},{times})", segments)
+
+
+def transform(
+    stream: DataStream,
+    fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    name: str = "transform",
+) -> DataStream:
+    """Apply an element-wise, deterministic *fn* to every chunk.
+
+    *fn* must be pure and length-preserving (it is re-invoked on replay,
+    so randomness must be seeded from the data or avoided).
+    """
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        out = np.asarray(
+            fn(stream._chunk_fn(start, stop)), dtype=np.float64
+        )
+        if len(out) != stop - start:
+            raise ConfigurationError(
+                "transform functions must preserve chunk length"
+            )
+        return out
+
+    return DataStream(f"{name}({stream.name})", stream.n, chunk_fn)

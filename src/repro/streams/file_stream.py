@@ -1,0 +1,130 @@
+"""Disk-resident streams: the paper's "large online or disk-resident data".
+
+The evaluation targets datasets far larger than main memory.  This module
+provides a tiny, self-contained binary stream format so the library can be
+exercised against genuinely disk-resident inputs:
+
+* a fixed 32-byte header (magic, version, element count, checksum salt);
+* little-endian ``float64`` payload, written and read in blocks.
+
+:func:`write_stream` spools any iterable of chunks to disk;
+:class:`FileStream` reads it back block-by-block and plugs into the same
+consumers as the in-memory generators (it exposes the ``chunks`` /
+``materialize`` / ``exact_quantile`` interface of
+:class:`~repro.streams.generators.DataStream`).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, StorageError
+from .generators import DEFAULT_CHUNK, DataStream
+
+__all__ = ["write_stream", "FileStream"]
+
+_MAGIC = b"MRLSTRM1"
+_HEADER = struct.Struct("<8sQQQ")  # magic, version, n, reserved
+
+
+def write_stream(
+    path: "str | os.PathLike",
+    chunks: Iterable[np.ndarray],
+) -> int:
+    """Write *chunks* of float64 values to *path*; returns element count."""
+    n = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, 1, 0, 0))  # placeholder count
+        for chunk in chunks:
+            arr = np.ascontiguousarray(chunk, dtype="<f8")
+            if arr.ndim != 1:
+                raise ConfigurationError(
+                    f"stream chunks must be 1-d, got shape {arr.shape}"
+                )
+            fh.write(arr.tobytes())
+            n += len(arr)
+        fh.seek(0)
+        fh.write(_HEADER.pack(_MAGIC, 1, n, 0))
+    return n
+
+
+class FileStream:
+    """A disk-resident float64 stream in the library's binary format.
+
+    Behaves like a :class:`~repro.streams.generators.DataStream`: yields
+    numpy chunks in a single forward pass and can compute exact quantiles
+    (by materialising once -- only tests and baselines do that).
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = os.fspath(path)
+        with open(self.path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                raise StorageError(f"{self.path}: truncated header")
+            magic, version, n, _reserved = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise StorageError(
+                    f"{self.path}: bad magic {magic!r} (not an MRL stream)"
+                )
+            if version != 1:
+                raise StorageError(f"{self.path}: unsupported version {version}")
+            payload = os.path.getsize(self.path) - _HEADER.size
+            if payload != n * 8:
+                raise StorageError(
+                    f"{self.path}: header says {n} elements but payload holds "
+                    f"{payload // 8}"
+                )
+        self.n = int(n)
+        self.name = f"file:{os.path.basename(self.path)}"
+        self._sorted_cache: Optional[np.ndarray] = None
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[np.ndarray]:
+        """Yield the file contents in blocks of *chunk_size* elements."""
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        with open(self.path, "rb") as fh:
+            fh.seek(_HEADER.size)
+            remaining = self.n
+            while remaining > 0:
+                take = min(chunk_size, remaining)
+                raw = fh.read(take * 8)
+                if len(raw) != take * 8:
+                    raise StorageError(f"{self.path}: truncated payload")
+                yield np.frombuffer(raw, dtype="<f8")
+                remaining -= take
+
+    def materialize(self) -> np.ndarray:
+        return np.concatenate(list(self.chunks()))
+
+    def __iter__(self) -> Iterator[float]:
+        for chunk in self.chunks():
+            yield from chunk
+
+    def __len__(self) -> int:
+        return self.n
+
+    def exact_quantile(self, phi: float) -> float:
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(self.materialize())
+        import math
+
+        rank = min(max(math.ceil(phi * self.n), 1), self.n)
+        return float(self._sorted_cache[rank - 1])
+
+    def exact_quantiles(self, phis: Sequence[float]) -> List[float]:
+        return [self.exact_quantile(phi) for phi in phis]
+
+    @classmethod
+    def from_stream(
+        cls, path: "str | os.PathLike", stream: DataStream
+    ) -> "FileStream":
+        """Spool a generated stream to disk and reopen it as a FileStream."""
+        write_stream(path, stream.chunks())
+        return cls(path)

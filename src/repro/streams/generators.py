@@ -1,0 +1,327 @@
+"""Workload generators: arrival orders and value distributions.
+
+Section 1.2 of the paper stresses that *"arrival orders and value
+distributions are hard to characterize"* -- streams may come from stored
+tables (insert order, clustering) or from intermediate query results (e.g.
+a merge join emits its join column sorted).  Section 6 evaluates on two
+permutations of ranks, **sorted** and **random**; we provide those plus the
+other shapes the introduction worries about so the benchmarks and tests can
+probe the algorithms from every angle:
+
+* :func:`sorted_stream` / :func:`reverse_sorted_stream` -- fully clustered
+  inputs (merge-join outputs, clustered tables);
+* :func:`random_permutation_stream` -- the paper's "random" workload;
+* :func:`clustered_stream` -- sorted runs arriving in shuffled order
+  (a table clustered on a correlated column);
+* :func:`correlated_stream` -- values trending with arrival position;
+* :func:`alternating_extremes_stream` -- an adversarial order that
+  maximises buffer churn;
+* :func:`uniform_stream` / :func:`normal_stream` / :func:`zipf_stream` --
+  value distributions (zipf produces the heavy duplication that exercises
+  tie handling).
+
+Every generator returns a :class:`DataStream`: a named, seeded, repeatable
+source that yields numpy chunks (so multi-gigabyte runs never materialise
+the dataset) and knows its exact quantiles either analytically (rank
+permutations) or by a one-off sort.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "DataStream",
+    "sorted_stream",
+    "reverse_sorted_stream",
+    "random_permutation_stream",
+    "uniform_stream",
+    "normal_stream",
+    "zipf_stream",
+    "clustered_stream",
+    "correlated_stream",
+    "alternating_extremes_stream",
+    "STANDARD_ORDERS",
+]
+
+DEFAULT_CHUNK = 1 << 16
+
+
+class DataStream:
+    """A repeatable, chunked stream of ``float64`` values.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used by benchmarks ("sorted", "random", ...).
+    n:
+        Total number of elements.
+    chunk_fn:
+        ``chunk_fn(start, stop) -> np.ndarray`` producing elements
+        ``start .. stop-1`` of the stream.  Must be deterministic so the
+        stream can be replayed (e.g. to compute exact quantiles).
+    exact_quantile_fn:
+        Optional analytic ``phi -> value`` for the exact quantile (used for
+        rank permutations, where the ``ceil(phi n)``-th smallest value is
+        known in closed form).  When absent, exact quantiles are computed
+        by materialising and sorting once.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        chunk_fn: Callable[[int, int], np.ndarray],
+        exact_quantile_fn: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"stream length must be >= 1, got {n}")
+        self.name = name
+        self.n = n
+        self._chunk_fn = chunk_fn
+        self._exact_quantile_fn = exact_quantile_fn
+        self._sorted_cache: Optional[np.ndarray] = None
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[np.ndarray]:
+        """Yield the stream as consecutive numpy chunks (a single pass)."""
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        for start in range(0, self.n, chunk_size):
+            stop = min(start + chunk_size, self.n)
+            chunk = self._chunk_fn(start, stop)
+            if len(chunk) != stop - start:
+                raise ConfigurationError(
+                    f"stream {self.name!r} produced {len(chunk)} elements "
+                    f"for [{start}, {stop})"
+                )
+            yield chunk
+
+    def materialize(self) -> np.ndarray:
+        """The whole stream as one array (tests / exact baselines only)."""
+        return np.concatenate(list(self.chunks()))
+
+    def __iter__(self) -> Iterator[float]:
+        for chunk in self.chunks():
+            yield from chunk
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- ground truth --------------------------------------------------------
+
+    def exact_quantile(self, phi: float) -> float:
+        """The exact ``phi``-quantile (element at rank ``ceil(phi n)``)."""
+        if not 0.0 <= phi <= 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+        if self._exact_quantile_fn is not None:
+            return self._exact_quantile_fn(phi)
+        if self._sorted_cache is None:
+            self._sorted_cache = np.sort(self.materialize())
+        rank = min(max(math.ceil(phi * self.n), 1), self.n)
+        return float(self._sorted_cache[rank - 1])
+
+    def exact_quantiles(self, phis: Sequence[float]) -> List[float]:
+        return [self.exact_quantile(phi) for phi in phis]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataStream({self.name!r}, n={self.n})"
+
+
+def _rank_quantile(n: int) -> Callable[[float], float]:
+    """Exact quantile for any permutation of ``0 .. n-1``."""
+
+    def fn(phi: float) -> float:
+        rank = min(max(math.ceil(phi * n), 1), n)
+        return float(rank - 1)
+
+    return fn
+
+
+def sorted_stream(n: int) -> DataStream:
+    """``0, 1, ..., n-1`` in order -- the paper's "sorted" permutation."""
+    return DataStream(
+        "sorted",
+        n,
+        lambda start, stop: np.arange(start, stop, dtype=np.float64),
+        exact_quantile_fn=_rank_quantile(n),
+    )
+
+
+def reverse_sorted_stream(n: int) -> DataStream:
+    """``n-1, n-2, ..., 0`` -- fully descending arrival order."""
+    return DataStream(
+        "reverse-sorted",
+        n,
+        lambda start, stop: np.arange(
+            n - 1 - start, n - 1 - stop, -1, dtype=np.float64
+        ),
+        exact_quantile_fn=_rank_quantile(n),
+    )
+
+
+def random_permutation_stream(n: int, seed: int = 0) -> DataStream:
+    """A uniformly random permutation of ``0 .. n-1`` (paper's "random").
+
+    Chunks are generated by replaying a seeded Fisher-Yates-equivalent
+    permutation; the permutation is materialised once lazily (ranks, i.e.
+    8 bytes per element) and sliced per chunk, which keeps replay cheap
+    while staying deterministic.
+    """
+    holder: dict = {}
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        if "perm" not in holder:
+            rng = np.random.default_rng(seed)
+            holder["perm"] = rng.permutation(n).astype(np.float64)
+        return holder["perm"][start:stop]
+
+    return DataStream(
+        "random", n, chunk_fn, exact_quantile_fn=_rank_quantile(n)
+    )
+
+
+def uniform_stream(
+    n: int, low: float = 0.0, high: float = 1.0, seed: int = 0
+) -> DataStream:
+    """I.i.d. uniform values in ``[low, high)``."""
+    if not high > low:
+        raise ConfigurationError("need high > low")
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, start))
+        return rng.uniform(low, high, stop - start)
+
+    return DataStream("uniform", n, chunk_fn)
+
+
+def normal_stream(
+    n: int, mean: float = 0.0, std: float = 1.0, seed: int = 0
+) -> DataStream:
+    """I.i.d. normal values (a bell-shaped column)."""
+    if std <= 0:
+        raise ConfigurationError("std must be positive")
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, start))
+        return rng.normal(mean, std, stop - start)
+
+    return DataStream("normal", n, chunk_fn)
+
+
+def zipf_stream(
+    n: int, exponent: float = 1.3, n_distinct: int = 1000, seed: int = 0
+) -> DataStream:
+    """Zipf-distributed values over ``n_distinct`` items -- heavy duplicates.
+
+    Real column values are highly skewed; a handful of values dominate.
+    This stresses tie handling in the merge/selection code (many equal
+    elements straddling a quantile boundary).
+    """
+    if exponent <= 1.0:
+        raise ConfigurationError("zipf exponent must be > 1")
+    if n_distinct < 1:
+        raise ConfigurationError("need n_distinct >= 1")
+    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
+    pmf = ranks**-exponent
+    pmf /= pmf.sum()
+    cdf = np.cumsum(pmf)
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, start))
+        u = rng.random(stop - start)
+        return np.searchsorted(cdf, u).astype(np.float64)
+
+    return DataStream(f"zipf({exponent})", n, chunk_fn)
+
+
+def clustered_stream(
+    n: int, n_clusters: int = 100, seed: int = 0
+) -> DataStream:
+    """Sorted runs of values arriving in shuffled cluster order.
+
+    Models a table physically clustered on a column correlated with the
+    quantile column (Section 1.2): within each cluster the values ascend;
+    the clusters themselves arrive in random order.
+    """
+    if n_clusters < 1:
+        raise ConfigurationError("need n_clusters >= 1")
+    n_clusters = min(n_clusters, n)
+    rng = np.random.default_rng(seed)
+    cluster_order = rng.permutation(n_clusters)
+    bounds = np.linspace(0, n, n_clusters + 1).astype(np.int64)
+
+    # element i of the stream = the i-th element of the concatenation of
+    # the shuffled clusters, where cluster c holds ranks bounds[c]..bounds[c+1)
+    sizes = np.diff(bounds)
+    shuffled_sizes = sizes[cluster_order]
+    starts = np.concatenate([[0], np.cumsum(shuffled_sizes)[:-1]])
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        out = np.empty(stop - start, dtype=np.float64)
+        pos = start
+        while pos < stop:
+            c = int(np.searchsorted(starts, pos, side="right") - 1)
+            within = pos - starts[c]
+            take = min(stop - pos, int(shuffled_sizes[c]) - within)
+            base = bounds[cluster_order[c]]
+            out[pos - start : pos - start + take] = np.arange(
+                base + within, base + within + take, dtype=np.float64
+            )
+            pos += take
+        return out
+
+    return DataStream(
+        "clustered", n, chunk_fn, exact_quantile_fn=_rank_quantile(n)
+    )
+
+
+def correlated_stream(
+    n: int, trend: float = 1.0, noise: float = 0.1, seed: int = 0
+) -> DataStream:
+    """Values trending upward with arrival position plus noise.
+
+    An intermediate result ordered on a column *correlated* with the
+    aggregated one -- the awkward middle ground between sorted and random
+    that Section 1.2 singles out.
+    """
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((seed, start))
+        idx = np.arange(start, stop, dtype=np.float64) / n
+        return trend * idx + noise * rng.standard_normal(stop - start)
+
+    return DataStream("correlated", n, chunk_fn)
+
+
+def alternating_extremes_stream(n: int) -> DataStream:
+    """``0, n-1, 1, n-2, ...`` -- smallest/largest values alternating.
+
+    An adversarial arrival order: every buffer spans nearly the full value
+    range, maximising the work the collapse selection must absorb.
+    """
+
+    def chunk_fn(start: int, stop: int) -> np.ndarray:
+        i = np.arange(start, stop, dtype=np.int64)
+        low = i // 2
+        high = n - 1 - low
+        return np.where(i % 2 == 0, low, high).astype(np.float64)
+
+    return DataStream(
+        "alternating-extremes", n, chunk_fn, exact_quantile_fn=_rank_quantile(n)
+    )
+
+
+def STANDARD_ORDERS(n: int, seed: int = 0) -> List[DataStream]:
+    """The arrival-order suite used across benchmarks and tests."""
+    return [
+        sorted_stream(n),
+        reverse_sorted_stream(n),
+        random_permutation_stream(n, seed=seed),
+        clustered_stream(n, seed=seed),
+        alternating_extremes_stream(n),
+    ]

@@ -1,0 +1,309 @@
+"""Exact quantiles in two passes with sketch-bounded memory.
+
+Section 2.1 of the paper recalls Munro & Paterson's bound: exact one-pass
+selection needs O(N) memory, and p passes need O(N^(1/p)).  The MRL sketch
+makes the classic two-pass scheme practical with tight constants:
+
+* **Pass 1** summarises the stream with an epsilon-sketch and brackets the
+  target rank: the values at ``phi - epsilon`` and ``phi + epsilon`` are
+  guaranteed (Lemma 5) to enclose the true ``phi``-quantile.
+* **Pass 2** keeps only the elements inside the bracket -- at most
+  ``~4 epsilon N`` of them, since each bracket endpoint's rank is within
+  ``epsilon N`` of its target -- counts how many elements fall below the
+  bracket, and selects the exact answer from the retained slice.
+
+Total memory: ``O((1/eps) log^2(eps N) + eps N)`` elements; minimised at
+``eps ~ sqrt(log(N) / N)``, i.e. roughly ``O~(sqrt(N))`` -- Munro &
+Paterson's p=2 bound, achieved by composing the paper's own sketch with a
+second scan.  :func:`choose_epsilon` picks a near-optimal epsilon
+automatically.
+
+The input must be re-readable (a :class:`~repro.streams.DataStream`, a
+:class:`~repro.streams.FileStream`, an array, or any callable returning a
+fresh chunk iterator) -- that is what "two passes" means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Union
+
+import numpy as np
+
+from .core.errors import ConfigurationError, EmptySummaryError
+from .core.framework import QuantileFramework
+from .core.parameters import optimal_parameters
+
+__all__ = [
+    "TwoPassResult",
+    "MultiPassResult",
+    "exact_quantile_two_pass",
+    "exact_quantile_multipass",
+    "choose_epsilon",
+]
+
+ChunkSource = Union[
+    np.ndarray,
+    Callable[[], Iterable[np.ndarray]],
+]
+
+
+def choose_epsilon(n: int) -> float:
+    """An epsilon balancing sketch memory against pass-2 retention.
+
+    Sketch memory grows like ``(1/eps) log^2(eps n)`` while pass 2 retains
+    ``~4 eps n`` elements; equating the two gives
+    ``eps ~ log(n) / (2 sqrt(n))``.  Clamped to a practical range.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    eps = max(math.log2(max(n, 2)), 1.0) / (2.0 * math.sqrt(n))
+    return float(min(max(eps, 1e-6), 0.25))
+
+
+@dataclass(frozen=True)
+class TwoPassResult:
+    """The exact answer plus the cost accounting of both passes."""
+
+    value: float  #: the exact phi-quantile
+    n: int
+    target_rank: int  #: ceil(phi * n)
+    bracket: "tuple[float, float]"  #: pass-1 value bracket [lo, hi]
+    retained: int  #: elements kept in pass 2
+    sketch_memory: int  #: b*k of the pass-1 sketch
+    epsilon: float
+
+    @property
+    def peak_memory(self) -> int:
+        """Max elements resident at any time across the two passes."""
+        return max(self.sketch_memory, self.retained)
+
+
+def _chunks(source: ChunkSource) -> Iterator[np.ndarray]:
+    if isinstance(source, np.ndarray):
+        yield source
+        return
+    if callable(source):
+        yield from source()
+        return
+    raise ConfigurationError(
+        "source must be a numpy array or a zero-argument callable "
+        "returning chunks (use stream.chunks for DataStream/FileStream)"
+    )
+
+
+def exact_quantile_two_pass(
+    source: "ChunkSource | object",
+    phi: float,
+    *,
+    epsilon: "float | None" = None,
+    n: "int | None" = None,
+) -> TwoPassResult:
+    """The exact ``phi``-quantile of a re-readable stream in two passes.
+
+    *source* may be a numpy array, an object exposing ``chunks()`` and
+    ``n`` (the library's stream types), or a zero-argument callable
+    producing a fresh chunk iterator (in which case *n* is required).
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+    if hasattr(source, "chunks") and hasattr(source, "n"):
+        stream = source
+        total = int(stream.n)
+        make_chunks = stream.chunks  # type: ignore[union-attr]
+    elif isinstance(source, np.ndarray):
+        arr = np.asarray(source, dtype=np.float64)
+        total = len(arr)
+        make_chunks = lambda: iter([arr])  # noqa: E731
+    elif callable(source):
+        if n is None:
+            raise ConfigurationError(
+                "a callable source needs the element count n"
+            )
+        total = int(n)
+        make_chunks = source
+    else:
+        raise ConfigurationError(f"unsupported source {type(source)!r}")
+    if total == 0:
+        raise EmptySummaryError("cannot select from an empty stream")
+
+    eps = choose_epsilon(total) if epsilon is None else float(epsilon)
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"epsilon must be in (0, 0.5), got {eps}")
+
+    # ---- pass 1: bracket the target rank with the sketch -----------------
+    sketch = QuantileFramework.from_accuracy(eps, total)
+    for chunk in make_chunks():
+        sketch.extend(chunk)
+    phi_lo = max(phi - eps, 0.0)
+    phi_hi = min(phi + eps, 1.0)
+    lo, hi = sketch.quantiles([phi_lo, phi_hi])
+    lo, hi = float(min(lo, hi)), float(max(lo, hi))
+    target = min(max(math.ceil(phi * total), 1), total)
+
+    # ---- pass 2: retain the bracket, count below, select exactly ---------
+    below = 0  # elements strictly below the bracket
+    kept: List[np.ndarray] = []
+    for chunk in make_chunks():
+        arr = np.asarray(chunk, dtype=np.float64)
+        below += int((arr < lo).sum())
+        inside = arr[(arr >= lo) & (arr <= hi)]
+        if len(inside):
+            kept.append(inside)
+    retained = int(sum(len(c) for c in kept))
+    if not (below < target <= below + retained):
+        # Lemma 5 guarantees this never happens; a violation means the
+        # source did not replay identically between the passes.
+        raise ConfigurationError(
+            "pass-2 bracket missed the target rank: the source must "
+            "replay the same elements on both passes"
+        )
+    window = np.concatenate(kept)
+    window.partition(target - below - 1)
+    value = float(window[target - below - 1])
+    return TwoPassResult(
+        value=value,
+        n=total,
+        target_rank=target,
+        bracket=(lo, hi),
+        retained=retained,
+        sketch_memory=sketch.memory_elements,
+        epsilon=eps,
+    )
+
+
+@dataclass(frozen=True)
+class MultiPassResult:
+    """The exact answer plus per-pass cost accounting."""
+
+    value: float
+    n: int
+    target_rank: int
+    passes: int  #: scans actually performed (including the final select)
+    windows: "tuple[int, ...]"  #: candidate-set size after each pass
+    peak_memory: int  #: max resident elements at any time
+
+
+def exact_quantile_multipass(
+    source: "ChunkSource | object",
+    phi: float,
+    *,
+    memory_budget: int,
+    n: "int | None" = None,
+    max_passes: int = 64,
+) -> MultiPassResult:
+    """The exact ``phi``-quantile under a hard *memory_budget*, in as many
+    passes as that budget requires.
+
+    Munro & Paterson (Section 2.1 of the paper): exact selection with
+    O(N^(1/p)) memory needs p passes.  This routine realises the trade-off
+    operationally: each pass runs an MRL sketch *within the budget* to
+    shrink the candidate value window; once the surviving candidates fit in
+    the budget, a final filtered pass selects exactly.
+
+    Per pass, a budget of ``M`` elements buys a sketch accuracy of roughly
+    ``eps(M)`` (inverted from the Section 4.5 optimiser), so the candidate
+    set shrinks by a factor ``~2 eps(M)`` each scan -- a few passes suffice
+    even for tiny budgets.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigurationError(f"phi must be in [0, 1], got {phi}")
+    if memory_budget < 8:
+        raise ConfigurationError(
+            f"memory_budget must be >= 8 elements, got {memory_budget}"
+        )
+    if hasattr(source, "chunks") and hasattr(source, "n"):
+        total = int(source.n)
+        make_chunks = source.chunks  # type: ignore[union-attr]
+    elif isinstance(source, np.ndarray):
+        arr = np.asarray(source, dtype=np.float64)
+        total = len(arr)
+        make_chunks = lambda: iter([arr])  # noqa: E731
+    elif callable(source):
+        if n is None:
+            raise ConfigurationError(
+                "a callable source needs the element count n"
+            )
+        total = int(n)
+        make_chunks = source
+    else:
+        raise ConfigurationError(f"unsupported source {type(source)!r}")
+    if total == 0:
+        raise EmptySummaryError("cannot select from an empty stream")
+
+    target = min(max(math.ceil(phi * total), 1), total)
+    lo, hi = -math.inf, math.inf  # current candidate value window
+    window_size = total
+    windows: List[int] = []
+    peak = 0
+
+    def _eps_for_budget(m: int, window: int) -> float:
+        """Smallest (tightest) epsilon whose sketch fits in *m* elements."""
+        for eps in (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25):
+            if optimal_parameters(eps, max(window, 2)).memory <= m:
+                return eps
+        return 0.25
+
+    for n_pass in range(1, max_passes + 1):
+        if window_size <= memory_budget:
+            # final pass: collect the window and select exactly
+            kept: List[np.ndarray] = []
+            below = 0
+            for chunk in make_chunks():
+                arr = np.asarray(chunk, dtype=np.float64)
+                below += int((arr < lo).sum()) if lo != -math.inf else 0
+                inside = arr[(arr >= lo) & (arr <= hi)]
+                if len(inside):
+                    kept.append(inside)
+            retained = int(sum(len(c) for c in kept))
+            peak = max(peak, retained)
+            if not (below < target <= below + retained):
+                raise ConfigurationError(
+                    "selection window missed the target rank: the source "
+                    "must replay identically on every pass"
+                )
+            window = np.concatenate(kept)
+            window.partition(target - below - 1)
+            return MultiPassResult(
+                value=float(window[target - below - 1]),
+                n=total,
+                target_rank=target,
+                passes=n_pass,
+                windows=tuple(windows),
+                peak_memory=max(peak, 1),
+            )
+        # narrowing pass: sketch only the current window
+        eps = _eps_for_budget(memory_budget, window_size)
+        sketch = QuantileFramework.from_accuracy(eps, window_size)
+        peak = max(peak, sketch.memory_elements)
+        seen_in_window = 0
+        below = 0
+        for chunk in make_chunks():
+            arr = np.asarray(chunk, dtype=np.float64)
+            if lo != -math.inf:
+                below += int((arr < lo).sum())
+                arr = arr[(arr >= lo) & (arr <= hi)]
+            if len(arr):
+                sketch.extend(arr)
+                seen_in_window += len(arr)
+        # the target's rank within the window
+        in_window_target = target - (below if lo != -math.inf else 0)
+        phi_w = in_window_target / seen_in_window
+        phi_lo = max(phi_w - 2 * eps, 0.0)
+        phi_hi = min(phi_w + 2 * eps, 1.0)
+        new_lo, new_hi = sketch.quantiles([phi_lo, phi_hi])
+        lo, hi = float(min(new_lo, new_hi)), float(max(new_lo, new_hi))
+        new_window_size = int(math.ceil(4 * eps * seen_in_window)) + 2
+        if new_window_size >= window_size:
+            raise ConfigurationError(
+                f"memory_budget={memory_budget} is too small to narrow a "
+                f"window of {window_size} candidates (best affordable "
+                f"eps={eps}); raise the budget"
+            )
+        window_size = new_window_size
+        windows.append(window_size)
+    raise ConfigurationError(
+        f"did not converge within {max_passes} passes; "
+        f"raise memory_budget above {memory_budget}"
+    )

@@ -1,0 +1,133 @@
+"""Statistical validation of the guarantee across many trials.
+
+Section 6 of the paper reports a single run per configuration.  A user
+deciding whether to trust the library wants more: *across many seeds and
+workloads, how does the observed error distribute relative to epsilon and
+to the certified bound?*  :func:`verify_guarantee` runs that experiment
+and returns the distribution; ``benchmarks/bench_validation.py`` turns it
+into a table.
+
+The hard assertions (max observed <= bound <= epsilon) are what the test
+suite checks; the distribution itself (typically observed ~ epsilon/10) is
+what the paper's Table 3 observes and what capacity planning wants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .core.errors import ConfigurationError
+from .core.framework import QuantileFramework
+from .streams import STANDARD_ORDERS
+from .streams.generators import DataStream
+
+__all__ = ["GuaranteeReport", "verify_guarantee"]
+
+
+@dataclass(frozen=True)
+class GuaranteeReport:
+    """Observed-error distribution over many independent trials."""
+
+    epsilon: float
+    n: int
+    policy: str
+    n_trials: int
+    n_measurements: int  #: trials x quantiles
+    observed: "tuple[float, ...]"  #: every observed eps, sorted ascending
+    worst_certified: float  #: max certified bound fraction across trials
+    breaches: int  #: measurements exceeding epsilon (must be 0)
+
+    @property
+    def max_observed(self) -> float:
+        return self.observed[-1] if self.observed else 0.0
+
+    @property
+    def mean_observed(self) -> float:
+        return sum(self.observed) / len(self.observed) if self.observed else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile of the observed-error distribution itself."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q}")
+        if not self.observed:
+            return 0.0
+        rank = min(
+            max(math.ceil(q * len(self.observed)), 1), len(self.observed)
+        )
+        return self.observed[rank - 1]
+
+    def __str__(self) -> str:
+        return (
+            f"GuaranteeReport(eps={self.epsilon}, n={self.n}, "
+            f"policy={self.policy}, trials={self.n_trials}): "
+            f"observed mean={self.mean_observed:.2e} "
+            f"p95={self.percentile(0.95):.2e} max={self.max_observed:.2e}, "
+            f"certified<= {self.worst_certified:.2e}, "
+            f"breaches={self.breaches}"
+        )
+
+
+def verify_guarantee(
+    epsilon: float,
+    n: int,
+    *,
+    policy: str = "new",
+    n_trials: int = 20,
+    phis: Sequence[float] = (0.01, 0.25, 0.5, 0.75, 0.99),
+    seed: int = 0,
+    stream_factory: Optional[Callable[[int], DataStream]] = None,
+) -> GuaranteeReport:
+    """Run *n_trials* independent end-to-end trials and measure errors.
+
+    Each trial draws a workload (by default: cycling through the standard
+    arrival orders with fresh seeds), sizes a framework for
+    ``(epsilon, n)``, streams the data through once, and measures the
+    observed epsilon of every requested quantile against ground truth.
+    """
+    if n_trials < 1:
+        raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+    observed: List[float] = []
+    worst_certified = 0.0
+    breaches = 0
+    for trial in range(n_trials):
+        trial_seed = seed + 7919 * trial
+        if stream_factory is not None:
+            stream = stream_factory(trial_seed)
+        else:
+            orders = STANDARD_ORDERS(n, seed=trial_seed)
+            stream = orders[trial % len(orders)]
+        fw = QuantileFramework.from_accuracy(epsilon, stream.n, policy=policy)
+        for chunk in stream.chunks(1 << 18):
+            fw.extend(chunk)
+        estimates = fw.quantiles(list(phis))
+        worst_certified = max(
+            worst_certified, fw.error_bound() / stream.n
+        )
+        data = np.sort(stream.materialize())
+        for phi, value in zip(phis, estimates):
+            target = min(max(math.ceil(phi * stream.n), 1), stream.n)
+            lo = int(np.searchsorted(data, value, side="left")) + 1
+            hi = int(np.searchsorted(data, value, side="right"))
+            err = (
+                0
+                if lo <= target <= hi
+                else min(abs(target - lo), abs(target - hi))
+            )
+            frac = err / stream.n
+            observed.append(frac)
+            if frac > epsilon:
+                breaches += 1
+    return GuaranteeReport(
+        epsilon=epsilon,
+        n=n,
+        policy=policy,
+        n_trials=n_trials,
+        n_measurements=len(observed),
+        observed=tuple(sorted(observed)),
+        worst_certified=worst_certified,
+        breaches=breaches,
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests must stay reproducible."""
+    return np.random.default_rng(20260707)
+
+
+@pytest.fixture
+def permutation_10k(rng: np.random.Generator) -> np.ndarray:
+    """A random permutation of 0..9999 as float64.
+
+    Rank arithmetic is trivially checkable on permutations: the element of
+    rank r is the value r-1 (the paper's Section 6 methodology).
+    """
+    return rng.permutation(10_000).astype(np.float64)
+
+
+@pytest.fixture
+def permutation_100k(rng: np.random.Generator) -> np.ndarray:
+    return rng.permutation(100_000).astype(np.float64)
+
+
+def true_rank_error_on_permutation(value: float, phi: float, n: int) -> float:
+    """Observed epsilon for a permutation of 0..n-1 (rank of v is v+1)."""
+    import math
+
+    target = min(max(math.ceil(phi * n), 1), n)
+    return abs((value + 1) - target) / n
+
+
+@pytest.fixture
+def rank_error():
+    return true_rank_error_on_permutation

@@ -1,0 +1,88 @@
+"""Tests for the analytic bounds of Sections 4.8 and 5.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    ars_asymptotic_space,
+    error_bound_alsabti_ranka_singh,
+    error_bound_munro_paterson,
+    error_bound_new,
+    theorem1_space,
+    theorem2_space,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.parameters import optimal_parameters
+
+
+class TestErrorBounds:
+    def test_munro_paterson_closed_form(self):
+        assert error_bound_munro_paterson(6) == 4 * 16 + 0.5
+
+    def test_ars_closed_form(self):
+        assert error_bound_alsabti_ranka_singh(10) == 100 / 8 + 2.5 - 0.5
+
+    def test_new_bound_monotone_in_height(self):
+        bounds = [error_bound_new(5, h) for h in range(3, 12)]
+        assert bounds == sorted(bounds)
+
+    def test_new_bound_monotone_in_b(self):
+        bounds = [error_bound_new(b, 5) for b in range(2, 12)]
+        assert bounds == sorted(bounds)
+
+
+class TestTheorem1:
+    def test_shape_is_polylog(self):
+        # Doubling N multiplies the guide value by far less than 2.
+        small = theorem1_space(0.01, 10**6)
+        big = theorem1_space(0.01, 2 * 10**6)
+        assert big / small < 1.3
+
+    def test_actual_memory_tracks_theorem1(self):
+        # measured bk / guide expression stays within a constant band
+        ratios = []
+        for n in (10**5, 10**6, 10**7, 10**8, 10**9):
+            plan = optimal_parameters(0.01, n, policy="new")
+            ratios.append(plan.memory / theorem1_space(0.01, n))
+        assert max(ratios) / min(ratios) < 8  # constant-factor band
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_space(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            theorem1_space(0.1, 0)
+
+
+class TestTheorem2:
+    def test_independent_of_n_by_construction(self):
+        # theorem2_space takes no N at all; check it is finite and positive
+        assert theorem2_space(0.01, 1e-4) > 0
+
+    def test_grows_as_epsilon_shrinks(self):
+        assert theorem2_space(0.001, 1e-4) > theorem2_space(0.01, 1e-4)
+
+    def test_weak_delta_dependence(self):
+        # the delta term enters as log^2 log(1/delta): tiny
+        a = theorem2_space(0.01, 1e-2)
+        b = theorem2_space(0.01, 1e-8)
+        assert b / a < 2.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            theorem2_space(0.01, 0.0)
+
+
+class TestArsAsymptotics:
+    def test_sqrt_growth(self):
+        # quadrupling N should double the ARS guide value
+        a = ars_asymptotic_space(0.01, 10**6)
+        b = ars_asymptotic_space(0.01, 4 * 10**6)
+        assert b / a == pytest.approx(2.0)
+
+    def test_actual_ars_memory_tracks_sqrt(self):
+        ratios = []
+        for n in (10**5, 10**6, 10**7, 10**8, 10**9):
+            plan = optimal_parameters(0.01, n, policy="ars")
+            ratios.append(plan.memory / ars_asymptotic_space(0.01, n))
+        assert max(ratios) / min(ratios) < 3

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.buffer: buffers, sentinels, padding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import MINUS_INF, PLUS_INF, Buffer, is_sentinel
+from repro.core.errors import ConfigurationError
+
+
+class TestSentinels:
+    def test_minus_inf_below_everything(self):
+        assert MINUS_INF < 0
+        assert MINUS_INF < -1e300
+        assert MINUS_INF < "aardvark"
+        assert MINUS_INF < PLUS_INF
+
+    def test_plus_inf_above_everything(self):
+        assert PLUS_INF > 0
+        assert PLUS_INF > 1e300
+        assert PLUS_INF > "zzz"
+        assert PLUS_INF > MINUS_INF
+
+    def test_sentinels_not_below_or_above_themselves(self):
+        assert not MINUS_INF < MINUS_INF
+        assert not PLUS_INF > PLUS_INF
+        assert MINUS_INF <= MINUS_INF
+        assert PLUS_INF >= PLUS_INF
+
+    def test_equality_is_identity(self):
+        assert MINUS_INF == MINUS_INF
+        assert MINUS_INF != PLUS_INF
+        assert MINUS_INF != float("-inf")
+
+    def test_sorting_with_sentinels(self):
+        values = [PLUS_INF, 3, MINUS_INF, 1, 2]
+        assert sorted(values) == [MINUS_INF, 1, 2, 3, PLUS_INF]
+
+    def test_is_sentinel(self):
+        assert is_sentinel(MINUS_INF)
+        assert is_sentinel(PLUS_INF)
+        assert not is_sentinel(float("inf"))
+        assert not is_sentinel(0)
+
+    def test_hashable(self):
+        assert len({MINUS_INF, PLUS_INF, MINUS_INF}) == 2
+
+
+class TestBufferConstruction:
+    def test_full_numeric_buffer(self):
+        buf = Buffer.from_values(np.array([3.0, 1.0, 2.0]), k=3)
+        assert buf.is_numeric
+        assert list(buf.values) == [1.0, 2.0, 3.0]
+        assert buf.weight == 1
+        assert buf.n_low_pad == buf.n_high_pad == 0
+        assert buf.n_real == 3
+
+    def test_full_generic_buffer(self):
+        buf = Buffer.from_values(["b", "a", "c"], k=3)
+        assert not buf.is_numeric
+        assert buf.values == ["a", "b", "c"]
+
+    def test_even_deficit_pads_equally(self):
+        buf = Buffer.from_values(np.array([5.0, 4.0]), k=4)
+        assert buf.n_low_pad == 1
+        assert buf.n_high_pad == 1
+        assert np.isneginf(buf.values[0])
+        assert np.isposinf(buf.values[-1])
+        assert buf.n_real == 2
+
+    def test_odd_deficit_extra_pad_goes_low(self):
+        buf = Buffer.from_values(np.array([7.0]), k=4)
+        assert buf.n_low_pad == 2
+        assert buf.n_high_pad == 1
+        assert buf.n_real == 1
+
+    def test_generic_padding_uses_sentinels(self):
+        buf = Buffer.from_values(["m"], k=3)
+        assert buf.values[0] is MINUS_INF
+        assert buf.values[-1] is PLUS_INF
+        assert buf.values[1] == "m"
+
+    def test_weighted_count(self):
+        buf = Buffer.from_values(np.arange(4.0), k=4)
+        buf.weight = 3
+        assert buf.weighted_count == 12
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer.from_values(np.arange(5.0), k=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer.from_values(np.array([]), k=4)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer.from_values(np.array([1.0]), k=0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer(values=np.array([1.0]), weight=0)
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer(values=np.array([1.0]), n_low_pad=-1)
+
+    def test_no_sort_flag_preserves_order(self):
+        buf = Buffer.from_values(np.array([1.0, 2.0, 3.0]), k=3, sort=False)
+        assert list(buf.values) == [1.0, 2.0, 3.0]
+
+    def test_integer_array_promoted_to_float(self):
+        buf = Buffer.from_values(np.array([3, 1, 2]), k=3)
+        assert buf.is_numeric
+        assert buf.values.dtype == np.float64
+
+    def test_buffer_ids_unique(self):
+        a = Buffer.from_values(np.array([1.0]), k=1)
+        b = Buffer.from_values(np.array([1.0]), k=1)
+        assert a.buffer_id != b.buffer_id
+
+    def test_real_values_excludes_padding(self):
+        buf = Buffer.from_values(np.array([5.0, 9.0]), k=5)
+        assert list(buf.real_values()) == [5.0, 9.0]
+        gbuf = Buffer.from_values(["x", "y"], k=5)
+        assert list(gbuf.real_values()) == ["x", "y"]
+
+    def test_level_assignment(self):
+        buf = Buffer.from_values(np.array([1.0]), k=1, level=7)
+        assert buf.level == 7

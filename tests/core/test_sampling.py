@@ -1,0 +1,177 @@
+"""Tests for the Section 5 sampling front-end (Lemma 7, Table 2, Figure 8)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.core.parameters import ParameterPlan, optimal_parameters
+from repro.core.sampling import (
+    SampledQuantileFramework,
+    SamplingPlan,
+    choose_strategy,
+    hoeffding_sample_size,
+    optimize_alpha,
+    sampling_threshold,
+)
+
+
+class TestHoeffdingSampleSize:
+    def test_lemma7_formula(self):
+        # S = ceil(log(2/delta) / (2 eps2^2))
+        s = hoeffding_sample_size(0.01, 1e-4)
+        assert s == math.ceil(math.log(2e4) / (2 * 1e-4))
+
+    def test_union_bound_for_multiple_quantiles(self):
+        single = hoeffding_sample_size(0.01, 1e-4)
+        multi = hoeffding_sample_size(0.01, 1e-4, n_quantiles=15)
+        assert multi > single
+        assert multi == math.ceil(math.log(2 * 15 / 1e-4) / (2 * 1e-4))
+
+    def test_table2_rule_uses_full_epsilon(self):
+        # matches the S column actually printed in the paper's Table 2
+        cases = {
+            (0.1, 1e-2): 265,
+            (0.05, 1e-3): 1521,
+            (0.01, 1e-4): 49518,
+            (0.005, 1e-2): 105967,
+            (0.001, 1e-4): 4951744,
+        }
+        for (eps, delta), expected in cases.items():
+            s = hoeffding_sample_size(
+                0.0, delta, rule="table2", epsilon=eps
+            )
+            assert abs(s - expected) <= 2  # rounding of ln inputs
+
+    def test_smaller_eps2_needs_more_samples(self):
+        assert hoeffding_sample_size(0.005, 1e-4) > hoeffding_sample_size(
+            0.01, 1e-4
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_sample_size(0.0, 1e-4)
+        with pytest.raises(ConfigurationError):
+            hoeffding_sample_size(0.01, 0.0)
+        with pytest.raises(ConfigurationError):
+            hoeffding_sample_size(0.01, 1e-4, n_quantiles=0)
+        with pytest.raises(ConfigurationError):
+            hoeffding_sample_size(0.01, 1e-4, rule="bogus")
+        with pytest.raises(ConfigurationError):
+            hoeffding_sample_size(0.01, 1e-4, rule="table2")  # no epsilon
+
+
+class TestOptimizeAlpha:
+    def test_reproduces_table2_bk_column(self):
+        # Table 2 entries (alpha*eps, b, k) for delta = 1e-4; the faithful
+        # Lemma 7 optimiser reproduces these exactly.
+        plan = optimize_alpha(0.01, 1e-4)
+        assert (plan.b, plan.k) == (6, 472)
+        assert plan.eps1 == pytest.approx(0.0064, abs=5e-4)
+
+    def test_table2_delta_1em2(self):
+        plan = optimize_alpha(0.1, 1e-2)
+        assert plan.memory <= 200  # paper: 0.13 K
+
+    def test_alpha_stays_in_grid(self):
+        plan = optimize_alpha(0.05, 1e-3)
+        assert 0.2 <= plan.alpha <= 0.8
+
+    def test_memory_independent_of_population(self):
+        # The sampling plan never sees N; two different deltas still give
+        # finite, N-free configurations.
+        p1 = optimize_alpha(0.01, 1e-2)
+        p2 = optimize_alpha(0.01, 1e-4)
+        assert p1.memory <= p2.memory  # more confidence costs more
+
+    def test_epsilon_split_adds_up(self):
+        plan = optimize_alpha(0.02, 1e-3)
+        assert plan.eps1 + plan.eps2 == pytest.approx(0.02)
+
+    def test_inner_plan_sized_for_sample(self):
+        plan = optimize_alpha(0.01, 1e-4)
+        direct = optimal_parameters(plan.eps1, plan.sample_size, policy="new")
+        assert plan.inner.memory == direct.memory
+
+
+class TestThresholdAndStrategy:
+    def test_threshold_matches_table1_crossover(self):
+        # Table 1 (sampling sub-table, delta=1e-4): for eps=0.01 the direct
+        # algorithm wins at N=1e6 and sampling wins at N=1e7.
+        threshold = sampling_threshold(0.01, 1e-4)
+        assert 10**6 < threshold <= 10**7
+
+    def test_threshold_monotone_shape(self):
+        # Figure 8: threshold rises steeply as eps shrinks.
+        t_loose = sampling_threshold(0.1, 1e-4)
+        t_tight = sampling_threshold(0.01, 1e-4)
+        assert t_tight > t_loose
+
+    def test_choose_strategy_small_n_direct(self):
+        plan = choose_strategy(0.01, 10**5, 1e-4)
+        assert isinstance(plan, ParameterPlan)
+
+    def test_choose_strategy_large_n_sampling(self):
+        plan = choose_strategy(0.01, 10**8, 1e-4)
+        assert isinstance(plan, SamplingPlan)
+        # Table 1, sampling sub-table: b=6, k=472 for eps=0.01, N>=1e7
+        assert (plan.b, plan.k) == (6, 472)
+
+    def test_choose_strategy_without_delta_is_direct(self):
+        plan = choose_strategy(0.01, 10**9)
+        assert isinstance(plan, ParameterPlan)
+
+
+class TestSampledFramework:
+    def test_population_accuracy(self):
+        n, eps, delta = 500_000, 0.02, 1e-3
+        rng = np.random.default_rng(11)
+        data = rng.permutation(n).astype(np.float64)
+        s = SampledQuantileFramework(eps, n, delta, seed=5)
+        for i in range(0, n, 65536):
+            s.extend(data[i : i + 65536])
+        assert s.n_seen == n
+        for phi in (0.1, 0.5, 0.9):
+            got = s.query(phi)
+            target = min(max(math.ceil(phi * n), 1), n)
+            assert abs((got + 1) - target) / n <= eps
+
+    def test_sample_size_concentrates(self):
+        n = 200_000
+        s = SampledQuantileFramework(0.05, n, 1e-3, seed=1)
+        s.extend(np.arange(n, dtype=np.float64))
+        expected = s.plan.sample_size
+        assert abs(s.n_sampled - expected) < 5 * math.sqrt(expected) + 10
+
+    def test_update_scalar_path(self):
+        s = SampledQuantileFramework(0.1, 1000, 1e-2, seed=2)
+        for v in range(1000):
+            s.update(float(v))
+        assert s.n_seen == 1000
+        assert 0 < s.n_sampled <= 1000
+
+    def test_memory_far_below_population(self):
+        s = SampledQuantileFramework(0.01, 10**8, 1e-4)
+        assert s.memory_elements < 10**4
+
+    def test_empty_sample_raises(self):
+        s = SampledQuantileFramework(0.1, 10**6, 1e-2, seed=3)
+        with pytest.raises(EmptySummaryError):
+            s.query(0.5)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ConfigurationError):
+            SampledQuantileFramework(0.1, 0, 1e-2)
+
+    def test_rejects_2d(self):
+        s = SampledQuantileFramework(0.1, 100, 1e-2)
+        with pytest.raises(ConfigurationError):
+            s.extend(np.ones((2, 2)))
+
+    def test_error_bound_within_sample(self):
+        s = SampledQuantileFramework(0.05, 100_000, 1e-3, seed=4)
+        s.extend(np.random.default_rng(0).permutation(100_000).astype(float))
+        assert s.error_bound() <= s.plan.eps1 * s.n_sampled + 1

@@ -1,0 +1,132 @@
+"""Tests for sketch serialisation (round-trip fidelity + corruption)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, StorageError
+from repro.core.framework import QuantileFramework
+from repro.core.serialize import dump, dumps, load, loads
+
+
+def _filled(policy="new", n=50_000, seed=0, **kwargs):
+    fw = QuantileFramework.from_accuracy(0.01, n, policy=policy, **kwargs)
+    fw.extend(np.random.default_rng(seed).permutation(n).astype(np.float64))
+    return fw
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "policy", ["new", "munro-paterson", "alsabti-ranka-singh"]
+    )
+    def test_answers_identical(self, policy):
+        fw = _filled(policy)
+        restored = loads(dumps(fw))
+        phis = [0.01, 0.25, 0.5, 0.75, 0.99]
+        assert restored.quantiles(phis) == fw.quantiles(phis)
+
+    def test_certified_bound_preserved(self):
+        fw = _filled()
+        restored = loads(dumps(fw))
+        assert restored.error_bound() == fw.error_bound()
+        assert restored.n == fw.n
+        assert restored.n_collapses == fw.n_collapses
+        assert restored.sum_collapse_weights == fw.sum_collapse_weights
+
+    def test_resumed_ingest_matches(self):
+        # serialise mid-stream, keep feeding both copies identically
+        rng = np.random.default_rng(4)
+        data = rng.permutation(80_000).astype(np.float64)
+        fw = QuantileFramework(b=6, k=256)
+        fw.extend(data[:50_000])
+        restored = loads(dumps(fw))
+        fw.extend(data[50_000:])
+        restored.extend(data[50_000:])
+        assert restored.quantiles([0.5]) == fw.quantiles([0.5])
+        assert restored.error_bound() == fw.error_bound()
+
+    def test_offset_alternation_state_preserved(self):
+        # the even-weight toggle must survive, or resumed runs would
+        # drift from the original's collapse choices
+        fw = QuantileFramework(b=4, k=8, policy="munro-paterson")
+        fw.extend(np.arange(4 * 8 * 5, dtype=np.float64))
+        restored = loads(dumps(fw))
+        assert (
+            restored._offsets._next_even_is_high
+            == fw._offsets._next_even_is_high
+        )
+
+    def test_remainder_preserved(self):
+        fw = QuantileFramework(b=4, k=100)
+        fw.extend(np.arange(130, dtype=np.float64))  # 1 buffer + tail of 30
+        restored = loads(dumps(fw))
+        assert restored.n == 130
+        assert restored.query(1.0) == 129.0
+
+    def test_pending_scalars_flushed_by_dump(self):
+        fw = QuantileFramework(b=4, k=10)
+        for v in range(7):
+            fw.update(float(v))
+        restored = loads(dumps(fw))
+        assert restored.n == 7
+        assert restored.query(0.5) == 3.0
+
+    def test_empty_summary_roundtrips(self):
+        fw = QuantileFramework(b=3, k=5)
+        restored = loads(dumps(fw))
+        assert restored.n == 0
+
+    def test_file_object_api(self, tmp_path):
+        fw = _filled()
+        path = tmp_path / "sketch.bin"
+        with open(path, "wb") as fh:
+            dump(fw, fh)
+        with open(path, "rb") as fh:
+            restored = load(fh)
+        assert restored.quantiles([0.5]) == fw.quantiles([0.5])
+
+
+class TestRejections:
+    def test_generic_summaries_do_not_serialise(self):
+        fw = QuantileFramework(b=3, k=4)
+        for word in ["c", "a", "b", "d", "e"]:
+            fw.update(word)
+        with pytest.raises(ConfigurationError, match="numeric"):
+            dumps(fw)
+
+    def test_bad_magic(self):
+        with pytest.raises(StorageError, match="magic"):
+            loads(b"NOTASKETCH" + b"\x00" * 64)
+
+    def test_truncated_header(self):
+        with pytest.raises(StorageError, match="truncated"):
+            loads(b"MRLSKT01\x01")
+
+    def test_truncated_payload(self):
+        raw = dumps(_filled())
+        with pytest.raises(StorageError, match="truncated"):
+            loads(raw[: len(raw) - 16])
+
+    def test_trailing_garbage(self):
+        raw = dumps(_filled())
+        with pytest.raises(StorageError, match="trailing"):
+            loads(raw + b"\x00")
+
+    def test_bad_version(self):
+        raw = bytearray(dumps(_filled()))
+        raw[8] = 99  # version low byte
+        with pytest.raises(StorageError, match="version"):
+            loads(bytes(raw))
+
+    def test_corrupt_buffer_count(self):
+        fw = QuantileFramework(b=3, k=4)
+        fw.extend(np.arange(24, dtype=np.float64))
+        raw = bytearray(dumps(fw))
+        # n_buffers field: offset of "I" after magic(8)+ver(2)+b(4)+k(4)+
+        # policy(1)+offset(1)+toggle(1)+pad(1)+n(8)+C(8)+W(8) = 46
+        raw[46] = 200
+        with pytest.raises(StorageError):
+            loads(bytes(raw))

@@ -1,0 +1,146 @@
+"""Tests for the high-level QuantileSketch API."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.parameters import ParameterPlan
+from repro.core.sampling import SamplingPlan
+from repro.core.sketch import (
+    DEFAULT_DESIGN_N,
+    QuantileSketch,
+    approximate_quantiles,
+)
+
+
+def rank_err(value, phi, n):
+    target = min(max(math.ceil(phi * n), 1), n)
+    return abs((value + 1) - target) / n
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(epsilon=1.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(epsilon=0.01, n=0)
+
+    def test_default_design_n(self):
+        sk = QuantileSketch(epsilon=0.05)
+        assert sk.design_n == DEFAULT_DESIGN_N
+
+    def test_deterministic_without_delta(self):
+        sk = QuantileSketch(epsilon=0.01, n=10**8)
+        assert not sk.uses_sampling
+        assert isinstance(sk.plan, ParameterPlan)
+
+    def test_sampling_chosen_for_huge_n(self):
+        sk = QuantileSketch(epsilon=0.01, n=10**8, delta=1e-4)
+        assert sk.uses_sampling
+        assert isinstance(sk.plan, SamplingPlan)
+
+    def test_direct_chosen_for_small_n_even_with_delta(self):
+        sk = QuantileSketch(epsilon=0.01, n=10**5, delta=1e-4)
+        assert not sk.uses_sampling
+
+    def test_memory_matches_plan(self):
+        sk = QuantileSketch(epsilon=0.01, n=10**6)
+        assert sk.memory_elements == sk.plan.memory
+
+
+class TestQueries:
+    def test_basic_accuracy(self, permutation_100k):
+        sk = QuantileSketch(epsilon=0.01, n=100_000)
+        sk.extend(permutation_100k)
+        assert len(sk) == 100_000
+        for phi in (0.05, 0.5, 0.95):
+            assert rank_err(sk.query(phi), phi, 100_000) <= 0.01
+
+    def test_median_helper(self, permutation_10k):
+        sk = QuantileSketch(epsilon=0.05, n=10_000)
+        sk.extend(permutation_10k)
+        assert sk.median() == sk.query(0.5)
+
+    def test_equidepth_boundaries(self, permutation_10k):
+        sk = QuantileSketch(epsilon=0.01, n=10_000)
+        sk.extend(permutation_10k)
+        bounds = sk.equidepth_boundaries(4)
+        assert len(bounds) == 3
+        for i, b in enumerate(bounds, start=1):
+            assert rank_err(b, i / 4, 10_000) <= 0.01
+
+    def test_equidepth_needs_two_buckets(self, permutation_10k):
+        sk = QuantileSketch(epsilon=0.05, n=10_000)
+        sk.extend(permutation_10k)
+        with pytest.raises(ConfigurationError):
+            sk.equidepth_boundaries(1)
+
+    def test_error_bound_fraction(self, permutation_100k):
+        sk = QuantileSketch(epsilon=0.01, n=100_000)
+        sk.extend(permutation_100k)
+        assert 0.0 <= sk.error_bound_fraction() <= 0.01
+
+    def test_error_bound_fraction_empty(self):
+        sk = QuantileSketch(epsilon=0.05, n=100)
+        assert sk.error_bound_fraction() == 0.0
+
+    def test_update_path(self):
+        sk = QuantileSketch(epsilon=0.1, n=1000)
+        for v in range(1000):
+            sk.update(float(v))
+        assert rank_err(sk.median(), 0.5, 1000) <= 0.1
+
+    def test_sampling_sketch_end_to_end(self):
+        rng = np.random.default_rng(6)
+        n = 2 * 10**6
+        sk = QuantileSketch(epsilon=0.01, n=n, delta=1e-3, seed=9)
+        assert sk.uses_sampling
+        data = rng.permutation(n).astype(np.float64)
+        for i in range(0, n, 1 << 18):
+            sk.extend(data[i : i + (1 << 18)])
+        assert len(sk) == n
+        assert rank_err(sk.median(), 0.5, n) <= 0.01
+
+
+class TestMerge:
+    def test_merge_two_sketches(self, rng):
+        n = 50_000
+        d1 = rng.permutation(n).astype(np.float64)
+        d2 = rng.permutation(n).astype(np.float64) + n
+        a = QuantileSketch(epsilon=0.01, n=2 * n)
+        b = QuantileSketch(epsilon=0.01, n=2 * n)
+        a.extend(d1)
+        b.extend(d2)
+        a.merge(b)
+        assert len(a) == 2 * n
+        # the combined stream is a permutation of 0..2n-1
+        assert rank_err(a.median(), 0.5, 2 * n) <= 0.02
+
+    def test_merge_sampling_sketch_rejected(self):
+        a = QuantileSketch(epsilon=0.01, n=10**8, delta=1e-4)
+        b = QuantileSketch(epsilon=0.01, n=10**8, delta=1e-4)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+
+class TestOneShot:
+    def test_approximate_quantiles(self, permutation_10k):
+        got = approximate_quantiles(permutation_10k, [0.25, 0.5, 0.75], 0.01)
+        for phi, v in zip([0.25, 0.5, 0.75], got):
+            assert rank_err(v, phi, 10_000) <= 0.01
+
+    def test_works_on_lists(self):
+        got = approximate_quantiles([3.0, 1.0, 2.0], [0.5], 0.25)
+        assert got == [2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            approximate_quantiles([], [0.5], 0.1)

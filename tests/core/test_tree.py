@@ -1,0 +1,188 @@
+"""Tests for collapse-tree recording and the Lemma 1-5 arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.framework import QuantileFramework
+from repro.core.parameters import (
+    alsabti_ranka_singh_stats,
+    munro_paterson_stats,
+)
+from repro.core.tree import TreeRecorder, canonical_munro_paterson_tree
+
+
+def run_tree(b, k, n, policy, seed=0):
+    fw = QuantileFramework(b=b, k=k, policy=policy, record_tree=True)
+    rng = np.random.default_rng(seed)
+    fw.extend(rng.permutation(n).astype(np.float64))
+    fw.finish([0.5])
+    return fw
+
+
+class TestRecorderBasics:
+    def test_unused_recorder_raises(self):
+        with pytest.raises(ReproError):
+            TreeRecorder().stats()
+
+    def test_leaf_counting(self):
+        fw = run_tree(b=5, k=10, n=200, policy="new")
+        stats = fw.recorder.stats()
+        assert stats.n_leaves == 20  # 200 / k
+
+    def test_collapse_stats_match_framework_counters(self):
+        fw = run_tree(b=5, k=10, n=500, policy="new")
+        stats = fw.recorder.stats()
+        assert stats.n_collapses == fw.n_collapses
+        assert stats.sum_collapse_weights == fw.sum_collapse_weights
+
+    def test_lemma1_offset_sum(self):
+        # Lemma 1: sum of offsets >= (W + C - 1) / 2.
+        for policy in ("new", "munro-paterson", "alsabti-ranka-singh"):
+            fw = run_tree(b=6, k=8, n=900, policy=policy, seed=3)
+            stats = fw.recorder.stats()
+            if stats.n_collapses:
+                assert stats.sum_offsets >= stats.lemma1_lower_bound()
+
+    def test_lemma2_root_children_weights_sum_to_leaves(self):
+        # Lemma 2: the children of the root carry total weight L.
+        for policy in ("new", "munro-paterson", "alsabti-ranka-singh"):
+            fw = run_tree(b=6, k=8, n=777, policy=policy, seed=5)
+            recorder = fw.recorder
+            top_weight = sum(
+                recorder.nodes[i].weight for i in recorder.root_children
+            )
+            assert top_weight == recorder.stats().n_leaves
+
+    def test_error_bound_formula(self):
+        fw = run_tree(b=5, k=16, n=2000, policy="new")
+        stats = fw.recorder.stats()
+        expected = (
+            stats.sum_collapse_weights - stats.n_collapses - 1
+        ) / 2 + stats.w_max
+        assert stats.error_bound == expected
+        assert fw.error_bound() == expected
+
+    def test_no_collapse_bound_is_zero(self):
+        fw = QuantileFramework(b=4, k=100, record_tree=True)
+        fw.extend(np.arange(150, dtype=np.float64))
+        fw.finish([0.5])
+        assert fw.recorder.stats().error_bound == 0.0
+
+
+class TestTreeShapes:
+    """The trees of Figures 2-4, produced by actually running the policies."""
+
+    def test_figure2_munro_paterson_b6_canonical(self):
+        # The canonical Figure 2 tree: 32 leaves, pairwise equal-weight
+        # collapses, root children of weight 16 + 16.
+        closed = munro_paterson_stats(6)
+        recorder = canonical_munro_paterson_tree(6)
+        stats = recorder.stats()
+        assert stats.n_leaves == closed.n_leaves
+        assert stats.n_collapses == closed.n_collapses
+        assert stats.sum_collapse_weights == closed.sum_collapse_weights
+        assert stats.w_max == closed.w_max
+        top = [recorder.nodes[i].weight for i in recorder.root_children]
+        assert sorted(top) == [16, 16]
+
+    def test_runtime_mp_never_worse_than_canonical(self):
+        # The driver defers Munro-Paterson merges until a slot is needed,
+        # which can only *lower* W (fewer, later collapses).  The certified
+        # bound must therefore never exceed the paper's closed form.
+        closed = munro_paterson_stats(6)
+        fw = run_tree(b=6, k=4, n=32 * 4, policy="munro-paterson")
+        stats = fw.recorder.stats()
+        assert stats.n_leaves == closed.n_leaves
+        assert stats.error_bound <= closed.error_bound
+
+    def test_figure3_alsabti_ranka_singh_b10(self):
+        # b=10: 5 rounds of 5 leaves; root children all weight 5.
+        closed = alsabti_ranka_singh_stats(10)
+        fw = run_tree(b=10, k=4, n=25 * 4, policy="alsabti-ranka-singh")
+        stats = fw.recorder.stats()
+        assert stats.n_leaves == closed.n_leaves
+        assert stats.n_collapses == closed.n_collapses
+        assert stats.sum_collapse_weights == closed.sum_collapse_weights
+        assert stats.w_max == closed.w_max
+        top = [
+            fw.recorder.nodes[i].weight for i in fw.recorder.root_children
+        ]
+        assert sorted(top) == [5, 5, 5, 5, 5]
+
+    def test_figure4_new_policy_b5(self):
+        # b=5, 15 leaves: exactly Figure 4 -- the root's (broken-edge)
+        # children carry weights 5, 4, 3, 2, 1, and the level-1 collapse
+        # outputs are the 5, 4, 3, 2.
+        fw = run_tree(b=5, k=4, n=15 * 4, policy="new")
+        recorder = fw.recorder
+        top = sorted(
+            recorder.nodes[i].weight for i in recorder.root_children
+        )
+        assert top == [1, 2, 3, 4, 5]
+        level1 = sorted(
+            node.weight
+            for node in recorder.nodes.values()
+            if not node.is_leaf and node.level == 1
+        )
+        assert level1 == [2, 3, 4, 5]
+
+    def test_heights(self):
+        mp = run_tree(b=6, k=4, n=128, policy="munro-paterson")
+        ars = run_tree(b=10, k=4, n=100, policy="alsabti-ranka-singh")
+        # ARS trees have height 2 (leaves -> round outputs -> root).
+        assert ars.recorder.stats().height == 2
+        # The lazy MP schedule reaches weight 16 in at most b levels.
+        assert 4 <= mp.recorder.stats().height <= 6
+
+
+class TestRendering:
+    def test_render_contains_all_top_weights(self):
+        fw = run_tree(b=5, k=4, n=60, policy="new")
+        text = fw.recorder.render()
+        assert text.startswith("OUTPUT")
+        for i in fw.recorder.root_children:
+            assert str(fw.recorder.nodes[i].weight) in text
+
+    def test_weights_by_depth_top_level_first(self):
+        fw = run_tree(b=5, k=4, n=60, policy="new")
+        levels = fw.recorder.weights_by_depth()
+        top = [fw.recorder.nodes[i].weight for i in fw.recorder.root_children]
+        assert levels[0] == top
+        assert all(w == 1 for w in levels[-1])
+
+    def test_render_before_output_needs_buffers(self):
+        fw = QuantileFramework(b=4, k=4, record_tree=True)
+        fw.extend(np.arange(16, dtype=np.float64))
+        with pytest.raises(ReproError):
+            fw.recorder.render()
+        text = fw.recorder.render(final_buffers=fw.full_buffers)
+        assert "OUTPUT" in text
+
+
+class TestCanonicalArs:
+    def test_figure3_canonical_builder(self):
+        from repro.core.tree import canonical_alsabti_ranka_singh_tree
+
+        recorder = canonical_alsabti_ranka_singh_tree(10)
+        stats = recorder.stats()
+        closed = alsabti_ranka_singh_stats(10)
+        assert stats.n_leaves == closed.n_leaves
+        assert stats.n_collapses == closed.n_collapses
+        assert stats.sum_collapse_weights == closed.sum_collapse_weights
+        assert stats.w_max == closed.w_max
+        top = [recorder.nodes[i].weight for i in recorder.root_children]
+        assert top == [5] * 5
+
+    def test_canonical_builders_validate(self):
+        from repro.core.tree import (
+            canonical_alsabti_ranka_singh_tree,
+            canonical_munro_paterson_tree,
+        )
+
+        with pytest.raises(ReproError):
+            canonical_munro_paterson_tree(1)
+        with pytest.raises(ReproError):
+            canonical_alsabti_ranka_singh_tree(7)

@@ -1,0 +1,98 @@
+"""Tests for the table catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError, StorageError
+from repro.engine import Catalog, StoredTable, Table, save_table
+
+
+@pytest.fixture
+def trades() -> Table:
+    return Table.from_dict(
+        "trades",
+        {"sym": ["a", "b", "a", "b"], "price": np.array([1.0, 2.0, 3.0, 4.0])},
+    )
+
+
+class TestRegistration:
+    def test_register_and_sql(self, trades):
+        db = Catalog()
+        db.register(trades)
+        result = db.sql("SELECT COUNT(*) FROM trades GROUP BY sym")
+        assert len(result) == 2
+        assert "trades" in db
+        assert db.names() == ["trades"]
+
+    def test_register_under_alias(self, trades):
+        db = Catalog()
+        db.register(trades, name="t2")
+        assert db.sql("SELECT COUNT(*) FROM t2").rows[0]["count"] == 4
+
+    def test_drop(self, trades):
+        db = Catalog()
+        db.register(trades)
+        db.drop("trades")
+        assert len(db) == 0
+        with pytest.raises(QueryError):
+            db.drop("trades")
+
+    def test_unknown_table(self):
+        with pytest.raises(QueryError, match="unknown table"):
+            Catalog().table("ghost")
+
+    def test_query_builder(self, trades):
+        db = Catalog()
+        db.register(trades)
+        from repro.engine import count
+
+        result = db.query("trades").group_by("sym").aggregate(count()).execute()
+        assert len(result) == 2
+
+
+class TestPersistence:
+    def test_save_swaps_to_stored(self, trades, tmp_path):
+        db = Catalog(tmp_path / "wh")
+        db.register(trades)
+        stored = db.save("trades")
+        assert isinstance(stored, StoredTable)
+        assert isinstance(db.table("trades"), StoredTable)
+        # still queryable, now from disk
+        assert db.sql("SELECT COUNT(*) FROM trades").rows[0]["count"] == 4
+
+    def test_save_is_idempotent(self, trades, tmp_path):
+        db = Catalog(tmp_path / "wh")
+        db.register(trades)
+        first = db.save("trades")
+        assert db.save("trades") is first
+
+    def test_reopen_attaches_everything(self, trades, tmp_path):
+        db = Catalog(tmp_path / "wh")
+        db.register(trades)
+        db.save("trades")
+        reopened = Catalog(tmp_path / "wh")
+        assert reopened.names() == ["trades"]
+        assert (
+            reopened.sql("SELECT COUNT(*) FROM trades").rows[0]["count"] == 4
+        )
+
+    def test_save_without_directory(self, trades):
+        db = Catalog()
+        db.register(trades)
+        with pytest.raises(StorageError):
+            db.save("trades")
+
+    def test_attach_explicit_directory(self, trades, tmp_path):
+        save_table(trades, tmp_path / "elsewhere")
+        db = Catalog()
+        db.attach(tmp_path / "elsewhere", name="imported")
+        assert db.sql("SELECT COUNT(*) FROM imported").rows[0]["count"] == 4
+
+    def test_reopen_ignores_non_table_entries(self, tmp_path):
+        wh = tmp_path / "wh"
+        wh.mkdir()
+        (wh / "README.txt").write_text("hello")
+        (wh / "random_dir").mkdir()
+        assert Catalog(wh).names() == []

@@ -1,0 +1,139 @@
+"""Tests for CSV ingestion/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, StorageError
+from repro.engine import DataType, Table, execute_sql, load_csv, save_csv
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadCsv:
+    def test_type_inference(self, tmp_path):
+        path = write(tmp_path, "sym,price,qty\nIBM,10.5,3\nMSFT,20.0,7\n")
+        table = load_csv(path)
+        assert table.schema["sym"].dtype is DataType.STRING
+        assert table.schema["price"].dtype is DataType.FLOAT64
+        assert table.schema["qty"].dtype is DataType.INT64
+        assert table.n_rows == 2
+
+    def test_int_widens_to_float_on_mixed(self, tmp_path):
+        path = write(tmp_path, "x\n1\n2.5\n3\n")
+        table = load_csv(path)
+        assert table.schema["x"].dtype is DataType.FLOAT64
+
+    def test_numeric_widens_to_string_on_text(self, tmp_path):
+        path = write(tmp_path, "x\n1\ntwo\n3\n")
+        table = load_csv(path)
+        assert table.schema["x"].dtype is DataType.STRING
+        assert table.column("x") == ["1", "two", "3"]
+
+    def test_empty_cells_become_nan(self, tmp_path):
+        path = write(tmp_path, "x,y\n1,2\n,4\n")
+        table = load_csv(path)
+        assert table.schema["x"].dtype is DataType.FLOAT64
+        assert np.isnan(table.column("x")[1])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = write(tmp_path, "x\n1\n\n3\n")
+        table = load_csv(path)
+        assert table.n_rows == 2
+        assert table.schema["x"].dtype is DataType.INT64
+
+    def test_table_name_from_filename(self, tmp_path):
+        path = write(tmp_path, "a\n1\n", name="trades.csv")
+        assert load_csv(path).name == "trades"
+        assert load_csv(path, table_name="t").name == "t"
+
+    def test_headerless_with_names(self, tmp_path):
+        path = write(tmp_path, "IBM,10\nMSFT,20\n")
+        table = load_csv(
+            path, has_header=False, column_names=["sym", "price"]
+        )
+        assert table.n_rows == 2
+        assert table.column("sym") == ["IBM", "MSFT"]
+
+    def test_headerless_default_names(self, tmp_path):
+        path = write(tmp_path, "1,2\n3,4\n")
+        table = load_csv(path, has_header=False)
+        assert table.schema.names() == ["c0", "c1"]
+
+    def test_custom_delimiter(self, tmp_path):
+        path = write(tmp_path, "a;b\n1;2\n")
+        table = load_csv(path, delimiter=";")
+        assert table.schema.names() == ["a", "b"]
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(StorageError, match=":3"):
+            load_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(StorageError, match="empty"):
+            load_csv(write(tmp_path, ""))
+
+    def test_header_only(self, tmp_path):
+        with pytest.raises(StorageError, match="no data rows"):
+            load_csv(write(tmp_path, "a,b\n"))
+
+    def test_duplicate_headers(self, tmp_path):
+        with pytest.raises(StorageError, match="duplicate"):
+            load_csv(write(tmp_path, "a,a\n1,2\n"))
+
+    def test_sql_over_csv(self, tmp_path, rng):
+        rows = ["sym,price"]
+        symbols = ["A", "B"]
+        values = rng.lognormal(2, 0.5, 2000)
+        for i, v in enumerate(values):
+            rows.append(f"{symbols[i % 2]},{float(v)!r}")
+        path = write(tmp_path, "\n".join(rows) + "\n")
+        table = load_csv(path)
+        result = execute_sql(
+            "SELECT MEDIAN(price, 0.01) AS med, COUNT(*) FROM data"
+            " GROUP BY sym ORDER BY sym",
+            {"data": table},
+        )
+        assert [r["sym"] for r in result.rows] == ["A", "B"]
+        for row in result.rows:
+            mask = np.array([symbols[i % 2] == row["sym"] for i in range(2000)])
+            assert row["count"] == int(mask.sum())
+            true_med = float(np.quantile(values[mask], 0.5))
+            assert row["med"] == pytest.approx(true_med, rel=0.1)
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tmp_path):
+        table = Table.from_dict(
+            "t",
+            {
+                "sym": ["IBM", "MSFT"],
+                "price": np.array([10.5, 20.25]),
+                "qty": np.array([3, 7]),
+            },
+        )
+        path = tmp_path / "out.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        assert loaded.column("sym") == ["IBM", "MSFT"]
+        assert np.array_equal(loaded.column("price"), table.column("price"))
+        assert np.array_equal(loaded.column("qty"), table.column("qty"))
+        assert loaded.schema["qty"].dtype is DataType.INT64
+
+    def test_float_precision_survives(self, tmp_path):
+        value = 0.1 + 0.2  # a classic repr pitfall
+        table = Table.from_dict("t", {"x": np.array([value])})
+        path = tmp_path / "x.csv"
+        save_csv(table, path)
+        assert load_csv(path).column("x")[0] == value
+
+    def test_empty_table_rejected(self, tmp_path):
+        table = Table.from_dict("t", {"x": np.array([], dtype=np.float64)})
+        with pytest.raises(ConfigurationError):
+            save_csv(table, tmp_path / "x.csv")

@@ -1,0 +1,211 @@
+"""Tests for engine schema/table/storage/expression layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, StorageError
+from repro.engine import (
+    Chunk,
+    DataType,
+    Field,
+    Schema,
+    StoredTable,
+    Table,
+    col,
+    lit,
+    save_table,
+)
+
+
+@pytest.fixture
+def trades() -> Table:
+    return Table.from_dict(
+        "trades",
+        {
+            "symbol": ["IBM", "MSFT", "IBM", "ORCL", "IBM"],
+            "price": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            "qty": np.array([1, 2, 3, 4, 5]),
+        },
+    )
+
+
+class TestTypes:
+    def test_inference(self):
+        assert DataType.infer(np.array([1.5])) is DataType.FLOAT64
+        assert DataType.infer(np.array([1, 2])) is DataType.INT64
+        assert DataType.infer(["a"]) is DataType.STRING
+        assert DataType.infer([1.5]) is DataType.FLOAT64
+        assert DataType.infer([7]) is DataType.INT64
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataType.infer([True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataType.infer([])
+
+    def test_field_name_validation(self):
+        Field("ok_name2", DataType.FLOAT64)
+        with pytest.raises(ConfigurationError):
+            Field("bad name", DataType.FLOAT64)
+        with pytest.raises(ConfigurationError):
+            Field("", DataType.FLOAT64)
+
+    def test_schema_lookup_and_duplicates(self):
+        schema = Schema([Field("a", DataType.INT64), Field("b", DataType.STRING)])
+        assert "a" in schema
+        assert schema["b"].dtype is DataType.STRING
+        assert schema.names() == ["a", "b"]
+        with pytest.raises(ConfigurationError):
+            Schema([Field("a", DataType.INT64), Field("a", DataType.INT64)])
+        with pytest.raises(ConfigurationError):
+            Schema([])
+        with pytest.raises(ConfigurationError):
+            schema["missing"]
+
+
+class TestTable:
+    def test_from_dict_infers_schema(self, trades):
+        assert trades.schema["symbol"].dtype is DataType.STRING
+        assert trades.schema["price"].dtype is DataType.FLOAT64
+        assert trades.schema["qty"].dtype is DataType.INT64
+        assert len(trades) == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table.from_dict("t", {"a": [1, 2], "b": [1.0]})
+
+    def test_scan_chunks(self, trades):
+        chunks = list(trades.scan(chunk_size=2))
+        assert [c.n_rows for c in chunks] == [2, 2, 1]
+        assert list(chunks[0]["symbol"]) == ["IBM", "MSFT"]
+        assert chunks[2]["price"][0] == 50.0
+
+    def test_scan_projection(self, trades):
+        chunk = next(trades.scan(columns=["price"]))
+        assert "price" in chunk.columns
+        assert "symbol" not in chunk.columns
+
+    def test_scan_unknown_column(self, trades):
+        with pytest.raises(ConfigurationError):
+            list(trades.scan(columns=["nope"]))
+
+    def test_head(self, trades):
+        rows = trades.head(2)
+        assert rows[0] == {"symbol": "IBM", "price": 10.0, "qty": 1}
+
+    def test_chunk_take(self, trades):
+        chunk = next(trades.scan())
+        filtered = chunk.take(np.array([True, False, True, False, True]))
+        assert filtered.n_rows == 3
+        assert list(filtered["symbol"]) == ["IBM", "IBM", "IBM"]
+
+    def test_chunk_take_bad_mask(self, trades):
+        chunk = next(trades.scan())
+        with pytest.raises(ConfigurationError):
+            chunk.take(np.array([True]))
+
+    def test_chunk_unknown_column(self):
+        chunk = Chunk(columns={"a": np.array([1.0])}, n_rows=1)
+        with pytest.raises(ConfigurationError):
+            chunk["b"]
+
+
+class TestStorage:
+    def test_round_trip(self, trades, tmp_path):
+        save_table(trades, tmp_path / "t")
+        stored = StoredTable(tmp_path / "t")
+        assert stored.n_rows == 5
+        assert stored.schema == trades.schema
+        loaded = stored.load()
+        assert list(loaded.column("symbol")) == list(trades.column("symbol"))
+        assert np.array_equal(loaded.column("price"), trades.column("price"))
+        assert np.array_equal(loaded.column("qty"), trades.column("qty"))
+
+    def test_scan_matches_memory_scan(self, trades, tmp_path):
+        save_table(trades, tmp_path / "t", page_rows=2)
+        stored = StoredTable(tmp_path / "t")
+        mem_rows = [c.n_rows for c in trades.scan(chunk_size=2)]
+        disk_rows = [c.n_rows for c in stored.scan(chunk_size=2)]
+        assert mem_rows == disk_rows
+
+    def test_unicode_strings(self, tmp_path):
+        table = Table.from_dict(
+            "t", {"name": ["café", "über", "日本"]}
+        )
+        save_table(table, tmp_path / "t")
+        loaded = StoredTable(tmp_path / "t").load()
+        assert list(loaded.column("name")) == ["café", "über", "日本"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            StoredTable(tmp_path / "nothing")
+
+    def test_corrupt_metadata(self, tmp_path):
+        d = tmp_path / "t"
+        d.mkdir()
+        (d / "meta.json").write_text("{not json")
+        with pytest.raises(StorageError):
+            StoredTable(d)
+
+    def test_missing_column_file(self, trades, tmp_path):
+        save_table(trades, tmp_path / "t")
+        (tmp_path / "t" / "price.col").unlink()
+        with pytest.raises(StorageError, match="missing column"):
+            StoredTable(tmp_path / "t")
+
+    def test_truncated_column_payload(self, trades, tmp_path):
+        save_table(trades, tmp_path / "t")
+        path = tmp_path / "t" / "price.col"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 8])
+        with pytest.raises(StorageError):
+            list(StoredTable(tmp_path / "t").scan())
+
+    def test_header_row_count_mismatch(self, trades, tmp_path):
+        save_table(trades, tmp_path / "t")
+        import json
+
+        meta_path = tmp_path / "t" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["n_rows"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StorageError):
+            StoredTable(tmp_path / "t")
+
+
+class TestExpressions:
+    def _chunk(self, trades):
+        return next(trades.scan())
+
+    def test_numeric_comparisons(self, trades):
+        chunk = self._chunk(trades)
+        mask = (col("price") > 20.0).evaluate(chunk)
+        assert list(mask) == [False, False, True, True, True]
+        mask = (col("qty") <= 2).evaluate(chunk)
+        assert list(mask) == [True, True, False, False, False]
+
+    def test_string_equality(self, trades):
+        chunk = self._chunk(trades)
+        mask = (col("symbol") == "IBM").evaluate(chunk)
+        assert list(mask) == [True, False, True, False, True]
+
+    def test_boolean_combinators(self, trades):
+        chunk = self._chunk(trades)
+        expr = (col("symbol") == "IBM") & (col("price") > 20.0)
+        assert list(expr.evaluate(chunk)) == [False, False, True, False, True]
+        expr = (col("qty") == 1) | (col("qty") == 4)
+        assert list(expr.evaluate(chunk)) == [True, False, False, True, False]
+        expr = ~(col("symbol") == "IBM")
+        assert list(expr.evaluate(chunk)) == [False, True, False, True, False]
+
+    def test_columns_introspection(self):
+        expr = (col("a") > 1) & ~(col("b") == "x")
+        assert sorted(expr.columns()) == ["a", "b"]
+
+    def test_literal_comparison_broadcasts(self, trades):
+        chunk = self._chunk(trades)
+        assert list((lit(1) == 1).evaluate(chunk)) == [True] * 5

@@ -1,0 +1,620 @@
+"""Tests for GROUP BY execution, the query builder and the SQL front-end."""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError, SQLSyntaxError
+from repro.engine import (
+    Query,
+    Table,
+    avg,
+    col,
+    count,
+    execute_group_by,
+    execute_sql,
+    max_,
+    median,
+    min_,
+    parse_sql,
+    quantile,
+    sum_,
+)
+
+
+@pytest.fixture
+def sales(rng) -> Table:
+    n = 30_000
+    regions = np.array(["east", "west", "north"])[rng.integers(0, 3, n)]
+    amounts = rng.lognormal(4, 1, n)
+    units = rng.integers(1, 50, n)
+    return Table.from_dict(
+        "sales",
+        {"region": list(regions), "amount": amounts, "units": units},
+    )
+
+
+def exact_group_quantile(table, group_col, group, value_col, phi):
+    mask = np.array([g == group for g in table.column(group_col)])
+    values = np.sort(np.asarray(table.column(value_col), dtype=float)[mask])
+    import math
+
+    rank = min(max(math.ceil(phi * len(values)), 1), len(values))
+    return values[rank - 1], len(values)
+
+
+class TestGroupBy:
+    def test_per_group_quantiles_are_guaranteed(self, sales):
+        eps = 0.005
+        result = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(quantile("amount", 0.5, eps), count())
+            .execute()
+        )
+        assert len(result) == 3
+        for row in result.rows:
+            exact, n_group = exact_group_quantile(
+                sales, "region", row["region"], "amount", 0.5
+            )
+            got = row["q0.5_amount"]
+            group_vals = np.sort(
+                np.asarray(sales.column("amount"))[
+                    np.array([g == row["region"] for g in sales.column("region")])
+                ]
+            )
+            got_rank = np.searchsorted(group_vals, got) + 1
+            target = int(np.ceil(0.5 * n_group))
+            # the sketch is sized for the full table, so each group's rank
+            # error is far below eps * n_group; allow the full guarantee
+            assert abs(got_rank - target) <= eps * len(sales) + 1
+
+    def test_scalar_aggregates_exact(self, sales):
+        result = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(
+                count(),
+                sum_("units"),
+                avg("units"),
+                min_("amount"),
+                max_("amount"),
+            )
+            .execute()
+        )
+        for row in result.rows:
+            mask = np.array(
+                [g == row["region"] for g in sales.column("region")]
+            )
+            units = np.asarray(sales.column("units"))[mask]
+            amounts = np.asarray(sales.column("amount"))[mask]
+            assert row["count"] == int(mask.sum())
+            assert row["sum_units"] == pytest.approx(float(units.sum()))
+            assert row["avg_units"] == pytest.approx(float(units.mean()))
+            assert row["min_amount"] == pytest.approx(float(amounts.min()))
+            assert row["max_amount"] == pytest.approx(float(amounts.max()))
+
+    def test_no_group_by_is_single_group(self, sales):
+        result = Query(sales).aggregate(count(), median("amount")).execute()
+        assert len(result) == 1
+        assert result.rows[0]["count"] == len(sales)
+
+    def test_composite_group_keys(self):
+        table = Table.from_dict(
+            "t",
+            {
+                "a": ["x", "x", "y", "y"],
+                "b": ["1", "2", "1", "1"],
+                "v": np.array([1.0, 2.0, 3.0, 4.0]),
+            },
+        )
+        result = (
+            Query(table).group_by("a", "b").aggregate(count()).execute()
+        )
+        keys = {(r["a"], r["b"]): r["count"] for r in result.rows}
+        assert keys == {("x", "1"): 1, ("x", "2"): 1, ("y", "1"): 2}
+
+    def test_where_filters_before_grouping(self, sales):
+        full = Query(sales).group_by("region").aggregate(count()).execute()
+        filtered = (
+            Query(sales)
+            .where(col("units") > 25)
+            .group_by("region")
+            .aggregate(count())
+            .execute()
+        )
+        full_counts = {r["region"]: r["count"] for r in full.rows}
+        for row in filtered.rows:
+            assert row["count"] < full_counts[row["region"]]
+
+    def test_shared_sketch_for_same_column(self, sales):
+        # three quantiles on one column at one epsilon share one sketch
+        result = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(
+                quantile("amount", 0.25, 0.01),
+                quantile("amount", 0.5, 0.01),
+                quantile("amount", 0.75, 0.01),
+            )
+            .execute()
+        )
+        single = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(quantile("amount", 0.5, 0.01))
+            .execute()
+        )
+        assert result.sketch_memory_elements == single.sketch_memory_elements
+        for row in result.rows:
+            assert (
+                row["q0.25_amount"] <= row["q0.5_amount"] <= row["q0.75_amount"]
+            )
+
+    def test_numeric_group_keys(self):
+        table = Table.from_dict(
+            "t", {"g": np.array([1, 2, 1, 2, 3]), "v": np.arange(5.0)}
+        )
+        result = Query(table).group_by("g").aggregate(count()).execute()
+        counts = {r["g"]: r["count"] for r in result.rows}
+        assert counts == {1: 2, 2: 2, 3: 1}
+
+    def test_empty_group_by_result_on_empty_filter(self, sales):
+        result = (
+            Query(sales)
+            .where(col("amount") < -1.0)
+            .group_by("region")
+            .aggregate(count())
+            .execute()
+        )
+        assert len(result) == 0
+
+    def test_needs_aggregates(self, sales):
+        with pytest.raises(QueryError):
+            Query(sales).group_by("region").execute()
+
+    def test_rejects_unknown_columns(self, sales):
+        with pytest.raises(Exception):
+            Query(sales).group_by("nope")
+        with pytest.raises(Exception):
+            Query(sales).where(col("nope") > 1)
+
+    def test_rejects_quantile_on_strings(self, sales):
+        with pytest.raises(QueryError):
+            Query(sales).aggregate(median("region"))
+
+    def test_execute_group_by_requires_aggregates(self, sales):
+        with pytest.raises(QueryError):
+            execute_group_by(sales.scan(), ["region"], [])
+
+    def test_aggregate_validation(self):
+        with pytest.raises(QueryError):
+            quantile("x", 1.5)
+        with pytest.raises(QueryError):
+            quantile("x", 0.5, epsilon=0.0)
+        from repro.engine import Aggregate
+
+        with pytest.raises(QueryError):
+            Aggregate("bogus", "x")
+        with pytest.raises(QueryError):
+            Aggregate("sum")  # needs a column
+
+    def test_result_column_accessor(self, sales):
+        result = Query(sales).group_by("region").aggregate(count()).execute()
+        assert sorted(result.column("region")) == ["east", "north", "west"]
+        with pytest.raises(QueryError):
+            result.column("nope")
+
+
+class TestSQL:
+    def test_parse_basic(self):
+        parsed = parse_sql("SELECT QUANTILE(0.5, price) FROM trades")
+        assert parsed.table == "trades"
+        assert parsed.predicate is None
+        assert parsed.group_by == []
+        assert parsed.aggregates[0].kind == "quantile"
+        assert parsed.aggregates[0].phi == 0.5
+
+    def test_parse_full_statement(self):
+        parsed = parse_sql(
+            "SELECT QUANTILE(0.35, col1), QUANTILE(0.50, col1, 0.001) AS med,"
+            " COUNT(*), AVG(col1) FROM t WHERE col2 > 10 AND grp = 'a'"
+            " GROUP BY grp, col3"
+        )
+        aggs = parsed.aggregates
+        assert len(aggs) == 4
+        assert aggs[1].alias == "med"
+        assert aggs[1].epsilon == 0.001
+        assert aggs[2].kind == "count"
+        assert parsed.group_by == ["grp", "col3"]
+        assert parsed.predicate is not None
+
+    def test_keywords_case_insensitive(self):
+        parsed = parse_sql("select median(v) from t group by g")
+        assert parsed.table == "t"
+        assert parsed.group_by == ["g"]
+        assert parsed.aggregates[0].phi == 0.5
+
+    def test_string_escapes(self):
+        parsed = parse_sql(
+            "SELECT COUNT(*) FROM t WHERE name = 'O''Brien'"
+        )
+        assert "O'Brien" in repr(parsed.predicate)
+
+    def test_parentheses_and_not(self, sales):
+        result = execute_sql(
+            "SELECT COUNT(*) FROM sales WHERE NOT (region = 'east' OR"
+            " region = 'west')",
+            {"sales": sales},
+        )
+        expected = sum(1 for g in sales.column("region") if g == "north")
+        assert result.rows[0]["count"] == expected
+
+    def test_execute_against_catalog(self, sales):
+        result = execute_sql(
+            "SELECT MEDIAN(amount, 0.01) AS med, COUNT(*) FROM sales"
+            " GROUP BY region",
+            {"sales": sales},
+        )
+        assert len(result) == 3
+        assert all(row["med"] > 0 for row in result.rows)
+
+    def test_section7_motivating_query(self, sales):
+        # the exact shape Section 7 cites as the hard case
+        result = execute_sql(
+            "SELECT QUANTILE(0.35, amount), QUANTILE(0.50, amount) FROM sales",
+            {"sales": sales},
+        )
+        row = result.rows[0]
+        assert row["q0.35_amount"] <= row["q0.5_amount"]
+
+    def test_unknown_table(self):
+        with pytest.raises(QueryError, match="unknown table"):
+            execute_sql("SELECT COUNT(*) FROM ghosts", {})
+
+    def test_syntax_errors(self):
+        for bad in (
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT COUNT(*) t",
+            "SELECT COUNT(*) FROM t WHERE",
+            "SELECT BOGUS(x) FROM t",
+            "SELECT COUNT(*) FROM t GROUP x",
+            "SELECT COUNT(*) FROM t trailing",
+            "SELECT COUNT(*) FROM t WHERE a ~ 1",
+        ):
+            with pytest.raises(SQLSyntaxError):
+                parse_sql(bad)
+
+    def test_count_requires_star(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT COUNT(x) FROM t")
+
+    def test_sql_on_stored_table(self, sales, tmp_path):
+        from repro.engine import StoredTable, save_table
+
+        save_table(sales, tmp_path / "sales")
+        stored = StoredTable(tmp_path / "sales")
+        mem = execute_sql(
+            "SELECT COUNT(*), MIN(amount) FROM sales GROUP BY region",
+            {"sales": sales},
+        )
+        disk = execute_sql(
+            "SELECT COUNT(*), MIN(amount) FROM sales GROUP BY region",
+            {"sales": stored},
+        )
+        assert sorted(
+            (r["region"], r["count"]) for r in mem.rows
+        ) == sorted((r["region"], r["count"]) for r in disk.rows)
+
+
+class TestHavingOrderLimit:
+    def test_having_filters_result_rows(self, sales):
+        result = execute_sql(
+            "SELECT COUNT(*) AS n FROM sales GROUP BY region"
+            " HAVING n > 9000",
+            {"sales": sales},
+        )
+        full = execute_sql(
+            "SELECT COUNT(*) AS n FROM sales GROUP BY region",
+            {"sales": sales},
+        )
+        expected = [r for r in full.rows if r["n"] > 9000]
+        assert len(result) == len(expected)
+        assert all(row["n"] > 9000 for row in result.rows)
+
+    def test_having_on_quantile_alias(self, sales):
+        result = execute_sql(
+            "SELECT MEDIAN(amount, 0.01) AS med FROM sales GROUP BY region"
+            " HAVING med > 0",
+            {"sales": sales},
+        )
+        assert len(result) == 3  # lognormal: all medians positive
+
+    def test_order_by_ascending_and_descending(self, sales):
+        asc = execute_sql(
+            "SELECT COUNT(*) AS n FROM sales GROUP BY region ORDER BY n",
+            {"sales": sales},
+        )
+        desc = execute_sql(
+            "SELECT COUNT(*) AS n FROM sales GROUP BY region"
+            " ORDER BY n DESC",
+            {"sales": sales},
+        )
+        ns_asc = [r["n"] for r in asc.rows]
+        ns_desc = [r["n"] for r in desc.rows]
+        assert ns_asc == sorted(ns_asc)
+        assert ns_desc == sorted(ns_desc, reverse=True)
+
+    def test_order_by_group_key_with_limit(self, sales):
+        result = execute_sql(
+            "SELECT COUNT(*) FROM sales GROUP BY region"
+            " ORDER BY region LIMIT 2",
+            {"sales": sales},
+        )
+        regions = [r["region"] for r in result.rows]
+        assert regions == ["east", "north"]
+
+    def test_limit_zero(self, sales):
+        result = execute_sql(
+            "SELECT COUNT(*) FROM sales GROUP BY region LIMIT 0",
+            {"sales": sales},
+        )
+        assert len(result) == 0
+
+    def test_multi_key_order(self):
+        table = Table.from_dict(
+            "t",
+            {
+                "a": ["x", "y", "x", "y"],
+                "b": ["2", "1", "1", "2"],
+                "v": np.arange(4.0),
+            },
+        )
+        result = execute_sql(
+            "SELECT COUNT(*) FROM t GROUP BY a, b ORDER BY a, b DESC",
+            {"t": table},
+        )
+        keys = [(r["a"], r["b"]) for r in result.rows]
+        assert keys == [("x", "2"), ("x", "1"), ("y", "2"), ("y", "1")]
+
+    def test_having_unknown_column(self, sales):
+        with pytest.raises(QueryError, match="unknown output column"):
+            execute_sql(
+                "SELECT COUNT(*) AS n FROM sales GROUP BY region"
+                " HAVING ghost > 1",
+                {"sales": sales},
+            )
+
+    def test_order_by_unknown_column(self, sales):
+        with pytest.raises(QueryError, match="unknown output column"):
+            execute_sql(
+                "SELECT COUNT(*) FROM sales GROUP BY region ORDER BY ghost",
+                {"sales": sales},
+            )
+
+    def test_fractional_limit_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT COUNT(*) FROM t LIMIT 1.5")
+
+    def test_negative_limit_rejected(self, sales):
+        with pytest.raises(QueryError):
+            Query(sales).aggregate(count()).limit(-1)
+
+    def test_builder_having_composes_with_and(self, sales):
+        result = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(count(alias="n"))
+            .having(col("n") > 0)
+            .having(col("n") < 10**9)
+            .execute()
+        )
+        assert len(result) == 3
+
+    def test_parse_having_order_limit_fields(self):
+        parsed = parse_sql(
+            "SELECT COUNT(*) AS n FROM t GROUP BY g"
+            " HAVING n > 5 ORDER BY n DESC, g LIMIT 7"
+        )
+        assert parsed.having is not None
+        assert parsed.order_by == [("n", True), ("g", False)]
+        assert parsed.limit == 7
+
+
+class TestProjectionSelect:
+    def test_select_columns(self, sales):
+        result = Query(sales).select("region", "units").limit(5).execute()
+        assert len(result) == 5
+        assert set(result.rows[0]) == {"region", "units"}
+
+    def test_select_star_sql(self, sales):
+        result = execute_sql("SELECT * FROM sales LIMIT 3", {"sales": sales})
+        assert len(result) == 3
+        assert set(result.rows[0]) == {"region", "amount", "units"}
+
+    def test_where_then_project(self, sales):
+        result = execute_sql(
+            "SELECT amount FROM sales WHERE units > 45 LIMIT 10000",
+            {"sales": sales},
+        )
+        units = np.asarray(sales.column("units"))
+        assert len(result) == int((units > 45).sum())
+
+    def test_order_and_limit(self, sales):
+        result = execute_sql(
+            "SELECT amount FROM sales ORDER BY amount DESC LIMIT 3",
+            {"sales": sales},
+        )
+        amounts = np.sort(np.asarray(sales.column("amount")))[::-1][:3]
+        got = [row["amount"] for row in result.rows]
+        assert got == [pytest.approx(a) for a in amounts]
+
+    def test_early_exit_scans_less(self, sales):
+        result = Query(sales).select("region").limit(10).execute(
+            chunk_size=1000
+        )
+        assert len(result) == 10
+        assert result.n_rows_scanned <= 1000
+
+    def test_predicate_column_not_in_projection(self, sales):
+        result = execute_sql(
+            "SELECT region FROM sales WHERE amount > 0 LIMIT 2",
+            {"sales": sales},
+        )
+        assert set(result.rows[0]) == {"region"}
+
+    def test_projection_with_group_by_rejected(self, sales):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT region FROM sales GROUP BY region")
+        with pytest.raises(QueryError):
+            Query(sales).select("region").group_by("region").aggregate(
+                count()
+            ).execute()
+
+    def test_order_by_unselected_column_rejected(self, sales):
+        with pytest.raises(QueryError, match="unselected"):
+            Query(sales).select("region").order_by("amount").execute()
+
+    def test_unknown_column_rejected(self, sales):
+        with pytest.raises(Exception):
+            Query(sales).select("ghost")
+
+    def test_aggregates_still_parse(self, sales):
+        # the projection detector must not swallow aggregate lists
+        result = execute_sql(
+            "SELECT COUNT(*) FROM sales", {"sales": sales}
+        )
+        assert result.rows[0]["count"] == len(sales)
+
+    def test_projection_on_stored_table(self, sales, tmp_path):
+        from repro.engine import StoredTable, save_table
+
+        save_table(sales, tmp_path / "s")
+        stored = StoredTable(tmp_path / "s")
+        result = execute_sql(
+            "SELECT units FROM sales WHERE units = 7 LIMIT 5",
+            {"sales": stored},
+        )
+        assert all(row["units"] == 7 for row in result.rows)
+
+
+class TestVarianceAggregates:
+    def test_var_and_stddev_match_numpy(self, sales):
+        from repro.engine import stddev, var_
+
+        result = (
+            Query(sales)
+            .group_by("region")
+            .aggregate(var_("amount"), stddev("amount"))
+            .execute(chunk_size=777)  # odd chunking: Welford must not care
+        )
+        regions = np.array(sales.column("region"))
+        amounts = np.asarray(sales.column("amount"))
+        for row in result.rows:
+            values = amounts[regions == row["region"]]
+            assert row["var_amount"] == pytest.approx(float(values.var()))
+            assert row["stddev_amount"] == pytest.approx(float(values.std()))
+
+    def test_sql_surface(self, sales):
+        result = execute_sql(
+            "SELECT STDDEV(amount) AS sd, VAR(amount) AS v FROM sales",
+            {"sales": sales},
+        )
+        row = result.rows[0]
+        assert row["sd"] == pytest.approx(math.sqrt(row["v"]))
+
+    def test_single_element_group(self):
+        from repro.engine import var_
+
+        table = Table.from_dict("t", {"g": ["a"], "v": np.array([7.0])})
+        result = Query(table).group_by("g").aggregate(var_("v")).execute()
+        assert result.rows[0]["var_v"] == 0.0
+
+    def test_constant_column(self):
+        from repro.engine import stddev
+
+        table = Table.from_dict(
+            "t", {"g": ["a"] * 100, "v": np.full(100, 5.0)}
+        )
+        result = Query(table).group_by("g").aggregate(stddev("v")).execute()
+        assert result.rows[0]["stddev_v"] == 0.0
+
+
+class TestNullSemantics:
+    """SQL NULLs (NaN cells) are ignored by aggregates; COUNT(*) is not."""
+
+    def test_aggregates_skip_nan(self):
+        from repro.engine import max_, min_, sum_
+
+        table = Table.from_dict(
+            "t", {"v": np.array([1.0, np.nan, 3.0, np.nan, 5.0])}
+        )
+        result = (
+            Query(table)
+            .aggregate(count(), sum_("v"), avg("v"), min_("v"), max_("v"))
+            .execute()
+        )
+        row = result.rows[0]
+        assert row["count"] == 5
+        assert row["sum_v"] == 9.0
+        assert row["avg_v"] == 3.0
+        assert row["min_v"] == 1.0
+        assert row["max_v"] == 5.0
+
+    def test_quantiles_skip_nan(self):
+        table = Table.from_dict(
+            "t",
+            {"v": np.concatenate([np.arange(100.0), [np.nan] * 50])},
+        )
+        result = Query(table).aggregate(median("v", 0.01)).execute()
+        # median over the 100 real values, not 150 rows
+        assert abs(result.rows[0]["q0.5_v"] - 49.0) <= 2
+
+    def test_all_null_group(self):
+        table = Table.from_dict(
+            "t",
+            {
+                "g": ["a", "a", "b"],
+                "v": np.array([np.nan, np.nan, 1.0]),
+            },
+        )
+        result = (
+            Query(table)
+            .group_by("g")
+            .aggregate(avg("v"), median("v", 0.3), count())
+            .execute()
+        )
+        rows = {r["g"]: r for r in result.rows}
+        assert rows["a"]["avg_v"] is None
+        assert rows["a"]["q0.5_v"] is None
+        assert rows["a"]["count"] == 2
+        assert rows["b"]["avg_v"] == 1.0
+
+    def test_variance_skips_nan(self):
+        from repro.engine import var_
+
+        clean = np.array([1.0, 2.0, 3.0, 4.0])
+        dirty = np.array([1.0, np.nan, 2.0, 3.0, np.nan, 4.0])
+        t1 = Table.from_dict("t", {"v": clean})
+        t2 = Table.from_dict("t", {"v": dirty})
+        v1 = Query(t1).aggregate(var_("v")).execute().rows[0]["var_v"]
+        v2 = Query(t2).aggregate(var_("v")).execute().rows[0]["var_v"]
+        assert v1 == pytest.approx(v2)
+
+    def test_csv_nulls_flow_through_sql(self, tmp_path):
+        from repro.engine import load_csv
+
+        path = tmp_path / "x.csv"
+        path.write_text("g,v\na,1\na,\na,3\nb,5\n")
+        table = load_csv(path)
+        result = execute_sql(
+            "SELECT AVG(v) AS m, COUNT(*) AS n FROM x GROUP BY g ORDER BY g",
+            {"x": table},
+        )
+        rows = {r["g"]: r for r in result.rows}
+        assert rows["a"]["m"] == 2.0  # (1 + 3) / 2, NULL skipped
+        assert rows["a"]["n"] == 3

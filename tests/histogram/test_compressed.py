@@ -1,0 +1,125 @@
+"""Tests for Misra-Gries and the compressed histogram of reference [3]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.histogram import (
+    CompressedHistogram,
+    MisraGries,
+    build_compressed_histogram,
+    build_histogram,
+)
+
+
+class TestMisraGries:
+    def test_guaranteed_heavy_hitters_survive(self, rng):
+        # value 7 holds 40% of the stream; capacity 4 must retain it
+        n = 50_000
+        data = np.where(
+            rng.random(n) < 0.4, 7.0, rng.uniform(100, 200, n)
+        )
+        mg = MisraGries(capacity=4)
+        for i in range(0, n, 1000):
+            mg.extend(data[i : i + 1000])
+        assert 7.0 in mg.candidates()
+        assert mg.n == n
+
+    def test_candidates_bounded_by_capacity(self, rng):
+        mg = MisraGries(capacity=5)
+        mg.extend(rng.uniform(0, 1, 10_000))  # all distinct
+        assert len(mg.candidates()) <= 5
+
+    def test_multiple_heavy_values(self, rng):
+        n = 30_000
+        choice = rng.random(n)
+        data = np.where(choice < 0.3, 1.0, np.where(choice < 0.55, 2.0, rng.uniform(10, 20, n)))
+        mg = MisraGries(capacity=8)
+        mg.extend(data)
+        assert {1.0, 2.0} <= set(mg.candidates())
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries(0)
+
+
+@pytest.fixture
+def skewed(rng):
+    n = 100_000
+    heavy = rng.choice([10.0, 20.0, 30.0], size=int(n * 0.6), p=[0.5, 0.3, 0.2])
+    tail = rng.lognormal(3, 1, n - len(heavy))
+    data = np.concatenate([heavy, tail])
+    rng.shuffle(data)
+    return data
+
+
+class TestCompressedHistogram:
+    def test_heavy_values_get_exact_singletons(self, skewed):
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        singleton_values = [v for v, _c in ch.singletons]
+        assert singleton_values == [10.0, 20.0, 30.0]
+        for value, count in ch.singletons:
+            assert count == int((skewed == value).sum())  # exact
+
+    def test_selectivity_exact_on_heavy_points(self, skewed):
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        true = float((skewed == 20.0).mean())
+        assert ch.selectivity(20.0, 20.0) == pytest.approx(true, abs=1e-9)
+
+    def test_beats_plain_equidepth_on_heavy_ranges(self, skewed):
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        eq = build_histogram(skewed, 20, epsilon=0.005)
+        true = float(((skewed >= 19.5) & (skewed <= 20.5)).mean())
+        assert abs(ch.selectivity(19.5, 20.5) - true) < abs(
+            eq.selectivity(19.5, 20.5) - true
+        )
+
+    def test_no_heavy_values_degenerates_gracefully(self, rng):
+        data = rng.uniform(0, 1, 20_000)  # nothing exceeds n / buckets
+        ch = build_compressed_histogram(data, 10, epsilon=0.01)
+        assert ch.n_singletons == 0
+        true = float(((data >= 0.2) & (data <= 0.4)).mean())
+        assert ch.selectivity(0.2, 0.4) == pytest.approx(true, abs=0.05)
+
+    def test_all_heavy_degenerate(self):
+        data = np.repeat([5.0, 6.0], 5000)
+        ch = build_compressed_histogram(data, 4, epsilon=0.01)
+        assert {v for v, _ in ch.singletons} == {5.0, 6.0}
+        assert ch.selectivity(4.9, 5.1) == pytest.approx(0.5)
+
+    def test_max_singletons_cap(self, rng):
+        # ten heavy values, cap at 4: keep the four heaviest
+        data = np.repeat(np.arange(10.0), 1000)
+        ch = build_compressed_histogram(
+            data, 100, epsilon=0.01, max_singletons=4
+        )
+        assert ch.n_singletons == 4
+
+    def test_chunked_input(self, skewed):
+        chunks = [skewed[i : i + 8192] for i in range(0, len(skewed), 8192)]
+        ch = build_compressed_histogram(iter(chunks), 20, epsilon=0.005)
+        assert ch.n == len(skewed)
+        assert ch.n_singletons == 3
+
+    def test_memory_is_small(self, skewed):
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        assert ch.memory_elements < 100
+
+    def test_validation(self, skewed):
+        with pytest.raises(ConfigurationError):
+            build_compressed_histogram(skewed, 1, epsilon=0.01)
+        with pytest.raises(ConfigurationError):
+            build_compressed_histogram(skewed, 10, epsilon=0.01, max_singletons=0)
+        with pytest.raises(EmptySummaryError):
+            build_compressed_histogram(np.array([]), 10, epsilon=0.01)
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        with pytest.raises(ConfigurationError):
+            ch.selectivity(2.0, 1.0)
+
+    def test_is_frozen(self, skewed):
+        ch = build_compressed_histogram(skewed, 20, epsilon=0.005)
+        assert isinstance(ch, CompressedHistogram)
+        with pytest.raises(AttributeError):
+            ch.n = 5  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Tests for the equi-width comparison histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.histogram import (
+    EquiWidthHistogram,
+    build_equiwidth_histogram,
+    build_histogram,
+    selectivity_experiment,
+)
+
+
+class TestEquiWidth:
+    def test_counts_and_edges(self):
+        hist = EquiWidthHistogram(0.0, 10.0, [2, 3, 5])
+        assert hist.n == 10
+        assert hist.n_buckets == 3
+        assert hist.edges() == [0.0, pytest.approx(10 / 3), pytest.approx(20 / 3), 10.0]
+
+    def test_build_counts_correctly(self):
+        data = np.array([0.5, 1.5, 1.6, 2.5, 2.6, 2.7])
+        hist = build_equiwidth_histogram(data, 3, low=0.0, high=3.0)
+        assert hist.counts == [1, 2, 3]
+
+    def test_uniform_data_is_accurate(self, rng):
+        data = rng.uniform(0, 100, 100_000)
+        hist = build_equiwidth_histogram(data, 20)
+        # on uniform data equi-width == equi-depth: selectivity is good
+        true = float(((data >= 10) & (data <= 30)).mean())
+        assert hist.selectivity(10, 30) == pytest.approx(true, abs=0.01)
+
+    def test_skewed_data_is_inaccurate(self, rng):
+        """The Poosala et al. failure mode the paper's equi-depth
+        histograms exist to avoid."""
+        data = rng.lognormal(0, 2, 100_000)
+        ew = build_equiwidth_histogram(data, 20)
+        # nearly all mass lands in bucket 0; median estimate is way off
+        true_median = float(np.quantile(data, 0.5))
+        assert ew.quantile(0.5) > 10 * true_median
+
+    def test_selectivity_of_full_range(self, rng):
+        data = rng.normal(0, 1, 10_000)
+        hist = build_equiwidth_histogram(data, 10)
+        assert hist.selectivity(data.min(), data.max() + 1) == pytest.approx(
+            1.0
+        )
+
+    def test_quantile_interpolation_monotone(self, rng):
+        hist = build_equiwidth_histogram(rng.normal(0, 1, 10_000), 16)
+        values = [hist.quantile(p) for p in np.linspace(0, 1, 11)]
+        assert values == sorted(values)
+
+    def test_chunked_build(self):
+        chunks = [np.arange(i, i + 100, dtype=np.float64) for i in range(0, 1000, 100)]
+        hist = build_equiwidth_histogram(iter(chunks), 10, low=0.0, high=1000.0)
+        assert hist.counts == [100] * 10
+
+    def test_degenerate_single_value(self):
+        hist = build_equiwidth_histogram(np.full(100, 7.0), 5)
+        assert hist.n == 100
+        assert hist.selectivity(6.0, 8.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EquiWidthHistogram(5.0, 1.0, [1])
+        with pytest.raises(ConfigurationError):
+            EquiWidthHistogram(0.0, 1.0, [])
+        with pytest.raises(ConfigurationError):
+            EquiWidthHistogram(0.0, 1.0, [-1])
+        with pytest.raises(EmptySummaryError):
+            build_equiwidth_histogram(np.array([]), 4)
+        with pytest.raises(ConfigurationError):
+            build_equiwidth_histogram(np.array([1.0]), 0)
+        hist = EquiWidthHistogram(0.0, 1.0, [0])
+        with pytest.raises(EmptySummaryError):
+            hist.selectivity(0.0, 1.0)
+
+
+class TestHeadToHead:
+    def test_equidepth_beats_equiwidth_on_skew(self, rng):
+        """The quantitative version of why the paper's application [3]
+        wants quantiles: range selectivity on skewed data."""
+        data = rng.lognormal(0, 2, 100_000)
+        depth = build_histogram(data, 20, epsilon=0.002)
+        width = build_equiwidth_histogram(data, 20)
+
+        # predicates concentrated where the data actually lives
+        lo_v, hi_v = np.quantile(data, [0.05, 0.95])
+        rng2 = np.random.default_rng(5)
+        predicates = [
+            tuple(sorted(rng2.uniform(lo_v, hi_v, 2))) for _ in range(100)
+        ]
+        depth_err = max(
+            r.absolute_error
+            for r in selectivity_experiment(data, depth, predicates)
+        )
+        width_err = max(
+            abs(width.selectivity(lo, hi)
+                - float(((data >= lo) & (data <= hi)).mean()))
+            for lo, hi in predicates
+        )
+        assert depth_err < width_err

@@ -1,0 +1,114 @@
+"""Tests for equi-depth histograms and selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.histogram import (
+    EquiDepthHistogram,
+    build_histogram,
+    selectivity_experiment,
+    true_selectivity,
+)
+
+
+class TestEquiDepthHistogram:
+    def test_construction_and_edges(self):
+        hist = EquiDepthHistogram([10.0, 20.0, 30.0], n=100, low=0.0, high=40.0)
+        assert hist.n_buckets == 4
+        assert hist.depth == 25.0
+        assert hist.edges() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_rejects_disordered_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            EquiDepthHistogram([20.0, 10.0], n=10, low=0.0, high=30.0)
+
+    def test_rejects_out_of_range_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            EquiDepthHistogram([50.0], n=10, low=0.0, high=30.0)
+
+    def test_full_range_selectivity_is_one(self):
+        hist = EquiDepthHistogram([10.0], n=10, low=0.0, high=20.0)
+        assert hist.selectivity(0.0, 20.0) == pytest.approx(1.0)
+
+    def test_empty_range_selectivity_is_zero(self):
+        hist = EquiDepthHistogram([10.0], n=10, low=0.0, high=20.0)
+        assert hist.selectivity(100.0, 200.0) == 0.0
+
+    def test_half_range_on_uniform(self):
+        # exact equi-depth over uniform data: [low, median] holds half
+        hist = EquiDepthHistogram([5.0], n=100, low=0.0, high=10.0)
+        assert hist.selectivity(0.0, 5.0) == pytest.approx(0.5)
+
+    def test_invalid_range_rejected(self):
+        hist = EquiDepthHistogram([5.0], n=10, low=0.0, high=10.0)
+        with pytest.raises(ConfigurationError):
+            hist.selectivity(6.0, 4.0)
+
+    def test_error_bound_formula(self):
+        hist = EquiDepthHistogram(
+            [1.0, 2.0, 3.0], n=100, low=0.0, high=4.0, epsilon=0.01
+        )
+        assert hist.selectivity_error_bound() == pytest.approx(
+            2 * (0.25 + 0.01)
+        )
+
+
+class TestBuildHistogram:
+    def test_boundaries_are_approximate_quantiles(self, permutation_100k):
+        hist = build_histogram(permutation_100k, 10, epsilon=0.005)
+        for i, boundary in enumerate(hist.boundaries, start=1):
+            target_rank = int(np.ceil(i / 10 * 100_000))
+            assert abs((boundary + 1) - target_rank) <= 0.005 * 100_000 + 1
+
+    def test_selectivity_within_bound(self, rng):
+        data = rng.lognormal(0, 1, 100_000)
+        hist = build_histogram(data, 25, epsilon=0.002)
+        results = selectivity_experiment(data, hist, n_predicates=200, seed=2)
+        worst = max(r.absolute_error for r in results)
+        assert worst <= hist.selectivity_error_bound()
+
+    def test_reuses_supplied_sketch(self, permutation_10k):
+        from repro.core import QuantileSketch
+
+        sk = QuantileSketch(0.01, n=10_000)
+        sk.extend(permutation_10k)
+        hist = build_histogram(permutation_10k, 4, epsilon=0.01, sketch=sk)
+        assert hist.n_buckets == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptySummaryError):
+            build_histogram(np.array([]), 4, epsilon=0.1)
+
+    def test_rejects_single_bucket(self, permutation_10k):
+        with pytest.raises(ConfigurationError):
+            build_histogram(permutation_10k, 1, epsilon=0.1)
+
+    def test_duplicate_heavy_column(self):
+        data = np.repeat([1.0, 2.0, 3.0], 5000)
+        hist = build_histogram(data, 3, epsilon=0.01)
+        # each distinct value is a third of the column
+        assert hist.selectivity(0.5, 1.5) == pytest.approx(1 / 3, abs=0.1)
+
+
+class TestTrueSelectivity:
+    def test_exact_counting(self):
+        data = np.array([1.0, 2, 3, 4, 5])
+        assert true_selectivity(data, 2, 4) == pytest.approx(0.6)
+        assert true_selectivity(data, 0, 10) == 1.0
+        assert true_selectivity(data, 6, 7) == 0.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            true_selectivity(np.array([1.0]), 2, 1)
+
+    def test_experiment_with_explicit_predicates(self, permutation_10k):
+        hist = build_histogram(permutation_10k, 10, epsilon=0.01)
+        results = selectivity_experiment(
+            permutation_10k, hist, predicates=[(0.0, 4999.0)]
+        )
+        assert len(results) == 1
+        assert results[0].true == pytest.approx(0.5)
+        assert results[0].absolute_error <= hist.selectivity_error_bound()

@@ -1,0 +1,120 @@
+"""Cross-module integration: disk tables, SQL, histograms, partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuantileSketch
+from repro.engine import StoredTable, Table, execute_sql, save_table
+from repro.histogram import build_histogram, selectivity_experiment
+from repro.partitioning import simulate_parallel_sort
+from repro.streams import FileStream, zipf_stream
+
+
+class TestDiskToAnswerPipeline:
+    """stream -> disk -> one pass -> quantiles, like a real deployment."""
+
+    def test_disk_resident_quantile_pipeline(self, tmp_path, rng):
+        n = 80_000
+        data = rng.lognormal(2, 1.2, n)
+        path = tmp_path / "col.bin"
+        from repro.streams import write_stream
+
+        write_stream(path, [data[i : i + 8192] for i in range(0, n, 8192)])
+        fs = FileStream(path)
+        sk = QuantileSketch(epsilon=0.005, n=n)
+        for chunk in fs.chunks():
+            sk.extend(chunk)
+        ordered = np.sort(data)
+        for phi in (0.1, 0.5, 0.9, 0.99):
+            got = sk.query(phi)
+            rank = int(np.searchsorted(ordered, got, side="left")) + 1
+            target = int(np.ceil(phi * n))
+            assert abs(rank - target) <= 0.005 * n + 1
+
+    def test_one_sketch_feeds_all_three_applications(self, rng):
+        """Section 1.1's three applications off a single pass: statistics,
+        histograms (optimizer) and splitters (partitioning)."""
+        n = 60_000
+        data = rng.normal(100, 25, n)
+        sk = QuantileSketch(epsilon=0.005, n=n)
+        sk.extend(data)
+
+        # 1. statistics
+        assert data.min() <= sk.median() <= data.max()
+
+        # 2. query optimisation
+        hist = build_histogram(data, 20, epsilon=0.005, sketch=sk)
+        results = selectivity_experiment(data, hist, n_predicates=50, seed=3)
+        assert max(r.absolute_error for r in results) <= (
+            hist.selectivity_error_bound()
+        )
+
+        # 3. partitioning (reuse boundaries as splitters)
+        splitters = sk.equidepth_boundaries(8)
+        sort = simulate_parallel_sort(data, 8, splitters=splitters)
+        assert sort.correct
+        assert sort.report.imbalance <= 2 * 0.005 + 1e-9
+
+
+class TestSQLOverDiskTables:
+    def test_group_by_quantiles_disk_vs_memory(self, tmp_path, rng):
+        n = 20_000
+        groups = np.array(["a", "b", "c", "d"])[rng.integers(0, 4, n)]
+        values = rng.gamma(2.0, 10.0, n)
+        table = Table.from_dict(
+            "metrics", {"grp": list(groups), "value": values}
+        )
+        save_table(table, tmp_path / "metrics", page_rows=1024)
+        stored = StoredTable(tmp_path / "metrics")
+
+        sql = (
+            "SELECT QUANTILE(0.9, value, 0.005) AS p90, COUNT(*)"
+            " FROM metrics GROUP BY grp"
+        )
+        disk = execute_sql(sql, {"metrics": stored})
+        assert len(disk) == 4
+        for row in disk.sorted_rows():
+            mask = groups == row["grp"]
+            exact = np.sort(values[mask])
+            rank = int(np.searchsorted(exact, row["p90"], side="left")) + 1
+            target = int(np.ceil(0.9 * mask.sum()))
+            assert abs(rank - target) <= 0.005 * n + 1
+            assert row["count"] == int(mask.sum())
+
+
+class TestHeavySkew:
+    def test_zipf_end_to_end(self):
+        """Heavy duplication end to end: guarantee must hold under ties."""
+        n = 50_000
+        stream = zipf_stream(n, exponent=1.2, n_distinct=100, seed=5)
+        data = stream.materialize()
+        sk = QuantileSketch(epsilon=0.01, n=n)
+        for chunk in stream.chunks():
+            sk.extend(chunk)
+        ordered = np.sort(data)
+        for phi in (0.25, 0.5, 0.75, 0.95):
+            got = sk.query(phi)
+            lo = int(np.searchsorted(ordered, got, side="left")) + 1
+            hi = int(np.searchsorted(ordered, got, side="right"))
+            target = int(np.ceil(phi * n))
+            err = 0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= 0.01 * n + 1
+
+
+class TestScaleSmoke:
+    @pytest.mark.slow
+    def test_ten_million_elements(self):
+        """A genuinely large single-pass run (the paper's N=1e7 row)."""
+        from repro.streams import random_permutation_stream
+
+        n = 10**7
+        stream = random_permutation_stream(n, seed=1)
+        sk = QuantileSketch(epsilon=0.001, n=n)
+        for chunk in stream.chunks(1 << 20):
+            sk.extend(chunk)
+        med = sk.median()
+        assert abs((med + 1) - n / 2) / n <= 0.001

@@ -1,0 +1,155 @@
+"""Integration tests tying the library to the paper's evaluation claims.
+
+These are scaled-down versions of the benchmark harness runs -- small
+enough for the test suite, but asserting the same *shapes* the paper's
+tables and figures report.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate
+from repro.core import (
+    QuantileFramework,
+    QuantileSketch,
+    optimal_parameters,
+)
+from repro.core.sampling import optimize_alpha, sampling_threshold
+from repro.streams import (
+    STANDARD_ORDERS,
+    random_permutation_stream,
+    sorted_stream,
+)
+
+PHIS_15 = [q / 16 for q in range(1, 16)]
+
+
+class TestTable3Shape:
+    """Section 6: observed error is far below the stipulated epsilon."""
+
+    @pytest.mark.parametrize("order", ["sorted", "random"])
+    def test_observed_error_much_better_than_epsilon(self, order):
+        n, eps = 10**5, 1e-3
+        stream = (
+            sorted_stream(n)
+            if order == "sorted"
+            else random_permutation_stream(n, seed=42)
+        )
+        fw = QuantileFramework.from_accuracy(eps, n)
+        for chunk in stream.chunks():
+            fw.extend(chunk)
+        estimates = fw.quantiles(PHIS_15)
+        errors = [
+            abs((v + 1) - math.ceil(phi * n)) / n
+            for phi, v in zip(PHIS_15, estimates)
+        ]
+        assert max(errors) <= eps  # the guarantee
+        assert np.mean(errors) < eps / 2  # the Section 6 observation
+
+    def test_every_standard_order_respects_epsilon(self):
+        n, eps = 50_000, 0.005
+        for stream in STANDARD_ORDERS(n, seed=9):
+            fw = QuantileFramework.from_accuracy(eps, n)
+            for chunk in stream.chunks():
+                fw.extend(chunk)
+            values = fw.quantiles(PHIS_15)
+            errors = [
+                abs((v + 1) - math.ceil(phi * n)) / n
+                for phi, v in zip(PHIS_15, values)
+            ]
+            assert max(errors) <= eps, stream.name
+
+
+class TestFigure7Shape:
+    """Memory vs N at eps=0.01: New < MP < ARS; ARS explodes."""
+
+    def test_ordering_and_growth(self):
+        eps = 0.01
+        ns = [10**5, 10**6, 10**7, 10**8, 10**9]
+        new = [optimal_parameters(eps, n, policy="new").memory for n in ns]
+        mp = [optimal_parameters(eps, n, policy="mp").memory for n in ns]
+        ars = [optimal_parameters(eps, n, policy="ars").memory for n in ns]
+        for a, b, c in zip(new, mp, ars):
+            assert a <= b
+            assert a <= c
+        # ARS grows ~sqrt(N): x10 data -> ~x3.16 memory
+        assert ars[-1] / ars[0] > 50
+        # New grows polylog: x10000 data -> far less than x100 memory
+        assert new[-1] / new[0] < 40
+
+    def test_mp_kinks_exist(self):
+        # Section 4.6: MP memory *drops* when the optimal b increments.
+        eps = 0.01
+        ns = np.logspace(5, 9, 60)
+        memories = [
+            optimal_parameters(eps, int(n), policy="mp").memory for n in ns
+        ]
+        drops = sum(1 for a, b in zip(memories, memories[1:]) if b < a)
+        assert drops >= 2
+
+
+class TestFigure8Shape:
+    """Sampling threshold: exists, and rises as epsilon shrinks."""
+
+    def test_thresholds_monotone_in_epsilon(self):
+        delta = 1e-4
+        ts = [
+            sampling_threshold(eps, delta)
+            for eps in (0.1, 0.05, 0.01, 0.005)
+        ]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_sampling_memory_independent_of_n(self):
+        plan = optimize_alpha(0.01, 1e-4)
+        # the plan never references N at all; the sketch built from it
+        # reports identical memory for wildly different populations
+        sk_small = QuantileSketch(0.01, n=10**7, delta=1e-4)
+        sk_large = QuantileSketch(0.01, n=10**9, delta=1e-4)
+        assert sk_small.memory_elements == sk_large.memory_elements
+        assert sk_small.memory_elements == plan.memory
+
+
+class TestMultipleQuantilesFree:
+    """Section 4.7: multiple quantiles, same summary, same guarantee."""
+
+    def test_fifteen_quantiles_single_pass(self):
+        n, eps = 30_000, 0.01
+        stream = random_permutation_stream(n, seed=17)
+        fw = QuantileFramework.from_accuracy(eps, n)
+        for chunk in stream.chunks():
+            fw.extend(chunk)
+        values = fw.quantiles(PHIS_15)
+        data = stream.materialize()
+        report = evaluate(data, PHIS_15, values)
+        assert report.max_error <= eps
+        # memory did not grow with the number of quantiles
+        assert fw.memory_elements == optimal_parameters(eps, n).memory
+
+
+class TestBaselineContrast:
+    """The framework's guarantee vs the antecedents' lack of one."""
+
+    def test_guaranteed_summary_beats_p2_on_adversarial_order(self):
+        from repro.baselines import P2Quantile
+        from repro.streams import alternating_extremes_stream
+
+        n = 40_000
+        stream = alternating_extremes_stream(n)
+        data = stream.materialize()
+
+        fw = QuantileFramework.from_accuracy(0.01, n)
+        p2 = P2Quantile(0.5)
+        for chunk in stream.chunks():
+            fw.extend(chunk)
+        for v in data:
+            p2.update(float(v))
+
+        fw_err = evaluate(data, [0.5], [fw.query(0.5)]).max_error
+        p2_err = evaluate(data, [0.5], [p2.query()]).max_error
+        assert fw_err <= 0.01
+        # P2 may do anything; the framework must never exceed epsilon.
+        assert fw_err <= p2_err + 0.01

@@ -1,0 +1,138 @@
+"""Randomised stress: arbitrary operation sequences against an oracle.
+
+A long, seeded, randomly generated interleaving of everything a summary
+supports -- scalar updates, chunked extends, mid-stream queries, rank
+queries, serialisation round-trips, merges -- executed side by side with
+an exact oracle that stores everything.  After every step the certified
+bound must cover every answer.  This is the closest the suite gets to a
+fuzzer for the stateful API surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import QuantileFramework
+from repro.core.serialize import dumps, loads
+
+
+class _Oracle:
+    """Stores everything; answers ranks exactly."""
+
+    def __init__(self) -> None:
+        self.values: list = []
+
+    def extend(self, data) -> None:
+        self.values.extend(float(v) for v in data)
+
+    def rank_error(self, phi: float, answer: float) -> int:
+        ordered = np.sort(np.asarray(self.values))
+        n = len(ordered)
+        target = min(max(math.ceil(phi * n), 1), n)
+        lo = int(np.searchsorted(ordered, answer, side="left")) + 1
+        hi = int(np.searchsorted(ordered, answer, side="right"))
+        if lo <= target <= hi:
+            return 0
+        return min(abs(target - lo), abs(target - hi))
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1998])
+def test_random_operation_soup(seed):
+    rng = np.random.default_rng(seed)
+    fw = QuantileFramework(
+        b=int(rng.integers(2, 8)),
+        k=int(rng.integers(4, 200)),
+        policy=str(
+            rng.choice(["new", "munro-paterson", "alsabti-ranka-singh"])
+        ),
+    )
+    oracle = _Oracle()
+    side = None  # an occasional second summary for merging
+    for _step in range(120):
+        op = rng.choice(
+            ["update", "extend", "query", "rank", "serialize", "merge"],
+            p=[0.25, 0.3, 0.2, 0.1, 0.1, 0.05],
+        )
+        if op == "update":
+            v = float(rng.normal(0, 1000))
+            fw.update(v)
+            oracle.extend([v])
+        elif op == "extend":
+            chunk = rng.normal(0, 1000, int(rng.integers(1, 500)))
+            fw.extend(chunk)
+            oracle.extend(chunk)
+        elif op == "query" and oracle.values:
+            phis = sorted(rng.random(3))
+            answers = fw.quantiles(list(phis))
+            bound = fw.error_bound()
+            for phi, got in zip(phis, answers):
+                assert oracle.rank_error(phi, got) <= bound + 1
+            assert answers == sorted(answers)
+        elif op == "rank" and oracle.values:
+            probe = float(rng.normal(0, 1000))
+            got = fw.rank(probe)
+            ordered = np.sort(np.asarray(oracle.values))
+            true_le = int(np.searchsorted(ordered, probe, side="right"))
+            assert abs(got - true_le) <= fw.error_bound() + 1
+        elif op == "serialize":
+            fw = loads(dumps(fw))  # hot-swap through the wire format
+        elif op == "merge":
+            if side is None:
+                # build a side summary; its elements join the oracle only
+                # when it is actually absorbed into the main summary
+                side = QuantileFramework(fw.b, fw.k, policy=fw.policy.name)
+                side_chunk = rng.normal(5000, 100, int(rng.integers(1, 300)))
+                side.extend(side_chunk)
+            else:
+                fw.absorb(side)
+                oracle.extend(side_chunk)
+                side = None
+    # drain any pending side summary so counts line up, then final check
+    if side is not None:
+        fw.absorb(side)
+        oracle.extend(side_chunk)
+    assert fw.n == len(oracle.values)
+    if oracle.values:
+        final = fw.quantiles([0.1, 0.5, 0.9])
+        bound = fw.error_bound()
+        for phi, got in zip([0.1, 0.5, 0.9], final):
+            assert oracle.rank_error(phi, got) <= bound + 1
+        assert fw.min() == min(oracle.values)
+        assert fw.max() == max(oracle.values)
+
+
+def test_pathological_constant_stream():
+    fw = QuantileFramework(b=3, k=7)
+    fw.extend(np.full(10_000, 3.14))
+    for phi in (0.0, 0.3, 1.0):
+        assert fw.query(phi) == 3.14
+    assert fw.rank(3.14) >= 1
+    assert fw.cdf(3.13) == 0.0
+    assert fw.cdf(3.14) == 1.0
+
+
+def test_alternating_merge_chain():
+    """Absorb in a long chain; counts, extremes and bounds must hold up."""
+    rng = np.random.default_rng(0)
+    base = QuantileFramework(b=5, k=64)
+    total = 0
+    values = []
+    for i in range(12):
+        other = QuantileFramework(b=5, k=64)
+        chunk = rng.normal(i * 10, 1, 500)
+        other.extend(chunk)
+        values.extend(chunk.tolist())
+        total += 500
+        base.absorb(other)
+        assert base.n == total
+        assert len(base.full_buffers) <= base.b
+    ordered = np.sort(np.asarray(values))
+    answers = base.quantiles([0.25, 0.5, 0.75])
+    bound = base.error_bound()
+    for phi, got in zip([0.25, 0.5, 0.75], answers):
+        target = min(max(math.ceil(phi * total), 1), total)
+        lo = int(np.searchsorted(ordered, got, side="left")) + 1
+        assert abs(lo - target) <= bound + 1

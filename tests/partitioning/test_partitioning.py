@@ -1,0 +1,110 @@
+"""Tests for splitter generation and the simulated parallel sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.partitioning import (
+    PartitionReport,
+    compute_splitters,
+    partition_by_splitters,
+    simulate_parallel_sort,
+)
+
+
+class TestSplitters:
+    def test_count_and_order(self, permutation_100k):
+        splitters = compute_splitters(permutation_100k, 8, epsilon=0.01)
+        assert len(splitters) == 7
+        assert splitters == sorted(splitters)
+
+    def test_balance_guarantee(self, permutation_100k):
+        eps = 0.005
+        splitters = compute_splitters(permutation_100k, 10, epsilon=eps)
+        parts = partition_by_splitters(permutation_100k, splitters)
+        report = PartitionReport.from_partitions(parts)
+        assert report.n == 100_000
+        # adjacent splitters each err by <= eps N, in opposite directions
+        assert report.imbalance <= 2 * eps + 1e-9
+
+    def test_partitions_respect_ranges(self, permutation_10k):
+        splitters = compute_splitters(permutation_10k, 4, epsilon=0.01)
+        parts = partition_by_splitters(permutation_10k, splitters)
+        assert len(parts) == 4
+        for i in range(3):
+            if len(parts[i]) and len(parts[i + 1]):
+                assert parts[i].max() <= parts[i + 1].min()
+
+    def test_partition_preserves_multiset(self, permutation_10k):
+        splitters = compute_splitters(permutation_10k, 5, epsilon=0.02)
+        parts = partition_by_splitters(permutation_10k, splitters)
+        rebuilt = np.sort(np.concatenate(parts))
+        assert np.array_equal(rebuilt, np.sort(permutation_10k))
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(EmptySummaryError):
+            compute_splitters(np.array([]), 4, epsilon=0.1)
+
+    def test_rejects_single_partition(self, permutation_10k):
+        with pytest.raises(ConfigurationError):
+            compute_splitters(permutation_10k, 1, epsilon=0.1)
+
+    def test_report_metrics(self):
+        report = PartitionReport(sizes=[30, 50, 20], n=100)
+        assert report.ideal == pytest.approx(100 / 3)
+        assert report.max_size == 50
+        assert report.min_size == 20
+        assert report.skew == pytest.approx(50 / (100 / 3))
+        assert report.imbalance == pytest.approx(
+            max(abs(30 - 100 / 3), abs(50 - 100 / 3), abs(20 - 100 / 3)) / 100
+        )
+
+
+class TestParallelSort:
+    def test_correctness_always(self, rng):
+        data = rng.normal(0, 10, 50_000)
+        result = simulate_parallel_sort(data, 8, epsilon=0.01)
+        assert result.correct
+
+    def test_correct_even_with_terrible_splitters(self, permutation_10k):
+        # approximate splitters can only unbalance, never mis-sort
+        result = simulate_parallel_sort(
+            permutation_10k, 4, splitters=[1.0, 2.0, 3.0]
+        )
+        assert result.correct
+        assert result.report.skew > 3  # nearly everything on one node
+
+    def test_balanced_speedup(self, permutation_100k):
+        result = simulate_parallel_sort(permutation_100k, 16, epsilon=0.005)
+        assert result.correct
+        assert result.report.imbalance <= 0.01
+        # near-ideal balance: the makespan beats 1/8 of the serial cost
+        assert result.speedup > 8
+
+    def test_completion_spread_grows_with_imbalance(self, permutation_100k):
+        good = simulate_parallel_sort(permutation_100k, 8, epsilon=0.002)
+        bad = simulate_parallel_sort(
+            permutation_100k,
+            8,
+            splitters=[100, 200, 300, 400, 500, 600, 50_000],
+        )
+        assert bad.completion_spread > good.completion_spread
+
+    def test_single_node(self, permutation_10k):
+        result = simulate_parallel_sort(permutation_10k, 1)
+        assert result.correct
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_wrong_splitter_count_rejected(self, permutation_10k):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_sort(permutation_10k, 4, splitters=[1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            simulate_parallel_sort(np.array([]), 4)
+
+    def test_node_results_cover_data(self, permutation_10k):
+        result = simulate_parallel_sort(permutation_10k, 5, epsilon=0.01)
+        assert sum(node.n_elements for node in result.nodes) == 10_000

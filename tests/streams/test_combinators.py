@@ -1,0 +1,132 @@
+"""Tests for stream combinators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.streams import (
+    concat,
+    interleave,
+    random_permutation_stream,
+    repeat,
+    reverse_sorted_stream,
+    sorted_stream,
+    take,
+    transform,
+)
+
+
+class TestConcat:
+    def test_order_and_length(self):
+        stream = concat(sorted_stream(100), reverse_sorted_stream(50))
+        data = stream.materialize()
+        assert len(stream) == 150
+        assert np.array_equal(data[:100], np.arange(100.0))
+        assert data[100] == 49.0
+
+    def test_chunking_across_segment_boundary(self):
+        stream = concat(sorted_stream(10), sorted_stream(10))
+        whole = stream.materialize()
+        pieced = np.concatenate(list(stream.chunks(chunk_size=7)))
+        assert np.array_equal(whole, pieced)
+
+    def test_single_stream(self):
+        stream = concat(sorted_stream(5))
+        assert np.array_equal(stream.materialize(), np.arange(5.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concat()
+
+    def test_exact_quantile_via_sort(self):
+        stream = concat(sorted_stream(100), sorted_stream(100))
+        # the union holds each of 0..99 twice; median is 49
+        assert stream.exact_quantile(0.5) == 49.0
+
+
+class TestInterleave:
+    def test_round_robin_blocks(self):
+        stream = interleave(
+            [sorted_stream(6), reverse_sorted_stream(6)], block=2
+        )
+        assert list(stream.materialize()) == [0, 1, 5, 4, 2, 3, 3, 2, 4, 5, 1, 0]
+
+    def test_uneven_lengths(self):
+        stream = interleave([sorted_stream(5), sorted_stream(2)], block=2)
+        assert len(stream) == 7
+        assert sorted(stream.materialize().tolist()) == [0, 0, 1, 1, 2, 3, 4]
+
+    def test_replay_deterministic(self):
+        stream = interleave(
+            [random_permutation_stream(100, seed=1), sorted_stream(100)],
+            block=13,
+        )
+        assert np.array_equal(stream.materialize(), stream.materialize())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleave([])
+        with pytest.raises(ConfigurationError):
+            interleave([sorted_stream(5)], block=0)
+
+
+class TestTakeRepeatTransform:
+    def test_take_prefix(self):
+        assert list(take(sorted_stream(100), 3).materialize()) == [0, 1, 2]
+
+    def test_take_bounds(self):
+        with pytest.raises(ConfigurationError):
+            take(sorted_stream(10), 0)
+        with pytest.raises(ConfigurationError):
+            take(sorted_stream(10), 11)
+
+    def test_repeat(self):
+        stream = repeat(sorted_stream(3), 3)
+        assert len(stream) == 9
+        assert list(stream.materialize()) == [0, 1, 2] * 3
+
+    def test_repeat_validation(self):
+        with pytest.raises(ConfigurationError):
+            repeat(sorted_stream(3), 0)
+
+    def test_transform_elementwise(self):
+        stream = transform(sorted_stream(4), lambda a: a + 10.0)
+        assert list(stream.materialize()) == [10, 11, 12, 13]
+
+    def test_transform_must_preserve_length(self):
+        stream = transform(sorted_stream(4), lambda a: a[:-1])
+        with pytest.raises(ConfigurationError):
+            stream.materialize()
+
+
+class TestCompoundWorkloads:
+    def test_guarantee_on_compound_stream(self):
+        """The whole point: adversarially composed arrival orders still
+        respect the guarantee."""
+        from repro.core import QuantileFramework
+
+        stream = interleave(
+            [
+                sorted_stream(20_000),
+                reverse_sorted_stream(20_000),
+                random_permutation_stream(20_000, seed=3),
+            ],
+            block=512,
+        )
+        # the union holds each rank of 0..19999 three times
+        n = len(stream)
+        fw = QuantileFramework.from_accuracy(0.01, n)
+        for chunk in stream.chunks():
+            fw.extend(chunk)
+        data = np.sort(stream.materialize())
+        for phi in (0.1, 0.5, 0.9):
+            got = fw.query(phi)
+            target = int(np.ceil(phi * n))
+            lo = int(np.searchsorted(data, got, side="left")) + 1
+            hi = int(np.searchsorted(data, got, side="right"))
+            err = 0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= 0.01 * n + 1

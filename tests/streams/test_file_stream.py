@@ -1,0 +1,108 @@
+"""Tests for the disk-resident stream format."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, StorageError
+from repro.streams import FileStream, sorted_stream, write_stream
+
+
+class TestRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "s.bin"
+        data = np.arange(1000, dtype=np.float64)
+        n = write_stream(path, [data[:400], data[400:]])
+        assert n == 1000
+        fs = FileStream(path)
+        assert fs.n == 1000
+        assert np.array_equal(fs.materialize(), data)
+
+    def test_chunked_reads_respect_size(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_stream(path, [np.arange(100, dtype=np.float64)])
+        chunks = list(FileStream(path).chunks(chunk_size=33))
+        assert [len(c) for c in chunks] == [33, 33, 33, 1]
+
+    def test_from_stream_helper(self, tmp_path):
+        fs = FileStream.from_stream(tmp_path / "x.bin", sorted_stream(256))
+        assert fs.n == 256
+        assert fs.exact_quantile(0.5) == 127.0
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_stream(path, [])
+        fs = FileStream(path)
+        assert fs.n == 0
+        assert list(fs.chunks()) == []
+
+    def test_iter_protocol(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_stream(path, [np.array([1.0, 2.0, 3.0])])
+        assert list(FileStream(path)) == [1.0, 2.0, 3.0]
+
+    def test_exact_quantiles_list(self, tmp_path):
+        fs = FileStream.from_stream(tmp_path / "x.bin", sorted_stream(100))
+        assert fs.exact_quantiles([0.1, 0.9]) == [9.0, 89.0]
+
+
+class TestCorruptionHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FileStream(tmp_path / "nope.bin")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMRL00" + b"\x00" * 24)
+        with pytest.raises(StorageError, match="bad magic"):
+            FileStream(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"MRL")
+        with pytest.raises(StorageError, match="truncated"):
+            FileStream(path)
+
+    def test_payload_size_mismatch(self, tmp_path):
+        path = tmp_path / "mismatch.bin"
+        header = struct.pack("<8sQQQ", b"MRLSTRM1", 1, 10, 0)
+        path.write_bytes(header + b"\x00" * 8 * 3)  # says 10, holds 3
+        with pytest.raises(StorageError, match="payload"):
+            FileStream(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "v9.bin"
+        header = struct.pack("<8sQQQ", b"MRLSTRM1", 9, 0, 0)
+        path.write_bytes(header)
+        with pytest.raises(StorageError, match="version"):
+            FileStream(path)
+
+    def test_rejects_2d_chunks(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_stream(tmp_path / "x.bin", [np.ones((2, 2))])
+
+    def test_invalid_chunk_size(self, tmp_path):
+        fs = FileStream.from_stream(tmp_path / "x.bin", sorted_stream(10))
+        with pytest.raises(ConfigurationError):
+            list(fs.chunks(0))
+
+
+class TestIntegrationWithFramework:
+    def test_quantiles_from_disk(self, tmp_path):
+        """The paper's headline scenario: a disk-resident dataset summarised
+        in one pass with bounded memory."""
+        from repro.core import QuantileFramework
+        from repro.streams import random_permutation_stream
+
+        n = 50_000
+        fs = FileStream.from_stream(
+            tmp_path / "big.bin", random_permutation_stream(n, seed=8)
+        )
+        fw = QuantileFramework.from_accuracy(0.01, n)
+        for chunk in fs.chunks():
+            fw.extend(chunk)
+        med = fw.query(0.5)
+        assert abs((med + 1) - n // 2) / n <= 0.01

@@ -1,0 +1,137 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.streams import (
+    STANDARD_ORDERS,
+    alternating_extremes_stream,
+    clustered_stream,
+    correlated_stream,
+    normal_stream,
+    random_permutation_stream,
+    reverse_sorted_stream,
+    sorted_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+class TestRankPermutations:
+    """Every rank-permutation stream must enumerate 0..n-1 exactly once."""
+
+    @pytest.mark.parametrize("n", [1, 2, 17, 1000, 12345])
+    def test_standard_orders_are_permutations(self, n):
+        for stream in STANDARD_ORDERS(n, seed=3):
+            values = stream.materialize()
+            assert len(values) == n, stream.name
+            assert np.array_equal(
+                np.sort(values), np.arange(n, dtype=np.float64)
+            ), stream.name
+
+    def test_sorted_is_ascending(self):
+        assert np.array_equal(
+            sorted_stream(100).materialize(), np.arange(100.0)
+        )
+
+    def test_reverse_is_descending(self):
+        values = reverse_sorted_stream(100).materialize()
+        assert np.array_equal(values, np.arange(99, -1, -1, dtype=np.float64))
+
+    def test_random_permutation_seeded(self):
+        a = random_permutation_stream(500, seed=1).materialize()
+        b = random_permutation_stream(500, seed=1).materialize()
+        c = random_permutation_stream(500, seed=2).materialize()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_clustered_has_ascending_runs(self):
+        values = clustered_stream(1000, n_clusters=10, seed=0).materialize()
+        ascents = np.sum(np.diff(values) > 0)
+        assert ascents > 900  # overwhelmingly ascending within runs
+
+    def test_alternating_extremes_pattern(self):
+        values = alternating_extremes_stream(6).materialize()
+        assert list(values) == [0, 5, 1, 4, 2, 3]
+
+    def test_analytic_exact_quantiles(self):
+        for stream in STANDARD_ORDERS(997, seed=1):
+            for phi in (0.0, 0.25, 0.5, 1.0):
+                import math
+
+                rank = min(max(math.ceil(phi * 997), 1), 997)
+                assert stream.exact_quantile(phi) == float(rank - 1)
+
+
+class TestChunking:
+    def test_chunks_cover_stream_exactly(self):
+        stream = sorted_stream(1000)
+        chunks = list(stream.chunks(chunk_size=333))
+        assert [len(c) for c in chunks] == [333, 333, 333, 1]
+        assert np.array_equal(np.concatenate(chunks), stream.materialize())
+
+    def test_chunking_invariant_to_chunk_size(self):
+        stream = random_permutation_stream(2000, seed=4)
+        a = np.concatenate(list(stream.chunks(chunk_size=100)))
+        b = np.concatenate(list(stream.chunks(chunk_size=999)))
+        assert np.array_equal(a, b)
+
+    def test_iter_protocol(self):
+        assert list(sorted_stream(5)) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            list(sorted_stream(10).chunks(0))
+
+    def test_len(self):
+        assert len(sorted_stream(42)) == 42
+
+
+class TestValueDistributions:
+    def test_uniform_bounds(self):
+        values = uniform_stream(5000, low=2.0, high=3.0, seed=1).materialize()
+        assert values.min() >= 2.0
+        assert values.max() < 3.0
+
+    def test_uniform_chunks_deterministic(self):
+        a = np.concatenate(list(uniform_stream(1000, seed=5).chunks(128)))
+        b = np.concatenate(list(uniform_stream(1000, seed=5).chunks(128)))
+        assert np.array_equal(a, b)
+
+    def test_normal_moments(self):
+        values = normal_stream(50_000, mean=10, std=2, seed=2).materialize()
+        assert abs(values.mean() - 10) < 0.1
+        assert abs(values.std() - 2) < 0.1
+
+    def test_zipf_is_heavily_duplicated(self):
+        values = zipf_stream(10_000, exponent=1.5, seed=3).materialize()
+        top_share = np.mean(values == 0.0)
+        assert top_share > 0.3  # rank-1 item dominates
+
+    def test_zipf_values_in_domain(self):
+        values = zipf_stream(1000, n_distinct=50, seed=1).materialize()
+        assert values.min() >= 0
+        assert values.max() < 50
+
+    def test_correlated_trends_upward(self):
+        values = correlated_stream(10_000, trend=1.0, noise=0.01, seed=0).materialize()
+        first, last = values[:1000].mean(), values[-1000:].mean()
+        assert last > first
+
+    def test_sort_based_exact_quantile(self):
+        stream = uniform_stream(999, seed=7)
+        values = np.sort(stream.materialize())
+        assert stream.exact_quantile(0.5) == values[499]  # ceil(.5*999)=500
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            uniform_stream(100, low=1.0, high=1.0)
+        with pytest.raises(ConfigurationError):
+            normal_stream(100, std=0.0)
+        with pytest.raises(ConfigurationError):
+            zipf_stream(100, exponent=1.0)
+        with pytest.raises(ConfigurationError):
+            sorted_stream(0)

@@ -1,0 +1,132 @@
+"""Tests for analysis utilities: tables, memory accounting, evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MemoryReport,
+    QuantileEvaluation,
+    ascii_series,
+    evaluate,
+    format_memory,
+    format_table,
+    observed_epsilon,
+    observed_rank_error,
+    report_memory,
+)
+from repro.core import QuantileFramework
+from repro.core.errors import ConfigurationError, EmptySummaryError
+
+
+class TestFormatMemory:
+    def test_table1_rendering(self):
+        # matches the units of the paper's Table 1
+        assert format_memory(275) == "275"
+        assert format_memory(2600) == "2.6 K"
+        assert format_memory(107_400) == "107.4 K"
+        assert format_memory(1_415_800) == "1.4 M"
+
+    def test_boundaries(self):
+        assert format_memory(999) == "999"
+        assert format_memory(1000) == "1.0 K"
+        assert format_memory(10**6) == "1.0 M"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        # all rows equal width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_floats_fixed_precision(self):
+        text = format_table(["x"], [[0.5]])
+        assert "0.50000" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiSeries:
+    def test_markers_present(self):
+        text = ascii_series(
+            [1.0, 2.0], {"up": [1, 10], "down": [10, 1]}, width=20
+        )
+        assert "*" in text and "+" in text
+        assert "legend" in text
+
+    def test_log_scale(self):
+        text = ascii_series(
+            [1.0], {"s": [1000.0]}, width=10, log_y=True
+        )
+        assert "|" in text
+
+    def test_empty(self):
+        assert ascii_series([], {}) == "(empty)"
+
+
+class TestMemoryReport:
+    def test_framework_accounting(self):
+        fw = QuantileFramework(b=5, k=100)
+        report = report_memory(fw)
+        assert report.elements == 500
+        assert report.data_bytes == 4000
+        assert report.total_bytes > report.data_bytes
+        assert "500 elements" in str(report)
+
+    def test_baseline_accounting(self):
+        from repro.baselines import P2Quantile
+
+        report = report_memory(P2Quantile(0.5))
+        assert report.elements == 5
+
+    def test_dataclass_fields(self):
+        report = MemoryReport(elements=10, bookkeeping_bytes=64)
+        assert report.total_bytes == 144
+
+
+class TestEvaluation:
+    def test_observed_rank_error_basics(self):
+        data = np.array([1.0, 2, 3, 4, 5])
+        assert observed_rank_error(data, 0.5, 3.0) == 0
+        assert observed_rank_error(data, 0.5, 5.0) == 2
+        assert observed_epsilon(data, 0.5, 5.0) == pytest.approx(0.4)
+
+    def test_duplicates_count_as_interval(self):
+        data = np.array([1.0, 2, 2, 2, 5])
+        # target rank 3; 2.0 occupies ranks 2..4 -> error 0
+        assert observed_rank_error(data, 0.5, 2.0) == 0
+
+    def test_absent_value_measured_to_gap(self):
+        data = np.array([1.0, 2, 3, 4, 5])
+        # 2.5 sits between ranks 2 and 3; target 3 -> distance 0-ish
+        assert observed_rank_error(data, 0.5, 2.5) <= 1
+
+    def test_evaluate_batch(self):
+        data = np.arange(100, dtype=np.float64)
+        report = evaluate(data, [0.1, 0.5], [9.0, 60.0])
+        assert isinstance(report, QuantileEvaluation)
+        assert report.errors[0] == 0.0
+        assert report.max_error == pytest.approx(0.11)
+        assert report.mean_error == pytest.approx(0.055)
+
+    def test_evaluate_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            evaluate(np.arange(10.0), [0.5], [1.0, 2.0])
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(EmptySummaryError):
+            observed_rank_error(np.array([]), 0.5, 1.0)
+
+    def test_bad_phi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            observed_rank_error(np.array([1.0]), 1.5, 1.0)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.streams import FileStream
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = str(tmp_path / "data.bin")
+    assert main(["generate", path, "--kind", "random", "--n", "20000",
+                 "--seed", "3"]) == 0
+    return path
+
+
+class TestPlan:
+    def test_prints_all_policies(self, capsys):
+        assert main(["plan", "--epsilon", "0.01", "--n", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out
+        assert "munro-paterson" in out
+        assert "alsabti-ranka-singh" in out
+
+    def test_sampling_recommendation(self, capsys):
+        assert main(
+            ["plan", "--epsilon", "0.01", "--n", "100000000",
+             "--delta", "1e-4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recommended for N=100000000: sampling" in out
+
+    def test_direct_recommendation_below_threshold(self, capsys):
+        assert main(
+            ["plan", "--epsilon", "0.01", "--n", "100000",
+             "--delta", "1e-4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recommended for N=100000: direct" in out
+
+    def test_invalid_epsilon_is_clean_error(self, capsys):
+        assert main(["plan", "--epsilon", "7", "--n", "100"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "kind",
+        ["sorted", "reverse", "random", "uniform", "normal", "zipf",
+         "clustered", "alternating"],
+    )
+    def test_every_generator(self, tmp_path, kind):
+        path = str(tmp_path / f"{kind}.bin")
+        assert main(
+            ["generate", path, "--kind", kind, "--n", "1000"]
+        ) == 0
+        assert FileStream(path).n == 1000
+
+    def test_deterministic_given_seed(self, tmp_path):
+        p1, p2 = str(tmp_path / "a.bin"), str(tmp_path / "b.bin")
+        main(["generate", p1, "--kind", "random", "--n", "500", "--seed", "9"])
+        main(["generate", p2, "--kind", "random", "--n", "500", "--seed", "9"])
+        assert np.array_equal(
+            FileStream(p1).materialize(), FileStream(p2).materialize()
+        )
+
+
+class TestQuantile:
+    def test_answers_within_epsilon(self, stream_file, capsys):
+        assert main(
+            ["quantile", stream_file, "--epsilon", "0.01",
+             "--phi", "0.5", "--phi", "0.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phi=0.5:" in out
+        assert "certified rank bound" in out
+        # the stream is a permutation of 0..19999: parse and check rank
+        median_line = next(
+            line for line in out.splitlines() if line.startswith("phi=0.5")
+        )
+        value = float(median_line.split(":")[1])
+        assert abs((value + 1) - 10_000) / 20_000 <= 0.01
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(
+            ["quantile", str(tmp_path / "nope.bin"), "--epsilon", "0.01",
+             "--phi", "0.5"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"garbage here" * 4)
+        assert main(
+            ["quantile", str(bad), "--epsilon", "0.01", "--phi", "0.5"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestHistogram:
+    def test_boundaries_printed_sorted(self, stream_file, capsys):
+        assert main(
+            ["histogram", stream_file, "--epsilon", "0.01", "--buckets", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        values = [
+            float(line.split()[-1])
+            for line in out.splitlines()
+            if "-quantile" in line
+        ]
+        assert len(values) == 7
+        assert values == sorted(values)
+
+
+class TestDescribe:
+    def test_report_printed(self, stream_file, capsys):
+        assert main(["describe", stream_file, "--epsilon", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "min" in out and "max" in out and "p50" in out
+        assert "certified rank error" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["describe", str(tmp_path / "none.bin")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""Tests for the one-pass describe() report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Description, describe
+from repro.core.errors import EmptySummaryError
+
+
+class TestDescribe:
+    def test_array_input(self, permutation_100k):
+        report = describe(permutation_100k, epsilon=0.005)
+        assert report.n == 100_000
+        assert report.minimum == 0.0
+        assert report.maximum == 99_999.0
+        assert abs(report.median - 50_000) <= 0.005 * 100_000 + 1
+        assert report.certified_error <= 0.005
+
+    def test_quantiles_are_monotone(self, rng):
+        report = describe(rng.lognormal(0, 2, 50_000), epsilon=0.01)
+        values = [v for _phi, v in report.quantiles]
+        assert values == sorted(values)
+        assert report.minimum <= values[0]
+        assert values[-1] <= report.maximum
+
+    def test_iqr(self):
+        data = np.arange(10_000, dtype=np.float64)
+        report = describe(data, epsilon=0.01)
+        assert report.iqr == pytest.approx(5_000, abs=0.02 * 10_000)
+
+    def test_custom_phis(self, permutation_10k):
+        report = describe(
+            permutation_10k, epsilon=0.01, phis=[0.5, 0.9]
+        )
+        assert [p for p, _v in report.quantiles] == [0.5, 0.9]
+        assert report.value(0.9) == pytest.approx(9_000, abs=200)
+        with pytest.raises(KeyError):
+            report.value(0.25)
+
+    def test_iterable_of_chunks(self, permutation_10k):
+        chunks = [permutation_10k[i : i + 1000] for i in range(0, 10_000, 1000)]
+        report = describe(iter(chunks), epsilon=0.01, n=10_000)
+        assert report.n == 10_000
+        assert report.minimum == 0.0
+
+    def test_iterable_of_scalars(self):
+        report = describe(iter([3.0, 1.0, 2.0, 5.0, 4.0]), epsilon=0.2, n=5)
+        assert report.n == 5
+        assert report.minimum == 1.0
+        assert report.maximum == 5.0
+        assert report.median == 3.0
+
+    def test_mixed_scalars_and_chunks(self):
+        def source():
+            yield 1.0
+            yield np.array([5.0, 3.0])
+            yield 2.0
+            yield 4.0
+
+        report = describe(source(), epsilon=0.2, n=5)
+        assert report.n == 5
+        assert report.median == 3.0
+
+    def test_memory_is_bounded(self, rng):
+        report = describe(rng.normal(0, 1, 200_000), epsilon=0.005)
+        assert report.memory_elements < 10_000
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            describe(np.array([]))
+        with pytest.raises(EmptySummaryError):
+            describe(iter([]))
+
+    def test_str_rendering(self, permutation_10k):
+        text = str(describe(permutation_10k, epsilon=0.01))
+        assert "n  " in text
+        assert "min" in text
+        assert "max" in text
+        assert "p50" in text
+
+    def test_is_frozen_dataclass(self, permutation_10k):
+        report = describe(permutation_10k, epsilon=0.05)
+        assert isinstance(report, Description)
+        with pytest.raises(AttributeError):
+            report.n = 5  # type: ignore[misc]

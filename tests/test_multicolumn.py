@@ -1,0 +1,121 @@
+"""Tests for the single-pass multi-column sketcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.engine import Table
+from repro.multicolumn import MultiColumnSketcher
+
+
+@pytest.fixture
+def columns(rng):
+    n = 40_000
+    return {
+        "uniform": rng.uniform(0, 100, n),
+        "normal": rng.normal(50, 10, n),
+        "skewed": rng.lognormal(1, 1, n),
+    }
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            MultiColumnSketcher([], 0.01)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            MultiColumnSketcher(["a", "a"], 0.01)
+
+    def test_unknown_column_lookup(self):
+        sketcher = MultiColumnSketcher(["a"], 0.01, n=100)
+        with pytest.raises(ConfigurationError):
+            sketcher.sketch("b")
+
+
+class TestSinglePass:
+    def test_all_columns_accurate(self, columns):
+        n = len(columns["uniform"])
+        sketcher = MultiColumnSketcher(
+            list(columns), epsilon=0.005, n=n
+        )
+        for start in range(0, n, 4096):
+            sketcher.consume(
+                {k: v[start : start + 4096] for k, v in columns.items()}
+            )
+        assert sketcher.n_rows == n
+        for name, values in columns.items():
+            ordered = np.sort(values)
+            for phi in (0.1, 0.5, 0.9):
+                got = sketcher.quantiles(name, [phi])[0]
+                rank = int(np.searchsorted(ordered, got, side="left")) + 1
+                target = int(np.ceil(phi * n))
+                assert abs(rank - target) <= 0.005 * n + 1, name
+
+    def test_all_quantiles_shape(self, columns):
+        n = len(columns["uniform"])
+        sketcher = MultiColumnSketcher(list(columns), 0.01, n=n)
+        sketcher.consume(columns)
+        result = sketcher.all_quantiles([0.25, 0.5, 0.75])
+        assert set(result) == set(columns)
+        for values in result.values():
+            assert values == sorted(values)
+
+    def test_histograms_per_column(self, columns):
+        n = len(columns["uniform"])
+        sketcher = MultiColumnSketcher(list(columns), 0.005, n=n)
+        sketcher.consume(columns)
+        hist = sketcher.histogram("skewed", 10)
+        assert hist.n_buckets == 10
+        assert hist.low == pytest.approx(float(columns["skewed"].min()))
+        assert hist.high == pytest.approx(float(columns["skewed"].max()))
+        # median bucket boundary close to the true median in rank terms
+        ordered = np.sort(columns["skewed"])
+        boundary = hist.boundaries[4]  # the 0.5 boundary
+        rank = int(np.searchsorted(ordered, boundary)) + 1
+        assert abs(rank - n // 2) <= 0.005 * n + 1
+
+    def test_engine_chunks_accepted(self, columns):
+        n = len(columns["uniform"])
+        table = Table.from_dict("t", dict(columns))
+        sketcher = MultiColumnSketcher(["uniform", "normal"], 0.01, n=n)
+        for chunk in table.scan(chunk_size=8192):
+            sketcher.consume(chunk)
+        assert sketcher.n_rows == n
+
+    def test_memory_sums_over_columns(self, columns):
+        n = len(columns["uniform"])
+        one = MultiColumnSketcher(["uniform"], 0.01, n=n)
+        three = MultiColumnSketcher(list(columns), 0.01, n=n)
+        assert three.memory_elements == 3 * one.memory_elements
+
+
+class TestValidation:
+    def test_missing_column_in_chunk(self):
+        sketcher = MultiColumnSketcher(["a", "b"], 0.1, n=100)
+        with pytest.raises(ConfigurationError, match="missing"):
+            sketcher.consume({"a": np.arange(5.0)})
+
+    def test_ragged_chunk(self):
+        sketcher = MultiColumnSketcher(["a", "b"], 0.1, n=100)
+        with pytest.raises(ConfigurationError, match="ragged"):
+            sketcher.consume(
+                {"a": np.arange(5.0), "b": np.arange(4.0)}
+            )
+
+    def test_non_mapping_rejected(self):
+        sketcher = MultiColumnSketcher(["a"], 0.1, n=100)
+        with pytest.raises(ConfigurationError):
+            sketcher.consume([1.0, 2.0])
+
+    def test_empty_chunk_noop(self):
+        sketcher = MultiColumnSketcher(["a"], 0.1, n=100)
+        sketcher.consume({"a": np.array([])})
+        assert sketcher.n_rows == 0
+
+    def test_histogram_before_data(self):
+        sketcher = MultiColumnSketcher(["a"], 0.1, n=100)
+        with pytest.raises(EmptySummaryError):
+            sketcher.histogram("a", 4)

@@ -1,0 +1,152 @@
+"""Property-based tests for the application layers.
+
+Histograms, splitters and stream combinators each promise an invariant
+derived from the core guarantee; hypothesis hunts for inputs that break
+the derivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.histogram import build_equiwidth_histogram, build_histogram
+from repro.partitioning import (
+    PartitionReport,
+    compute_splitters,
+    partition_by_splitters,
+)
+from repro.streams import concat, interleave, sorted_stream
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+columns = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=20,
+    max_size=2000,
+)
+
+
+class TestHistogramProperties:
+    @COMMON
+    @given(data=columns, buckets=st.integers(min_value=2, max_value=12))
+    def test_equidepth_selectivity_within_bound(self, data, buckets):
+        arr = np.asarray(data, dtype=np.float64)
+        hist = build_histogram(arr, buckets, epsilon=0.01)
+        bound = hist.selectivity_error_bound()
+        lo_v, hi_v = float(arr.min()), float(arr.max())
+        probes = np.linspace(lo_v, hi_v, 7)
+        for i in range(len(probes) - 1):
+            lo, hi = float(probes[i]), float(probes[i + 1])
+            true = float(((arr >= lo) & (arr <= hi)).mean())
+            assert abs(hist.selectivity(lo, hi) - true) <= bound + 1e-9
+
+    @COMMON
+    @given(data=columns, buckets=st.integers(min_value=2, max_value=12))
+    def test_selectivity_is_a_probability(self, data, buckets):
+        arr = np.asarray(data, dtype=np.float64)
+        for hist in (
+            build_histogram(arr, buckets, epsilon=0.05),
+            build_equiwidth_histogram(arr, buckets),
+        ):
+            lo_v, hi_v = float(arr.min()) - 1, float(arr.max()) + 1
+            rng = np.random.default_rng(0)
+            for _ in range(5):
+                a, b = sorted(rng.uniform(lo_v, hi_v, 2))
+                s = hist.selectivity(float(a), float(b))
+                assert -1e-9 <= s <= 1 + 1e-9
+
+    @COMMON
+    @given(data=columns)
+    def test_equiwidth_counts_conserve_mass(self, data):
+        arr = np.asarray(data, dtype=np.float64)
+        hist = build_equiwidth_histogram(arr, 8)
+        assert sum(hist.counts) == len(arr)
+
+
+class TestPartitioningProperties:
+    @COMMON
+    @given(
+        data=st.lists(
+            st.integers(min_value=-10**6, max_value=10**6),
+            min_size=50,
+            max_size=3000,
+        ),
+        parts=st.integers(min_value=2, max_value=10),
+    )
+    def test_partitions_preserve_multiset_and_order(self, data, parts):
+        arr = np.asarray(data, dtype=np.float64)
+        splitters = compute_splitters(arr, parts, epsilon=0.02)
+        pieces = partition_by_splitters(arr, splitters)
+        assert len(pieces) == parts
+        rebuilt = np.sort(np.concatenate(pieces))
+        assert np.array_equal(rebuilt, np.sort(arr))
+        # ranges are disjoint and ordered
+        for left, right in zip(pieces, pieces[1:]):
+            if len(left) and len(right):
+                assert left.max() <= right.min()
+
+    @COMMON
+    @given(
+        n=st.integers(min_value=200, max_value=20_000),
+        parts=st.integers(min_value=2, max_value=16),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_imbalance_bound_on_distinct_values(self, n, parts, seed):
+        # distinct values: the 2-epsilon balance bound applies exactly
+        rng = np.random.default_rng(seed)
+        arr = rng.permutation(n).astype(np.float64)
+        eps = 0.02
+        splitters = compute_splitters(arr, parts, epsilon=eps)
+        report = PartitionReport.from_partitions(
+            partition_by_splitters(arr, splitters)
+        )
+        assert report.imbalance <= 2 * eps + 1.0 / n + 1e-9
+
+
+class TestCombinatorProperties:
+    @COMMON
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=200), min_size=1, max_size=5
+        )
+    )
+    def test_concat_preserves_every_element(self, sizes):
+        streams = [sorted_stream(size) for size in sizes]
+        combined = concat(*streams)
+        assert len(combined) == sum(sizes)
+        data = combined.materialize()
+        expected = np.concatenate(
+            [np.arange(size, dtype=np.float64) for size in sizes]
+        )
+        assert np.array_equal(data, expected)
+
+    @COMMON
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=200), min_size=1, max_size=4
+        ),
+        block=st.integers(min_value=1, max_value=64),
+        chunk=st.integers(min_value=1, max_value=97),
+    )
+    def test_interleave_multiset_and_chunk_invariance(
+        self, sizes, block, chunk
+    ):
+        streams = [sorted_stream(size) for size in sizes]
+        combined = interleave(streams, block=block)
+        assert len(combined) == sum(sizes)
+        whole = combined.materialize()
+        pieced = np.concatenate(list(combined.chunks(chunk_size=chunk)))
+        assert np.array_equal(whole, pieced)
+        expected = sorted(
+            v for size in sizes for v in range(size)
+        )
+        assert sorted(whole.tolist()) == expected

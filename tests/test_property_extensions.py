@@ -1,0 +1,271 @@
+"""Property-based tests for the library's extensions.
+
+Covers serialisation round-trips, the unknown-N adaptive sketch's
+certified bound, and robustness of the SQL front-end (any input either
+parses or raises ``SQLSyntaxError`` -- never crashes or hangs).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveQuantileSketch
+from repro.core.errors import QueryError, SQLSyntaxError
+from repro.core.framework import QuantileFramework
+from repro.core.serialize import dumps, loads
+from repro.engine import Table, execute_sql, parse_sql
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+float_lists = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=400,
+)
+small_configs = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=12),
+)
+
+
+class TestSerializationProperties:
+    @COMMON
+    @given(
+        data=float_lists,
+        config=small_configs,
+        policy=st.sampled_from(
+            ["new", "munro-paterson", "alsabti-ranka-singh"]
+        ),
+    )
+    def test_roundtrip_is_lossless(self, data, config, policy):
+        b, k = config
+        fw = QuantileFramework(b=b, k=k, policy=policy)
+        fw.extend(np.asarray(data, dtype=np.float64))
+        restored = loads(dumps(fw))
+        phis = [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert restored.quantiles(phis) == fw.quantiles(phis)
+        assert restored.error_bound() == fw.error_bound()
+        assert restored.n == fw.n
+
+    @COMMON
+    @given(
+        data=float_lists,
+        more=float_lists,
+        config=small_configs,
+    )
+    def test_resume_equivalence(self, data, more, config):
+        """serialise-then-continue == never-serialised, for any split."""
+        b, k = config
+        original = QuantileFramework(b=b, k=k)
+        original.extend(np.asarray(data, dtype=np.float64))
+        resumed = loads(dumps(original))
+        arr_more = np.asarray(more, dtype=np.float64)
+        original.extend(arr_more)
+        resumed.extend(arr_more)
+        assert resumed.quantiles([0.5]) == original.quantiles([0.5])
+        assert resumed.error_bound() == original.error_bound()
+
+
+class TestAdaptiveProperties:
+    @COMMON
+    @given(
+        data=st.lists(
+            st.integers(min_value=-10**6, max_value=10**6),
+            min_size=1,
+            max_size=3000,
+        ),
+        eps=st.sampled_from([0.05, 0.1, 0.2]),
+        capacity=st.sampled_from([16, 64, 256]),
+    )
+    def test_certified_bound_always_covers(self, data, eps, capacity):
+        arr = np.asarray(data, dtype=np.float64)
+        sk = AdaptiveQuantileSketch(
+            epsilon=eps, initial_capacity=capacity
+        )
+        sk.extend(arr)
+        ordered = np.sort(arr)
+        n = len(arr)
+        answers = {phi: sk.query(phi) for phi in (0.1, 0.5, 0.9)}
+        bound = sk.error_bound()
+        for phi, got in answers.items():
+            target = min(max(math.ceil(phi * n), 1), n)
+            lo = int(np.searchsorted(ordered, got, side="left")) + 1
+            hi = int(np.searchsorted(ordered, got, side="right"))
+            err = (
+                0
+                if lo <= target <= hi
+                else min(abs(target - lo), abs(target - hi))
+            )
+            assert err <= bound + 1
+
+    @COMMON
+    @given(
+        n=st.integers(min_value=300, max_value=20_000),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_epsilon_guarantee_beyond_first_stage(self, n, seed):
+        eps = 0.05
+        rng = np.random.default_rng(seed)
+        arr = rng.permutation(n).astype(np.float64)
+        sk = AdaptiveQuantileSketch(epsilon=eps, initial_capacity=128)
+        sk.extend(arr)
+        for phi in (0.25, 0.75):
+            got = sk.query(phi)
+            target = min(max(math.ceil(phi * n), 1), n)
+            assert abs((got + 1) - target) / n <= eps
+
+
+class TestSQLRobustness:
+    @COMMON
+    @given(text=st.text(max_size=120))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_sql(text)
+        except SQLSyntaxError:
+            pass
+        except QueryError:
+            pass  # structurally valid but semantically bad is fine too
+
+    @COMMON
+    @given(
+        phi=st.floats(min_value=0.0, max_value=1.0),
+        threshold=st.integers(min_value=-5, max_value=5),
+        group=st.booleans(),
+    )
+    def test_generated_valid_queries_execute(self, phi, threshold, group):
+        table = Table.from_dict(
+            "t",
+            {
+                "g": ["a", "b", "a", "b", "c", "c", "a", "b"],
+                "v": np.arange(8.0),
+            },
+        )
+        group_clause = " GROUP BY g" if group else ""
+        sql = (
+            f"SELECT QUANTILE({phi:.6f}, v) AS q, COUNT(*) AS n FROM t"
+            f" WHERE v > {threshold}{group_clause}"
+        )
+        result = execute_sql(sql, {"t": table})
+        for row in result.rows:
+            if row["q"] is not None:
+                assert 0.0 <= row["q"] <= 7.0
+            assert row["n"] >= 0
+
+    @COMMON
+    @given(
+        idents=st.lists(
+            st.sampled_from(["select", "from", "where", "group", "order"]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_keyword_soup_is_syntax_error(self, idents):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(" ".join(idents))
+
+
+class TestEngineAgainstBruteForce:
+    @COMMON
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        threshold=st.integers(min_value=-100, max_value=100),
+    )
+    def test_group_by_matches_reference(self, rows, threshold):
+        """The engine's scalar aggregates against a dict-of-lists reference
+        implementation, for any table and predicate."""
+        from repro.engine import Query, avg, col, count, max_, min_, sum_
+
+        table = Table.from_dict(
+            "t",
+            {
+                "g": [g for g, _v in rows],
+                "v": np.array([v for _g, v in rows], dtype=np.float64),
+            },
+        )
+        result = (
+            Query(table)
+            .where(col("v") >= threshold)
+            .group_by("g")
+            .aggregate(count(), sum_("v"), avg("v"), min_("v"), max_("v"))
+            .execute(chunk_size=7)
+        )
+        reference: dict = {}
+        for g, v in rows:
+            if v >= threshold:
+                reference.setdefault(g, []).append(v)
+        assert len(result) == len(reference)
+        for row in result.rows:
+            values = reference[row["g"]]
+            assert row["count"] == len(values)
+            assert row["sum_v"] == pytest.approx(sum(values))
+            assert row["avg_v"] == pytest.approx(sum(values) / len(values))
+            assert row["min_v"] == min(values)
+            assert row["max_v"] == max(values)
+
+    @COMMON
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y"]),
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        phi=st.sampled_from([0.25, 0.5, 0.75]),
+    )
+    def test_group_quantiles_within_epsilon(self, rows, phi):
+        from repro.engine import Query, quantile
+
+        eps = 0.05
+        table = Table.from_dict(
+            "t",
+            {
+                "g": [g for g, _v in rows],
+                "v": np.array([v for _g, v in rows], dtype=np.float64),
+            },
+        )
+        result = (
+            Query(table)
+            .group_by("g")
+            .aggregate(quantile("v", phi, eps))
+            .execute(chunk_size=11)
+        )
+        for row in result.rows:
+            group_values = np.sort(
+                np.array([v for g, v in rows if g == row["g"]])
+            )
+            got = row[f"q{phi:g}_v"]
+            n_g = len(group_values)
+            target = min(max(math.ceil(phi * n_g), 1), n_g)
+            lo = int(np.searchsorted(group_values, got, side="left")) + 1
+            hi = int(np.searchsorted(group_values, got, side="right"))
+            err = 0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            # sketches are sized for the whole table (n rows), so the
+            # guarantee is eps * len(rows) ranks
+            assert err <= eps * len(rows) + 1

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+The single most important property in the whole reproduction is checked
+here as a hard invariant: **whatever the data, arrival order, policy or
+configuration, a returned quantile's true rank never deviates from its
+target by more than the certified bound** -- and, when the configuration
+was sized by the paper's optimisers, by more than ``epsilon * N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer import Buffer
+from repro.core.framework import QuantileFramework
+from repro.core.operations import OffsetSelector, collapse, weighted_select
+from repro.core.parameters import optimal_parameters
+from repro.core.sampling import hoeffding_sample_size
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+policies = st.sampled_from(["new", "munro-paterson", "alsabti-ranka-singh"])
+small_configs = st.tuples(
+    st.integers(min_value=2, max_value=7),  # b
+    st.integers(min_value=1, max_value=16),  # k
+)
+float_lists = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=600,
+)
+
+
+def true_rank_interval(data: np.ndarray, value: float) -> "tuple[int, int]":
+    ordered = np.sort(data)
+    lo = int(np.searchsorted(ordered, value, side="left")) + 1
+    hi = int(np.searchsorted(ordered, value, side="right"))
+    return lo, hi
+
+
+def rank_error(data: np.ndarray, phi: float, value: float) -> int:
+    n = len(data)
+    target = min(max(math.ceil(phi * n), 1), n)
+    lo, hi = true_rank_interval(data, value)
+    if hi < lo:  # not present: pads / interpolation never reach here
+        return max(n, 1)
+    if lo <= target <= hi:
+        return 0
+    return min(abs(target - lo), abs(target - hi))
+
+
+class TestHeadlineGuarantee:
+    @COMMON
+    @given(data=float_lists, policy=policies, config=small_configs)
+    def test_certified_bound_always_holds(self, data, policy, config):
+        """Lemma 5, live: rank error <= certified a-posteriori bound."""
+        b, k = config
+        arr = np.asarray(data, dtype=np.float64)
+        fw = QuantileFramework(b=b, k=k, policy=policy)
+        fw.extend(arr)
+        answers = {phi: fw.query(phi) for phi in (0.0, 0.1, 0.5, 0.9, 1.0)}
+        # read the bound after querying: the first query may place the
+        # staged tail, whose collapses the certificate must cover
+        bound = fw.error_bound()
+        for phi, got in answers.items():
+            assert rank_error(arr, phi, got) <= bound + 1
+
+    @COMMON
+    @given(
+        data=st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=1,
+            max_size=2000,
+        ),
+        policy=policies,
+        eps=st.sampled_from([0.05, 0.1, 0.25]),
+    )
+    def test_epsilon_guarantee_with_sized_configuration(
+        self, data, policy, eps
+    ):
+        """The paper's headline: a-priori sized summaries are eps-approximate."""
+        arr = np.asarray(data, dtype=np.float64)
+        n = len(arr)
+        fw = QuantileFramework.from_accuracy(eps, n, policy=policy)
+        fw.extend(arr)
+        for phi in (0.01, 0.5, 0.99):
+            got = fw.query(phi)
+            assert rank_error(arr, phi, got) <= math.ceil(eps * n) + 1
+
+    @COMMON
+    @given(data=float_lists, config=small_configs)
+    def test_returned_values_are_input_elements(self, data, config):
+        b, k = config
+        arr = np.asarray(data, dtype=np.float64)
+        fw = QuantileFramework(b=b, k=k)
+        fw.extend(arr)
+        for phi in (0.0, 0.3, 0.7, 1.0):
+            assert fw.query(phi) in arr
+
+    @COMMON
+    @given(data=float_lists, config=small_configs)
+    def test_quantiles_monotone_in_phi(self, data, config):
+        b, k = config
+        fw = QuantileFramework(b=b, k=k)
+        fw.extend(np.asarray(data, dtype=np.float64))
+        phis = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        values = fw.quantiles(phis)
+        assert values == sorted(values)
+
+
+class TestOperationInvariants:
+    @COMMON
+    @given(
+        buffers=st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=-100, max_value=100),
+                    min_size=4,
+                    max_size=4,
+                ),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        targets=st.lists(
+            st.integers(min_value=1, max_value=4), min_size=1, max_size=6
+        ),
+    )
+    def test_weighted_select_matches_materialisation(self, buffers, targets):
+        bufs = []
+        expanded = []
+        for values, weight in buffers:
+            buf = Buffer.from_values(np.asarray(values, dtype=np.float64), k=4)
+            buf.weight = weight
+            bufs.append(buf)
+            for v in sorted(values):
+                expanded.extend([float(v)] * weight)
+        expanded.sort()
+        positions = [
+            min(t * sum(w for _, w in buffers), len(expanded))
+            for t in targets
+        ]
+        got = weighted_select(bufs, sorted(positions))
+        assert [float(v) for v in got] == [
+            expanded[p - 1] for p in sorted(positions)
+        ]
+
+    @COMMON
+    @given(
+        values_a=st.lists(
+            st.integers(min_value=-50, max_value=50), min_size=5, max_size=5
+        ),
+        values_b=st.lists(
+            st.integers(min_value=-50, max_value=50), min_size=5, max_size=5
+        ),
+        weight_a=st.integers(min_value=1, max_value=6),
+        weight_b=st.integers(min_value=1, max_value=6),
+    )
+    def test_collapse_output_within_input_range(
+        self, values_a, values_b, weight_a, weight_b
+    ):
+        a = Buffer.from_values(np.asarray(values_a, dtype=np.float64), k=5)
+        b = Buffer.from_values(np.asarray(values_b, dtype=np.float64), k=5)
+        a.weight, b.weight = weight_a, weight_b
+        y = collapse([a, b], OffsetSelector())
+        union = set(values_a) | set(values_b)
+        assert all(float(v) in {float(u) for u in union} for v in y.values)
+        assert list(y.values) == sorted(y.values)
+        assert y.weight == weight_a + weight_b
+
+    @COMMON
+    @given(
+        weights=st.lists(
+            st.integers(min_value=2, max_value=40), min_size=1, max_size=60
+        )
+    )
+    def test_lemma1_for_any_weight_sequence(self, weights):
+        sel = OffsetSelector()
+        offsets = [sel.offset_for(w) for w in weights]
+        w_total, c = sum(weights), len(weights)
+        assert sum(offsets) >= (w_total + c - 1) / 2
+
+    @COMMON
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet="abcdefghij", min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        config=small_configs,
+    )
+    def test_generic_values_share_the_guarantee(self, values, config):
+        b, k = config
+        fw = QuantileFramework(b=b, k=k)
+        for v in values:
+            fw.update(v)
+        ordered = sorted(values)
+        n = len(values)
+        answers = {phi: fw.query(phi) for phi in (0.25, 0.5, 0.75)}
+        bound = fw.error_bound()
+        for phi, got in answers.items():
+            target = min(max(math.ceil(phi * n), 1), n)
+            lo = ordered.index(got) + 1
+            hi = n - ordered[::-1].index(got)
+            err = 0 if lo <= target <= hi else min(
+                abs(target - lo), abs(target - hi)
+            )
+            assert err <= bound + 1
+
+
+class TestParameterInvariants:
+    @COMMON
+    @given(
+        eps=st.floats(min_value=0.001, max_value=0.3),
+        n=st.integers(min_value=1, max_value=10**10),
+        policy=policies,
+    )
+    def test_plans_are_feasible(self, eps, n, policy):
+        plan = optimal_parameters(eps, n, policy=policy)
+        assert plan.b >= 2
+        assert plan.k >= 1
+        assert plan.error_bound <= eps * n + 0.5
+
+    @COMMON
+    @given(
+        eps2=st.floats(min_value=0.001, max_value=0.5),
+        delta=st.floats(min_value=1e-10, max_value=0.5),
+    )
+    def test_sample_size_formula_invariants(self, eps2, delta):
+        s = hoeffding_sample_size(eps2, delta)
+        assert s >= 1
+        # Hoeffding: 2 exp(-2 eps2^2 S) <= delta must hold at the returned S
+        assert 2 * math.exp(-2 * eps2 * eps2 * s) <= delta * (1 + 1e-9)
+
+
+class TestMergeInvariants:
+    @COMMON
+    @given(
+        data_a=float_lists,
+        data_b=float_lists,
+        config=small_configs,
+    )
+    def test_absorb_preserves_certified_bound(self, data_a, data_b, config):
+        b, k = config
+        arr_a = np.asarray(data_a, dtype=np.float64)
+        arr_b = np.asarray(data_b, dtype=np.float64)
+        fa = QuantileFramework(b=b, k=k)
+        fb = QuantileFramework(b=b, k=k)
+        fa.extend(arr_a)
+        fb.extend(arr_b)
+        fa.absorb(fb)
+        combined = np.concatenate([arr_a, arr_b])
+        assert fa.n == len(combined)
+        answers = {phi: fa.query(phi) for phi in (0.1, 0.5, 0.9)}
+        bound = fa.error_bound()
+        for phi, got in answers.items():
+            assert rank_error(combined, phi, got) <= bound + 1

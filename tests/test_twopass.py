@@ -1,0 +1,173 @@
+"""Tests for the two-pass exact quantile algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.streams import random_permutation_stream, sorted_stream, zipf_stream
+from repro.twopass import choose_epsilon, exact_quantile_two_pass
+
+
+class TestExactness:
+    @pytest.mark.parametrize("phi", [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0])
+    def test_exact_on_permutations(self, phi):
+        n = 100_000
+        stream = random_permutation_stream(n, seed=2)
+        result = exact_quantile_two_pass(stream, phi)
+        assert result.value == stream.exact_quantile(phi)
+
+    def test_exact_on_duplicates(self):
+        stream = zipf_stream(50_000, exponent=1.2, n_distinct=30, seed=4)
+        result = exact_quantile_two_pass(stream, 0.5)
+        assert result.value == stream.exact_quantile(0.5)
+
+    def test_exact_on_arrays(self, rng):
+        data = rng.normal(0, 1, 30_001)
+        result = exact_quantile_two_pass(data, 0.9, epsilon=0.01)
+        assert result.value == float(
+            np.sort(data)[int(np.ceil(0.9 * 30_001)) - 1]
+        )
+
+    def test_exact_with_callable_source(self, rng):
+        data = rng.uniform(0, 1, 12_345)
+
+        def chunks():
+            for i in range(0, len(data), 1000):
+                yield data[i : i + 1000]
+
+        result = exact_quantile_two_pass(chunks, 0.5, n=12_345)
+        assert result.value == float(
+            np.sort(data)[int(np.ceil(0.5 * 12_345)) - 1]
+        )
+
+    def test_single_element(self):
+        result = exact_quantile_two_pass(np.array([42.0]), 0.5)
+        assert result.value == 42.0
+
+
+class TestCostAccounting:
+    def test_memory_far_below_n(self):
+        n = 500_000
+        stream = random_permutation_stream(n, seed=7)
+        result = exact_quantile_two_pass(stream, 0.5)
+        assert result.peak_memory < n // 10
+        assert result.retained <= 4 * result.epsilon * n + 2
+
+    def test_bracket_encloses_answer(self):
+        stream = sorted_stream(50_000)
+        result = exact_quantile_two_pass(stream, 0.3)
+        lo, hi = result.bracket
+        assert lo <= result.value <= hi
+
+    def test_choose_epsilon_scaling(self):
+        # epsilon shrinks as n grows (toward the sqrt balance point)
+        values = [choose_epsilon(n) for n in (10**3, 10**5, 10**7, 10**9)]
+        assert values == sorted(values, reverse=True)
+        assert all(0 < v <= 0.25 for v in values)
+
+    def test_smaller_epsilon_retains_less(self):
+        stream = random_permutation_stream(200_000, seed=1)
+        loose = exact_quantile_two_pass(stream, 0.5, epsilon=0.02)
+        tight = exact_quantile_two_pass(stream, 0.5, epsilon=0.002)
+        assert tight.retained < loose.retained
+        assert tight.value == loose.value  # both exact
+
+
+class TestValidation:
+    def test_bad_phi(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile_two_pass(np.array([1.0]), 1.5)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile_two_pass(np.array([1.0]), 0.5, epsilon=0.7)
+
+    def test_callable_needs_n(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile_two_pass(lambda: iter([np.array([1.0])]), 0.5)
+
+    def test_empty_stream(self):
+        with pytest.raises((EmptySummaryError, ConfigurationError)):
+            exact_quantile_two_pass(np.array([]), 0.5)
+
+    def test_unsupported_source(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile_two_pass({"not": "a stream"}, 0.5)
+
+    def test_non_replaying_source_detected(self, rng):
+        """A source that yields different data on the second pass must be
+        caught, not silently produce a wrong answer."""
+        calls = {"count": 0}
+
+        def flaky():
+            calls["count"] += 1
+            seed = calls["count"]
+            yield np.random.default_rng(seed).permutation(10_000).astype(
+                np.float64
+            ) * (1000.0 if seed > 1 else 1.0)
+
+        with pytest.raises(ConfigurationError, match="replay"):
+            exact_quantile_two_pass(flaky, 0.5, n=10_000, epsilon=0.01)
+
+
+class TestMultiPass:
+    def test_exact_under_tiny_budgets(self):
+        from repro.twopass import exact_quantile_multipass
+
+        n = 200_000
+        stream = random_permutation_stream(n, seed=3)
+        for budget in (20_000, 2_000, 600):
+            result = exact_quantile_multipass(
+                stream, 0.5, memory_budget=budget
+            )
+            assert result.value == stream.exact_quantile(0.5)
+            assert result.peak_memory <= budget * 1.2  # small slack
+
+    def test_more_budget_means_fewer_passes(self):
+        from repro.twopass import exact_quantile_multipass
+
+        stream = random_permutation_stream(300_000, seed=5)
+        rich = exact_quantile_multipass(stream, 0.25, memory_budget=50_000)
+        poor = exact_quantile_multipass(stream, 0.25, memory_budget=1_000)
+        assert rich.value == poor.value == stream.exact_quantile(0.25)
+        assert rich.passes < poor.passes
+
+    def test_windows_shrink_monotonically(self):
+        from repro.twopass import exact_quantile_multipass
+
+        stream = random_permutation_stream(500_000, seed=6)
+        result = exact_quantile_multipass(stream, 0.9, memory_budget=900)
+        assert list(result.windows) == sorted(result.windows, reverse=True)
+
+    def test_hopeless_budget_raises_cleanly(self):
+        from repro.twopass import exact_quantile_multipass
+
+        stream = random_permutation_stream(10**6, seed=7)
+        with pytest.raises(ConfigurationError, match="too small"):
+            exact_quantile_multipass(stream, 0.5, memory_budget=50)
+
+    def test_extremes(self):
+        from repro.twopass import exact_quantile_multipass
+
+        stream = random_permutation_stream(50_000, seed=8)
+        lo = exact_quantile_multipass(stream, 0.0, memory_budget=2_000)
+        hi = exact_quantile_multipass(stream, 1.0, memory_budget=2_000)
+        assert lo.value == 0.0
+        assert hi.value == 49_999.0
+
+    def test_duplicates(self):
+        from repro.twopass import exact_quantile_multipass
+
+        stream = zipf_stream(100_000, exponent=1.2, n_distinct=50, seed=9)
+        result = exact_quantile_multipass(stream, 0.5, memory_budget=3_000)
+        assert result.value == stream.exact_quantile(0.5)
+
+    def test_validation(self):
+        from repro.twopass import exact_quantile_multipass
+
+        with pytest.raises(ConfigurationError):
+            exact_quantile_multipass(np.array([1.0]), 2.0, memory_budget=100)
+        with pytest.raises(ConfigurationError):
+            exact_quantile_multipass(np.array([1.0]), 0.5, memory_budget=4)

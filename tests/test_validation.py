@@ -1,0 +1,57 @@
+"""Tests for the statistical guarantee-verification harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.streams import zipf_stream
+from repro.validation import GuaranteeReport, verify_guarantee
+
+
+class TestVerifyGuarantee:
+    def test_no_breaches_across_standard_orders(self):
+        report = verify_guarantee(0.01, 20_000, n_trials=10, seed=4)
+        assert report.breaches == 0
+        assert report.max_observed <= 0.01
+        assert report.worst_certified <= 0.01
+        assert report.n_measurements == 10 * 5
+
+    def test_observed_well_below_epsilon(self):
+        # Section 6's qualitative claim as a statistical statement
+        report = verify_guarantee(0.01, 20_000, n_trials=10, seed=4)
+        assert report.mean_observed < 0.01 / 3
+
+    def test_custom_stream_factory(self):
+        report = verify_guarantee(
+            0.02,
+            10_000,
+            n_trials=4,
+            stream_factory=lambda seed: zipf_stream(10_000, seed=seed),
+        )
+        assert report.breaches == 0
+
+    def test_policies(self):
+        for policy in ("munro-paterson", "alsabti-ranka-singh"):
+            report = verify_guarantee(
+                0.02, 10_000, policy=policy, n_trials=4, seed=1
+            )
+            assert report.breaches == 0, policy
+
+    def test_percentiles_of_distribution(self):
+        report = verify_guarantee(0.02, 10_000, n_trials=5, seed=2)
+        assert report.percentile(0.0) <= report.percentile(0.5)
+        assert report.percentile(0.5) <= report.percentile(1.0)
+        assert report.percentile(1.0) == report.max_observed
+        with pytest.raises(ConfigurationError):
+            report.percentile(1.5)
+
+    def test_report_string(self):
+        report = verify_guarantee(0.05, 5_000, n_trials=2, seed=3)
+        text = str(report)
+        assert "breaches=0" in text
+        assert isinstance(report, GuaranteeReport)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            verify_guarantee(0.01, 1_000, n_trials=0)
