@@ -13,6 +13,7 @@ Public surface:
 * :class:`TreeRecorder` -- collapse-tree capture (Figures 2-4, Lemma 5).
 """
 
+from . import kernels
 from .buffer import MINUS_INF, PLUS_INF, Buffer
 from .errors import (
     CapacityExceededError,
@@ -23,6 +24,7 @@ from .errors import (
     SQLSyntaxError,
     StorageError,
     StreamExhaustedError,
+    WorkerError,
 )
 from .framework import QuantileFramework
 from .operations import (
@@ -64,6 +66,7 @@ from .sketch import QuantileSketch, approximate_quantiles
 from .tree import TreeNode, TreeRecorder, TreeStats
 
 __all__ = [
+    "kernels",
     "Buffer",
     "MINUS_INF",
     "PLUS_INF",
@@ -109,6 +112,7 @@ __all__ = [
     "StreamExhaustedError",
     "CapacityExceededError",
     "EmptySummaryError",
+    "WorkerError",
     "StorageError",
     "QueryError",
     "SQLSyntaxError",

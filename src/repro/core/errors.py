@@ -42,6 +42,14 @@ class EmptySummaryError(ReproError, RuntimeError):
     """A quantile query was issued against a summary that saw no data."""
 
 
+class WorkerError(ReproError, RuntimeError):
+    """A parallel worker process failed or became unreachable.
+
+    The message carries the worker index and the re-raised failure text;
+    the parent engine raises it when it collects worker summaries.
+    """
+
+
 class StorageError(ReproError, IOError):
     """A failure in the mini storage engine (corrupt page, bad magic, ...)."""
 

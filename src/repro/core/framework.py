@@ -33,6 +33,7 @@ from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from . import kernels
 from .buffer import Buffer
 from .errors import (
     CapacityExceededError,
@@ -194,6 +195,10 @@ class QuantileFramework:
     def extend(self, data: "Iterable[Any] | np.ndarray") -> None:
         """Ingest many elements (numpy arrays take the vectorised path)."""
         self._flush_scalars()
+        if not isinstance(data, (np.ndarray, list, tuple)):
+            # Materialise one-shot iterables (generators, map objects, ...)
+            # exactly once; mode detection below must not consume them.
+            data = list(data)
         if self._mode is None:
             self._mode = self._detect_mode(data)
         if self._mode == "numeric":
@@ -235,6 +240,14 @@ class QuantileFramework:
             )
         if len(cnts) and int(cnts.min()) < 0:
             raise ConfigurationError("counts cannot be negative")
+        if len(cnts) and int(cnts.min()) == 0:
+            # Zero-count rows contribute nothing; drop them up front so the
+            # chunking loop below never materialises or scans them.
+            keep = cnts > 0
+            vals = vals[keep]
+            cnts = cnts[keep]
+        if not len(vals):
+            return
         start = 0
         while start < len(vals):
             stop = start
@@ -308,12 +321,25 @@ class QuantileFramework:
         lo, hi = float(arr.min()), float(arr.max())
         self._min = lo if self._min is None else min(self._min, lo)
         self._max = hi if self._max is None else max(self._max, hi)
-        if self._remainder is not None and len(self._remainder):
-            arr = np.concatenate([self._remainder, arr])
         k = self.k
-        n_full = len(arr) // k
-        for i in range(n_full):
-            self._place_values(arr[i * k : (i + 1) * k])
+        rem = self._remainder
+        if rem is not None and len(rem):
+            # Complete the staged partial buffer with just enough elements
+            # instead of concatenating the whole chunk onto it.
+            need = k - len(rem)
+            if arr.size < need:
+                self._remainder = np.concatenate([rem, arr])
+                return
+            self._place_values(np.concatenate([rem, arr[:need]]))
+            arr = arr[need:]
+        n_full = arr.size // k
+        if n_full:
+            # Batched NEW: sort every full buffer of the chunk in one
+            # vectorised call, then place the pre-sorted rows.
+            mat = kernels.sort_rows(arr, k)
+            place = self._place_values
+            for i in range(n_full):
+                place(mat[i], presorted=True)
         self._remainder = arr[n_full * k :].copy()
 
     def _ingest_generic(self, items: List[Any]) -> None:
@@ -336,15 +362,25 @@ class QuantileFramework:
 
     # -- NEW / COLLAPSE scheduling ----------------------------------------------
 
-    def _place_values(self, values: Any) -> None:
-        """NEW: place *values* (exactly k, or fewer for the final flush)."""
+    def _place_values(self, values: Any, *, presorted: bool = False) -> None:
+        """NEW: place *values* (exactly k, or fewer for the final flush).
+
+        With ``presorted=True`` the caller guarantees a full, already
+        sorted row of exactly ``k`` numeric values (the batched ingest
+        path), so the buffer is built directly without re-sorting or pad
+        bookkeeping.
+        """
         while True:
             group = self.policy.pre_new_collapse(self._full, self.b)
             if group is None:
                 break
             self._do_collapse(group)
         level = self.policy.level_for_new(self._full, self.b)
-        buf = Buffer.from_values(values, self.k, level=level)
+        if presorted:
+            # Copy the row so buffers never pin the chunk-sized sort matrix.
+            buf = Buffer(values=values.copy(), weight=1, level=level)
+        else:
+            buf = Buffer.from_values(values, self.k, level=level)
         self._full.append(buf)
         if self.recorder is not None:
             self.recorder.on_new(buf)

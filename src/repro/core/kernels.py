@@ -1,0 +1,363 @@
+"""Vectorised hot-path kernels for the MRL framework's numeric fast path.
+
+Every expensive step of the framework funnels through two primitives:
+merging the contents of ``c`` buffers into one weighted sorted sequence
+(COLLAPSE, OUTPUT, rank queries) and sorting the raw stream into fresh
+buffers (NEW).  Both can exploit a structural invariant the generic code
+ignores: **every** :class:`~repro.core.buffer.Buffer` is *already sorted*
+by construction -- leaves are sorted on creation and COLLAPSE outputs are
+selections from a sorted merge.  This module holds the vectorised kernels
+that exploit it:
+
+``merge_sorted_runs``
+    a stable c-way merge of sorted weighted runs.  Two strategies are
+    provided: ``"searchsorted"`` (a pairwise tournament merge -- each round
+    computes every element's position in the merged output with two
+    ``np.searchsorted`` calls and scatters) and ``"stable"`` (concatenate
+    and ``np.sort(kind="stable")``; numpy's stable sort is timsort, whose
+    run detection + galloping merge *is* a c-way merge of the pre-sorted
+    runs, at a fraction of the Python-call overhead for small runs).
+    ``"auto"`` picks by input size: measured on this code base the
+    explicit pairwise merge only amortises its extra numpy-call overhead
+    for large merges, so small COLLAPSEs take the timsort route.
+
+``weighted_select_runs``
+    weighted positional selection straight off sorted runs.  The dominant
+    COLLAPSE case (all inputs share one weight -- e.g. every leaf collapse)
+    degenerates to pure index arithmetic: position ``t`` of the weighted
+    sequence is element ``(t - 1) // w`` of the plain merge, so no weight
+    vector, cumsum or binary search is needed at all.  Mixed weights use a
+    stable argsort plus a cumulative-weight search, with the per-element
+    weight vector derived from the argsort permutation itself (element
+    ``order[i]`` came from run ``order[i] // k`` when all runs share a
+    length) instead of materialising per-run weight arrays.
+
+``weighted_select_argsort``
+    the reference implementation (global stable argsort over the
+    concatenated values, exactly the pre-kernel code path).  It is kept
+    callable forever: the property tests assert the kernels match it
+    bit-for-bit, and it is the automatic fallback whenever a kernel
+    precondition does not hold or the kernels are disabled.
+
+``collapse_pad_counts``
+    O(1) padding arithmetic for COLLAPSE outputs.  Padding sentinels sort
+    to the extremes, so the merged weighted sequence starts with exactly
+    ``sum(n_low_pad * weight)`` positions of ``-inf`` and ends with
+    ``sum(n_high_pad * weight)`` positions of ``+inf``; counting selected
+    targets inside those spans replaces two full ``isinf`` scans of the
+    output.
+
+Disabling the kernels (``REPRO_KERNELS=0`` in the environment, or
+:func:`set_enabled`) routes every caller through the reference argsort
+path; the results are identical either way, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_enabled",
+    "set_enabled",
+    "merge_sorted_runs",
+    "weighted_select_runs",
+    "weighted_select_argsort",
+    "collapse_pad_counts",
+    "sort_rows",
+]
+
+# Pairwise searchsorted merging issues ~6 numpy calls per merge round; below
+# this many total elements the timsort route wins on call overhead alone.
+_SEARCHSORTED_MIN_ELEMENTS = 1 << 16
+
+_enabled = os.environ.get("REPRO_KERNELS", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def is_enabled() -> bool:
+    """Whether the vectorised kernels are active (vs the argsort fallback)."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable the kernels (used by tests and benchmarks)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+# -- merging -----------------------------------------------------------------
+
+
+def _merge_two(
+    va: np.ndarray,
+    wa: np.ndarray,
+    vb: np.ndarray,
+    wb: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable merge of two sorted weighted runs via positional scatter.
+
+    Each element's slot in the merged output is its own index plus the
+    number of elements of the *other* run that precede it; ties break
+    towards run ``a`` (``side="left"`` / ``"right"``), matching the
+    stability of a concatenated ``[a, b]`` argsort.
+    """
+    na, nb = len(va), len(vb)
+    out_v = np.empty(na + nb, dtype=va.dtype)
+    out_w = np.empty(na + nb, dtype=np.int64)
+    ia = np.arange(na, dtype=np.intp) + np.searchsorted(vb, va, side="left")
+    ib = np.arange(nb, dtype=np.intp) + np.searchsorted(va, vb, side="right")
+    out_v[ia] = va
+    out_w[ia] = wa
+    out_v[ib] = vb
+    out_w[ib] = wb
+    return out_v, out_w
+
+
+def merge_sorted_runs(
+    runs: Sequence[np.ndarray],
+    weights: Sequence[int],
+    *,
+    strategy: str = "auto",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge sorted *runs* into one sorted sequence with per-element weights.
+
+    Equal values keep run order (run 0 before run 1, ...), exactly like a
+    stable argsort over the concatenation, so downstream weighted rank
+    arithmetic is bit-identical across strategies.
+
+    Parameters
+    ----------
+    runs:
+        Sorted 1-d float64 arrays (each a buffer's ``values``).
+    weights:
+        One integer weight per run.
+    strategy:
+        ``"stable"`` (concatenate + timsort), ``"searchsorted"`` (pairwise
+        tournament merge) or ``"auto"``.
+    """
+    if len(runs) != len(weights) or not runs:
+        raise ValueError("need one weight per run and at least one run")
+    if len(runs) == 1:
+        return runs[0], np.full(len(runs[0]), weights[0], dtype=np.int64)
+    total = sum(len(r) for r in runs)
+    if strategy == "auto":
+        strategy = (
+            "searchsorted"
+            if total >= _SEARCHSORTED_MIN_ELEMENTS
+            else "stable"
+        )
+    if strategy == "searchsorted":
+        items: List[Tuple[np.ndarray, np.ndarray]] = [
+            (np.asarray(r), np.full(len(r), w, dtype=np.int64))
+            for r, w in zip(runs, weights)
+        ]
+        # Tournament order pairs neighbours, so equal elements stay grouped
+        # by ascending original run index at every round.
+        while len(items) > 1:
+            merged = [
+                _merge_two(*items[i], *items[i + 1])
+                for i in range(0, len(items) - 1, 2)
+            ]
+            if len(items) % 2:
+                merged.append(items[-1])
+            items = merged
+        return items[0]
+    if strategy != "stable":
+        raise ValueError(f"unknown merge strategy {strategy!r}")
+    vals = np.concatenate(runs)
+    order = np.argsort(vals, kind="stable")
+    lengths = np.fromiter((len(r) for r in runs), dtype=np.int64)
+    run_of = np.repeat(np.arange(len(runs), dtype=np.intp), lengths)
+    warr = np.asarray(weights, dtype=np.int64)
+    return vals[order], warr[run_of[order]]
+
+
+# -- weighted selection ------------------------------------------------------
+
+
+def weighted_select_argsort(
+    runs: Sequence[np.ndarray],
+    weights: Sequence[int],
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Reference weighted selection: global stable argsort + cumsum.
+
+    This is the pre-kernel implementation, kept verbatim as the fallback
+    and as the oracle for the equivalence property tests.
+    """
+    vals = np.concatenate(runs)
+    wts = np.concatenate(
+        [np.full(len(r), w, dtype=np.int64) for r, w in zip(runs, weights)]
+    )
+    order = np.argsort(vals, kind="stable")
+    cum = np.cumsum(wts[order])
+    idx = np.searchsorted(cum, np.asarray(targets, dtype=np.int64), side="left")
+    return vals[order][idx]
+
+
+def weighted_select_runs(
+    runs: Sequence[np.ndarray],
+    weights: Sequence[int],
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Select the elements at weighted positions *targets* of sorted *runs*.
+
+    ``targets`` are 1-indexed positions into the sequence obtained by
+    repeating each element of run ``i`` ``weights[i]`` times and sorting
+    everything together; the repeats are never materialised.  Results are
+    identical to :func:`weighted_select_argsort` for any input; the runs
+    being sorted only makes it faster (numpy's stable sorts gallop through
+    pre-sorted runs), it is not required for correctness of this entry
+    point.
+    """
+    if not _enabled:
+        return weighted_select_argsort(runs, weights, targets)
+    targets = np.asarray(targets, dtype=np.int64)
+    w0 = weights[0]
+    uniform = True
+    for w in weights:
+        if w != w0:
+            uniform = False
+            break
+    if uniform:
+        # Uniform weight: weighted position t is plain-merge index
+        # (t-1) // w -- no weight vector, cumsum or search needed.
+        if len(runs) == 1:
+            merged = runs[0]
+        else:
+            merged = np.sort(np.concatenate(runs), kind="stable")
+        return merged[(targets - 1) // int(w0)]
+    warr = np.asarray(weights, dtype=np.int64)
+    vals = np.concatenate(runs)
+    order = np.argsort(vals, kind="stable")
+    k = len(runs[0])
+    if all(len(r) == k for r in runs):
+        # Equal-length runs: element order[i] of the concatenation came
+        # from run order[i] // k, giving its weight without materialising
+        # a per-element weight vector.
+        cum = np.cumsum(warr[order // k])
+    else:
+        lengths = np.fromiter((len(r) for r in runs), dtype=np.int64)
+        cum = np.cumsum(np.repeat(warr, lengths)[order])
+    idx = np.searchsorted(cum, targets, side="left")
+    return vals[order[idx]]
+
+
+def collapse_select_runs(
+    runs: Sequence[np.ndarray],
+    weights: Sequence[int],
+    out_weight: int,
+    offset: int,
+    k: int,
+) -> np.ndarray:
+    """COLLAPSE selection: positions ``j * out_weight + offset``, j < k.
+
+    The equally-spaced target grid lets the dominant uniform-weight case
+    (every leaf collapse) reduce to a strided view of the plain merge:
+    position ``j*W + offset`` is merge index ``j*c + (offset-1)//w``, so
+    no target vector, cumsum or binary search is ever built.
+    """
+    if not _enabled:
+        targets = np.arange(k, dtype=np.int64) * out_weight + offset
+        return weighted_select_argsort(runs, weights, targets)
+    w0 = weights[0]
+    uniform = True
+    for w in weights:
+        if w != w0:
+            uniform = False
+            break
+    if uniform:
+        if len(runs) == 1:
+            merged = runs[0]
+        else:
+            merged = np.sort(np.concatenate(runs), kind="stable")
+        start = (offset - 1) // w0
+        return merged[start :: len(runs)][:k].copy()
+    targets = np.arange(k, dtype=np.int64) * out_weight + offset
+    return weighted_select_runs(runs, weights, targets)
+
+
+def weighted_rank_runs(
+    runs: Sequence[np.ndarray],
+    weights: Sequence[int],
+    low_pads: Sequence[int],
+    high_pads: Sequence[int],
+    value: float,
+) -> Tuple[int, int]:
+    """Weighted ``(n_below, n_below_or_equal)`` of *value* over sorted runs.
+
+    Counts weighted copies of genuine (non-padding) elements only, using
+    one binary-search pair per run -- the inverse-quantile primitive
+    behind ``rank``/``cdf`` queries.
+    """
+    below = 0
+    below_eq = 0
+    for values, weight, n_low, n_high in zip(
+        runs, weights, low_pads, high_pads
+    ):
+        lo = int(np.searchsorted(values, value, side="left"))
+        hi = int(np.searchsorted(values, value, side="right"))
+        lo_real = max(lo - n_low, 0)
+        hi_real = max(min(hi, len(values) - n_high) - n_low, 0)
+        below += weight * lo_real
+        below_eq += weight * hi_real
+    return below, below_eq
+
+
+# -- padding arithmetic ------------------------------------------------------
+
+
+def collapse_pad_counts(
+    low_pad_weight: int,
+    high_pad_weight: int,
+    total_weight: int,
+    out_weight: int,
+    offset: int,
+    k: int,
+) -> Tuple[int, int]:
+    """Pad counts of a COLLAPSE output, in O(1) arithmetic.
+
+    The merged weighted sequence of the inputs starts with exactly
+    *low_pad_weight* positions of ``-inf`` and ends with *high_pad_weight*
+    positions of ``+inf`` (sentinels sort to the extremes; real stream
+    values are finite by the framework's ingest validation).  COLLAPSE
+    selects positions ``j * out_weight + offset`` for ``j = 0..k-1``, so
+    the output's pad counts are the number of those targets landing in
+    each sentinel span -- no scan of the output values required.
+    """
+    if low_pad_weight <= 0 and high_pad_weight <= 0:
+        return 0, 0
+    # j * out_weight + offset <= low_pad_weight
+    n_low = 0
+    if low_pad_weight >= offset:
+        n_low = min(k, (low_pad_weight - offset) // out_weight + 1)
+    # j * out_weight + offset > total_weight - high_pad_weight
+    n_high = 0
+    first_real_w = total_weight - high_pad_weight
+    if first_real_w < offset:
+        n_high = k
+    else:
+        j_min = (first_real_w - offset) // out_weight + 1
+        n_high = max(0, k - j_min)
+    return int(n_low), int(n_high)
+
+
+# -- batched NEW -------------------------------------------------------------
+
+
+def sort_rows(arr: np.ndarray, k: int) -> np.ndarray:
+    """Sort the leading ``(len(arr) // k) * k`` elements of *arr* as rows.
+
+    Returns a freshly sorted ``(n_full, k)`` matrix (one NEW buffer per
+    row) without mutating *arr*.  One ``np.sort(axis=1)`` call replaces a
+    Python loop of per-buffer sorts -- the batched half of the NEW fast
+    path.
+    """
+    n_full = len(arr) // k
+    return np.sort(arr[: n_full * k].reshape(n_full, k), axis=1)

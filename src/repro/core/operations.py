@@ -20,8 +20,11 @@ Both COLLAPSE and OUTPUT reduce to one shared primitive implemented here,
 :func:`weighted_select`: pick the elements at given 1-indexed positions of
 the sequence obtained by sorting all buffer contents together with each
 element duplicated ``weight`` times.  The duplicates are never materialised
--- the numeric path uses a vectorised cumulative-weight search, the generic
-path uses the counting merge described in Section 3.2 of the paper.
+-- the numeric path runs the sorted-run merge kernels of
+:mod:`repro.core.kernels` (buffers are sorted by construction, so a full
+argsort is never needed; the argsort reference remains as the automatic
+fallback), the generic path uses the counting merge described in Section
+3.2 of the paper.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import Any, List, Sequence
 
 import numpy as np
 
+from . import kernels
 from .buffer import MINUS_INF, PLUS_INF, Buffer
 from .errors import ConfigurationError
 
@@ -90,17 +94,18 @@ class OffsetSelector:
 def _weighted_select_numeric(
     buffers: Sequence[Buffer], targets: Sequence[int]
 ) -> np.ndarray:
-    """Vectorised weighted positional selection over numpy-backed buffers."""
-    vals = np.concatenate([b.values for b in buffers])
-    wts = np.concatenate(
-        [np.full(len(b.values), b.weight, dtype=np.int64) for b in buffers]
+    """Vectorised weighted positional selection over numpy-backed buffers.
+
+    Buffer values are sorted by construction, so selection runs on the
+    sorted-run kernels; element i of the merged order covers the half-open
+    weighted position interval (cum[i-1], cum[i]].  With the kernels
+    disabled this is exactly the reference global-argsort path.
+    """
+    runs = [b.values for b in buffers]
+    weights = [b.weight for b in buffers]
+    return kernels.weighted_select_runs(
+        runs, weights, np.asarray(targets, dtype=np.int64)
     )
-    order = np.argsort(vals, kind="stable")
-    cum = np.cumsum(wts[order])
-    # cum[i] is the weighted position of the *last* copy of sorted element i,
-    # so element i covers the half-open position interval (cum[i-1], cum[i]].
-    idx = np.searchsorted(cum, np.asarray(targets, dtype=np.int64), side="left")
-    return vals[order][idx]
 
 
 def _weighted_select_generic(
@@ -204,17 +209,54 @@ def collapse(
     k = len(buffers[0].values)
     if any(len(b.values) != k for b in buffers):
         raise ConfigurationError("COLLAPSE inputs must share a capacity k")
-    weight = sum(b.weight for b in buffers)
+    weight = 0
+    low_w = 0
+    high_w = 0
+    numeric = True
+    weights = []
+    for b in buffers:
+        w = b.weight
+        weight += w
+        weights.append(w)
+        if b.n_low_pad:
+            low_w += b.n_low_pad * w
+        if b.n_high_pad:
+            high_w += b.n_high_pad * w
+        if numeric and not isinstance(b.values, np.ndarray):
+            numeric = False
     if isinstance(offset, OffsetSelector):
         offset = offset.offset_for(weight)
     if not 1 <= offset <= weight + 1:
         raise ConfigurationError(
             f"offset {offset} out of range for output weight {weight}"
         )
+    if numeric:
+        # Numeric fast path: kernel selection over the sorted runs and O(1)
+        # pad arithmetic (valid because ingest validation keeps real stream
+        # values finite, so the only +/-inf stored are padding sentinels).
+        total = weight * k
+        if (k - 1) * weight + offset > total:
+            raise ConfigurationError(
+                f"selection positions must lie in [1, {total}], got "
+                f"[{offset}, {(k - 1) * weight + offset}]"
+            )
+        out_values: Any = kernels.collapse_select_runs(
+            [b.values for b in buffers], weights, weight, offset, k
+        )
+        n_low, n_high = kernels.collapse_pad_counts(
+            low_w, high_w, total, weight, offset, k
+        )
+        return Buffer(
+            values=out_values,
+            weight=weight,
+            level=buffers[0].level + 1 if level is None else level,
+            n_low_pad=n_low,
+            n_high_pad=n_high,
+        )
     targets = [j * weight + offset for j in range(k)]
     values = weighted_select(buffers, targets)
     if isinstance(values, np.ndarray):
-        out_values: Any = values
+        out_values = values
     else:
         out_values = list(values)
     n_low, n_high = _count_pads(out_values)
@@ -295,6 +337,14 @@ def weighted_rank(buffers: Sequence[Buffer], value: Any) -> tuple[int, int]:
     """
     if not buffers:
         raise ConfigurationError("weighted_rank needs at least one buffer")
+    if all(b.is_numeric for b in buffers):
+        return kernels.weighted_rank_runs(
+            [b.values for b in buffers],
+            [b.weight for b in buffers],
+            [b.n_low_pad for b in buffers],
+            [b.n_high_pad for b in buffers],
+            value,
+        )
     below = 0
     below_eq = 0
     for buf in buffers:

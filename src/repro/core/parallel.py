@@ -8,28 +8,51 @@ parallelism the paper suggests a two-stage variant: partition the root
 buffers onto fewer combiner nodes, collapse there, and finish on a single
 node.
 
-Physical parallelism is irrelevant to the accuracy analysis -- only the
-dataflow matters -- so :class:`ParallelQuantileEngine` executes workers
-sequentially while reproducing the exact buffer flow.  The error analysis
-still applies: the combined tree is just a forest whose roots are merged
-under one OUTPUT node, and the certified bound is derived from the summed
-``W``/``C`` statistics and the heaviest surviving buffer, exactly as in
-Lemma 5 (whose proof only needs leaves of weight one and internal nodes
-with at least two children).
+Two execution backends are provided:
+
+``backend="sync"`` (default)
+    Physical parallelism is irrelevant to the accuracy analysis -- only
+    the dataflow matters -- so the sync backend executes workers
+    sequentially in-process while reproducing the exact buffer flow.
+
+``backend="process"``
+    True multiprocessing: each worker is a separate OS process running its
+    own :class:`~repro.core.framework.QuantileFramework` over its stream
+    partition, fed chunks through a pipe.  Queries snapshot every worker
+    -- the worker returns its summary in the safe binary format of
+    :mod:`repro.core.serialize` (never pickled framework objects) -- and
+    the parent merges the deserialised summaries through the very same
+    root-buffer concatenation / OUTPUT path as the sync backend, so the
+    certified Lemma 5 accounting is byte-for-byte the one the sequential
+    analysis already covers.  Snapshots do not disturb the workers:
+    ingest may continue after a query.  The process backend accepts
+    numeric streams only (the wire format stores float64 buffers) and
+    named collapse policies (the policy must be reconstructible in the
+    worker process).
+
+In either case the error analysis applies unchanged: the combined tree is
+just a forest whose roots are merged under one OUTPUT node, and the
+certified bound is derived from the summed ``W``/``C`` statistics and the
+heaviest surviving buffer, exactly as in Lemma 5 (whose proof only needs
+leaves of weight one and internal nodes with at least two children).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from . import serialize
 from .buffer import Buffer
-from .errors import ConfigurationError, EmptySummaryError
+from .errors import ConfigurationError, EmptySummaryError, WorkerError
 from .framework import QuantileFramework
 from .operations import OffsetSelector, collapse, output
 
 __all__ = ["ParallelQuantileEngine", "merge_frameworks"]
+
+_BACKENDS = ("sync", "process")
 
 
 def merge_frameworks(
@@ -56,6 +79,42 @@ def merge_frameworks(
     return output(buffers, list(phis), n_total)
 
 
+def _worker_main(conn, b: int, k: int, policy: str, offset_mode: str) -> None:
+    """Worker-process loop: ingest chunks, answer snapshot requests.
+
+    ``extend`` commands are fire-and-forget (pipe backpressure throttles
+    the parent naturally); the first ingest failure is remembered and
+    reported on the next ``snapshot``/``close`` round-trip instead of
+    being lost.
+    """
+    fw = QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
+    error: Optional[str] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        cmd = msg[0]
+        if cmd == "extend":
+            if error is None:
+                try:
+                    fw.extend(msg[1])
+                except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    error = f"{type(exc).__name__}: {exc}"
+        elif cmd == "snapshot":
+            if error is not None:
+                conn.send(("error", error))
+            else:
+                try:
+                    conn.send(("ok", serialize.dumps(fw)))
+                except Exception as exc:  # noqa: BLE001 - relayed to parent
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        elif cmd == "close":
+            conn.send(("ok", error))
+            break
+    conn.close()
+
+
 class ParallelQuantileEngine:
     """P-way partitioned quantile computation (Section 4.9).
 
@@ -73,10 +132,17 @@ class ParallelQuantileEngine:
         buffers are first merged in groups of at most this many workers by
         intermediate COLLAPSE operations before the final OUTPUT, bounding
         the fan-in of the last node.
+    backend:
+        ``"sync"`` (sequential in-process workers, the default) or
+        ``"process"`` (one OS process per worker; see the module
+        docstring).  Both produce the identical buffer dataflow for the
+        same dispatch sequence.
 
     Elements are routed round-robin by default (``dispatch``) or appended
     to an explicit worker via ``extend_worker`` for static range
-    partitioning experiments.
+    partitioning experiments.  The engine is a context manager; with the
+    process backend, ``close()`` (or leaving the ``with`` block) shuts the
+    worker processes down.
     """
 
     def __init__(
@@ -88,27 +154,111 @@ class ParallelQuantileEngine:
         policy: str = "new",
         offset_mode: str = "alternate",
         combine_fanin: Optional[int] = None,
+        backend: str = "sync",
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"need >= 1 worker, got {n_workers}")
         if combine_fanin is not None and combine_fanin < 2:
             raise ConfigurationError("combine_fanin must be >= 2")
-        self.workers = [
-            QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
-            for _ in range(n_workers)
-        ]
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if backend == "process" and not isinstance(policy, str):
+            raise ConfigurationError(
+                "backend='process' needs a named policy (the policy object "
+                "must be reconstructible inside the worker process)"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        self.b = b
+        self.k = k
         self.combine_fanin = combine_fanin
         self._rr = 0
         self._offsets = OffsetSelector(offset_mode)
+        self._closed = False
+        if backend == "process":
+            self.workers: List[QuantileFramework] = []
+            self._n_dispatched = 0
+            ctx = multiprocessing.get_context()
+            self._procs = []
+            self._conns = []
+            for _ in range(n_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, b, k, policy, offset_mode),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        else:
+            self.workers = [
+                QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
+                for _ in range(n_workers)
+            ]
+            self._procs = []
+            self._conns = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ParallelQuantileEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut worker processes down (no-op for the sync backend)."""
+        if self._closed or self.backend != "process":
+            self._closed = True
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(2.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def _require_open(self) -> None:
+        if self.backend == "process" and self._closed:
+            raise ConfigurationError("engine is closed")
+
+    # -- introspection -----------------------------------------------------
 
     @property
     def n(self) -> int:
+        if self.backend == "process":
+            return self._n_dispatched
         return sum(fw.n for fw in self.workers)
 
     @property
     def memory_elements(self) -> int:
         """Aggregate memory across all workers (P * b * k)."""
-        return sum(fw.memory_elements for fw in self.workers)
+        return self.n_workers * self.b * self.k
+
+    # -- ingest ------------------------------------------------------------
 
     def dispatch(self, data: "np.ndarray | Sequence[Any]") -> None:
         """Split *data* into contiguous blocks, one per worker, round-robin.
@@ -116,35 +266,97 @@ class ParallelQuantileEngine:
         Contiguous blocks model the dynamic stream partitioning of a real
         system (each worker sees a contiguous run of the input).
         """
+        self._require_open()
         arr = np.asarray(data) if not isinstance(data, np.ndarray) else data
-        n_workers = len(self.workers)
         if len(arr) == 0:
             return
-        pieces = np.array_split(arr, n_workers)
+        if self.backend == "process" and arr.dtype.kind not in "fiu":
+            raise ConfigurationError(
+                "backend='process' supports numeric streams only (worker "
+                "summaries travel in the numeric wire format)"
+            )
+        pieces = np.array_split(arr, self.n_workers)
         for piece in pieces:
             if len(piece):
-                self.workers[self._rr].extend(piece)
-                self._rr = (self._rr + 1) % n_workers
+                self._feed(self._rr, piece)
+                self._rr = (self._rr + 1) % self.n_workers
 
     def extend_worker(self, worker: int, data: "np.ndarray | Sequence[Any]") -> None:
         """Feed *data* to one specific worker (static partitioning)."""
-        self.workers[worker].extend(data)
+        self._require_open()
+        if self.backend == "process":
+            arr = np.asarray(data)
+            if arr.dtype.kind not in "fiu":
+                raise ConfigurationError(
+                    "backend='process' supports numeric streams only (worker "
+                    "summaries travel in the numeric wire format)"
+                )
+            if len(arr):
+                self._feed(worker, arr)
+        else:
+            self.workers[worker].extend(data)
 
-    def _collect_buffers(self) -> List[Buffer]:
+    def _feed(self, worker: int, piece: np.ndarray) -> None:
+        if self.backend == "process":
+            try:
+                self._conns[worker].send(("extend", piece))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerError(f"worker {worker} is gone: {exc}") from exc
+            self._n_dispatched += len(piece)
+        else:
+            self.workers[worker].extend(piece)
+
+    # -- collection --------------------------------------------------------
+
+    def _snapshot(self) -> List[QuantileFramework]:
+        """Fetch every process worker's summary without disturbing it."""
+        for i, conn in enumerate(self._conns):
+            try:
+                conn.send(("snapshot",))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerError(f"worker {i} is gone: {exc}") from exc
+        frameworks = []
+        for i, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerError(f"worker {i} died: {exc}") from exc
+            if status != "ok":
+                raise WorkerError(f"worker {i} failed: {payload}")
+            frameworks.append(serialize.loads(payload))
+        return frameworks
+
+    def _frameworks(self) -> List[QuantileFramework]:
+        """The worker summaries a query should read.
+
+        Sync backend: the live worker objects (queries flush their tails
+        in place, as before).  Process backend: deserialised snapshots --
+        the remote workers keep streaming undisturbed.
+        """
+        if self.backend == "process":
+            self._require_open()
+            return self._snapshot()
+        return self.workers
+
+    @staticmethod
+    def _collect_buffers(frameworks: Sequence[QuantileFramework]) -> List[Buffer]:
         buffers: List[Buffer] = []
-        for fw in self.workers:
+        for fw in frameworks:
             if fw.n == 0:
                 continue
             fw.finish(phis=[0.5])
             buffers.extend(fw.full_buffers)
         return buffers
 
+    # -- queries -----------------------------------------------------------
+
     def quantiles(self, phis: Sequence[float]) -> List[Any]:
         """Gather root buffers (optionally pre-combining) and OUTPUT."""
-        n_total = self.n
+        frameworks = self._frameworks()
+        n_total = sum(fw.n for fw in frameworks)
         if n_total == 0:
             raise EmptySummaryError("no worker ingested any elements")
-        buffers = self._collect_buffers()
+        buffers = self._collect_buffers(frameworks)
         if self.combine_fanin is not None:
             buffers = self._pre_combine(buffers)
         return output(buffers, list(phis), n_total)
@@ -181,12 +393,13 @@ class ParallelQuantileEngine:
         are accounted for at query time, so this bound is computed from
         the workers' statistics plus the current surviving buffers.
         """
-        total_w = sum(fw.sum_collapse_weights for fw in self.workers)
-        total_c = sum(fw.n_collapses for fw in self.workers)
+        frameworks = self._frameworks()
+        total_w = sum(fw.sum_collapse_weights for fw in frameworks)
+        total_c = sum(fw.n_collapses for fw in frameworks)
         w_max = max(
             (
                 buf.weight
-                for fw in self.workers
+                for fw in frameworks
                 for buf in fw.full_buffers
             ),
             default=1,

@@ -127,6 +127,24 @@ class AlsabtiRankaSinghPolicy(CollapsePolicy):
     def _leaves(full: Sequence[Buffer]) -> List[Buffer]:
         return [buf for buf in full if buf.weight == 1]
 
+    @staticmethod
+    def _tail_leaves(full: Sequence[Buffer], stop: int) -> int:
+        """Count trailing weight-1 buffers, giving up past *stop*.
+
+        The framework appends both NEW leaves and collapse outputs at the
+        end of the buffer list, so the current round's leaves always form a
+        contiguous tail; counting backwards with an early exit replaces a
+        full O(b) scan on every NEW (the ARS hot-path bottleneck).
+        """
+        count = 0
+        for buf in reversed(full):
+            if buf.weight != 1:
+                break
+            count += 1
+            if count > stop:
+                break
+        return count
+
     def pre_new_collapse(
         self, full: Sequence[Buffer], b: int
     ) -> Optional[List[Buffer]]:
@@ -145,9 +163,9 @@ class AlsabtiRankaSinghPolicy(CollapsePolicy):
             # Degenerate configuration: rounds of one leaf make no sense;
             # behave like Munro-Paterson's forced merge when out of space.
             return None
-        leaves = self._leaves(full)
-        if len(leaves) == b // 2:
-            return leaves
+        round_size = b // 2
+        if self._tail_leaves(full, round_size) == round_size:
+            return list(full[-round_size:])
         return None
 
 

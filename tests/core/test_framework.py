@@ -345,3 +345,96 @@ class TestAbsorbRecorderGuard:
         a.absorb(b)
         stats = a.tree_stats()
         assert stats.n_leaves == 16  # 8 + 8 leaves across both trees
+
+
+class TestIterableIngest:
+    """One-shot iterables must be materialised exactly once (regression)."""
+
+    def test_generator_numeric(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend(float(i) for i in range(100))
+        assert fw.n == 100
+        assert fw.query(0.5) in {float(i) for i in range(100)}
+
+    def test_map_object(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend(map(float, range(50)))
+        assert fw.n == 50
+        assert fw.min() == 0.0 and fw.max() == 49.0
+
+    def test_generator_generic_values(self):
+        fw = QuantileFramework(b=4, k=8)
+        fw.extend(word for word in ["pear", "apple", "fig", "kiwi", "plum"])
+        assert fw.n == 5
+        assert fw.query(0.5) in {"pear", "apple", "fig", "kiwi", "plum"}
+
+    def test_generator_matches_array_ingest(self, rng):
+        data = rng.permutation(5_000).astype(np.float64)
+        a = QuantileFramework(b=5, k=64)
+        b = QuantileFramework(b=5, k=64)
+        a.extend(data)
+        b.extend(float(x) for x in data)
+        phis = [0.1, 0.5, 0.9]
+        assert a.quantiles(phis) == b.quantiles(phis)
+
+
+class TestBatchedIngestEquivalence:
+    """The batched NEW fast path must be invisible to observers."""
+
+    def test_chunking_invariance_exact_state(self, rng):
+        data = rng.permutation(30_000).astype(np.float64)
+        whole = QuantileFramework(b=6, k=97, policy="new")
+        whole.extend(data)
+        pieces = QuantileFramework(b=6, k=97, policy="new")
+        for i in range(0, len(data), 611):  # never aligned with k
+            pieces.extend(data[i : i + 611])
+        assert len(whole.full_buffers) == len(pieces.full_buffers)
+        for x, y in zip(whole.full_buffers, pieces.full_buffers):
+            assert np.array_equal(x.values, y.values)
+            assert (x.weight, x.level, x.n_low_pad, x.n_high_pad) == (
+                y.weight,
+                y.level,
+                y.n_low_pad,
+                y.n_high_pad,
+            )
+        assert whole.n_collapses == pieces.n_collapses
+        assert whole.sum_collapse_weights == pieces.sum_collapse_weights
+        phis = [0.05, 0.5, 0.95]
+        assert whole.quantiles(phis) == pieces.quantiles(phis)
+
+    @pytest.mark.parametrize("policy", ["new", "munro-paterson", "alsabti-ranka-singh"])
+    def test_all_policies_accept_batched_chunks(self, policy, rng):
+        data = rng.permutation(20_000).astype(np.float64)
+        fw = QuantileFramework(b=6, k=128, policy=policy)
+        for i in range(0, len(data), 3333):
+            fw.extend(data[i : i + 3333])
+        med = fw.query(0.5)
+        assert abs((med + 1) - 10_000) / 20_000 < 0.05
+
+
+class TestWeightedIngestEdgeCases:
+    def test_all_zero_counts_no_work(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend_weighted([1.0, 2.0, 3.0], [0, 0, 0])
+        assert fw.n == 0
+        with pytest.raises(EmptySummaryError):
+            fw.query(0.5)
+
+    def test_zero_counts_mixed_with_huge_count(self):
+        fw = QuantileFramework(b=4, k=64)
+        fw.extend_weighted(
+            [5.0, 6.0, 7.0], [0, 10_000, 0], chunk_elements=1024
+        )
+        assert fw.n == 10_000
+        assert fw.query(0.5) == 6.0
+
+    def test_single_count_larger_than_chunk(self):
+        fw = QuantileFramework(b=4, k=32)
+        fw.extend_weighted([9.0], [5_000], chunk_elements=512)
+        assert fw.n == 5_000
+        assert fw.query(0.25) == 9.0
+
+    def test_empty_inputs(self):
+        fw = QuantileFramework(b=4, k=16)
+        fw.extend_weighted([], [])
+        assert fw.n == 0

@@ -103,3 +103,81 @@ class TestParallelEngine:
         engine = ParallelQuantileEngine(4, b=5, k=128)
         engine.dispatch(data)
         assert engine.query(0.5) == engine.query(0.5)
+
+
+class TestProcessBackend:
+    """backend="process": true multiprocessing workers (Section 4.9)."""
+
+    def test_agrees_with_sync_backend(self, rng):
+        n = 30_000
+        data = rng.permutation(n).astype(np.float64)
+        sync = ParallelQuantileEngine(3, b=5, k=128)
+        with ParallelQuantileEngine(3, b=5, k=128, backend="process") as proc:
+            for i in range(0, n, 4096):
+                sync.dispatch(data[i : i + 4096])
+                proc.dispatch(data[i : i + 4096])
+            assert proc.n == sync.n == n
+            # certified bound and quantiles must agree exactly: the process
+            # backend replays the identical buffer dataflow
+            assert proc.error_bound() == sync.error_bound()
+            phis = [0.05, 0.25, 0.5, 0.75, 0.95]
+            assert proc.quantiles(phis) == sync.quantiles(phis)
+
+    def test_snapshot_queries_do_not_disturb_ingest(self, rng):
+        data = rng.permutation(12_000).astype(np.float64)
+        with ParallelQuantileEngine(2, b=5, k=64, backend="process") as engine:
+            engine.dispatch(data[:6_000])
+            first = engine.query(0.5)
+            assert first is not None
+            engine.dispatch(data[6_000:])
+            assert engine.n == 12_000
+            med = engine.query(0.5)
+            assert rank_err(med, 0.5, 12_000) < 0.05
+
+    def test_extend_worker_routing(self, rng):
+        data = rng.permutation(8_000).astype(np.float64)
+        with ParallelQuantileEngine(2, b=5, k=64, backend="process") as engine:
+            engine.extend_worker(0, data[:4_000])
+            engine.extend_worker(1, data[4_000:])
+            assert engine.n == 8_000
+            med = engine.query(0.5)
+            assert rank_err(med, 0.5, 8_000) < 0.05
+
+    def test_combine_fanin_supported(self, rng):
+        n = 40_000
+        data = rng.permutation(n).astype(np.float64)
+        with ParallelQuantileEngine(
+            8, b=4, k=64, backend="process", combine_fanin=4
+        ) as engine:
+            engine.dispatch(data)
+            med = engine.query(0.5)
+            assert rank_err(med, 0.5, n) < 0.05
+
+    def test_generic_streams_rejected(self):
+        with ParallelQuantileEngine(2, b=3, k=8, backend="process") as engine:
+            with pytest.raises(ConfigurationError, match="numeric"):
+                engine.dispatch(["a", "b", "c"])
+
+    def test_closed_engine_rejects_ingest(self):
+        engine = ParallelQuantileEngine(2, b=3, k=8, backend="process")
+        engine.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            engine.dispatch(np.arange(8.0))
+        engine.close()  # idempotent
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelQuantileEngine(2, b=3, k=8, backend="threads")
+
+    def test_custom_policy_instance_rejected(self):
+        from repro.core.policies import NewPolicy
+
+        with pytest.raises(ConfigurationError, match="named policy"):
+            ParallelQuantileEngine(
+                2, b=3, k=8, backend="process", policy=NewPolicy()
+            )
+
+    def test_empty_process_engine_raises(self):
+        with ParallelQuantileEngine(2, b=3, k=8, backend="process") as engine:
+            with pytest.raises(EmptySummaryError):
+                engine.query(0.5)
