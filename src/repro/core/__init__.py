@@ -61,6 +61,7 @@ from .sampling import (
     sampling_threshold,
 )
 from .adaptive import AdaptiveQuantileSketch
+from .bank import SketchBank
 from .serialize import dump, dumps, load, loads
 from .sketch import QuantileSketch, approximate_quantiles
 from .tree import TreeNode, TreeRecorder, TreeStats
@@ -77,6 +78,7 @@ __all__ = [
     "weighted_select",
     "QuantileFramework",
     "QuantileSketch",
+    "SketchBank",
     "AdaptiveQuantileSketch",
     "approximate_quantiles",
     "dump",

@@ -11,16 +11,23 @@ This module is that execution environment, miniature edition:
 
 * an :class:`Aggregate` describes a column function (``QUANTILE``,
   ``MEDIAN``, ``COUNT``, ``SUM``, ``AVG``, ``MIN``, ``MAX``);
-* each group materialises one *accumulator* per aggregate -- quantile
-  accumulators are :class:`~repro.core.sketch.QuantileSketch` instances
-  sized for the table's row count (an upper bound on any group), so every
-  group's answer carries the full ``epsilon`` guarantee;
-* :func:`execute_group_by` drives a single chunked pass, routing each
-  chunk's rows to their groups vectorised by key.
+* all groups' quantile accumulators for one ``(column, epsilon)`` pair
+  live in a single :class:`~repro.core.bank.SketchBank` -- one MRL
+  summary per group, sized for the table's row count (an upper bound on
+  any group), so every group's answer carries the full ``epsilon``
+  guarantee;
+* :func:`execute_group_by` drives a single chunked pass.  Each chunk's
+  rows are key-encoded to dense group ids with ``np.unique`` (no per-row
+  Python), partitioned into per-group runs by one stable ``np.argsort``,
+  and the runs are fed to the banks and scalar accumulators --
+  bit-identical to feeding every group's sketch its rows one group at a
+  time, at a fraction of the cost.
 
 Because all quantiles of a group are read off one sketch (Section 4.7),
 ``QUANTILE(0.25, x), QUANTILE(0.5, x), QUANTILE(0.75, x)`` on the same
-column share a single accumulator.
+column share a single accumulator; the certified Lemma 5 rank-error bound
+of every group's sketch is reported on the result
+(:attr:`GroupByResult.quantile_error_bounds`).
 """
 
 from __future__ import annotations
@@ -31,8 +38,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.bank import SketchBank
 from ..core.errors import QueryError
-from ..core.sketch import QuantileSketch
 from .table import Chunk
 
 __all__ = [
@@ -211,69 +218,144 @@ class _ScalarAccumulator:
         return math.sqrt(max(variance, 0.0))
 
 
-class _GroupState:
-    """All accumulators for one group, with quantile-sketch sharing."""
+class _AggregatorSet:
+    """Accumulators for *all* groups, fed pre-partitioned chunk runs.
+
+    Quantile aggregates sharing a ``(column, epsilon)`` pair share one
+    :class:`SketchBank` with sketch id = group id; scalar aggregates keep
+    one :class:`_ScalarAccumulator` per group in a flat list.  Groups are
+    created lazily (:meth:`add_group`) the moment their key first appears
+    in the stream.
+    """
 
     def __init__(
         self, aggregates: Sequence[Aggregate], n_hint: int
     ) -> None:
-        self._aggregates = aggregates
-        self._scalars: Dict[int, _ScalarAccumulator] = {}
-        self._sketches: Dict[Tuple[str, float], QuantileSketch] = {}
-        for i, agg in enumerate(aggregates):
-            if agg.kind == "quantile":
-                key = (agg.column, agg.epsilon)  # type: ignore[arg-type]
-                if key not in self._sketches:
-                    self._sketches[key] = QuantileSketch(
-                        agg.epsilon, n=max(n_hint, 1)
-                    )
-            else:
-                self._scalars[i] = _ScalarAccumulator(agg.kind)
-
-    def update(self, chunk: Chunk) -> None:
-        touched: Dict[Tuple[str, float], bool] = {}
+        self._aggregates = list(aggregates)
+        self._banks: Dict[Tuple[str, float], SketchBank] = {}
+        self._bank_of: Dict[int, Tuple[str, float]] = {}
+        self._scalars: Dict[int, List[_ScalarAccumulator]] = {}
         for i, agg in enumerate(self._aggregates):
             if agg.kind == "quantile":
-                key = (agg.column, agg.epsilon)  # type: ignore[arg-type]
-                if not touched.get(key):
-                    values = np.asarray(chunk[agg.column], dtype=np.float64)
-                    values = values[~np.isnan(values)]  # NULLs ignored
-                    if len(values):
-                        self._sketches[key].extend(values)
-                    touched[key] = True
+                key = (agg.column, agg.epsilon)  # type: ignore[assignment]
+                if key not in self._banks:
+                    self._banks[key] = SketchBank(
+                        agg.epsilon, n=max(n_hint, 1)
+                    )
+                self._bank_of[i] = key
             else:
-                values = None
-                if agg.column is not None:
-                    values = np.asarray(chunk[agg.column], dtype=np.float64)
-                self._scalars[i].update(values, chunk.n_rows)
+                self._scalars[i] = []
+        self.n_groups = 0
 
-    def results(self) -> List[Any]:
+    def add_group(self) -> int:
+        """Materialise accumulators for a newly seen group key."""
+        gid = self.n_groups
+        self.n_groups += 1
+        for i, accs in self._scalars.items():
+            accs.append(_ScalarAccumulator(self._aggregates[i].kind))
+        for bank in self._banks.values():
+            bank.add_sketch()
+        return gid
+
+    def update(
+        self,
+        chunk: Chunk,
+        order: Optional[np.ndarray],
+        run_gids: Sequence[int],
+        starts: Sequence[int],
+        stops: Sequence[int],
+    ) -> None:
+        """Feed one chunk, already partitioned into per-group runs.
+
+        Run ``j`` comprises rows ``order[starts[j]:stops[j]]`` (or the
+        plain row range when *order* is ``None``, the single-run case),
+        all belonging to group ``run_gids[j]``; runs must cover the chunk
+        and preserve row order within each group, which keeps every
+        sketch's buffer contents identical to the per-group masking path.
+        """
+        run_list = [int(g) for g in run_gids]
+        start_list = [int(s) for s in starts]
+        stop_list = [int(e) for e in stops]
+        column_cache: Dict[str, np.ndarray] = {}
+
+        def partitioned_column(name: str) -> np.ndarray:
+            arr = column_cache.get(name)
+            if arr is None:
+                arr = np.asarray(chunk[name], dtype=np.float64)
+                if order is not None:
+                    arr = arr[order]
+                column_cache[name] = arr
+            return arr
+
+        for i, accs in self._scalars.items():
+            agg = self._aggregates[i]
+            if agg.column is None:
+                for g, s, e in zip(run_list, start_list, stop_list):
+                    accs[g].update(None, e - s)
+            else:
+                col = partitioned_column(agg.column)
+                for g, s, e in zip(run_list, start_list, stop_list):
+                    accs[g].update(col[s:e], e - s)
+        for (column, _eps), bank in self._banks.items():
+            col = partitioned_column(column)
+            nan_mask = np.isnan(col)
+            if nan_mask.any():
+                # NULLs ignored: drop NaN rows and recount the runs
+                keep = ~nan_mask
+                kept = np.add.reduceat(
+                    keep.astype(np.int64), start_list
+                )
+                offsets = np.concatenate(([0], np.cumsum(kept)))
+                bank.extend_runs(
+                    run_list, offsets[:-1], offsets[1:], col[keep]
+                )
+            else:
+                bank.extend_runs(run_list, start_list, stop_list, col)
+
+    def group_results(self, gid: int) -> List[Any]:
         out: List[Any] = []
         for i, agg in enumerate(self._aggregates):
             if agg.kind == "quantile":
-                key = (agg.column, agg.epsilon)  # type: ignore[arg-type]
-                sketch = self._sketches[key]
-                out.append(
-                    float(sketch.query(agg.phi)) if len(sketch) else None
-                )
+                fw = self._banks[self._bank_of[i]].sketch(gid)
+                out.append(float(fw.query(agg.phi)) if fw.n else None)
             else:
-                out.append(self._scalars[i].result())
+                out.append(self._scalars[i][gid].result())
+        return out
+
+    def certified_error_bounds(self) -> Dict[str, List[float]]:
+        """Per-group certified Lemma 5 bounds (elements) by output name."""
+        out: Dict[str, List[float]] = {}
+        for i, agg in enumerate(self._aggregates):
+            if agg.kind == "quantile" and agg.output_name not in out:
+                out[agg.output_name] = self._banks[
+                    self._bank_of[i]
+                ].error_bounds()
         return out
 
     @property
     def memory_elements(self) -> int:
-        return sum(s.memory_elements for s in self._sketches.values())
+        return sum(bank.memory_elements for bank in self._banks.values())
 
 
 @dataclass
 class GroupByResult:
-    """Rows of a grouped aggregation, plus execution statistics."""
+    """Rows of a grouped aggregation, plus execution statistics.
+
+    ``quantile_error_bounds`` maps each quantile aggregate's output name
+    to a dictionary of certified per-group rank-error bounds (in
+    elements, Lemma 5), keyed by the group's key tuple (``()`` for an
+    ungrouped aggregation) -- the a-posteriori guarantee each answer in
+    :attr:`rows` actually carries.
+    """
 
     group_columns: List[str]
     aggregate_names: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     n_rows_scanned: int = 0
     sketch_memory_elements: int = 0
+    quantile_error_bounds: Dict[str, Dict[Tuple[Any, ...], float]] = field(
+        default_factory=dict
+    )
 
     def column(self, name: str) -> List[Any]:
         if self.rows and name not in self.rows[0]:
@@ -291,21 +373,63 @@ class GroupByResult:
         return len(self.rows)
 
 
-def _chunk_group_keys(chunk: Chunk, group_by: Sequence[str]) -> List[Any]:
-    """Per-row group keys for one chunk (tuples for composite keys)."""
-    if len(group_by) == 1:
-        values = chunk[group_by[0]]
-        if isinstance(values, np.ndarray):
-            return [v.item() for v in values]
-        return list(values)
-    columns = []
+def _partition_chunk(
+    chunk: Chunk, group_by: Sequence[str]
+) -> Tuple[np.ndarray, List[Any], np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised key partition of one chunk into per-group runs.
+
+    One stable ``argsort`` of the (encoded) key column does all the work:
+    rows with equal keys become one contiguous run, in arrival order
+    (stability), and ``perm[starts[j]]`` is each run's first-appearance
+    row, which lets the caller register new groups in exactly the
+    insertion order the old per-row dict bucketing produced.
+
+    Returns ``(perm, labels, first_rows, starts, stops)``: run ``j``
+    comprises rows ``perm[starts[j]:stops[j]]``, all carrying the
+    Python-level key ``labels[j]`` (scalar for a single key column,
+    tuple for composite keys).
+
+    Composite keys fold per-column ``np.unique`` inverse codes into a
+    mixed-radix code, re-compressed after every fold so the code range
+    never exceeds the chunk length (no overflow however many key columns).
+    """
+    raw_cols: List[Any] = []
+    codes: Optional[np.ndarray] = None
     for name in group_by:
         values = chunk[name]
-        if isinstance(values, np.ndarray):
-            columns.append([v.item() for v in values])
+        raw_cols.append(values)
+        arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+        if len(group_by) == 1:
+            codes = arr
+        elif codes is None:
+            codes = np.unique(arr, return_inverse=True)[1].astype(np.int64)
         else:
-            columns.append(list(values))
-    return list(zip(*columns))
+            inv = np.unique(arr, return_inverse=True)[1]
+            codes = codes * (int(inv.max()) + 1) + inv
+            codes = np.unique(codes, return_inverse=True)[1]
+    assert codes is not None
+    perm = np.argsort(codes, kind="stable")
+    sorted_codes = codes[perm]
+    bounds = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    stops = np.append(bounds, len(sorted_codes))
+    first_rows = perm[starts]
+    labels: List[Any]
+    if len(group_by) == 1:
+        col = raw_cols[0]
+        if isinstance(col, np.ndarray):
+            labels = sorted_codes[starts].tolist()
+        else:
+            labels = [col[int(r)] for r in first_rows]
+    else:
+        labels = [
+            tuple(
+                col[r].item() if isinstance(col, np.ndarray) else col[r]
+                for col in raw_cols
+            )
+            for r in (int(v) for v in first_rows)
+        ]
+    return perm, labels, first_rows, starts, stops
 
 
 def execute_group_by(
@@ -321,10 +445,16 @@ def execute_group_by(
     count is the natural choice: no group can exceed it, so every group's
     guarantee holds a fortiori).  With an empty *group_by* the whole input
     forms a single group (plain aggregation).
+
+    Each chunk is processed with two vectorised steps -- one stable
+    ``argsort`` partition of the key column into per-group runs, then
+    bank-routed run ingest -- with no per-row Python and no per-group
+    masking of the chunk.
     """
     if not aggregates:
         raise QueryError("need at least one aggregate")
-    groups: Dict[Any, _GroupState] = {}
+    aggs = _AggregatorSet(aggregates, n_hint)
+    registry: Dict[Any, int] = {}  # group key -> dense group id
     result = GroupByResult(
         group_columns=list(group_by),
         aggregate_names=[a.output_name for a in aggregates],
@@ -334,31 +464,53 @@ def execute_group_by(
         if chunk.n_rows == 0:
             continue
         if not group_by:
-            state = groups.setdefault(
-                (), _GroupState(aggregates, n_hint)
-            )
-            state.update(chunk)
+            if not registry:
+                registry[()] = aggs.add_group()
+            aggs.update(chunk, None, (0,), (0,), (chunk.n_rows,))
             continue
-        keys = _chunk_group_keys(chunk, group_by)
-        # bucket row indices by key, then feed each group one sub-chunk
-        buckets: Dict[Any, List[int]] = {}
-        for i, key in enumerate(keys):
-            buckets.setdefault(key, []).append(i)
-        for key, idx in buckets.items():
-            state = groups.get(key)
-            if state is None:
-                state = groups[key] = _GroupState(aggregates, n_hint)
-            mask = np.zeros(chunk.n_rows, dtype=bool)
-            mask[idx] = True
-            state.update(chunk.take(mask))
-    for key, state in groups.items():
+        perm, labels, first_rows, starts, stops = _partition_chunk(
+            chunk, group_by
+        )
+        run_gids = np.empty(len(labels), dtype=np.int64)
+        # register new groups in first-appearance order (not run order,
+        # which is key-sorted) to keep the old dict-insertion row order
+        for j in np.argsort(first_rows, kind="stable"):
+            label = labels[int(j)]
+            gid = registry.get(label)
+            if gid is None:
+                gid = aggs.add_group()
+                registry[label] = gid
+            run_gids[j] = gid
+        if len(labels) == 1:
+            # whole chunk is one group: skip the permutation entirely
+            aggs.update(
+                chunk, None, (int(run_gids[0]),), (0,), (chunk.n_rows,)
+            )
+            continue
+        aggs.update(chunk, perm, run_gids, starts, stops)
+    for label, gid in registry.items():
         row: Dict[str, Any] = {}
         if group_by:
-            key_values = key if isinstance(key, tuple) else (key,)
+            key_values = label if len(group_by) > 1 else (label,)
             for name, value in zip(group_by, key_values):
                 row[name] = value
-        for name, value in zip(result.aggregate_names, state.results()):
+        for name, value in zip(result.aggregate_names, aggs.group_results(gid)):
             row[name] = value
         result.rows.append(row)
-        result.sketch_memory_elements += state.memory_elements
+    result.sketch_memory_elements = aggs.memory_elements
+    per_name_bounds = aggs.certified_error_bounds()
+    if per_name_bounds:
+        key_tuples: List[Tuple[Any, ...]] = []
+        for label in registry:
+            if not group_by:
+                key_tuples.append(())
+            elif len(group_by) > 1:
+                key_tuples.append(label)
+            else:
+                key_tuples.append((label,))
+        for name, per_gid in per_name_bounds.items():
+            result.quantile_error_bounds[name] = {
+                key: per_gid[gid]
+                for key, gid in zip(key_tuples, registry.values())
+            }
     return result

@@ -5,7 +5,7 @@ from .compressed import (
     MisraGries,
     build_compressed_histogram,
 )
-from .equidepth import EquiDepthHistogram, build_histogram
+from .equidepth import EquiDepthHistogram, build_histogram, build_histograms
 from .equiwidth import EquiWidthHistogram, build_equiwidth_histogram
 from .selectivity import (
     SelectivityResult,
@@ -16,6 +16,7 @@ from .selectivity import (
 __all__ = [
     "EquiDepthHistogram",
     "build_histogram",
+    "build_histograms",
     "CompressedHistogram",
     "MisraGries",
     "build_compressed_histogram",

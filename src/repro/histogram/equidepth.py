@@ -16,14 +16,15 @@ granularity.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..core.bank import SketchBank
 from ..core.errors import ConfigurationError, EmptySummaryError
 from ..core.sketch import QuantileSketch
 
-__all__ = ["EquiDepthHistogram", "build_histogram"]
+__all__ = ["EquiDepthHistogram", "build_histogram", "build_histograms"]
 
 
 class EquiDepthHistogram:
@@ -159,3 +160,83 @@ def build_histogram(
         high=float(arr.max()),
         epsilon=epsilon,
     )
+
+
+def build_histograms(
+    data: "np.ndarray | Mapping[str, Any]",
+    n_buckets: int,
+    epsilon: float,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    policy: str = "new",
+) -> "Dict[str, EquiDepthHistogram]":
+    """Equi-depth histograms for *many* columns from one pass.
+
+    The Section 1.2 motivating workload: *data* is either a 2D
+    ``(rows, columns)`` ndarray or a mapping of column name to 1-d
+    values, and every column gets its own guaranteed-boundary histogram.
+    All summaries live in one :class:`~repro.core.bank.SketchBank` sized
+    for ``(epsilon, rows)``, so the boundaries are bit-identical to
+    calling :func:`build_histogram` column by column.
+
+    ``columns`` names the ndarray's columns (defaults to ``c0, c1, ...``)
+    and is rejected for mappings, whose keys already name the columns.
+    """
+    if n_buckets < 2:
+        raise ConfigurationError(f"need >= 2 buckets, got {n_buckets}")
+    if isinstance(data, Mapping):
+        if columns is not None:
+            raise ConfigurationError(
+                "columns= is only for ndarray input; mapping keys "
+                "already name the columns"
+            )
+        names = list(data)
+        arrays = [np.asarray(data[name], dtype=np.float64) for name in names]
+        if not names:
+            raise EmptySummaryError("histograms need at least one column")
+        for name, arr in zip(names, arrays):
+            if arr.ndim != 1 or len(arr) == 0:
+                raise EmptySummaryError(
+                    f"histogram needs a non-empty 1-d column, got shape "
+                    f"{arr.shape} for {name!r}"
+                )
+            if len(arr) != len(arrays[0]):
+                raise ConfigurationError(
+                    f"ragged input: column {name!r} has {len(arr)} rows, "
+                    f"expected {len(arrays[0])}"
+                )
+    else:
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise EmptySummaryError(
+                f"histograms need a non-empty 2D (rows, columns) array, "
+                f"got shape {matrix.shape}"
+            )
+        names = (
+            [f"c{j}" for j in range(matrix.shape[1])]
+            if columns is None
+            else list(columns)
+        )
+        if len(names) != matrix.shape[1]:
+            raise ConfigurationError(
+                f"{len(names)} column names for {matrix.shape[1]} columns"
+            )
+        arrays = [matrix[:, j] for j in range(matrix.shape[1])]
+    n = len(arrays[0])
+    bank = SketchBank(epsilon, n=n, policy=policy, n_sketches=len(names))
+    for j, arr in enumerate(arrays):
+        bank.extend_single(j, arr)
+    phis = [i / n_buckets for i in range(1, n_buckets)]
+    out: "Dict[str, EquiDepthHistogram]" = {}
+    for j, (name, answers) in enumerate(
+        zip(names, bank.quantiles_all(phis))
+    ):
+        boundaries = sorted(float(v) for v in answers)
+        out[name] = EquiDepthHistogram(
+            boundaries,
+            n=n,
+            low=float(arrays[j].min()),
+            high=float(arrays[j].max()),
+            epsilon=epsilon,
+        )
+    return out

@@ -6,14 +6,23 @@ over a table."*
 
 :class:`MultiColumnSketcher` maintains one quantile summary per column and
 feeds them all from a single scan, then hands back per-column quantiles,
-equi-depth histograms, or the raw sketches.  It accepts either dictionaries
-of arrays (one per chunk) or the engine's :class:`~repro.engine.table.Chunk`
-objects, so it plugs directly into table scans::
+equi-depth histograms, or the raw sketches.  It accepts dictionaries of
+arrays (one per chunk), the engine's :class:`~repro.engine.table.Chunk`
+objects, or a plain 2D ``(rows, columns)`` ndarray, so it plugs directly
+into table scans::
 
     sketcher = MultiColumnSketcher(["price", "qty"], epsilon=0.005, n=len(t))
     for chunk in t.scan():
         sketcher.consume(chunk)
     boundaries = sketcher.histogram("price", 20)
+
+On the deterministic path every column's
+:class:`~repro.core.framework.QuantileFramework` is adopted into one
+:class:`~repro.core.bank.SketchBank`, so a chunk is ingested as one bank
+operation per column slice with no per-column Python dispatch beyond the
+slice itself; answers are bit-identical to feeding each
+:class:`QuantileSketch` separately.  The Section 5 sampling front-end
+(``delta``) composes per column exactly as before.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .core.bank import SketchBank
 from .core.errors import ConfigurationError, EmptySummaryError
 from .core.sketch import QuantileSketch
 from .histogram.equidepth import EquiDepthHistogram
@@ -65,6 +75,15 @@ class MultiColumnSketcher:
             )
             for name in self.columns
         }
+        # Deterministic sketches route their ingest through one shared
+        # bank (sketch id == column index); the sampling front-end keeps
+        # its per-column path (the sampler owns the stream thinning).
+        self._bank: Optional[SketchBank] = None
+        if not any(sk.uses_sampling for sk in self._sketches.values()):
+            bank = SketchBank(epsilon, n=n, policy=policy)
+            for name in self.columns:
+                bank.adopt(self._sketches[name]._impl)
+            self._bank = bank
         self._minima: Dict[str, float] = {}
         self._maxima: Dict[str, float] = {}
         self._n_rows = 0
@@ -78,35 +97,64 @@ class MultiColumnSketcher:
         """Total footprint across all column sketches."""
         return sum(sk.memory_elements for sk in self._sketches.values())
 
-    def consume(self, chunk: "Mapping[str, Any] | Any") -> None:
-        """Feed one scan chunk (a mapping or an engine ``Chunk``)."""
-        columns = getattr(chunk, "columns", chunk)
-        if not isinstance(columns, Mapping):
+    def _coerce_matrix(self, matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        if matrix.ndim != 2:
             raise ConfigurationError(
-                "consume() expects a mapping of column -> values or an "
-                "engine Chunk"
+                f"ndarray chunks must be 2D (rows, columns), got shape "
+                f"{matrix.shape}"
             )
-        arrays = {}
-        n_rows = None
-        for name in self.columns:
-            if name not in columns:
+        if matrix.shape[1] != len(self.columns):
+            raise ConfigurationError(
+                f"chunk has {matrix.shape[1]} columns, sketcher tracks "
+                f"{len(self.columns)}: {self.columns}"
+            )
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return {
+            name: matrix[:, j] for j, name in enumerate(self.columns)
+        }
+
+    def consume(self, chunk: "Mapping[str, Any] | np.ndarray | Any") -> None:
+        """Feed one scan chunk.
+
+        Accepts a mapping of column name to values, an engine ``Chunk``,
+        or a 2D ``(rows, columns)`` ndarray whose columns are in
+        ``self.columns`` order.
+        """
+        if isinstance(chunk, np.ndarray):
+            arrays = self._coerce_matrix(chunk)
+            n_rows = len(chunk)
+        else:
+            columns = getattr(chunk, "columns", chunk)
+            if not isinstance(columns, Mapping):
                 raise ConfigurationError(
-                    f"chunk is missing column {name!r}"
+                    "consume() expects a mapping of column -> values, an "
+                    "engine Chunk, or a 2D (rows, columns) ndarray"
                 )
-            arr = np.asarray(columns[name], dtype=np.float64)
-            if n_rows is None:
-                n_rows = len(arr)
-            elif len(arr) != n_rows:
-                raise ConfigurationError(
-                    f"ragged chunk: column {name!r} has {len(arr)} rows, "
-                    f"expected {n_rows}"
-                )
-            arrays[name] = arr
+            arrays = {}
+            n_rows = None
+            for name in self.columns:
+                if name not in columns:
+                    raise ConfigurationError(
+                        f"chunk is missing column {name!r}"
+                    )
+                arr = np.asarray(columns[name], dtype=np.float64)
+                if n_rows is None:
+                    n_rows = len(arr)
+                elif len(arr) != n_rows:
+                    raise ConfigurationError(
+                        f"ragged chunk: column {name!r} has {len(arr)} "
+                        f"rows, expected {n_rows}"
+                    )
+                arrays[name] = arr
         if not n_rows:
             return
         self._n_rows += n_rows
-        for name, arr in arrays.items():
-            self._sketches[name].extend(arr)
+        for j, name in enumerate(self.columns):
+            arr = arrays[name]
+            if self._bank is not None:
+                self._bank.extend_single(j, arr)
+            else:
+                self._sketches[name].extend(arr)
             low = float(arr.min())
             high = float(arr.max())
             self._minima[name] = min(self._minima.get(name, low), low)
@@ -129,8 +177,28 @@ class MultiColumnSketcher:
     def all_quantiles(
         self, phis: Sequence[float]
     ) -> Dict[str, List[float]]:
-        """The same quantile fractions for every tracked column."""
+        """The same quantile fractions for every tracked column.
+
+        Each column answers every fraction off a single buffer snapshot
+        (Section 4.7) -- via :meth:`SketchBank.quantiles_all` on the
+        deterministic path.
+        """
+        if self._bank is not None:
+            per_sketch = self._bank.quantiles_all(phis)
+            out: Dict[str, List[float]] = {}
+            for name, answers in zip(self.columns, per_sketch):
+                if answers is None:
+                    raise EmptySummaryError("no elements have been ingested")
+                out[name] = [float(v) for v in answers]
+            return out
         return {name: self.quantiles(name, phis) for name in self.columns}
+
+    def error_bounds(self) -> Dict[str, float]:
+        """Certified Lemma 5 rank-error bound (elements) per column."""
+        return {
+            name: float(sk.error_bound())
+            for name, sk in self._sketches.items()
+        }
 
     def histogram(self, column: str, n_buckets: int) -> EquiDepthHistogram:
         """An equi-depth histogram of one column from its sketch."""
@@ -148,6 +216,12 @@ class MultiColumnSketcher:
             high=self._maxima[column],
             epsilon=self.epsilon,
         )
+
+    def histograms(self, n_buckets: int) -> Dict[str, EquiDepthHistogram]:
+        """Equi-depth histograms for every tracked column."""
+        return {
+            name: self.histogram(name, n_buckets) for name in self.columns
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,242 @@
+"""SketchBank: many logically-independent MRL summaries, one ingest path.
+
+The bank's contract is strict: every sketch must behave exactly as if it
+were a standalone :class:`QuantileFramework` fed its own subsequence of
+the stream (the property suite in ``test_property_bank.py`` checks
+bit-identity exhaustively; here we cover construction, validation, lazy
+materialisation, capacity limits, and the query surface).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import serialize
+from repro.core.bank import SketchBank
+from repro.core.errors import CapacityExceededError, ConfigurationError
+from repro.core.framework import QuantileFramework
+from repro.core.sketch import QuantileSketch
+
+EPS = 0.05
+N = 50_000
+
+
+def _fed_pair(rng, n_sketches=4, chunks=6, chunk_rows=2000):
+    """A bank and independently-fed reference sketches, same stream."""
+    bank = SketchBank(EPS, n=N, n_sketches=n_sketches)
+    refs = [QuantileSketch(EPS, n=N) for _ in range(n_sketches)]
+    for _ in range(chunks):
+        ids = rng.integers(0, n_sketches, size=chunk_rows)
+        vals = rng.normal(size=chunk_rows)
+        bank.extend(ids, vals)
+        for g in range(n_sketches):
+            sub = vals[ids == g]
+            if len(sub):
+                refs[g].extend(sub)
+    return bank, refs
+
+
+class TestConstruction:
+    def test_epsilon_validated(self):
+        with pytest.raises(ConfigurationError):
+            SketchBank(0.0)
+        with pytest.raises(ConfigurationError):
+            SketchBank(1.0)
+
+    def test_n_validated(self):
+        with pytest.raises(ConfigurationError):
+            SketchBank(0.01, n=0)
+
+    def test_negative_n_sketches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SketchBank(0.01, n=1000, n_sketches=-1)
+
+    def test_bad_max_sketches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SketchBank(0.01, n=1000, max_sketches=0)
+
+    def test_preallocated_sketches(self):
+        bank = SketchBank(EPS, n=N, n_sketches=3)
+        assert len(bank) == bank.n_sketches == 3
+
+    def test_plan_matches_single_sketch(self):
+        bank = SketchBank(EPS, n=N, n_sketches=1)
+        single = QuantileSketch(EPS, n=N)
+        assert bank.memory_elements == single.memory_elements
+        assert (bank.plan.b, bank.plan.k) == (
+            single.plan.b,
+            single.plan.k,
+        )
+
+
+class TestLazyMaterialisation:
+    def test_extend_materialises_through_max_id(self):
+        bank = SketchBank(EPS, n=N)
+        assert len(bank) == 0
+        bank.extend([5, 2, 5], [1.0, 2.0, 3.0])
+        # ids 0..5 all exist (dense id space), only 2 and 5 hold data
+        assert len(bank) == 6
+        assert bank.counts().tolist() == [0, 0, 1, 0, 0, 2]
+        assert bank.n_total == 3
+
+    def test_empty_sketches_still_count_memory(self):
+        bank = SketchBank(EPS, n=N, n_sketches=4)
+        single = QuantileSketch(EPS, n=N)
+        assert bank.memory_elements == 4 * single.memory_elements
+
+    def test_single_row_sketch(self):
+        bank = SketchBank(EPS, n=N)
+        bank.extend([0, 1], [7.0, -1.0])
+        assert float(bank.query(1, 0.5)) == -1.0
+        assert bank.counts().tolist() == [1, 1]
+
+    def test_max_sketches_cap(self):
+        bank = SketchBank(EPS, n=N, max_sketches=3)
+        bank.extend([0, 1, 2], [1.0, 2.0, 3.0])
+        with pytest.raises(CapacityExceededError):
+            bank.extend([3], [4.0])
+        with pytest.raises(CapacityExceededError):
+            bank.add_sketch()
+        # the failed call must not have corrupted the existing sketches
+        assert bank.counts().tolist() == [1, 1, 1]
+
+    def test_adopt_respects_cap(self):
+        bank = SketchBank(EPS, n=N, max_sketches=1, n_sketches=1)
+        with pytest.raises(CapacityExceededError):
+            bank.adopt(QuantileSketch(EPS, n=N)._impl)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        bank = SketchBank(EPS, n=N)
+        with pytest.raises(ConfigurationError):
+            bank.extend([0, 1], [1.0])
+
+    def test_negative_ids(self):
+        bank = SketchBank(EPS, n=N)
+        with pytest.raises(ConfigurationError):
+            bank.extend([-1], [1.0])
+        with pytest.raises(ConfigurationError):
+            bank.extend_single(-1, [1.0])
+
+    def test_non_integer_ids(self):
+        bank = SketchBank(EPS, n=N)
+        with pytest.raises(ConfigurationError):
+            bank.extend([0.5], [1.0])
+
+    def test_integral_float_ids_accepted(self):
+        bank = SketchBank(EPS, n=N)
+        bank.extend(np.array([0.0, 1.0]), [1.0, 2.0])
+        assert bank.counts().tolist() == [1, 1]
+
+    def test_non_finite_values_rejected(self):
+        bank = SketchBank(EPS, n=N, n_sketches=1)
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ConfigurationError):
+                bank.extend([0], [bad])
+            with pytest.raises(ConfigurationError):
+                bank.extend_single(0, [bad])
+
+    def test_2d_values_rejected(self):
+        bank = SketchBank(EPS, n=N, n_sketches=1)
+        with pytest.raises(ConfigurationError):
+            bank.extend_single(0, np.zeros((2, 2)))
+
+    def test_empty_extend_is_noop(self):
+        bank = SketchBank(EPS, n=N, n_sketches=2)
+        bank.extend(np.array([], dtype=np.int64), np.array([]))
+        bank.extend_single(0, [])
+        assert bank.n_total == 0
+
+    def test_unknown_sketch_id_query(self):
+        bank = SketchBank(EPS, n=N, n_sketches=1)
+        with pytest.raises(ConfigurationError):
+            bank.sketch(1)
+        with pytest.raises(ConfigurationError):
+            bank.sketch(-1)
+
+    def test_adopt_rejects_non_framework(self):
+        bank = SketchBank(EPS, n=N)
+        with pytest.raises(ConfigurationError):
+            bank.adopt(QuantileSketch(EPS, n=N))  # wrapper, not framework
+
+    def test_adopt_rejects_generic_mode(self):
+        fw = QuantileFramework(b=3, k=10)
+        fw.extend(["a", "b", "c"])
+        with pytest.raises(ConfigurationError):
+            SketchBank(EPS, n=N).adopt(fw)
+
+
+class TestBitIdentity:
+    def test_quantiles_bounds_memory_serialization(self, rng):
+        bank, refs = _fed_pair(rng)
+        phis = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+        for g, ref in enumerate(refs):
+            assert [float(v) for v in bank.quantiles(g, phis)] == [
+                float(v) for v in ref.quantiles(phis)
+            ]
+            assert bank.error_bound(g) == ref._impl.error_bound()
+            assert serialize.dumps(bank.sketch(g)) == serialize.dumps(
+                ref._impl
+            )
+        assert bank.memory_elements == sum(
+            ref.memory_elements for ref in refs
+        )
+        assert bank.error_bounds() == [
+            ref._impl.error_bound() for ref in refs
+        ]
+
+    def test_extend_single_matches_extend(self, rng):
+        vals = rng.normal(size=5000)
+        via_single = SketchBank(EPS, n=N, n_sketches=1)
+        via_ids = SketchBank(EPS, n=N, n_sketches=1)
+        for s in range(0, len(vals), 700):
+            chunk = vals[s : s + 700]
+            via_single.extend_single(0, chunk)
+            via_ids.extend(np.zeros(len(chunk), dtype=np.int64), chunk)
+        phis = [0.1, 0.5, 0.9]
+        assert via_single.quantiles(0, phis) == via_ids.quantiles(0, phis)
+        assert serialize.dumps(via_single.sketch(0)) == serialize.dumps(
+            via_ids.sketch(0)
+        )
+
+    def test_scratch_reuse_does_not_corrupt(self, rng):
+        """Growing/shrinking chunks share scratch; history must be stable."""
+        bank = SketchBank(EPS, n=N, n_sketches=3)
+        sizes = [3000, 17, 4500, 1, 2999]
+        streams = [
+            (rng.integers(0, 3, size=m), rng.normal(size=m)) for m in sizes
+        ]
+        for ids, vals in streams:
+            bank.extend(ids, vals)
+        for g in range(3):
+            fresh = QuantileSketch(EPS, n=N)
+            for ids, vals in streams:
+                sub = vals[ids == g]
+                if len(sub):
+                    fresh.extend(sub)
+            assert bank.quantiles(g, [0.5]) == [fresh.query(0.5)]
+
+    def test_adopted_framework_is_shared(self, rng):
+        sk = QuantileSketch(EPS, n=N)
+        bank = SketchBank(EPS, n=N)
+        i = bank.adopt(sk._impl)
+        bank.extend_single(i, rng.normal(size=1000))
+        assert len(sk) == 1000
+        assert float(sk.query(0.5)) == float(bank.query(i, 0.5))
+
+
+class TestQueries:
+    def test_quantiles_all_with_empty_sketches(self, rng):
+        bank = SketchBank(EPS, n=N, n_sketches=3)
+        bank.extend_single(1, rng.normal(size=100))
+        answers = bank.quantiles_all([0.25, 0.75])
+        assert answers[0] is None and answers[2] is None
+        assert len(answers[1]) == 2
+
+    def test_counts_and_total(self, rng):
+        bank = SketchBank(EPS, n=N)
+        bank.extend([0, 0, 2], [1.0, 2.0, 3.0])
+        assert bank.counts().tolist() == [2, 0, 1]
+        assert bank.n_total == 3

@@ -1,0 +1,148 @@
+"""Property suite: SketchBank is bit-identical to independent sketches.
+
+The ISSUE-2 acceptance criterion, verified by hypothesis: for random
+chunked streams and destination ids, across all three collapse policies
+and with the sorted-run kernels both enabled and disabled
+(``REPRO_KERNELS`` argsort fallback), every sketch in a
+:class:`SketchBank` is *bit-identical* to a :class:`QuantileSketch` fed
+the same subsequence on its own -- quantile answers, certified Lemma 5
+``error_bound``, ``memory_elements``, and the serialized wire format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels, serialize
+from repro.core.bank import SketchBank
+from repro.core.sketch import QuantileSketch
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+policies = st.sampled_from(["new", "munro-paterson", "alsabti-ranka-singh"])
+kernel_modes = st.booleans()
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+#: a stream of (ids, values) chunks: a few sketches, uneven chunk sizes,
+#: including chunks that miss some sketches entirely
+chunk_streams = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n_sketches: st.tuples(
+        st.just(n_sketches),
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n_sketches - 1),
+                    finite_floats,
+                ),
+                min_size=0,
+                max_size=120,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+)
+
+
+def _feed_both(n_sketches, chunks, policy, epsilon, design_n):
+    bank = SketchBank(
+        epsilon, n=design_n, policy=policy, n_sketches=n_sketches
+    )
+    refs = [
+        QuantileSketch(epsilon, n=design_n, policy=policy)
+        for _ in range(n_sketches)
+    ]
+    for chunk in chunks:
+        if not chunk:
+            continue
+        ids = np.array([i for i, _ in chunk], dtype=np.int64)
+        vals = np.array([v for _, v in chunk], dtype=np.float64)
+        bank.extend(ids, vals)
+        for g in range(n_sketches):
+            sub = vals[ids == g]
+            if len(sub):
+                refs[g].extend(sub)
+    return bank, refs
+
+
+def _assert_bit_identical(bank, refs):
+    phis = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    for g, ref in enumerate(refs):
+        assert bank.sketch(g).n == len(ref)
+        if len(ref):
+            got = [float(v) for v in bank.quantiles(g, phis)]
+            want = [float(v) for v in ref.quantiles(phis)]
+            assert got == want  # exact float equality, not approx
+            assert bank.error_bound(g) == ref._impl.error_bound()
+        assert bank.sketch(g).memory_elements == ref.memory_elements
+        assert serialize.dumps(bank.sketch(g)) == serialize.dumps(ref._impl)
+    assert bank.memory_elements == sum(r.memory_elements for r in refs)
+
+
+class TestBankBitIdentity:
+    @COMMON
+    @given(stream=chunk_streams, policy=policies, use_kernels=kernel_modes)
+    def test_bank_matches_independent_sketches(
+        self, stream, policy, use_kernels
+    ):
+        n_sketches, chunks = stream
+        kernels.set_enabled(use_kernels)
+        try:
+            bank, refs = _feed_both(
+                n_sketches, chunks, policy, epsilon=0.05, design_n=20_000
+            )
+        finally:
+            kernels.set_enabled(True)
+        _assert_bit_identical(bank, refs)
+
+    @COMMON
+    @given(
+        stream=chunk_streams,
+        policy=policies,
+        epsilon=st.sampled_from([0.2, 0.05, 0.01]),
+    )
+    def test_bank_matches_across_configurations(self, stream, policy, epsilon):
+        n_sketches, chunks = stream
+        bank, refs = _feed_both(
+            n_sketches, chunks, policy, epsilon=epsilon, design_n=5_000
+        )
+        _assert_bit_identical(bank, refs)
+
+    @COMMON
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=400),
+        policy=policies,
+        use_kernels=kernel_modes,
+    )
+    def test_extend_runs_matches_extend(self, values, policy, use_kernels):
+        """Pre-partitioned ingest == id-routed ingest == direct extend."""
+        vals = np.asarray(values, dtype=np.float64)
+        kernels.set_enabled(use_kernels)
+        try:
+            via_runs = SketchBank(
+                0.1, n=10_000, policy=policy, n_sketches=2
+            )
+            mid = len(vals) // 2
+            via_runs.extend_runs(
+                [0, 1], [0, mid], [mid, len(vals)], vals
+            )
+            direct = [
+                QuantileSketch(0.1, n=10_000, policy=policy)
+                for _ in range(2)
+            ]
+            if mid:
+                direct[0].extend(vals[:mid])
+            direct[1].extend(vals[mid:])
+        finally:
+            kernels.set_enabled(True)
+        _assert_bit_identical(via_runs, direct)

@@ -1,0 +1,295 @@
+"""Bank-backed GROUP BY execution: lazy groups, vectorised keys, bounds.
+
+Covers the executor rewrite on top of :class:`SketchBank`: group
+accumulators materialise the moment a key first appears (even in the
+last chunk), answers stay bit-identical to feeding each group's own
+:class:`QuantileSketch` its arrival-order slices, very large group
+counts behave (and fail) exactly like per-sketch construction, and the
+certified per-group Lemma 5 bounds are exposed on the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bank import SketchBank
+from repro.core.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+)
+from repro.core.sketch import QuantileSketch
+from repro.engine import count, execute_group_by, median, quantile, sum_
+from repro.engine.table import Chunk
+
+EPS = 0.05
+
+
+def _chunks(specs):
+    """Build chunks from ``[(keys, values), ...]`` specs."""
+    out = []
+    for keys, values in specs:
+        keys = np.asarray(keys)
+        values = np.asarray(values, dtype=np.float64)
+        out.append(
+            Chunk(columns={"g": keys, "x": values}, n_rows=len(values))
+        )
+    return out
+
+
+def _reference_rows(specs, phi=0.5, n_hint=1000):
+    """Old-path semantics: per-group sketches fed arrival-order slices."""
+    sketches = {}
+    counts = {}
+    for keys, values in specs:
+        keys = np.asarray(keys)
+        values = np.asarray(values, dtype=np.float64)
+        for key in dict.fromkeys(k.item() for k in keys):
+            sub = values[keys == key]
+            sub = sub[~np.isnan(sub)]
+            if key not in sketches:
+                sketches[key] = QuantileSketch(EPS, n=n_hint)
+                counts[key] = 0
+            if len(sub):
+                sketches[key].extend(sub)
+            counts[key] += int((keys == key).sum())
+    return [
+        {
+            "g": key,
+            f"q{phi:g}_x": (
+                float(sk.query(phi)) if len(sk) else None
+            ),
+            "count": counts[key],
+        }
+        for key, sk in sketches.items()
+    ]
+
+
+class TestLazyGroupMaterialisation:
+    def test_group_first_seen_in_last_chunk(self, rng):
+        specs = [
+            (np.zeros(500, dtype=np.int64), rng.normal(size=500)),
+            (np.zeros(500, dtype=np.int64), rng.normal(size=500)),
+            (np.array([0] * 499 + [7]), rng.normal(size=500)),
+        ]
+        result = execute_group_by(
+            iter(_chunks(specs)),
+            ["g"],
+            [median("x", EPS), count()],
+            n_hint=1500,
+        )
+        assert result.rows == _reference_rows(specs, n_hint=1500)
+        late = [row for row in result.rows if row["g"] == 7]
+        assert late[0]["count"] == 1
+        # both groups own fully-sized sketches: memory is per group
+        single = QuantileSketch(EPS, n=1500)
+        assert result.sketch_memory_elements == 2 * single.memory_elements
+
+    def test_single_row_group(self, rng):
+        keys = np.array([1, 1, 2, 1, 1], dtype=np.int64)
+        vals = np.array([5.0, 1.0, 42.0, 3.0, 2.0])
+        result = execute_group_by(
+            iter(_chunks([(keys, vals)])),
+            ["g"],
+            [median("x", EPS), count()],
+            n_hint=5,
+        )
+        by_key = {row["g"]: row for row in result.rows}
+        assert by_key[2]["count"] == 1
+        assert by_key[2]["q0.5_x"] == 42.0
+
+    def test_first_seen_ordering_preserved(self, rng):
+        # old dict-bucketing emitted rows in first-appearance order
+        specs = [
+            (np.array([3, 1, 3, 2]), rng.normal(size=4)),
+            (np.array([2, 5, 1, 5]), rng.normal(size=4)),
+        ]
+        result = execute_group_by(
+            iter(_chunks(specs)), ["g"], [count()], n_hint=8
+        )
+        assert [row["g"] for row in result.rows] == [3, 1, 2, 5]
+
+    def test_many_groups_match_per_sketch_answers(self, rng):
+        n = 12_000
+        keys = rng.integers(0, 200, size=n).astype(np.int64)
+        vals = rng.normal(size=n)
+        specs = [
+            (keys[s : s + 1024], vals[s : s + 1024])
+            for s in range(0, n, 1024)
+        ]
+        result = execute_group_by(
+            iter(_chunks(specs)),
+            ["g"],
+            [median("x", EPS), count()],
+            n_hint=n,
+        )
+        assert len(result.rows) == 200
+        assert result.rows == _reference_rows(specs, n_hint=n)
+
+    def test_over_10k_groups_under_memory_cap(self, rng):
+        """>10k distinct groups against a capped bank fails exactly like
+        per-sketch construction (same capacity error), and an uncapped
+        bank handles them."""
+        n_groups = 10_050
+        ids = np.arange(n_groups, dtype=np.int64)
+        vals = rng.normal(size=n_groups)
+        capped = SketchBank(0.2, n=n_groups, max_sketches=10_000)
+        with pytest.raises(CapacityExceededError):
+            capped.extend(ids, vals)
+        uncapped = SketchBank(0.2, n=n_groups)
+        uncapped.extend(ids, vals)
+        assert len(uncapped) == n_groups
+        assert uncapped.n_total == n_groups
+        # configuration errors match per-sketch construction exactly
+        with pytest.raises(ConfigurationError) as bank_err:
+            SketchBank(2.0, n=n_groups)
+        with pytest.raises(ConfigurationError) as sketch_err:
+            QuantileSketch(2.0, n=n_groups)
+        assert str(bank_err.value) == str(sketch_err.value)
+
+    def test_over_10k_groups_through_executor(self, rng):
+        n = 22_000
+        keys = rng.permutation(n).astype(np.int64) % 11_000
+        vals = rng.normal(size=n)
+        specs = [
+            (keys[s : s + 4096], vals[s : s + 4096])
+            for s in range(0, n, 4096)
+        ]
+        result = execute_group_by(
+            iter(_chunks(specs)),
+            ["g"],
+            [quantile("x", 0.5, 0.2), count()],
+            n_hint=n,
+        )
+        assert len(result.rows) == 11_000
+        assert sum(row["count"] for row in result.rows) == n
+        single = QuantileSketch(0.2, n=n)
+        assert (
+            result.sketch_memory_elements
+            == 11_000 * single.memory_elements
+        )
+
+
+class TestVectorisedKeys:
+    def test_string_keys(self, rng):
+        keys = [["b", "a", "b", "c"], ["c", "a", "a", "d"]]
+        chunks = [
+            Chunk(
+                columns={"g": list(k), "x": rng.normal(size=4)},
+                n_rows=4,
+            )
+            for k in keys
+        ]
+        result = execute_group_by(
+            iter(chunks), ["g"], [count()], n_hint=8
+        )
+        assert [row["g"] for row in result.rows] == ["b", "a", "c", "d"]
+        assert {row["g"]: row["count"] for row in result.rows} == {
+            "a": 3,
+            "b": 2,
+            "c": 2,
+            "d": 1,
+        }
+        assert all(isinstance(row["g"], str) for row in result.rows)
+
+    def test_composite_keys(self, rng):
+        n = 4000
+        k1 = rng.integers(0, 5, size=n).astype(np.int64)
+        k2 = rng.integers(0, 3, size=n).astype(np.int64)
+        x = rng.normal(size=n)
+        chunks = [
+            Chunk(
+                columns={
+                    "a": k1[s : s + 512],
+                    "b": k2[s : s + 512],
+                    "x": x[s : s + 512],
+                },
+                n_rows=min(512, n - s),
+            )
+            for s in range(0, n, 512)
+        ]
+        result = execute_group_by(
+            iter(chunks), ["a", "b"], [count(), sum_("x")], n_hint=n
+        )
+        assert len(result.rows) == 15
+        for row in result.rows:
+            mask = (k1 == row["a"]) & (k2 == row["b"])
+            assert row["count"] == int(mask.sum())
+            assert row["sum_x"] == pytest.approx(float(x[mask].sum()))
+            assert isinstance(row["a"], int) and isinstance(row["b"], int)
+
+    def test_scalar_only_query_uses_vectorised_path(self, rng):
+        # COUNT/SUM-only queries never build a bank but share the
+        # argsort partition; exact integer/float agreement expected
+        n = 8000
+        keys = rng.integers(0, 37, size=n).astype(np.int64)
+        x = rng.exponential(size=n)
+        chunks = [
+            Chunk(
+                columns={"g": keys[s : s + 1000], "x": x[s : s + 1000]},
+                n_rows=min(1000, n - s),
+            )
+            for s in range(0, n, 1000)
+        ]
+        result = execute_group_by(
+            iter(chunks), ["g"], [count(), sum_("x")], n_hint=n
+        )
+        assert result.sketch_memory_elements == 0
+        for row in result.rows:
+            mask = keys == row["g"]
+            assert row["count"] == int(mask.sum())
+
+    def test_nan_values_ignored_in_quantiles(self, rng):
+        vals = rng.normal(size=1000)
+        vals[::7] = np.nan
+        keys = rng.integers(0, 4, size=1000).astype(np.int64)
+        specs = [(keys, vals)]
+        result = execute_group_by(
+            iter(_chunks(specs)),
+            ["g"],
+            [median("x", EPS), count()],
+            n_hint=1000,
+        )
+        assert result.rows == _reference_rows(specs, n_hint=1000)
+        # count(*) still counts NaN rows
+        assert sum(row["count"] for row in result.rows) == 1000
+
+
+class TestCertifiedBounds:
+    def test_error_bounds_exposed_per_group(self, rng):
+        n = 6000
+        keys = rng.integers(0, 6, size=n).astype(np.int64)
+        vals = rng.normal(size=n)
+        specs = [(keys, vals)]
+        result = execute_group_by(
+            iter(_chunks(specs)),
+            ["g"],
+            [median("x", EPS), count()],
+            n_hint=n,
+        )
+        bounds = result.quantile_error_bounds["q0.5_x"]
+        assert set(bounds) == {(row["g"],) for row in result.rows}
+        for row in result.rows:
+            bound = bounds[(row["g"],)]
+            # certified bound honours the configured guarantee
+            assert 0 <= bound <= EPS * n
+            # and matches the per-sketch certified bound exactly
+            sk = QuantileSketch(EPS, n=n)
+            sub = vals[keys == row["g"]]
+            sk.extend(sub)
+            sk.query(0.5)
+            assert bound == sk._impl.error_bound()
+
+    def test_no_bounds_without_quantile_aggregates(self, rng):
+        specs = [(np.zeros(10, dtype=np.int64), rng.normal(size=10))]
+        result = execute_group_by(
+            iter(_chunks(specs)), ["g"], [count()], n_hint=10
+        )
+        assert result.quantile_error_bounds == {}
+
+    def test_ungrouped_bounds_keyed_by_empty_tuple(self, rng):
+        specs = [(np.zeros(100, dtype=np.int64), rng.normal(size=100))]
+        result = execute_group_by(
+            iter(_chunks(specs)), [], [median("x", EPS)], n_hint=100
+        )
+        assert list(result.quantile_error_bounds["q0.5_x"]) == [()]

@@ -9,6 +9,7 @@ from repro.core.errors import ConfigurationError, EmptySummaryError
 from repro.histogram import (
     EquiDepthHistogram,
     build_histogram,
+    build_histograms,
     selectivity_experiment,
     true_selectivity,
 )
@@ -91,6 +92,47 @@ class TestBuildHistogram:
         hist = build_histogram(data, 3, epsilon=0.01)
         # each distinct value is a third of the column
         assert hist.selectivity(0.5, 1.5) == pytest.approx(1 / 3, abs=0.1)
+
+
+class TestBuildHistograms:
+    def test_matches_per_column_build(self, rng):
+        n = 30_000
+        data = {
+            "u": rng.uniform(0, 1, n),
+            "g": rng.normal(size=n),
+            "ln": rng.lognormal(size=n),
+        }
+        multi = build_histograms(data, 12, 0.01)
+        for name, values in data.items():
+            single = build_histogram(values, 12, 0.01)
+            assert multi[name].boundaries == single.boundaries, name
+            assert multi[name].low == single.low
+            assert multi[name].high == single.high
+            assert multi[name].n == single.n
+
+    def test_2d_ndarray_input(self, rng):
+        matrix = rng.normal(size=(5_000, 3))
+        named = build_histograms(matrix, 8, 0.02, columns=["a", "b", "c"])
+        default = build_histograms(matrix, 8, 0.02)
+        assert set(named) == {"a", "b", "c"}
+        assert set(default) == {"c0", "c1", "c2"}
+        assert named["b"].boundaries == default["c1"].boundaries
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(EmptySummaryError):
+            build_histograms(np.zeros((0, 2)), 4, 0.1)
+        with pytest.raises(EmptySummaryError):
+            build_histograms({}, 4, 0.1)
+        with pytest.raises(ConfigurationError):
+            build_histograms(np.zeros((5, 2)), 1, 0.1)
+        with pytest.raises(ConfigurationError):
+            build_histograms(
+                {"a": np.arange(5.0), "b": np.arange(4.0)}, 4, 0.1
+            )
+        with pytest.raises(ConfigurationError):
+            build_histograms({"a": np.arange(5.0)}, 4, 0.1, columns=["x"])
+        with pytest.raises(ConfigurationError):
+            build_histograms(np.zeros((5, 2)), 4, 0.1, columns=["x"])
 
 
 class TestTrueSelectivity:
