@@ -1,0 +1,233 @@
+"""Service ingest throughput: the TCP server versus in-process SketchBank.
+
+The acceptance target for the service subsystem is that batched ingest
+through the full stack -- frame encode, TCP, asyncio server, journal-less
+registry enqueue, vectorized shard drain -- stays within 2x of direct
+in-process :class:`~repro.core.bank.SketchBank` ingest once batches are
+large (>= 4096 values), i.e. the protocol disappears into the batch.
+
+Three measurements, written to ``BENCH_service.json``:
+
+* ``direct``   -- in-process ``SketchBank.extend_pairs`` over the same
+  metric/batch schedule: the ceiling the server is judged against.
+* ``service``  -- a pipelined client driving an ephemeral (journal-free)
+  server, across batch sizes and shard counts.
+* ``durable``  -- the same with the write-ahead journal on, to price
+  durability separately from protocol overhead.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.bank import SketchBank
+from repro.service import QuantileClient, ServerThread
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+EPSILON = 0.01
+DESIGN_N = 50_000_000
+N_METRICS = 8
+
+
+def _schedule(
+    total_elements: int, batch: int, seed: int = 0
+) -> List[Tuple[int, np.ndarray]]:
+    """(metric index, values) batches, round-robin across metrics."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=total_elements)
+    out = []
+    for i, start in enumerate(range(0, total_elements, batch)):
+        out.append((i % N_METRICS, data[start : start + batch]))
+    return out
+
+
+def _rate(elements: int, seconds: float) -> float:
+    return elements / seconds if seconds > 0 else float("inf")
+
+
+def bench_direct(
+    total_elements: int, batch: int, rounds: int
+) -> Dict[str, object]:
+    """In-process SketchBank ingest: the 2x-target baseline."""
+    schedule = _schedule(total_elements, batch)
+    best = float("inf")
+    for _ in range(rounds):
+        bank = SketchBank(EPSILON, DESIGN_N, n_sketches=N_METRICS)
+        t0 = time.perf_counter()
+        for metric, values in schedule:
+            bank.extend_pairs([(metric, values)])
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "batch": batch,
+        "elements": total_elements,
+        "seconds": round(best, 4),
+        "elements_per_s": round(_rate(total_elements, best)),
+    }
+
+
+def bench_service(
+    total_elements: int,
+    batch: int,
+    n_shards: int,
+    rounds: int,
+    data_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Pipelined client -> TCP -> asyncio server -> shard drain."""
+    schedule = _schedule(total_elements, batch)
+    names = [f"bench/m{i}" for i in range(N_METRICS)]
+    best = float("inf")
+    for round_idx in range(rounds):
+        run_dir = (
+            os.path.join(data_dir, f"round{round_idx}") if data_dir else None
+        )
+        if run_dir:
+            os.makedirs(run_dir, exist_ok=True)
+        with ServerThread(
+            data_dir=run_dir, n_shards=n_shards, snapshot_interval_s=None
+        ) as server:
+            with QuantileClient("127.0.0.1", server.port) as client:
+                for name in names:
+                    client.create(
+                        name, kind="fixed", epsilon=EPSILON, n=DESIGN_N
+                    )
+                t0 = time.perf_counter()
+                for metric, values in schedule:
+                    client.ingest_nowait(names[metric], values)
+                client.flush()
+                client.drain()
+                elapsed = time.perf_counter() - t0
+                _, _, n = client.query(names[0], [0.5])
+                assert n > 0
+        best = min(best, elapsed)
+    return {
+        "batch": batch,
+        "shards": n_shards,
+        "elements": total_elements,
+        "seconds": round(best, 4),
+        "elements_per_s": round(_rate(total_elements, best)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-N smoke run for CI (validates the harness, not perf)",
+    )
+    parser.add_argument("--out", default=OUT_PATH, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        total, rounds = 400_000, 1
+        batch_sizes = [1024, 4096, 16384]
+        shard_counts = [2]
+        durable_batch = 4096
+    else:
+        total, rounds = 4_000_000, 3
+        batch_sizes = [256, 1024, 4096, 16384, 65536]
+        shard_counts = [1, 2, 4, 8]
+        durable_batch = 4096
+
+    direct = {
+        str(b): bench_direct(total, b, rounds) for b in batch_sizes
+    }
+
+    service: Dict[str, Dict[str, object]] = {}
+    for batch in batch_sizes:
+        per_shard = {}
+        for shards in shard_counts:
+            per_shard[str(shards)] = bench_service(
+                total, batch, shards, rounds
+            )
+        baseline = direct[str(batch)]["elements_per_s"]
+        best_shards = max(
+            per_shard.values(), key=lambda e: e["elements_per_s"]
+        )
+        service[str(batch)] = {
+            "by_shards": per_shard,
+            "best_elements_per_s": best_shards["elements_per_s"],
+            "slowdown_vs_direct": round(
+                baseline / best_shards["elements_per_s"], 3
+            ),
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        durable = bench_service(
+            total, durable_batch, shard_counts[-1], rounds, data_dir=tmp
+        )
+    durable["slowdown_vs_direct"] = round(
+        direct[str(durable_batch)]["elements_per_s"]
+        / durable["elements_per_s"],
+        3,
+    )
+
+    gate_batches = [b for b in batch_sizes if b >= 4096]
+    report = {
+        "meta": {
+            "benchmark": "service",
+            "quick": args.quick,
+            "eps": EPSILON,
+            "design_n": DESIGN_N,
+            "metrics": N_METRICS,
+            "elements": total,
+            "rounds": rounds,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "direct": direct,
+        "service": service,
+        "durable": durable,
+        "targets": {
+            "max_slowdown_at_4096_plus": max(
+                service[str(b)]["slowdown_vs_direct"] for b in gate_batches
+            ),
+            "target_slowdown": 2.0,
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    for batch in batch_sizes:
+        entry = service[str(batch)]
+        print(
+            f"batch {batch:>6}: direct "
+            f"{direct[str(batch)]['elements_per_s']:>12,} el/s, "
+            f"service best {entry['best_elements_per_s']:>12,} el/s "
+            f"({entry['slowdown_vs_direct']}x slower)"
+        )
+    print(
+        f"durable (journal on, batch {durable_batch}): "
+        f"{durable['elements_per_s']:,} el/s "
+        f"({durable['slowdown_vs_direct']}x slower than direct)"
+    )
+    print(
+        f"gate: worst slowdown at batch >= 4096 is "
+        f"{report['targets']['max_slowdown_at_4096_plus']}x "
+        f"(target <= 2x)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,20 @@ Four commands cover the library's day-to-day uses without writing code:
     One pass; print a five-number-summary-style distribution report
     with certified accuracy.
 
-All commands are pure, offline, and deterministic given ``--seed``.
+``serve``
+    Run the quantile-sketch service (:mod:`repro.service`) in the
+    foreground: live ingest over TCP, periodic snapshots, journal
+    crash recovery.
+
+``client``
+    Talk to a running server from the shell: create metrics, ingest
+    values (from arguments or stdin), query quantiles/CDF, list
+    metrics, dump stats, force snapshots.
+
+``quantile`` and ``describe`` accept ``-`` as the input path to read
+whitespace-separated values from stdin, so they compose with shell
+pipelines.  The offline commands are pure and deterministic given
+``--seed``.
 """
 
 from __future__ import annotations
@@ -34,7 +47,7 @@ from typing import List, Optional
 
 
 from .analysis import format_memory
-from .core.errors import ReproError
+from .core.errors import ConfigurationError, ReproError
 from .core.parameters import optimal_parameters
 from .core.sampling import choose_strategy, optimize_alpha, sampling_threshold
 from .core.sketch import QuantileSketch
@@ -97,6 +110,34 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StdinStream:
+    """Adapter giving stdin values the same (n, chunks) shape as FileStream."""
+
+    def __init__(self, values: "np.ndarray") -> None:
+        self._values = values
+        self.n = int(values.size)
+
+    def chunks(self):
+        if self.n:
+            yield self._values
+
+
+def _open_stream(path: str):
+    """Open *path* as a value stream; ``-`` reads floats from stdin."""
+    if path != "-":
+        return FileStream(path)
+    import numpy as np
+
+    tokens = sys.stdin.read().split()
+    try:
+        values = np.array(tokens, dtype=np.float64)
+    except ValueError as exc:
+        raise ConfigurationError(f"stdin is not numbers: {exc}") from None
+    if values.size and not np.all(np.isfinite(values)):
+        raise ConfigurationError("stdin values must be finite")
+    return _StdinStream(values)
+
+
 def _build_sketch(args: argparse.Namespace, n: int) -> QuantileSketch:
     return QuantileSketch(
         epsilon=args.epsilon,
@@ -107,7 +148,7 @@ def _build_sketch(args: argparse.Namespace, n: int) -> QuantileSketch:
 
 
 def _cmd_quantile(args: argparse.Namespace) -> int:
-    stream = FileStream(args.input)
+    stream = _open_stream(args.input)
     if stream.n == 0:
         print("error: stream is empty", file=sys.stderr)
         return 1
@@ -149,12 +190,114 @@ def _cmd_histogram(args: argparse.Namespace) -> int:
 def _cmd_describe(args: argparse.Namespace) -> int:
     from .analysis import describe
 
-    stream = FileStream(args.input)
+    stream = _open_stream(args.input)
     if stream.n == 0:
         print("error: stream is empty", file=sys.stderr)
         return 1
     report = describe(stream.chunks(), epsilon=args.epsilon, n=stream.n)
     print(report)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .service import QuantileService
+
+    service = QuantileService(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        n_shards=args.shards,
+        snapshot_interval_s=(
+            None if args.snapshot_interval <= 0 else args.snapshot_interval
+        ),
+        fsync=args.fsync,
+        batch_window_s=args.batch_window,
+    )
+
+    async def _run() -> None:
+        await service.start()
+        durability = (
+            f"data_dir={service.data_dir}" if service.data_dir else "ephemeral"
+        )
+        print(
+            f"repro service listening on {service.host}:{service.port} "
+            f"({service.n_shards} shards, {durability})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("shutting down (graceful)", flush=True)
+        await service.stop(graceful=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _client_values(args: argparse.Namespace) -> "object":
+    import numpy as np
+
+    if args.values == ["-"]:
+        tokens = sys.stdin.read().split()
+    else:
+        tokens = args.values
+    try:
+        values = np.array(tokens, dtype=np.float64)
+    except ValueError as exc:
+        raise ConfigurationError(f"values are not numbers: {exc}") from None
+    return values
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import QuantileClient
+
+    with QuantileClient(args.host, args.port) as client:
+        if args.action == "create":
+            created = client.create(
+                args.name,
+                kind=args.kind,
+                epsilon=args.epsilon,
+                n=args.n,
+                policy=args.policy,
+            )
+            print("created" if created else "exists")
+        elif args.action == "ingest":
+            values = _client_values(args)
+            seq = client.ingest(args.name, values)
+            print(f"ingested {values.size} values (journal seq {seq})")
+        elif args.action == "query":
+            values, bound, n = client.query(args.name, args.phi)
+            for phi, value in zip(args.phi, values):
+                print(f"phi={phi:g}: {value:g}")
+            print(f"n={n}, certified rank bound: {bound:g} elements")
+        elif args.action == "cdf":
+            body = client.cdf(args.name, args.value)
+            print(
+                f"rank(x <= {args.value:g}) ~ {body['rank']} of {body['n']} "
+                f"({body['fraction']:.6f}), "
+                f"certified bound {body['error_bound']:g} elements"
+            )
+        elif args.action == "list":
+            for metric in client.list_metrics():
+                print(
+                    f"{metric['name']:<32} {metric['kind']:<9} "
+                    f"n={metric['n']:<12} shard={metric['shard']} "
+                    f"memory={metric['memory_elements']} elements"
+                )
+        elif args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.action == "snapshot":
+            seq, path = client.snapshot()
+            print(f"snapshot at seq {seq}: {path}")
+        elif args.action == "drain":
+            print(f"drained through seq {client.drain()}")
     return 0
 
 
@@ -195,7 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     quant = sub.add_parser(
         "quantile", help="one-pass quantiles of a binary stream file"
     )
-    quant.add_argument("input", help="stream file (see 'generate')")
+    quant.add_argument(
+        "input", help="stream file (see 'generate'), or '-' for stdin values"
+    )
     quant.add_argument("--epsilon", type=float, required=True)
     quant.add_argument(
         "--phi",
@@ -222,9 +367,81 @@ def build_parser() -> argparse.ArgumentParser:
     desc = sub.add_parser(
         "describe", help="distribution report of a binary stream file"
     )
-    desc.add_argument("input")
+    desc.add_argument("input", help="stream file, or '-' for stdin values")
     desc.add_argument("--epsilon", type=float, default=0.005)
     desc.set_defaults(func=_cmd_describe)
+
+    serve = sub.add_parser(
+        "serve", help="run the quantile-sketch service in the foreground"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7337)
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for snapshot + journal; omit for an ephemeral server",
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        help="seconds between automatic snapshots; <= 0 disables",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the journal per batch (power-loss durability)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="seconds the shard flusher waits to accumulate a batch",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running quantile-sketch server"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7337)
+    actions = client.add_subparsers(dest="action", required=True)
+
+    c_create = actions.add_parser("create", help="create a metric")
+    c_create.add_argument("name")
+    c_create.add_argument(
+        "--kind", choices=("fixed", "adaptive"), default="adaptive"
+    )
+    c_create.add_argument("--epsilon", type=float, default=0.01)
+    c_create.add_argument(
+        "--n", type=int, default=None, help="designed N (fixed kind)"
+    )
+    c_create.add_argument("--policy", default="new")
+
+    c_ingest = actions.add_parser(
+        "ingest", help="ingest values from arguments or stdin"
+    )
+    c_ingest.add_argument("name")
+    c_ingest.add_argument(
+        "values", nargs="+", help="values, or a single '-' to read stdin"
+    )
+
+    c_query = actions.add_parser("query", help="quantiles with certified bound")
+    c_query.add_argument("name")
+    c_query.add_argument(
+        "--phi", type=float, action="append", required=True
+    )
+
+    c_cdf = actions.add_parser("cdf", help="rank / CDF of a value")
+    c_cdf.add_argument("name")
+    c_cdf.add_argument("value", type=float)
+
+    actions.add_parser("list", help="list metrics")
+    actions.add_parser("stats", help="dump server metrics as JSON")
+    actions.add_parser("snapshot", help="force a snapshot")
+    actions.add_parser("drain", help="apply all queued ingest batches")
+    client.set_defaults(func=_cmd_client)
 
     return parser
 
@@ -238,6 +455,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
+        # covers missing/invalid paths and refused connections alike, so
+        # every subcommand exits 1 on environmental failures too
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        return 130

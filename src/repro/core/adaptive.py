@@ -70,6 +70,22 @@ class _ClosedStage:
         self.n_collapses = fw.n_collapses
         self.sum_collapse_weights = fw.sum_collapse_weights
 
+    @classmethod
+    def from_state(
+        cls,
+        buffers: List[Any],
+        n: int,
+        n_collapses: int,
+        sum_collapse_weights: int,
+    ) -> "_ClosedStage":
+        """Rebuild a closed stage from persisted state (snapshot restore)."""
+        stage = cls.__new__(cls)
+        stage.buffers = buffers
+        stage.n = n
+        stage.n_collapses = n_collapses
+        stage.sum_collapse_weights = sum_collapse_weights
+        return stage
+
 
 class AdaptiveQuantileSketch:
     """One-pass quantiles with a certified bound and **no N required**.
@@ -110,11 +126,38 @@ class AdaptiveQuantileSketch:
             )
         self.epsilon = epsilon
         self.policy = policy
+        self.initial_capacity = int(initial_capacity)
         self.stage_epsilon = epsilon * _STAGE_FRACTION
         self._closed: List[_ClosedStage] = []
         self._capacity = int(initial_capacity)
         self._active = self._new_stage(self._capacity)
         self._active_n = 0
+
+    @classmethod
+    def _restore(
+        cls,
+        *,
+        epsilon: float,
+        initial_capacity: int,
+        policy: str,
+        closed: "List[_ClosedStage]",
+        capacity: int,
+        active: QuantileFramework,
+        active_n: int,
+    ) -> "AdaptiveQuantileSketch":
+        """Rebuild a sketch from persisted state (snapshot restore).
+
+        The caller supplies exactly the fields the snapshot codec stored;
+        the result is bit-identical to the instance that was dumped --
+        same buffers, same stage-roll schedule, same certified bounds --
+        so further ingest diverges nowhere.
+        """
+        sk = cls(epsilon, initial_capacity=initial_capacity, policy=policy)
+        sk._closed = closed
+        sk._capacity = int(capacity)
+        sk._active = active
+        sk._active_n = int(active_n)
+        return sk
 
     def _new_stage(self, capacity: int) -> QuantileFramework:
         plan = optimal_parameters(

@@ -292,6 +292,44 @@ class SketchBank:
         run_ids = sorted_ids[starts]
         self.extend_runs(run_ids, starts, stops, sorted_vals, _validated=True)
 
+    def extend_pairs(
+        self,
+        pairs: "Sequence[tuple[int, np.ndarray]]",
+    ) -> int:
+        """Ingest many ``(sketch_id, values)`` batches as one vectorised chunk.
+
+        The batched entry point for callers that accumulate per-destination
+        micro-batches -- e.g. a server shard draining ingest frames queued
+        by many connections.  Batches are concatenated in list order (so
+        each sketch still sees its elements in arrival order), ids are
+        expanded with one ``np.repeat``, and the whole chunk takes the
+        standard :meth:`extend` partition path -- bit-identical to feeding
+        every batch to its sketch one at a time.  Returns the number of
+        elements ingested.
+        """
+        arrays: List[np.ndarray] = []
+        ids: List[int] = []
+        lengths: List[int] = []
+        for sketch_id, values in pairs:
+            arr = self._coerce_values(values)
+            if arr.size == 0:
+                continue
+            arrays.append(arr)
+            ids.append(int(sketch_id))
+            lengths.append(arr.size)
+        if not arrays:
+            return 0
+        if len(arrays) == 1:
+            self.extend_single(ids[0], arrays[0])
+            return lengths[0]
+        values_arr = np.concatenate(arrays)
+        ids_arr = np.repeat(
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64),
+        )
+        self.extend(ids_arr, values_arr)
+        return int(values_arr.size)
+
     def extend_runs(
         self,
         run_ids: "np.ndarray | Sequence[int]",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO
+from typing import BinaryIO, Iterable
 
 import numpy as np
 
@@ -33,7 +33,15 @@ from .buffer import Buffer
 from .errors import ConfigurationError, StorageError
 from .framework import QuantileFramework
 
-__all__ = ["dumps", "loads", "dump", "load", "FORMAT_VERSION"]
+__all__ = [
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+    "load_from",
+    "merge_serialized",
+    "FORMAT_VERSION",
+]
 
 _MAGIC = b"MRLSKT01"
 FORMAT_VERSION = 1
@@ -109,14 +117,51 @@ def dumps(fw: QuantileFramework) -> bytes:
 
 
 def _read_exact(fh: BinaryIO, size: int, what: str) -> bytes:
-    raw = fh.read(size)
-    if len(raw) != size:
-        raise StorageError(f"truncated sketch: expected {size} bytes of {what}")
-    return raw
+    """Read exactly *size* bytes, looping over short reads.
+
+    Plain files return everything in one ``read`` call, but sockets and
+    pipes may return any non-empty prefix; both are handled here so the
+    same reader serves :func:`load` and :func:`load_from`.
+    """
+    chunks = []
+    remaining = size
+    while remaining:
+        piece = fh.read(remaining)
+        if not piece:
+            raise StorageError(
+                f"truncated sketch: expected {size} bytes of {what}"
+            )
+        chunks.append(piece)
+        remaining -= len(piece)
+    if len(chunks) == 1:
+        return chunks[0]
+    return b"".join(chunks)
 
 
 def load(fh: BinaryIO) -> QuantileFramework:
-    """Read a summary previously written by :func:`dump`."""
+    """Read a summary previously written by :func:`dump`.
+
+    Expects *fh* to contain exactly one serialised summary and raises
+    :class:`StorageError` on trailing bytes.  For streams that carry
+    further data after the summary (sockets, framed protocols), use
+    :func:`load_from`, which stops at the format's own end marker.
+    """
+    fw = load_from(fh)
+    trailing = fh.read(1)
+    if trailing:
+        raise StorageError("corrupt sketch: trailing bytes after payload")
+    return fw
+
+
+def load_from(fh: BinaryIO) -> QuantileFramework:
+    """Read one summary from *fh*, leaving the stream position just past it.
+
+    Works on non-seekable file objects (sockets, pipes, ``sys.stdin.buffer``)
+    because the format is self-delimiting: the header carries every length,
+    short reads are retried, and no trailing probe is issued -- the §4.9
+    exchange mode (summaries shipped between nodes over a connection)
+    deserialises straight off the wire.
+    """
     header = _read_exact(fh, _HEADER.size, "header")
     (
         magic,
@@ -175,12 +220,33 @@ def load(fh: BinaryIO) -> QuantileFramework:
     fw._remainder = np.frombuffer(
         _read_exact(fh, 8 * remainder_len, "remainder"), dtype="<f8"
     ).copy()
-    trailing = fh.read(1)
-    if trailing:
-        raise StorageError("corrupt sketch: trailing bytes after payload")
     return fw
 
 
 def loads(raw: bytes) -> QuantileFramework:
     """Deserialise a summary from bytes."""
     return load(io.BytesIO(raw))
+
+
+def merge_serialized(payloads: "Iterable[bytes]") -> QuantileFramework:
+    """Merge serialised summaries into one framework (shard fan-in).
+
+    This is the receiving half of the §4.9 exchange: every shard ships its
+    summary in the wire format above (exactly what the process backend of
+    :class:`~repro.core.parallel.ParallelQuantileEngine` and the service's
+    ``FETCH`` command emit), and the coordinator folds them into a single
+    summary via :meth:`~repro.core.framework.QuantileFramework.absorb` --
+    the combined collapse forest still satisfies Lemma 5, so the merged
+    ``error_bound()`` stays certified.  All payloads must share ``k``
+    (they do when the shards run one metric's configuration).
+    """
+    merged: "QuantileFramework | None" = None
+    for raw in payloads:
+        fw = loads(raw)
+        if merged is None:
+            merged = fw
+        else:
+            merged.absorb(fw)
+    if merged is None:
+        raise ConfigurationError("merge_serialized needs at least one payload")
+    return merged

@@ -1,0 +1,176 @@
+"""Blocking client for the quantile-sketch service.
+
+A thin wrapper over one TCP connection speaking
+:mod:`repro.service.protocol`.  Two ingest modes:
+
+* :meth:`QuantileClient.ingest` -- send one batch, wait for its ack
+  (returns the journal sequence number that makes it durable);
+* :meth:`QuantileClient.ingest_nowait` -- *pipelined*: send without
+  reading the ack.  Responses arrive strictly in request order, so the
+  client counts outstanding acks and drains them before any synchronous
+  call (or explicitly via :meth:`flush`).  Pipelining is what lets the
+  server batch frames from one connection into a single vectorised
+  shard drain -- it is the difference between per-frame round-trip
+  latency and wire-speed ingest, and the benchmark exercises exactly
+  this path.
+
+The client is deliberately synchronous (usable from shell tools, the
+example monitor and load-generator threads); the server side is the
+asyncio half.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import serialize
+from ..core.framework import QuantileFramework
+from . import protocol
+from .protocol import Opcode, Request
+
+__all__ = ["QuantileClient"]
+
+
+class QuantileClient:
+    """One connection to a :class:`~repro.service.server.QuantileService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7337, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        #: opcodes of pipelined requests whose acks are still in flight
+        self._outstanding: List[int] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, req: Request) -> None:
+        protocol.send_frame(self._sock, protocol.encode_request(req))
+
+    def _recv(self, opcode: int) -> Dict[str, Any]:
+        return protocol.decode_response(
+            opcode, protocol.recv_frame(self._sock)
+        )
+
+    def _call(self, req: Request) -> Dict[str, Any]:
+        self.flush()
+        self._send(req)
+        return self._recv(req.opcode)
+
+    def flush(self) -> int:
+        """Drain outstanding pipelined acks; returns the last seq seen."""
+        last_seq = 0
+        while self._outstanding:
+            opcode = self._outstanding.pop(0)
+            body = self._recv(opcode)
+            last_seq = body.get("seq", last_seq)
+        return last_seq
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "QuantileClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- commands ----------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        *,
+        kind: str = "fixed",
+        epsilon: float = 0.01,
+        n: Optional[int] = None,
+        policy: str = "new",
+    ) -> bool:
+        """Create metric *name*; True if new, False if it already existed."""
+        body = self._call(
+            Request(
+                opcode=Opcode.CREATE,
+                name=name,
+                kind=kind,
+                epsilon=epsilon,
+                n=n,
+                policy=policy,
+            )
+        )
+        return bool(body["created"])
+
+    def ingest(
+        self, name: str, values: "np.ndarray | Sequence[float]"
+    ) -> int:
+        """Send one batch and wait for durability; returns the journal seq."""
+        body = self._call(
+            Request(
+                opcode=Opcode.INGEST,
+                name=name,
+                values=np.asarray(values, dtype=np.float64),
+            )
+        )
+        return int(body["seq"])
+
+    def ingest_nowait(
+        self, name: str, values: "np.ndarray | Sequence[float]"
+    ) -> None:
+        """Pipelined ingest: send without reading the ack (see module doc)."""
+        self._send(
+            Request(
+                opcode=Opcode.INGEST,
+                name=name,
+                values=np.asarray(values, dtype=np.float64),
+            )
+        )
+        self._outstanding.append(Opcode.INGEST)
+
+    def query(
+        self, name: str, phis: Sequence[float]
+    ) -> Tuple[List[float], float, int]:
+        """``(values, certified bound in elements, n)`` for each phi."""
+        body = self._call(
+            Request(opcode=Opcode.QUERY, name=name, phis=list(phis))
+        )
+        return body["values"], body["error_bound"], body["n"]
+
+    def quantile(self, name: str, phi: float) -> float:
+        return self.query(name, [phi])[0][0]
+
+    def cdf(self, name: str, value: float) -> Dict[str, Any]:
+        """Inverse query: rank / fraction of elements ``<= value``."""
+        return self._call(
+            Request(opcode=Opcode.CDF, name=name, value=float(value))
+        )
+
+    def list_metrics(self) -> List[Dict[str, Any]]:
+        return self._call(Request(opcode=Opcode.LIST))["metrics"]
+
+    def fetch(self, name: str) -> QuantileFramework:
+        """Pull the metric's summary (§4.9 exchange: merge across servers
+        with :func:`repro.core.serialize.merge_serialized`)."""
+        return serialize.loads(self.fetch_raw(name))
+
+    def fetch_raw(self, name: str) -> bytes:
+        return self._call(Request(opcode=Opcode.FETCH, name=name))["payload"]
+
+    def snapshot(self) -> Tuple[int, str]:
+        """Force a snapshot; returns ``(seq, path)``."""
+        body = self._call(Request(opcode=Opcode.SNAPSHOT))
+        return body["seq"], body["path"]
+
+    def drain(self) -> int:
+        """Barrier: apply every queued batch server-side; returns seq."""
+        return self._call(Request(opcode=Opcode.DRAIN))["seq"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call(Request(opcode=Opcode.STATS))["stats"]

@@ -1,0 +1,323 @@
+"""Append-only ingest journal with torn-tail detection.
+
+Write-ahead discipline: the server appends a record for every accepted
+mutation (metric CREATE, ingest batch) *before* applying it to the
+in-memory sketches, and flushes the file so the bytes survive a process
+kill (``SIGKILL`` keeps OS page-cache writes; only power loss needs the
+optional ``fsync`` mode).  Recovery replays the journal on top of the
+latest snapshot; because the registry's batched bank ingest is
+bit-identical to feeding each sketch its subsequence one record at a
+time (the PR-2 SketchBank property), replay reproduces the pre-crash
+summaries exactly.
+
+File layout (little-endian)::
+
+    header:  magic "MRLJRN01" | u16 version | 6 pad bytes | u64 start_seq
+    record:  u32 crc32 | u32 body_len | body
+    body:    u64 seq | u8 type | type-specific payload
+
+    type 1 = CREATE:  name (u16 len + utf8) | u8 kind | f64 epsilon
+                      | u64 n (0 = unset) | policy (u16 len + utf8)
+    type 2 = INGEST:  name (u16 len + utf8) | u32 count | count * f64
+
+``crc32`` covers the body.  A crash can only tear the *last* record
+(appends are sequential), so the reader stops at the first record whose
+header is short, whose body is short, or whose CRC mismatches -- and
+reports the byte offset of the valid prefix, which the server truncates
+to on recovery.  Corruption *before* the tail (bit rot, manual edits) is
+distinguishable because valid records follow the broken one; the reader
+treats any mid-file damage the same way but surfaces it via
+``JournalScan.damaged`` so operators can tell torn tails from rot.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.errors import StorageError
+
+__all__ = [
+    "IngestJournal",
+    "JournalRecord",
+    "JournalScan",
+    "read_journal",
+    "CREATE_RECORD",
+    "INGEST_RECORD",
+]
+
+_MAGIC = b"MRLJRN01"
+_VERSION = 1
+_FILE_HEADER = struct.Struct("<8sH6xQ")
+_RECORD_HEADER = struct.Struct("<II")
+_SEQ_TYPE = struct.Struct("<QB")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+CREATE_RECORD = 1
+INGEST_RECORD = 2
+
+#: guard against a corrupt length field allocating unbounded memory
+_MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class JournalRecord:
+    """One replayable mutation."""
+
+    seq: int
+    type: int
+    name: str
+    # CREATE fields
+    kind: str = "fixed"
+    epsilon: float = 0.01
+    n: Optional[int] = None
+    policy: str = "new"
+    # INGEST field
+    values: Optional[np.ndarray] = None
+
+
+@dataclass
+class JournalScan:
+    """Result of reading a journal file."""
+
+    start_seq: int  #: sequence number the journal begins after
+    records: List[JournalRecord]
+    valid_bytes: int  #: offset of the last fully-valid record's end
+    damaged: bool  #: True when bytes beyond ``valid_bytes`` existed
+
+
+def _encode_create(
+    name: str, kind: str, epsilon: float, n: Optional[int], policy: str
+) -> bytes:
+    from .protocol import _KIND_IDS, _pack_str
+
+    return (
+        _pack_str(name)
+        + bytes([_KIND_IDS[kind]])
+        + _F64.pack(epsilon)
+        + _U64.pack(0 if n is None else int(n))
+        + _pack_str(policy)
+    )
+
+
+def _encode_ingest(name: str, values: np.ndarray) -> bytes:
+    from .protocol import _pack_str
+
+    arr = np.ascontiguousarray(values, dtype="<f8")
+    return _pack_str(name) + _U32.pack(arr.size) + arr.tobytes()
+
+
+def _decode_body(body: bytes) -> JournalRecord:
+    from .protocol import _KIND_NAMES, _Reader
+
+    r = _Reader(body)
+    seq = r.u64("seq")
+    rtype = r.u8("record type")
+    if rtype == CREATE_RECORD:
+        name = r.string("metric name")
+        kind_id = r.u8("metric kind")
+        if kind_id not in _KIND_NAMES:
+            raise StorageError(f"unknown metric kind id {kind_id}")
+        epsilon = r.f64("epsilon")
+        n = r.u64("n")
+        policy = r.string("policy")
+        rec = JournalRecord(
+            seq=seq,
+            type=rtype,
+            name=name,
+            kind=_KIND_NAMES[kind_id],
+            epsilon=epsilon,
+            n=None if n == 0 else n,
+            policy=policy,
+        )
+    elif rtype == INGEST_RECORD:
+        name = r.string("metric name")
+        count = r.u32("value count")
+        values = r.f64_array(count, "values")
+        rec = JournalRecord(seq=seq, type=rtype, name=name, values=values)
+    else:
+        raise StorageError(f"unknown journal record type {rtype}")
+    r.done("journal record")
+    return rec
+
+
+class IngestJournal:
+    """Writer handle for one journal file.
+
+    Parameters
+    ----------
+    path:
+        Journal file location.  An existing file is scanned, its torn
+        tail (if any) truncated away, and appends continue after the
+        highest surviving sequence number.
+    start_seq:
+        When creating a fresh file: the snapshot sequence number this
+        journal follows (records in this file carry ``seq > start_seq``).
+    fsync:
+        ``False`` (default) flushes after every append -- durable against
+        process kills.  ``True`` additionally ``os.fsync``\\ s -- durable
+        against power loss, at a large per-batch cost.
+    """
+
+    def __init__(
+        self, path: str, *, start_seq: int = 0, fsync: bool = False
+    ) -> None:
+        self.path = path
+        self.fsync = fsync
+        if os.path.exists(path):
+            scan = read_journal(path)
+            if scan.damaged:
+                # drop the torn tail so appends extend a valid prefix
+                with open(path, "r+b") as fh:
+                    fh.truncate(scan.valid_bytes)
+            self.start_seq = scan.start_seq
+            self._seq = max(
+                [scan.start_seq] + [rec.seq for rec in scan.records]
+            )
+            self._fh = open(path, "ab")
+        else:
+            self.start_seq = start_seq
+            self._seq = start_seq
+            self._fh = open(path, "wb")
+            self._fh.write(_FILE_HEADER.pack(_MAGIC, _VERSION, start_seq))
+            self._sync()
+
+    # -- writing -----------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Highest sequence number written (== applied on a live server)."""
+        return self._seq
+
+    def _append(self, body: bytes) -> None:
+        self._fh.write(
+            _RECORD_HEADER.pack(zlib.crc32(body) & 0xFFFFFFFF, len(body))
+        )
+        self._fh.write(body)
+        self._sync()
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def append_create(
+        self,
+        name: str,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+    ) -> int:
+        """Record a metric creation; returns its sequence number."""
+        self._seq += 1
+        body = _SEQ_TYPE.pack(self._seq, CREATE_RECORD) + _encode_create(
+            name, kind, epsilon, n, policy
+        )
+        self._append(body)
+        return self._seq
+
+    def append_ingest(self, name: str, values: np.ndarray) -> int:
+        """Record an ingest batch; returns its sequence number."""
+        self._seq += 1
+        body = _SEQ_TYPE.pack(self._seq, INGEST_RECORD) + _encode_ingest(
+            name, values
+        )
+        self._append(body)
+        return self._seq
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def rotate(self, start_seq: int) -> None:
+        """Atomically replace the journal with an empty one after a snapshot.
+
+        The new file records ``start_seq`` (the snapshot's applied
+        sequence); a crash between the snapshot rename and this rotation
+        is safe because replay skips records with ``seq <= start_seq``.
+        """
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_FILE_HEADER.pack(_MAGIC, _VERSION, start_seq))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self.start_seq = start_seq
+        self._seq = max(self._seq, start_seq)
+        self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._sync()
+            self._fh.close()
+
+    def __enter__(self) -> "IngestJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> JournalScan:
+    """Scan *path*, returning every fully-valid record in order.
+
+    Never raises on torn/corrupt tails -- that is the expected post-crash
+    state; the scan stops at the first invalid byte and reports how much
+    of the file was sound.  A missing or garbled *file header* does
+    raise: that is not a crash artefact but a wrong file.
+    """
+    with open(path, "rb") as fh:
+        header = fh.read(_FILE_HEADER.size)
+        if len(header) < _FILE_HEADER.size:
+            raise StorageError(f"{path}: too short to be a journal")
+        magic, version, start_seq = _FILE_HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r}: not a journal")
+        if version != _VERSION:
+            raise StorageError(f"{path}: unsupported journal version {version}")
+        records: List[JournalRecord] = []
+        valid = _FILE_HEADER.size
+        damaged = False
+        expected_seq = start_seq
+        while True:
+            raw = fh.read(_RECORD_HEADER.size)
+            if not raw:
+                break  # clean end
+            if len(raw) < _RECORD_HEADER.size:
+                damaged = True
+                break
+            crc, body_len = _RECORD_HEADER.unpack(raw)
+            if body_len > _MAX_RECORD_BYTES:
+                damaged = True
+                break
+            body = fh.read(body_len)
+            if len(body) < body_len or (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                damaged = True
+                break
+            try:
+                rec = _decode_body(body)
+            except StorageError:
+                damaged = True
+                break
+            if rec.seq != expected_seq + 1:
+                # sequence gap: treat everything from here as unusable
+                damaged = True
+                break
+            expected_seq = rec.seq
+            records.append(rec)
+            valid = fh.tell()
+    return JournalScan(
+        start_seq=start_seq,
+        records=records,
+        valid_bytes=valid,
+        damaged=damaged,
+    )

@@ -1,0 +1,146 @@
+"""Service observability.
+
+Counters plus -- naturally -- a quantile sketch: query latencies are
+tracked by the library's own
+:class:`~repro.core.adaptive.AdaptiveQuantileSketch`, so the server's
+``STATS`` response reports p50/p95/p99 latency with a certified rank
+bound, the same guarantee it serves to clients.  Ingest rates are both
+cumulative and windowed (a short deque of recent batches), batch sizes
+feed a second sketch so the batching efficiency of the shard flusher is
+visible, and per-shard collapse counts / memory come straight from the
+registry (:mod:`repro.analysis.memory` accounting).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..analysis.memory import report_memory
+from ..core.adaptive import AdaptiveQuantileSketch
+from ..core.errors import EmptySummaryError
+from .registry import SketchRegistry
+
+__all__ = ["ServiceMetrics"]
+
+#: window for the "recent" ingest rate, seconds
+_RATE_WINDOW_S = 10.0
+
+
+class ServiceMetrics:
+    """Mutable counters + latency/batch-size sketches for one server."""
+
+    def __init__(self, n_shards: int) -> None:
+        self.started_at = time.time()
+        self._t0 = time.monotonic()
+        self.n_shards = n_shards
+        self.ingest_batches = 0
+        self.ingest_elements = 0
+        self.ingest_batches_by_shard = [0] * n_shards
+        self.ingest_elements_by_shard = [0] * n_shards
+        self.queries = 0
+        self.snapshots = 0
+        self.recovered_records = 0
+        self.connections_total = 0
+        self.connections_open = 0
+        self._recent: Deque[Tuple[float, int]] = deque()
+        self.query_latency = AdaptiveQuantileSketch(epsilon=0.01)
+        self.batch_sizes = AdaptiveQuantileSketch(epsilon=0.01)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_ingest(self, shard: int, n_values: int) -> None:
+        self.ingest_batches += 1
+        self.ingest_elements += n_values
+        self.ingest_batches_by_shard[shard] += 1
+        self.ingest_elements_by_shard[shard] += n_values
+        self.batch_sizes.update(float(n_values))
+        now = time.monotonic()
+        self._recent.append((now, n_values))
+        horizon = now - _RATE_WINDOW_S
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+
+    def record_query(self, seconds: float) -> None:
+        self.queries += 1
+        self.query_latency.update(seconds * 1000.0)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _sketch_percentiles(
+        self, sketch: AdaptiveQuantileSketch
+    ) -> Optional[Dict[str, float]]:
+        if sketch.n == 0:
+            return None
+        try:
+            p50, p95, p99 = sketch.quantiles([0.5, 0.95, 0.99])
+        except EmptySummaryError:  # pragma: no cover - guarded by n above
+            return None
+        return {
+            "p50": round(float(p50), 4),
+            "p95": round(float(p95), 4),
+            "p99": round(float(p99), 4),
+            "n": sketch.n,
+            "certified_rank_bound_fraction": round(
+                sketch.error_bound_fraction(), 6
+            ),
+        }
+
+    def recent_rate(self) -> float:
+        """Elements/s ingested over the trailing window."""
+        if not self._recent:
+            return 0.0
+        now = time.monotonic()
+        horizon = now - _RATE_WINDOW_S
+        total = sum(n for t, n in self._recent if t >= horizon)
+        span = min(_RATE_WINDOW_S, max(now - self._recent[0][0], 1e-9))
+        return total / span
+
+    def to_dict(self, registry: SketchRegistry) -> Dict[str, object]:
+        uptime = time.monotonic() - self._t0
+        shard_stats = registry.shard_stats()
+        for stats in shard_stats:
+            shard = int(stats["shard"])
+            stats["ingest_batches"] = self.ingest_batches_by_shard[shard]
+            stats["ingest_elements"] = self.ingest_elements_by_shard[shard]
+            stats["ingest_rate_per_s"] = round(
+                self.ingest_elements_by_shard[shard] / uptime, 1
+            ) if uptime > 0 else 0.0
+        memory_reports = [
+            report_memory(entry.sketch) for entry in registry.entries()
+        ]
+        return {
+            "uptime_s": round(uptime, 3),
+            "started_at_unix": round(self.started_at, 3),
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "ingest": {
+                "batches": self.ingest_batches,
+                "elements": self.ingest_elements,
+                "rate_per_s_recent": round(self.recent_rate(), 1),
+                "rate_per_s_lifetime": round(
+                    self.ingest_elements / uptime, 1
+                ) if uptime > 0 else 0.0,
+                "batch_size": self._sketch_percentiles(self.batch_sizes),
+            },
+            "queries": {
+                "count": self.queries,
+                "latency_ms": self._sketch_percentiles(self.query_latency),
+            },
+            "durability": {
+                "snapshots_written": self.snapshots,
+                "journal_records_recovered": self.recovered_records,
+            },
+            "registry": {
+                "metrics": len(registry),
+                "total_elements": registry.total_elements,
+                "memory_elements": sum(r.elements for r in memory_reports),
+                "memory_bytes_incl_bookkeeping": sum(
+                    r.total_bytes for r in memory_reports
+                ),
+            },
+            "shards": shard_stats,
+        }

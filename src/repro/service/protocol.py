@@ -1,0 +1,392 @@
+"""The service wire protocol: length-prefixed binary frames.
+
+Every message -- request or response -- travels as one *frame*::
+
+    u32 length | payload (length bytes)
+
+with a request payload of ``u8 opcode | body`` and a response payload of
+``u8 status | body`` (status 0 = OK, 1 = error with a UTF-8 message).
+All integers are little-endian; value arrays are raw ``float64``.  The
+format is self-delimiting and carries no code (no pickle): both ends
+validate opcode, lengths and value finiteness and fail with
+:class:`~repro.core.errors.StorageError` /
+:class:`~repro.core.errors.ConfigurationError` on malformed input.
+
+The codec here is transport-agnostic and synchronous -- pure
+``bytes -> message`` functions plus blocking-socket frame helpers -- so
+the asyncio server, the blocking client, tests and shell tools all share
+one implementation.  Sketch payloads (the ``FETCH`` response) reuse
+:mod:`repro.core.serialize` verbatim, which is what makes shard fan-in
+(:func:`repro.core.serialize.merge_serialized`) work across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, StorageError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "Opcode",
+    "Request",
+    "encode_request",
+    "decode_request",
+    "encode_ok",
+    "encode_error",
+    "decode_response",
+    "recv_frame",
+    "send_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's payload; an ingest batch of 4 Mi
+#: float64 values fits with room for headers.  Guards both ends against
+#: a corrupt length prefix allocating unbounded memory.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+
+class Opcode:
+    """Request opcodes (u8)."""
+
+    CREATE = 1
+    INGEST = 2
+    QUERY = 3
+    CDF = 4
+    LIST = 5
+    FETCH = 6
+    SNAPSHOT = 7
+    DRAIN = 8
+    STATS = 9
+
+    _NAMES = {
+        1: "CREATE", 2: "INGEST", 3: "QUERY", 4: "CDF", 5: "LIST",
+        6: "FETCH", 7: "SNAPSHOT", 8: "DRAIN", 9: "STATS",
+    }
+
+
+#: metric kinds on the wire (u8)
+KIND_FIXED = 0
+KIND_ADAPTIVE = 1
+_KIND_NAMES = {KIND_FIXED: "fixed", KIND_ADAPTIVE: "adaptive"}
+_KIND_IDS = {v: k for k, v in _KIND_NAMES.items()}
+
+
+@dataclass
+class Request:
+    """A decoded request: opcode plus its (opcode-specific) fields."""
+
+    opcode: int
+    name: str = ""
+    kind: str = "fixed"
+    epsilon: float = 0.01
+    n: Optional[int] = None
+    policy: str = "new"
+    values: Optional[np.ndarray] = None
+    phis: List[float] = field(default_factory=list)
+    value: float = 0.0
+
+
+# -- primitive writers/readers ------------------------------------------------
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ConfigurationError(f"string too long for the wire ({len(raw)} bytes)")
+    return _U16.pack(len(raw)) + raw
+
+
+class _Reader:
+    """Cursor over one frame's payload with bounds-checked reads."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, size: int, what: str) -> bytes:
+        end = self.pos + size
+        if end > len(self.buf):
+            raise StorageError(f"truncated frame: expected {size} bytes of {what}")
+        raw = self.buf[self.pos : end]
+        self.pos = end
+        return raw
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u16(self, what: str) -> int:
+        return _U16.unpack(self.take(2, what))[0]
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack(self.take(4, what))[0]
+
+    def u64(self, what: str) -> int:
+        return _U64.unpack(self.take(8, what))[0]
+
+    def f64(self, what: str) -> float:
+        return _F64.unpack(self.take(8, what))[0]
+
+    def string(self, what: str) -> str:
+        n = self.u16(what)
+        return self.take(n, what).decode("utf-8")
+
+    def f64_array(self, count: int, what: str) -> np.ndarray:
+        return np.frombuffer(self.take(8 * count, what), dtype="<f8").copy()
+
+    def done(self, what: str) -> None:
+        if self.pos != len(self.buf):
+            raise StorageError(
+                f"malformed {what}: {len(self.buf) - self.pos} trailing bytes"
+            )
+
+
+# -- requests -----------------------------------------------------------------
+
+
+def encode_request(req: Request) -> bytes:
+    """Serialise *req* into one frame payload (no length prefix)."""
+    op = req.opcode
+    out = [bytes([op])]
+    if op == Opcode.CREATE:
+        if req.kind not in _KIND_IDS:
+            raise ConfigurationError(f"unknown metric kind {req.kind!r}")
+        out.append(_pack_str(req.name))
+        out.append(bytes([_KIND_IDS[req.kind]]))
+        out.append(_F64.pack(req.epsilon))
+        out.append(_U64.pack(0 if req.n is None else int(req.n)))
+        out.append(_pack_str(req.policy))
+    elif op == Opcode.INGEST:
+        values = np.ascontiguousarray(req.values, dtype="<f8")
+        out.append(_pack_str(req.name))
+        out.append(_U32.pack(values.size))
+        out.append(values.tobytes())
+    elif op == Opcode.QUERY:
+        out.append(_pack_str(req.name))
+        out.append(_U16.pack(len(req.phis)))
+        out.append(np.asarray(req.phis, dtype="<f8").tobytes())
+    elif op == Opcode.CDF:
+        out.append(_pack_str(req.name))
+        out.append(_F64.pack(req.value))
+    elif op == Opcode.FETCH:
+        out.append(_pack_str(req.name))
+    elif op in (Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS):
+        pass
+    else:
+        raise ConfigurationError(f"unknown opcode {op}")
+    return b"".join(out)
+
+
+def decode_request(payload: bytes) -> Request:
+    """Parse one request frame payload."""
+    r = _Reader(payload)
+    op = r.u8("opcode")
+    req = Request(opcode=op)
+    if op == Opcode.CREATE:
+        req.name = r.string("metric name")
+        kind_id = r.u8("metric kind")
+        if kind_id not in _KIND_NAMES:
+            raise StorageError(f"unknown metric kind id {kind_id}")
+        req.kind = _KIND_NAMES[kind_id]
+        req.epsilon = r.f64("epsilon")
+        n = r.u64("n")
+        req.n = None if n == 0 else n
+        req.policy = r.string("policy")
+    elif op == Opcode.INGEST:
+        req.name = r.string("metric name")
+        count = r.u32("value count")
+        req.values = r.f64_array(count, "values")
+    elif op == Opcode.QUERY:
+        req.name = r.string("metric name")
+        count = r.u16("phi count")
+        req.phis = list(r.f64_array(count, "phis"))
+    elif op == Opcode.CDF:
+        req.name = r.string("metric name")
+        req.value = r.f64("value")
+    elif op == Opcode.FETCH:
+        req.name = r.string("metric name")
+    elif op in (Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS):
+        pass
+    else:
+        raise StorageError(f"unknown opcode {op}")
+    r.done(f"{Opcode._NAMES.get(op, op)} request")
+    return req
+
+
+# -- responses ----------------------------------------------------------------
+
+
+def encode_error(message: str) -> bytes:
+    raw = message.encode("utf-8")[:0xFFFF]
+    return bytes([_STATUS_ERROR]) + _U16.pack(len(raw)) + raw
+
+
+def encode_ok(opcode: int, body: Dict[str, Any]) -> bytes:
+    """Serialise a success response for *opcode* from *body* fields."""
+    out = [bytes([_STATUS_OK])]
+    if opcode == Opcode.CREATE:
+        out.append(bytes([1 if body["created"] else 0]))
+    elif opcode == Opcode.INGEST:
+        out.append(_U64.pack(body["seq"]))
+        out.append(_U32.pack(body["count"]))
+    elif opcode == Opcode.QUERY:
+        out.append(_U64.pack(body["n"]))
+        out.append(_F64.pack(body["error_bound"]))
+        values = np.asarray(body["values"], dtype="<f8")
+        out.append(_U16.pack(values.size))
+        out.append(values.tobytes())
+    elif opcode == Opcode.CDF:
+        out.append(_U64.pack(body["n"]))
+        out.append(_F64.pack(body["error_bound"]))
+        out.append(_U64.pack(body["rank"]))
+        out.append(_F64.pack(body["fraction"]))
+    elif opcode == Opcode.LIST:
+        metrics: Sequence[Dict[str, Any]] = body["metrics"]
+        out.append(_U32.pack(len(metrics)))
+        for m in metrics:
+            out.append(_pack_str(m["name"]))
+            out.append(bytes([_KIND_IDS[m["kind"]]]))
+            out.append(_U64.pack(m["n"]))
+            out.append(_U64.pack(m["memory_elements"]))
+            out.append(_U32.pack(m["shard"]))
+    elif opcode == Opcode.FETCH:
+        payload: bytes = body["payload"]
+        out.append(_U32.pack(len(payload)))
+        out.append(payload)
+    elif opcode == Opcode.SNAPSHOT:
+        out.append(_U64.pack(body["seq"]))
+        out.append(_pack_str(body["path"]))
+    elif opcode == Opcode.DRAIN:
+        out.append(_U64.pack(body["seq"]))
+    elif opcode == Opcode.STATS:
+        raw = json.dumps(body["stats"], sort_keys=True).encode("utf-8")
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    else:
+        raise ConfigurationError(f"unknown opcode {opcode}")
+    return b"".join(out)
+
+
+def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
+    """Parse a response payload for a request of *opcode*.
+
+    Raises :class:`~repro.core.errors.ReproError` subclasses: a server
+    error frame re-raises as :class:`ConfigurationError` with the server's
+    message; a malformed frame raises :class:`StorageError`.
+    """
+    r = _Reader(payload)
+    status = r.u8("status")
+    if status == _STATUS_ERROR:
+        raise ConfigurationError(f"server error: {r.string('error message')}")
+    if status != _STATUS_OK:
+        raise StorageError(f"unknown response status {status}")
+    body: Dict[str, Any] = {}
+    if opcode == Opcode.CREATE:
+        body["created"] = bool(r.u8("created flag"))
+    elif opcode == Opcode.INGEST:
+        body["seq"] = r.u64("seq")
+        body["count"] = r.u32("count")
+    elif opcode == Opcode.QUERY:
+        body["n"] = r.u64("n")
+        body["error_bound"] = r.f64("error bound")
+        count = r.u16("value count")
+        body["values"] = list(r.f64_array(count, "values"))
+    elif opcode == Opcode.CDF:
+        body["n"] = r.u64("n")
+        body["error_bound"] = r.f64("error bound")
+        body["rank"] = r.u64("rank")
+        body["fraction"] = r.f64("fraction")
+    elif opcode == Opcode.LIST:
+        count = r.u32("metric count")
+        metrics = []
+        for _ in range(count):
+            name = r.string("metric name")
+            kind = _KIND_NAMES[r.u8("metric kind")]
+            n = r.u64("n")
+            memory = r.u64("memory")
+            shard = r.u32("shard")
+            metrics.append(
+                {
+                    "name": name,
+                    "kind": kind,
+                    "n": n,
+                    "memory_elements": memory,
+                    "shard": shard,
+                }
+            )
+        body["metrics"] = metrics
+    elif opcode == Opcode.FETCH:
+        size = r.u32("payload size")
+        body["payload"] = r.take(size, "sketch payload")
+    elif opcode == Opcode.SNAPSHOT:
+        body["seq"] = r.u64("seq")
+        body["path"] = r.string("path")
+    elif opcode == Opcode.DRAIN:
+        body["seq"] = r.u64("seq")
+    elif opcode == Opcode.STATS:
+        size = r.u32("stats size")
+        body["stats"] = json.loads(r.take(size, "stats json").decode("utf-8"))
+    else:
+        raise ConfigurationError(f"unknown opcode {opcode}")
+    r.done(f"{Opcode._NAMES.get(opcode, opcode)} response")
+    return body
+
+
+# -- blocking-socket framing (client side, tests, shell tools) ----------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Prefix *payload* with its u32 length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ConfigurationError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _U32.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(frame(payload))
+
+
+def _recv_exact(sock: socket.socket, size: int, what: str) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining:
+        piece = sock.recv(remaining)
+        if not piece:
+            raise StorageError(
+                f"connection closed mid-frame ({remaining} bytes of "
+                f"{what} missing)"
+            )
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from a blocking socket."""
+    (length,) = _U32.unpack(_recv_exact(sock, 4, "frame length"))
+    if length > MAX_FRAME_BYTES:
+        raise StorageError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _recv_exact(sock, length, "frame payload")

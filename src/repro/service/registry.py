@@ -1,0 +1,393 @@
+"""The sharded sketch registry behind the service.
+
+Metrics are named ``namespace/metric`` strings, each owning either a
+fixed-N :class:`~repro.core.framework.QuantileFramework` (sized by
+``optimal_parameters`` exactly like :class:`~repro.core.sketch.QuantileSketch`'s
+deterministic path) or an
+:class:`~repro.core.adaptive.AdaptiveQuantileSketch` for streams of
+unknown length.  Names hash onto a fixed number of *shards* (stable
+CRC32, so a metric lands on the same shard across restarts and shard
+counts can change without moving data -- the hash only picks a batching
+domain, never where answers come from).
+
+Each shard owns a :class:`~repro.core.bank.SketchBank` into which every
+fixed metric's framework is adopted.  Ingest batches are *enqueued* per
+shard and *applied* in one shot: all pending fixed-metric batches feed
+the bank's vectorised :meth:`~repro.core.bank.SketchBank.extend_pairs`
+(one stable partition for the whole super-batch), adaptive metrics take
+their batches directly, in arrival order.  Because the bank is
+bit-identical to per-sketch feeding, the apply order is equivalent to
+replaying the journal one record at a time -- the property crash
+recovery relies on.
+
+The registry is synchronous and transport-free; the asyncio server is a
+thin shell over it, and tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.adaptive import AdaptiveQuantileSketch
+from ..core.bank import SketchBank
+from ..core.errors import ConfigurationError, EmptySummaryError
+from ..core.framework import QuantileFramework
+from ..core.parameters import optimal_parameters
+from ..core import serialize
+
+__all__ = ["MetricEntry", "SketchRegistry", "DEFAULT_DESIGN_N"]
+
+#: design capacity for fixed metrics created without ``n`` (mirrors
+#: :data:`repro.core.sketch.DEFAULT_DESIGN_N`)
+DEFAULT_DESIGN_N = 2**30
+
+#: initial stage capacity for adaptive metrics created without ``n``
+_DEFAULT_ADAPTIVE_CAPACITY = 4096
+
+_KINDS = ("fixed", "adaptive")
+
+Sketch = Union[QuantileFramework, AdaptiveQuantileSketch]
+
+_FINITE_MSG = (
+    "numeric streams must be finite: the framework reserves "
+    "+/-inf as padding sentinels and NaN has no rank"
+)
+
+
+class MetricEntry:
+    """One named metric: configuration + live sketch + shard placement."""
+
+    __slots__ = (
+        "name", "kind", "epsilon", "n", "policy", "shard", "bank_id",
+        "sketch", "n_batches",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        shard: int,
+        sketch: Sketch,
+        bank_id: Optional[int],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.epsilon = epsilon
+        self.n = n
+        self.policy = policy
+        self.shard = shard
+        self.sketch = sketch
+        self.bank_id = bank_id
+        self.n_batches = 0
+
+    @property
+    def count(self) -> int:
+        """Elements ingested (applied) so far."""
+        return self.sketch.n
+
+    @property
+    def memory_elements(self) -> int:
+        return self.sketch.memory_elements
+
+    def config_tuple(self) -> Tuple[str, float, Optional[int], str]:
+        return (self.kind, self.epsilon, self.n, self.policy)
+
+    def collapse_count(self) -> int:
+        if isinstance(self.sketch, QuantileFramework):
+            return self.sketch.n_collapses
+        return sum(s.n_collapses for s in self.sketch._closed) + (
+            self.sketch._active.n_collapses
+        )
+
+
+class _Shard:
+    """One batching domain: a bank plus the queue draining into it."""
+
+    __slots__ = ("bank", "pending", "n_applied", "n_batches_applied")
+
+    def __init__(self) -> None:
+        # the shared-config plan is never used (every sketch is adopted),
+        # so the bank's own epsilon/n are placeholders
+        self.bank = SketchBank(0.01)
+        self.pending: List[Tuple[MetricEntry, np.ndarray]] = []
+        self.n_applied = 0
+        self.n_batches_applied = 0
+
+
+def shard_of(name: str, n_shards: int) -> int:
+    """Stable shard assignment (CRC32 of the UTF-8 name)."""
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+class SketchRegistry:
+    """Named sketches, sharded for batched ingest."""
+
+    def __init__(self, n_shards: int = 4) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"need >= 1 shard, got {n_shards}")
+        self.n_shards = n_shards
+        self._shards = [_Shard() for _ in range(n_shards)]
+        self._metrics: Dict[str, MetricEntry] = {}
+
+    # -- metric management -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def entries(self) -> List[MetricEntry]:
+        return list(self._metrics.values())
+
+    def get(self, name: str) -> MetricEntry:
+        entry = self._metrics.get(name)
+        if entry is None:
+            raise ConfigurationError(f"unknown metric {name!r}")
+        return entry
+
+    @staticmethod
+    def _build_sketch(
+        kind: str, epsilon: float, n: Optional[int], policy: str
+    ) -> Sketch:
+        if kind == "fixed":
+            design_n = DEFAULT_DESIGN_N if n is None else int(n)
+            plan = optimal_parameters(epsilon, design_n, policy=policy)
+            fw = QuantileFramework(
+                plan.b, plan.k, policy=policy, designed_n=design_n
+            )
+            fw._mode = "numeric"  # the service is numeric-only
+            return fw
+        return AdaptiveQuantileSketch(
+            epsilon,
+            initial_capacity=(
+                _DEFAULT_ADAPTIVE_CAPACITY if n is None else int(n)
+            ),
+            policy=policy,
+        )
+
+    def create(
+        self,
+        name: str,
+        *,
+        kind: str = "fixed",
+        epsilon: float = 0.01,
+        n: Optional[int] = None,
+        policy: str = "new",
+    ) -> Tuple[MetricEntry, bool]:
+        """Create (or idempotently re-open) a metric.
+
+        Returns ``(entry, created)``.  Re-creating with the *same*
+        configuration is a no-op (clients race to CREATE on connect);
+        re-creating with a different one raises
+        :class:`~repro.core.errors.ConfigurationError`.
+        """
+        if not name or "\n" in name:
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        if kind not in _KINDS:
+            raise ConfigurationError(
+                f"metric kind must be one of {_KINDS}, got {kind!r}"
+            )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.config_tuple() != (kind, epsilon, n, policy):
+                raise ConfigurationError(
+                    f"metric {name!r} already exists with configuration "
+                    f"{existing.config_tuple()}, requested "
+                    f"{(kind, epsilon, n, policy)}"
+                )
+            return existing, False
+        sketch = self._build_sketch(kind, epsilon, n, policy)
+        return self._register(name, kind, epsilon, n, policy, sketch), True
+
+    def register_restored(
+        self,
+        name: str,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        sketch: Sketch,
+    ) -> MetricEntry:
+        """Attach a sketch rebuilt by the snapshot codec (recovery path)."""
+        if name in self._metrics:
+            raise ConfigurationError(f"metric {name!r} restored twice")
+        return self._register(name, kind, epsilon, n, policy, sketch)
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        sketch: Sketch,
+    ) -> MetricEntry:
+        shard_idx = shard_of(name, self.n_shards)
+        bank_id: Optional[int] = None
+        if kind == "fixed":
+            assert isinstance(sketch, QuantileFramework)
+            bank_id = self._shards[shard_idx].bank.adopt(sketch)
+        entry = MetricEntry(
+            name, kind, epsilon, n, policy, shard_idx, sketch, bank_id
+        )
+        self._metrics[name] = entry
+        return entry
+
+    # -- ingest ------------------------------------------------------------
+
+    @staticmethod
+    def coerce_batch(values: "np.ndarray | list") -> np.ndarray:
+        """Validate one ingest batch before it is journaled or queued."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(
+                f"expected a 1-d batch, got shape {arr.shape}"
+            )
+        if arr.size and not np.isfinite(arr).all():
+            raise ConfigurationError(_FINITE_MSG)
+        return arr
+
+    def enqueue(self, name: str, values: np.ndarray) -> MetricEntry:
+        """Queue a validated batch on the metric's shard (apply later)."""
+        entry = self.get(name)
+        arr = self.coerce_batch(values)
+        if arr.size:
+            self._shards[entry.shard].pending.append((entry, arr))
+        return entry
+
+    def ingest(self, name: str, values: np.ndarray) -> MetricEntry:
+        """Enqueue and immediately apply (the synchronous/replay path)."""
+        entry = self.enqueue(name, values)
+        self.apply_shard(entry.shard)
+        return entry
+
+    def pending_batches(self, shard: Optional[int] = None) -> int:
+        if shard is not None:
+            return len(self._shards[shard].pending)
+        return sum(len(s.pending) for s in self._shards)
+
+    def apply_shard(self, shard_idx: int) -> int:
+        """Drain one shard's queue through the bank; returns elements applied.
+
+        Queued batches are grouped per metric (arrival order preserved
+        within each metric) and fed as one concatenated run through the
+        bank's single-sketch fast path -- no cross-metric stable
+        partition, so a shard drain costs the same per element as direct
+        in-process ingest.  Each sketch still sees exactly its own
+        subsequence in arrival order, so the result is bit-identical to
+        applying every batch alone, in queue order (the PR-2 bank
+        property).
+        """
+        shard = self._shards[shard_idx]
+        if not shard.pending:
+            return 0
+        pending, shard.pending = shard.pending, []
+        applied = 0
+        groups: Dict[int, Tuple[MetricEntry, List[np.ndarray]]] = {}
+        for entry, arr in pending:
+            applied += arr.size
+            entry.n_batches += 1
+            group = groups.get(id(entry))
+            if group is None:
+                groups[id(entry)] = (entry, [arr])
+            else:
+                group[1].append(arr)
+        for entry, arrays in groups.values():
+            values = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+            if entry.bank_id is not None:
+                shard.bank.extend_single(entry.bank_id, values)
+            else:
+                entry.sketch.extend(values)
+        shard.n_applied += applied
+        shard.n_batches_applied += len(pending)
+        return applied
+
+    def apply_all(self) -> int:
+        return sum(self.apply_shard(i) for i in range(self.n_shards))
+
+    # -- queries (callers must apply the shard first for freshness) --------
+
+    def quantiles(
+        self, name: str, phis: List[float]
+    ) -> Tuple[List[float], float, int]:
+        """``(values, certified Lemma 5 bound in elements, n)`` for *name*."""
+        entry = self.get(name)
+        sketch = entry.sketch
+        if sketch.n == 0:
+            raise EmptySummaryError(f"metric {name!r} has no data yet")
+        values = [float(v) for v in sketch.quantiles(phis)]
+        return values, float(sketch.error_bound()), sketch.n
+
+    def cdf(self, name: str, value: float) -> Tuple[int, float, float, int]:
+        """``(rank, fraction, certified bound, n)`` for the inverse query."""
+        entry = self.get(name)
+        sketch = entry.sketch
+        if sketch.n == 0:
+            raise EmptySummaryError(f"metric {name!r} has no data yet")
+        rank = int(sketch.rank(value))
+        return rank, rank / sketch.n, float(sketch.error_bound()), sketch.n
+
+    def fetch_serialized(self, name: str) -> bytes:
+        """The metric's summary in the :mod:`repro.core.serialize` format.
+
+        Fixed metrics only (the wire format is per-framework); this is the
+        shipping half of §4.9 fan-in -- collect payloads from several
+        servers and fold them with
+        :func:`repro.core.serialize.merge_serialized`.
+        """
+        entry = self.get(name)
+        if not isinstance(entry.sketch, QuantileFramework):
+            raise ConfigurationError(
+                f"metric {name!r} is adaptive; only fixed-N metrics "
+                "serialise to the exchange format"
+            )
+        return serialize.dumps(entry.sketch)
+
+    # -- introspection -----------------------------------------------------
+
+    def describe_metrics(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "name": e.name,
+                "kind": e.kind,
+                "n": e.count,
+                "memory_elements": e.memory_elements,
+                "shard": e.shard,
+            }
+            for e in self._metrics.values()
+        ]
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        out = []
+        for i, shard in enumerate(self._shards):
+            entries = [e for e in self._metrics.values() if e.shard == i]
+            out.append(
+                {
+                    "shard": i,
+                    "metrics": len(entries),
+                    "elements_applied": shard.n_applied,
+                    "batches_applied": shard.n_batches_applied,
+                    "pending_batches": len(shard.pending),
+                    "collapse_count": sum(
+                        e.collapse_count() for e in entries
+                    ),
+                    "memory_elements": sum(
+                        e.memory_elements for e in entries
+                    ),
+                }
+            )
+        return out
+
+    @property
+    def total_elements(self) -> int:
+        return sum(e.count for e in self._metrics.values())

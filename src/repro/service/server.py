@@ -1,0 +1,431 @@
+"""The asyncio quantile-sketch server.
+
+One process, one event loop, ``n_shards`` batching domains.  Connection
+handlers decode frames and translate them into registry operations; they
+never touch sketch internals.  The ingest path is::
+
+    frame in -> validate batch -> journal append (WAL) -> enqueue on the
+    metric's shard -> ack           (sketch not yet updated)
+
+    shard flusher (one task per shard) -> drains the queue through
+    SketchBank.extend_pairs          (vectorised, batched across
+                                      connections and metrics)
+
+Because handlers run on one loop, every mutation is serial: the journal
+order *is* the apply order, queries never observe a half-applied batch,
+and snapshots capture a consistent image by draining the shard queues
+first.  Queries flush the owning shard's queue synchronously before
+answering, so a client always reads its own acknowledged writes.
+
+Durability: pass ``data_dir`` to enable the journal + snapshot pair
+(see :mod:`repro.service.journal` / :mod:`repro.service.snapshot`);
+recovery happens automatically in :meth:`QuantileService.start`.
+Without a ``data_dir`` the server is a purely in-memory cache.
+
+:class:`ServerThread` embeds the whole server in a background thread for
+tests, examples and benchmarks; ``repro serve`` runs it in the
+foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ReproError, StorageError
+from . import protocol
+from .journal import (
+    CREATE_RECORD,
+    INGEST_RECORD,
+    IngestJournal,
+    read_journal,
+)
+from .metrics import ServiceMetrics
+from .registry import SketchRegistry
+from .snapshot import read_snapshot, write_snapshot
+
+__all__ = ["QuantileService", "ServerThread"]
+
+SNAPSHOT_FILE = "snapshot.bin"
+JOURNAL_FILE = "journal.log"
+
+
+class QuantileService:
+    """A sharded, durable quantile-sketch server.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    data_dir:
+        Directory for the snapshot + journal pair.  ``None`` disables
+        durability.
+    n_shards:
+        Batching domains (each backed by a
+        :class:`~repro.core.bank.SketchBank`).
+    snapshot_interval_s:
+        Period of the automatic snapshot task (``None`` = only explicit
+        ``SNAPSHOT`` commands and graceful shutdown snapshot).
+    fsync:
+        Journal durability mode -- ``False`` flushes (survives process
+        kill), ``True`` fsyncs every batch (survives power loss).
+    batch_window_s:
+        How long a shard flusher waits after waking before draining its
+        queue; ``0`` still batches everything enqueued in the same event
+        loop iteration.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        data_dir: Optional[str] = None,
+        n_shards: int = 4,
+        snapshot_interval_s: Optional[float] = 30.0,
+        fsync: bool = False,
+        batch_window_s: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.data_dir = data_dir
+        self.n_shards = n_shards
+        self.snapshot_interval_s = snapshot_interval_s
+        self.fsync = fsync
+        self.batch_window_s = batch_window_s
+        self.registry = SketchRegistry(n_shards)
+        self.metrics = ServiceMetrics(n_shards)
+        self.journal: Optional[IngestJournal] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shard_events: List[asyncio.Event] = []
+        self._tasks: List[asyncio.Task] = []
+        self._stopped = False
+
+    # -- recovery ----------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, SNAPSHOT_FILE)
+
+    @property
+    def journal_path(self) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, JOURNAL_FILE)
+
+    def _recover(self) -> None:
+        """Rebuild state from snapshot + journal tail (idempotent)."""
+        assert self.data_dir is not None
+        os.makedirs(self.data_dir, exist_ok=True)
+        seq = 0
+        snapshot_path = self.snapshot_path
+        if snapshot_path and os.path.exists(snapshot_path):
+            seq = read_snapshot(snapshot_path, self.registry)
+        journal_path = self.journal_path
+        assert journal_path is not None
+        replayed = 0
+        if os.path.exists(journal_path):
+            scan = read_journal(journal_path)
+            for rec in scan.records:
+                if rec.seq <= seq:
+                    continue  # already inside the snapshot
+                if rec.type == CREATE_RECORD:
+                    self.registry.create(
+                        rec.name,
+                        kind=rec.kind,
+                        epsilon=rec.epsilon,
+                        n=rec.n,
+                        policy=rec.policy,
+                    )
+                elif rec.type == INGEST_RECORD:
+                    assert rec.values is not None
+                    self.registry.ingest(rec.name, rec.values)
+                replayed += 1
+        self.metrics.recovered_records = replayed
+        # opening the journal truncates any torn tail and resumes the
+        # sequence after the last surviving record
+        self.journal = IngestJournal(
+            journal_path, start_seq=seq, fsync=self.fsync
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover, bind the socket and launch the background tasks."""
+        if self.data_dir is not None:
+            self._recover()
+        self._shard_events = [asyncio.Event() for _ in range(self.n_shards)]
+        for i in range(self.n_shards):
+            self._tasks.append(
+                asyncio.create_task(self._shard_flusher(i))
+            )
+        if self.data_dir is not None and self.snapshot_interval_s:
+            self._tasks.append(asyncio.create_task(self._snapshotter()))
+        # a large stream buffer lets one scheduling slot of the reader
+        # task slurp many pipelined ingest frames, so the shard flusher
+        # sees them as a single vectorized super-batch (the default 64 KiB
+        # limit caps that at two 4096-value batches per slot)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=8 * 1024 * 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, *, graceful: bool = True) -> None:
+        """Shut down.
+
+        ``graceful=True`` drains the shards, writes a final snapshot (when
+        durable) and closes the journal.  ``graceful=False`` skips all of
+        that -- the in-process equivalent of ``SIGKILL``, used by the
+        crash-recovery tests: whatever the journal already holds is what
+        recovery gets.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if graceful:
+            self.registry.apply_all()
+            if self.data_dir is not None and self.journal is not None:
+                self._write_snapshot()
+                self.journal.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- background tasks --------------------------------------------------
+
+    async def _shard_flusher(self, shard: int) -> None:
+        event = self._shard_events[shard]
+        while True:
+            await event.wait()
+            event.clear()
+            # let every connection with buffered frames enqueue first so
+            # the drain below sees one large cross-connection super-batch
+            if self.batch_window_s:
+                await asyncio.sleep(self.batch_window_s)
+            else:
+                await asyncio.sleep(0)
+            self.registry.apply_shard(shard)
+
+    async def _snapshotter(self) -> None:
+        assert self.snapshot_interval_s is not None
+        while True:
+            await asyncio.sleep(self.snapshot_interval_s)
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> str:
+        assert self.journal is not None and self.snapshot_path is not None
+        self.registry.apply_all()
+        write_snapshot(self.snapshot_path, self.registry, self.journal.seq)
+        self.journal.rotate(self.journal.seq)
+        self.metrics.snapshots += 1
+        return self.snapshot_path
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_total += 1
+        self.metrics.connections_open += 1
+        try:
+            while True:
+                try:
+                    head = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                length = int.from_bytes(head, "little")
+                if length > protocol.MAX_FRAME_BYTES:
+                    writer.write(
+                        protocol.frame(
+                            protocol.encode_error(
+                                f"frame length {length} exceeds limit"
+                            )
+                        )
+                    )
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                response = self._dispatch(payload)
+                writer.write(protocol.frame(response))
+                await writer.drain()
+        finally:
+            self.metrics.connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _dispatch(self, payload: bytes) -> bytes:
+        try:
+            req = protocol.decode_request(payload)
+            return protocol.encode_ok(req.opcode, self._execute(req))
+        except ReproError as exc:
+            return protocol.encode_error(str(exc))
+
+    def _execute(self, req: protocol.Request) -> Dict[str, Any]:
+        op = req.opcode
+        if op == protocol.Opcode.INGEST:
+            return self._do_ingest(req)
+        if op == protocol.Opcode.QUERY:
+            start = time.perf_counter()
+            self.registry.apply_shard(self.registry.get(req.name).shard)
+            values, bound, n = self.registry.quantiles(req.name, req.phis)
+            self.metrics.record_query(time.perf_counter() - start)
+            return {"values": values, "error_bound": bound, "n": n}
+        if op == protocol.Opcode.CDF:
+            start = time.perf_counter()
+            self.registry.apply_shard(self.registry.get(req.name).shard)
+            rank, fraction, bound, n = self.registry.cdf(req.name, req.value)
+            self.metrics.record_query(time.perf_counter() - start)
+            return {
+                "rank": rank,
+                "fraction": fraction,
+                "error_bound": bound,
+                "n": n,
+            }
+        if op == protocol.Opcode.CREATE:
+            entry, created = self.registry.create(
+                req.name,
+                kind=req.kind,
+                epsilon=req.epsilon,
+                n=req.n,
+                policy=req.policy,
+            )
+            if created and self.journal is not None:
+                self.journal.append_create(
+                    req.name, req.kind, req.epsilon, req.n, req.policy
+                )
+            return {"created": created}
+        if op == protocol.Opcode.LIST:
+            return {"metrics": self.registry.describe_metrics()}
+        if op == protocol.Opcode.FETCH:
+            self.registry.apply_shard(self.registry.get(req.name).shard)
+            return {"payload": self.registry.fetch_serialized(req.name)}
+        if op == protocol.Opcode.SNAPSHOT:
+            if self.journal is None:
+                raise StorageError(
+                    "durability is disabled (server started without "
+                    "--data-dir); nothing to snapshot"
+                )
+            path = self._write_snapshot()
+            return {"seq": self.journal.seq, "path": path}
+        if op == protocol.Opcode.DRAIN:
+            self.registry.apply_all()
+            return {"seq": self.journal.seq if self.journal else 0}
+        if op == protocol.Opcode.STATS:
+            return {"stats": self.metrics.to_dict(self.registry)}
+        raise StorageError(f"unknown opcode {op}")
+
+    def _do_ingest(self, req: protocol.Request) -> Dict[str, Any]:
+        assert req.values is not None
+        entry = self.registry.get(req.name)  # unknown metric -> error frame
+        arr = self.registry.coerce_batch(req.values)
+        if arr.size == 0:
+            return {
+                "seq": self.journal.seq if self.journal else 0,
+                "count": 0,
+            }
+        if self.journal is not None:
+            seq = self.journal.append_ingest(req.name, arr)
+        else:
+            seq = 0
+        self.registry.enqueue(req.name, arr)
+        self.metrics.record_ingest(entry.shard, arr.size)
+        self._shard_events[entry.shard].set()
+        return {"seq": seq, "count": int(arr.size)}
+
+
+class ServerThread:
+    """A :class:`QuantileService` running on a background event loop.
+
+    The embedding used by tests, benchmarks and the example monitor::
+
+        with ServerThread(data_dir="./data") as server:
+            client = QuantileClient("127.0.0.1", server.port)
+
+    ``stop(graceful=False)`` abandons the process-internal state without
+    the final snapshot -- the closest in-process approximation of
+    ``SIGKILL`` (the journal file already holds every acknowledged
+    batch, exactly as it would after a real kill).
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self.service = QuantileService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise StorageError("service failed to start within timeout")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, *, graceful: bool = True, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(graceful=graceful), loop
+        )
+        try:
+            future.result(timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

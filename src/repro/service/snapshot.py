@@ -1,0 +1,263 @@
+"""Atomic registry snapshots.
+
+A snapshot captures every metric's *exact* sketch state at one journal
+sequence number.  Fixed-N metrics embed their framework in the existing
+:mod:`repro.core.serialize` wire format verbatim (the round-trip
+guarantee there -- identical answers, identical certified bounds, and
+identical behaviour under further ingest -- is what makes recovery
+bit-identical).  Adaptive metrics add a thin stage container: each
+closed stage's surviving buffers and Lemma 5 statistics, the live stage
+again in the core wire format, plus the roll-schedule counters.
+
+File layout (little-endian)::
+
+    header:  magic "MRLSNAP1" | u16 version | u16 pad | u32 n_metrics
+             | u64 seq
+    per metric:
+        name (u16 len + utf8) | u8 kind | f64 epsilon
+        | u64 n (0 = unset) | policy (u16 len + utf8)
+        fixed:    u32 len | core-serialize payload
+        adaptive: u64 initial_capacity | u64 capacity | u64 active_n
+                  | u32 n_closed
+                  per closed stage:
+                      u64 n | u64 n_collapses | u64 sum_collapse_weights
+                      | u32 n_buffers
+                      per buffer: u64 weight | i32 level | u32 n_low_pad
+                                  | u32 n_high_pad | u32 n_values
+                                  | n_values * f64
+                  u32 len | core-serialize payload (live stage)
+    trailer: u32 crc32 over everything before it
+
+Writes are atomic (temp file + ``os.replace`` + directory fsync): a
+crash mid-write leaves the previous snapshot untouched, and the CRC
+trailer rejects a partially-flushed file.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import serialize
+from ..core.adaptive import AdaptiveQuantileSketch, _ClosedStage
+from ..core.buffer import Buffer
+from ..core.errors import StorageError
+from ..core.framework import QuantileFramework
+from .registry import SketchRegistry
+
+__all__ = ["write_snapshot", "read_snapshot", "SNAPSHOT_VERSION"]
+
+_MAGIC = b"MRLSNAP1"
+SNAPSHOT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHIQ")
+_STAGE_HEADER = struct.Struct("<QQQI")
+_BUFFER_HEADER = struct.Struct("<QiIII")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return _U16.pack(len(raw)) + raw
+
+
+def _dump_framework(fw: QuantileFramework) -> bytes:
+    payload = serialize.dumps(fw)
+    return _U32.pack(len(payload)) + payload
+
+
+def _dump_adaptive(sk: AdaptiveQuantileSketch) -> bytes:
+    out = io.BytesIO()
+    out.write(_U64.pack(sk.initial_capacity))
+    out.write(_U64.pack(sk._capacity))
+    out.write(_U64.pack(sk._active_n))
+    out.write(_U32.pack(len(sk._closed)))
+    for stage in sk._closed:
+        out.write(
+            _STAGE_HEADER.pack(
+                stage.n,
+                stage.n_collapses,
+                stage.sum_collapse_weights,
+                len(stage.buffers),
+            )
+        )
+        for buf in stage.buffers:
+            values = np.ascontiguousarray(buf.values, dtype="<f8")
+            out.write(
+                _BUFFER_HEADER.pack(
+                    buf.weight,
+                    buf.level,
+                    buf.n_low_pad,
+                    buf.n_high_pad,
+                    values.size,
+                )
+            )
+            out.write(values.tobytes())
+    out.write(_dump_framework(sk._active))
+    return out.getvalue()
+
+
+def write_snapshot(path: str, registry: SketchRegistry, seq: int) -> None:
+    """Atomically persist *registry* at journal sequence *seq* to *path*.
+
+    The caller must have applied all pending shard queues first (the
+    server's snapshot command drains before capturing), otherwise queued
+    batches would be silently dropped from the image.
+    """
+    if registry.pending_batches():
+        raise StorageError(
+            "snapshot requested with unapplied ingest batches; "
+            "drain the shards first"
+        )
+    entries = registry.entries()
+    body = io.BytesIO()
+    body.write(_HEADER.pack(_MAGIC, SNAPSHOT_VERSION, 0, len(entries), seq))
+    for entry in entries:
+        body.write(_pack_str(entry.name))
+        body.write(bytes([0 if entry.kind == "fixed" else 1]))
+        body.write(_F64.pack(entry.epsilon))
+        body.write(_U64.pack(0 if entry.n is None else int(entry.n)))
+        body.write(_pack_str(entry.policy))
+        if isinstance(entry.sketch, QuantileFramework):
+            body.write(_dump_framework(entry.sketch))
+        else:
+            body.write(_dump_adaptive(entry.sketch))
+    raw = body.getvalue()
+    raw += _U32.pack(zlib.crc32(raw) & 0xFFFFFFFF)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(raw)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class _SnapReader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, size: int, what: str) -> bytes:
+        end = self.pos + size
+        if end > len(self.buf):
+            raise StorageError(
+                f"corrupt snapshot: expected {size} bytes of {what}"
+            )
+        raw = self.buf[self.pos : end]
+        self.pos = end
+        return raw
+
+    def unpack(self, st: struct.Struct, what: str):
+        return st.unpack(self.take(st.size, what))
+
+    def string(self, what: str) -> str:
+        (n,) = self.unpack(_U16, what)
+        return self.take(n, what).decode("utf-8")
+
+
+def _load_framework(r: _SnapReader, what: str) -> QuantileFramework:
+    (size,) = r.unpack(_U32, what)
+    return serialize.loads(r.take(size, what))
+
+
+def _load_adaptive(
+    r: _SnapReader, epsilon: float, policy: str
+) -> AdaptiveQuantileSketch:
+    (initial_capacity,) = r.unpack(_U64, "initial capacity")
+    (capacity,) = r.unpack(_U64, "capacity")
+    (active_n,) = r.unpack(_U64, "active n")
+    (n_closed,) = r.unpack(_U32, "closed stage count")
+    closed: List[_ClosedStage] = []
+    for _ in range(n_closed):
+        n, n_collapses, sum_weights, n_buffers = r.unpack(
+            _STAGE_HEADER, "stage header"
+        )
+        buffers = []
+        for _ in range(n_buffers):
+            weight, level, n_low, n_high, n_values = r.unpack(
+                _BUFFER_HEADER, "stage buffer header"
+            )
+            values = np.frombuffer(
+                r.take(8 * n_values, "stage buffer values"), dtype="<f8"
+            ).copy()
+            if n_low + n_high > n_values:
+                raise StorageError(
+                    "corrupt snapshot: pad counts exceed buffer size"
+                )
+            buffers.append(
+                Buffer(
+                    values=values,
+                    weight=weight,
+                    level=level,
+                    n_low_pad=n_low,
+                    n_high_pad=n_high,
+                )
+            )
+        closed.append(
+            _ClosedStage.from_state(buffers, n, n_collapses, sum_weights)
+        )
+    active = _load_framework(r, "active stage payload")
+    return AdaptiveQuantileSketch._restore(
+        epsilon=epsilon,
+        initial_capacity=initial_capacity,
+        policy=policy,
+        closed=closed,
+        capacity=capacity,
+        active=active,
+        active_n=active_n,
+    )
+
+
+def read_snapshot(path: str, registry: SketchRegistry) -> int:
+    """Restore every metric in the snapshot at *path* into *registry*.
+
+    Returns the journal sequence number the snapshot was taken at.  The
+    registry must be freshly constructed (no metrics); restored sketches
+    are re-adopted into its shard banks exactly as live creation would.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if len(raw) < _HEADER.size + 4:
+        raise StorageError(f"{path}: too short to be a snapshot")
+    crc_stored = _U32.unpack(raw[-4:])[0]
+    if (zlib.crc32(raw[:-4]) & 0xFFFFFFFF) != crc_stored:
+        raise StorageError(f"{path}: snapshot CRC mismatch")
+    r = _SnapReader(raw[:-4])
+    magic, version, _pad, n_metrics, seq = r.unpack(_HEADER, "header")
+    if magic != _MAGIC:
+        raise StorageError(f"{path}: bad magic {magic!r}: not a snapshot")
+    if version != SNAPSHOT_VERSION:
+        raise StorageError(f"{path}: unsupported snapshot version {version}")
+    for _ in range(n_metrics):
+        name = r.string("metric name")
+        kind_id = r.take(1, "metric kind")[0]
+        if kind_id not in (0, 1):
+            raise StorageError(f"{path}: unknown metric kind id {kind_id}")
+        kind = "fixed" if kind_id == 0 else "adaptive"
+        (epsilon,) = r.unpack(_F64, "epsilon")
+        (n_raw,) = r.unpack(_U64, "n")
+        n: Optional[int] = None if n_raw == 0 else n_raw
+        policy = r.string("policy")
+        if kind == "fixed":
+            sketch = _load_framework(r, "framework payload")
+        else:
+            sketch = _load_adaptive(r, epsilon, policy)
+        registry.register_restored(name, kind, epsilon, n, policy, sketch)
+    if r.pos != len(r.buf):
+        raise StorageError(f"{path}: trailing bytes after snapshot payload")
+    return seq

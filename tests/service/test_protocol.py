@@ -1,0 +1,174 @@
+"""Wire-protocol codec tests: round-trips, framing, malformed input."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, StorageError
+from repro.service import protocol
+from repro.service.protocol import Opcode, Request
+
+
+def roundtrip(req: Request) -> Request:
+    return protocol.decode_request(protocol.encode_request(req))
+
+
+class TestRequestRoundtrip:
+    def test_create(self):
+        req = Request(
+            opcode=Opcode.CREATE,
+            name="api/latency",
+            kind="adaptive",
+            epsilon=0.005,
+            n=None,
+            policy="munro-paterson",
+        )
+        out = roundtrip(req)
+        assert (out.name, out.kind, out.epsilon, out.n, out.policy) == (
+            "api/latency", "adaptive", 0.005, None, "munro-paterson"
+        )
+
+    def test_create_fixed_with_n(self):
+        out = roundtrip(
+            Request(opcode=Opcode.CREATE, name="m", kind="fixed", n=10**6)
+        )
+        assert out.kind == "fixed"
+        assert out.n == 10**6
+
+    def test_ingest_preserves_values_bitwise(self):
+        values = np.random.default_rng(0).normal(size=1000)
+        out = roundtrip(
+            Request(opcode=Opcode.INGEST, name="m", values=values)
+        )
+        np.testing.assert_array_equal(out.values, values)
+        assert out.values.dtype == np.float64
+
+    def test_ingest_empty_batch(self):
+        out = roundtrip(
+            Request(
+                opcode=Opcode.INGEST,
+                name="m",
+                values=np.empty(0, dtype=np.float64),
+            )
+        )
+        assert out.values.size == 0
+
+    def test_query(self):
+        out = roundtrip(
+            Request(opcode=Opcode.QUERY, name="m", phis=[0.25, 0.5, 0.99])
+        )
+        assert out.phis == [0.25, 0.5, 0.99]
+
+    def test_cdf(self):
+        out = roundtrip(Request(opcode=Opcode.CDF, name="m", value=-1.5))
+        assert out.value == -1.5
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS],
+    )
+    def test_bodyless_opcodes(self, opcode):
+        assert roundtrip(Request(opcode=opcode)).opcode == opcode
+
+    def test_fetch(self):
+        out = roundtrip(Request(opcode=Opcode.FETCH, name="ns/metric"))
+        assert out.name == "ns/metric"
+
+    def test_unicode_names(self):
+        out = roundtrip(Request(opcode=Opcode.FETCH, name="ns/mètric-µs"))
+        assert out.name == "ns/mètric-µs"
+
+
+class TestMalformedInput:
+    def test_unknown_opcode(self):
+        with pytest.raises(StorageError):
+            protocol.decode_request(bytes([200]))
+
+    def test_unknown_kind_on_encode(self):
+        with pytest.raises(ConfigurationError):
+            protocol.encode_request(
+                Request(opcode=Opcode.CREATE, name="m", kind="bogus")
+            )
+
+    def test_truncated_body(self):
+        payload = protocol.encode_request(
+            Request(opcode=Opcode.INGEST, name="m", values=np.arange(8.0))
+        )
+        with pytest.raises(StorageError):
+            protocol.decode_request(payload[:-3])
+
+    def test_trailing_garbage(self):
+        payload = protocol.encode_request(
+            Request(opcode=Opcode.CDF, name="m", value=0.0)
+        )
+        with pytest.raises(StorageError):
+            protocol.decode_request(payload + b"\x00")
+
+    def test_overlong_name(self):
+        with pytest.raises(ConfigurationError):
+            protocol.encode_request(
+                Request(opcode=Opcode.FETCH, name="x" * 70000)
+            )
+
+
+class TestResponses:
+    def test_error_frame_raises_client_side(self):
+        frame = protocol.encode_error("metric 'm' does not exist")
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            protocol.decode_response(Opcode.QUERY, frame)
+
+    def test_query_response_roundtrip(self):
+        body = protocol.encode_ok(
+            Opcode.QUERY,
+            {"n": 100, "error_bound": 3.0, "values": [1.0, 2.0]},
+        )
+        out = protocol.decode_response(Opcode.QUERY, body)
+        assert out == {"n": 100, "error_bound": 3.0, "values": [1.0, 2.0]}
+
+    def test_ingest_ack_roundtrip(self):
+        body = protocol.encode_ok(Opcode.INGEST, {"seq": 7, "count": 42})
+        assert protocol.decode_response(Opcode.INGEST, body) == {
+            "seq": 7,
+            "count": 42,
+        }
+
+
+class TestFraming:
+    def test_socket_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = protocol.encode_request(
+                Request(
+                    opcode=Opcode.INGEST,
+                    name="m",
+                    values=np.arange(100.0),
+                )
+            )
+            protocol.send_frame(a, payload)
+            assert protocol.recv_frame(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("<I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(StorageError, match="frame"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_peer_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises((StorageError, OSError)):
+                protocol.recv_frame(b)
+        finally:
+            b.close()

@@ -1,0 +1,168 @@
+"""Registry tests: creation semantics, sharding, batched-apply identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveQuantileSketch
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.core.framework import QuantileFramework
+from repro.service.registry import SketchRegistry, shard_of
+
+PHIS = [0.1, 0.5, 0.9]
+
+
+class TestCreate:
+    def test_create_and_get(self):
+        registry = SketchRegistry()
+        entry, created = registry.create("ns/m", kind="adaptive")
+        assert created
+        assert registry.get("ns/m") is entry
+        assert "ns/m" in registry
+        assert len(registry) == 1
+
+    def test_idempotent_same_config(self):
+        registry = SketchRegistry()
+        first, created = registry.create("m", kind="fixed", epsilon=0.01,
+                                         n=1000)
+        again, created_again = registry.create("m", kind="fixed",
+                                               epsilon=0.01, n=1000)
+        assert created and not created_again
+        assert again is first
+
+    def test_conflicting_config_rejected(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="fixed", epsilon=0.01, n=1000)
+        with pytest.raises(ConfigurationError, match="exists"):
+            registry.create("m", kind="fixed", epsilon=0.05, n=1000)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            SketchRegistry().get("nope")
+
+    def test_kinds(self):
+        registry = SketchRegistry()
+        fixed, _ = registry.create("f", kind="fixed", n=10_000)
+        adaptive, _ = registry.create("a", kind="adaptive")
+        assert isinstance(fixed.sketch, QuantileFramework)
+        assert isinstance(adaptive.sketch, AdaptiveQuantileSketch)
+
+
+class TestSharding:
+    def test_stable_assignment(self):
+        assert shard_of("api/latency", 4) == shard_of("api/latency", 4)
+        assert 0 <= shard_of("anything", 4) < 4
+
+    def test_entries_distributed(self):
+        registry = SketchRegistry(n_shards=4)
+        for i in range(40):
+            registry.create(f"ns/m{i}", kind="adaptive")
+        shards = {registry.get(f"ns/m{i}").shard for i in range(40)}
+        assert len(shards) > 1  # not everything on one shard
+
+
+class TestBatchedApply:
+    """The recovery keystone: queued cross-metric batches applied as one
+    vectorized bank super-batch equal per-metric sequential ingest."""
+
+    @pytest.mark.parametrize("kind", ["fixed", "adaptive"])
+    def test_enqueue_apply_equals_direct(self, kind):
+        rng = np.random.default_rng(3)
+        n_kw = {"n": 60_000} if kind == "fixed" else {}
+        batched = SketchRegistry(n_shards=1)
+        direct = SketchRegistry(n_shards=1)
+        for reg in (batched, direct):
+            reg.create("a", kind=kind, epsilon=0.01, **n_kw)
+            reg.create("b", kind=kind, epsilon=0.01, **n_kw)
+        for _ in range(5):
+            for name in ("a", "b", "a"):
+                chunk = rng.normal(size=997)
+                batched.enqueue(name, chunk)
+                direct.ingest(name, chunk)
+        assert batched.pending_batches() == 15
+        batched.apply_all()
+        assert batched.pending_batches() == 0
+        for name in ("a", "b"):
+            assert batched.quantiles(name, PHIS) == \
+                direct.quantiles(name, PHIS)
+
+    def test_shard_count_does_not_change_answers(self):
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        one = SketchRegistry(n_shards=1)
+        many = SketchRegistry(n_shards=8)
+        for reg in (one, many):
+            for i in range(6):
+                reg.create(f"m{i}", kind="fixed", n=20_000)
+        for _ in range(4):
+            for i in range(6):
+                one.enqueue(f"m{i}", rng_a.uniform(size=500))
+                many.enqueue(f"m{i}", rng_b.uniform(size=500))
+        one.apply_all()
+        many.apply_all()
+        for i in range(6):
+            assert one.quantiles(f"m{i}", PHIS) == \
+                many.quantiles(f"m{i}", PHIS)
+
+
+class TestValidation:
+    def test_rejects_non_finite(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive")
+        with pytest.raises(ConfigurationError, match="finite"):
+            registry.ingest("m", np.array([1.0, np.nan]))
+
+    def test_rejects_multidimensional(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive")
+        with pytest.raises(ConfigurationError):
+            registry.ingest("m", np.ones((3, 3)))
+
+    def test_empty_batch_is_noop(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive")
+        registry.ingest("m", np.empty(0))
+        assert registry.get("m").count == 0
+
+
+class TestQueries:
+    def test_quantiles_with_certified_bound(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="fixed", epsilon=0.05, n=10_000)
+        values = np.random.default_rng(0).permutation(10_000).astype(float)
+        registry.ingest("m", values)
+        (median,), bound, n = registry.quantiles("m", [0.5])
+        assert n == 10_000
+        assert abs(median - 5000) <= bound  # certified a-posteriori bound
+        assert bound <= 0.05 * 10_000
+
+    def test_cdf(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive", epsilon=0.02)
+        registry.ingest("m", np.arange(1000.0))
+        rank, fraction, bound, n = registry.cdf("m", 500.0)
+        assert n == 1000
+        assert abs(fraction - 0.5) < 0.1
+
+    def test_query_empty_metric_raises(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive")
+        with pytest.raises(EmptySummaryError):
+            registry.quantiles("m", [0.5])
+
+    def test_fetch_serialized_round_trips(self):
+        from repro.core import serialize
+
+        registry = SketchRegistry()
+        registry.create("m", kind="fixed", epsilon=0.02, n=5_000)
+        registry.ingest("m", np.random.default_rng(1).normal(size=5_000))
+        fw = serialize.loads(registry.fetch_serialized("m"))
+        v_reg, _, _ = registry.quantiles("m", PHIS)
+        assert fw.quantiles(PHIS) == v_reg
+
+    def test_fetch_adaptive_rejected(self):
+        registry = SketchRegistry()
+        registry.create("m", kind="adaptive")
+        with pytest.raises(ConfigurationError):
+            registry.fetch_serialized("m")

@@ -1,0 +1,126 @@
+"""Snapshot tests: exact state capture, atomicity, corruption detection."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.service.registry import SketchRegistry
+from repro.service.snapshot import read_snapshot, write_snapshot
+
+PHIS = [0.01, 0.25, 0.5, 0.75, 0.99]
+
+
+@pytest.fixture
+def populated():
+    """A registry with fixed + adaptive metrics over real data."""
+    registry = SketchRegistry(n_shards=3)
+    rng = np.random.default_rng(7)
+    registry.create("api/latency", kind="adaptive", epsilon=0.01)
+    registry.create(
+        "db/rows", kind="fixed", epsilon=0.02, n=50_000, policy="new"
+    )
+    registry.create(
+        "api/errors", kind="adaptive", epsilon=0.05,
+        policy="munro-paterson",
+    )
+    for _ in range(6):
+        registry.ingest("api/latency", rng.normal(size=2_000))
+        registry.ingest("db/rows", rng.uniform(size=3_000))
+        registry.ingest("api/errors", rng.exponential(size=500))
+    return registry
+
+
+def snapshot_roundtrip(registry, tmp_path, seq=17):
+    path = str(tmp_path / "snapshot.bin")
+    write_snapshot(path, registry, seq=seq)
+    restored = SketchRegistry(n_shards=3)
+    assert read_snapshot(path, restored) == seq
+    return restored
+
+
+class TestRoundtrip:
+    def test_answers_bit_identical(self, populated, tmp_path):
+        restored = snapshot_roundtrip(populated, tmp_path)
+        assert restored.names() == populated.names()
+        for name in populated.names():
+            v0, b0, n0 = populated.quantiles(name, PHIS)
+            v1, b1, n1 = restored.quantiles(name, PHIS)
+            assert v0 == v1
+            assert b0 == b1
+            assert n0 == n1
+
+    def test_behaviour_under_further_ingest_identical(
+        self, populated, tmp_path
+    ):
+        restored = snapshot_roundtrip(populated, tmp_path)
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        for _ in range(4):
+            populated.ingest("api/latency", rng_a.normal(size=1_500))
+            restored.ingest("api/latency", rng_b.normal(size=1_500))
+        assert populated.quantiles("api/latency", PHIS) == \
+            restored.quantiles("api/latency", PHIS)
+
+    def test_config_survives(self, populated, tmp_path):
+        restored = snapshot_roundtrip(populated, tmp_path)
+        for name in populated.names():
+            assert restored.get(name).config_tuple() == \
+                populated.get(name).config_tuple()
+            assert restored.get(name).shard == populated.get(name).shard
+
+    def test_serialized_payload_identical(self, populated, tmp_path):
+        restored = snapshot_roundtrip(populated, tmp_path)
+        assert restored.fetch_serialized("db/rows") == \
+            populated.fetch_serialized("db/rows")
+
+    def test_empty_registry(self, tmp_path):
+        registry = SketchRegistry(n_shards=2)
+        restored = snapshot_roundtrip(registry, tmp_path, seq=0)
+        assert len(restored) == 0
+
+
+class TestSafety:
+    def test_refuses_pending_batches(self, populated, tmp_path):
+        populated.enqueue("api/latency", np.array([1.0]))
+        with pytest.raises(StorageError, match="unapplied"):
+            write_snapshot(str(tmp_path / "s.bin"), populated, seq=1)
+        populated.apply_all()
+        write_snapshot(str(tmp_path / "s.bin"), populated, seq=1)
+
+    def test_crc_rejects_corruption(self, populated, tmp_path):
+        path = str(tmp_path / "s.bin")
+        write_snapshot(path, populated, seq=1)
+        with open(path, "r+b") as fh:
+            fh.seek(os.path.getsize(path) // 2)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0x01]))
+        with pytest.raises(StorageError, match="CRC"):
+            read_snapshot(path, SketchRegistry(n_shards=3))
+
+    def test_rejects_wrong_file(self, tmp_path):
+        path = str(tmp_path / "s.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"not a snapshot at all, sorry" * 4)
+        with pytest.raises(StorageError):
+            read_snapshot(path, SketchRegistry())
+
+    def test_no_tmp_file_left_behind(self, populated, tmp_path):
+        path = str(tmp_path / "s.bin")
+        write_snapshot(path, populated, seq=1)
+        assert os.listdir(tmp_path) == ["s.bin"]
+
+    def test_restore_into_different_shard_count(self, populated, tmp_path):
+        """Shards are batching domains only; answers must not depend on
+        the shard count chosen at restore time."""
+        path = str(tmp_path / "s.bin")
+        write_snapshot(path, populated, seq=5)
+        restored = SketchRegistry(n_shards=7)
+        read_snapshot(path, restored)
+        for name in populated.names():
+            assert restored.quantiles(name, PHIS) == \
+                populated.quantiles(name, PHIS)

@@ -125,3 +125,148 @@ class TestDescribe:
     def test_missing_file(self, tmp_path, capsys):
         assert main(["describe", str(tmp_path / "none.bin")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestStdinInput:
+    """`quantile -` / `describe -` read whitespace-separated stdin values."""
+
+    def _feed(self, monkeypatch, text):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_quantile_from_stdin(self, monkeypatch, capsys):
+        values = " ".join(str(v) for v in range(1, 1001))
+        self._feed(monkeypatch, values)
+        assert main(["quantile", "-", "--epsilon", "0.05",
+                     "--phi", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "n=1000" in out
+        median = float(
+            next(l for l in out.splitlines() if l.startswith("phi=0.5"))
+            .split(":")[1]
+        )
+        assert abs(median - 500) <= 0.05 * 1000
+
+    def test_describe_from_stdin(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "\n".join(str(v) for v in range(500)))
+        assert main(["describe", "-", "--epsilon", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "n " in out and "p50" in out
+
+    def test_newlines_and_spaces_both_split(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "1 2\n3\t4\n5 6 7 8 9 10")
+        assert main(["quantile", "-", "--epsilon", "0.2",
+                     "--phi", "0.5"]) == 0
+        assert "n=10" in capsys.readouterr().out
+
+    def test_non_numeric_stdin_is_clean_error(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "1.5 oops 2.5")
+        assert main(["quantile", "-", "--epsilon", "0.1",
+                     "--phi", "0.5"]) == 1
+        assert "not numbers" in capsys.readouterr().err
+
+    def test_non_finite_stdin_is_clean_error(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "1 2 inf")
+        assert main(["quantile", "-", "--epsilon", "0.1",
+                     "--phi", "0.5"]) == 1
+        assert "finite" in capsys.readouterr().err
+
+    def test_empty_stdin_is_clean_error(self, monkeypatch, capsys):
+        self._feed(monkeypatch, "")
+        assert main(["quantile", "-", "--epsilon", "0.1",
+                     "--phi", "0.5"]) == 1
+        assert "empty" in capsys.readouterr().err
+
+
+class TestExitCodeConsistency:
+    """Every subcommand exits 1 on ConfigurationError and OS errors."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["plan", "--epsilon", "0", "--n", "100"],
+            ["plan", "--epsilon", "0.01", "--n", "0"],
+            ["generate", "/tmp/x.bin", "--n", "0"],
+            ["histogram", "IGNORED", "--epsilon", "0.01", "--buckets", "1"],
+            ["quantile", "IGNORED", "--epsilon", "0.01", "--phi", "1.5"],
+            ["quantile", "IGNORED", "--epsilon", "2.0", "--phi", "0.5"],
+            ["describe", "IGNORED", "--epsilon", "0"],
+        ],
+    )
+    def test_configuration_errors(self, argv, stream_file, capsys):
+        argv = [stream_file if a == "IGNORED" else a for a in argv]
+        assert main(argv) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_directory_input_is_clean_error(self, tmp_path, capsys):
+        assert main(
+            ["quantile", str(tmp_path), "--epsilon", "0.01", "--phi", "0.5"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_client_connection_refused_is_clean_error(self, capsys):
+        assert main(["client", "--port", "1", "list"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeAndClient:
+    """The CLI client against an in-process server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import ServerThread
+
+        with ServerThread(
+            data_dir=str(tmp_path / "srv"), snapshot_interval_s=None
+        ) as srv:
+            yield srv
+
+    def _client(self, server, *argv):
+        return main(["client", "--port", str(server.port), *argv])
+
+    def test_full_session(self, server, capsys, monkeypatch):
+        assert self._client(
+            server, "create", "api/latency", "--kind", "adaptive",
+            "--epsilon", "0.02",
+        ) == 0
+        assert "created" in capsys.readouterr().out
+
+        assert self._client(
+            server, "ingest", "api/latency",
+            *[str(v) for v in range(1, 101)],
+        ) == 0
+        assert "ingested 100 values" in capsys.readouterr().out
+
+        import io
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(" ".join(str(v) for v in range(200)))
+        )
+        assert self._client(server, "ingest", "api/latency", "-") == 0
+        assert "ingested 200 values" in capsys.readouterr().out
+
+        assert self._client(
+            server, "query", "api/latency", "--phi", "0.5"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phi=0.5" in out and "certified rank bound" in out
+
+        assert self._client(server, "cdf", "api/latency", "50") == 0
+        assert "rank" in capsys.readouterr().out
+
+        assert self._client(server, "list") == 0
+        assert "api/latency" in capsys.readouterr().out
+
+        assert self._client(server, "stats") == 0
+        import json
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["ingest"]["elements"] == 300
+
+        assert self._client(server, "snapshot") == 0
+        assert "snapshot at seq" in capsys.readouterr().out
+
+        assert self._client(server, "drain") == 0
+        assert "drained" in capsys.readouterr().out
+
+    def test_query_unknown_metric_exits_1(self, server, capsys):
+        assert self._client(server, "query", "nope", "--phi", "0.5") == 1
+        assert "unknown metric" in capsys.readouterr().err
