@@ -6,14 +6,18 @@ registry enqueue, vectorized shard drain -- stays within 2x of direct
 in-process :class:`~repro.core.bank.SketchBank` ingest once batches are
 large (>= 4096 values), i.e. the protocol disappears into the batch.
 
-Three measurements, written to ``BENCH_service.json``:
+Four measurements, written to ``BENCH_service.json``:
 
-* ``direct``   -- in-process ``SketchBank.extend_pairs`` over the same
+* ``direct``     -- in-process ``SketchBank.extend_pairs`` over the same
   metric/batch schedule: the ceiling the server is judged against.
-* ``service``  -- a pipelined client driving an ephemeral (journal-free)
+* ``service``    -- a pipelined client driving an ephemeral (journal-free)
   server, across batch sizes and shard counts.
-* ``durable``  -- the same with the write-ahead journal on, to price
+* ``durable``    -- the same with the write-ahead journal on, to price
   durability separately from protocol overhead.
+* ``resilience`` -- the same workload with idempotency tokens on versus
+  off (zero faults injected), to price the retry layer itself: token
+  generation, the unacked-request window, and the server-side dedup
+  lookup.  Gated at <= 5% overhead.
 
 Run directly::
 
@@ -89,6 +93,7 @@ def bench_service(
     n_shards: int,
     rounds: int,
     data_dir: Optional[str] = None,
+    idempotency: bool = True,
 ) -> Dict[str, object]:
     """Pipelined client -> TCP -> asyncio server -> shard drain."""
     schedule = _schedule(total_elements, batch)
@@ -103,7 +108,9 @@ def bench_service(
         with ServerThread(
             data_dir=run_dir, n_shards=n_shards, snapshot_interval_s=None
         ) as server:
-            with QuantileClient("127.0.0.1", server.port) as client:
+            with QuantileClient(
+                "127.0.0.1", server.port, idempotency=idempotency
+            ) as client:
                 for name in names:
                     client.create(
                         name, kind="fixed", epsilon=EPSILON, n=DESIGN_N
@@ -180,6 +187,28 @@ def main(argv=None) -> int:
         3,
     )
 
+    # resilience overhead: identical fault-free workload, tokens on vs
+    # off.  Best-of-N with extra rounds because the gate is tight (5%)
+    # and both runs must beat scheduler noise, not each other.
+    res_rounds = max(rounds, 5 if args.quick else 3)
+    tokens_on = bench_service(
+        total, durable_batch, shard_counts[-1], res_rounds,
+        idempotency=True,
+    )
+    tokens_off = bench_service(
+        total, durable_batch, shard_counts[-1], res_rounds,
+        idempotency=False,
+    )
+    overhead_ratio = round(
+        tokens_off["elements_per_s"] / tokens_on["elements_per_s"], 3
+    )
+    resilience = {
+        "tokens_on": tokens_on,
+        "tokens_off": tokens_off,
+        "overhead_ratio": overhead_ratio,
+        "target_overhead_ratio": 1.05,
+    }
+
     gate_batches = [b for b in batch_sizes if b >= 4096]
     report = {
         "meta": {
@@ -197,6 +226,7 @@ def main(argv=None) -> int:
         "direct": direct,
         "service": service,
         "durable": durable,
+        "resilience": resilience,
         "targets": {
             "max_slowdown_at_4096_plus": max(
                 service[str(b)]["slowdown_vs_direct"] for b in gate_batches
@@ -219,6 +249,12 @@ def main(argv=None) -> int:
         f"durable (journal on, batch {durable_batch}): "
         f"{durable['elements_per_s']:,} el/s "
         f"({durable['slowdown_vs_direct']}x slower than direct)"
+    )
+    print(
+        f"resilience (batch {durable_batch}): tokens on "
+        f"{tokens_on['elements_per_s']:,} el/s, off "
+        f"{tokens_off['elements_per_s']:,} el/s "
+        f"({overhead_ratio}x overhead, target <= 1.05x)"
     )
     print(
         f"gate: worst slowdown at batch >= 4096 is "

@@ -203,11 +203,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .service import QuantileService
+    from .service import ChaosProxy, FaultSchedule, QuantileService
 
+    # under --chaos the service binds an ephemeral port and a seeded
+    # fault-injecting proxy takes the public one, so every client
+    # connection exercises the retry/dedup path
     service = QuantileService(
         host=args.host,
-        port=args.port,
+        port=0 if args.chaos else args.port,
         data_dir=args.data_dir,
         n_shards=args.shards,
         snapshot_interval_s=(
@@ -219,12 +222,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         await service.start()
+        proxy = None
+        if args.chaos:
+            proxy = ChaosProxy(
+                service.host,
+                service.port,
+                schedule=FaultSchedule.from_seed(args.chaos_seed),
+                host=args.host,
+                port=args.port,
+            ).start()
         durability = (
             f"data_dir={service.data_dir}" if service.data_dir else "ephemeral"
         )
+        public_port = proxy.port if proxy is not None else service.port
+        chaos = (
+            f", CHAOS seed={args.chaos_seed} upstream={service.port}"
+            if proxy is not None
+            else ""
+        )
         print(
-            f"repro service listening on {service.host}:{service.port} "
-            f"({service.n_shards} shards, {durability})",
+            f"repro service listening on {service.host}:{public_port} "
+            f"({service.n_shards} shards, {durability}{chaos})",
             flush=True,
         )
         stop = asyncio.Event()
@@ -233,6 +251,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(signum, stop.set)
         await stop.wait()
         print("shutting down (graceful)", flush=True)
+        if proxy is not None:
+            proxy.stop()
         await service.stop(graceful=True)
 
     asyncio.run(_run())
@@ -258,7 +278,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     from .service import QuantileClient
 
-    with QuantileClient(args.host, args.port) as client:
+    with QuantileClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    ) as client:
         if args.action == "create":
             created = client.create(
                 args.name,
@@ -399,6 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="seconds the shard flusher waits to accumulate a batch",
     )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "front the listener with a seeded fault-injecting proxy "
+            "(resets, truncation, delays) for resilience testing"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the --chaos fault schedule (deterministic)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = sub.add_parser(
@@ -406,6 +445,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7337)
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds (retries included)",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="max reconnect attempts per request on connection faults",
+    )
     actions = client.add_subparsers(dest="action", required=True)
 
     c_create = actions.add_parser("create", help="create a metric")
@@ -448,10 +499,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    from .service.errors import ServiceConnectionError, ServiceTimeoutError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ServiceTimeoutError as exc:
+        print(f"error: timed out: {exc}", file=sys.stderr)
+        return 3
+    except ServiceConnectionError as exc:
+        print(f"error: connection failed: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

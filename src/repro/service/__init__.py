@@ -25,9 +25,11 @@ journal tails).
 """
 
 from .client import QuantileClient
+from .errors import ServiceConnectionError, ServiceError, ServiceTimeoutError
+from .faults import ChaosProxy, FaultEvent, FaultSchedule
 from .journal import IngestJournal, JournalRecord, read_journal
 from .metrics import ServiceMetrics
-from .registry import MetricEntry, SketchRegistry
+from .registry import DedupWindow, MetricEntry, SketchRegistry
 from .server import QuantileService, ServerThread
 from .snapshot import read_snapshot, write_snapshot
 
@@ -37,7 +39,14 @@ __all__ = [
     "ServerThread",
     "SketchRegistry",
     "MetricEntry",
+    "DedupWindow",
     "ServiceMetrics",
+    "ServiceError",
+    "ServiceConnectionError",
+    "ServiceTimeoutError",
+    "ChaosProxy",
+    "FaultSchedule",
+    "FaultEvent",
     "IngestJournal",
     "JournalRecord",
     "read_journal",

@@ -1,18 +1,32 @@
-"""Blocking client for the quantile-sketch service.
+"""Blocking, fault-tolerant client for the quantile-sketch service.
 
-A thin wrapper over one TCP connection speaking
-:mod:`repro.service.protocol`.  Two ingest modes:
+A wrapper over one TCP connection speaking
+:mod:`repro.service.protocol`, hardened against an unreliable
+transport:
+
+* **Per-request deadlines** -- ``timeout`` bounds every call end to end
+  (connect, send, receive *and* any backoff spent between retries);
+  expiry raises :class:`~repro.service.errors.ServiceTimeoutError`.
+* **Reconnect with bounded exponential backoff + jitter** -- a reset,
+  stall or mid-frame close tears the socket down and retries up to
+  ``max_retries`` times; exhaustion raises
+  :class:`~repro.service.errors.ServiceConnectionError`.
+* **Idempotency tokens** -- every mutating request (CREATE / INGEST /
+  SNAPSHOT) carries a client-generated 64-bit token.  The server's
+  journal-backed dedup window replays the recorded ack for a token it
+  has already applied, so a retried INGEST after a lost ack is counted
+  exactly once.  Retries reuse the *same* token as the original send --
+  that is the entire point.
+
+Two ingest modes survive from the original client:
 
 * :meth:`QuantileClient.ingest` -- send one batch, wait for its ack
   (returns the journal sequence number that makes it durable);
 * :meth:`QuantileClient.ingest_nowait` -- *pipelined*: send without
-  reading the ack.  Responses arrive strictly in request order, so the
-  client counts outstanding acks and drains them before any synchronous
-  call (or explicitly via :meth:`flush`).  Pipelining is what lets the
-  server batch frames from one connection into a single vectorised
-  shard drain -- it is the difference between per-frame round-trip
-  latency and wire-speed ingest, and the benchmark exercises exactly
-  this path.
+  reading the ack.  Responses arrive strictly in request order; the
+  client keeps every unacknowledged request (bytes + token) and, after
+  a reconnect, resends the whole unacked window in order -- the dedup
+  window makes the resend safe.  :meth:`flush` drains the acks.
 
 The client is deliberately synchronous (usable from shell tools, the
 example monitor and load-generator threads); the server side is the
@@ -21,62 +35,297 @@ asyncio half.
 
 from __future__ import annotations
 
+import os
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import serialize
+from ..core.errors import StorageError
 from ..core.framework import QuantileFramework
 from . import protocol
-from .protocol import Opcode, Request
+from .errors import ServiceConnectionError, ServiceTimeoutError
+from .protocol import MUTATING_OPCODES, Opcode, Request
 
 __all__ = ["QuantileClient"]
 
 
+class _Pending:
+    """One request awaiting its ack: encoded bytes + bookkeeping."""
+
+    __slots__ = ("opcode", "payload")
+
+    def __init__(self, opcode: int, payload: bytes) -> None:
+        self.opcode = opcode
+        self.payload = payload
+
+
 class QuantileClient:
-    """One connection to a :class:`~repro.service.server.QuantileService`."""
+    """One connection to a :class:`~repro.service.server.QuantileService`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.  The constructor makes one eager connection
+        attempt (fail fast on a dead address); later reconnects go
+        through the retry/backoff loop.
+    timeout:
+        Per-request deadline in seconds, covering send, receive and any
+        retry backoff.  (Before the resilience layer this only governed
+        the initial connect.)
+    connect_timeout:
+        Bound on a single TCP connect; defaults to ``timeout``.
+    max_retries:
+        Reconnect-and-resend attempts per request after a transport
+        failure.  ``0`` disables retrying.
+    backoff_base, backoff_max:
+        Exponential backoff between retries: attempt *i* sleeps
+        ``min(backoff_base * 2**(i-1), backoff_max)`` scaled by a
+        uniform jitter in ``[0.5, 1.0)``.
+    retry_seed:
+        Seeds the backoff-jitter RNG; pass an int for reproducible
+        retry timing in tests.  The idempotency-token namespace is
+        *not* derived from it -- tokens are always OS-random, so
+        clients sharing a seed never collide.
+    idempotency:
+        When True (default), mutating requests carry tokens and are
+        safely retried.  When False, a mutating request interrupted
+        after it may have reached the server is *not* retried --
+        :class:`ServiceConnectionError` is raised instead, because a
+        blind resend could double-count.
+    max_outstanding:
+        Soft cap on pipelined, unacknowledged requests; past it,
+        :meth:`ingest_nowait` drains acks before sending more.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7337, *, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7337,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        max_retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: Optional[int] = None,
+        idempotency: bool = True,
+        max_outstanding: int = 4096,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        #: opcodes of pipelined requests whose acks are still in flight
-        self._outstanding: List[int] = []
+        self.timeout = timeout
+        self.connect_timeout = (
+            timeout if connect_timeout is None else connect_timeout
+        )
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.idempotency = idempotency
+        self.max_outstanding = max_outstanding
+        self._rng = random.Random(retry_seed)
+        # token = client_id (high 32 bits, nonzero) | counter (low 32):
+        # unique across clients with overwhelming probability, unique
+        # within a client by construction, never 0.  The id is ALWAYS
+        # OS-random, never derived from retry_seed: two clients sharing
+        # a seed (a reproducible test, a forked worker pool) must not
+        # share a token namespace, or one client's dedup entries would
+        # answer the other's requests
+        self._token_high = (
+            int.from_bytes(os.urandom(4), "little") or 1
+        ) << 32
+        self._token_counter = 0
+        #: requests sent (or queued) whose acks have not been received
+        self._unacked: List[_Pending] = []
+        #: how many of ``_unacked`` were written to the *current* socket
+        self._sent = 0
+        self.retries_total = 0  #: reconnect-and-resend attempts performed
+        self._sock: Optional[socket.socket] = None
+        self._connect(time.monotonic() + self.connect_timeout)
 
-    # -- plumbing ----------------------------------------------------------
+    # -- connection plumbing ----------------------------------------------
 
-    def _send(self, req: Request) -> None:
-        protocol.send_frame(self._sock, protocol.encode_request(req))
+    def _next_token(self) -> int:
+        self._token_counter = (self._token_counter + 1) & 0xFFFFFFFF
+        return self._token_high | self._token_counter
 
-    def _recv(self, opcode: int) -> Dict[str, Any]:
-        return protocol.decode_response(
-            opcode, protocol.recv_frame(self._sock)
+    def _connect(self, deadline: float) -> None:
+        if self._sock is not None:
+            return
+        budget = deadline - time.monotonic()
+        if budget <= 0:
+            raise ServiceTimeoutError(
+                f"deadline expired before connecting to "
+                f"{self.host}:{self.port}"
+            )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port),
+                timeout=min(budget, self.connect_timeout),
+            )
+        except TimeoutError as exc:
+            raise ServiceTimeoutError(
+                f"connect to {self.host}:{self.port} timed out"
+            ) from exc
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._sent = 0  # nothing is on this fresh connection yet
+
+    def _teardown(self) -> None:
+        """Drop the socket; unacked requests stay queued for resend."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+            self._sock = None
+        self._sent = 0
+
+    def _remaining(self, deadline: float, what: str) -> float:
+        budget = deadline - time.monotonic()
+        if budget <= 0:
+            self._teardown()
+            raise ServiceTimeoutError(f"request deadline expired ({what})")
+        return budget
+
+    def _send_pending(self, deadline: float) -> None:
+        """Write every not-yet-sent unacked request to the socket."""
+        assert self._sock is not None
+        while self._sent < len(self._unacked):
+            entry = self._unacked[self._sent]
+            self._sock.settimeout(self._remaining(deadline, "send"))
+            try:
+                protocol.send_frame(self._sock, entry.payload)
+            except TimeoutError as exc:
+                self._teardown()
+                raise ServiceTimeoutError(
+                    "request deadline expired mid-send"
+                ) from exc
+            except OSError as exc:
+                self._teardown()
+                raise ServiceConnectionError(
+                    f"connection lost while sending: {exc}"
+                ) from exc
+            self._sent += 1
+
+    def _recv_one(self, deadline: float) -> Dict[str, Any]:
+        """Receive and decode the ack for the oldest unacked request.
+
+        Transport failures (timeout, reset, mid-frame close) raise the
+        typed service errors and leave the request queued for resend.
+        A *complete* response frame -- even a server error frame --
+        acknowledges the request: it is popped before decoding, and
+        protocol-level errors propagate to the caller un-retried.
+        """
+        assert self._sock is not None and self._unacked
+        self._sock.settimeout(self._remaining(deadline, "receive"))
+        try:
+            raw = protocol.recv_frame(self._sock)
+        except TimeoutError as exc:
+            self._teardown()
+            raise ServiceTimeoutError(
+                "request deadline expired waiting for the response"
+            ) from exc
+        except StorageError as exc:
+            # recv_frame raises StorageError only for a connection that
+            # closed mid-frame: a transport failure, not a codec one
+            self._teardown()
+            raise ServiceConnectionError(str(exc)) from exc
+        except OSError as exc:
+            self._teardown()
+            raise ServiceConnectionError(
+                f"connection lost while receiving: {exc}"
+            ) from exc
+        entry = self._unacked.pop(0)
+        self._sent -= 1
+        return protocol.decode_response(entry.opcode, raw)
+
+    def _retry_is_safe(self) -> bool:
+        """A resend is safe iff every unacked mutation carries a token."""
+        if self.idempotency:
+            return True
+        return not any(
+            e.opcode in MUTATING_OPCODES for e in self._unacked
         )
 
+    def _drain(self, deadline: float) -> Optional[Dict[str, Any]]:
+        """Send all unsent requests and receive all pending acks.
+
+        Returns the decoded body of the *last* ack (the newest request),
+        or ``None`` when there was nothing to drain.  On transport
+        failure, reconnects and resends the unacked window with
+        exponential backoff until the deadline or retry budget runs out.
+        """
+        attempt = 0
+        while True:
+            try:
+                self._connect(deadline)
+                self._send_pending(deadline)
+                last: Optional[Dict[str, Any]] = None
+                while self._unacked:
+                    last = self._recv_one(deadline)
+                return last
+            except ServiceConnectionError:
+                attempt += 1
+                self.retries_total += 1
+                if attempt > self.max_retries or not self._retry_is_safe():
+                    raise
+                delay = min(
+                    self.backoff_base * (2 ** (attempt - 1)),
+                    self.backoff_max,
+                )
+                delay *= 0.5 + 0.5 * self._rng.random()
+                if time.monotonic() + delay >= deadline:
+                    raise ServiceTimeoutError(
+                        f"request deadline expired after {attempt} "
+                        f"retry attempt(s)"
+                    ) from None
+                time.sleep(delay)
+
     def _call(self, req: Request) -> Dict[str, Any]:
-        self.flush()
-        self._send(req)
-        return self._recv(req.opcode)
+        """Issue one request synchronously (draining pipelined acks first)."""
+        if (
+            self.idempotency
+            and req.opcode in MUTATING_OPCODES
+            and req.token == 0
+        ):
+            req.token = self._next_token()
+        self._unacked.append(
+            _Pending(req.opcode, protocol.encode_request(req))
+        )
+        body = self._drain(time.monotonic() + self.timeout)
+        assert body is not None  # our own request was in the queue
+        return body
+
+    # -- pipelining --------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Pipelined requests whose acks have not been received yet."""
+        return len(self._unacked)
 
     def flush(self) -> int:
         """Drain outstanding pipelined acks; returns the last seq seen."""
-        last_seq = 0
-        while self._outstanding:
-            opcode = self._outstanding.pop(0)
-            body = self._recv(opcode)
-            last_seq = body.get("seq", last_seq)
-        return last_seq
+        if not self._unacked:
+            return 0
+        body = self._drain(time.monotonic() + self.timeout)
+        seq = (body or {}).get("seq", 0)
+        return int(seq) if isinstance(seq, int) else 0
 
     def close(self) -> None:
         try:
-            self.flush()
-        except OSError:
+            if self._unacked:
+                self.flush()
+        except (ServiceConnectionError, ServiceTimeoutError):
             pass
-        self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "QuantileClient":
         return self
@@ -124,15 +373,31 @@ class QuantileClient:
     def ingest_nowait(
         self, name: str, values: "np.ndarray | Sequence[float]"
     ) -> None:
-        """Pipelined ingest: send without reading the ack (see module doc)."""
-        self._send(
-            Request(
-                opcode=Opcode.INGEST,
-                name=name,
-                values=np.asarray(values, dtype=np.float64),
-            )
+        """Pipelined ingest: send without reading the ack (see module doc).
+
+        The request is queued in the unacked window; if the connection is
+        healthy it is written immediately, otherwise it rides along with
+        the next :meth:`flush` / synchronous call, which reconnects and
+        resends the window (idempotency tokens make that safe).
+        """
+        if len(self._unacked) >= self.max_outstanding:
+            self.flush()
+        req = Request(
+            opcode=Opcode.INGEST,
+            name=name,
+            values=np.asarray(values, dtype=np.float64),
         )
-        self._outstanding.append(Opcode.INGEST)
+        if self.idempotency:
+            req.token = self._next_token()
+        self._unacked.append(
+            _Pending(req.opcode, protocol.encode_request(req))
+        )
+        if self._sock is not None and self._sent == len(self._unacked) - 1:
+            try:
+                self._send_pending(time.monotonic() + self.timeout)
+            except (ServiceConnectionError, ServiceTimeoutError):
+                # stays queued; the next drain retries with backoff
+                pass
 
     def query(
         self, name: str, phis: Sequence[float]

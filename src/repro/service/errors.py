@@ -1,0 +1,49 @@
+"""Typed transport errors for the service client.
+
+The client used to leak raw ``OSError``/``socket.timeout`` to callers,
+which made "the network hiccuped" indistinguishable from "you passed a
+bad path" and impossible to retry selectively.  These types split the
+failure modes:
+
+* :class:`ServiceConnectionError` -- the TCP connection failed, was
+  reset, or died mid-frame.  Retryable: with idempotency tokens on
+  mutating requests (the default), the client's reconnect/backoff loop
+  resends safely and the server's dedup window guarantees
+  exactly-once application.
+* :class:`ServiceTimeoutError` -- the per-request deadline expired
+  (including time burnt in backoff between retries).  Terminal for that
+  request; the request may or may not have been applied, but re-issuing
+  it with the same client is still safe because the idempotency token
+  is preserved per attempt, never per call site.
+
+Both derive from :class:`~repro.core.errors.ReproError` (one
+``except`` catches all library failures) *and* from the matching
+builtin (``ConnectionError`` / ``TimeoutError``) so generic network
+handling keeps working.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "ServiceError",
+    "ServiceConnectionError",
+    "ServiceTimeoutError",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for service-transport failures."""
+
+
+class ServiceConnectionError(ServiceError, ConnectionError):
+    """The connection to the server failed, reset, or died mid-frame.
+
+    Safe to retry: mutating requests carry idempotency tokens, so a
+    resend after a lost ack is applied exactly once server-side.
+    """
+
+
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """The per-request deadline expired (connect, send, recv or backoff)."""

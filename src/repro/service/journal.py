@@ -14,11 +14,17 @@ File layout (little-endian)::
 
     header:  magic "MRLJRN01" | u16 version | 6 pad bytes | u64 start_seq
     record:  u32 crc32 | u32 body_len | body
-    body:    u64 seq | u8 type | type-specific payload
+    body:    u64 seq | u8 type | u64 token | type-specific payload
 
     type 1 = CREATE:  name (u16 len + utf8) | u8 kind | f64 epsilon
                       | u64 n (0 = unset) | policy (u16 len + utf8)
     type 2 = INGEST:  name (u16 len + utf8) | u32 count | count * f64
+
+``token`` is the client-supplied idempotency token the mutation arrived
+with (0 when the client sent none).  Recovery replays it into the
+registry's dedup window, so a client retrying a batch whose ack was
+lost to a crash is still deduplicated after restart -- version 2 of the
+format added this field.
 
 ``crc32`` covers the body.  A crash can only tear the *last* record
 (appends are sequential), so the reader stops at the first record whose
@@ -52,10 +58,10 @@ __all__ = [
 ]
 
 _MAGIC = b"MRLJRN01"
-_VERSION = 1
+_VERSION = 2
 _FILE_HEADER = struct.Struct("<8sH6xQ")
 _RECORD_HEADER = struct.Struct("<II")
-_SEQ_TYPE = struct.Struct("<QB")
+_SEQ_TYPE = struct.Struct("<QBQ")  # seq | record type | idempotency token
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -82,6 +88,8 @@ class JournalRecord:
     policy: str = "new"
     # INGEST field
     values: Optional[np.ndarray] = None
+    #: idempotency token the mutation carried (0 = none)
+    token: int = 0
 
 
 @dataclass
@@ -121,6 +129,7 @@ def _decode_body(body: bytes) -> JournalRecord:
     r = _Reader(body)
     seq = r.u64("seq")
     rtype = r.u8("record type")
+    token = r.u64("idempotency token")
     if rtype == CREATE_RECORD:
         name = r.string("metric name")
         kind_id = r.u8("metric kind")
@@ -137,12 +146,15 @@ def _decode_body(body: bytes) -> JournalRecord:
             epsilon=epsilon,
             n=None if n == 0 else n,
             policy=policy,
+            token=token,
         )
     elif rtype == INGEST_RECORD:
         name = r.string("metric name")
         count = r.u32("value count")
         values = r.f64_array(count, "values")
-        rec = JournalRecord(seq=seq, type=rtype, name=name, values=values)
+        rec = JournalRecord(
+            seq=seq, type=rtype, name=name, values=values, token=token
+        )
     else:
         raise StorageError(f"unknown journal record type {rtype}")
     r.done("journal record")
@@ -216,21 +228,24 @@ class IngestJournal:
         epsilon: float,
         n: Optional[int],
         policy: str,
+        token: int = 0,
     ) -> int:
         """Record a metric creation; returns its sequence number."""
         self._seq += 1
-        body = _SEQ_TYPE.pack(self._seq, CREATE_RECORD) + _encode_create(
-            name, kind, epsilon, n, policy
-        )
+        body = _SEQ_TYPE.pack(
+            self._seq, CREATE_RECORD, token
+        ) + _encode_create(name, kind, epsilon, n, policy)
         self._append(body)
         return self._seq
 
-    def append_ingest(self, name: str, values: np.ndarray) -> int:
+    def append_ingest(
+        self, name: str, values: np.ndarray, token: int = 0
+    ) -> int:
         """Record an ingest batch; returns its sequence number."""
         self._seq += 1
-        body = _SEQ_TYPE.pack(self._seq, INGEST_RECORD) + _encode_ingest(
-            name, values
-        )
+        body = _SEQ_TYPE.pack(
+            self._seq, INGEST_RECORD, token
+        ) + _encode_ingest(name, values)
         self._append(body)
         return self._seq
 

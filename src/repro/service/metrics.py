@@ -44,6 +44,7 @@ class ServiceMetrics:
         self.recovered_records = 0
         self.connections_total = 0
         self.connections_open = 0
+        self.backpressure_flushes = 0
         self._recent: Deque[Tuple[float, int]] = deque()
         self.query_latency = AdaptiveQuantileSketch(epsilon=0.01)
         self.batch_sizes = AdaptiveQuantileSketch(epsilon=0.01)
@@ -133,6 +134,11 @@ class ServiceMetrics:
             "durability": {
                 "snapshots_written": self.snapshots,
                 "journal_records_recovered": self.recovered_records,
+            },
+            "resilience": {
+                "dedup_window_tokens": len(registry.dedup),
+                "dedup_hits": registry.dedup.hits,
+                "backpressure_flushes": self.backpressure_flushes,
             },
             "registry": {
                 "metrics": len(registry),

@@ -35,6 +35,7 @@ from ..core.errors import ConfigurationError, StorageError
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "MUTATING_OPCODES",
     "Opcode",
     "Request",
     "encode_request",
@@ -46,7 +47,8 @@ __all__ = [
     "send_frame",
 ]
 
-PROTOCOL_VERSION = 1
+#: version 2 added the u64 idempotency token to CREATE/INGEST/SNAPSHOT
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame's payload; an ingest batch of 4 Mi
 #: float64 values fits with room for headers.  Guards both ends against
@@ -81,6 +83,14 @@ class Opcode:
     }
 
 
+#: opcodes that mutate server state: they carry an idempotency token so a
+#: retry after a lost ack is applied exactly once (see the registry's
+#: dedup window)
+MUTATING_OPCODES = frozenset(
+    {Opcode.CREATE, Opcode.INGEST, Opcode.SNAPSHOT}
+)
+
+
 #: metric kinds on the wire (u8)
 KIND_FIXED = 0
 KIND_ADAPTIVE = 1
@@ -101,6 +111,8 @@ class Request:
     values: Optional[np.ndarray] = None
     phis: List[float] = field(default_factory=list)
     value: float = 0.0
+    #: client-generated idempotency token on mutating ops (0 = none)
+    token: int = 0
 
 
 # -- primitive writers/readers ------------------------------------------------
@@ -170,6 +182,7 @@ def encode_request(req: Request) -> bytes:
         if req.kind not in _KIND_IDS:
             raise ConfigurationError(f"unknown metric kind {req.kind!r}")
         out.append(_pack_str(req.name))
+        out.append(_U64.pack(req.token))
         out.append(bytes([_KIND_IDS[req.kind]]))
         out.append(_F64.pack(req.epsilon))
         out.append(_U64.pack(0 if req.n is None else int(req.n)))
@@ -177,6 +190,7 @@ def encode_request(req: Request) -> bytes:
     elif op == Opcode.INGEST:
         values = np.ascontiguousarray(req.values, dtype="<f8")
         out.append(_pack_str(req.name))
+        out.append(_U64.pack(req.token))
         out.append(_U32.pack(values.size))
         out.append(values.tobytes())
     elif op == Opcode.QUERY:
@@ -188,7 +202,9 @@ def encode_request(req: Request) -> bytes:
         out.append(_F64.pack(req.value))
     elif op == Opcode.FETCH:
         out.append(_pack_str(req.name))
-    elif op in (Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS):
+    elif op == Opcode.SNAPSHOT:
+        out.append(_U64.pack(req.token))
+    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.STATS):
         pass
     else:
         raise ConfigurationError(f"unknown opcode {op}")
@@ -202,6 +218,7 @@ def decode_request(payload: bytes) -> Request:
     req = Request(opcode=op)
     if op == Opcode.CREATE:
         req.name = r.string("metric name")
+        req.token = r.u64("idempotency token")
         kind_id = r.u8("metric kind")
         if kind_id not in _KIND_NAMES:
             raise StorageError(f"unknown metric kind id {kind_id}")
@@ -212,6 +229,7 @@ def decode_request(payload: bytes) -> Request:
         req.policy = r.string("policy")
     elif op == Opcode.INGEST:
         req.name = r.string("metric name")
+        req.token = r.u64("idempotency token")
         count = r.u32("value count")
         req.values = r.f64_array(count, "values")
     elif op == Opcode.QUERY:
@@ -223,7 +241,9 @@ def decode_request(payload: bytes) -> Request:
         req.value = r.f64("value")
     elif op == Opcode.FETCH:
         req.name = r.string("metric name")
-    elif op in (Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS):
+    elif op == Opcode.SNAPSHOT:
+        req.token = r.u64("idempotency token")
+    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.STATS):
         pass
     else:
         raise StorageError(f"unknown opcode {op}")

@@ -27,6 +27,7 @@ thin shell over it, and tests drive it directly.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -38,7 +39,19 @@ from ..core.framework import QuantileFramework
 from ..core.parameters import optimal_parameters
 from ..core import serialize
 
-__all__ = ["MetricEntry", "SketchRegistry", "DEFAULT_DESIGN_N"]
+__all__ = [
+    "MetricEntry",
+    "SketchRegistry",
+    "DedupWindow",
+    "DEFAULT_DESIGN_N",
+    "DEFAULT_DEDUP_CAPACITY",
+]
+
+#: bound on remembered idempotency tokens (FIFO eviction).  At typical
+#: retry horizons (seconds) this is orders of magnitude more than a
+#: client fleet can have in flight; the bound only exists so a
+#: long-running server cannot grow without limit.
+DEFAULT_DEDUP_CAPACITY = 65536
 
 #: design capacity for fixed metrics created without ``n`` (mirrors
 #: :data:`repro.core.sketch.DEFAULT_DESIGN_N`)
@@ -120,6 +133,58 @@ class _Shard:
         self.n_batches_applied = 0
 
 
+class DedupWindow:
+    """Bounded token -> response map: exactly-once for retried mutations.
+
+    Every mutating request (CREATE/INGEST/SNAPSHOT) may carry a
+    client-generated 64-bit idempotency token.  The first time a token is
+    seen, the mutation is applied and its response recorded here; a retry
+    with the same token -- the client lost the ack to a reset, stall or
+    crash -- replays the *recorded* response without touching the
+    sketches, so a batch is never double-counted.
+
+    The window is journal-backed: tokens ride in the journal records
+    (format v2), and recovery re-records them, so dedup survives a server
+    crash between apply and ack.  Tokens older than the last snapshot
+    rotation fall out of the journal; together with the FIFO capacity
+    bound this makes the guarantee a *window* -- ample for retry
+    horizons of seconds against snapshot intervals of tens of seconds.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits")
+
+    def __init__(self, capacity: int = DEFAULT_DEDUP_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"dedup window needs capacity >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._entries
+
+    def get(self, token: int) -> Optional[Dict[str, object]]:
+        """The recorded response for *token*, or None if unseen/evicted."""
+        hit = self._entries.get(token)
+        if hit is not None:
+            self.hits += 1
+        return hit
+
+    def record(self, token: int, response: Dict[str, object]) -> None:
+        """Remember *response* for *token* (token 0 means "no token")."""
+        if token == 0:
+            return
+        self._entries[token] = response
+        self._entries.move_to_end(token)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
 def shard_of(name: str, n_shards: int) -> int:
     """Stable shard assignment (CRC32 of the UTF-8 name)."""
     return zlib.crc32(name.encode("utf-8")) % n_shards
@@ -134,6 +199,8 @@ class SketchRegistry:
         self.n_shards = n_shards
         self._shards = [_Shard() for _ in range(n_shards)]
         self._metrics: Dict[str, MetricEntry] = {}
+        #: idempotency-token window (journal-backed via the server)
+        self.dedup = DedupWindow()
 
     # -- metric management -------------------------------------------------
 

@@ -22,6 +22,23 @@ Durability: pass ``data_dir`` to enable the journal + snapshot pair
 recovery happens automatically in :meth:`QuantileService.start`.
 Without a ``data_dir`` the server is a purely in-memory cache.
 
+Resilience (tested by the fault-injection harness in
+:mod:`repro.service.faults`):
+
+* mutating requests carry idempotency tokens which are journaled and
+  checked against the registry's dedup window, so a client retrying an
+  INGEST after a lost ack is applied exactly once -- including across a
+  crash, because recovery re-records the tokens it replays;
+* each connection is bounded by ``max_inflight_bytes`` of queued ingest
+  payload: past the limit the handler drains the shards synchronously
+  before reading more frames, so a fast producer cannot balloon the
+  pending queues;
+* a graceful stop (``SIGTERM`` under ``repro serve``) drains: the
+  listener closes, connections finish their in-flight frame and are
+  then shut, every queued batch is applied, a final snapshot is written
+  and the journal is closed -- nothing new is acknowledged once the
+  drain begins.
+
 :class:`ServerThread` embeds the whole server in a background thread for
 tests, examples and benchmarks; ``repro serve`` runs it in the
 foreground.
@@ -77,6 +94,14 @@ class QuantileService:
         How long a shard flusher waits after waking before draining its
         queue; ``0`` still batches everything enqueued in the same event
         loop iteration.
+    max_inflight_bytes:
+        Per-connection backpressure bound: once a connection has this
+        many bytes of ingest payload queued but not yet applied, the
+        handler drains the shards synchronously before reading the next
+        frame.
+    drain_grace_s:
+        How long a graceful stop waits for open connections to finish
+        their in-flight frame before forcibly closing them.
     """
 
     def __init__(
@@ -89,6 +114,8 @@ class QuantileService:
         snapshot_interval_s: Optional[float] = 30.0,
         fsync: bool = False,
         batch_window_s: float = 0.0,
+        max_inflight_bytes: int = 32 * 1024 * 1024,
+        drain_grace_s: float = 2.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -97,12 +124,16 @@ class QuantileService:
         self.snapshot_interval_s = snapshot_interval_s
         self.fsync = fsync
         self.batch_window_s = batch_window_s
+        self.max_inflight_bytes = max_inflight_bytes
+        self.drain_grace_s = drain_grace_s
         self.registry = SketchRegistry(n_shards)
         self.metrics = ServiceMetrics(n_shards)
         self.journal: Optional[IngestJournal] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._shard_events: List[asyncio.Event] = []
         self._tasks: List[asyncio.Task] = []
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._draining = False
         self._stopped = False
 
     # -- recovery ----------------------------------------------------------
@@ -143,9 +174,16 @@ class QuantileService:
                         n=rec.n,
                         policy=rec.policy,
                     )
+                    self.registry.dedup.record(rec.token, {"created": True})
                 elif rec.type == INGEST_RECORD:
                     assert rec.values is not None
                     self.registry.ingest(rec.name, rec.values)
+                    # re-arm the dedup window: a client that lost its ack
+                    # to the crash may retry this very batch
+                    self.registry.dedup.record(
+                        rec.token,
+                        {"seq": rec.seq, "count": int(rec.values.size)},
+                    )
                 replayed += 1
         self.metrics.recovered_records = replayed
         # opening the journal truncates any torn tail and resumes the
@@ -180,8 +218,11 @@ class QuantileService:
     async def stop(self, *, graceful: bool = True) -> None:
         """Shut down.
 
-        ``graceful=True`` drains the shards, writes a final snapshot (when
-        durable) and closes the journal.  ``graceful=False`` skips all of
+        ``graceful=True`` drains: stop accepting connections, let every
+        open connection finish the frame it is processing (bounded by
+        ``drain_grace_s``; nothing new is acknowledged once the drain
+        begins), apply all queued batches, write a final snapshot (when
+        durable) and close the journal.  ``graceful=False`` skips all of
         that -- the in-process equivalent of ``SIGKILL``, used by the
         crash-recovery tests: whatever the journal already holds is what
         recovery gets.
@@ -189,12 +230,21 @@ class QuantileService:
         if self._stopped:
             return
         self._stopped = True
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._tasks:
+        if graceful and self._conn_tasks:
+            # handlers notice _draining after answering their in-flight
+            # frame and close; idle connections sit in read() and are
+            # cancelled after the grace window
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.drain_grace_s
+            while self._conn_tasks and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+        for task in list(self._conn_tasks) + self._tasks:
             task.cancel()
-        for task in self._tasks:
+        for task in list(self._conn_tasks) + self._tasks:
             try:
                 await task
             except asyncio.CancelledError:
@@ -244,10 +294,14 @@ class QuantileService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         self.metrics.connections_total += 1
         self.metrics.connections_open += 1
+        inflight_bytes = 0  # queued-but-unapplied ingest payload
         try:
-            while True:
+            while not self._draining:
                 try:
                     head = await reader.readexactly(4)
                 except (asyncio.IncompleteReadError, ConnectionError):
@@ -266,10 +320,22 @@ class QuantileService:
                     payload = await reader.readexactly(length)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
+                if payload and payload[0] == protocol.Opcode.INGEST:
+                    inflight_bytes += length
                 response = self._dispatch(payload)
                 writer.write(protocol.frame(response))
                 await writer.drain()
+                if inflight_bytes >= self.max_inflight_bytes:
+                    # backpressure: this connection has pushed more
+                    # pending payload than allowed -- apply it before
+                    # reading (and thereby acking) anything further
+                    if self.registry.pending_batches():
+                        self.registry.apply_all()
+                        self.metrics.backpressure_flushes += 1
+                    inflight_bytes = 0
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             self.metrics.connections_open -= 1
             writer.close()
             try:
@@ -283,6 +349,11 @@ class QuantileService:
             return protocol.encode_ok(req.opcode, self._execute(req))
         except ReproError as exc:
             return protocol.encode_error(str(exc))
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill
+            # the connection: an unhandled error here would close the
+            # socket mid-stream, which a resilient client reads as a
+            # transport fault and retries forever against the same bug
+            return protocol.encode_error(f"internal error: {exc!r}")
 
     def _execute(self, req: protocol.Request) -> Dict[str, Any]:
         op = req.opcode
@@ -306,6 +377,10 @@ class QuantileService:
                 "n": n,
             }
         if op == protocol.Opcode.CREATE:
+            if req.token:
+                hit = self.registry.dedup.get(req.token)
+                if hit is not None:
+                    return hit
             entry, created = self.registry.create(
                 req.name,
                 kind=req.kind,
@@ -315,9 +390,12 @@ class QuantileService:
             )
             if created and self.journal is not None:
                 self.journal.append_create(
-                    req.name, req.kind, req.epsilon, req.n, req.policy
+                    req.name, req.kind, req.epsilon, req.n, req.policy,
+                    token=req.token,
                 )
-            return {"created": created}
+            result = {"created": created}
+            self.registry.dedup.record(req.token, result)
+            return result
         if op == protocol.Opcode.LIST:
             return {"metrics": self.registry.describe_metrics()}
         if op == protocol.Opcode.FETCH:
@@ -329,8 +407,14 @@ class QuantileService:
                     "durability is disabled (server started without "
                     "--data-dir); nothing to snapshot"
                 )
+            if req.token:
+                hit = self.registry.dedup.get(req.token)
+                if hit is not None:
+                    return hit
             path = self._write_snapshot()
-            return {"seq": self.journal.seq, "path": path}
+            result = {"seq": self.journal.seq, "path": path}
+            self.registry.dedup.record(req.token, result)
+            return result
         if op == protocol.Opcode.DRAIN:
             self.registry.apply_all()
             return {"seq": self.journal.seq if self.journal else 0}
@@ -340,21 +424,31 @@ class QuantileService:
 
     def _do_ingest(self, req: protocol.Request) -> Dict[str, Any]:
         assert req.values is not None
+        if req.token:
+            hit = self.registry.dedup.get(req.token)
+            if hit is not None:
+                # a retry of a batch whose ack was lost: replay the
+                # recorded ack, apply nothing (exactly-once)
+                return hit
         entry = self.registry.get(req.name)  # unknown metric -> error frame
         arr = self.registry.coerce_batch(req.values)
         if arr.size == 0:
-            return {
+            result = {
                 "seq": self.journal.seq if self.journal else 0,
                 "count": 0,
             }
+            self.registry.dedup.record(req.token, result)
+            return result
         if self.journal is not None:
-            seq = self.journal.append_ingest(req.name, arr)
+            seq = self.journal.append_ingest(req.name, arr, token=req.token)
         else:
             seq = 0
         self.registry.enqueue(req.name, arr)
         self.metrics.record_ingest(entry.shard, arr.size)
         self._shard_events[entry.shard].set()
-        return {"seq": seq, "count": int(arr.size)}
+        result = {"seq": seq, "count": int(arr.size)}
+        self.registry.dedup.record(req.token, result)
+        return result
 
 
 class ServerThread:

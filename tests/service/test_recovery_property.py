@@ -184,6 +184,77 @@ def test_torn_tail_recovers_acked_prefix(
 
 
 @pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize(
+    "crash_point", ["rotation-tmp-created", "after-rotation-replace"]
+)
+def test_crash_points_inside_snapshot_rotation(
+    tmp_path, policy, kernels_mode, crash_point
+):
+    """A reset *inside* the snapshot/rotation sequence must recover
+    bit-identically.
+
+    ``_write_snapshot`` renames the snapshot into place and then rotates
+    the journal (write ``journal.log.tmp``, ``os.replace`` it over the
+    old file).  A fault-injected connection reset -- or a kill -- can
+    land between any two of those steps.  Two windows beyond the
+    already-tested snapshot-without-rotation one:
+
+    * ``rotation-tmp-created``: the fresh journal exists only as the
+      stray ``.tmp`` file; the full old journal is still in place.
+      Replay must skip the snapshotted prefix and ignore the stray.
+    * ``after-rotation-replace``: the rotation completed but the process
+      died before doing anything else; the journal is empty with
+      ``start_seq`` = snapshot seq.
+
+    In both, recovery must also leave a journal that *continues*
+    correctly: appending post-recovery batches and recovering again
+    stays bit-identical.
+    """
+    from repro.service.journal import _FILE_HEADER, _MAGIC, _VERSION
+
+    batches = _make_batches(seed=9, n_batches=10)
+    pre_crash = batches[:6]
+    journal_path = str(tmp_path / "journal.log")
+    snapshot_path = str(tmp_path / "snapshot.bin")
+    registry = SketchRegistry(n_shards=2)
+    journal = IngestJournal(journal_path)
+    for name, config in _metrics(policy):
+        journal.append_create(
+            name, config["kind"], config["epsilon"],
+            config.get("n"), config["policy"],
+        )
+        registry.create(name, **config)
+    for name, values in pre_crash:
+        journal.append_ingest(name, values)
+        registry.ingest(name, values)
+    write_snapshot(snapshot_path, registry, seq=journal.seq)
+    if crash_point == "rotation-tmp-created":
+        # rotate() died after writing the tmp header, before os.replace
+        with open(journal_path + ".tmp", "wb") as fh:
+            fh.write(_FILE_HEADER.pack(_MAGIC, _VERSION, journal.seq))
+        journal.close()
+    else:
+        journal.rotate(start_seq=journal.seq)
+        journal.close()
+
+    recovered, replayed = _recover(journal_path, snapshot_path)
+    assert replayed == 0  # every surviving record is inside the snapshot
+    assert_bit_identical(recovered, _reference(policy, pre_crash))
+
+    # the recovered journal must keep working: append the remaining
+    # batches the way a restarted server would, then recover once more
+    journal2 = IngestJournal(journal_path)
+    assert journal2.seq == 2 + len(pre_crash)
+    for name, values in batches[6:]:
+        journal2.append_ingest(name, values)
+        recovered.ingest(name, values)
+    journal2.close()
+    recovered2, replayed2 = _recover(journal_path, snapshot_path)
+    assert replayed2 == len(batches) - len(pre_crash)
+    assert_bit_identical(recovered2, _reference(policy, batches))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
 def test_crash_between_snapshot_and_rotation(tmp_path, policy, kernels_mode):
     """A snapshot that lands without its journal rotation must not double
     apply: replay skips records with seq <= snapshot seq."""

@@ -205,8 +205,13 @@ class TestExitCodeConsistency:
         assert "error" in capsys.readouterr().err
 
     def test_client_connection_refused_is_clean_error(self, capsys):
-        assert main(["client", "--port", "1", "list"]) == 1
-        assert "error" in capsys.readouterr().err
+        # typed exit code: 2 = ServiceConnectionError (vs 1 = ReproError,
+        # 3 = ServiceTimeoutError), so scripts can tell "down" from "bad
+        # arguments"; --retries 0 keeps the refused connect immediate
+        assert main(
+            ["client", "--port", "1", "--retries", "0", "list"]
+        ) == 2
+        assert "connection failed" in capsys.readouterr().err
 
 
 class TestServeAndClient:
