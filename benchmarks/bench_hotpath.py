@@ -122,6 +122,60 @@ def bench_collapse_kernels(repeats=2000):
     return out
 
 
+def bench_obs(data, n_design, chunk, rounds):
+    """Overhead accounting for the observability layer (repro.obs).
+
+    Disabled mode is the default, so the guards' cost cannot be measured
+    against an uninstrumented build; instead it is bounded analytically:
+    the measured cost of one disabled guard (a module-attribute read plus
+    a branch -- exactly what every core hook site executes) times the
+    number of guard executions per element, as a fraction of the measured
+    per-element ingest cost.  Guards sit at buffer/chunk granularity
+    (~2/k per element for NEW+COLLAPSE plus one per extend chunk), which
+    is what keeps the ratio bounded by design, not by luck.  Enabled-mode
+    cost is measured end to end for reference.
+    """
+    import timeit
+
+    from repro.obs import hooks
+
+    best_off = min(
+        _ingest_once("new", data, n_design, chunk)[2] for _ in range(rounds)
+    )
+    per_element = best_off / len(data)
+
+    reps = 200_000
+    guard_s = (
+        timeit.timeit(
+            "if h.ENABLED:\n    pass", globals={"h": hooks}, number=reps
+        )
+        / reps
+    )
+    plan = optimal_parameters(EPSILON, n_design, policy="new")
+    n_chunks = -(-len(data) // chunk)
+    guards_per_element = 2.0 / plan.k + n_chunks / len(data)
+    disabled_ratio = 1.0 + (guard_s * guards_per_element) / per_element
+
+    hooks.reset()
+    hooks.enable()
+    try:
+        best_on = min(
+            _ingest_once("new", data, n_design, chunk)[2]
+            for _ in range(rounds)
+        )
+    finally:
+        hooks.reset()
+
+    return {
+        "guard_ns": round(guard_s * 1e9, 2),
+        "ingest_ns_per_element": round(per_element * 1e9, 2),
+        "guards_per_element": guards_per_element,
+        "disabled_overhead_ratio": round(disabled_ratio, 5),
+        "target_disabled_overhead_ratio": 1.02,
+        "enabled_overhead_ratio": round(best_on / best_off, 3),
+    }
+
+
 def bench_query(data, n_design, chunk):
     fw, _, _ = _ingest_once("new", data, n_design, chunk)
     phis = [i / 10 for i in range(1, 10)]
@@ -167,6 +221,7 @@ def main(argv=None) -> int:
         "ingest": ingest,
         "kernels": bench_collapse_kernels(200 if args.quick else 2000),
         "query": bench_query(data, n, chunk),
+        "obs": bench_obs(data, n, chunk, rounds),
         "speedup": {
             "new_vs_seed_baseline": round(
                 ingest["new"]["m_elements_per_s"] / SEED_BASELINE_NEW, 2

@@ -1,55 +1,120 @@
 """repro: a full reproduction of Manku, Rajagopalan & Lindsay (SIGMOD 1998),
 "Approximate Medians and other Quantiles in One Pass and with Limited Memory".
 
-The package is organised as:
+Public facade
+-------------
+
+Four names cover the common cases, with one consistent spelling
+(``eps=``, ``policy=``, ``kernels=``) everywhere::
+
+    import repro
+
+    sk = repro.Sketch(eps=0.01)              # unknown-N adaptive sketch
+    sk = repro.Sketch(eps=0.01, n=10**6)     # fixed-N, Table 1 sizing
+    bank = repro.Bank(eps=0.01, n_sketches=8)  # many summaries, one scan
+    client = repro.connect("localhost")      # the sharded service
+    edges = repro.hist(values, bins=10)      # equi-depth boundaries
+
+Every sketch-like object answers the same query quartet --
+``quantile(phi)``, ``quantiles(phis)``, ``cdf(values)``, ``describe()``
+-- formalised as :class:`repro.core.SketchProtocol`.
+
+Instrumentation lives in :mod:`repro.obs` (``repro.obs.enable()``,
+Prometheus exposition, per-COLLAPSE trace events carrying the live
+certified error bound).
+
+Package layout
+--------------
 
 * :mod:`repro.core` -- the paper's contribution: the uniform b/k-buffer
   framework, the three collapse policies, optimal parameter selection,
   the sampling front-end and the parallel mode;
+* :mod:`repro.obs` -- zero-dependency observability (metrics, traces,
+  exposition);
+* :mod:`repro.service` -- the sharded, durable quantile-sketch server;
 * :mod:`repro.streams` -- workload generators and disk-resident streams;
-* :mod:`repro.baselines` -- prior one-pass algorithms (P^2, Agrawal-Swami,
-  naive random sampling) plus exact ground truth;
-* :mod:`repro.histogram` -- equi-depth histograms and selectivity
-  estimation for query optimisation;
-* :mod:`repro.partitioning` -- splitter generation and a simulated
-  shared-nothing parallel sort;
-* :mod:`repro.engine` -- a miniature column engine with one-pass GROUP BY
-  quantile aggregates and a small SQL front-end;
-* :mod:`repro.analysis` -- rank-error measurement and experiment
-  table formatting.
+* :mod:`repro.baselines` -- prior one-pass algorithms plus exact ground
+  truth;
+* :mod:`repro.histogram` / :mod:`repro.partitioning` /
+  :mod:`repro.engine` / :mod:`repro.analysis` -- applications and
+  measurement.
 
-Quick start::
-
-    from repro import QuantileSketch
-    sk = QuantileSketch(epsilon=0.01, n=1_000_000)
-    sk.extend(my_numpy_chunk)
-    print(sk.median(), sk.quantiles([0.25, 0.75]))
+The pre-facade import paths (``from repro import QuantileSketch``, ...)
+keep working but emit one :class:`DeprecationWarning` per name; the
+canonical homes are :mod:`repro.core` and the facade above.
 """
 
-from .core import (
-    AdaptiveQuantileSketch,
-    ParallelQuantileEngine,
-    QuantileFramework,
-    QuantileSketch,
-    approximate_quantiles,
-    optimal_parameters,
-)
+from __future__ import annotations
 
-__version__ = "1.0.0"
+import warnings
+from typing import Any
 
-from .multicolumn import MultiColumnSketcher
-from .twopass import exact_quantile_two_pass
-from .validation import verify_guarantee
+from . import obs
+from .api import Bank, Sketch, connect, hist
+
+__version__ = "1.1.0"
 
 __all__ = [
-    "QuantileSketch",
-    "AdaptiveQuantileSketch",
-    "MultiColumnSketcher",
-    "exact_quantile_two_pass",
-    "verify_guarantee",
-    "QuantileFramework",
-    "ParallelQuantileEngine",
-    "approximate_quantiles",
-    "optimal_parameters",
+    "Sketch",
+    "Bank",
+    "connect",
+    "hist",
+    "obs",
     "__version__",
 ]
+
+#: legacy top-level name -> (canonical module, attribute, facade hint)
+_LEGACY = {
+    "QuantileSketch": ("repro.core", "QuantileSketch", "repro.Sketch(eps=...)"),
+    "AdaptiveQuantileSketch": (
+        "repro.core",
+        "AdaptiveQuantileSketch",
+        "repro.Sketch(eps=...)",
+    ),
+    "QuantileFramework": ("repro.core", "QuantileFramework", None),
+    "ParallelQuantileEngine": ("repro.core", "ParallelQuantileEngine", None),
+    "approximate_quantiles": ("repro.core", "approximate_quantiles", None),
+    "optimal_parameters": ("repro.core", "optimal_parameters", None),
+    "MultiColumnSketcher": (
+        "repro.multicolumn",
+        "MultiColumnSketcher",
+        "repro.Bank(eps=...)",
+    ),
+    "exact_quantile_two_pass": (
+        "repro.twopass",
+        "exact_quantile_two_pass",
+        None,
+    ),
+    "verify_guarantee": ("repro.validation", "verify_guarantee", None),
+}
+
+_warned: set = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which legacy names already warned (test isolation)."""
+    _warned.clear()
+
+
+def __getattr__(name: str) -> Any:
+    entry = _LEGACY.get(name)
+    if entry is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module_path, attr, hint = entry
+    if name not in _warned:
+        _warned.add(name)
+        suggestion = f"import it from {module_path}"
+        if hint:
+            suggestion += f" or use the facade ({hint})"
+        warnings.warn(
+            f"'repro.{name}' is deprecated; {suggestion}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_path), attr)
+
+
+def __dir__() -> list:
+    return sorted(set(__all__) | set(_LEGACY))

@@ -1,0 +1,156 @@
+"""The unified public facade: ``repro.Sketch``, ``repro.Bank``,
+``repro.connect()``, ``repro.hist()``.
+
+One consistent spelling over the whole library:
+
+- accuracy is ``eps=`` everywhere;
+- collapse scheduling is ``policy=`` everywhere;
+- the vectorised kernels are toggled per-object with ``kernels=``
+  (``None`` follows the global switch; results are bit-identical).
+
+The facade wraps -- it does not replace -- the concrete classes:
+:class:`~repro.core.sketch.QuantileSketch`,
+:class:`~repro.core.adaptive.AdaptiveQuantileSketch`,
+:class:`~repro.core.bank.SketchBank`,
+:class:`~repro.core.parallel.ParallelQuantileEngine` and
+:class:`~repro.service.client.QuantileClient` all remain importable and
+all satisfy the same :class:`~repro.core.protocols.SketchProtocol`
+query quartet (``quantile`` / ``quantiles`` / ``cdf`` / ``describe``).
+
+    >>> import repro
+    >>> sk = repro.Sketch(eps=0.01)          # adaptive: no N needed
+    >>> sk.extend(values)
+    >>> sk.quantile(0.5)
+    >>> sk.describe()["error_bound_fraction"]
+
+    >>> fixed = repro.Sketch(eps=0.01, n=10**6)   # fixed-N, Table 1 sizing
+    >>> bank = repro.Bank(eps=0.01, n_sketches=8) # many summaries, one scan
+    >>> with repro.connect("localhost") as c:     # the sharded service
+    ...     c.quantile("latency", 0.99)
+    >>> repro.hist(values, bins=10, eps=0.005)    # equi-depth boundaries
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Sketch", "Bank", "connect", "hist"]
+
+
+def Sketch(
+    eps: float = 0.01,
+    n: Optional[int] = None,
+    *,
+    policy: str = "new",
+    kernels: Optional[bool] = None,
+    adaptive: Optional[bool] = None,
+    **kwargs: Any,
+) -> Any:
+    """Build a quantile sketch; the facade's one-stop constructor.
+
+    Parameters
+    ----------
+    eps:
+        Rank-accuracy guarantee (every answered ``phi``-quantile has rank
+        within ``eps * n`` of the true one).
+    n:
+        Expected dataset size.  When given, the fixed-N machinery is
+        sized optimally for ``(eps, n)`` (Table 1 of the paper); when
+        omitted, an :class:`~repro.core.adaptive.AdaptiveQuantileSketch`
+        handles unknown-length streams with a certified bound.
+    policy:
+        Collapse policy: ``"new"`` (default), ``"munro-paterson"`` or
+        ``"alsabti-ranka-singh"``.
+    kernels:
+        Per-sketch override of the vectorised kernels (``None`` follows
+        the global switch; results are bit-identical).
+    adaptive:
+        Force the choice instead of inferring it from *n*: ``True``
+        always returns the adaptive sketch, ``False`` always the fixed-N
+        one (sized for the library default capacity when *n* is omitted).
+    kwargs:
+        Forwarded to the concrete constructor (``delta=``, ``seed=``,
+        ``offset_mode=``, ``initial_capacity=``, ...).
+
+    Returns the concrete sketch object -- everything it answers is the
+    uniform :class:`~repro.core.protocols.SketchProtocol` quartet.
+    """
+    if adaptive is None:
+        adaptive = n is None
+    if adaptive:
+        from .core.adaptive import AdaptiveQuantileSketch
+
+        return AdaptiveQuantileSketch(
+            eps=eps, policy=policy, kernels=kernels, **kwargs
+        )
+    from .core.sketch import QuantileSketch
+
+    return QuantileSketch(
+        eps=eps, n=n, policy=policy, kernels=kernels, **kwargs
+    )
+
+
+def Bank(
+    eps: float = 0.01,
+    n: Optional[int] = None,
+    *,
+    policy: str = "new",
+    kernels: Optional[bool] = None,
+    **kwargs: Any,
+) -> Any:
+    """Build a :class:`~repro.core.bank.SketchBank`: many independent
+    summaries filled by one vectorised scan (GROUP BY / multi-column).
+
+    Accepts the facade kwargs (``eps=``, ``policy=``, ``kernels=``) plus
+    everything ``SketchBank`` takes (``n_sketches=``, ``max_sketches=``,
+    ``offset_mode=``).
+    """
+    from .core.bank import SketchBank
+
+    return SketchBank(
+        eps=eps, n=n, policy=policy, kernels=kernels, **kwargs
+    )
+
+
+def connect(
+    host: str = "localhost",
+    port: int = 7337,
+    **kwargs: Any,
+) -> Any:
+    """Open a :class:`~repro.service.client.QuantileClient` to a running
+    ``repro serve`` instance.
+
+    The client satisfies the same query quartet per named metric:
+    ``quantile(name, phi)``, ``quantiles(name, phis)``, ``cdf(name,
+    value)``, ``describe(name)``.  Use as a context manager::
+
+        with repro.connect("localhost") as c:
+            c.create("latency", epsilon=0.01)
+            c.ingest("latency", values)
+            c.quantile("latency", 0.99)
+    """
+    from .service.client import QuantileClient
+
+    return QuantileClient(host, port, **kwargs)
+
+
+def hist(
+    data: "Sequence[float] | Any",
+    bins: int = 10,
+    *,
+    eps: float = 0.005,
+    policy: str = "new",
+) -> List[Any]:
+    """Equi-depth histogram boundaries of *data* in one bounded-memory pass.
+
+    Returns the ``i/bins``-quantiles for ``i = 1 .. bins-1`` (Section 1.1
+    of the paper: the b-optimal equi-depth histogram).  A convenience
+    wrapper over :func:`~repro.core.sketch.approximate_quantiles`.
+    """
+    from .core.errors import ConfigurationError
+    from .core.sketch import approximate_quantiles
+
+    if bins < 2:
+        raise ConfigurationError(f"need at least 2 bins, got {bins}")
+    phis = [i / bins for i in range(1, bins)]
+    return approximate_quantiles(data, phis, eps, policy=policy)

@@ -33,6 +33,12 @@ Four commands cover the library's day-to-day uses without writing code:
     values (from arguments or stdin), query quantiles/CDF, list
     metrics, dump stats, force snapshots.
 
+``stats``
+    Live observability view of a running server: per-shard ingest and
+    collapse-by-level counters, per-metric certified epsilon*N, and the
+    self-metered per-op latency percentiles.  ``--watch`` refreshes in
+    place; ``--prom`` prints the Prometheus exposition instead.
+
 ``quantile`` and ``describe`` accept ``-`` as the input path to read
 whitespace-separated values from stdin, so they compose with shell
 pipelines.  The offline commands are pure and deterministic given
@@ -326,6 +332,34 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs import render_stats_text
+    from .service import QuantileClient
+
+    def render(client: "QuantileClient") -> str:
+        stats = client.stats(detail=1 if args.prom else 0)
+        if args.prom:
+            return str(stats.get("prometheus", ""))
+        if args.json:
+            return json.dumps(stats, indent=2, sort_keys=True) + "\n"
+        return render_stats_text(stats)
+
+    with QuantileClient(
+        args.host, args.port, timeout=args.timeout
+    ) as client:
+        if not args.watch:
+            print(render(client), end="")
+            return 0
+        while True:
+            # clear screen + home, then the fresh frame
+            sys.stdout.write("\x1b[2J\x1b[H" + render(client))
+            sys.stdout.flush()
+            time.sleep(args.interval)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -493,6 +527,34 @@ def build_parser() -> argparse.ArgumentParser:
     actions.add_parser("snapshot", help="force a snapshot")
     actions.add_parser("drain", help="apply all queued ingest batches")
     client.set_defaults(func=_cmd_client)
+
+    stats = sub.add_parser(
+        "stats",
+        help="live observability view of a running server",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=7337)
+    stats.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="refresh in place until interrupted",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch, seconds",
+    )
+    stats.add_argument(
+        "--prom", action="store_true",
+        help="print the Prometheus text exposition instead",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="print the raw STATS response as JSON",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 

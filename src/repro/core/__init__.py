@@ -35,6 +35,7 @@ from .operations import (
     weighted_select,
 )
 from .parallel import ParallelQuantileEngine, merge_frameworks
+from .protocols import DESCRIBE_PHIS, SketchProtocol, describe_dict
 from .parameters import (
     ClosedFormStats,
     ParameterPlan,
@@ -87,6 +88,9 @@ __all__ = [
     "loads",
     "ParallelQuantileEngine",
     "merge_frameworks",
+    "SketchProtocol",
+    "DESCRIBE_PHIS",
+    "describe_dict",
     "CollapsePolicy",
     "MunroPatersonPolicy",
     "AlsabtiRankaSinghPolicy",

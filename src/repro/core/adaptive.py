@@ -37,7 +37,7 @@ cost of a probabilistic guarantee (see ``repro.core.sampling``).
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -111,11 +111,19 @@ class AdaptiveQuantileSketch:
 
     def __init__(
         self,
-        epsilon: float,
+        epsilon: Optional[float] = None,
         *,
         initial_capacity: int = 4096,
         policy: str = "new",
+        eps: Optional[float] = None,
+        kernels: Optional[bool] = None,
     ) -> None:
+        if (epsilon is None) == (eps is None):
+            raise ConfigurationError(
+                "give exactly one of epsilon (positional) or eps= (keyword)"
+            )
+        if epsilon is None:
+            epsilon = eps
         if not 0.0 < epsilon < 1.0:
             raise ConfigurationError(
                 f"epsilon must be in (0, 1), got {epsilon}"
@@ -128,6 +136,7 @@ class AdaptiveQuantileSketch:
         self.policy = policy
         self.initial_capacity = int(initial_capacity)
         self.stage_epsilon = epsilon * _STAGE_FRACTION
+        self._kernels = kernels
         self._closed: List[_ClosedStage] = []
         self._capacity = int(initial_capacity)
         self._active = self._new_stage(self._capacity)
@@ -164,7 +173,11 @@ class AdaptiveQuantileSketch:
             self.stage_epsilon, capacity, policy=self.policy
         )
         return QuantileFramework(
-            plan.b, plan.k, policy=self.policy, designed_n=capacity
+            plan.b,
+            plan.k,
+            policy=self.policy,
+            designed_n=capacity,
+            kernels=self._kernels,
         )
 
     # -- ingest ------------------------------------------------------------
@@ -190,7 +203,15 @@ class AdaptiveQuantileSketch:
         return len(self._closed) + 1
 
     def _roll_stage(self) -> None:
-        self._closed.append(_ClosedStage(self._active))
+        rolled = self._active
+        self._closed.append(_ClosedStage(rolled))
+        # keep the retired stage's observability counts: merge them into
+        # sketch-level totals before the framework is dropped
+        stats = getattr(rolled, "_obs_stats", None)
+        if stats is not None:
+            from ..obs.hooks import stats_for
+
+            stats_for(self).merge(stats)
         self._capacity *= 2
         self._active = self._new_stage(self._capacity)
         self._active_n = 0
@@ -228,10 +249,22 @@ class AdaptiveQuantileSketch:
         """Approximate quantiles of everything seen so far."""
         if self.n == 0:
             raise EmptySummaryError("no elements have been ingested")
-        return output(self._all_buffers(), list(phis), self.n)
+        return output(
+            self._all_buffers(), list(phis), self.n, use_kernels=self._kernels
+        )
 
     def query(self, phi: float) -> float:
         return self.quantiles([phi])[0]
+
+    def quantile(self, phi: float) -> float:
+        """Approximate ``phi``-quantile (uniform query-surface alias)."""
+        return self.quantiles([phi])[0]
+
+    def describe(self) -> dict:
+        """Summary dict: n, extremes, key quantiles, certified bound."""
+        from .protocols import describe_dict
+
+        return describe_dict(self)
 
     def median(self) -> float:
         return self.query(0.5)
@@ -249,8 +282,14 @@ class AdaptiveQuantileSketch:
         _below, below_eq = weighted_rank(self._all_buffers(), value)
         return min(below_eq, self.n)
 
-    def cdf(self, value: float) -> float:
-        """Approximate fraction of elements ``<=`` *value*."""
+    def cdf(self, value: Any) -> Any:
+        """Approximate fraction of elements ``<=`` *value*.
+
+        Accepts a scalar (returns one float) or a sequence (list of
+        floats).
+        """
+        if isinstance(value, (list, tuple, np.ndarray)):
+            return [self.rank(v) / self.n for v in value]
         return self.rank(value) / self.n
 
     # -- guarantees ------------------------------------------------------------

@@ -55,6 +55,7 @@ import numpy as np
 from .errors import CapacityExceededError, ConfigurationError
 from .framework import QuantileFramework
 from .parameters import ParameterPlan, optimal_parameters
+from ..obs import hooks as _obs
 
 __all__ = ["SketchBank"]
 
@@ -97,18 +98,32 @@ class SketchBank:
         :class:`~repro.core.errors.CapacityExceededError` (the bank-level
         analogue of a per-sketch capacity error -- memory is bounded by
         ``max_sketches * b * k`` elements).
+    eps:
+        Keyword alias for *epsilon* (the facade spelling); give exactly
+        one of the two.
+    kernels:
+        Per-bank kernel override forwarded to every materialised
+        framework (``None`` follows the global switch).
     """
 
     def __init__(
         self,
-        epsilon: float,
+        epsilon: Optional[float] = None,
         n: Optional[int] = None,
         *,
         policy: str = "new",
         offset_mode: str = "alternate",
         n_sketches: int = 0,
         max_sketches: Optional[int] = None,
+        eps: Optional[float] = None,
+        kernels: Optional[bool] = None,
     ) -> None:
+        if (epsilon is None) == (eps is None):
+            raise ConfigurationError(
+                "give exactly one of epsilon (positional) or eps= (keyword)"
+            )
+        if epsilon is None:
+            epsilon = eps
         if not 0 < epsilon < 1:
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         design_n = _DEFAULT_DESIGN_N if n is None else int(n)
@@ -127,6 +142,7 @@ class SketchBank:
         self.policy = policy
         self.offset_mode = offset_mode
         self.max_sketches = max_sketches
+        self._kernels = kernels
         self._plan: Optional[ParameterPlan] = None
         self._sketches: List[QuantileFramework] = []
         # scratch reused across chunks by the partition step
@@ -167,6 +183,7 @@ class SketchBank:
                 policy=self.policy,
                 offset_mode=self.offset_mode,
                 designed_n=self.design_n,
+                kernels=self._kernels,
             )
             fw._mode = "numeric"  # banks are numeric-only by construction
             self._sketches.append(fw)
@@ -234,6 +251,8 @@ class SketchBank:
             return
         if i >= len(self._sketches):
             self._materialize_through(i)
+        if _obs.ENABLED:
+            _obs.on_bank_extend(self, int(arr.size), 1)
         self._sketches[i]._ingest_numeric(arr)
 
     def extend(
@@ -274,6 +293,8 @@ class SketchBank:
             self._materialize_through(hi)
         if lo == hi:
             # single destination: skip the partition entirely
+            if _obs.ENABLED:
+                _obs.on_bank_extend(self, int(values_arr.size), 1)
             self._sketches[lo]._ingest_numeric(values_arr)
             return
         n = values_arr.size
@@ -361,6 +382,8 @@ class SketchBank:
                 if hi >= len(self._sketches):
                     self._materialize_through(hi)
         sketches = self._sketches
+        if _obs.ENABLED:
+            _obs.on_bank_extend(self, int(len(values)), len(run_ids))
         run_list = (
             run_ids.tolist() if isinstance(run_ids, np.ndarray) else list(run_ids)
         )
@@ -401,6 +424,18 @@ class SketchBank:
     def query(self, i: int, phi: float) -> Any:
         """Approximate ``phi``-quantile of sketch *i*."""
         return self.sketch(i).query(phi)
+
+    def quantile(self, i: int, phi: float) -> Any:
+        """Approximate ``phi``-quantile of sketch *i* (uniform alias)."""
+        return self.sketch(i).quantile(phi)
+
+    def cdf(self, i: int, value: Any) -> Any:
+        """Approximate CDF of sketch *i* at *value* (scalar or sequence)."""
+        return self.sketch(i).cdf(value)
+
+    def describe(self, i: int) -> dict:
+        """Summary dict for sketch *i* (see ``QuantileFramework.describe``)."""
+        return self.sketch(i).describe()
 
     def quantiles_all(
         self, phis: Sequence[float]

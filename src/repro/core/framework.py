@@ -43,6 +43,7 @@ from .errors import (
 from .operations import OffsetSelector, collapse, output, weighted_rank
 from .policies import CollapsePolicy, make_policy
 from .tree import TreeRecorder, TreeStats
+from ..obs import hooks as _obs
 
 __all__ = ["QuantileFramework"]
 
@@ -72,6 +73,12 @@ class QuantileFramework:
     strict_capacity:
         Raise :class:`~repro.core.errors.CapacityExceededError` when more
         than *designed_n* elements arrive instead of degrading gracefully.
+    kernels:
+        Per-instance override for the vectorised selection kernels:
+        ``True``/``False`` force them on/off for this summary's COLLAPSE
+        and OUTPUT calls, ``None`` (default) follows the global
+        :func:`repro.core.kernels.is_enabled` switch.  Results are
+        bit-identical either way.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class QuantileFramework:
         record_tree: bool = False,
         designed_n: Optional[int] = None,
         strict_capacity: bool = False,
+        kernels: Optional[bool] = None,
     ) -> None:
         if b < 2:
             raise ConfigurationError(f"need at least b=2 buffers, got {b}")
@@ -98,6 +106,7 @@ class QuantileFramework:
         self.policy = make_policy(policy)
         self.designed_n = designed_n
         self.strict_capacity = strict_capacity
+        self._kernels = kernels
         self._offsets = OffsetSelector(offset_mode)
         self.recorder: Optional[TreeRecorder] = (
             TreeRecorder() if record_tree else None
@@ -318,6 +327,8 @@ class QuantileFramework:
             return
         self._check_capacity(int(arr.size))
         self._n += int(arr.size)
+        if _obs.ENABLED:
+            _obs.on_ingest(self, int(arr.size), int(arr.nbytes))
         lo, hi = float(arr.min()), float(arr.max())
         self._min = lo if self._min is None else min(self._min, lo)
         self._max = hi if self._max is None else max(self._max, hi)
@@ -347,6 +358,8 @@ class QuantileFramework:
             return
         self._check_capacity(len(items))
         self._n += len(items)
+        if _obs.ENABLED:
+            _obs.on_ingest(self, len(items), 0)
         lo, hi = min(items), max(items)
         self._min = lo if self._min is None or lo < self._min else self._min
         self._max = hi if self._max is None or hi > self._max else self._max
@@ -384,6 +397,8 @@ class QuantileFramework:
         self._full.append(buf)
         if self.recorder is not None:
             self.recorder.on_new(buf)
+        if _obs.ENABLED:
+            _obs.on_new(self, level)
         while True:
             group = self.policy.post_new_collapse(self._full, self.b)
             if not group:
@@ -393,7 +408,7 @@ class QuantileFramework:
     def _do_collapse(self, group: Sequence[Buffer]) -> None:
         weight = sum(buf.weight for buf in group)
         offset = self._offsets.offset_for(weight)
-        result = collapse(group, offset)
+        result = collapse(group, offset, use_kernels=self._kernels)
         group_ids = {buf.buffer_id for buf in group}
         self._full = [
             buf for buf in self._full if buf.buffer_id not in group_ids
@@ -403,6 +418,8 @@ class QuantileFramework:
         self._sum_collapse_weights += weight
         if self.recorder is not None:
             self.recorder.on_collapse(group, result, offset)
+        if _obs.ENABLED:
+            _obs.on_collapse(self, group, result, weight, offset)
 
     # -- queries -----------------------------------------------------------------
 
@@ -435,7 +452,9 @@ class QuantileFramework:
         if self._n == 0:
             raise EmptySummaryError("no elements have been ingested")
         bufs = self._snapshot_buffers()
-        answers = output(bufs, list(phis), self._n)
+        answers = output(bufs, list(phis), self._n, use_kernels=self._kernels)
+        if _obs.ENABLED:
+            _obs.on_output(self, len(answers))
         # the stream extremes are tracked exactly (O(1)); answer the end
         # points with them rather than the summary's approximation
         for i, phi in enumerate(phis):
@@ -448,6 +467,16 @@ class QuantileFramework:
     def query(self, phi: float) -> Any:
         """Approximate ``phi``-quantile of everything ingested so far."""
         return self.quantiles([phi])[0]
+
+    def quantile(self, phi: float) -> Any:
+        """Approximate ``phi``-quantile (uniform query-surface alias)."""
+        return self.quantiles([phi])[0]
+
+    def describe(self) -> dict:
+        """A summary dict: n, exact extremes, key quantiles, certified bound."""
+        from .protocols import describe_dict
+
+        return describe_dict(self)
 
     def min(self) -> Any:
         """The exact smallest element seen (tracked in O(1))."""
@@ -477,8 +506,14 @@ class QuantileFramework:
         _below, below_eq = weighted_rank(bufs, value)
         return min(below_eq, self._n)
 
-    def cdf(self, value: Any) -> float:
-        """Approximate fraction of elements <= *value* (see :meth:`rank`)."""
+    def cdf(self, value: Any) -> Any:
+        """Approximate fraction of elements <= *value* (see :meth:`rank`).
+
+        Accepts a scalar (returns one float) or a sequence of values
+        (returns a list of floats, one per value).
+        """
+        if isinstance(value, (list, tuple, np.ndarray)):
+            return [self.rank(v) / self._n for v in value]
         return self.rank(value) / self._n
 
     def finish(self, phis: Sequence[float] = (0.5,)) -> List[Any]:
@@ -497,7 +532,9 @@ class QuantileFramework:
         self._finished = True
         if self.recorder is not None:
             self.recorder.on_output(self._full)
-        return output(self._full, list(phis), self._n)
+        if _obs.ENABLED:
+            _obs.on_output(self, len(phis))
+        return output(self._full, list(phis), self._n, use_kernels=self._kernels)
 
     # -- merging ------------------------------------------------------------------
 

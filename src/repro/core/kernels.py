@@ -55,9 +55,11 @@ path; the results are identical either way, which the test suite asserts.
 from __future__ import annotations
 
 import os
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import hooks as _obs
 
 __all__ = [
     "is_enabled",
@@ -205,6 +207,8 @@ def weighted_select_runs(
     runs: Sequence[np.ndarray],
     weights: Sequence[int],
     targets: np.ndarray,
+    *,
+    enabled: Optional[bool] = None,
 ) -> np.ndarray:
     """Select the elements at weighted positions *targets* of sorted *runs*.
 
@@ -214,10 +218,15 @@ def weighted_select_runs(
     identical to :func:`weighted_select_argsort` for any input; the runs
     being sorted only makes it faster (numpy's stable sorts gallop through
     pre-sorted runs), it is not required for correctness of this entry
-    point.
+    point.  *enabled* overrides the global kernel switch for this call
+    (``None`` follows it); results are bit-identical either way.
     """
-    if not _enabled:
+    if not (_enabled if enabled is None else enabled):
+        if _obs.ENABLED:
+            _obs.on_kernel("weighted_select", "argsort")
         return weighted_select_argsort(runs, weights, targets)
+    if _obs.ENABLED:
+        _obs.on_kernel("weighted_select", "runs")
     targets = np.asarray(targets, dtype=np.int64)
     w0 = weights[0]
     uniform = True
@@ -255,15 +264,21 @@ def collapse_select_runs(
     out_weight: int,
     offset: int,
     k: int,
+    *,
+    enabled: Optional[bool] = None,
 ) -> np.ndarray:
     """COLLAPSE selection: positions ``j * out_weight + offset``, j < k.
 
     The equally-spaced target grid lets the dominant uniform-weight case
     (every leaf collapse) reduce to a strided view of the plain merge:
     position ``j*W + offset`` is merge index ``j*c + (offset-1)//w``, so
-    no target vector, cumsum or binary search is ever built.
+    no target vector, cumsum or binary search is ever built.  *enabled*
+    overrides the global kernel switch for this call (``None`` follows
+    it); results are bit-identical either way.
     """
-    if not _enabled:
+    if not (_enabled if enabled is None else enabled):
+        if _obs.ENABLED:
+            _obs.on_kernel("collapse_select", "argsort")
         targets = np.arange(k, dtype=np.int64) * out_weight + offset
         return weighted_select_argsort(runs, weights, targets)
     w0 = weights[0]
@@ -273,14 +288,18 @@ def collapse_select_runs(
             uniform = False
             break
     if uniform:
+        if _obs.ENABLED:
+            _obs.on_kernel("collapse_select", "uniform_stride")
         if len(runs) == 1:
             merged = runs[0]
         else:
             merged = np.sort(np.concatenate(runs), kind="stable")
         start = (offset - 1) // w0
         return merged[start :: len(runs)][:k].copy()
+    if _obs.ENABLED:
+        _obs.on_kernel("collapse_select", "mixed_weights")
     targets = np.arange(k, dtype=np.int64) * out_weight + offset
-    return weighted_select_runs(runs, weights, targets)
+    return weighted_select_runs(runs, weights, targets, enabled=enabled)
 
 
 def weighted_rank_runs(

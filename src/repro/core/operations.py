@@ -92,7 +92,9 @@ class OffsetSelector:
 
 
 def _weighted_select_numeric(
-    buffers: Sequence[Buffer], targets: Sequence[int]
+    buffers: Sequence[Buffer],
+    targets: Sequence[int],
+    use_kernels: "bool | None" = None,
 ) -> np.ndarray:
     """Vectorised weighted positional selection over numpy-backed buffers.
 
@@ -104,7 +106,10 @@ def _weighted_select_numeric(
     runs = [b.values for b in buffers]
     weights = [b.weight for b in buffers]
     return kernels.weighted_select_runs(
-        runs, weights, np.asarray(targets, dtype=np.int64)
+        runs,
+        weights,
+        np.asarray(targets, dtype=np.int64),
+        enabled=use_kernels,
     )
 
 
@@ -141,14 +146,18 @@ def _weighted_select_generic(
 
 
 def weighted_select(
-    buffers: Sequence[Buffer], targets: Sequence[int]
+    buffers: Sequence[Buffer],
+    targets: Sequence[int],
+    *,
+    use_kernels: "bool | None" = None,
 ) -> Sequence[Any]:
     """Select elements at 1-indexed *targets* of the weighted merged order.
 
     Conceptually, each element of each buffer is duplicated ``weight``
     times, all copies are sorted together, and the elements at the given
     positions are returned (in the order of the *sorted* targets).  The
-    duplication is purely logical.
+    duplication is purely logical.  *use_kernels* overrides the global
+    kernel switch for this call (``None`` follows it).
     """
     if not buffers:
         raise ConfigurationError("weighted_select needs at least one buffer")
@@ -162,7 +171,7 @@ def weighted_select(
             f"[{min(targets)}, {max(targets)}]"
         )
     if all(b.is_numeric for b in buffers):
-        return _weighted_select_numeric(buffers, sorted(targets))
+        return _weighted_select_numeric(buffers, sorted(targets), use_kernels)
     return _weighted_select_generic(buffers, targets)
 
 
@@ -190,6 +199,7 @@ def collapse(
     offset: "int | OffsetSelector",
     *,
     level: int | None = None,
+    use_kernels: "bool | None" = None,
 ) -> Buffer:
     """COLLAPSE ``c >= 2`` full buffers into one (Section 3.2).
 
@@ -241,7 +251,12 @@ def collapse(
                 f"[{offset}, {(k - 1) * weight + offset}]"
             )
         out_values: Any = kernels.collapse_select_runs(
-            [b.values for b in buffers], weights, weight, offset, k
+            [b.values for b in buffers],
+            weights,
+            weight,
+            offset,
+            k,
+            enabled=use_kernels,
         )
         n_low, n_high = kernels.collapse_pad_counts(
             low_w, high_w, total, weight, offset, k
@@ -254,7 +269,7 @@ def collapse(
             n_high_pad=n_high,
         )
     targets = [j * weight + offset for j in range(k)]
-    values = weighted_select(buffers, targets)
+    values = weighted_select(buffers, targets, use_kernels=use_kernels)
     if isinstance(values, np.ndarray):
         out_values = values
     else:
@@ -273,6 +288,8 @@ def output(
     buffers: Sequence[Buffer],
     phis: Sequence[float],
     n_real: int,
+    *,
+    use_kernels: "bool | None" = None,
 ) -> List[Any]:
     """OUTPUT: read the approximate quantiles off the final full buffers.
 
@@ -303,7 +320,9 @@ def output(
         rank = min(max(int(np.ceil(phi * n_real)), 1), n_real)
         targets.append(rank + low_pad_weighted)
     order = np.argsort(targets, kind="stable")
-    selected = weighted_select(buffers, [targets[i] for i in order])
+    selected = weighted_select(
+        buffers, [targets[i] for i in order], use_kernels=use_kernels
+    )
     results: List[Any] = [None] * len(targets)
     for out_pos, orig_pos in enumerate(order):
         results[orig_pos] = selected[out_pos]

@@ -79,7 +79,14 @@ def merge_frameworks(
     return output(buffers, list(phis), n_total)
 
 
-def _worker_main(conn, b: int, k: int, policy: str, offset_mode: str) -> None:
+def _worker_main(
+    conn,
+    b: int,
+    k: int,
+    policy: str,
+    offset_mode: str,
+    kernels: Optional[bool] = None,
+) -> None:
     """Worker-process loop: ingest chunks, answer snapshot requests.
 
     ``extend`` commands are fire-and-forget (pipe backpressure throttles
@@ -87,7 +94,9 @@ def _worker_main(conn, b: int, k: int, policy: str, offset_mode: str) -> None:
     reported on the next ``snapshot``/``close`` round-trip instead of
     being lost.
     """
-    fw = QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
+    fw = QuantileFramework(
+        b, k, policy=policy, offset_mode=offset_mode, kernels=kernels
+    )
     error: Optional[str] = None
     while True:
         try:
@@ -125,8 +134,19 @@ class ParallelQuantileEngine:
     b, k:
         Per-worker buffer configuration (every worker gets its own
         ``b * k`` elements, mirroring per-node memory on an MPP system).
+        May be omitted when *eps* is given -- the per-worker plan is then
+        sized with :func:`~repro.core.parameters.optimal_parameters` for
+        ``(eps, n)`` (``n`` defaulting to the library's standard design
+        capacity), the facade spelling.
+    eps, n:
+        Accuracy-first sizing (mutually exclusive with explicit ``b, k``):
+        every worker is configured for an ``eps``-approximate summary of
+        ``n`` elements.
     policy / offset_mode:
         Forwarded to every worker's framework.
+    kernels:
+        Per-engine kernel override forwarded to every worker framework
+        and the final OUTPUT (``None`` follows the global switch).
     combine_fanin:
         When set (the >100-node regime of Section 4.9), worker root
         buffers are first merged in groups of at most this many workers by
@@ -148,16 +168,38 @@ class ParallelQuantileEngine:
     def __init__(
         self,
         n_workers: int,
-        b: int,
-        k: int,
+        b: Optional[int] = None,
+        k: Optional[int] = None,
         *,
         policy: str = "new",
         offset_mode: str = "alternate",
         combine_fanin: Optional[int] = None,
         backend: str = "sync",
+        eps: Optional[float] = None,
+        n: Optional[int] = None,
+        kernels: Optional[bool] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"need >= 1 worker, got {n_workers}")
+        if (b is None) != (k is None):
+            raise ConfigurationError("give b and k together, or neither")
+        if b is None:
+            if eps is None:
+                raise ConfigurationError(
+                    "give either explicit (b, k) or eps= for accuracy-first "
+                    "sizing"
+                )
+            from .parameters import optimal_parameters
+            from .sketch import DEFAULT_DESIGN_N
+
+            plan = optimal_parameters(
+                eps, DEFAULT_DESIGN_N if n is None else int(n), policy=policy
+            )
+            b, k = plan.b, plan.k
+        elif eps is not None:
+            raise ConfigurationError(
+                "explicit (b, k) and eps= sizing are mutually exclusive"
+            )
         if combine_fanin is not None and combine_fanin < 2:
             raise ConfigurationError("combine_fanin must be >= 2")
         if backend not in _BACKENDS:
@@ -174,6 +216,7 @@ class ParallelQuantileEngine:
         self.b = b
         self.k = k
         self.combine_fanin = combine_fanin
+        self._kernels = kernels
         self._rr = 0
         self._offsets = OffsetSelector(offset_mode)
         self._closed = False
@@ -187,7 +230,7 @@ class ParallelQuantileEngine:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, b, k, policy, offset_mode),
+                    args=(child_conn, b, k, policy, offset_mode, kernels),
                     daemon=True,
                 )
                 proc.start()
@@ -196,7 +239,9 @@ class ParallelQuantileEngine:
                 self._conns.append(parent_conn)
         else:
             self.workers = [
-                QuantileFramework(b, k, policy=policy, offset_mode=offset_mode)
+                QuantileFramework(
+                    b, k, policy=policy, offset_mode=offset_mode, kernels=kernels
+                )
                 for _ in range(n_workers)
             ]
             self._procs = []
@@ -359,10 +404,40 @@ class ParallelQuantileEngine:
         buffers = self._collect_buffers(frameworks)
         if self.combine_fanin is not None:
             buffers = self._pre_combine(buffers)
-        return output(buffers, list(phis), n_total)
+        return output(
+            buffers, list(phis), n_total, use_kernels=self._kernels
+        )
 
     def query(self, phi: float) -> Any:
         return self.quantiles([phi])[0]
+
+    def quantile(self, phi: float) -> Any:
+        """Approximate ``phi``-quantile (uniform query-surface alias)."""
+        return self.quantiles([phi])[0]
+
+    def rank(self, value: Any) -> int:
+        """Approximate combined rank of *value* across all workers."""
+        from .operations import weighted_rank
+
+        frameworks = self._frameworks()
+        n_total = sum(fw.n for fw in frameworks)
+        if n_total == 0:
+            raise EmptySummaryError("no worker ingested any elements")
+        buffers = self._collect_buffers(frameworks)
+        _below, below_eq = weighted_rank(buffers, value)
+        return min(below_eq, n_total)
+
+    def cdf(self, value: Any) -> Any:
+        """Approximate combined CDF at a scalar or sequence of values."""
+        if isinstance(value, (list, tuple, np.ndarray)):
+            return [self.rank(v) / self.n for v in value]
+        return self.rank(value) / self.n
+
+    def describe(self) -> dict:
+        """Summary dict: n, extremes, key quantiles, certified bound."""
+        from .protocols import describe_dict
+
+        return describe_dict(self)
 
     def _pre_combine(self, buffers: List[Buffer]) -> List[Buffer]:
         """Two-stage recombination for very high parallelism (Section 4.9).
@@ -380,7 +455,11 @@ class ParallelQuantileEngine:
             else:
                 weight = sum(b.weight for b in group)
                 combined.append(
-                    collapse(group, self._offsets.offset_for(weight))
+                    collapse(
+                        group,
+                        self._offsets.offset_for(weight),
+                        use_kernels=self._kernels,
+                    )
                 )
         return combined
 

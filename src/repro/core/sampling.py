@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -256,16 +256,28 @@ class SampledQuantileFramework:
 
     def __init__(
         self,
-        epsilon: float,
-        n: int,
-        delta: float,
+        epsilon: Optional[float] = None,
+        n: int = 0,
+        delta: float = 0.0001,
         *,
         n_quantiles: int = 1,
         policy: str = "new",
         rule: str = "lemma7",
         seed: Optional[int] = None,
         plan: Optional[SamplingPlan] = None,
+        eps: Optional[float] = None,
+        kernels: Optional[bool] = None,
     ) -> None:
+        if epsilon is not None and eps is not None:
+            raise ConfigurationError(
+                "give exactly one of epsilon (positional) or eps= (keyword)"
+            )
+        if epsilon is None:
+            epsilon = eps
+        if epsilon is None and plan is None:
+            raise ConfigurationError(
+                "give exactly one of epsilon (positional) or eps= (keyword)"
+            )
         if n < 1:
             raise ConfigurationError(f"population size N must be >= 1, got {n}")
         self.plan = plan or optimize_alpha(
@@ -277,7 +289,7 @@ class SampledQuantileFramework:
         self.keep_probability = min(1.0, self.plan.sample_size / n)
         self._rng = np.random.default_rng(seed)
         self.inner = QuantileFramework(
-            self.plan.b, self.plan.k, policy=policy
+            self.plan.b, self.plan.k, policy=policy, kernels=kernels
         )
         self._n_seen = 0
 
@@ -301,8 +313,13 @@ class SampledQuantileFramework:
         if self._rng.random() < self.keep_probability:
             self.inner.update(value)
 
-    def extend(self, data: "np.ndarray | Sequence[Any]") -> None:
+    def extend(self, data: "Iterable[Any] | np.ndarray") -> None:
         """Observe many population elements (vectorised coin flips)."""
+        if not isinstance(data, (np.ndarray, list, tuple)):
+            # Materialise one-shot iterables (generators, map objects, ...)
+            # exactly once, as framework.extend does -- np.asarray would
+            # otherwise produce a useless 0-d object array.
+            data = list(data)
         arr = np.asarray(data)
         if arr.ndim != 1:
             raise ConfigurationError(
@@ -327,6 +344,35 @@ class SampledQuantileFramework:
 
     def query(self, phi: float) -> Any:
         return self.quantiles([phi])[0]
+
+    def quantile(self, phi: float) -> Any:
+        """Approximate ``phi``-quantile (uniform query-surface alias)."""
+        return self.quantiles([phi])[0]
+
+    @property
+    def n(self) -> int:
+        """Population elements observed (uniform query surface)."""
+        return self._n_seen
+
+    def rank(self, value: Any) -> int:
+        """Approximate population rank: sample rank rescaled by N/S."""
+        if self.inner.n == 0:
+            return 0
+        return round(self.inner.rank(value) / self.inner.n * self._n_seen)
+
+    def cdf(self, value: Any) -> Any:
+        """Approximate population CDF at a scalar or sequence of values."""
+        if isinstance(value, (list, tuple, np.ndarray)):
+            n = self._n_seen
+            return [self.rank(v) / n if n else 0.0 for v in value]
+        n = self._n_seen
+        return self.rank(value) / n if n else 0.0
+
+    def describe(self) -> dict:
+        """Summary dict: n, sample extremes, key quantiles, sample bound."""
+        from .protocols import describe_dict
+
+        return describe_dict(self)
 
     def error_bound(self) -> float:
         """Certified rank bound *within the sample* (Lemma 5 on the run)."""

@@ -61,11 +61,18 @@ class QuantileSketch:
         for the deterministic path, which answers any number for free.
     seed:
         Random seed for the sampling path (ignored otherwise).
+    eps:
+        Keyword alias for *epsilon* (the facade spelling); give exactly
+        one of the two.
+    kernels:
+        Per-sketch kernel override forwarded to the underlying framework
+        (``None`` follows the global switch); results are bit-identical
+        either way.
     """
 
     def __init__(
         self,
-        epsilon: float,
+        epsilon: Optional[float] = None,
         n: Optional[int] = None,
         *,
         delta: Optional[float] = None,
@@ -74,7 +81,15 @@ class QuantileSketch:
         n_quantiles: int = 1,
         seed: Optional[int] = None,
         record_tree: bool = False,
+        eps: Optional[float] = None,
+        kernels: Optional[bool] = None,
     ) -> None:
+        if (epsilon is None) == (eps is None):
+            raise ConfigurationError(
+                "give exactly one of epsilon (positional) or eps= (keyword)"
+            )
+        if epsilon is None:
+            epsilon = eps
         if not 0 < epsilon < 1:
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         design_n = DEFAULT_DESIGN_N if n is None else int(n)
@@ -96,6 +111,7 @@ class QuantileSketch:
                 policy=policy,
                 seed=seed,
                 plan=plan,
+                kernels=kernels,
             )
             self.uses_sampling = True
         else:
@@ -106,6 +122,7 @@ class QuantileSketch:
                 offset_mode=offset_mode,
                 designed_n=design_n,
                 record_tree=record_tree,
+                kernels=kernels,
             )
             self.uses_sampling = False
 
@@ -125,9 +142,19 @@ class QuantileSketch:
         """The approximate ``phi``-quantile of everything added so far."""
         return self._impl.query(phi)
 
+    def quantile(self, phi: float) -> Any:
+        """The approximate ``phi``-quantile (uniform query-surface alias)."""
+        return self._impl.query(phi)
+
     def quantiles(self, phis: Sequence[float]) -> List[Any]:
         """Many quantiles from the same summary (Section 4.7)."""
         return self._impl.quantiles(phis)
+
+    def describe(self) -> dict:
+        """Summary dict: n, extremes, key quantiles, certified bound."""
+        from .protocols import describe_dict
+
+        return describe_dict(self)
 
     def median(self) -> Any:
         """The approximate median (``phi = 0.5``)."""
@@ -147,8 +174,15 @@ class QuantileSketch:
             return round(sample_rank / inner.n * self._impl.n_seen)
         return self._impl.rank(value)
 
-    def cdf(self, value: Any) -> float:
-        """Approximate fraction of elements ``<=`` *value*."""
+    def cdf(self, value: Any) -> Any:
+        """Approximate fraction of elements ``<=`` *value*.
+
+        Accepts a scalar (returns one float) or a sequence of values
+        (returns a list of floats).
+        """
+        if isinstance(value, (list, tuple, np.ndarray)):
+            n = len(self)
+            return [self.rank(v) / n if n else 0.0 for v in value]
         n = len(self)
         return self.rank(value) / n if n else 0.0
 
@@ -204,6 +238,11 @@ class QuantileSketch:
         if self.uses_sampling:
             return self._impl.n_seen
         return self._impl.n
+
+    @property
+    def n(self) -> int:
+        """Genuine elements ingested so far (uniform query surface)."""
+        return len(self)
 
     @property
     def memory_elements(self) -> int:

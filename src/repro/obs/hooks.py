@@ -1,0 +1,290 @@
+"""The instrumentation gate: module-level state the hot paths consult.
+
+Design constraint: the core ingest loop must pay (almost) nothing when
+observability is off.  Every instrumented call site in
+:mod:`repro.core` is guarded by a single module-attribute read::
+
+    from ..obs import hooks as _obs
+    ...
+    if _obs.ENABLED:
+        _obs.on_collapse(self, group, result, weight, offset)
+
+``ENABLED`` is a plain module global -- the disabled cost is one
+attribute load plus a branch, and the guards sit at *buffer/chunk*
+granularity (one per NEW/COLLAPSE/chunk, never per element), so the
+per-element overhead is ~1/k of an attribute read.  The benchmark gate
+(``bench_hotpath.py --quick``, section ``obs``) measures exactly this
+and CI asserts it stays under 2%.
+
+:func:`enable` installs a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer` (defaults are created on demand);
+:func:`disable` turns the gate off but keeps both readable, so a
+benchmark can flip instrumentation without losing what it collected.
+
+Per-sketch statistics (NEW/COLLAPSE counts per level, the running
+certified bound) live in a lazily attached :class:`SketchObsStats` on
+each observed framework -- the service reads these to report per-metric
+collapse trees and live epsilon*N without a global registry lookup per
+metric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "is_enabled",
+    "registry",
+    "tracer",
+    "SketchObsStats",
+    "stats_for",
+    "collected_stats",
+]
+
+#: THE gate.  Core call sites read this exactly once per hook site.
+ENABLED = False
+
+_registry: Optional[Any] = None  # MetricsRegistry
+_tracer: Optional[Any] = None  # Tracer
+
+
+def enable(
+    registry: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    *,
+    ring_capacity: int = 1024,
+) -> Any:
+    """Turn instrumentation on; returns the active registry.
+
+    Passing an existing registry/tracer reuses it (the service passes
+    its own so STATS can render the collected families); otherwise
+    fresh defaults are created on first enable and kept across
+    enable/disable cycles.
+    """
+    global ENABLED, _registry, _tracer
+    if registry is not None:
+        _registry = registry
+    elif _registry is None:
+        from .metrics import MetricsRegistry
+
+        _registry = MetricsRegistry()
+    if tracer is not None:
+        _tracer = tracer
+    elif _tracer is None:
+        from .trace import Tracer
+
+        _tracer = Tracer(ring_capacity=ring_capacity)
+    ENABLED = True
+    return _registry
+
+
+def disable() -> None:
+    """Turn the gate off (collected state stays readable)."""
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+def registry() -> Any:
+    """The active registry (created on demand even while disabled)."""
+    global _registry
+    if _registry is None:
+        from .metrics import MetricsRegistry
+
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def tracer() -> Any:
+    """The active tracer (created on demand even while disabled)."""
+    global _tracer
+    if _tracer is None:
+        from .trace import Tracer
+
+        _tracer = Tracer()
+    return _tracer
+
+
+def reset() -> None:
+    """Drop gate + collected state entirely (test isolation)."""
+    global ENABLED, _registry, _tracer
+    ENABLED = False
+    _registry = None
+    _tracer = None
+
+
+# -- per-sketch statistics ----------------------------------------------------
+
+
+class SketchObsStats:
+    """Per-framework operation counts and the running certified bound."""
+
+    __slots__ = (
+        "new_by_level",
+        "collapses_by_level",
+        "outputs",
+        "elements",
+        "last_bound",
+    )
+
+    def __init__(self) -> None:
+        self.new_by_level: Dict[int, int] = {}
+        self.collapses_by_level: Dict[int, int] = {}
+        self.outputs = 0
+        self.elements = 0
+        self.last_bound = 0.0
+
+    @property
+    def n_new(self) -> int:
+        return sum(self.new_by_level.values())
+
+    @property
+    def n_collapses(self) -> int:
+        return sum(self.collapses_by_level.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "new_by_level": {str(k): v for k, v in sorted(self.new_by_level.items())},
+            "collapses_by_level": {
+                str(k): v for k, v in sorted(self.collapses_by_level.items())
+            },
+            "outputs": self.outputs,
+            "elements": self.elements,
+            "certified_bound": self.last_bound,
+        }
+
+    def merge(self, other: "SketchObsStats") -> None:
+        for level, count in other.new_by_level.items():
+            self.new_by_level[level] = self.new_by_level.get(level, 0) + count
+        for level, count in other.collapses_by_level.items():
+            self.collapses_by_level[level] = (
+                self.collapses_by_level.get(level, 0) + count
+            )
+        self.outputs += other.outputs
+        self.elements += other.elements
+        self.last_bound = max(self.last_bound, other.last_bound)
+
+
+def stats_for(fw: Any) -> SketchObsStats:
+    """Get-or-create the per-sketch stats attached to *fw*."""
+    stats = getattr(fw, "_obs_stats", None)
+    if stats is None:
+        stats = SketchObsStats()
+        fw._obs_stats = stats
+    return stats
+
+
+def collected_stats(sketch: Any) -> Optional[SketchObsStats]:
+    """Aggregate stats for any sketch-like object, or ``None`` if unobserved.
+
+    Frameworks carry their stats directly.  The adaptive multi-stage
+    sketch keeps rolled-stage totals on itself (merged at stage roll, see
+    ``AdaptiveQuantileSketch._roll_stage``) plus the live stage's own
+    stats; this merges the two into one read-only view.
+    """
+    own = getattr(sketch, "_obs_stats", None)
+    active = getattr(sketch, "_active", None)
+    if active is None:
+        return own
+    active_stats = getattr(active, "_obs_stats", None)
+    if own is None and active_stats is None:
+        return None
+    out = SketchObsStats()
+    if own is not None:
+        out.merge(own)
+    if active_stats is not None:
+        out.merge(active_stats)
+    return out
+
+
+# -- hook bodies (called only when the caller saw ENABLED=True) ---------------
+
+
+def on_new(fw: Any, level: int) -> None:
+    """A NEW placed one buffer at *level*."""
+    stats = stats_for(fw)
+    stats.new_by_level[level] = stats.new_by_level.get(level, 0) + 1
+    reg = registry()
+    reg.counter("core.new", level=level).inc()
+    reg.gauge("core.buffers_in_use").set(len(fw._full))
+
+
+def on_collapse(
+    fw: Any,
+    group: Sequence[Any],
+    result: Any,
+    weight: int,
+    offset: int,
+) -> None:
+    """A COLLAPSE merged *group* into *result*; emit counters + trace.
+
+    The certified bound recorded here is Lemma 5 evaluated on the
+    framework's state immediately after the collapse -- which is also
+    the bound for any answer issued before the *next* collapse, because
+    NEW neither changes ``W``/``C`` nor the heaviest buffer.
+    """
+    level = result.level
+    stats = stats_for(fw)
+    stats.collapses_by_level[level] = (
+        stats.collapses_by_level.get(level, 0) + 1
+    )
+    w_max = max((buf.weight for buf in fw._full), default=1)
+    bound = (
+        fw._sum_collapse_weights - fw._n_collapses - 1
+    ) / 2.0 + w_max
+    stats.last_bound = bound
+    reg = registry()
+    reg.counter("core.collapse", level=level).inc()
+    reg.gauge("core.buffers_in_use").set(len(fw._full))
+    from .trace import TraceEvent
+
+    tracer().emit(
+        TraceEvent(
+            kind="collapse",
+            sketch_id=id(fw),
+            level=level,
+            n=fw._n,
+            n_collapses=fw._n_collapses,
+            sum_collapse_weights=fw._sum_collapse_weights,
+            w_max=w_max,
+            bound=bound,
+            weights=tuple(buf.weight for buf in group),
+            out_weight=weight,
+            offset=offset,
+        )
+    )
+
+
+def on_output(fw: Any, n_phis: int) -> None:
+    """An OUTPUT answered *n_phis* quantile fractions."""
+    stats = stats_for(fw)
+    stats.outputs += 1
+    registry().counter("core.output").inc()
+
+
+def on_ingest(fw: Any, count: int, nbytes: int) -> None:
+    """One ingest chunk of *count* elements entered the framework."""
+    stats = stats_for(fw)
+    stats.elements += count
+    reg = registry()
+    reg.counter("core.elements_ingested").inc(count)
+    reg.counter("core.bytes_ingested").inc(nbytes)
+
+
+def on_bank_extend(bank: Any, n_elements: int, n_runs: int) -> None:
+    """A bank routed one chunk of *n_elements* over *n_runs* runs."""
+    reg = registry()
+    reg.counter("bank.chunks").inc()
+    reg.counter("bank.elements").inc(n_elements)
+    reg.counter("bank.runs").inc(n_runs)
+
+
+def on_kernel(name: str, path: str) -> None:
+    """A kernel entry point chose execution *path* (strategy counters)."""
+    registry().counter(f"kernels.{name}", path=path).inc()

@@ -1,0 +1,162 @@
+"""Structured trace events for the collapse lifecycle.
+
+Every COLLAPSE a live framework performs can be captured as one
+:class:`TraceEvent` carrying the operation's inputs (level, input
+weights, output weight, offset) and the summary's certified-accuracy
+state *at that moment*: ``W`` (sum of collapse output weights), ``C``
+(collapse count), ``w_max`` (heaviest surviving buffer) and the Lemma 5
+bound ``(W - C - 1)/2 + w_max``.  Because NEW operations change none of
+those quantities, the bound on the most recent event **is** the bound
+:meth:`~repro.core.framework.QuantileFramework.error_bound` certifies
+for any answer issued before the next collapse -- a live sketch answers
+``observed_state -> current epsilon*N`` by reading its last trace event
+(the property suite asserts bit-equality).
+
+Events fan out to any number of sinks.  Two are provided:
+
+:class:`TraceRing`
+    a bounded in-memory ring buffer (the "flight recorder" view --
+    cheap, always safe to enable);
+
+:class:`JsonLinesSink`
+    one JSON object per line to a file or file-like object, for offline
+    analysis of collapse-tree growth.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import IO, Any, Deque, List, Optional, Tuple, Union
+
+__all__ = [
+    "TraceEvent",
+    "TraceRing",
+    "JsonLinesSink",
+    "Tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed framework operation plus the certified-bound state."""
+
+    kind: str  #: "collapse" | "new" | "output"
+    sketch_id: int  #: id() of the framework (correlates events per sketch)
+    level: int  #: buffer level the operation acted on / produced
+    n: int  #: genuine elements ingested so far
+    n_collapses: int  #: C after the operation
+    sum_collapse_weights: int  #: W after the operation
+    w_max: int  #: heaviest surviving buffer after the operation
+    bound: float  #: Lemma 5 certified rank bound, in elements
+    weights: Tuple[int, ...] = ()  #: input buffer weights (collapse only)
+    out_weight: int = 0  #: collapse output weight (0 otherwise)
+    offset: int = 0  #: collapse offset (0 otherwise)
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class TraceRing:
+    """Bounded in-memory event buffer (newest ``capacity`` events kept)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.n_emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.n_emitted += 1
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonLinesSink:
+    """Append trace events as JSON lines to a path or file-like object."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fp: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fp = target
+            self._owns = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fp.write(event.to_json())
+        self._fp.write("\n")
+
+    def flush(self) -> None:
+        self._fp.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fp.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class Tracer:
+    """Fan-out of trace events to a ring buffer plus optional extra sinks.
+
+    The ring is always present (it is the live ``observed_state ->
+    current epsilon*N`` answer surface); JSON-lines or custom sinks are
+    attached with :meth:`add_sink`.  A sink is anything with an
+    ``emit(event)`` method.
+    """
+
+    def __init__(self, ring_capacity: int = 1024) -> None:
+        self.ring = TraceRing(ring_capacity)
+        self._sinks: List[Any] = []
+
+    def add_sink(self, sink: Any) -> Any:
+        if not hasattr(sink, "emit"):
+            raise TypeError(
+                f"trace sinks need an emit(event) method, got {type(sink)!r}"
+            )
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.ring.emit(event)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def current_bound(self) -> Optional[float]:
+        """The running certified bound: the last collapse event's bound.
+
+        ``None`` before the first collapse has been observed (a summary
+        with no collapses answers exactly: its bound is 0.0).
+        """
+        event = self.ring.last("collapse")
+        return None if event is None else event.bound

@@ -411,6 +411,29 @@ class QuantileClient:
     def quantile(self, name: str, phi: float) -> float:
         return self.query(name, [phi])[0][0]
 
+    def quantiles(self, name: str, phis: Sequence[float]) -> List[float]:
+        """Just the values (uniform query-surface spelling of :meth:`query`)."""
+        return self.query(name, phis)[0]
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        """The same summary dict every in-process sketch's ``describe()``
+        returns, assembled from one QUERY round trip (``phi`` 0 and 1 are
+        the tracked exact extremes)."""
+        from ..core.protocols import DESCRIBE_PHIS
+
+        phis = [0.0, *DESCRIBE_PHIS, 1.0]
+        values, bound, n = self.query(name, phis)
+        return {
+            "n": int(n),
+            "min": values[0],
+            "max": values[-1],
+            "quantiles": {
+                phi: values[i + 1] for i, phi in enumerate(DESCRIBE_PHIS)
+            },
+            "error_bound": float(bound),
+            "error_bound_fraction": (float(bound) / n) if n else 0.0,
+        }
+
     def cdf(self, name: str, value: float) -> Dict[str, Any]:
         """Inverse query: rank / fraction of elements ``<= value``."""
         return self._call(
@@ -437,5 +460,9 @@ class QuantileClient:
         """Barrier: apply every queued batch server-side; returns seq."""
         return self._call(Request(opcode=Opcode.DRAIN))["seq"]
 
-    def stats(self) -> Dict[str, Any]:
-        return self._call(Request(opcode=Opcode.STATS))["stats"]
+    def stats(self, detail: int = 0) -> Dict[str, Any]:
+        """Server metrics; ``detail=1`` adds the rendered Prometheus text
+        under the ``"prometheus"`` key."""
+        return self._call(
+            Request(opcode=Opcode.STATS, detail=int(detail))
+        )["stats"]

@@ -20,6 +20,8 @@ from typing import Deque, Dict, Optional, Tuple
 from ..analysis.memory import report_memory
 from ..core.adaptive import AdaptiveQuantileSketch
 from ..core.errors import EmptySummaryError
+from ..obs import hooks as obs_hooks
+from ..obs.metrics import TimingSketch
 from .registry import SketchRegistry
 
 __all__ = ["ServiceMetrics"]
@@ -48,6 +50,8 @@ class ServiceMetrics:
         self._recent: Deque[Tuple[float, int]] = deque()
         self.query_latency = AdaptiveQuantileSketch(epsilon=0.01)
         self.batch_sizes = AdaptiveQuantileSketch(epsilon=0.01)
+        #: per-opcode latency histograms, each a quantile sketch itself
+        self.op_latency: Dict[str, TimingSketch] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -66,6 +70,13 @@ class ServiceMetrics:
     def record_query(self, seconds: float) -> None:
         self.queries += 1
         self.query_latency.update(seconds * 1000.0)
+
+    def record_op(self, op_name: str, seconds: float) -> None:
+        """Feed one request's wall time into that opcode's sketch."""
+        sketch = self.op_latency.get(op_name)
+        if sketch is None:
+            sketch = self.op_latency[op_name] = TimingSketch()
+        sketch.observe(seconds)
 
     # -- reporting ---------------------------------------------------------
 
@@ -97,6 +108,51 @@ class ServiceMetrics:
         total = sum(n for t, n in self._recent if t >= horizon)
         span = min(_RATE_WINDOW_S, max(now - self._recent[0][0], 1e-9))
         return total / span
+
+    def _obs_section(self, registry: SketchRegistry) -> Dict[str, object]:
+        """Live observability detail: per-metric certified bounds,
+        collapse counts by level, self-metered per-op latency, and the
+        global :mod:`repro.obs` counter totals."""
+        metrics_detail = []
+        for entry in registry.entries():
+            sketch = entry.sketch
+            n = int(sketch.n)
+            bound = float(sketch.error_bound()) if n else 0.0
+            detail: Dict[str, object] = {
+                "name": entry.name,
+                "kind": entry.kind,
+                "shard": entry.shard,
+                "n": n,
+                "certified_bound": bound,
+                "certified_bound_fraction": (bound / n) if n else 0.0,
+            }
+            stats = obs_hooks.collected_stats(sketch)
+            if stats is not None:
+                detail["collapses_by_level"] = {
+                    str(k): v
+                    for k, v in sorted(stats.collapses_by_level.items())
+                }
+                detail["new_by_level"] = {
+                    str(k): v for k, v in sorted(stats.new_by_level.items())
+                }
+            metrics_detail.append(detail)
+        op_latency = {
+            op: sketch.percentiles()
+            for op, sketch in sorted(self.op_latency.items())
+            if sketch.n
+        }
+        reg = obs_hooks.registry()
+        counters = {
+            name: int(reg.total(name))
+            for name in reg.names()
+            if reg.kind_of(name) == "counter"
+        }
+        return {
+            "enabled": obs_hooks.is_enabled(),
+            "metrics": metrics_detail,
+            "op_latency_ms": op_latency,
+            "counters": counters,
+        }
 
     def to_dict(self, registry: SketchRegistry) -> Dict[str, object]:
         uptime = time.monotonic() - self._t0
@@ -149,4 +205,5 @@ class ServiceMetrics:
                 ),
             },
             "shards": shard_stats,
+            "obs": self._obs_section(registry),
         }

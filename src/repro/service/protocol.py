@@ -113,6 +113,10 @@ class Request:
     value: float = 0.0
     #: client-generated idempotency token on mutating ops (0 = none)
     token: int = 0
+    #: STATS verbosity (0 = summary; 1 adds the rendered Prometheus
+    #: exposition).  Encoded as an optional trailing byte so old clients
+    #: and old servers interoperate unchanged.
+    detail: int = 0
 
 
 # -- primitive writers/readers ------------------------------------------------
@@ -204,7 +208,12 @@ def encode_request(req: Request) -> bytes:
         out.append(_pack_str(req.name))
     elif op == Opcode.SNAPSHOT:
         out.append(_U64.pack(req.token))
-    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.STATS):
+    elif op == Opcode.STATS:
+        # the detail byte is optional on the wire: a zero-detail request
+        # is byte-identical to the pre-detail format
+        if req.detail:
+            out.append(bytes([req.detail & 0xFF]))
+    elif op in (Opcode.LIST, Opcode.DRAIN):
         pass
     else:
         raise ConfigurationError(f"unknown opcode {op}")
@@ -243,7 +252,10 @@ def decode_request(payload: bytes) -> Request:
         req.name = r.string("metric name")
     elif op == Opcode.SNAPSHOT:
         req.token = r.u64("idempotency token")
-    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.STATS):
+    elif op == Opcode.STATS:
+        if r.pos != len(r.buf):  # old clients send no detail byte
+            req.detail = r.u8("stats detail")
+    elif op in (Opcode.LIST, Opcode.DRAIN):
         pass
     else:
         raise StorageError(f"unknown opcode {op}")

@@ -435,24 +435,35 @@ class SketchRegistry:
         ]
 
     def shard_stats(self) -> List[Dict[str, object]]:
+        from ..obs import hooks as obs_hooks
+
         out = []
         for i, shard in enumerate(self._shards):
             entries = [e for e in self._metrics.values() if e.shard == i]
-            out.append(
-                {
-                    "shard": i,
-                    "metrics": len(entries),
-                    "elements_applied": shard.n_applied,
-                    "batches_applied": shard.n_batches_applied,
-                    "pending_batches": len(shard.pending),
-                    "collapse_count": sum(
-                        e.collapse_count() for e in entries
-                    ),
-                    "memory_elements": sum(
-                        e.memory_elements for e in entries
-                    ),
+            stats: Dict[str, object] = {
+                "shard": i,
+                "metrics": len(entries),
+                "elements_applied": shard.n_applied,
+                "batches_applied": shard.n_batches_applied,
+                "pending_batches": len(shard.pending),
+                "collapse_count": sum(
+                    e.collapse_count() for e in entries
+                ),
+                "memory_elements": sum(
+                    e.memory_elements for e in entries
+                ),
+            }
+            levels: Dict[int, int] = {}
+            for e in entries:
+                obs_stats = obs_hooks.collected_stats(e.sketch)
+                if obs_stats is not None:
+                    for lvl, cnt in obs_stats.collapses_by_level.items():
+                        levels[lvl] = levels.get(lvl, 0) + cnt
+            if levels:
+                stats["collapses_by_level"] = {
+                    str(k): v for k, v in sorted(levels.items())
                 }
-            )
+            out.append(stats)
         return out
 
     @property

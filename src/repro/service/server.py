@@ -53,6 +53,8 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import ReproError, StorageError
+from ..obs import hooks as obs_hooks
+from ..obs.exposition import render_prometheus
 from . import protocol
 from .journal import (
     CREATE_RECORD,
@@ -116,6 +118,7 @@ class QuantileService:
         batch_window_s: float = 0.0,
         max_inflight_bytes: int = 32 * 1024 * 1024,
         drain_grace_s: float = 2.0,
+        observability: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -126,6 +129,7 @@ class QuantileService:
         self.batch_window_s = batch_window_s
         self.max_inflight_bytes = max_inflight_bytes
         self.drain_grace_s = drain_grace_s
+        self.observability = observability
         self.registry = SketchRegistry(n_shards)
         self.metrics = ServiceMetrics(n_shards)
         self.journal: Optional[IngestJournal] = None
@@ -196,6 +200,10 @@ class QuantileService:
 
     async def start(self) -> None:
         """Recover, bind the socket and launch the background tasks."""
+        if self.observability:
+            # turn on core instrumentation so STATS can report per-level
+            # collapse counts and the live certified bound per metric
+            obs_hooks.enable()
         if self.data_dir is not None:
             self._recover()
         self._shard_events = [asyncio.Event() for _ in range(self.n_shards)]
@@ -356,6 +364,20 @@ class QuantileService:
             return protocol.encode_error(f"internal error: {exc!r}")
 
     def _execute(self, req: protocol.Request) -> Dict[str, Any]:
+        """Run one request, self-metering its wall time per opcode.
+
+        Every opcode -- not just queries -- lands in a per-op
+        :class:`~repro.obs.metrics.TimingSketch`, so STATS reports
+        p50/p99 latency per operation with a certified rank bound.
+        """
+        op_name = protocol.Opcode._NAMES.get(req.opcode, str(req.opcode))
+        start = time.perf_counter()
+        try:
+            return self._execute_op(req)
+        finally:
+            self.metrics.record_op(op_name, time.perf_counter() - start)
+
+    def _execute_op(self, req: protocol.Request) -> Dict[str, Any]:
         op = req.opcode
         if op == protocol.Opcode.INGEST:
             return self._do_ingest(req)
@@ -419,7 +441,10 @@ class QuantileService:
             self.registry.apply_all()
             return {"seq": self.journal.seq if self.journal else 0}
         if op == protocol.Opcode.STATS:
-            return {"stats": self.metrics.to_dict(self.registry)}
+            stats = self.metrics.to_dict(self.registry)
+            if req.detail:
+                stats["prometheus"] = render_prometheus(obs_hooks.registry())
+            return {"stats": stats}
         raise StorageError(f"unknown opcode {op}")
 
     def _do_ingest(self, req: protocol.Request) -> Dict[str, Any]:

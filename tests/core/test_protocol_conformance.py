@@ -1,0 +1,127 @@
+"""Every sketch-like object answers the same query quartet.
+
+:class:`repro.core.SketchProtocol` formalises the surface --
+``quantile(phi)``, ``quantiles(phis)``, ``cdf(value)``, ``describe()``
+plus ``n`` and ``error_bound()`` -- and this test drives each
+implementation through it with the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DESCRIBE_PHIS, SketchProtocol
+from repro.core.adaptive import AdaptiveQuantileSketch
+from repro.core.framework import QuantileFramework
+from repro.core.parallel import ParallelQuantileEngine
+from repro.core.sampling import SampledQuantileFramework
+from repro.core.sketch import QuantileSketch
+
+N = 20_000
+
+
+def _framework():
+    return QuantileFramework(8, 500, policy="new")
+
+
+def _sketch():
+    return QuantileSketch(eps=0.01, n=N)
+
+
+def _adaptive():
+    return AdaptiveQuantileSketch(eps=0.01)
+
+
+def _sampled():
+    return SampledQuantileFramework(0.05, N, 0.01, seed=11)
+
+
+def _engine():
+    return ParallelQuantileEngine(eps=0.02, n=N, n_workers=2, backend="sync")
+
+
+FACTORIES = [
+    pytest.param(_framework, id="QuantileFramework"),
+    pytest.param(_sketch, id="QuantileSketch"),
+    pytest.param(_adaptive, id="AdaptiveQuantileSketch"),
+    pytest.param(_sampled, id="SampledQuantileFramework"),
+    pytest.param(_engine, id="ParallelQuantileEngine"),
+]
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(3).permutation(N).astype(np.float64)
+
+
+def _fill(sketch, data):
+    if isinstance(sketch, ParallelQuantileEngine):
+        sketch.dispatch(data)
+    else:
+        sketch.extend(data)
+    return sketch
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+def test_satisfies_protocol(factory, data):
+    sketch = _fill(factory(), data)
+    assert isinstance(sketch, SketchProtocol)
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+def test_quantile_quartet_consistency(factory, data):
+    sketch = _fill(factory(), data)
+    assert sketch.n == N
+    # scalar == vector spelling
+    assert sketch.quantile(0.5) == sketch.quantiles([0.5])[0]
+    # values on a permutation of 0..N-1: answer ~ phi * N
+    for phi in (0.25, 0.5, 0.75):
+        assert abs(float(sketch.quantile(phi)) - phi * N) <= 0.06 * N
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+def test_cdf_scalar_and_sequence(factory, data):
+    sketch = _fill(factory(), data)
+    scalar = sketch.cdf(N / 2)
+    assert isinstance(scalar, float)
+    assert abs(scalar - 0.5) <= 0.06
+    seq = sketch.cdf([N / 4, N / 2, 3 * N / 4])
+    assert isinstance(seq, list) and len(seq) == 3
+    assert seq == sorted(seq)
+    assert seq[1] == scalar
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+def test_describe_shape(factory, data):
+    sketch = _fill(factory(), data)
+    report = sketch.describe()
+    assert report["n"] == N
+    assert set(report["quantiles"]) == set(DESCRIBE_PHIS)
+    assert report["min"] <= report["quantiles"][0.5] <= report["max"]
+    values = [report["quantiles"][phi] for phi in sorted(DESCRIBE_PHIS)]
+    assert values == sorted(values)
+    assert report["error_bound"] >= 0.0
+    assert report["error_bound_fraction"] == pytest.approx(
+        report["error_bound"] / N
+    )
+
+
+def test_bank_answers_quartet_per_id(data):
+    from repro.core.bank import SketchBank
+
+    bank = SketchBank(eps=0.02, n=N, n_sketches=2)
+    bank.extend_single(0, data)
+    bank.extend_single(1, data[: N // 2])
+    assert bank.quantile(0, 0.5) == bank.sketch(0).quantile(0.5)
+    assert abs(bank.cdf(0, N / 2) - 0.5) <= 0.06
+    report = bank.describe(0)
+    assert report["n"] == N
+
+
+def test_generator_ingest_on_sampling_frontend():
+    """Regression: ``extend`` must accept generators, not just arrays."""
+    sk = SampledQuantileFramework(0.05, 10_000, 0.01, seed=5)
+    sk.extend(float(i) for i in range(10_000))
+    assert sk.n == 10_000
+    assert abs(sk.quantile(0.5) - 5000) <= 0.1 * 10_000

@@ -1,0 +1,117 @@
+"""Obs counters against a hand-traced b=3, k=5 collapse sequence.
+
+With three buffers of five elements, the ``new`` policy consumes 25
+elements as::
+
+    NEW NEW NEW          -> three full (level 0, weight 1) buffers
+    COLLAPSE             -> one (level 1, weight 3) buffer, two free
+    NEW NEW              -> 25 elements consumed
+
+so exactly 5 NEW operations place level-0 leaves, exactly 1 COLLAPSE
+fires at level 1 merging weights (1, 1, 1) into weight 3, and Lemma 5
+gives the certified bound (W - C - 1)/2 + w_max = (3 - 1 - 1)/2 + 3
+= 3.5 ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import QuantileFramework
+from repro.obs import hooks
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    hooks.reset()
+    yield
+    hooks.reset()
+
+
+def _traced_framework() -> QuantileFramework:
+    hooks.enable()
+    fw = QuantileFramework(3, 5, policy="new")
+    fw.extend(np.arange(25, dtype=np.float64))
+    return fw
+
+
+def test_hand_traced_new_and_collapse_counts():
+    fw = _traced_framework()
+    stats = hooks.stats_for(fw)
+    assert stats.new_by_level == {0: 5}
+    assert stats.collapses_by_level == {1: 1}
+    assert stats.elements == 25
+    assert stats.n_new == 5
+    assert stats.n_collapses == fw.n_collapses == 1
+
+
+def test_hand_traced_registry_counters_match():
+    fw = _traced_framework()
+    reg = hooks.registry()
+    assert reg.value("core.new", level=0) == 5
+    assert reg.value("core.collapse", level=1) == 1
+    assert reg.total("core.elements_ingested") == 25
+    # one extend chunk of 25 float64 values
+    assert reg.total("core.bytes_ingested") == 25 * 8
+    # final state: the weight-3 survivor plus two level-0 buffers
+    assert reg.value("core.buffers_in_use") == 3
+
+
+def test_hand_traced_trace_event():
+    fw = _traced_framework()
+    events = hooks.tracer().ring.events("collapse")
+    assert len(events) == 1
+    (ev,) = events
+    assert ev.level == 1
+    assert ev.weights == (1, 1, 1)
+    assert ev.out_weight == 3
+    assert ev.n_collapses == 1
+    assert ev.sum_collapse_weights == 3
+    assert ev.w_max == 3
+    assert ev.bound == 3.5
+    assert ev.bound == fw.error_bound()
+    assert hooks.tracer().current_bound() == 3.5
+
+
+def test_hand_traced_bound_in_stats():
+    fw = _traced_framework()
+    assert hooks.stats_for(fw).last_bound == fw.error_bound() == 3.5
+
+
+def test_disabled_gate_records_nothing():
+    fw = QuantileFramework(3, 5, policy="new")
+    fw.extend(np.arange(25, dtype=np.float64))
+    assert getattr(fw, "_obs_stats", None) is None
+    assert len(hooks.registry()) == 0
+    assert hooks.tracer().ring.n_emitted == 0
+
+
+def test_disable_keeps_collected_state_readable():
+    fw = _traced_framework()
+    hooks.disable()
+    assert not hooks.is_enabled()
+    # collected state survives the gate flip
+    assert hooks.registry().value("core.new", level=0) == 5
+    assert hooks.tracer().current_bound() == 3.5
+    # ...but nothing further is recorded
+    fw.extend(np.arange(25, dtype=np.float64))
+    assert hooks.registry().total("core.elements_ingested") == 25
+
+
+def test_adaptive_stage_roll_preserves_counts():
+    from repro.core.adaptive import AdaptiveQuantileSketch
+
+    hooks.enable()
+    sk = AdaptiveQuantileSketch(epsilon=0.05, initial_capacity=64)
+    sk.extend(np.arange(1000, dtype=np.float64))
+    assert sk.n_stages > 1  # stages rolled
+    stats = hooks.collected_stats(sk)
+    assert stats is not None
+    # every element is accounted across rolled + live stages
+    assert stats.elements == 1000
+    # so is every collapse, including the stage-close ones (_ClosedStage
+    # fires the hooks before the roll merges the retired stage's stats)
+    assert stats.n_collapses == (
+        sum(s.n_collapses for s in sk._closed) + sk._active.n_collapses
+    )

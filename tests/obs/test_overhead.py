@@ -1,0 +1,71 @@
+"""Disabled-mode instrumentation must cost (almost) nothing.
+
+The guards in :mod:`repro.core` are one module-attribute read plus a
+branch each, placed at buffer/chunk granularity -- never per element.
+This test bounds the *analytic* overhead: measured guard cost times
+guards-per-element, as a fraction of the measured per-element ingest
+cost.  The same quantity is measured end-to-end by the ``obs`` section
+of ``benchmarks/bench_hotpath.py`` and gated in CI at 2%.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.core.framework import QuantileFramework
+from repro.obs import hooks
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    hooks.reset()
+    yield
+    hooks.reset()
+
+
+def test_disabled_guard_cost_is_under_two_percent_of_ingest():
+    k = 1000
+    n = 200_000
+    reps = 200_000
+
+    # cost of one disabled guard: the exact expression the core uses
+    t_guard = (
+        timeit.timeit(
+            "if h.ENABLED:\n    pass", globals={"h": hooks}, number=reps
+        )
+        / reps
+    )
+
+    # per-element cost of the real (instrumented, disabled) ingest path
+    data = np.random.default_rng(0).permutation(n).astype(np.float64)
+    fw = QuantileFramework(10, k, policy="new")
+    t0 = time.perf_counter()
+    fw.extend(data)
+    per_element = (time.perf_counter() - t0) / n
+    assert not hooks.is_enabled()
+
+    # guard sites fire per buffer op (NEW + COLLAPSE amortise to ~2/k
+    # per element) plus once per extend chunk
+    guards_per_element = 2.0 / k + 1.0 / n
+    overhead = (t_guard * guards_per_element) / per_element
+    assert overhead < 0.02, (
+        f"disabled-mode guard overhead {overhead:.2%} "
+        f"(guard={t_guard * 1e9:.1f}ns, ingest={per_element * 1e9:.1f}ns/elt)"
+    )
+
+
+def test_enabled_mode_still_ingests_correctly():
+    # enabling must never change answers, only record them
+    data = np.random.default_rng(1).permutation(50_000).astype(np.float64)
+    fw_off = QuantileFramework(8, 500, policy="new")
+    fw_off.extend(data)
+    hooks.enable()
+    fw_on = QuantileFramework(8, 500, policy="new")
+    fw_on.extend(data)
+    phis = [0.1, 0.5, 0.9]
+    assert fw_on.quantiles(phis) == fw_off.quantiles(phis)
+    assert fw_on.error_bound() == fw_off.error_bound()

@@ -1,0 +1,93 @@
+"""The live trace-event bound IS the certified a-posteriori bound.
+
+The key invariant: NEW adds weight-1 buffers and changes none of
+``W``/``C``/``w_max`` (collapse outputs always weigh >= 2), so the bound
+recorded at the most recent COLLAPSE trace event equals
+``framework.error_bound()`` for any answer issued before the next
+collapse -- bit-equal, at every stream prefix.  And because the bound is
+Lemma 5, the *observed* rank error of every answered quantile stays
+under it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rank_error import observed_rank_error
+from repro.core.framework import QuantileFramework
+from repro.obs import hooks
+
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    hooks.reset()
+    yield
+    hooks.reset()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    b=st.integers(min_value=3, max_value=6),
+    k=st.integers(min_value=4, max_value=24),
+    n_chunks=st.integers(min_value=1, max_value=30),
+    chunk=st.integers(min_value=1, max_value=97),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_trace_bound_equals_certified_bound_at_every_prefix(
+    b, k, n_chunks, chunk, seed
+):
+    hooks.reset()
+    hooks.enable()
+    fw = QuantileFramework(b, k, policy="new")
+    data = np.random.default_rng(seed).normal(size=n_chunks * chunk)
+    tracer = hooks.tracer()
+    for i in range(n_chunks):
+        fw.extend(data[i * chunk : (i + 1) * chunk])
+        live = tracer.current_bound()
+        if fw.n_collapses == 0:
+            assert live is None
+            assert fw.error_bound() == 0.0
+        else:
+            # bit-equal: the last collapse event certified this prefix
+            assert live == fw.error_bound()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=50, max_value=4000),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_certified_bound_dominates_observed_rank_error(n, seed):
+    hooks.reset()
+    hooks.enable()
+    fw = QuantileFramework(4, 16, policy="new")
+    data = np.random.default_rng(seed).permutation(n).astype(np.float64)
+    fw.extend(data)
+    estimates = fw.quantiles(PHIS)
+    bound = fw.error_bound()
+    live = hooks.tracer().current_bound()
+    if fw.n_collapses:
+        assert live == bound
+    ordered = np.sort(data)
+    for phi, est in zip(PHIS, estimates):
+        assert observed_rank_error(ordered, phi, float(est)) <= bound
+
+
+def test_trace_events_are_monotone_in_n():
+    hooks.enable()
+    fw = QuantileFramework(3, 8, policy="new")
+    fw.extend(np.random.default_rng(7).normal(size=2000))
+    events = hooks.tracer().ring.events("collapse")
+    assert len(events) == fw.n_collapses
+    ns = [ev.n for ev in events]
+    assert ns == sorted(ns)
+    # each event's bound recomputes from its own recorded fields
+    for ev in events:
+        assert ev.bound == (
+            ev.sum_collapse_weights - ev.n_collapses - 1
+        ) / 2.0 + ev.w_max

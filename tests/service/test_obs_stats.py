@@ -1,0 +1,162 @@
+"""The STATS observability extension: protocol detail byte, the obs
+section of the response, and the client's uniform query surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import hooks
+from repro.service import protocol
+from repro.service.client import QuantileClient
+from repro.service.protocol import Opcode, Request
+from repro.service.server import ServerThread
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    hooks.reset()
+    yield
+    hooks.reset()
+
+
+# -- wire format --------------------------------------------------------------
+
+
+def test_stats_request_without_detail_is_pre_detail_format():
+    payload = protocol.encode_request(Request(opcode=Opcode.STATS))
+    assert payload == bytes([Opcode.STATS])  # byte-identical to v2
+    req = protocol.decode_request(payload)
+    assert req.detail == 0
+
+
+def test_stats_request_detail_roundtrip():
+    payload = protocol.encode_request(
+        Request(opcode=Opcode.STATS, detail=1)
+    )
+    assert payload == bytes([Opcode.STATS, 1])
+    req = protocol.decode_request(payload)
+    assert req.detail == 1
+
+
+def test_old_server_style_payload_still_decodes():
+    # an old client frame (no trailing byte) must parse as detail=0
+    req = protocol.decode_request(bytes([Opcode.STATS]))
+    assert req.opcode == Opcode.STATS and req.detail == 0
+
+
+# -- end to end ---------------------------------------------------------------
+
+
+@pytest.fixture
+def server_and_client():
+    with ServerThread(n_shards=2) as server:
+        with QuantileClient("127.0.0.1", server.port) as client:
+            yield server, client
+
+
+def test_stats_obs_section(server_and_client):
+    _server, client = server_and_client
+    client.create("obs/fixed", kind="fixed", epsilon=0.02, n=50_000)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        client.ingest("obs/fixed", rng.normal(size=5000))
+    client.drain()
+    client.quantile("obs/fixed", 0.5)
+
+    stats = client.stats()
+    obs = stats["obs"]
+    assert obs["enabled"] is True
+
+    (metric,) = [m for m in obs["metrics"] if m["name"] == "obs/fixed"]
+    assert metric["n"] == 50_000
+    assert metric["certified_bound"] > 0.0
+    assert metric["certified_bound_fraction"] == pytest.approx(
+        metric["certified_bound"] / 50_000
+    )
+    assert metric["collapses_by_level"]  # levels observed
+    assert sum(metric["collapses_by_level"].values()) > 0
+
+    # per-shard collapse-by-level aggregation reaches the shard table
+    shard = stats["shards"][metric["shard"]]
+    assert shard["collapses_by_level"] == metric["collapses_by_level"]
+
+    # every opcode used above was self-metered
+    ops = stats["obs"]["op_latency_ms"]
+    for op in ("CREATE", "INGEST", "QUERY", "DRAIN", "STATS"):
+        if op == "STATS":
+            continue  # metered after its own response is built
+        assert op in ops
+        assert ops[op]["n"] >= 1
+        assert "p50" in ops[op] and "p99" in ops[op]
+        assert ops[op]["certified_rank_bound_fraction"] >= 0.0
+
+    # obs counters flow through from the core hooks
+    assert stats["obs"]["counters"]["core.elements_ingested"] >= 50_000
+
+
+def test_stats_detail_adds_prometheus(server_and_client):
+    _server, client = server_and_client
+    client.create("p", kind="adaptive", epsilon=0.02)
+    client.ingest("p", np.arange(10_000, dtype=np.float64))
+    client.drain()
+
+    plain = client.stats()
+    assert "prometheus" not in plain
+
+    detailed = client.stats(detail=1)
+    prom = detailed["prometheus"]
+    assert "# TYPE repro_core_collapse counter" in prom
+    assert "repro_core_elements_ingested" in prom
+
+
+def test_client_quantiles_and_describe(server_and_client):
+    _server, client = server_and_client
+    client.create("q", kind="fixed", epsilon=0.01, n=20_000)
+    client.ingest("q", np.arange(20_000, dtype=np.float64))
+    client.drain()
+
+    values = client.quantiles("q", [0.25, 0.5, 0.75])
+    assert values == client.query("q", [0.25, 0.5, 0.75])[0]
+
+    report = client.describe("q")
+    assert report["n"] == 20_000
+    assert report["min"] == 0.0
+    assert report["max"] == 19_999.0
+    assert abs(report["quantiles"][0.5] - 10_000) <= 0.01 * 20_000
+    assert report["error_bound_fraction"] == pytest.approx(
+        report["error_bound"] / 20_000
+    )
+
+
+def test_render_stats_text_shows_acceptance_fields(server_and_client):
+    from repro.obs import render_stats_text
+
+    _server, client = server_and_client
+    client.create("r", kind="adaptive", epsilon=0.02)
+    client.ingest("r", np.random.default_rng(2).normal(size=30_000))
+    client.drain()
+    client.quantile("r", 0.99)
+
+    text = render_stats_text(client.stats())
+    assert "shards" in text
+    assert "cert. εN" in text
+    assert "op latency (self-metered, ms)" in text
+    assert "L1:" in text  # collapse counts by level
+    assert "INGEST" in text and "QUERY" in text
+
+
+def test_observability_opt_out():
+    with ServerThread(n_shards=1, observability=False) as server:
+        with QuantileClient("127.0.0.1", server.port) as client:
+            client.create("s", kind="adaptive", epsilon=0.05)
+            client.ingest("s", np.arange(5000, dtype=np.float64))
+            client.drain()
+            stats = client.stats()
+            assert stats["obs"]["enabled"] is False
+            # op latency is still self-metered (it costs one sketch
+            # update per request, independent of the core hooks)
+            assert "INGEST" in stats["obs"]["op_latency_ms"]
+            # but no core hook state was recorded
+            (metric,) = stats["obs"]["metrics"]
+            assert "collapses_by_level" not in metric

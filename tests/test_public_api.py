@@ -1,0 +1,148 @@
+"""Snapshot of the public API surface: the facade and the legacy shims.
+
+CI runs this to catch accidental changes to ``repro.__all__``, the
+facade signatures, and the deprecation behaviour of the pre-facade
+import paths.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+
+
+# -- the facade surface -------------------------------------------------------
+
+
+def test_public_all_snapshot():
+    assert repro.__all__ == [
+        "Sketch",
+        "Bank",
+        "connect",
+        "hist",
+        "obs",
+        "__version__",
+    ]
+
+
+def test_sketch_signature():
+    params = inspect.signature(repro.Sketch).parameters
+    assert list(params) == [
+        "eps", "n", "policy", "kernels", "adaptive", "kwargs",
+    ]
+    assert params["eps"].default == 0.01
+    assert params["n"].default is None
+    assert params["policy"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["policy"].default == "new"
+    assert params["kernels"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["adaptive"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+def test_bank_signature():
+    params = inspect.signature(repro.Bank).parameters
+    assert list(params) == ["eps", "n", "policy", "kernels", "kwargs"]
+
+
+def test_connect_signature():
+    params = inspect.signature(repro.connect).parameters
+    assert list(params) == ["host", "port", "kwargs"]
+    assert params["port"].default == 7337
+
+
+def test_hist_signature():
+    params = inspect.signature(repro.hist).parameters
+    assert list(params) == ["data", "bins", "eps", "policy"]
+    assert params["eps"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+def test_sketch_dispatch():
+    from repro.core.adaptive import AdaptiveQuantileSketch
+    from repro.core.sketch import QuantileSketch
+
+    assert isinstance(repro.Sketch(eps=0.02), AdaptiveQuantileSketch)
+    assert isinstance(repro.Sketch(eps=0.02, n=10_000), QuantileSketch)
+    assert isinstance(
+        repro.Sketch(eps=0.02, n=10_000, adaptive=True),
+        AdaptiveQuantileSketch,
+    )
+
+
+def test_hist_returns_equidepth_boundaries():
+    data = np.arange(10_000, dtype=np.float64)
+    edges = repro.hist(data, bins=4, eps=0.01)
+    assert len(edges) == 3
+    for target, edge in zip((2500, 5000, 7500), edges):
+        assert abs(float(edge) - target) <= 0.01 * 10_000
+
+
+def test_obs_is_exported():
+    assert repro.obs.is_enabled() in (True, False)
+    assert callable(repro.obs.enable)
+    assert callable(repro.obs.render_prometheus)
+
+
+# -- legacy import paths ------------------------------------------------------
+
+LEGACY_NAMES = [
+    "QuantileSketch",
+    "AdaptiveQuantileSketch",
+    "QuantileFramework",
+    "ParallelQuantileEngine",
+    "approximate_quantiles",
+    "optimal_parameters",
+    "MultiColumnSketcher",
+    "exact_quantile_two_pass",
+    "verify_guarantee",
+]
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES)
+def test_legacy_name_still_importable(name):
+    repro._reset_deprecation_warnings()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        obj = getattr(repro, name)
+    assert obj is not None
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES)
+def test_legacy_name_warns_exactly_once(name):
+    repro._reset_deprecation_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, name)
+        getattr(repro, name)  # second access: shim stays silent
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert name in str(deprecations[0].message)
+
+
+def test_legacy_object_identity():
+    """The shim returns the same object as the canonical import."""
+    import repro.core as core
+
+    repro._reset_deprecation_warnings()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert repro.QuantileSketch is core.QuantileSketch
+        assert repro.QuantileFramework is core.QuantileFramework
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NoSuchThing
+
+
+def test_dir_lists_facade_and_legacy():
+    listing = dir(repro)
+    for name in repro.__all__:
+        assert name in listing
+    for name in LEGACY_NAMES:
+        assert name in listing
