@@ -1,12 +1,13 @@
 """Service ingest throughput: the TCP server versus in-process SketchBank.
 
 The acceptance target for the service subsystem is that batched ingest
-through the full stack -- frame encode, TCP, asyncio server, journal-less
-registry enqueue, vectorized shard drain -- stays within 2x of direct
-in-process :class:`~repro.core.bank.SketchBank` ingest once batches are
-large (>= 4096 values), i.e. the protocol disappears into the batch.
+through the full stack -- zero-copy frame encode, TCP, coalesced asyncio
+server, journal-less registry enqueue, vectorized shard drain -- stays
+within 1.3x of direct in-process
+:class:`~repro.core.bank.SketchBank` ingest once batches are large
+(>= 4096 values), i.e. the protocol disappears into the batch.
 
-Four measurements, written to ``BENCH_service.json``:
+Five measurements, written to ``BENCH_service.json``:
 
 * ``direct``     -- in-process ``SketchBank.extend_pairs`` over the same
   metric/batch schedule: the ceiling the server is judged against.
@@ -18,6 +19,14 @@ Four measurements, written to ``BENCH_service.json``:
   off (zero faults injected), to price the retry layer itself: token
   generation, the unacked-request window, and the server-side dedup
   lookup.  Gated at <= 5% overhead.
+* ``scaling``    -- the multi-process cluster
+  (:class:`~repro.service.cluster.ClusterService`) at 1, 2, ... worker
+  processes, each blasted by its own driver process.  The >1.6x
+  two-worker speedup gate only applies when the recorded *effective*
+  CPU affinity (``meta.effective_cpus``, from ``sched_getaffinity`` --
+  not ``cpu_count``, which lies inside cgroup-limited containers) is
+  >= 2; on a single-core box the section still runs and records the
+  honest numbers with ``gate_applicable: false``.
 
 Run directly::
 
@@ -49,6 +58,14 @@ OUT_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
 EPSILON = 0.01
 DESIGN_N = 50_000_000
 N_METRICS = 8
+
+#: tuned service fast path (see DESIGN.md, "service fast path"): the
+#: client defers sends until this many framed bytes queue up (one
+#: scatter-gather ``sendmsg`` per ~4 batches of 4096 float64s), and the
+#: shard flusher waits this long before draining so frames from several
+#: socket reads collapse into one vectorized apply
+COALESCE_BYTES = 128 * 1024
+BATCH_WINDOW_S = 0.002
 
 
 def _schedule(
@@ -106,10 +123,20 @@ def bench_service(
         if run_dir:
             os.makedirs(run_dir, exist_ok=True)
         with ServerThread(
-            data_dir=run_dir, n_shards=n_shards, snapshot_interval_s=None
+            data_dir=run_dir,
+            n_shards=n_shards,
+            snapshot_interval_s=None,
+            batch_window_s=BATCH_WINDOW_S,
+            # the direct baseline runs with obs hooks off, so the server
+            # must too -- instrumentation cost is priced separately by
+            # bench_hotpath's ``obs`` section, not double-charged here
+            observability=False,
         ) as server:
             with QuantileClient(
-                "127.0.0.1", server.port, idempotency=idempotency
+                "127.0.0.1",
+                server.port,
+                idempotency=idempotency,
+                send_coalesce_bytes=COALESCE_BYTES,
             ) as client:
                 for name in names:
                     client.create(
@@ -127,9 +154,130 @@ def bench_service(
     return {
         "batch": batch,
         "shards": n_shards,
+        "batch_window_s": BATCH_WINDOW_S,
+        "send_coalesce_bytes": COALESCE_BYTES,
         "elements": total_elements,
         "seconds": round(best, 4),
         "elements_per_s": round(_rate(total_elements, best)),
+    }
+
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity, not inventory)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scaling_driver(
+    host: str,
+    port: int,
+    own: "set[int]",
+    total: int,
+    batch: int,
+    conn,
+) -> None:
+    """One driver process: blast pipelined ingest at one cluster worker.
+
+    Regenerates the shared schedule from the same seed and keeps only
+    the batches of the metrics this driver's worker owns, so the union
+    of all drivers is exactly the single-process workload.  Handshake:
+    send ``("ready", n_elements)`` after creates, wait for ``"go"``,
+    then send ``("done", seconds)`` after flush + drain.
+    """
+    from repro.service import QuantileClient
+
+    names = [f"bench/m{i}" for i in range(N_METRICS)]
+    schedule = [
+        (m, values) for m, values in _schedule(total, batch) if m in own
+    ]
+    client = QuantileClient(host, port, send_coalesce_bytes=COALESCE_BYTES)
+    for i in sorted(own):
+        client.create(names[i], kind="fixed", epsilon=EPSILON, n=DESIGN_N)
+    conn.send(("ready", int(sum(v.size for _, v in schedule))))
+    conn.recv()  # "go"
+    t0 = time.perf_counter()
+    for metric, values in schedule:
+        client.ingest_nowait(names[metric], values)
+    client.flush()
+    client.drain()
+    conn.send(("done", time.perf_counter() - t0))
+    client.close()
+
+
+def bench_scaling(
+    total_elements: int, batch: int, workers: int, rounds: int
+) -> Dict[str, object]:
+    """Aggregate ingest throughput of a *workers*-process cluster.
+
+    Unlike ``bench_service`` (client thread and server thread share one
+    process), every driver here is a separate OS process, so the
+    measurement isolates server-side parallelism: wall time runs from
+    the moment all drivers are connected and armed to the last drain.
+    """
+    import multiprocessing
+
+    from repro.service import ClusterService
+    from repro.service.registry import shard_of
+
+    names = [f"bench/m{i}" for i in range(N_METRICS)]
+    ctx = multiprocessing.get_context("spawn")
+    best = float("inf")
+    elements = 0
+    for _ in range(rounds):
+        with ClusterService(
+            workers=workers,
+            n_shards=4,
+            snapshot_interval_s=None,
+            batch_window_s=BATCH_WINDOW_S,
+            observability=False,
+        ) as cluster:
+            conns = []
+            procs = []
+            for w in range(workers):
+                own = {
+                    i
+                    for i, name in enumerate(names)
+                    if shard_of(name, workers) == w
+                }
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_scaling_driver,
+                    args=(
+                        "127.0.0.1",
+                        cluster.ports[w],
+                        own,
+                        total_elements,
+                        batch,
+                        child_conn,
+                    ),
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+            elements = 0
+            for conn in conns:
+                status, n = conn.recv()
+                assert status == "ready"
+                elements += n
+            t0 = time.perf_counter()
+            for conn in conns:
+                conn.send("go")
+            for conn in conns:
+                status, _secs = conn.recv()
+                assert status == "done"
+            elapsed = time.perf_counter() - t0
+            for proc in procs:
+                proc.join()
+        best = min(best, elapsed)
+    return {
+        "workers": workers,
+        "batch": batch,
+        "elements": elements,
+        "seconds": round(best, 4),
+        "elements_per_s": round(_rate(elements, best)),
     }
 
 
@@ -138,21 +286,29 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small-N smoke run for CI (validates the harness, not perf)",
+        help="reduced matrix for the CI perf smoke job -- still large "
+        "enough (2M elements) that the 1.3x gate is meaningful",
     )
     parser.add_argument("--out", default=OUT_PATH, help="output JSON path")
     args = parser.parse_args(argv)
 
     if args.quick:
-        total, rounds = 400_000, 1
-        batch_sizes = [1024, 4096, 16384]
-        shard_counts = [2]
+        # the batch window (2 ms/flush) and server setup are fixed
+        # costs: below ~2M elements they dominate and the slowdown gate
+        # measures the harness, not the protocol
+        total, rounds = 2_000_000, 2
+        batch_sizes = [4096, 16384]
+        shard_counts = [1, 4]
         durable_batch = 4096
+        worker_counts = [1, 2]
+        scaling_batch = 16384
     else:
         total, rounds = 4_000_000, 3
         batch_sizes = [256, 1024, 4096, 16384, 65536]
         shard_counts = [1, 2, 4, 8]
         durable_batch = 4096
+        worker_counts = [1, 2, 4]
+        scaling_batch = 16384
 
     direct = {
         str(b): bench_direct(total, b, rounds) for b in batch_sizes
@@ -188,17 +344,24 @@ def main(argv=None) -> int:
     )
 
     # resilience overhead: identical fault-free workload, tokens on vs
-    # off.  Best-of-N with extra rounds because the gate is tight (5%)
-    # and both runs must beat scheduler noise, not each other.
-    res_rounds = max(rounds, 5 if args.quick else 3)
-    tokens_on = bench_service(
-        total, durable_batch, shard_counts[-1], res_rounds,
-        idempotency=True,
-    )
-    tokens_off = bench_service(
-        total, durable_batch, shard_counts[-1], res_rounds,
-        idempotency=False,
-    )
+    # off.  The two configs are interleaved round by round and the
+    # within-round order alternates -- box throughput drifts on a scale
+    # of minutes and the first run after server setup is often the slow
+    # one, so either a back-to-back block or a fixed on-then-off order
+    # would measure the drift, not the tokens -- and the gate is tight
+    # (5%).
+    res_rounds = max(rounds, 5)
+    tokens_on: Dict[str, object] = {}
+    tokens_off: Dict[str, object] = {}
+    for round_i in range(res_rounds):
+        for idem in ([True, False] if round_i % 2 == 0 else [False, True]):
+            result = bench_service(
+                total, durable_batch, shard_counts[-1], 1, idempotency=idem
+            )
+            best = tokens_on if idem else tokens_off
+            if not best or result["seconds"] < best["seconds"]:
+                best.clear()
+                best.update(result)
     overhead_ratio = round(
         tokens_off["elements_per_s"] / tokens_on["elements_per_s"], 3
     )
@@ -207,6 +370,28 @@ def main(argv=None) -> int:
         "tokens_off": tokens_off,
         "overhead_ratio": overhead_ratio,
         "target_overhead_ratio": 1.05,
+    }
+
+    effective_cpus = _effective_cpus()
+    by_workers = {
+        str(w): bench_scaling(total, scaling_batch, w, rounds)
+        for w in worker_counts
+    }
+    rate_1 = by_workers["1"]["elements_per_s"]
+    speedups = {
+        str(w): round(by_workers[str(w)]["elements_per_s"] / rate_1, 3)
+        for w in worker_counts
+    }
+    # the >1.6x two-worker gate is meaningless without a second core to
+    # run on; record the honest numbers either way and let the gate key
+    # off the *effective* affinity, not the hardware inventory
+    scaling = {
+        "batch": scaling_batch,
+        "by_workers": by_workers,
+        "speedup_vs_1_worker": speedups,
+        "effective_cpus": effective_cpus,
+        "gate_applicable": effective_cpus >= 2,
+        "target_speedup_at_2_workers": 1.6,
     }
 
     gate_batches = [b for b in batch_sizes if b >= 4096]
@@ -222,16 +407,21 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
+            "effective_cpus": effective_cpus,
         },
         "direct": direct,
         "service": service,
         "durable": durable,
         "resilience": resilience,
+        "scaling": scaling,
         "targets": {
             "max_slowdown_at_4096_plus": max(
                 service[str(b)]["slowdown_vs_direct"] for b in gate_batches
             ),
-            "target_slowdown": 2.0,
+            "target_slowdown": 1.3,
+            "scaling_speedup_at_2_workers": speedups.get("2"),
+            "scaling_gate_applicable": scaling["gate_applicable"],
+            "target_speedup_at_2_workers": 1.6,
         },
     }
     with open(args.out, "w") as fh:
@@ -256,10 +446,23 @@ def main(argv=None) -> int:
         f"{tokens_off['elements_per_s']:,} el/s "
         f"({overhead_ratio}x overhead, target <= 1.05x)"
     )
+    for w in worker_counts:
+        entry = by_workers[str(w)]
+        print(
+            f"scaling {w} worker(s): {entry['elements_per_s']:>12,} el/s "
+            f"({speedups[str(w)]}x vs 1 worker)"
+        )
+    applicable = (
+        "applies" if scaling["gate_applicable"]
+        else f"not applicable (affinity={effective_cpus} core)"
+    )
+    print(
+        f"scaling gate (>1.6x at 2 workers): {applicable}"
+    )
     print(
         f"gate: worst slowdown at batch >= 4096 is "
         f"{report['targets']['max_slowdown_at_4096_plus']}x "
-        f"(target <= 2x)"
+        f"(target <= 1.3x)"
     )
     print(f"wrote {args.out}")
     return 0

@@ -205,11 +205,56 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import ClusterService
+
+    if args.chaos:
+        print(
+            "error: --chaos fronts a single listener; use --workers 1",
+            file=sys.stderr,
+        )
+        return 1
+    cluster = ClusterService(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        n_shards=args.shards,
+        snapshot_interval_s=(
+            None if args.snapshot_interval <= 0 else args.snapshot_interval
+        ),
+        fsync=args.fsync,
+        batch_window_s=args.batch_window,
+    )
+    cluster.start()
+    durability = f"data_dir={args.data_dir}" if args.data_dir else "ephemeral"
+    ports = ",".join(str(p) for p in cluster.ports)
+    print(
+        f"repro cluster listening on {args.host}:[{ports}] "
+        f"({args.workers} workers x {args.shards} shards, {durability}); "
+        f"metric -> worker routing is crc32(name) % {args.workers}",
+        flush=True,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("shutting down cluster (graceful)", flush=True)
+    cluster.stop(graceful=True)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
     from .service import ChaosProxy, FaultSchedule, QuantileService
+
+    if args.workers > 1:
+        return _cmd_serve_cluster(args)
 
     # under --chaos the service binds an ephemeral port and a seeded
     # fault-injecting proxy takes the public one, so every client
@@ -441,6 +486,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for snapshot + journal; omit for an ephemeral server",
     )
     serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes; >1 runs one full service per process, "
+            "worker i on port+i, metrics routed by crc32(name) mod N "
+            "(per-metric state stays bit-identical to a single process)"
+        ),
+    )
     serve.add_argument(
         "--snapshot-interval",
         type=float,

@@ -237,16 +237,27 @@ class SketchBank:
             raise ConfigurationError(_FINITE_MSG)
         return arr
 
-    def extend_single(self, i: int, values: "np.ndarray | Sequence[float]") -> None:
+    def extend_single(
+        self,
+        i: int,
+        values: "np.ndarray | Sequence[float]",
+        *,
+        validated: bool = False,
+    ) -> None:
         """Feed *values* (in order) to sketch *i* alone.
 
         The single-destination fast path: no id vector, no partition --
         identical overhead to feeding the framework directly, so single
         group / single column workloads pay nothing for the bank.
+
+        ``validated=True`` skips the coercion/finiteness scan for
+        callers that already validated this exact float64 array (the
+        service validates at frame decode, before journaling -- the
+        O(batch) ``isfinite`` scan must not be charged twice).
         """
         if i < 0:
             raise ConfigurationError(f"sketch ids must be >= 0, got {i}")
-        arr = self._coerce_values(values)
+        arr = values if validated else self._coerce_values(values)
         if arr.size == 0:
             return
         if i >= len(self._sketches):

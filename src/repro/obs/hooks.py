@@ -113,10 +113,64 @@ def tracer() -> Any:
 
 def reset() -> None:
     """Drop gate + collected state entirely (test isolation)."""
-    global ENABLED, _registry, _tracer
+    global ENABLED, _registry, _tracer, _hot
     ENABLED = False
     _registry = None
     _tracer = None
+    _hot = None
+
+
+# -- cached instrument handles ------------------------------------------------
+
+
+class _HotHandles:
+    """Instrument handles resolved once, not per event.
+
+    ``registry().counter(name, **labels)`` builds a labels dict, sorts
+    it into a key tuple and does two dict lookups -- fine for one-off
+    reads, but the NEW/COLLAPSE hooks fire thousands of times per
+    second under service ingest and the lookup chain was ~10% of server
+    CPU.  Handles are plain attribute/dict reads here; the cache
+    revalidates with a single identity check so registry swaps
+    (``enable(registry=...)``, ``reset()``) stay correct.
+    """
+
+    __slots__ = (
+        "registry",
+        "new_by_level",
+        "collapse_by_level",
+        "buffers_gauge",
+        "output",
+        "elements_ingested",
+        "bytes_ingested",
+        "bank_chunks",
+        "bank_elements",
+        "bank_runs",
+    )
+
+    def __init__(self, reg: Any) -> None:
+        self.registry = reg
+        self.new_by_level: Dict[int, Any] = {}
+        self.collapse_by_level: Dict[int, Any] = {}
+        self.buffers_gauge = reg.gauge("core.buffers_in_use")
+        self.output = reg.counter("core.output")
+        self.elements_ingested = reg.counter("core.elements_ingested")
+        self.bytes_ingested = reg.counter("core.bytes_ingested")
+        self.bank_chunks = reg.counter("bank.chunks")
+        self.bank_elements = reg.counter("bank.elements")
+        self.bank_runs = reg.counter("bank.runs")
+
+
+_hot: Optional[_HotHandles] = None
+
+
+def _handles() -> _HotHandles:
+    global _hot
+    reg = registry()
+    hot = _hot
+    if hot is None or hot.registry is not reg:
+        hot = _hot = _HotHandles(reg)
+    return hot
 
 
 # -- per-sketch statistics ----------------------------------------------------
@@ -210,9 +264,14 @@ def on_new(fw: Any, level: int) -> None:
     """A NEW placed one buffer at *level*."""
     stats = stats_for(fw)
     stats.new_by_level[level] = stats.new_by_level.get(level, 0) + 1
-    reg = registry()
-    reg.counter("core.new", level=level).inc()
-    reg.gauge("core.buffers_in_use").set(len(fw._full))
+    hot = _handles()
+    counter = hot.new_by_level.get(level)
+    if counter is None:
+        counter = hot.new_by_level[level] = hot.registry.counter(
+            "core.new", level=level
+        )
+    counter.inc()
+    hot.buffers_gauge.set(len(fw._full))
 
 
 def on_collapse(
@@ -239,9 +298,14 @@ def on_collapse(
         fw._sum_collapse_weights - fw._n_collapses - 1
     ) / 2.0 + w_max
     stats.last_bound = bound
-    reg = registry()
-    reg.counter("core.collapse", level=level).inc()
-    reg.gauge("core.buffers_in_use").set(len(fw._full))
+    hot = _handles()
+    counter = hot.collapse_by_level.get(level)
+    if counter is None:
+        counter = hot.collapse_by_level[level] = hot.registry.counter(
+            "core.collapse", level=level
+        )
+    counter.inc()
+    hot.buffers_gauge.set(len(fw._full))
     from .trace import TraceEvent
 
     tracer().emit(
@@ -265,24 +329,24 @@ def on_output(fw: Any, n_phis: int) -> None:
     """An OUTPUT answered *n_phis* quantile fractions."""
     stats = stats_for(fw)
     stats.outputs += 1
-    registry().counter("core.output").inc()
+    _handles().output.inc()
 
 
 def on_ingest(fw: Any, count: int, nbytes: int) -> None:
     """One ingest chunk of *count* elements entered the framework."""
     stats = stats_for(fw)
     stats.elements += count
-    reg = registry()
-    reg.counter("core.elements_ingested").inc(count)
-    reg.counter("core.bytes_ingested").inc(nbytes)
+    hot = _handles()
+    hot.elements_ingested.inc(count)
+    hot.bytes_ingested.inc(nbytes)
 
 
 def on_bank_extend(bank: Any, n_elements: int, n_runs: int) -> None:
     """A bank routed one chunk of *n_elements* over *n_runs* runs."""
-    reg = registry()
-    reg.counter("bank.chunks").inc()
-    reg.counter("bank.elements").inc(n_elements)
-    reg.counter("bank.runs").inc(n_runs)
+    hot = _handles()
+    hot.bank_chunks.inc()
+    hot.bank_elements.inc(n_elements)
+    hot.bank_runs.inc(n_runs)
 
 
 def on_kernel(name: str, path: str) -> None:

@@ -130,6 +130,20 @@ class TimingSketch:
             self._sketch = AdaptiveQuantileSketch(epsilon=self.epsilon)
         self._sketch.update(seconds * 1000.0)
 
+    def extend_ms(self, durations_ms: Any) -> None:
+        """Record a batch of durations already in **milliseconds**.
+
+        The vectorised path for callers that buffer observations (the
+        service meters every request; one sketch insert per request was
+        measurable) -- one batched sketch extend amortises the per-value
+        cost, and batched ingest is bit-identical to one-at-a-time.
+        """
+        if self._sketch is None:
+            from ..core.adaptive import AdaptiveQuantileSketch
+
+            self._sketch = AdaptiveQuantileSketch(epsilon=self.epsilon)
+        self._sketch.extend(durations_ms)
+
     def time(self) -> _Timer:
         """``with timing.time(): ...`` records the block's duration."""
         return _Timer(self)

@@ -54,13 +54,19 @@ __all__ = ["QuantileClient"]
 
 
 class _Pending:
-    """One request awaiting its ack: encoded bytes + bookkeeping."""
+    """One request awaiting its ack: the complete framed bytes.
 
-    __slots__ = ("opcode", "payload")
+    Frames are stored with their length prefix already attached (the
+    single-copy :func:`~repro.service.protocol.encode_request_framed`
+    path), so a send -- first attempt or post-reconnect resend -- is one
+    ``sendall`` with no further copies.
+    """
 
-    def __init__(self, opcode: int, payload: bytes) -> None:
+    __slots__ = ("opcode", "framed")
+
+    def __init__(self, opcode: int, framed: "bytes | bytearray") -> None:
         self.opcode = opcode
-        self.payload = payload
+        self.framed = framed
 
 
 class QuantileClient:
@@ -72,6 +78,11 @@ class QuantileClient:
         Server address.  The constructor makes one eager connection
         attempt (fail fast on a dead address); later reconnects go
         through the retry/backoff loop.
+    path:
+        Connect to an ``AF_UNIX`` stream socket at this filesystem path
+        instead of TCP (``host``/``port`` are then ignored).  Pair with
+        a server started with ``path=``; identical wire format and
+        retry semantics, minus the loopback TCP stack.
     timeout:
         Per-request deadline in seconds, covering send, receive and any
         retry backoff.  (Before the resilience layer this only governed
@@ -99,6 +110,16 @@ class QuantileClient:
     max_outstanding:
         Soft cap on pipelined, unacknowledged requests; past it,
         :meth:`ingest_nowait` drains acks before sending more.
+    send_coalesce_bytes:
+        When > 0, :meth:`ingest_nowait` defers the socket write until
+        at least this many bytes of framed requests are queued, then
+        ships them with one scatter-gather ``sendmsg`` -- the client
+        half of the server's read-coalescing fast path: one syscall
+        (and one GIL handoff) per burst instead of per frame.  ``0``
+        (default) writes each request immediately, preserving
+        per-request latency.  Deferral never weakens delivery: deferred
+        frames sit in the same unacked window, and any synchronous
+        call, :meth:`flush` or reconnect resend ships them first.
     """
 
     def __init__(
@@ -106,6 +127,7 @@ class QuantileClient:
         host: str = "127.0.0.1",
         port: int = 7337,
         *,
+        path: Optional[str] = None,
         timeout: float = 30.0,
         connect_timeout: Optional[float] = None,
         max_retries: int = 4,
@@ -114,9 +136,11 @@ class QuantileClient:
         retry_seed: Optional[int] = None,
         idempotency: bool = True,
         max_outstanding: int = 4096,
+        send_coalesce_bytes: int = 0,
     ) -> None:
         self.host = host
         self.port = port
+        self.path = path
         self.timeout = timeout
         self.connect_timeout = (
             timeout if connect_timeout is None else connect_timeout
@@ -126,6 +150,7 @@ class QuantileClient:
         self.backoff_max = backoff_max
         self.idempotency = idempotency
         self.max_outstanding = max_outstanding
+        self.send_coalesce_bytes = send_coalesce_bytes
         self._rng = random.Random(retry_seed)
         # token = client_id (high 32 bits, nonzero) | counter (low 32):
         # unique across clients with overwhelming probability, unique
@@ -142,8 +167,12 @@ class QuantileClient:
         self._unacked: List[_Pending] = []
         #: how many of ``_unacked`` were written to the *current* socket
         self._sent = 0
+        #: framed bytes queued behind ``_sent`` (send-coalescing gauge)
+        self._unsent_bytes = 0
         self.retries_total = 0  #: reconnect-and-resend attempts performed
         self._sock: Optional[socket.socket] = None
+        #: buffered receive: one recv can pull many pipelined ack frames
+        self._rbuf = b""
         self._connect(time.monotonic() + self.connect_timeout)
 
     # -- connection plumbing ----------------------------------------------
@@ -152,31 +181,53 @@ class QuantileClient:
         self._token_counter = (self._token_counter + 1) & 0xFFFFFFFF
         return self._token_high | self._token_counter
 
+    @property
+    def _addr(self) -> str:
+        if self.path is not None:
+            return self.path
+        return f"{self.host}:{self.port}"
+
     def _connect(self, deadline: float) -> None:
         if self._sock is not None:
             return
         budget = deadline - time.monotonic()
         if budget <= 0:
             raise ServiceTimeoutError(
-                f"deadline expired before connecting to "
-                f"{self.host}:{self.port}"
+                f"deadline expired before connecting to {self._addr}"
             )
         try:
-            sock = socket.create_connection(
-                (self.host, self.port),
-                timeout=min(budget, self.connect_timeout),
-            )
+            if self.path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(min(budget, self.connect_timeout))
+                sock.connect(self.path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=min(budget, self.connect_timeout),
+                )
         except TimeoutError as exc:
             raise ServiceTimeoutError(
-                f"connect to {self.host}:{self.port} timed out"
+                f"connect to {self._addr} timed out"
             ) from exc
         except OSError as exc:
             raise ServiceConnectionError(
-                f"cannot connect to {self.host}:{self.port}: {exc}"
+                f"cannot connect to {self._addr}: {exc}"
             ) from exc
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.path is None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            # a deep send buffer lets pipelined ingest keep streaming
+            # while the server's event loop is busy applying a batch
+            # (capped by net.core.wmem_max)
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 4 * 1024 * 1024
+            )
+        except OSError:  # pragma: no cover - platform-dependent cap
+            pass
         self._sock = sock
         self._sent = 0  # nothing is on this fresh connection yet
+        self._rbuf = b""
+        self._unsent_bytes = sum(len(e.framed) for e in self._unacked)
 
     def _teardown(self) -> None:
         """Drop the socket; unacked requests stay queued for resend."""
@@ -187,6 +238,8 @@ class QuantileClient:
                 pass
             self._sock = None
         self._sent = 0
+        self._rbuf = b""
+        self._unsent_bytes = sum(len(e.framed) for e in self._unacked)
 
     def _remaining(self, deadline: float, what: str) -> float:
         budget = deadline - time.monotonic()
@@ -195,14 +248,54 @@ class QuantileClient:
             raise ServiceTimeoutError(f"request deadline expired ({what})")
         return budget
 
+    #: scatter-gather batch caps: stay under IOV_MAX and keep one
+    #: sendmsg burst within a few socket-buffer fills
+    _SENDMSG_MAX_FRAMES = 512
+    _SENDMSG_MAX_BYTES = 4 * 1024 * 1024
+
     def _send_pending(self, deadline: float) -> None:
-        """Write every not-yet-sent unacked request to the socket."""
+        """Write every not-yet-sent unacked request to the socket.
+
+        Consecutive frames ship as one scatter-gather ``sendmsg``
+        (vectored write -- no join copy, one syscall per burst).  A
+        short write finishes the split frame with ``sendall`` on a
+        zero-copy memoryview tail and continues; transport failures
+        tear down and leave the whole window queued for resend.
+        """
         assert self._sock is not None
+        self._unsent_bytes = 0  # everything below is being shipped now
         while self._sent < len(self._unacked):
-            entry = self._unacked[self._sent]
+            bufs = []
+            total = 0
+            idx = self._sent
+            while (
+                idx < len(self._unacked)
+                and len(bufs) < self._SENDMSG_MAX_FRAMES
+                and total < self._SENDMSG_MAX_BYTES
+            ):
+                framed = self._unacked[idx].framed
+                bufs.append(framed)
+                total += len(framed)
+                idx += 1
             self._sock.settimeout(self._remaining(deadline, "send"))
             try:
-                protocol.send_frame(self._sock, entry.payload)
+                sent = self._sock.sendmsg(bufs)
+                if sent == total:
+                    self._sent = idx
+                else:
+                    # short write: skip frames that went out whole, push
+                    # the split frame's remainder as a zero-copy tail,
+                    # then the rest in full
+                    for framed in bufs:
+                        if sent >= len(framed):
+                            sent -= len(framed)
+                        else:
+                            self._sock.settimeout(
+                                self._remaining(deadline, "send")
+                            )
+                            self._sock.sendall(memoryview(framed)[sent:])
+                            sent = 0
+                        self._sent += 1
             except TimeoutError as exc:
                 self._teardown()
                 raise ServiceTimeoutError(
@@ -213,7 +306,6 @@ class QuantileClient:
                 raise ServiceConnectionError(
                     f"connection lost while sending: {exc}"
                 ) from exc
-            self._sent += 1
 
     def _recv_one(self, deadline: float) -> Dict[str, Any]:
         """Receive and decode the ack for the oldest unacked request.
@@ -227,7 +319,7 @@ class QuantileClient:
         assert self._sock is not None and self._unacked
         self._sock.settimeout(self._remaining(deadline, "receive"))
         try:
-            raw = protocol.recv_frame(self._sock)
+            raw = self._recv_frame_buffered()
         except TimeoutError as exc:
             self._teardown()
             raise ServiceTimeoutError(
@@ -246,6 +338,39 @@ class QuantileClient:
         entry = self._unacked.pop(0)
         self._sent -= 1
         return protocol.decode_response(entry.opcode, raw)
+
+    def _recv_frame_buffered(self) -> bytes:
+        """One response frame, via a receive buffer.
+
+        The server coalesces pipelined acks into large writes; reading
+        64 KiB at a time lets a single ``recv`` syscall deliver dozens
+        of them, instead of two syscalls per frame.  Raises the same
+        exceptions as :func:`protocol.recv_frame` (``TimeoutError``,
+        ``OSError``, :class:`~repro.core.errors.StorageError` on a
+        connection closed mid-frame).
+        """
+        assert self._sock is not None
+        buf = self._rbuf
+        while True:
+            if len(buf) >= 4:
+                length = int.from_bytes(buf[:4], "little")
+                if length > protocol.MAX_FRAME_BYTES:
+                    self._rbuf = b""
+                    raise StorageError(
+                        f"frame length {length} exceeds the "
+                        f"{protocol.MAX_FRAME_BYTES}-byte limit"
+                    )
+                if len(buf) >= 4 + length:
+                    self._rbuf = buf[4 + length :]
+                    return buf[4 : 4 + length]
+            piece = self._sock.recv(65536)
+            if not piece:
+                self._rbuf = b""
+                raise StorageError(
+                    "connection closed mid-frame (response truncated)"
+                )
+            buf = buf + piece if buf else piece
+            self._rbuf = buf
 
     def _retry_is_safe(self) -> bool:
         """A resend is safe iff every unacked mutation carries a token."""
@@ -297,9 +422,9 @@ class QuantileClient:
             and req.token == 0
         ):
             req.token = self._next_token()
-        self._unacked.append(
-            _Pending(req.opcode, protocol.encode_request(req))
-        )
+        framed = protocol.encode_request_framed(req)
+        self._unacked.append(_Pending(req.opcode, framed))
+        self._unsent_bytes += len(framed)
         body = self._drain(time.monotonic() + self.timeout)
         assert body is not None  # our own request was in the queue
         return body
@@ -382,17 +507,13 @@ class QuantileClient:
         """
         if len(self._unacked) >= self.max_outstanding:
             self.flush()
-        req = Request(
-            opcode=Opcode.INGEST,
-            name=name,
-            values=np.asarray(values, dtype=np.float64),
-        )
-        if self.idempotency:
-            req.token = self._next_token()
-        self._unacked.append(
-            _Pending(req.opcode, protocol.encode_request(req))
-        )
-        if self._sock is not None and self._sent == len(self._unacked) - 1:
+        token = self._next_token() if self.idempotency else 0
+        framed = protocol.encode_ingest_framed(name, values, token)
+        self._unacked.append(_Pending(Opcode.INGEST, framed))
+        self._unsent_bytes += len(framed)
+        if self._sock is not None and self._unsent_bytes > 0:
+            if self._unsent_bytes < self.send_coalesce_bytes:
+                return  # defer: ride along once the burst fills up
             try:
                 self._send_pending(time.monotonic() + self.timeout)
             except (ServiceConnectionError, ServiceTimeoutError):

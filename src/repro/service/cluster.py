@@ -1,0 +1,425 @@
+"""Multi-process serving: break the one-core ceiling.
+
+CPython pins one :class:`~repro.service.server.QuantileService` to one
+core -- the event loop, frame parsing, journal CRC and the numpy ingest
+kernels all share the GIL.  This module runs **N full service processes**
+and routes *by metric name*: worker ``shard_of(name, N)`` owns every
+byte of that metric's stream.
+
+That topology -- one process per shard group, rather than
+``SO_REUSEPORT`` spraying connections across acceptors -- is what makes
+the cluster *bit-exact*.  Because a metric's whole stream reaches
+exactly one worker, in order, and the bank's batched ingest is
+bit-identical to feeding each sketch its subsequence one record at a
+time (the PR-2 SketchBank property), every per-metric summary (and its
+Lemma 5 certified bound) is byte-for-byte the state a single-process
+server would hold.  With ``SO_REUSEPORT``, one metric's batches would
+interleave across processes and no such guarantee exists.
+
+Cluster-wide queries are the paper's §4.9 exchange: each owner ships its
+serialised summary (``FETCH``) and the coordinator folds them with
+:func:`~repro.core.serialize.merge_serialized`; the combined collapse
+forest still satisfies Lemma 5, so the merged answer carries a certified
+bound too.
+
+Durability composes per worker: each process keeps its own snapshot +
+journal under ``data_dir/worker-<i>``, and a ``cluster.json`` marker
+pins the worker count -- restarting with a different ``N`` would silently
+re-route metrics away from their journals, so that is refused.
+
+    from repro.service import ClusterService, ClusterClient
+
+    with ClusterService(workers=4, data_dir="./data") as cluster:
+        with ClusterClient("127.0.0.1", cluster.ports) as client:
+            client.create("api/latency_ms", epsilon=0.005)
+            client.ingest("api/latency_ms", batch)
+            values, bound, n = client.query("api/latency_ms", [0.5, 0.99])
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import serialize
+from ..core.errors import StorageError
+from ..core.framework import QuantileFramework
+from .client import QuantileClient
+from .registry import shard_of
+
+__all__ = ["ClusterService", "ClusterClient"]
+
+_CLUSTER_META = "cluster.json"
+
+
+def _worker_main(
+    worker_id: int,
+    host: str,
+    port: int,
+    data_dir: Optional[str],
+    conn: "multiprocessing.connection.Connection",
+    service_kwargs: Dict[str, Any],
+) -> None:
+    """Entry point of one worker process (spawn-safe, module level).
+
+    Runs a complete :class:`QuantileService` -- own event loop, own
+    shards, own journal -- reports the bound port (ephemeral when the
+    cluster asked for port 0) back over *conn*, then serves until
+    SIGTERM/SIGINT, which triggers the same graceful drain a
+    single-process server performs: apply queued batches, final
+    snapshot, close the journal.
+    """
+    import asyncio
+
+    from .server import QuantileService
+
+    service = QuantileService(
+        host=host, port=port, data_dir=data_dir, **service_kwargs
+    )
+
+    async def _run() -> None:
+        try:
+            await service.start()
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+            raise
+        conn.send(("ready", service.port))
+        conn.close()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await service.stop(graceful=True)
+
+    asyncio.run(_run())
+
+
+class ClusterService:
+    """N worker processes, each a full :class:`QuantileService`.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  Metric *name* is owned by worker
+        ``shard_of(name, workers)``.
+    host:
+        Bind address for every worker.
+    port:
+        ``0`` (default) gives every worker an ephemeral port; a nonzero
+        value binds worker *i* to ``port + i``.
+    data_dir:
+        Per-worker durability roots are created under it
+        (``worker-0`` ... ``worker-N-1``).  ``None`` runs ephemeral.
+    service_kwargs:
+        Forwarded verbatim to every worker's ``QuantileService``
+        (``n_shards``, ``fsync``, ``batch_window_s``, ...).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        data_dir: Optional[str] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        if workers < 1:
+            raise StorageError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.host = host
+        self.base_port = port
+        self.data_dir = data_dir
+        self.service_kwargs = service_kwargs
+        self.ports: List[int] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_meta(self) -> None:
+        """Pin the worker count across restarts.
+
+        Routing is ``shard_of(name, workers)``: restarting the same
+        ``data_dir`` with a different ``workers`` would send metrics to
+        workers that do not hold their journals, silently forking
+        history.  Refuse instead.
+        """
+        assert self.data_dir is not None
+        os.makedirs(self.data_dir, exist_ok=True)
+        meta_path = os.path.join(self.data_dir, _CLUSTER_META)
+        if os.path.exists(meta_path):
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            stored = int(meta.get("workers", 0))
+            if stored != self.workers:
+                raise StorageError(
+                    f"{self.data_dir} was written by a {stored}-worker "
+                    f"cluster; restarting with workers={self.workers} "
+                    f"would re-route metrics away from their journals"
+                )
+        else:
+            tmp = meta_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"workers": self.workers}, fh)
+            os.replace(tmp, meta_path)
+
+    def start(self, timeout: float = 30.0) -> "ClusterService":
+        if self.data_dir is not None:
+            self._check_meta()
+        ctx = multiprocessing.get_context("spawn")
+        pending: List[Tuple[int, Any]] = []
+        for i in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                name=f"repro-worker-{i}",
+                args=(
+                    i,
+                    self.host,
+                    0 if self.base_port == 0 else self.base_port + i,
+                    (
+                        os.path.join(self.data_dir, f"worker-{i}")
+                        if self.data_dir is not None
+                        else None
+                    ),
+                    child_conn,
+                    self.service_kwargs,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            pending.append((i, parent_conn))
+        deadline = time.monotonic() + timeout
+        ports = [0] * self.workers
+        try:
+            for i, parent_conn in pending:
+                budget = deadline - time.monotonic()
+                if budget <= 0 or not parent_conn.poll(max(budget, 0.0)):
+                    raise StorageError(
+                        f"worker {i} failed to start within {timeout}s"
+                    )
+                try:
+                    status, value = parent_conn.recv()
+                except EOFError:
+                    code = self._procs[i].exitcode
+                    raise StorageError(
+                        f"worker {i} died during startup "
+                        f"(exit code {code})"
+                    ) from None
+                if status != "ready":
+                    raise StorageError(f"worker {i} failed to start: {value}")
+                ports[i] = int(value)
+                parent_conn.close()
+        except BaseException:
+            self.stop(graceful=False)
+            raise
+        self.ports = ports
+        return self
+
+    def stop(self, *, graceful: bool = True, timeout: float = 30.0) -> None:
+        """SIGTERM (graceful drain + final snapshot) or SIGKILL every worker.
+
+        ``graceful=False`` is the crash half of the recovery tests: the
+        journals already hold every acknowledged batch, exactly as after
+        a real kill.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for proc in self._procs:
+            if not proc.is_alive():
+                continue
+            if graceful:
+                proc.terminate()  # SIGTERM -> worker's graceful stop
+            else:
+                proc.kill()
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(max(deadline - time.monotonic(), 0.1))
+            if proc.is_alive():  # pragma: no cover - drain overran
+                proc.kill()
+                proc.join(5.0)
+        self._procs = []
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+class ClusterClient:
+    """Route :class:`QuantileClient` calls across a worker cluster.
+
+    Per-metric commands go to the metric's owner
+    (``shard_of(name, n_workers)``); ``list``/``stats`` fan in across
+    all workers; ``drain``/``snapshot``/``flush`` broadcast.  The §4.9
+    cross-metric queries -- :meth:`fetch_merged` / :meth:`query_merged`
+    -- pull each owner's serialised summary and fold them with
+    :func:`~repro.core.serialize.merge_serialized`.
+
+    Connections are opened lazily, one per worker on first use, and
+    every per-connection resilience feature (retry window, idempotency
+    tokens, pipelining) applies unchanged -- this class only routes.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        ports: Sequence[int],
+        **client_kwargs: Any,
+    ) -> None:
+        if not ports:
+            raise StorageError("a cluster client needs at least one port")
+        self.host = host
+        self.ports = list(ports)
+        self.client_kwargs = client_kwargs
+        self._clients: List[Optional[QuantileClient]] = [None] * len(
+            self.ports
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.ports)
+
+    def owner_of(self, name: str) -> int:
+        """Worker index that owns every byte of metric *name*."""
+        return shard_of(name, self.n_workers)
+
+    def worker(self, index: int) -> QuantileClient:
+        client = self._clients[index]
+        if client is None:
+            client = QuantileClient(
+                self.host, self.ports[index], **self.client_kwargs
+            )
+            self._clients[index] = client
+        return client
+
+    def _owner(self, name: str) -> QuantileClient:
+        return self.worker(self.owner_of(name))
+
+    def _live(self) -> List[Tuple[int, QuantileClient]]:
+        return [
+            (i, c) for i, c in enumerate(self._clients) if c is not None
+        ]
+
+    # -- per-metric commands (routed to the owner) -------------------------
+
+    def create(self, name: str, **kwargs: Any) -> bool:
+        return self._owner(name).create(name, **kwargs)
+
+    def ingest(
+        self, name: str, values: "np.ndarray | Sequence[float]"
+    ) -> int:
+        return self._owner(name).ingest(name, values)
+
+    def ingest_nowait(
+        self, name: str, values: "np.ndarray | Sequence[float]"
+    ) -> None:
+        self._owner(name).ingest_nowait(name, values)
+
+    def query(
+        self, name: str, phis: Sequence[float]
+    ) -> Tuple[List[float], float, int]:
+        return self._owner(name).query(name, phis)
+
+    def quantile(self, name: str, phi: float) -> float:
+        return self._owner(name).quantile(name, phi)
+
+    def quantiles(self, name: str, phis: Sequence[float]) -> List[float]:
+        return self._owner(name).quantiles(name, phis)
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        return self._owner(name).describe(name)
+
+    def cdf(self, name: str, value: float) -> Dict[str, Any]:
+        return self._owner(name).cdf(name, value)
+
+    def fetch(self, name: str) -> QuantileFramework:
+        return self._owner(name).fetch(name)
+
+    def fetch_raw(self, name: str) -> bytes:
+        return self._owner(name).fetch_raw(name)
+
+    # -- cluster-wide fan-in / broadcast -----------------------------------
+
+    def fetch_merged(self, names: Sequence[str]) -> QuantileFramework:
+        """One summary for the union of *names* (the §4.9 recombination).
+
+        Each owner ships its serialised summary; the fold preserves
+        Lemma 5, so the result's ``error_bound()`` is certified for the
+        combined stream.  Deterministic: payloads are merged in the
+        order *names* are given.
+        """
+        return serialize.merge_serialized(
+            self.fetch_raw(name) for name in names
+        )
+
+    def query_merged(
+        self, names: Sequence[str], phis: Sequence[float]
+    ) -> Tuple[List[float], float, int]:
+        """``(values, certified bound, n)`` over the union of *names*."""
+        merged = self.fetch_merged(names)
+        values = [float(v) for v in merged.quantiles(list(phis))]
+        return values, float(merged.error_bound()), int(merged.n)
+
+    def list_metrics(self) -> List[Dict[str, Any]]:
+        """All metrics across all workers, each tagged with its owner."""
+        out: List[Dict[str, Any]] = []
+        for i in range(self.n_workers):
+            for entry in self.worker(i).list_metrics():
+                entry = dict(entry)
+                entry["worker"] = i
+                out.append(entry)
+        return out
+
+    def stats(self, detail: int = 0) -> List[Dict[str, Any]]:
+        """Per-worker STATS dicts, each tagged with its worker index."""
+        out = []
+        for i in range(self.n_workers):
+            stats = self.worker(i).stats(detail)
+            stats["worker"] = i
+            out.append(stats)
+        return out
+
+    def flush(self) -> int:
+        """Drain pipelined acks on every open connection; max seq seen."""
+        return max(
+            (client.flush() for _, client in self._live()), default=0
+        )
+
+    def drain(self) -> int:
+        """Barrier on every worker; returns the max journal seq."""
+        return max(
+            self.worker(i).drain() for i in range(self.n_workers)
+        )
+
+    def snapshot(self) -> List[Tuple[int, str]]:
+        """Force a snapshot on every worker; ``(seq, path)`` per worker."""
+        return [
+            self.worker(i).snapshot() for i in range(self.n_workers)
+        ]
+
+    def close(self) -> None:
+        for _, client in self._live():
+            client.close()
+        self._clients = [None] * len(self.ports)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

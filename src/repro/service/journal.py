@@ -116,11 +116,23 @@ def _encode_create(
     )
 
 
-def _encode_ingest(name: str, values: np.ndarray) -> bytes:
+def _ingest_body_parts(
+    prefix: bytes, name: str, values: np.ndarray
+) -> "List[bytes | memoryview]":
+    """INGEST record body as buffer parts -- no batch copy.
+
+    The values array is contributed as a raw memoryview; CRC and file
+    write both consume it in place, so journaling a batch costs zero
+    copies beyond the kernel write itself (the zero-copy receive path
+    hands the server read-only views, and they flow straight through).
+    """
     from .protocol import _pack_str
 
     arr = np.ascontiguousarray(values, dtype="<f8")
-    return _pack_str(name) + _U32.pack(arr.size) + arr.tobytes()
+    return [
+        prefix + _pack_str(name) + _U32.pack(arr.size),
+        arr.data.cast("B"),
+    ]
 
 
 def _decode_body(body: bytes) -> JournalRecord:
@@ -210,10 +222,23 @@ class IngestJournal:
         return self._seq
 
     def _append(self, body: bytes) -> None:
-        self._fh.write(
-            _RECORD_HEADER.pack(zlib.crc32(body) & 0xFFFFFFFF, len(body))
-        )
-        self._fh.write(body)
+        self._append_parts([body])
+
+    def _append_parts(self, parts: "List[bytes | memoryview]") -> None:
+        """Append one record given as buffer parts.
+
+        The CRC is accumulated incrementally across the parts and each
+        part is written directly, so large ingest payloads are never
+        joined into an intermediate bytes object.
+        """
+        crc = 0
+        body_len = 0
+        for part in parts:
+            crc = zlib.crc32(part, crc)
+            body_len += len(part)
+        self._fh.write(_RECORD_HEADER.pack(crc & 0xFFFFFFFF, body_len))
+        for part in parts:
+            self._fh.write(part)
         self._sync()
 
     def _sync(self) -> None:
@@ -243,10 +268,8 @@ class IngestJournal:
     ) -> int:
         """Record an ingest batch; returns its sequence number."""
         self._seq += 1
-        body = _SEQ_TYPE.pack(
-            self._seq, INGEST_RECORD, token
-        ) + _encode_ingest(name, values)
-        self._append(body)
+        prefix = _SEQ_TYPE.pack(self._seq, INGEST_RECORD, token)
+        self._append_parts(_ingest_body_parts(prefix, name, values))
         return self._seq
 
     # -- lifecycle ---------------------------------------------------------

@@ -18,6 +18,15 @@ the asyncio server, the blocking client, tests and shell tools all share
 one implementation.  Sketch payloads (the ``FETCH`` response) reuse
 :mod:`repro.core.serialize` verbatim, which is what makes shard fan-in
 (:func:`repro.core.serialize.merge_serialized`) work across processes.
+
+Zero-copy fast path: :func:`decode_request` accepts any buffer
+(``bytes``, ``bytearray``, ``memoryview``) and decodes ``INGEST`` value
+arrays as read-only ``np.frombuffer`` views *into that buffer* -- no
+per-batch copy.  The view pins the receive buffer until the batch is
+applied, which is exactly the lifetime the server's shard queues give
+it.  On the sending side :func:`encode_ingest_framed` assembles the
+entire length-prefixed frame in one preallocated buffer, so a batch is
+copied exactly once between the caller's array and the socket.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ __all__ = [
     "Opcode",
     "Request",
     "encode_request",
+    "encode_request_framed",
+    "encode_ingest_framed",
     "decode_request",
     "encode_ok",
     "encode_error",
@@ -130,15 +141,20 @@ def _pack_str(s: str) -> bytes:
 
 
 class _Reader:
-    """Cursor over one frame's payload with bounds-checked reads."""
+    """Cursor over one frame's payload with bounds-checked reads.
+
+    Accepts any C-contiguous buffer (``bytes``, ``bytearray``,
+    ``memoryview``); slices it returns are views of the same type, so a
+    caller holding a zero-copy receive buffer never pays a copy here.
+    """
 
     __slots__ = ("buf", "pos")
 
-    def __init__(self, buf: bytes) -> None:
+    def __init__(self, buf: "bytes | bytearray | memoryview") -> None:
         self.buf = buf
         self.pos = 0
 
-    def take(self, size: int, what: str) -> bytes:
+    def take(self, size: int, what: str) -> "bytes | bytearray | memoryview":
         end = self.pos + size
         if end > len(self.buf):
             raise StorageError(f"truncated frame: expected {size} bytes of {what}")
@@ -163,10 +179,27 @@ class _Reader:
 
     def string(self, what: str) -> str:
         n = self.u16(what)
-        return self.take(n, what).decode("utf-8")
+        return bytes(self.take(n, what)).decode("utf-8")
 
     def f64_array(self, count: int, what: str) -> np.ndarray:
         return np.frombuffer(self.take(8 * count, what), dtype="<f8").copy()
+
+    def f64_array_view(self, count: int, what: str) -> np.ndarray:
+        """Like :meth:`f64_array` but zero-copy: a read-only view into the
+        frame buffer.  The returned array pins the buffer alive; callers
+        must not outlive the buffer's validity window (receive buffers
+        here are immutable ``bytes`` chunks, so any lifetime is safe)."""
+        size = 8 * count
+        end = self.pos + size
+        if end > len(self.buf):
+            raise StorageError(
+                f"truncated frame: expected {size} bytes of {what}"
+            )
+        arr = np.frombuffer(
+            self.buf, dtype="<f8", count=count, offset=self.pos
+        )
+        self.pos = end
+        return arr
 
     def done(self, what: str) -> None:
         if self.pos != len(self.buf):
@@ -220,8 +253,69 @@ def encode_request(req: Request) -> bytes:
     return b"".join(out)
 
 
-def decode_request(payload: bytes) -> Request:
-    """Parse one request frame payload."""
+def encode_ingest_framed(
+    name: str,
+    values: "np.ndarray | Sequence[float]",
+    token: int = 0,
+) -> bytearray:
+    """Encode one INGEST request as a complete length-prefixed frame.
+
+    The frame -- ``u32 length | u8 opcode | name | u64 token |
+    u32 count | values`` -- is assembled in a single preallocated
+    buffer, so the batch is copied exactly once (caller array -> wire
+    buffer).  The plain :func:`encode_request` + :func:`frame` pair
+    copies the same data three times (``tobytes``, payload join, length
+    prefix join); on the hot pipelined-ingest path that difference is
+    measurable.  Byte-for-byte identical to the two-step encoding.
+    """
+    arr = np.ascontiguousarray(values, dtype="<f8")
+    if arr.ndim != 1:
+        raise ConfigurationError(
+            f"expected a 1-d batch, got shape {arr.shape}"
+        )
+    name_raw = name.encode("utf-8")
+    if len(name_raw) > 0xFFFF:
+        raise ConfigurationError(
+            f"string too long for the wire ({len(name_raw)} bytes)"
+        )
+    payload_len = 1 + 2 + len(name_raw) + 8 + 4 + arr.nbytes
+    if payload_len > MAX_FRAME_BYTES:
+        raise ConfigurationError(
+            f"frame of {payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    buf = bytearray(4 + payload_len)
+    _U32.pack_into(buf, 0, payload_len)
+    buf[4] = Opcode.INGEST
+    _U16.pack_into(buf, 5, len(name_raw))
+    pos = 7 + len(name_raw)
+    buf[7:pos] = name_raw
+    _U64.pack_into(buf, pos, token)
+    _U32.pack_into(buf, pos + 8, arr.size)
+    buf[pos + 12 :] = arr.data.cast("B")
+    return buf
+
+
+def encode_request_framed(req: Request) -> "bytes | bytearray":
+    """Serialise *req* as one complete frame (length prefix included).
+
+    INGEST takes the single-copy fast path above; every other opcode is
+    small and goes through the plain codec.
+    """
+    if req.opcode == Opcode.INGEST:
+        assert req.values is not None
+        return encode_ingest_framed(req.name, req.values, req.token)
+    return frame(encode_request(req))
+
+
+def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
+    """Parse one request frame payload.
+
+    *payload* may be any buffer type.  ``INGEST`` values come back as a
+    read-only zero-copy view into *payload* (the server feeds them
+    straight into the batched presorted ingest kernel); every other
+    field is materialised as usual.
+    """
     r = _Reader(payload)
     op = r.u8("opcode")
     req = Request(opcode=op)
@@ -240,7 +334,7 @@ def decode_request(payload: bytes) -> Request:
         req.name = r.string("metric name")
         req.token = r.u64("idempotency token")
         count = r.u32("value count")
-        req.values = r.f64_array(count, "values")
+        req.values = r.f64_array_view(count, "values")
     elif op == Opcode.QUERY:
         req.name = r.string("metric name")
         count = r.u16("phi count")

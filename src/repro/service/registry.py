@@ -324,10 +324,18 @@ class SketchRegistry:
             raise ConfigurationError(_FINITE_MSG)
         return arr
 
-    def enqueue(self, name: str, values: np.ndarray) -> MetricEntry:
-        """Queue a validated batch on the metric's shard (apply later)."""
+    def enqueue(
+        self, name: str, values: np.ndarray, *, validated: bool = False
+    ) -> MetricEntry:
+        """Queue a batch on the metric's shard (apply later).
+
+        ``validated=True`` skips re-coercion for callers that already
+        ran :meth:`coerce_batch` on this exact array (the server does,
+        before journaling) -- the finiteness scan is O(batch) and showed
+        up as a double charge on the ingest hot path.
+        """
         entry = self.get(name)
-        arr = self.coerce_batch(values)
+        arr = values if validated else self.coerce_batch(values)
         if arr.size:
             self._shards[entry.shard].pending.append((entry, arr))
         return entry
@@ -372,7 +380,9 @@ class SketchRegistry:
         for entry, arrays in groups.values():
             values = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
             if entry.bank_id is not None:
-                shard.bank.extend_single(entry.bank_id, values)
+                # queued arrays passed coerce_batch before they were
+                # journaled/acked; don't re-scan them at apply time
+                shard.bank.extend_single(entry.bank_id, values, validated=True)
             else:
                 entry.sketch.extend(values)
         shard.n_applied += applied

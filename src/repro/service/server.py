@@ -11,6 +11,19 @@ never touch sketch internals.  The ingest path is::
     SketchBank.extend_pairs          (vectorised, batched across
                                       connections and metrics)
 
+The receive path is zero-copy and coalescing: each scheduling slot of a
+connection handler reads one large chunk off the stream, parses *every*
+complete frame in it, and dispatches them back to back -- INGEST value
+arrays are ``np.frombuffer`` views into the chunk (no per-batch copy;
+the view pins the chunk until the shard flusher applies it), and the
+acks for the whole chunk are written in one ``write`` + one ``drain``.
+Each frame is still dispatched individually, in order, through the same
+journal/dedup/ack pipeline, so idempotency-token semantics and the
+journal-order-is-apply-order invariant are untouched; only the syscall
+and copy count per frame changes.  Pipelined INGESTs that share a chunk
+land in the shard queue together and are applied by one
+``apply_shard`` call.
+
 Because handlers run on one loop, every mutation is serial: the journal
 order *is* the apply order, queries never observe a half-applied batch,
 and snapshots capture a consistent image by draining the shard queues
@@ -48,6 +61,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import socket
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -71,6 +85,17 @@ __all__ = ["QuantileService", "ServerThread"]
 SNAPSHOT_FILE = "snapshot.bin"
 JOURNAL_FILE = "journal.log"
 
+#: how much a connection handler tries to slurp per scheduling slot; the
+#: whole chunk is parsed and dispatched as one coalesced batch
+READ_CHUNK = 4 * 1024 * 1024
+
+#: kernel receive buffer requested per accepted connection.  While the
+#: flusher applies a coalesced batch the event loop performs no reads,
+#: so the socket buffer is the *only* pipelining depth the client gets;
+#: the ~208 KiB default stalls a pipelined sender after ~6 batches of
+#: 4096 float64s.  The kernel caps this at ``net.core.rmem_max``.
+SOCK_RCVBUF = 4 * 1024 * 1024
+
 
 class QuantileService:
     """A sharded, durable quantile-sketch server.
@@ -80,6 +105,13 @@ class QuantileService:
     host, port:
         Listen address; ``port=0`` binds an ephemeral port (read it back
         from :attr:`port` after :meth:`start`).
+    path:
+        Listen on a ``AF_UNIX`` stream socket at this filesystem path
+        instead of TCP (``host``/``port`` are then ignored).  Same wire
+        format, same semantics -- a local fast path that skips the
+        loopback TCP stack (roughly 2-3x the raw stream bandwidth on
+        one core, which matters once the protocol cost is down in the
+        noise).  A stale socket file from a dead process is replaced.
     data_dir:
         Directory for the snapshot + journal pair.  ``None`` disables
         durability.
@@ -111,6 +143,7 @@ class QuantileService:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        path: Optional[str] = None,
         data_dir: Optional[str] = None,
         n_shards: int = 4,
         snapshot_interval_s: Optional[float] = 30.0,
@@ -122,6 +155,7 @@ class QuantileService:
     ) -> None:
         self.host = host
         self.port = port
+        self.path = path
         self.data_dir = data_dir
         self.n_shards = n_shards
         self.snapshot_interval_s = snapshot_interval_s
@@ -217,11 +251,19 @@ class QuantileService:
         # task slurp many pipelined ingest frames, so the shard flusher
         # sees them as a single vectorized super-batch (the default 64 KiB
         # limit caps that at two 4096-value batches per slot)
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port,
-            limit=8 * 1024 * 1024,
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self.path is not None:
+            if os.path.exists(self.path):
+                os.unlink(self.path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.path,
+                limit=8 * 1024 * 1024,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=8 * 1024 * 1024,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self, *, graceful: bool = True) -> None:
         """Shut down.
@@ -242,6 +284,11 @@ class QuantileService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.path is not None:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
         if graceful and self._conn_tasks:
             # handlers notice _draining after answering their in-flight
             # frame and close; idle connections sit in read() and are
@@ -305,34 +352,91 @@ class QuantileService:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_RCVBUF, SOCK_RCVBUF
+                )
+            except OSError:  # pragma: no cover - platform-dependent cap
+                pass
         self.metrics.connections_total += 1
         self.metrics.connections_open += 1
         inflight_bytes = 0  # queued-but-unapplied ingest payload
+        tail = b""  # partial frame carried across read chunks
         try:
             while not self._draining:
                 try:
-                    head = await reader.readexactly(4)
-                except (asyncio.IncompleteReadError, ConnectionError):
+                    chunk = await reader.read(READ_CHUNK)
+                except ConnectionError:
                     break
-                length = int.from_bytes(head, "little")
-                if length > protocol.MAX_FRAME_BYTES:
-                    writer.write(
-                        protocol.frame(
-                            protocol.encode_error(
-                                f"frame length {length} exceeds limit"
+                if not chunk:
+                    break
+                # joining only costs when a frame straddled the previous
+                # chunk, and then only the straddle region is re-copied
+                data = tail + chunk if tail else chunk
+                n = len(data)
+                pos = 0
+                acks: List[bytes] = []
+                oversize = False
+                while n - pos >= 4:
+                    length = int.from_bytes(data[pos : pos + 4], "little")
+                    if length > protocol.MAX_FRAME_BYTES:
+                        acks.append(
+                            protocol.frame(
+                                protocol.encode_error(
+                                    f"frame length {length} exceeds limit"
+                                )
                             )
                         )
+                        oversize = True
+                        break
+                    if n - pos - 4 < length:
+                        break
+                    # zero-copy dispatch: the payload -- and, for
+                    # INGEST, its value array -- is a view into `data`
+                    payload = memoryview(data)[pos + 4 : pos + 4 + length]
+                    pos += 4 + length
+                    if length and payload[0] == protocol.Opcode.INGEST:
+                        inflight_bytes += length
+                    acks.append(protocol.frame(self._dispatch(payload)))
+                # a frame bigger than the read chunk can never complete
+                # inside the loop above: finish it with one exact read
+                if not oversize and n - pos >= 4:
+                    need = (
+                        4
+                        + int.from_bytes(data[pos : pos + 4], "little")
+                        - (n - pos)
                     )
+                    if need > READ_CHUNK:
+                        try:
+                            rest = await reader.readexactly(need)
+                        except (
+                            asyncio.IncompleteReadError,
+                            ConnectionError,
+                        ):
+                            rest = None
+                        if rest is None:
+                            if acks:
+                                self.metrics.record_coalesce(len(acks))
+                                writer.write(b"".join(acks))
+                                await writer.drain()
+                            break
+                        whole = data[pos:] + rest
+                        payload = memoryview(whole)[4:]
+                        if len(payload) and (
+                            payload[0] == protocol.Opcode.INGEST
+                        ):
+                            inflight_bytes += len(payload)
+                        acks.append(protocol.frame(self._dispatch(payload)))
+                        pos = n
+                tail = data[pos:] if pos < n else b""
+                if acks:
+                    self.metrics.record_coalesce(len(acks))
+                    writer.write(b"".join(acks))
+                    await writer.drain()
+                if oversize:
                     break
-                try:
-                    payload = await reader.readexactly(length)
-                except (asyncio.IncompleteReadError, ConnectionError):
-                    break
-                if payload and payload[0] == protocol.Opcode.INGEST:
-                    inflight_bytes += length
-                response = self._dispatch(payload)
-                writer.write(protocol.frame(response))
-                await writer.drain()
                 if inflight_bytes >= self.max_inflight_bytes:
                     # backpressure: this connection has pushed more
                     # pending payload than allowed -- apply it before
@@ -468,7 +572,7 @@ class QuantileService:
             seq = self.journal.append_ingest(req.name, arr, token=req.token)
         else:
             seq = 0
-        self.registry.enqueue(req.name, arr)
+        self.registry.enqueue(req.name, arr, validated=True)
         self.metrics.record_ingest(entry.shard, arr.size)
         self._shard_events[entry.shard].set()
         result = {"seq": seq, "count": int(arr.size)}
@@ -500,6 +604,10 @@ class ServerThread:
     @property
     def port(self) -> int:
         return self.service.port
+
+    @property
+    def path(self) -> Optional[str]:
+        return self.service.path
 
     def start(self, timeout: float = 10.0) -> "ServerThread":
         self._thread = threading.Thread(

@@ -133,9 +133,17 @@ _PLANS = st.lists(
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
-@given(plans=_PLANS, seed=st.integers(0, 2**16))
+@given(
+    plans=_PLANS,
+    seed=st.integers(0, 2**16),
+    # 0 = every ingest written eagerly; 24 KiB = the client defers and
+    # ships coalesced sendmsg bursts, so a mid-burst fault forces a
+    # whole-window resend and the server sees retried tokens *inside*
+    # coalesced chunks -- the dedup property must hold there too
+    coalesce=st.sampled_from([0, 24 * 1024]),
+)
 def test_chaos_state_bit_identical(
-    tmp_path, policy, kernels_mode, plans, seed
+    tmp_path, policy, kernels_mode, plans, seed, coalesce
 ):
     batches = _make_batches(seed, n_batches=10)
     run_dir = tmp_path / f"run-{next(_RUN_COUNTER)}"
@@ -157,11 +165,15 @@ def test_chaos_state_bit_identical(
                 max_retries=MAX_FAULTED_CONNECTIONS + 4,
                 backoff_base=0.005,
                 retry_seed=0,
+                send_coalesce_bytes=coalesce,
             ) as client:
                 for name, config in _metrics(policy):
                     client.create(name, **config)
+                # pipelined: acks are collected by the final drain, so
+                # a fault can hit a burst of in-flight ingests and the
+                # resend machinery (not one lockstep request) recovers
                 for name, values in batches:
-                    client.ingest(name, values)
+                    client.ingest_nowait(name, values)
                 client.drain()  # apply everything queued server-side
         # the faults are done; crash without the final snapshot
         srv.stop(graceful=False)

@@ -1,0 +1,163 @@
+"""Multi-process cluster: routing, bit-exact state, durable restart.
+
+A :class:`ClusterService` runs N full ``QuantileService`` processes;
+metric *name* lives wholly on worker ``shard_of(name, N)``.  Because
+each metric's stream is an uninterrupted subsequence on exactly one
+worker, every per-metric summary -- and therefore the
+``merge_serialized`` fold over any set of metrics -- is bit-identical
+to the single-process run of the same schedule (the same PR-2 property
+the shard flusher leans on, lifted across process boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core import serialize
+from repro.service import (
+    ClusterClient,
+    ClusterService,
+    QuantileClient,
+    ServerThread,
+)
+from repro.service.registry import shard_of
+
+NAMES = [f"t/m{i}" for i in range(4)]
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def _batches(seed=3, n_batches=24):
+    rng = np.random.default_rng(seed)
+    return [
+        (NAMES[i % len(NAMES)], rng.normal(size=200))
+        for i in range(n_batches)
+    ]
+
+
+def _create_all(client):
+    for name in NAMES:
+        client.create(name, kind="fixed", epsilon=0.02, n=100_000)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One 2-worker ephemeral cluster shared by the read-only tests
+    (spawning worker processes is the expensive part)."""
+    with ClusterService(
+        workers=2, n_shards=2, snapshot_interval_s=None
+    ) as svc:
+        with ClusterClient("127.0.0.1", svc.ports) as client:
+            _create_all(client)
+            for name, values in _batches():
+                client.ingest(name, values)
+            yield client
+
+
+class TestRouting:
+    def test_each_metric_lives_only_on_its_owner(self, cluster):
+        by_worker = {}
+        for entry in cluster.list_metrics():
+            by_worker.setdefault(entry["name"], []).append(entry["worker"])
+        assert set(by_worker) == set(NAMES)
+        for name, workers in by_worker.items():
+            assert workers == [shard_of(name, cluster.n_workers)]
+
+    def test_per_metric_query_routes_to_owner(self, cluster):
+        expected = {
+            name: sum(v.size for n, v in _batches() if n == name)
+            for name in NAMES
+        }
+        for name in NAMES:
+            _, _, n = cluster.query(name, [0.5])
+            assert n == expected[name]
+
+    def test_merged_query_covers_the_union(self, cluster):
+        values, bound, n = cluster.query_merged(NAMES, PHIS)
+        total = sum(v.size for _, v in _batches())
+        assert n == total
+        assert bound < 0.1 * total
+        # normal(0,1) union: the median must sit near 0 and the
+        # quantile values must be sorted
+        assert abs(values[PHIS.index(0.5)]) < 0.2
+        assert values == sorted(values)
+
+
+class TestBitExactness:
+    def test_cluster_state_bit_identical_to_single_process(self, tmp_path):
+        """Worker count must not change any metric's summary bytes."""
+        batches = _batches(seed=11)
+        with ServerThread(
+            n_shards=2, snapshot_interval_s=None
+        ) as single_srv:
+            with QuantileClient(
+                "127.0.0.1", single_srv.port
+            ) as single:
+                _create_all(single)
+                for name, values in batches:
+                    single.ingest(name, values)
+                single_raw = {n: single.fetch_raw(n) for n in NAMES}
+        with ClusterService(
+            workers=2, n_shards=2, snapshot_interval_s=None
+        ) as svc:
+            with ClusterClient("127.0.0.1", svc.ports) as client:
+                _create_all(client)
+                for name, values in batches:
+                    client.ingest(name, values)
+                cluster_raw = {n: client.fetch_raw(n) for n in NAMES}
+                merged = client.fetch_merged(NAMES)
+        for name in NAMES:
+            assert cluster_raw[name] == single_raw[name], (
+                f"{name}: serialized summary differs between 1-process "
+                f"and 2-worker runs"
+            )
+        # and so does the Lemma 5 fold over the union
+        reference = serialize.merge_serialized(
+            single_raw[n] for n in NAMES
+        )
+        assert merged.quantiles(PHIS) == reference.quantiles(PHIS)
+        assert merged.error_bound() == reference.error_bound()
+        assert merged.n == reference.n
+
+
+class TestDurability:
+    def test_graceful_restart_recovers_every_worker(self, tmp_path):
+        data_dir = str(tmp_path / "cluster")
+        batches = _batches(seed=5, n_batches=12)
+        with ClusterService(
+            workers=2, n_shards=2, snapshot_interval_s=None,
+            data_dir=data_dir,
+        ) as svc:
+            with ClusterClient("127.0.0.1", svc.ports) as client:
+                _create_all(client)
+                for name, values in batches:
+                    client.ingest(name, values)
+        # SIGTERM -> worker drain -> final snapshot, per worker
+        with ClusterService(
+            workers=2, n_shards=2, snapshot_interval_s=None,
+            data_dir=data_dir,
+        ) as svc2:
+            with ClusterClient("127.0.0.1", svc2.ports) as client:
+                for name in NAMES:
+                    _, _, n = client.query(name, [0.5])
+                    assert n == sum(
+                        v.size for b_name, v in batches if b_name == name
+                    )
+
+    def test_worker_count_is_pinned_by_the_data_dir(self, tmp_path):
+        data_dir = str(tmp_path / "cluster")
+        with ClusterService(
+            workers=2, n_shards=2, snapshot_interval_s=None,
+            data_dir=data_dir,
+        ):
+            pass
+        with pytest.raises(StorageError, match="worker"):
+            ClusterService(
+                workers=3, n_shards=2, snapshot_interval_s=None,
+                data_dir=data_dir,
+            ).start()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(StorageError, match="workers"):
+            ClusterService(workers=0)

@@ -424,6 +424,118 @@ class TestServerResilience:
                 _, _, n = client.query("t/m", [0.5])
             assert n == 800
 
+    def test_graceful_stop_flushes_coalesced_window(self, tmp_path):
+        """Regression: a long ``batch_window_s`` means acked batches sit
+        queued-but-unapplied; a graceful stop racing that window must
+        still apply every acknowledged batch before the final snapshot
+        -- acked count == applied count after restart, with nothing
+        left for journal replay."""
+        data_dir = str(tmp_path / "data")
+        n_batches, batch = 24, 256
+        with ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+            batch_window_s=5.0,  # flusher will NOT fire on its own
+        ) as srv:
+            with resilient_client(
+                srv.port, send_coalesce_bytes=64 * 1024
+            ) as client:
+                client.create("t/m", kind="adaptive", epsilon=0.02)
+                for i in range(n_batches):
+                    client.ingest_nowait("t/m", np.full(batch, float(i)))
+                client.flush()  # every batch ACKED (journaled + queued)
+            # the stop races the 5 s window: the queue still holds the
+            # coalesced burst, unapplied
+            assert srv.service.registry.pending_batches() > 0
+            srv.stop(graceful=True)
+            # drain applied the queue before snapshotting
+            assert srv.service.registry.pending_batches() == 0
+        with ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+        ) as srv2:
+            # all acked data is inside the snapshot, none replayed
+            assert srv2.service.metrics.recovered_records == 0
+            with resilient_client(srv2.port) as client:
+                _, _, n = client.query("t/m", [0.5])
+            assert n == n_batches * batch
+
+    def test_retried_ingest_in_coalesced_batch_exactly_once_after_crash(
+        self, tmp_path
+    ):
+        """A lost-ack retry that lands inside a *coalesced* chunk (same
+        socket read as other pipelined frames) is journaled once,
+        applied once, and stays applied-once through crash recovery."""
+        import socket as socket_mod
+
+        from repro.service import protocol
+        from repro.service.protocol import Opcode, Request
+
+        data_dir = str(tmp_path / "data")
+        create = protocol.encode_request_framed(
+            Request(
+                opcode=Opcode.CREATE, name="t/m", token=1,
+                kind="adaptive", epsilon=0.02, n=0, policy="new",
+            )
+        )
+        retried = bytes(
+            protocol.encode_ingest_framed("t/m", np.arange(200.0), token=9)
+        )
+        others = [
+            bytes(
+                protocol.encode_ingest_framed(
+                    "t/m", np.full(100, float(i)), token=20 + i
+                )
+            )
+            for i in range(4)
+        ]
+        # one chunk: original, two pipelined frames, the retry of the
+        # original, two more -- the dup sits mid-burst, then a second
+        # retry arrives across chunks after the acks
+        blob = bytes(create) + retried + others[0] + others[1] + retried
+        with ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+        ) as srv:
+            sock = socket_mod.create_connection(
+                ("127.0.0.1", srv.port), timeout=10.0
+            )
+            try:
+                sock.sendall(blob)
+                acks = []
+                for opcode in [Opcode.CREATE] + [Opcode.INGEST] * 4:
+                    header = b""
+                    while len(header) < 4:
+                        header += sock.recv(4 - len(header))
+                    length = int.from_bytes(header, "little")
+                    payload = b""
+                    while len(payload) < length:
+                        payload += sock.recv(length - len(payload))
+                    acks.append(protocol.decode_response(opcode, payload))
+                # dup inside the chunk acked identically to the original
+                assert acks[1] == acks[4]
+                sock.sendall(others[2] + others[3] + retried)
+                for _ in range(3):
+                    header = b""
+                    while len(header) < 4:
+                        header += sock.recv(4 - len(header))
+                    length = int.from_bytes(header, "little")
+                    payload = b""
+                    while len(payload) < length:
+                        payload += sock.recv(length - len(payload))
+            finally:
+                sock.close()
+            srv.stop(graceful=False)  # crash: RAM dedup state gone
+        # the journal holds the batch once, not three times
+        scan = read_journal(f"{data_dir}/journal.log")
+        ingests = [r for r in scan.records if r.type == INGEST_RECORD]
+        assert sum(1 for r in ingests if r.token == 9) == 1
+        with ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+        ) as srv2:
+            # recovery re-armed the token: a post-restart retry dedups
+            assert srv2.service.registry.dedup.get(9) is not None
+            with resilient_client(srv2.port) as client:
+                _, _, n = client.query("t/m", [0.5])
+            assert n == 200 + 4 * 100
+
     def test_dedup_window_survives_crash(self, tmp_path):
         """Recovery re-records journaled tokens: a retry that arrives
         *after* a crash+restart is still deduplicated."""
