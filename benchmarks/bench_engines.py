@@ -1,0 +1,260 @@
+"""Engine matrix: accuracy / space / speed for paper vs KLL vs Frugal.
+
+The pluggable-engine contract is quantified on one stream shape
+(integer-scale values, the regime all three engines support) at three
+fleet sizes, and written to ``BENCH_engines.json``:
+
+* ``single_metric`` -- one sketch per engine fed the whole stream:
+  ingest rate, resident bytes, observed rank error at each phi, and the
+  certified bound where the engine offers one.  Two gates live here:
+  KLL at eps=0.01 must fit in no more memory than the paper sketch at
+  the same eps, and every observed error must sit inside its certified
+  bound.
+* ``bank_scale`` -- the fleet workload that motivated the Frugal
+  engine: *n_metrics* independent streams ingested through a bank in
+  interleaved chunks of ~2 elements per metric (the shape a server
+  shard sees when thousands of clients each send small batches).  The
+  paper ``SketchBank`` pays a per-run partition cost per touched
+  sketch; the ``FrugalBank`` kernel is one branchless vectorised pass
+  over flat arrays.  Gates at 100k metrics: Frugal ingest >= 5x the
+  paper bank, and <= 64 resident bytes per metric.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py            # full
+    PYTHONPATH=src python benchmarks/bench_engines.py --quick    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.core.bank import SketchBank
+from repro.core.framework import QuantileFramework
+from repro.core.frugal import DEFAULT_BANK_PHIS, FrugalBank, FrugalSketch
+from repro.core.kll import KLLSketch
+from repro.core.parameters import optimal_parameters
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(REPO_ROOT, "BENCH_engines.json")
+
+EPSILON = 0.01
+PHIS = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+# bank-scale gates (the 100k-metric row)
+TARGET_FRUGAL_SPEEDUP = 5.0
+TARGET_FRUGAL_BYTES_PER_METRIC = 64
+
+
+def _stream(n: int, seed: int = 0) -> np.ndarray:
+    """Integer-scale values: the regime every engine handles."""
+    return np.random.default_rng(seed).integers(0, n, n).astype(np.float64)
+
+
+def _rank_errors(data: np.ndarray, sketch) -> Dict[str, float]:
+    ordered = np.sort(data)
+    out = {}
+    for phi in PHIS:
+        est = float(sketch.quantile(phi))
+        rank = float(np.searchsorted(ordered, est, side="right"))
+        out[str(phi)] = round(abs(rank - phi * data.size), 1)
+    return out
+
+
+def _build_single(engine: str, n: int):
+    if engine == "paper":
+        plan = optimal_parameters(EPSILON, n)
+        return QuantileFramework(plan.b, plan.k)
+    if engine == "kll":
+        return KLLSketch(eps=EPSILON, seed=0)
+    return FrugalSketch(phis=tuple(PHIS), seed=0)
+
+
+def _memory_bytes(sketch) -> int:
+    return sketch.memory_elements * 8  # float64-equivalent summary words
+
+
+def bench_single(engine: str, n: int, rounds: int) -> Dict[str, object]:
+    data = _stream(n)
+    best = float("inf")
+    for _ in range(rounds):
+        sketch = _build_single(engine, n)
+        t0 = time.perf_counter()
+        sketch.extend(data)
+        best = min(best, time.perf_counter() - t0)
+    bound = sketch.error_bound()
+    errors = _rank_errors(data, sketch)
+    return {
+        "elements": n,
+        "elements_per_s": int(n / best),
+        "memory_bytes": _memory_bytes(sketch),
+        "certified_bound_ranks": None if bound == float("inf")
+        else round(bound, 1),
+        "observed_error_ranks": errors,
+        "max_observed_error_ranks": max(errors.values()),
+    }
+
+
+def _bank_workload(n_metrics: int, total: int, seed: int = 1):
+    """Interleaved fleet traffic in ~2-element-per-metric chunks."""
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, n_metrics, total)
+    values = rng.integers(0, 100_000, total).astype(np.float64)
+    chunk = max(2 * n_metrics, 64)
+    return [
+        (ids[i:i + chunk], values[i:i + chunk])
+        for i in range(0, total, chunk)
+    ]
+
+
+def bench_bank(
+    engine: str, n_metrics: int, total: int, rounds: int
+) -> Dict[str, object]:
+    chunks = _bank_workload(n_metrics, total)
+    best = float("inf")
+    for _ in range(rounds):
+        if engine == "paper":
+            bank = SketchBank(eps=EPSILON, n_sketches=n_metrics)
+        else:
+            bank = FrugalBank(DEFAULT_BANK_PHIS, seed=0)
+        t0 = time.perf_counter()
+        for ids, values in chunks:
+            bank.extend(ids, values)
+        best = min(best, time.perf_counter() - t0)
+    if engine == "paper":
+        memory = bank.memory_elements * 8
+    else:
+        memory = bank.memory_bytes
+    return {
+        "metrics": n_metrics,
+        "elements": total,
+        "chunk_elements": max(2 * n_metrics, 64),
+        "elements_per_s": int(total / best),
+        "memory_bytes": memory,
+        "bytes_per_metric": round(memory / n_metrics, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced totals for the CI gate job -- the 100k-metric "
+        "row keeps its full fleet width so the >=5x gate is honest",
+    )
+    parser.add_argument("--out", default=OUT_PATH, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        single_n, rounds = 200_000, 2
+        bank_rows = [(100, 200_000), (100_000, 2_000_000)]
+    else:
+        single_n, rounds = 1_000_000, 3
+        bank_rows = [(100, 1_000_000), (100_000, 4_000_000)]
+
+    single = {
+        engine: bench_single(engine, single_n, rounds)
+        for engine in ("paper", "kll", "frugal")
+    }
+
+    banks: Dict[str, Dict[str, object]] = {}
+    for n_metrics, total in bank_rows:
+        paper = bench_bank("paper", n_metrics, total, rounds)
+        frugal = bench_bank("frugal", n_metrics, total, rounds)
+        banks[str(n_metrics)] = {
+            "paper": paper,
+            "frugal": frugal,
+            "frugal_speedup": round(
+                frugal["elements_per_s"] / paper["elements_per_s"], 2
+            ),
+        }
+
+    big = banks[str(bank_rows[-1][0])]
+    gates = {
+        "kll_memory_bytes": single["kll"]["memory_bytes"],
+        "paper_memory_bytes": single["paper"]["memory_bytes"],
+        "kll_memory_le_paper":
+            single["kll"]["memory_bytes"] <= single["paper"]["memory_bytes"],
+        "observed_error_le_certified_bound": all(
+            single[e]["max_observed_error_ranks"]
+            <= single[e]["certified_bound_ranks"]
+            for e in ("paper", "kll")
+        ),
+        "frugal_speedup_at_100k": big["frugal_speedup"],
+        "target_frugal_speedup": TARGET_FRUGAL_SPEEDUP,
+        "frugal_bytes_per_metric": big["frugal"]["bytes_per_metric"],
+        "target_frugal_bytes_per_metric": TARGET_FRUGAL_BYTES_PER_METRIC,
+    }
+
+    report = {
+        "meta": {
+            "benchmark": "engines",
+            "quick": args.quick,
+            "eps": EPSILON,
+            "phis": PHIS,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "single_metric": single,
+        "bank_scale": banks,
+        "gates": gates,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    for engine, row in single.items():
+        bound = row["certified_bound_ranks"]
+        print(
+            f"single {engine:>6}: {row['elements_per_s']:>12,} el/s, "
+            f"{row['memory_bytes']:>8,} B, worst observed error "
+            f"{row['max_observed_error_ranks']:,} ranks"
+            + (f" (certified {bound:,})" if bound else " (uncertified)")
+        )
+    for n_metrics, _ in bank_rows:
+        row = banks[str(n_metrics)]
+        print(
+            f"bank {n_metrics:>7,} metrics: paper "
+            f"{row['paper']['elements_per_s']:>12,} el/s, frugal "
+            f"{row['frugal']['elements_per_s']:>12,} el/s "
+            f"({row['frugal_speedup']}x, "
+            f"{row['frugal']['bytes_per_metric']} B/metric)"
+        )
+    print(
+        f"gates: kll {gates['kll_memory_bytes']:,} B <= paper "
+        f"{gates['paper_memory_bytes']:,} B: {gates['kll_memory_le_paper']}"
+        f"; error <= bound: {gates['observed_error_le_certified_bound']}"
+        f"; frugal speedup {gates['frugal_speedup_at_100k']}x "
+        f"(target >= {TARGET_FRUGAL_SPEEDUP}x)"
+        f"; {gates['frugal_bytes_per_metric']} B/metric "
+        f"(target <= {TARGET_FRUGAL_BYTES_PER_METRIC})"
+    )
+    print(f"wrote {args.out}")
+
+    ok = (
+        gates["kll_memory_le_paper"]
+        and gates["observed_error_le_certified_bound"]
+        and gates["frugal_speedup_at_100k"] >= TARGET_FRUGAL_SPEEDUP
+        and gates["frugal_bytes_per_metric"]
+        <= TARGET_FRUGAL_BYTES_PER_METRIC
+    )
+    if not ok:
+        print("GATE FAILURE", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ def Sketch(
     policy: str = "new",
     kernels: Optional[bool] = None,
     adaptive: Optional[bool] = None,
+    engine: str = "paper",
     **kwargs: Any,
 ) -> Any:
     """Build a quantile sketch; the facade's one-stop constructor.
@@ -68,6 +69,15 @@ def Sketch(
         Force the choice instead of inferring it from *n*: ``True``
         always returns the adaptive sketch, ``False`` always the fixed-N
         one (sized for the library default capacity when *n* is omitted).
+    engine:
+        Sketch engine (see the docs/api.md selection table):
+        ``"paper"`` (default) -- the MRL framework, deterministic
+        Lemma 5 bound; ``"kll"`` -- compactor KLL, ~same accuracy in
+        less memory with a probabilistic certified bound (takes
+        ``delta=``, ``k=``, ``seed=``); ``"frugal"`` -- Frugal-2U,
+        1-2 words per tracked fraction, no certified bound (takes
+        ``phis=``, ``seed=``).  ``eps``/``n``/``policy`` apply to the
+        engines that have those knobs.
     kwargs:
         Forwarded to the concrete constructor (``delta=``, ``seed=``,
         ``offset_mode=``, ``initial_capacity=``, ...).
@@ -75,6 +85,21 @@ def Sketch(
     Returns the concrete sketch object -- everything it answers is the
     uniform :class:`~repro.core.protocols.SketchProtocol` quartet.
     """
+    if engine == "kll":
+        from .core.kll import KLLSketch
+
+        return KLLSketch(eps=eps, **kwargs)
+    if engine == "frugal":
+        from .core.frugal import FrugalSketch
+
+        return FrugalSketch(**kwargs)
+    if engine != "paper":
+        from .core.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown sketch engine {engine!r}; "
+            "choose 'paper', 'kll' or 'frugal'"
+        )
     if adaptive is None:
         adaptive = n is None
     if adaptive:
@@ -96,15 +121,39 @@ def Bank(
     *,
     policy: str = "new",
     kernels: Optional[bool] = None,
+    engine: str = "paper",
     **kwargs: Any,
 ) -> Any:
-    """Build a :class:`~repro.core.bank.SketchBank`: many independent
-    summaries filled by one vectorised scan (GROUP BY / multi-column).
+    """Build a bank: many independent summaries filled by one vectorised
+    scan (GROUP BY / multi-column / per-user metrics).
 
-    Accepts the facade kwargs (``eps=``, ``policy=``, ``kernels=``) plus
-    everything ``SketchBank`` takes (``n_sketches=``, ``max_sketches=``,
-    ``offset_mode=``).
+    ``engine="paper"`` (default) returns a
+    :class:`~repro.core.bank.SketchBank` -- certified Lemma 5 bounds,
+    ~``b*k`` elements per summary.  Accepts the facade kwargs (``eps=``,
+    ``policy=``, ``kernels=``) plus everything ``SketchBank`` takes
+    (``n_sketches=``, ``max_sketches=``, ``offset_mode=``).
+
+    ``engine="frugal"`` returns a
+    :class:`~repro.core.frugal.FrugalBank` -- flat-array Frugal-2U
+    state, tens of bytes per summary, one branchless kernel pass per
+    ingest chunk (takes ``phis=``, ``n_sketches=``, ``max_sketches=``,
+    ``seed=``); this is the 100k+-metric configuration, see
+    BENCH_engines.json.  ``eps``/``policy``/``kernels`` do not apply.
+
+    KLL has no vectorised bank (its compaction is per-summary); use
+    ``Sketch(engine="kll")`` per summary, or the paper bank.
     """
+    if engine == "frugal":
+        from .core.frugal import FrugalBank
+
+        return FrugalBank(**kwargs)
+    if engine != "paper":
+        from .core.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"no bank for engine {engine!r}: choose 'paper' (certified) "
+            "or 'frugal' (high-cardinality); KLL is per-sketch only"
+        )
     from .core.bank import SketchBank
 
     return SketchBank(
@@ -140,17 +189,31 @@ def hist(
     *,
     eps: float = 0.005,
     policy: str = "new",
+    engine: str = "paper",
 ) -> List[Any]:
     """Equi-depth histogram boundaries of *data* in one bounded-memory pass.
 
     Returns the ``i/bins``-quantiles for ``i = 1 .. bins-1`` (Section 1.1
     of the paper: the b-optimal equi-depth histogram).  A convenience
-    wrapper over :func:`~repro.core.sketch.approximate_quantiles`.
+    wrapper over :func:`~repro.core.sketch.approximate_quantiles` --
+    or, with ``engine="kll"``/``"frugal"``, over that engine's sketch
+    (see :func:`Sketch` for the trade-offs).
     """
     from .core.errors import ConfigurationError
-    from .core.sketch import approximate_quantiles
 
     if bins < 2:
         raise ConfigurationError(f"need at least 2 bins, got {bins}")
     phis = [i / bins for i in range(1, bins)]
+    if engine != "paper":
+        import numpy as np
+
+        if engine == "frugal":
+            # track exactly the requested boundary fractions
+            sk = Sketch(engine=engine, phis=tuple(phis))
+        else:
+            sk = Sketch(eps=eps, engine=engine)
+        sk.extend(np.asarray(data, dtype=np.float64))
+        return sk.quantiles(phis)
+    from .core.sketch import approximate_quantiles
+
     return approximate_quantiles(data, phis, eps, policy=policy)

@@ -336,12 +336,18 @@ def _cmd_client(args: argparse.Namespace) -> int:
         max_retries=args.retries,
     ) as client:
         if args.action == "create":
+            # non-paper engines are always kind="fixed" (their own knobs
+            # size the sketch); the paper engine defaults to adaptive
+            kind = args.kind or (
+                "adaptive" if args.engine == "paper" else "fixed"
+            )
             created = client.create(
                 args.name,
-                kind=args.kind,
+                kind=kind,
                 epsilon=args.epsilon,
                 n=args.n,
                 policy=args.policy,
+                engine=args.engine,
             )
             print("created" if created else "exists")
         elif args.action == "ingest":
@@ -476,7 +482,16 @@ def build_parser() -> argparse.ArgumentParser:
     desc.set_defaults(func=_cmd_describe)
 
     serve = sub.add_parser(
-        "serve", help="run the quantile-sketch service in the foreground"
+        "serve",
+        help="run the quantile-sketch service in the foreground",
+        description=(
+            "Run the quantile-sketch service.  Metrics are created by "
+            "clients (repro client create) and may use any sketch "
+            "engine -- paper (deterministic Lemma 5 bound), kll "
+            "(probabilistic bound, less memory) or frugal (a few words "
+            "per metric, no bound); mixed-engine registries journal, "
+            "snapshot and recover bit-identically."
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7337)
@@ -551,7 +566,23 @@ def build_parser() -> argparse.ArgumentParser:
     c_create = actions.add_parser("create", help="create a metric")
     c_create.add_argument("name")
     c_create.add_argument(
-        "--kind", choices=("fixed", "adaptive"), default="adaptive"
+        "--kind",
+        choices=("fixed", "adaptive"),
+        default=None,
+        help=(
+            "paper engine: adaptive (default) or fixed; other engines "
+            "are always fixed"
+        ),
+    )
+    c_create.add_argument(
+        "--engine",
+        choices=("paper", "kll", "frugal"),
+        default="paper",
+        help=(
+            "sketch engine: paper (deterministic Lemma 5 bound), kll "
+            "(probabilistic bound, less memory) or frugal (a few words "
+            "per metric, no bound)"
+        ),
     )
     c_create.add_argument("--epsilon", type=float, default=0.01)
     c_create.add_argument(

@@ -15,10 +15,20 @@ Public surface:
 
 from . import kernels
 from .buffer import MINUS_INF, PLUS_INF, Buffer
+from .engines import (
+    ENGINES,
+    ENGINE_NAMES,
+    EngineSpec,
+    dumps_any,
+    engine_of,
+    load_any_from,
+    loads_any,
+)
 from .errors import (
     CapacityExceededError,
     ConfigurationError,
     EmptySummaryError,
+    EngineMismatchError,
     QueryError,
     ReproError,
     SQLSyntaxError,
@@ -26,6 +36,8 @@ from .errors import (
     StreamExhaustedError,
     WorkerError,
 )
+from .frugal import FrugalBank, FrugalSketch
+from .kll import KLLSketch
 from .framework import QuantileFramework
 from .operations import (
     OffsetSelector,
@@ -81,6 +93,16 @@ __all__ = [
     "QuantileSketch",
     "SketchBank",
     "AdaptiveQuantileSketch",
+    "KLLSketch",
+    "FrugalSketch",
+    "FrugalBank",
+    "EngineSpec",
+    "ENGINES",
+    "ENGINE_NAMES",
+    "engine_of",
+    "loads_any",
+    "load_any_from",
+    "dumps_any",
     "approximate_quantiles",
     "dump",
     "dumps",
@@ -115,6 +137,7 @@ __all__ = [
     "TreeStats",
     "ReproError",
     "ConfigurationError",
+    "EngineMismatchError",
     "StreamExhaustedError",
     "CapacityExceededError",
     "EmptySummaryError",

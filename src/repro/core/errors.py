@@ -21,6 +21,17 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class EngineMismatchError(ConfigurationError):
+    """Serialised summaries from *different* sketch engines were combined.
+
+    Every engine writes its own magic tag (``MRLSKT01`` paper,
+    ``KLLSKT01`` KLL, ``FRGSKT01`` Frugal); folding payloads with
+    different tags has no defined semantics, so
+    :func:`repro.core.serialize.merge_serialized` raises this instead of
+    producing a garbled merge.  The message names both engines.
+    """
+
+
 class StreamExhaustedError(ReproError, RuntimeError):
     """More elements were requested from a stream than it can supply."""
 

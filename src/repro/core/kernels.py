@@ -54,6 +54,7 @@ path; the results are identical either way, which the test suite asserts.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional, Sequence, Tuple
 
@@ -69,6 +70,11 @@ __all__ = [
     "weighted_select_argsort",
     "collapse_pad_counts",
     "sort_rows",
+    "splitmix64_u01",
+    "splitmix64_u01_scalar",
+    "stream_seed",
+    "frugal2u_update",
+    "frugal2u_update_scalar",
 ]
 
 # Pairwise searchsorted merging issues ~6 numpy calls per merge round; below
@@ -380,3 +386,347 @@ def sort_rows(arr: np.ndarray, k: int) -> np.ndarray:
     """
     n_full = len(arr) // k
     return np.sort(arr[: n_full * k].reshape(n_full, k), axis=1)
+
+
+# -- deterministic counter-based randomness ----------------------------------
+#
+# The probabilistic engines (Frugal-2U updates, KLL compaction parity) must
+# be *replay-deterministic*: the service journals raw ingest batches and
+# recovery replays them, possibly with different batch boundaries, and the
+# recovered state must be bit-identical to the pre-crash state.  A stateful
+# RNG breaks that (its state would depend on batching); instead every random
+# draw is a pure hash of ``(stream seed, per-sketch element index)`` --
+# splitmix64's output function, which is exactly a counter-mode generator.
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_STREAM_SALT = 0xD1342543DE82EF95
+
+
+def _finalize_scalar(z: int) -> int:
+    z &= _MASK64
+    z ^= z >> 30
+    z = (z * _MIX_A) & _MASK64
+    z ^= z >> 27
+    z = (z * _MIX_B) & _MASK64
+    z ^= z >> 31
+    return z
+
+
+def stream_seed(seed: int, stream: int) -> int:
+    """Derive the per-stream base for :func:`splitmix64_u01` draws.
+
+    *stream* separates logically independent random sequences sharing one
+    user seed (e.g. one sequence per tracked quantile fraction).
+    """
+    return _finalize_scalar((seed + (stream + 1) * _STREAM_SALT) & _MASK64)
+
+
+def splitmix64_u01_scalar(base: int, index: int) -> float:
+    """The ``index``-th uniform [0, 1) draw of stream *base* (scalar path)."""
+    z = _finalize_scalar((base + index * _SPLITMIX_GAMMA) & _MASK64)
+    return (z >> 11) * 2.0**-53
+
+
+def splitmix64_u01(base: int, indices: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64_u01_scalar` over an int64/uint64 array.
+
+    Bit-identical to the scalar spelling for every index -- the property
+    suite asserts it, because the scalar and vector Frugal paths must
+    consume identical randomness.
+    """
+    with np.errstate(over="ignore"):
+        z = indices.astype(np.uint64) * np.uint64(_SPLITMIX_GAMMA)
+        z += np.uint64(base)
+        z ^= z >> np.uint64(30)
+        z *= np.uint64(_MIX_A)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(_MIX_B)
+        z ^= z >> np.uint64(31)
+    return (z >> np.uint64(11)) * 2.0**-53
+
+
+# -- bank-wide Frugal-2U update ----------------------------------------------
+#
+# State layout (shared with core.frugal.FrugalBank): one flat float64 row
+# per tracked fraction -- ``m[p, i]`` / ``step[p, i]`` / ``sign[p, i]`` hold
+# the Frugal-2U estimate state of fraction ``qs[p]`` for sketch ``i`` --
+# plus per-sketch counters ``n_seen`` and exact extremes.  A whole ingest
+# chunk, already partitioned into one run per sketch, is applied in
+# *rounds*: round ``r`` takes the ``r``-th element of every still-active
+# run, so each round is a handful of branchless numpy passes over up to
+# n_sketches states instead of a Python loop per element.  With 100k
+# uniformly-hit metrics a 1M-element chunk is ~10 wide rounds.
+
+# Below this many runs the fixed per-round numpy call overhead dominates
+# and the scalar per-element loop wins.
+_FRUGAL_ROUNDS_MIN_RUNS = 32
+
+
+def _frugal2u_apply(
+    q: float,
+    cur_m: np.ndarray,
+    cur_s: np.ndarray,
+    cur_g: np.ndarray,
+    x: np.ndarray,
+    rand: np.ndarray,
+    allow: Optional[np.ndarray] = None,
+) -> "Tuple[np.ndarray, np.ndarray, np.ndarray, int]":
+    """One vectorised Frugal-2U step for fraction *q* over gathered state.
+
+    Returns the updated ``(m, step, sign)`` plus the number of sketches
+    whose step actually adjusted (the obs counter).  *allow* masks lanes
+    out of the update entirely (used for first-element initialisation).
+    The operation order mirrors :func:`frugal2u_update_scalar` exactly --
+    same IEEE ops in the same sequence -- so both paths produce
+    bit-identical state.
+    """
+    up = (x > cur_m) & (rand > 1.0 - q)
+    down = (x < cur_m) & (rand > q)
+    if allow is not None:
+        up &= allow
+        down &= allow
+    # ascent: step drifts by +/-1, the estimate moves by ceil(step) (>= 1)
+    cur_s = np.where(up, cur_s + np.where(cur_g > 0, 1.0, -1.0), cur_s)
+    add = np.where(cur_s > 0.0, np.ceil(cur_s), 1.0)
+    cur_m = np.where(up, cur_m + add, cur_m)
+    over = up & (cur_m > x)
+    cur_s = np.where(over, cur_s + (x - cur_m), cur_s)
+    cur_m = np.where(over, x, cur_m)
+    reset = up & (cur_g < 0) & (cur_s > 1.0)
+    cur_s = np.where(reset, 1.0, cur_s)
+    # descent: the mirror image
+    cur_s = np.where(down, cur_s + np.where(cur_g < 0, 1.0, -1.0), cur_s)
+    sub = np.where(cur_s > 0.0, np.ceil(cur_s), 1.0)
+    cur_m = np.where(down, cur_m - sub, cur_m)
+    under = down & (cur_m < x)
+    cur_s = np.where(under, cur_s + (cur_m - x), cur_s)
+    cur_m = np.where(under, x, cur_m)
+    reset2 = down & (cur_g > 0) & (cur_s > 1.0)
+    cur_s = np.where(reset2, 1.0, cur_s)
+    cur_g = np.where(up, np.int8(1), np.where(down, np.int8(-1), cur_g))
+    adjusted = 0
+    if _obs.ENABLED:
+        adjusted = int(np.count_nonzero(up) + np.count_nonzero(down))
+    return cur_m, cur_s, cur_g, adjusted
+
+
+def frugal2u_update_scalar(
+    qs: np.ndarray,
+    m: np.ndarray,
+    step: np.ndarray,
+    sign: np.ndarray,
+    n_seen: np.ndarray,
+    minv: np.ndarray,
+    maxv: np.ndarray,
+    values: np.ndarray,
+    run_ids: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    bases: np.ndarray,
+) -> int:
+    """Reference Frugal-2U: per-element Python loop over each run.
+
+    Kept callable forever as the oracle the vectorised rounds path is
+    property-tested against, and as the fast path for few long runs
+    (per-round numpy overhead beats per-element Python only when many
+    sketches are active per round).
+    """
+    phis = [float(q) for q in qs]
+    nphis = len(phis)
+    adjusted = 0
+    count_adjust = _obs.ENABLED
+    for j in range(len(run_ids)):
+        i = int(run_ids[j])
+        s0, s1 = int(starts[j]), int(stops[j])
+        if s1 <= s0:
+            continue
+        run = values[s0:s1]
+        base_idx = int(n_seen[i])
+        pos = 0
+        if base_idx == 0:
+            x0 = float(run[0])
+            for p in range(nphis):
+                m[p, i] = x0
+            minv[i] = x0
+            maxv[i] = x0
+            pos = 1
+        else:
+            rmin = float(np.min(run))
+            rmax = float(np.max(run))
+            if rmin < minv[i]:
+                minv[i] = rmin
+            if rmax > maxv[i]:
+                maxv[i] = rmax
+        if pos and len(run) > 1:
+            rmin = float(np.min(run[1:]))
+            rmax = float(np.max(run[1:]))
+            if rmin < minv[i]:
+                minv[i] = rmin
+            if rmax > maxv[i]:
+                maxv[i] = rmax
+        for r in range(pos, len(run)):
+            x = float(run[r])
+            idx = base_idx + r
+            for p in range(nphis):
+                q = phis[p]
+                rand = splitmix64_u01_scalar(int(bases[p]), idx)
+                cur_m = float(m[p, i])
+                cur_s = float(step[p, i])
+                cur_g = int(sign[p, i])
+                if x > cur_m and rand > 1.0 - q:
+                    cur_s = cur_s + (1.0 if cur_g > 0 else -1.0)
+                    cur_m = cur_m + (math.ceil(cur_s) if cur_s > 0.0 else 1.0)
+                    if cur_m > x:
+                        cur_s = cur_s + (x - cur_m)
+                        cur_m = x
+                    if cur_g < 0 and cur_s > 1.0:
+                        cur_s = 1.0
+                    cur_g = 1
+                    if count_adjust:
+                        adjusted += 1
+                elif x < cur_m and rand > q:
+                    cur_s = cur_s + (1.0 if cur_g < 0 else -1.0)
+                    cur_m = cur_m - (math.ceil(cur_s) if cur_s > 0.0 else 1.0)
+                    if cur_m < x:
+                        cur_s = cur_s + (cur_m - x)
+                        cur_m = x
+                    if cur_g > 0 and cur_s > 1.0:
+                        cur_s = 1.0
+                    cur_g = -1
+                    if count_adjust:
+                        adjusted += 1
+                else:
+                    continue
+                m[p, i] = cur_m
+                step[p, i] = cur_s
+                sign[p, i] = cur_g
+        n_seen[i] = base_idx + len(run)
+    return adjusted
+
+
+def _frugal2u_rounds(
+    qs: np.ndarray,
+    m: np.ndarray,
+    step: np.ndarray,
+    sign: np.ndarray,
+    n_seen: np.ndarray,
+    minv: np.ndarray,
+    maxv: np.ndarray,
+    values: np.ndarray,
+    run_ids: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    bases: np.ndarray,
+) -> int:
+    """Vectorised rounds path: round ``r`` updates every active sketch at once.
+
+    State is gathered from the bank arrays *once* per chunk.  Runs are
+    sorted by length, so the lanes still active in round ``r`` are a
+    contiguous suffix of the gathered arrays and every round operates on
+    plain slices -- no per-round fancy indexing.  The chunk's values are
+    scattered into a ``(max_len, n_runs)`` round-major matrix up front so
+    round ``r``'s inputs are one contiguous row slice as well.
+    """
+    lengths = stops - starts
+    order = np.argsort(lengths, kind="stable")
+    run_ids = run_ids[order]
+    starts = starts[order]
+    lengths = lengths[order]
+    n_runs = len(run_ids)
+    max_len = int(lengths[-1])
+    nphis = len(qs)
+    # gather state once
+    mg = m[:, run_ids]
+    sg = step[:, run_ids]
+    gg = sign[:, run_ids]
+    n0 = n_seen[run_ids]
+    # concatenate runs in sorted order; per-run extremes in one reduceat pair
+    total = int(lengths.sum())
+    prefix = np.cumsum(lengths) - lengths
+    within = np.arange(total, dtype=np.int64) - np.repeat(prefix, lengths)
+    src = np.repeat(starts, lengths) + within
+    v_cat = values[src]
+    minv[run_ids] = np.minimum(minv[run_ids], np.minimum.reduceat(v_cat, prefix))
+    maxv[run_ids] = np.maximum(maxv[run_ids], np.maximum.reduceat(v_cat, prefix))
+    # round-major value matrix: X[r, lane] = lane's r-th element
+    x_mat = np.empty((max_len, n_runs), dtype=np.float64)
+    x_mat.reshape(-1)[within * n_runs + np.repeat(np.arange(n_runs), lengths)] = v_cat
+    # first-element initialisation: lanes with no history adopt their
+    # first value as the starting estimate (and skip that update)
+    fresh = n0 == 0
+    if fresh.any():
+        mg[:, fresh] = x_mat[0, fresh]
+    adjusted = 0
+    lo = 0
+    for r in range(max_len):
+        # runs are sorted by length: drop exhausted lanes from the front
+        while lengths[lo] <= r:
+            lo += 1
+        x = x_mat[r, lo:]
+        idx = n0[lo:] + r
+        allow = (idx != 0) if r == 0 else None
+        for p in range(nphis):
+            rand = splitmix64_u01(int(bases[p]), idx)
+            cur_m, cur_s, cur_g, adj = _frugal2u_apply(
+                float(qs[p]), mg[p, lo:], sg[p, lo:], gg[p, lo:], x, rand, allow
+            )
+            mg[p, lo:] = cur_m
+            sg[p, lo:] = cur_s
+            gg[p, lo:] = cur_g
+            adjusted += adj
+    # scatter state back (run ids are distinct within one call)
+    m[:, run_ids] = mg
+    step[:, run_ids] = sg
+    sign[:, run_ids] = gg
+    n_seen[run_ids] = n0 + lengths
+    return adjusted
+
+
+def frugal2u_update(
+    qs: np.ndarray,
+    m: np.ndarray,
+    step: np.ndarray,
+    sign: np.ndarray,
+    n_seen: np.ndarray,
+    minv: np.ndarray,
+    maxv: np.ndarray,
+    values: np.ndarray,
+    run_ids: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    bases: np.ndarray,
+    *,
+    enabled: Optional[bool] = None,
+) -> int:
+    """Apply one partitioned chunk of Frugal-2U updates to bank state.
+
+    ``values[starts[j]:stops[j]]`` is the (arrival-order) run destined for
+    sketch ``run_ids[j]``; run ids must be distinct within one call.  The
+    per-element randomness is a pure function of ``(bases[p], element
+    index within the sketch)``, so the result is bit-identical no matter
+    how the stream was batched or partitioned -- the crash-recovery and
+    bank-vs-direct property tests rest on this.  Returns the number of
+    step adjustments applied (0 when obs is disabled).  *enabled*
+    overrides the global kernel switch (``None`` follows it); the scalar
+    fallback produces bit-identical state.
+    """
+    n_runs = len(run_ids)
+    if n_runs == 0 or len(values) == 0:
+        return 0
+    use_rounds = (_enabled if enabled is None else enabled) and (
+        n_runs >= _FRUGAL_ROUNDS_MIN_RUNS
+    )
+    if _obs.ENABLED:
+        _obs.on_kernel("frugal2u", "rounds" if use_rounds else "scalar")
+    if use_rounds:
+        return _frugal2u_rounds(
+            qs, m, step, sign, n_seen, minv, maxv,
+            values, run_ids, starts, stops, bases,
+        )
+    return frugal2u_update_scalar(
+        qs, m, step, sign, n_seen, minv, maxv,
+        values, run_ids, starts, stops, bases,
+    )

@@ -228,25 +228,50 @@ def loads(raw: bytes) -> QuantileFramework:
     return load(io.BytesIO(raw))
 
 
-def merge_serialized(payloads: "Iterable[bytes]") -> QuantileFramework:
-    """Merge serialised summaries into one framework (shard fan-in).
+def merge_serialized(payloads: "Iterable[bytes]"):
+    """Merge serialised summaries into one sketch (shard fan-in).
 
     This is the receiving half of the §4.9 exchange: every shard ships its
-    summary in the wire format above (exactly what the process backend of
-    :class:`~repro.core.parallel.ParallelQuantileEngine` and the service's
-    ``FETCH`` command emit), and the coordinator folds them into a single
-    summary via :meth:`~repro.core.framework.QuantileFramework.absorb` --
-    the combined collapse forest still satisfies Lemma 5, so the merged
-    ``error_bound()`` stays certified.  All payloads must share ``k``
-    (they do when the shards run one metric's configuration).
+    summary in its engine's wire format (exactly what the process backend
+    of :class:`~repro.core.parallel.ParallelQuantileEngine` and the
+    service's ``FETCH`` command emit), and the coordinator folds them into
+    a single summary via ``absorb`` -- for the paper engine the combined
+    collapse forest still satisfies Lemma 5, for KLL the Hoeffding
+    accounting adds, so the merged ``error_bound()`` stays certified.
+
+    Engine handling: the payloads' magic tags must all name the *same*
+    engine -- mixing raises a typed
+    :class:`~repro.core.errors.EngineMismatchError` rather than
+    attempting a garbled fold.  A non-mergeable engine (frugal) accepts
+    exactly one payload (a plain load); two or more raise
+    :class:`ConfigurationError`.  Same-engine merges are deterministic:
+    payloads fold in iteration order, so every coordinator produces
+    byte-identical results.
     """
-    merged: "QuantileFramework | None" = None
+    from .engines import ENGINES, engine_of
+    from .errors import EngineMismatchError
+
+    merged = None
+    spec = None
     for raw in payloads:
-        fw = loads(raw)
+        name = engine_of(raw)
+        if spec is None:
+            spec = ENGINES[name]
+        elif name != spec.name:
+            raise EngineMismatchError(
+                f"cannot merge summaries from different engines: "
+                f"{spec.name!r} vs {name!r}"
+            )
+        sk = spec.loads(raw)
         if merged is None:
-            merged = fw
+            merged = sk
         else:
-            merged.absorb(fw)
+            if not spec.mergeable:
+                raise ConfigurationError(
+                    f"{spec.name!r} summaries are not mergeable; "
+                    "fetch and query them individually"
+                )
+            merged.absorb(sk)
     if merged is None:
         raise ConfigurationError("merge_serialized needs at least one payload")
     return merged

@@ -246,6 +246,11 @@ def render_stats_text(stats: Mapping[str, Any]) -> str:
             )
         )
 
+    engines = stats.get("engines") or {}
+    if engines:
+        parts = [f"{k}={_fmt_count(v)}" for k, v in sorted(engines.items())]
+        lines.append("engines: " + " ".join(parts))
+
     counters = obs.get("counters") or {}
     if counters:
         parts = [f"{k}={_fmt_count(v)}" for k, v in sorted(counters.items())]

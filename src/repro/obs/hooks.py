@@ -146,6 +146,7 @@ class _HotHandles:
         "bank_chunks",
         "bank_elements",
         "bank_runs",
+        "engine_events",
     )
 
     def __init__(self, reg: Any) -> None:
@@ -159,6 +160,7 @@ class _HotHandles:
         self.bank_chunks = reg.counter("bank.chunks")
         self.bank_elements = reg.counter("bank.elements")
         self.bank_runs = reg.counter("bank.runs")
+        self.engine_events: Dict[Any, Any] = {}
 
 
 _hot: Optional[_HotHandles] = None
@@ -352,3 +354,24 @@ def on_bank_extend(bank: Any, n_elements: int, n_runs: int) -> None:
 def on_kernel(name: str, path: str) -> None:
     """A kernel entry point chose execution *path* (strategy counters)."""
     registry().counter(f"kernels.{name}", path=path).inc()
+
+
+def on_engine_event(engine: str, event: str, count: int = 1) -> None:
+    """A sketch engine performed *count* internal operations of kind *event*.
+
+    Engine-labelled counters for the pluggable engines: KLL compactions
+    (``engine.compactions{engine="kll"}``), Frugal step adjustments
+    (``engine.step_adjustments{engine="frugal"}``), ...  Call sites sit
+    at chunk/compaction granularity behind the usual ``ENABLED`` gate,
+    so the disabled cost stays one attribute read + branch per chunk.
+    """
+    if not count:
+        return
+    hot = _handles()
+    key = (engine, event)
+    counter = hot.engine_events.get(key)
+    if counter is None:
+        counter = hot.engine_events[key] = hot.registry.counter(
+            f"engine.{event}", engine=engine
+        )
+    counter.inc(count)

@@ -43,9 +43,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import serialize
+from ..core.engines import loads_any
 from ..core.errors import StorageError
-from ..core.framework import QuantileFramework
 from . import protocol
 from .errors import ServiceConnectionError, ServiceTimeoutError
 from .protocol import MUTATING_OPCODES, Opcode, Request
@@ -468,8 +467,15 @@ class QuantileClient:
         epsilon: float = 0.01,
         n: Optional[int] = None,
         policy: str = "new",
+        engine: str = "paper",
     ) -> bool:
-        """Create metric *name*; True if new, False if it already existed."""
+        """Create metric *name*; True if new, False if it already existed.
+
+        ``engine`` picks the server-side sketch machinery (``"paper"``,
+        ``"kll"`` or ``"frugal"``; see docs/api.md).  The non-paper
+        engines require ``kind="fixed"`` with no ``n`` -- their own
+        knobs size the sketch.
+        """
         body = self._call(
             Request(
                 opcode=Opcode.CREATE,
@@ -478,6 +484,7 @@ class QuantileClient:
                 epsilon=epsilon,
                 n=n,
                 policy=policy,
+                engine=engine,
             )
         )
         return bool(body["created"])
@@ -564,10 +571,12 @@ class QuantileClient:
     def list_metrics(self) -> List[Dict[str, Any]]:
         return self._call(Request(opcode=Opcode.LIST))["metrics"]
 
-    def fetch(self, name: str) -> QuantileFramework:
-        """Pull the metric's summary (§4.9 exchange: merge across servers
-        with :func:`repro.core.serialize.merge_serialized`)."""
-        return serialize.loads(self.fetch_raw(name))
+    def fetch(self, name: str) -> Any:
+        """Pull the metric's summary as a live sketch of its engine
+        (dispatch on the payload's magic tag; §4.9 exchange: merge
+        same-engine payloads across servers with
+        :func:`repro.core.serialize.merge_serialized`)."""
+        return loads_any(self.fetch_raw(name))
 
     def fetch_raw(self, name: str) -> bytes:
         return self._call(Request(opcode=Opcode.FETCH, name=name))["payload"]

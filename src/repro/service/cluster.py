@@ -49,7 +49,6 @@ import numpy as np
 
 from ..core import serialize
 from ..core.errors import StorageError
-from ..core.framework import QuantileFramework
 from .client import QuantileClient
 from .registry import shard_of
 
@@ -348,7 +347,7 @@ class ClusterClient:
     def cdf(self, name: str, value: float) -> Dict[str, Any]:
         return self._owner(name).cdf(name, value)
 
-    def fetch(self, name: str) -> QuantileFramework:
+    def fetch(self, name: str) -> Any:
         return self._owner(name).fetch(name)
 
     def fetch_raw(self, name: str) -> bytes:
@@ -356,13 +355,16 @@ class ClusterClient:
 
     # -- cluster-wide fan-in / broadcast -----------------------------------
 
-    def fetch_merged(self, names: Sequence[str]) -> QuantileFramework:
+    def fetch_merged(self, names: Sequence[str]) -> Any:
         """One summary for the union of *names* (the §4.9 recombination).
 
-        Each owner ships its serialised summary; the fold preserves
-        Lemma 5, so the result's ``error_bound()`` is certified for the
-        combined stream.  Deterministic: payloads are merged in the
-        order *names* are given.
+        Each owner ships its serialised summary; for the paper engine
+        the fold preserves Lemma 5, for KLL the Hoeffding accounting
+        adds, so the result's ``error_bound()`` is certified for the
+        combined stream.  Mixed-engine payloads raise
+        :class:`~repro.core.errors.EngineMismatchError`; frugal metrics
+        are not mergeable (fetch them individually).  Deterministic:
+        payloads are merged in the order *names* are given.
         """
         return serialize.merge_serialized(
             self.fetch_raw(name) for name in names

@@ -18,6 +18,7 @@ File layout (little-endian)::
 
     type 1 = CREATE:  name (u16 len + utf8) | u8 kind | f64 epsilon
                       | u64 n (0 = unset) | policy (u16 len + utf8)
+                      | [u8 engine]  (optional trailing; absent = paper)
     type 2 = INGEST:  name (u16 len + utf8) | u32 count | count * f64
 
 ``token`` is the client-supplied idempotency token the mutation arrived
@@ -90,6 +91,9 @@ class JournalRecord:
     values: Optional[np.ndarray] = None
     #: idempotency token the mutation carried (0 = none)
     token: int = 0
+    #: CREATE sketch engine (encoded as an optional trailing byte, so
+    #: pre-engine journals replay unchanged as "paper")
+    engine: str = "paper"
 
 
 @dataclass
@@ -103,17 +107,25 @@ class JournalScan:
 
 
 def _encode_create(
-    name: str, kind: str, epsilon: float, n: Optional[int], policy: str
+    name: str,
+    kind: str,
+    epsilon: float,
+    n: Optional[int],
+    policy: str,
+    engine: str = "paper",
 ) -> bytes:
-    from .protocol import _KIND_IDS, _pack_str
+    from .protocol import _ENGINE_IDS, _KIND_IDS, _pack_str
 
-    return (
+    body = (
         _pack_str(name)
         + bytes([_KIND_IDS[kind]])
         + _F64.pack(epsilon)
         + _U64.pack(0 if n is None else int(n))
         + _pack_str(policy)
     )
+    if engine != "paper":
+        body += bytes([_ENGINE_IDS[engine]])
+    return body
 
 
 def _ingest_body_parts(
@@ -136,7 +148,7 @@ def _ingest_body_parts(
 
 
 def _decode_body(body: bytes) -> JournalRecord:
-    from .protocol import _KIND_NAMES, _Reader
+    from .protocol import _ENGINE_NAMES, _KIND_NAMES, _Reader
 
     r = _Reader(body)
     seq = r.u64("seq")
@@ -150,6 +162,12 @@ def _decode_body(body: bytes) -> JournalRecord:
         epsilon = r.f64("epsilon")
         n = r.u64("n")
         policy = r.string("policy")
+        engine = "paper"
+        if r.pos != len(r.buf):  # pre-engine records have no trailing byte
+            engine_id = r.u8("sketch engine")
+            if engine_id not in _ENGINE_NAMES:
+                raise StorageError(f"unknown sketch engine id {engine_id}")
+            engine = _ENGINE_NAMES[engine_id]
         rec = JournalRecord(
             seq=seq,
             type=rtype,
@@ -159,6 +177,7 @@ def _decode_body(body: bytes) -> JournalRecord:
             n=None if n == 0 else n,
             policy=policy,
             token=token,
+            engine=engine,
         )
     elif rtype == INGEST_RECORD:
         name = r.string("metric name")
@@ -254,12 +273,13 @@ class IngestJournal:
         n: Optional[int],
         policy: str,
         token: int = 0,
+        engine: str = "paper",
     ) -> int:
         """Record a metric creation; returns its sequence number."""
         self._seq += 1
         body = _SEQ_TYPE.pack(
             self._seq, CREATE_RECORD, token
-        ) + _encode_create(name, kind, epsilon, n, policy)
+        ) + _encode_create(name, kind, epsilon, n, policy, engine)
         self._append(body)
         return self._seq
 

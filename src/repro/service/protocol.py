@@ -108,6 +108,15 @@ KIND_ADAPTIVE = 1
 _KIND_NAMES = {KIND_FIXED: "fixed", KIND_ADAPTIVE: "adaptive"}
 _KIND_IDS = {v: k for k, v in _KIND_NAMES.items()}
 
+#: sketch engines on the wire (u8); CREATE encodes the engine as an
+#: *optional trailing* byte -- a paper-engine request is byte-identical
+#: to the pre-engine format, so old clients and old servers interoperate
+ENGINE_PAPER = 0
+ENGINE_KLL = 1
+ENGINE_FRUGAL = 2
+_ENGINE_NAMES = {ENGINE_PAPER: "paper", ENGINE_KLL: "kll", ENGINE_FRUGAL: "frugal"}
+_ENGINE_IDS = {v: k for k, v in _ENGINE_NAMES.items()}
+
 
 @dataclass
 class Request:
@@ -124,6 +133,9 @@ class Request:
     value: float = 0.0
     #: client-generated idempotency token on mutating ops (0 = none)
     token: int = 0
+    #: sketch engine for CREATE ("paper" rides for free on the wire; the
+    #: others add one trailing byte)
+    engine: str = "paper"
     #: STATS verbosity (0 = summary; 1 adds the rendered Prometheus
     #: exposition).  Encoded as an optional trailing byte so old clients
     #: and old servers interoperate unchanged.
@@ -224,6 +236,12 @@ def encode_request(req: Request) -> bytes:
         out.append(_F64.pack(req.epsilon))
         out.append(_U64.pack(0 if req.n is None else int(req.n)))
         out.append(_pack_str(req.policy))
+        if req.engine != "paper":
+            if req.engine not in _ENGINE_IDS:
+                raise ConfigurationError(
+                    f"unknown sketch engine {req.engine!r}"
+                )
+            out.append(bytes([_ENGINE_IDS[req.engine]]))
     elif op == Opcode.INGEST:
         values = np.ascontiguousarray(req.values, dtype="<f8")
         out.append(_pack_str(req.name))
@@ -330,6 +348,11 @@ def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
         n = r.u64("n")
         req.n = None if n == 0 else n
         req.policy = r.string("policy")
+        if r.pos != len(r.buf):  # old clients send no engine byte
+            engine_id = r.u8("sketch engine")
+            if engine_id not in _ENGINE_NAMES:
+                raise StorageError(f"unknown sketch engine id {engine_id}")
+            req.engine = _ENGINE_NAMES[engine_id]
     elif op == Opcode.INGEST:
         req.name = r.string("metric name")
         req.token = r.u64("idempotency token")

@@ -36,6 +36,8 @@ from ..core.adaptive import AdaptiveQuantileSketch
 from ..core.bank import SketchBank
 from ..core.errors import ConfigurationError, EmptySummaryError
 from ..core.framework import QuantileFramework
+from ..core.frugal import DEFAULT_BANK_PHIS, FrugalBank, FrugalSketch
+from ..core.kll import KLLSketch
 from ..core.parameters import optimal_parameters
 from ..core import serialize
 
@@ -61,8 +63,11 @@ DEFAULT_DESIGN_N = 2**30
 _DEFAULT_ADAPTIVE_CAPACITY = 4096
 
 _KINDS = ("fixed", "adaptive")
+_ENGINES = ("paper", "kll", "frugal")
 
-Sketch = Union[QuantileFramework, AdaptiveQuantileSketch]
+Sketch = Union[
+    QuantileFramework, AdaptiveQuantileSketch, KLLSketch, FrugalSketch
+]
 
 _FINITE_MSG = (
     "numeric streams must be finite: the framework reserves "
@@ -74,8 +79,8 @@ class MetricEntry:
     """One named metric: configuration + live sketch + shard placement."""
 
     __slots__ = (
-        "name", "kind", "epsilon", "n", "policy", "shard", "bank_id",
-        "sketch", "n_batches",
+        "name", "kind", "epsilon", "n", "policy", "engine", "shard",
+        "bank_id", "sketch", "n_batches",
     )
 
     def __init__(
@@ -88,12 +93,14 @@ class MetricEntry:
         shard: int,
         sketch: Sketch,
         bank_id: Optional[int],
+        engine: str = "paper",
     ) -> None:
         self.name = name
         self.kind = kind
         self.epsilon = epsilon
         self.n = n
         self.policy = policy
+        self.engine = engine
         self.shard = shard
         self.sketch = sketch
         self.bank_id = bank_id
@@ -108,10 +115,15 @@ class MetricEntry:
     def memory_elements(self) -> int:
         return self.sketch.memory_elements
 
-    def config_tuple(self) -> Tuple[str, float, Optional[int], str]:
-        return (self.kind, self.epsilon, self.n, self.policy)
+    def config_tuple(self) -> Tuple[str, float, Optional[int], str, str]:
+        return (self.kind, self.epsilon, self.n, self.policy, self.engine)
 
     def collapse_count(self) -> int:
+        if self.engine == "kll":
+            assert isinstance(self.sketch, KLLSketch)
+            return self.sketch._n_compactions
+        if self.engine != "paper":
+            return 0
         if isinstance(self.sketch, QuantileFramework):
             return self.sketch.n_collapses
         return sum(s.n_collapses for s in self.sketch._closed) + (
@@ -120,14 +132,23 @@ class MetricEntry:
 
 
 class _Shard:
-    """One batching domain: a bank plus the queue draining into it."""
+    """One batching domain: the engine banks plus the queue draining into
+    them.
 
-    __slots__ = ("bank", "pending", "n_applied", "n_batches_applied")
+    Paper-engine fixed metrics are adopted into ``bank``; frugal metrics
+    into ``fbank`` (flat-array Frugal-2U state -- tens of bytes per
+    metric, one vectorised kernel pass per drain).  Both banks are
+    bit-identical to per-sketch feeding, which is what keeps journal
+    replay exact.
+    """
+
+    __slots__ = ("bank", "fbank", "pending", "n_applied", "n_batches_applied")
 
     def __init__(self) -> None:
         # the shared-config plan is never used (every sketch is adopted),
         # so the bank's own epsilon/n are placeholders
         self.bank = SketchBank(0.01)
+        self.fbank = FrugalBank(DEFAULT_BANK_PHIS, seed=0)
         self.pending: List[Tuple[MetricEntry, np.ndarray]] = []
         self.n_applied = 0
         self.n_batches_applied = 0
@@ -224,8 +245,16 @@ class SketchRegistry:
 
     @staticmethod
     def _build_sketch(
-        kind: str, epsilon: float, n: Optional[int], policy: str
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        engine: str = "paper",
     ) -> Sketch:
+        if engine == "kll":
+            return KLLSketch(eps=epsilon, seed=0)
+        if engine == "frugal":
+            return FrugalSketch(phis=DEFAULT_BANK_PHIS, seed=0)
         if kind == "fixed":
             design_n = DEFAULT_DESIGN_N if n is None else int(n)
             plan = optimal_parameters(epsilon, design_n, policy=policy)
@@ -250,6 +279,7 @@ class SketchRegistry:
         epsilon: float = 0.01,
         n: Optional[int] = None,
         policy: str = "new",
+        engine: str = "paper",
     ) -> Tuple[MetricEntry, bool]:
         """Create (or idempotently re-open) a metric.
 
@@ -257,6 +287,14 @@ class SketchRegistry:
         configuration is a no-op (clients race to CREATE on connect);
         re-creating with a different one raises
         :class:`~repro.core.errors.ConfigurationError`.
+
+        ``engine`` picks the sketch machinery: ``"paper"`` (default)
+        honours ``kind``/``n``/``policy``; ``"kll"`` sizes a compactor
+        sketch from ``epsilon`` alone; ``"frugal"`` tracks the default
+        bank fractions in a few words of state.  The alternative engines
+        are inherently stream-length-agnostic, so they require
+        ``kind="fixed"`` with no ``n`` (their knobs, not the paper's,
+        decide memory).
         """
         if not name or "\n" in name:
             raise ConfigurationError(f"invalid metric name {name!r}")
@@ -264,17 +302,29 @@ class SketchRegistry:
             raise ConfigurationError(
                 f"metric kind must be one of {_KINDS}, got {kind!r}"
             )
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"metric engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        if engine != "paper" and (kind != "fixed" or n is not None):
+            raise ConfigurationError(
+                f"engine {engine!r} metrics are sized by their own knobs: "
+                "use kind='fixed' and omit n"
+            )
         existing = self._metrics.get(name)
         if existing is not None:
-            if existing.config_tuple() != (kind, epsilon, n, policy):
+            if existing.config_tuple() != (kind, epsilon, n, policy, engine):
                 raise ConfigurationError(
                     f"metric {name!r} already exists with configuration "
                     f"{existing.config_tuple()}, requested "
-                    f"{(kind, epsilon, n, policy)}"
+                    f"{(kind, epsilon, n, policy, engine)}"
                 )
             return existing, False
-        sketch = self._build_sketch(kind, epsilon, n, policy)
-        return self._register(name, kind, epsilon, n, policy, sketch), True
+        sketch = self._build_sketch(kind, epsilon, n, policy, engine)
+        return (
+            self._register(name, kind, epsilon, n, policy, sketch, engine),
+            True,
+        )
 
     def register_restored(
         self,
@@ -284,11 +334,12 @@ class SketchRegistry:
         n: Optional[int],
         policy: str,
         sketch: Sketch,
+        engine: str = "paper",
     ) -> MetricEntry:
         """Attach a sketch rebuilt by the snapshot codec (recovery path)."""
         if name in self._metrics:
             raise ConfigurationError(f"metric {name!r} restored twice")
-        return self._register(name, kind, epsilon, n, policy, sketch)
+        return self._register(name, kind, epsilon, n, policy, sketch, engine)
 
     def _register(
         self,
@@ -298,14 +349,19 @@ class SketchRegistry:
         n: Optional[int],
         policy: str,
         sketch: Sketch,
+        engine: str = "paper",
     ) -> MetricEntry:
         shard_idx = shard_of(name, self.n_shards)
         bank_id: Optional[int] = None
-        if kind == "fixed":
+        if engine == "frugal":
+            assert isinstance(sketch, FrugalSketch)
+            bank_id = self._shards[shard_idx].fbank.adopt(sketch)
+        elif engine == "paper" and kind == "fixed":
             assert isinstance(sketch, QuantileFramework)
             bank_id = self._shards[shard_idx].bank.adopt(sketch)
         entry = MetricEntry(
-            name, kind, epsilon, n, policy, shard_idx, sketch, bank_id
+            name, kind, epsilon, n, policy, shard_idx, sketch, bank_id,
+            engine,
         )
         self._metrics[name] = entry
         return entry
@@ -377,14 +433,22 @@ class SketchRegistry:
                 groups[id(entry)] = (entry, [arr])
             else:
                 group[1].append(arr)
+        frugal_pairs: List[Tuple[int, np.ndarray]] = []
         for entry, arrays in groups.values():
             values = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
-            if entry.bank_id is not None:
+            if entry.engine == "frugal":
+                # every frugal metric on the shard shares one flat-array
+                # bank; collect the runs and make a single kernel pass
+                assert entry.bank_id is not None
+                frugal_pairs.append((entry.bank_id, values))
+            elif entry.bank_id is not None:
                 # queued arrays passed coerce_batch before they were
                 # journaled/acked; don't re-scan them at apply time
                 shard.bank.extend_single(entry.bank_id, values, validated=True)
             else:
                 entry.sketch.extend(values)
+        if frugal_pairs:
+            shard.fbank.extend_pairs(frugal_pairs)
         shard.n_applied += applied
         shard.n_batches_applied += len(pending)
         return applied
@@ -415,14 +479,24 @@ class SketchRegistry:
         return rank, rank / sketch.n, float(sketch.error_bound()), sketch.n
 
     def fetch_serialized(self, name: str) -> bytes:
-        """The metric's summary in the :mod:`repro.core.serialize` format.
+        """The metric's summary in its engine's wire format.
 
-        Fixed metrics only (the wire format is per-framework); this is the
+        The payload starts with the engine's 8-byte magic, so receivers
+        dispatch with :func:`repro.core.engines.loads_any`.  This is the
         shipping half of §4.9 fan-in -- collect payloads from several
         servers and fold them with
-        :func:`repro.core.serialize.merge_serialized`.
+        :func:`repro.core.serialize.merge_serialized` (mergeable engines
+        only; frugal payloads load and query individually).  Adaptive
+        paper metrics still refuse (their staged multi-sketch state has
+        no exchange format).
         """
         entry = self.get(name)
+        if entry.engine == "kll":
+            assert isinstance(entry.sketch, KLLSketch)
+            return entry.sketch.to_bytes()
+        if entry.engine == "frugal":
+            assert isinstance(entry.sketch, FrugalSketch)
+            return entry.sketch.to_bytes()
         if not isinstance(entry.sketch, QuantileFramework):
             raise ConfigurationError(
                 f"metric {name!r} is adaptive; only fixed-N metrics "
@@ -437,12 +511,20 @@ class SketchRegistry:
             {
                 "name": e.name,
                 "kind": e.kind,
+                "engine": e.engine,
                 "n": e.count,
                 "memory_elements": e.memory_elements,
                 "shard": e.shard,
             }
             for e in self._metrics.values()
         ]
+
+    def engine_counts(self) -> Dict[str, int]:
+        """Metric count per engine (only engines actually in use)."""
+        out: Dict[str, int] = {}
+        for e in self._metrics.values():
+            out[e.engine] = out.get(e.engine, 0) + 1
+        return out
 
     def shard_stats(self) -> List[Dict[str, object]]:
         from ..obs import hooks as obs_hooks

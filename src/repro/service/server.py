@@ -211,6 +211,7 @@ class QuantileService:
                         epsilon=rec.epsilon,
                         n=rec.n,
                         policy=rec.policy,
+                        engine=rec.engine,
                     )
                     self.registry.dedup.record(rec.token, {"created": True})
                 elif rec.type == INGEST_RECORD:
@@ -513,11 +514,12 @@ class QuantileService:
                 epsilon=req.epsilon,
                 n=req.n,
                 policy=req.policy,
+                engine=req.engine,
             )
             if created and self.journal is not None:
                 self.journal.append_create(
                     req.name, req.kind, req.epsilon, req.n, req.policy,
-                    token=req.token,
+                    token=req.token, engine=req.engine,
                 )
             result = {"created": created}
             self.registry.dedup.record(req.token, result)
@@ -546,6 +548,7 @@ class QuantileService:
             return {"seq": self.journal.seq if self.journal else 0}
         if op == protocol.Opcode.STATS:
             stats = self.metrics.to_dict(self.registry)
+            stats["engines"] = self.registry.engine_counts()
             if req.detail:
                 stats["prometheus"] = render_prometheus(obs_hooks.registry())
             return {"stats": stats}

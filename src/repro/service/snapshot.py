@@ -16,8 +16,10 @@ File layout (little-endian)::
     per metric:
         name (u16 len + utf8) | u8 kind | f64 epsilon
         | u64 n (0 = unset) | policy (u16 len + utf8)
-        fixed:    u32 len | core-serialize payload
-        adaptive: u64 initial_capacity | u64 capacity | u64 active_n
+        | u8 engine                       (version >= 2 only)
+        paper fixed:  u32 len | core-serialize payload
+        paper adaptive:
+                  u64 initial_capacity | u64 capacity | u64 active_n
                   | u32 n_closed
                   per closed stage:
                       u64 n | u64 n_collapses | u64 sum_collapse_weights
@@ -26,7 +28,11 @@ File layout (little-endian)::
                                   | u32 n_high_pad | u32 n_values
                                   | n_values * f64
                   u32 len | core-serialize payload (live stage)
+        kll/frugal:   u32 len | engine wire payload (KLLSKT01/FRGSKT01)
     trailer: u32 crc32 over everything before it
+
+Version 2 added the per-metric engine byte; version-1 files (all
+metrics implicitly ``paper``) still read.
 
 Writes are atomic (temp file + ``os.replace`` + directory fsync): a
 crash mid-write leaves the previous snapshot untouched, and the CRC
@@ -48,12 +54,17 @@ from ..core.adaptive import AdaptiveQuantileSketch, _ClosedStage
 from ..core.buffer import Buffer
 from ..core.errors import StorageError
 from ..core.framework import QuantileFramework
+from ..core.frugal import FrugalSketch
+from ..core.kll import KLLSketch
 from .registry import SketchRegistry
 
 __all__ = ["write_snapshot", "read_snapshot", "SNAPSHOT_VERSION"]
 
 _MAGIC = b"MRLSNAP1"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+_ENGINE_IDS = {"paper": 0, "kll": 1, "frugal": 2}
+_ENGINE_NAMES = {v: k for k, v in _ENGINE_IDS.items()}
 
 _HEADER = struct.Struct("<8sHHIQ")
 _STAGE_HEADER = struct.Struct("<QQQI")
@@ -126,7 +137,12 @@ def write_snapshot(path: str, registry: SketchRegistry, seq: int) -> None:
         body.write(_F64.pack(entry.epsilon))
         body.write(_U64.pack(0 if entry.n is None else int(entry.n)))
         body.write(_pack_str(entry.policy))
-        if isinstance(entry.sketch, QuantileFramework):
+        body.write(bytes([_ENGINE_IDS[entry.engine]]))
+        if entry.engine in ("kll", "frugal"):
+            payload = entry.sketch.to_bytes()
+            body.write(_U32.pack(len(payload)))
+            body.write(payload)
+        elif isinstance(entry.sketch, QuantileFramework):
             body.write(_dump_framework(entry.sketch))
         else:
             body.write(_dump_adaptive(entry.sketch))
@@ -241,7 +257,7 @@ def read_snapshot(path: str, registry: SketchRegistry) -> int:
     magic, version, _pad, n_metrics, seq = r.unpack(_HEADER, "header")
     if magic != _MAGIC:
         raise StorageError(f"{path}: bad magic {magic!r}: not a snapshot")
-    if version != SNAPSHOT_VERSION:
+    if version not in (1, SNAPSHOT_VERSION):
         raise StorageError(f"{path}: unsupported snapshot version {version}")
     for _ in range(n_metrics):
         name = r.string("metric name")
@@ -253,11 +269,28 @@ def read_snapshot(path: str, registry: SketchRegistry) -> int:
         (n_raw,) = r.unpack(_U64, "n")
         n: Optional[int] = None if n_raw == 0 else n_raw
         policy = r.string("policy")
-        if kind == "fixed":
+        engine = "paper"
+        if version >= 2:
+            engine_id = r.take(1, "sketch engine")[0]
+            if engine_id not in _ENGINE_NAMES:
+                raise StorageError(
+                    f"{path}: unknown sketch engine id {engine_id}"
+                )
+            engine = _ENGINE_NAMES[engine_id]
+        sketch: "QuantileFramework | AdaptiveQuantileSketch | KLLSketch | FrugalSketch"
+        if engine == "kll":
+            (size,) = r.unpack(_U32, "kll payload size")
+            sketch = KLLSketch.from_bytes(r.take(size, "kll payload"))
+        elif engine == "frugal":
+            (size,) = r.unpack(_U32, "frugal payload size")
+            sketch = FrugalSketch.from_bytes(r.take(size, "frugal payload"))
+        elif kind == "fixed":
             sketch = _load_framework(r, "framework payload")
         else:
             sketch = _load_adaptive(r, epsilon, policy)
-        registry.register_restored(name, kind, epsilon, n, policy, sketch)
+        registry.register_restored(
+            name, kind, epsilon, n, policy, sketch, engine
+        )
     if r.pos != len(r.buf):
         raise StorageError(f"{path}: trailing bytes after snapshot payload")
     return seq

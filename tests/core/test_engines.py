@@ -1,0 +1,148 @@
+"""The engine registry: magic-tag dispatch, typed mismatch, facade wiring."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import serialize
+from repro.core.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    ENGINES,
+    dumps_any,
+    engine_of,
+    engine_of_sketch,
+    get_engine,
+    load_any_from,
+    loads_any,
+)
+from repro.core.errors import (
+    ConfigurationError,
+    EngineMismatchError,
+    StorageError,
+)
+from repro.core.framework import QuantileFramework
+from repro.core.frugal import FrugalSketch
+from repro.core.kll import KLLSketch
+
+DATA = np.random.default_rng(1).normal(100.0, 15.0, 20_000)
+
+
+def _paper():
+    fw = QuantileFramework(8, 253)
+    fw.extend(DATA)
+    return fw
+
+
+def _kll():
+    sk = KLLSketch(eps=0.01, seed=0)
+    sk.extend(DATA)
+    return sk
+
+
+def _frugal():
+    sk = FrugalSketch(seed=0)
+    sk.extend(DATA)
+    return sk
+
+
+def test_registry_shape():
+    assert ENGINE_NAMES == ("paper", "kll", "frugal")
+    assert DEFAULT_ENGINE == "paper"
+    assert ENGINES["paper"].mergeable and ENGINES["paper"].certified
+    assert ENGINES["kll"].mergeable and ENGINES["kll"].certified
+    assert not ENGINES["frugal"].mergeable
+    assert not ENGINES["frugal"].certified
+    with pytest.raises(ConfigurationError):
+        get_engine("tdigest")
+
+
+@pytest.mark.parametrize("factory,name", [
+    (_paper, "paper"), (_kll, "kll"), (_frugal, "frugal"),
+])
+def test_dispatch_roundtrip(factory, name):
+    sk = factory()
+    assert engine_of_sketch(sk) == name
+    raw = dumps_any(sk)
+    assert engine_of(raw) == name
+    back = loads_any(raw)
+    assert engine_of_sketch(back) == name
+    assert back.quantile(0.5) == sk.quantile(0.5)
+    # stream variant leaves trailing bytes unread
+    buf = io.BytesIO(raw + b"!tail!")
+    assert load_any_from(buf).n == sk.n
+    assert buf.read() == b"!tail!"
+
+
+def test_engine_of_rejects_unknown_magic():
+    with pytest.raises(StorageError):
+        engine_of(b"BOGUS!!!rest-of-payload")
+
+
+def test_merge_same_engine_bit_identical():
+    """Same payloads folded anywhere give byte-identical results."""
+    for factory, name in ((_paper, "paper"), (_kll, "kll")):
+        a, b = factory(), factory()
+        payloads = [dumps_any(a), dumps_any(b)]
+        m1 = serialize.merge_serialized(payloads)
+        m2 = serialize.merge_serialized(payloads)
+        assert dumps_any(m1) == dumps_any(m2)
+        assert engine_of_sketch(m1) == name
+        assert m1.n == 2 * len(DATA)
+
+
+def test_merge_mixed_engines_raises_typed_error():
+    with pytest.raises(EngineMismatchError):
+        serialize.merge_serialized([dumps_any(_paper()), dumps_any(_kll())])
+    with pytest.raises(EngineMismatchError):
+        serialize.merge_serialized([dumps_any(_kll()), dumps_any(_frugal())])
+    # the typed error is still a ConfigurationError for legacy handlers
+    assert issubclass(EngineMismatchError, ConfigurationError)
+
+
+def test_merge_frugal_single_ok_multiple_rejected():
+    raw = dumps_any(_frugal())
+    merged = serialize.merge_serialized([raw])
+    assert merged.n == len(DATA)
+    with pytest.raises(ConfigurationError):
+        serialize.merge_serialized([raw, raw])
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        serialize.merge_serialized([])
+
+
+# -- facade ------------------------------------------------------------------
+
+
+def test_facade_sketch_engine_dispatch():
+    assert isinstance(repro.Sketch(engine="kll", eps=0.02), KLLSketch)
+    assert isinstance(repro.Sketch(engine="frugal"), FrugalSketch)
+    with pytest.raises(ConfigurationError):
+        repro.Sketch(engine="unknown")
+
+
+def test_facade_bank_engine_dispatch():
+    from repro.core.bank import SketchBank
+    from repro.core.frugal import FrugalBank
+
+    assert isinstance(repro.Bank(eps=0.02), SketchBank)
+    assert isinstance(repro.Bank(engine="frugal"), FrugalBank)
+    with pytest.raises(ConfigurationError):
+        repro.Bank(engine="kll")  # no vectorised bank for KLL
+
+
+@pytest.mark.parametrize("engine", ["paper", "kll", "frugal"])
+def test_facade_hist_engines(engine):
+    data = np.random.default_rng(5).permutation(10_000).astype(np.float64)
+    bounds = repro.hist(data, bins=4, engine=engine)
+    assert len(bounds) == 3
+    assert bounds == sorted(bounds)
+    tol = 0.12 if engine == "frugal" else 0.03
+    for i, b in enumerate(bounds, start=1):
+        assert abs(b - i / 4 * 10_000) <= tol * 10_000

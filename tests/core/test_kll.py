@@ -1,0 +1,147 @@
+"""KLL compactor engine: accuracy, batch invariance, merge, wire format."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, EmptySummaryError
+from repro.core.kll import KLL_MAGIC, KLLSketch, k_for_eps
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return np.random.default_rng(42).normal(0.0, 1.0, N)
+
+
+def _rank_error(data, sketch, phi):
+    est = float(sketch.quantile(phi))
+    true_rank = np.searchsorted(np.sort(data), est, side="right")
+    return abs(true_rank - phi * len(data))
+
+
+def test_k_for_eps_monotone():
+    assert k_for_eps(0.01, 0.01) > k_for_eps(0.05, 0.01)
+    assert k_for_eps(0.01, 0.01) % 2 == 0
+    assert k_for_eps(0.9, 0.5) >= 8
+    with pytest.raises(ConfigurationError):
+        k_for_eps(1.0, 0.5)
+
+
+def test_observed_error_within_certified_bound(stream):
+    sk = KLLSketch(eps=0.01, seed=0)
+    sk.extend(stream)
+    bound = sk.error_bound()
+    assert 0 < bound <= 0.01 * N
+    for phi in (0.01, 0.25, 0.5, 0.75, 0.99):
+        assert _rank_error(stream, sk, phi) <= bound
+
+
+def test_memory_is_bounded_and_sublinear(stream):
+    sk = KLLSketch(eps=0.01, seed=0)
+    sk.extend(stream)
+    assert sk.stored_elements <= sk.memory_elements
+    assert sk.memory_elements < 0.02 * N  # far below the stream itself
+
+
+def test_batch_invariance_byte_identical(stream):
+    """Any chunking of the stream produces the identical serialised state."""
+    whole = KLLSketch(eps=0.02, seed=7)
+    whole.extend(stream[:50_000])
+    ref = whole.to_bytes()
+    for chunks in (100, 7):
+        sk = KLLSketch(eps=0.02, seed=7)
+        for part in np.array_split(stream[:50_000], chunks):
+            sk.extend(part)
+        assert sk.to_bytes() == ref
+
+
+def test_exact_extremes_and_scalar_queries(stream):
+    sk = KLLSketch(eps=0.01, seed=0)
+    sk.extend(stream)
+    assert sk.quantile(0.0) == stream.min()
+    assert sk.quantile(1.0) == stream.max()
+    assert sk.min() == stream.min() and sk.max() == stream.max()
+    assert sk.quantile(0.5) == sk.quantiles([0.5])[0]
+    assert sk.query(0.5) == sk.quantile(0.5)
+
+
+def test_cdf_and_rank(stream):
+    sk = KLLSketch(eps=0.01, seed=0)
+    sk.extend(stream)
+    assert abs(sk.cdf(0.0) - 0.5) <= 0.02
+    assert sk.rank(stream.max()) == N
+    seq = sk.cdf([-1.0, 0.0, 1.0])
+    assert seq == sorted(seq)
+
+
+def test_empty_and_invalid_inputs():
+    sk = KLLSketch(eps=0.01)
+    with pytest.raises(EmptySummaryError):
+        sk.quantile(0.5)
+    with pytest.raises(ConfigurationError):
+        sk.extend([1.0, float("nan")])
+    with pytest.raises(ConfigurationError):
+        KLLSketch(eps=0.0)
+
+
+def test_serialization_roundtrip(stream):
+    sk = KLLSketch(eps=0.01, seed=3)
+    sk.extend(stream[:30_000])
+    raw = sk.to_bytes()
+    assert raw[:8] == KLL_MAGIC
+    back = KLLSketch.from_bytes(raw)
+    assert back.to_bytes() == raw
+    assert back.quantiles([0.1, 0.5, 0.9]) == sk.quantiles([0.1, 0.5, 0.9])
+    assert back.error_bound() == sk.error_bound()
+    # further ingest behaves identically
+    sk.extend(stream[30_000:31_000])
+    back.extend(stream[30_000:31_000])
+    assert back.to_bytes() == sk.to_bytes()
+
+
+def test_read_from_stops_at_payload_end(stream):
+    sk = KLLSketch(eps=0.05, seed=1)
+    sk.extend(stream[:5_000])
+    buf = io.BytesIO(sk.to_bytes() + b"TRAILING")
+    back = KLLSketch.read_from(buf)
+    assert back.n == sk.n
+    assert buf.read() == b"TRAILING"
+
+
+def test_merge_matches_union_accuracy(stream):
+    a = KLLSketch(eps=0.01, seed=0)
+    b = KLLSketch(eps=0.01, seed=1)
+    a.extend(stream[: N // 2])
+    b.extend(stream[N // 2 :])
+    a.absorb(b)
+    assert a.n == N
+    bound = a.error_bound()
+    assert bound <= 2 * 0.01 * N
+    for phi in (0.25, 0.5, 0.75):
+        assert _rank_error(stream, a, phi) <= bound
+
+
+def test_merge_requires_equal_k():
+    a = KLLSketch(eps=0.01)
+    b = KLLSketch(eps=0.05)
+    a.extend([1.0])
+    b.extend([2.0])
+    with pytest.raises(ConfigurationError):
+        a.absorb(b)
+
+
+def test_merge_is_deterministic(stream):
+    def build():
+        a = KLLSketch(eps=0.02, seed=0)
+        b = KLLSketch(eps=0.02, seed=5)
+        a.extend(stream[:40_000])
+        b.extend(stream[40_000:80_000])
+        a.absorb(b)
+        return a.to_bytes()
+
+    assert build() == build()

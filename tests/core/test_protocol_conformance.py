@@ -14,6 +14,8 @@ import pytest
 from repro.core import DESCRIBE_PHIS, SketchProtocol
 from repro.core.adaptive import AdaptiveQuantileSketch
 from repro.core.framework import QuantileFramework
+from repro.core.frugal import FrugalSketch
+from repro.core.kll import KLLSketch
 from repro.core.parallel import ParallelQuantileEngine
 from repro.core.sampling import SampledQuantileFramework
 from repro.core.sketch import QuantileSketch
@@ -41,12 +43,25 @@ def _engine():
     return ParallelQuantileEngine(eps=0.02, n=N, n_workers=2, backend="sync")
 
 
+def _kll():
+    return KLLSketch(eps=0.01, seed=0)
+
+
+def _frugal():
+    return FrugalSketch(seed=0)
+
+
+# (factory, rank tolerance as a fraction of N): the certified engines get
+# the tight 0.06; frugal has no bound -- its stochastic-approximation
+# estimates on this integer-range stream stay within ~0.12
 FACTORIES = [
-    pytest.param(_framework, id="QuantileFramework"),
-    pytest.param(_sketch, id="QuantileSketch"),
-    pytest.param(_adaptive, id="AdaptiveQuantileSketch"),
-    pytest.param(_sampled, id="SampledQuantileFramework"),
-    pytest.param(_engine, id="ParallelQuantileEngine"),
+    pytest.param(_framework, 0.06, id="QuantileFramework"),
+    pytest.param(_sketch, 0.06, id="QuantileSketch"),
+    pytest.param(_adaptive, 0.06, id="AdaptiveQuantileSketch"),
+    pytest.param(_sampled, 0.06, id="SampledQuantileFramework"),
+    pytest.param(_engine, 0.06, id="ParallelQuantileEngine"),
+    pytest.param(_kll, 0.06, id="KLLSketch"),
+    pytest.param(_frugal, 0.12, id="FrugalSketch"),
 ]
 
 
@@ -63,37 +78,37 @@ def _fill(sketch, data):
     return sketch
 
 
-@pytest.mark.parametrize("factory", FACTORIES)
-def test_satisfies_protocol(factory, data):
+@pytest.mark.parametrize("factory,tol", FACTORIES)
+def test_satisfies_protocol(factory, tol, data):
     sketch = _fill(factory(), data)
     assert isinstance(sketch, SketchProtocol)
 
 
-@pytest.mark.parametrize("factory", FACTORIES)
-def test_quantile_quartet_consistency(factory, data):
+@pytest.mark.parametrize("factory,tol", FACTORIES)
+def test_quantile_quartet_consistency(factory, tol, data):
     sketch = _fill(factory(), data)
     assert sketch.n == N
     # scalar == vector spelling
     assert sketch.quantile(0.5) == sketch.quantiles([0.5])[0]
     # values on a permutation of 0..N-1: answer ~ phi * N
     for phi in (0.25, 0.5, 0.75):
-        assert abs(float(sketch.quantile(phi)) - phi * N) <= 0.06 * N
+        assert abs(float(sketch.quantile(phi)) - phi * N) <= tol * N
 
 
-@pytest.mark.parametrize("factory", FACTORIES)
-def test_cdf_scalar_and_sequence(factory, data):
+@pytest.mark.parametrize("factory,tol", FACTORIES)
+def test_cdf_scalar_and_sequence(factory, tol, data):
     sketch = _fill(factory(), data)
     scalar = sketch.cdf(N / 2)
     assert isinstance(scalar, float)
-    assert abs(scalar - 0.5) <= 0.06
+    assert abs(scalar - 0.5) <= tol
     seq = sketch.cdf([N / 4, N / 2, 3 * N / 4])
     assert isinstance(seq, list) and len(seq) == 3
     assert seq == sorted(seq)
     assert seq[1] == scalar
 
 
-@pytest.mark.parametrize("factory", FACTORIES)
-def test_describe_shape(factory, data):
+@pytest.mark.parametrize("factory,tol", FACTORIES)
+def test_describe_shape(factory, tol, data):
     sketch = _fill(factory(), data)
     report = sketch.describe()
     assert report["n"] == N

@@ -1,0 +1,236 @@
+"""Mixed-engine service paths: wire compat, SIGKILL recovery, cluster fold.
+
+Non-paper engines flow through every durability layer -- protocol
+CREATE, journal CREATE, snapshot v2 -- as an optional trailing engine
+tag, so pre-engine byte streams still decode (as ``paper``) and a
+mixed-engine registry recovers bit-identically from a non-graceful
+stop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engines import engine_of
+from repro.core.errors import (
+    ConfigurationError,
+    EngineMismatchError,
+    StorageError,
+)
+from repro.service import (
+    ClusterClient,
+    ClusterService,
+    QuantileClient,
+    ServerThread,
+)
+from repro.service import protocol
+from repro.service.journal import IngestJournal, read_journal
+from repro.service.protocol import Opcode, Request
+
+PHIS = [0.1, 0.5, 0.9]
+
+ENGINES = {
+    "e/paper": dict(kind="fixed", epsilon=0.02, n=50_000),
+    "e/kll": dict(kind="fixed", epsilon=0.02, engine="kll"),
+    "e/frugal": dict(kind="fixed", engine="frugal"),
+    "e/adaptive": dict(kind="adaptive", epsilon=0.02),
+}
+
+
+def client_for(server):
+    return QuantileClient("127.0.0.1", server.port)
+
+
+def _feed(client, rng, rounds=4):
+    for _ in range(rounds):
+        for name in ENGINES:
+            client.ingest(name, rng.integers(0, 10_000, 600).astype(float))
+
+
+class TestWireFormat:
+    def test_protocol_engine_byte_roundtrip(self):
+        for engine in ("paper", "kll", "frugal"):
+            req = Request(
+                opcode=Opcode.CREATE, name="m", kind="fixed",
+                epsilon=0.01, engine=engine,
+            )
+            out = protocol.decode_request(protocol.encode_request(req))
+            assert out.engine == engine
+
+    def test_protocol_pre_engine_payload_decodes_as_paper(self):
+        """A CREATE encoded by an old client carries no engine byte."""
+        req = Request(opcode=Opcode.CREATE, name="m", kind="adaptive",
+                      epsilon=0.01)
+        payload = protocol.encode_request(req)
+        # the default-engine encoding *is* the old format: no trailing byte
+        assert protocol.decode_request(payload).engine == "paper"
+
+    def test_protocol_unknown_engine_id_rejected(self):
+        req = Request(opcode=Opcode.CREATE, name="m", kind="fixed",
+                      epsilon=0.01, engine="kll")
+        payload = protocol.encode_request(req)
+        with pytest.raises(StorageError, match="engine"):
+            protocol.decode_request(payload[:-1] + bytes([99]))
+
+    def test_protocol_unknown_engine_name_rejected_on_encode(self):
+        with pytest.raises(ConfigurationError):
+            protocol.encode_request(
+                Request(opcode=Opcode.CREATE, name="m", kind="fixed",
+                        engine="tdigest")
+            )
+
+    def test_journal_engine_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        journal.append_create("a", "fixed", 0.02, 1000, "new")
+        journal.append_create("b", "fixed", 0.02, None, "new", engine="kll")
+        journal.append_create("c", "fixed", 0.01, None, "new",
+                              engine="frugal")
+        journal.close()
+        records = read_journal(path).records
+        assert [r.engine for r in records] == ["paper", "kll", "frugal"]
+        assert [r.name for r in records] == ["a", "b", "c"]
+
+
+class TestServiceEngines:
+    @pytest.fixture
+    def server(self, tmp_path):
+        with ServerThread(
+            data_dir=str(tmp_path / "data"), n_shards=2,
+            snapshot_interval_s=None,
+        ) as srv:
+            yield srv
+
+    def test_create_ingest_query_fetch_per_engine(self, server):
+        rng = np.random.default_rng(0)
+        with client_for(server) as client:
+            for name, cfg in ENGINES.items():
+                assert client.create(name, **cfg)
+            _feed(client, rng)
+            magics = {}
+            for name in ENGINES:
+                values, _, n = client.query(name, PHIS)
+                assert n == 2_400
+                assert values == sorted(values)
+                if name != "e/adaptive":  # adaptive refuses FETCH
+                    raw = client.fetch_raw(name)
+                    magics[name] = engine_of(raw)
+                    assert client.fetch(name).n == 2_400
+            assert magics == {
+                "e/paper": "paper", "e/kll": "kll", "e/frugal": "frugal",
+            }
+            stats = client.stats()
+            assert stats["engines"] == {"paper": 2, "kll": 1, "frugal": 1}
+            # LIST's wire format predates engines (old clients must keep
+            # decoding it); per-engine info is served via STATS instead
+            assert len(client.list_metrics()) == 4
+
+    def test_non_paper_engines_reject_paper_sizing(self, server):
+        with client_for(server) as client:
+            with pytest.raises(ConfigurationError):
+                client.create("bad/1", kind="adaptive", engine="kll")
+            with pytest.raises(ConfigurationError):
+                client.create("bad/2", kind="fixed", n=1000, engine="frugal")
+            with pytest.raises(ConfigurationError):
+                client.create("bad/3", kind="fixed", engine="tdigest")
+
+    def test_mixed_engine_sigkill_recovery_bit_identical(self, tmp_path):
+        """Kill with a mixed registry: snapshot v2 + journal tail replay
+        must reproduce every engine's state byte-for-byte."""
+        data_dir = str(tmp_path / "data")
+        rng = np.random.default_rng(7)
+        srv = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None
+        ).start()
+        try:
+            with client_for(srv) as client:
+                for name, cfg in ENGINES.items():
+                    client.create(name, **cfg)
+                _feed(client, rng, rounds=3)
+                client.snapshot()  # engines cross the snapshot-v2 path
+                _feed(client, rng, rounds=2)  # tail lives in the journal
+                client.drain()
+                queries = {n: client.query(n, PHIS) for n in ENGINES}
+                payloads = {
+                    n: client.fetch_raw(n)
+                    for n in ENGINES if n != "e/adaptive"
+                }
+        finally:
+            srv.stop(graceful=False)  # in-process stand-in for SIGKILL
+
+        srv2 = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None
+        ).start()
+        try:
+            with client_for(srv2) as client:
+                for name, want in queries.items():
+                    assert client.query(name, PHIS) == want
+                for name, want in payloads.items():
+                    assert client.fetch_raw(name) == want, name
+                assert client.stats()["engines"] == {
+                    "paper": 2, "kll": 1, "frugal": 1,
+                }
+        finally:
+            srv2.stop(graceful=False)
+
+    def test_journal_only_recovery_without_snapshot(self, tmp_path):
+        """Same kill, but no snapshot ever: pure CREATE+INGEST replay."""
+        data_dir = str(tmp_path / "data")
+        rng = np.random.default_rng(3)
+        srv = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None
+        ).start()
+        try:
+            with client_for(srv) as client:
+                for name, cfg in ENGINES.items():
+                    client.create(name, **cfg)
+                _feed(client, rng, rounds=2)
+                client.drain()
+                payloads = {
+                    n: client.fetch_raw(n)
+                    for n in ENGINES if n != "e/adaptive"
+                }
+        finally:
+            srv.stop(graceful=False)
+
+        srv2 = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None
+        ).start()
+        try:
+            with client_for(srv2) as client:
+                for name, want in payloads.items():
+                    assert client.fetch_raw(name) == want, name
+        finally:
+            srv2.stop(graceful=False)
+
+
+class TestClusterEngines:
+    def test_kll_fold_and_mixed_engine_mismatch(self, tmp_path):
+        """`fetch_merged` folds same-engine KLL metrics across workers
+        and raises the typed mismatch error across engines."""
+        rng = np.random.default_rng(5)
+        data = {f"k/m{i}": rng.normal(size=4_000) for i in range(3)}
+        with ClusterService(
+            workers=2, n_shards=1, snapshot_interval_s=None
+        ) as svc:
+            with ClusterClient("127.0.0.1", svc.ports) as client:
+                for name in data:
+                    client.create(name, kind="fixed", epsilon=0.02,
+                                  engine="kll")
+                client.create("k/frugal", kind="fixed", engine="frugal")
+                for name, values in data.items():
+                    client.ingest(name, values)
+                client.ingest("k/frugal", rng.normal(size=500))
+                client.drain()
+
+                merged = client.fetch_merged(list(data))
+                union = np.concatenate(list(data.values()))
+                assert merged.n == union.size
+                est = merged.quantile(0.5)
+                true_rank = np.searchsorted(np.sort(union), est)
+                assert abs(true_rank - 0.5 * union.size) \
+                    <= merged.error_bound()
+
+                with pytest.raises(EngineMismatchError):
+                    client.fetch_merged(["k/m0", "k/frugal"])

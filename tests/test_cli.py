@@ -275,3 +275,55 @@ class TestServeAndClient:
     def test_query_unknown_metric_exits_1(self, server, capsys):
         assert self._client(server, "query", "nope", "--phi", "0.5") == 1
         assert "unknown metric" in capsys.readouterr().err
+
+
+class TestClientEngines:
+    """`client create --engine` selects the sketch engine end to end."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import ServerThread
+
+        with ServerThread(
+            data_dir=str(tmp_path / "srv"), snapshot_interval_s=None
+        ) as srv:
+            yield srv
+
+    def _client(self, server, *argv):
+        return main(["client", "--port", str(server.port), *argv])
+
+    @pytest.mark.parametrize("engine", ["kll", "frugal"])
+    def test_create_ingest_query(self, server, engine, capsys):
+        # non-paper engines default --kind to "fixed" (they size
+        # themselves; "adaptive" staging is a paper-engine concept)
+        assert self._client(
+            server, "create", f"cli/{engine}", "--engine", engine
+        ) == 0
+        assert "created" in capsys.readouterr().out
+        assert self._client(
+            server, "ingest", f"cli/{engine}",
+            *[str(v) for v in range(500)],
+        ) == 0
+        capsys.readouterr()
+        assert self._client(
+            server, "query", f"cli/{engine}", "--phi", "0.5"
+        ) == 0
+        assert "phi=0.5" in capsys.readouterr().out
+
+    def test_engine_rejects_explicit_adaptive_kind(self, server, capsys):
+        assert self._client(
+            server, "create", "cli/bad", "--engine", "kll",
+            "--kind", "adaptive",
+        ) == 1
+        assert "fixed" in capsys.readouterr().err
+
+    def test_stats_text_reports_engine_counts(self, server, capsys):
+        assert self._client(
+            server, "create", "cli/k", "--engine", "kll") == 0
+        assert self._client(
+            server, "create", "cli/p", "--kind", "adaptive") == 0
+        capsys.readouterr()
+        assert main(["stats", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "engines:" in out
+        assert "kll=1" in out and "paper=1" in out

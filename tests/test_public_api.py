@@ -33,7 +33,7 @@ def test_public_all_snapshot():
 def test_sketch_signature():
     params = inspect.signature(repro.Sketch).parameters
     assert list(params) == [
-        "eps", "n", "policy", "kernels", "adaptive", "kwargs",
+        "eps", "n", "policy", "kernels", "adaptive", "engine", "kwargs",
     ]
     assert params["eps"].default == 0.01
     assert params["n"].default is None
@@ -41,11 +41,16 @@ def test_sketch_signature():
     assert params["policy"].default == "new"
     assert params["kernels"].kind is inspect.Parameter.KEYWORD_ONLY
     assert params["adaptive"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["engine"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["engine"].default == "paper"
 
 
 def test_bank_signature():
     params = inspect.signature(repro.Bank).parameters
-    assert list(params) == ["eps", "n", "policy", "kernels", "kwargs"]
+    assert list(params) == [
+        "eps", "n", "policy", "kernels", "engine", "kwargs",
+    ]
+    assert params["engine"].default == "paper"
 
 
 def test_connect_signature():
@@ -56,7 +61,8 @@ def test_connect_signature():
 
 def test_hist_signature():
     params = inspect.signature(repro.hist).parameters
-    assert list(params) == ["data", "bins", "eps", "policy"]
+    assert list(params) == ["data", "bins", "eps", "policy", "engine"]
+    assert params["engine"].default == "paper"
     assert params["eps"].kind is inspect.Parameter.KEYWORD_ONLY
 
 
