@@ -27,6 +27,13 @@ Five measurements, written to ``BENCH_service.json``:
   not ``cpu_count``, which lies inside cgroup-limited containers) is
   >= 2; on a single-core box the section still runs and records the
   honest numbers with ``gate_applicable: false``.
+* ``cluster``    -- the multi-node consistent-hash cluster
+  (:mod:`repro.cluster`) under the same conditions, at nodes x R
+  configs.  Gated: the 1-node/R=1 config must reach >= 0.8x of the
+  1-worker ``ClusterService`` rate -- the price of ring routing and
+  the cluster client's replication plumbing with replication off.
+  The R=2 rows record what paying for availability costs (every
+  logical element is written to two nodes).
 
 Run directly::
 
@@ -281,6 +288,121 @@ def bench_scaling(
     }
 
 
+def _cluster_driver(
+    specs: "List[Tuple[str, str, int]]",
+    vnodes: int,
+    replication: int,
+    total: int,
+    batch: int,
+    conn,
+) -> None:
+    """One driver process: pipelined replicated ingest via ClusterClient.
+
+    Unlike ``_scaling_driver`` (which dials one worker directly and
+    pre-shards the metric list), this drives the real routing layer:
+    the consistent-hash ring decides placement, and every batch is
+    replicated to its metric's R owners.  The client-side routing cost
+    is part of what the cluster section prices.
+    """
+    from repro.cluster import ClusterClient
+    from repro.cluster.manifest import ClusterManifest, NodeSpec
+
+    manifest = ClusterManifest(
+        nodes=[
+            NodeSpec(id=nid, host=host, port=port)
+            for nid, host, port in specs
+        ],
+        replication=replication,
+        vnodes=vnodes,
+    )
+    names = [f"bench/m{i}" for i in range(N_METRICS)]
+    schedule = _schedule(total, batch)
+    client = ClusterClient(
+        manifest, send_coalesce_bytes=COALESCE_BYTES
+    )
+    for name in names:
+        client.create(name, kind="fixed", epsilon=EPSILON, n=DESIGN_N)
+    conn.send(("ready", int(sum(v.size for _, v in schedule))))
+    conn.recv()  # "go"
+    t0 = time.perf_counter()
+    for metric, values in schedule:
+        client.ingest_nowait(names[metric], values)
+    client.flush()
+    client.drain()
+    conn.send(("done", time.perf_counter() - t0))
+    client.close()
+
+
+def bench_cluster(
+    total_elements: int,
+    batch: int,
+    nodes: int,
+    replication: int,
+    rounds: int,
+) -> Dict[str, object]:
+    """Replicated ingest throughput of an N-node consistent-hash cluster.
+
+    Ephemeral nodes (no journals), obs off, same coalescing -- the same
+    conditions as the ``scaling`` section, so ``nodes=1, R=1`` is
+    directly comparable to ``scaling.by_workers["1"]`` and the gap is
+    the routing layer alone.  ``elements`` counts *logical* elements;
+    at R=2 every one of them is written twice, so the per-node rate
+    already prices the replication overhead.
+    """
+    import multiprocessing
+
+    from repro.cluster import ClusterCoordinator
+
+    ctx = multiprocessing.get_context("spawn")
+    best = float("inf")
+    elements = 0
+    for _ in range(rounds):
+        with ClusterCoordinator(
+            nodes=nodes,
+            replication=replication,
+            n_shards=4,
+            snapshot_interval_s=None,
+            batch_window_s=BATCH_WINDOW_S,
+            observability=False,
+        ) as coord:
+            specs = [
+                (s.id, s.host, s.port) for s in coord.manifest.nodes
+            ]
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_cluster_driver,
+                args=(
+                    specs,
+                    coord.vnodes,
+                    replication,
+                    total_elements,
+                    batch,
+                    child_conn,
+                ),
+            )
+            proc.start()
+            child_conn.close()
+            status, elements = parent_conn.recv()
+            assert status == "ready"
+            t0 = time.perf_counter()
+            parent_conn.send("go")
+            status, _secs = parent_conn.recv()
+            assert status == "done"
+            elapsed = time.perf_counter() - t0
+            proc.join()
+        best = min(best, elapsed)
+    rate = _rate(elements, best)
+    return {
+        "nodes": nodes,
+        "replication": replication,
+        "batch": batch,
+        "elements": elements,
+        "seconds": round(best, 4),
+        "elements_per_s": round(rate),
+        "elements_per_s_per_node": round(rate / nodes),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -394,6 +516,29 @@ def main(argv=None) -> int:
         "target_speedup_at_2_workers": 1.6,
     }
 
+    # the multi-node cluster (repro.cluster): same ephemeral, obs-off
+    # conditions as ``scaling``, so nodes=1/R=1 isolates the
+    # consistent-hash routing layer against by_workers["1"], and R=2
+    # prices replication (every logical element written twice)
+    cluster_configs = (
+        [(1, 1), (2, 1), (2, 2)]
+        if args.quick
+        else [(1, 1), (2, 1), (2, 2), (3, 2)]
+    )
+    by_cluster = {
+        f"{n}x{r}": bench_cluster(total, scaling_batch, n, r, rounds)
+        for n, r in cluster_configs
+    }
+    cluster_ratio = round(
+        by_cluster["1x1"]["elements_per_s"] / rate_1, 3
+    )
+    cluster = {
+        "batch": scaling_batch,
+        "by_config": by_cluster,
+        "per_node_ratio_vs_1_worker": cluster_ratio,
+        "target_per_node_ratio": 0.8,
+    }
+
     gate_batches = [b for b in batch_sizes if b >= 4096]
     report = {
         "meta": {
@@ -414,6 +559,7 @@ def main(argv=None) -> int:
         "durable": durable,
         "resilience": resilience,
         "scaling": scaling,
+        "cluster": cluster,
         "targets": {
             "max_slowdown_at_4096_plus": max(
                 service[str(b)]["slowdown_vs_direct"] for b in gate_batches
@@ -422,6 +568,8 @@ def main(argv=None) -> int:
             "scaling_speedup_at_2_workers": speedups.get("2"),
             "scaling_gate_applicable": scaling["gate_applicable"],
             "target_speedup_at_2_workers": 1.6,
+            "cluster_per_node_ratio_at_1x1": cluster_ratio,
+            "target_cluster_per_node_ratio": 0.8,
         },
     }
     with open(args.out, "w") as fh:
@@ -458,6 +606,16 @@ def main(argv=None) -> int:
     )
     print(
         f"scaling gate (>1.6x at 2 workers): {applicable}"
+    )
+    for key, entry in by_cluster.items():
+        print(
+            f"cluster {key} (nodes x R): "
+            f"{entry['elements_per_s']:>12,} el/s "
+            f"({entry['elements_per_s_per_node']:,} per node)"
+        )
+    print(
+        f"cluster gate: 1x1 reaches {cluster_ratio}x of the 1-worker "
+        f"ClusterService (target >= 0.8x)"
     )
     print(
         f"gate: worst slowdown at batch >= 4096 is "

@@ -39,6 +39,14 @@ Four commands cover the library's day-to-day uses without writing code:
     self-metered per-op latency percentiles.  ``--watch`` refreshes in
     place; ``--prom`` prints the Prometheus exposition instead.
 
+``cluster``
+    The multi-node layer (:mod:`repro.cluster`): ``cluster serve``
+    launches and supervises N server processes with a consistent-hash
+    manifest, ``cluster status`` probes every node in a manifest
+    (``--prom`` for scrapers), and ``cluster client`` routes
+    create/ingest/query/merge across the ring with replication and
+    failover.
+
 ``quantile`` and ``describe`` accept ``-`` as the input path to read
 whitespace-separated values from stdin, so they compose with shell
 pipelines.  The offline commands are pure and deterministic given
@@ -383,6 +391,182 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .cluster import ClusterCoordinator
+
+    coord = ClusterCoordinator(
+        nodes=args.nodes,
+        replication=args.replication,
+        host=args.host,
+        base_port=args.base_port,
+        data_dir=args.data_dir,
+        vnodes=args.vnodes,
+        health_interval_s=(
+            args.health_interval if args.health_interval > 0 else None
+        ),
+        n_shards=args.shards,
+        snapshot_interval_s=(
+            None if args.snapshot_interval <= 0 else args.snapshot_interval
+        ),
+        fsync=args.fsync,
+        batch_window_s=args.batch_window,
+    )
+    coord.start()
+    durability = f"data_dir={args.data_dir}" if args.data_dir else "ephemeral"
+    ports = ",".join(str(p) for p in coord.ports)
+    manifest = coord.manifest_path or "(in-memory)"
+    print(
+        f"repro cluster of {args.nodes} nodes listening on "
+        f"{args.host}:[{ports}] (replication={args.replication}, "
+        f"epoch={coord.epoch}, {durability})\n"
+        f"manifest: {manifest}; routing: consistent hash ring, "
+        f"{args.vnodes} vnodes/node",
+        flush=True,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("shutting down cluster (graceful)", flush=True)
+    coord.stop(graceful=True)
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import ClusterClient, ClusterManifest
+
+    manifest = ClusterManifest.load(args.manifest)
+    with ClusterClient(
+        manifest, timeout=args.timeout, max_retries=0
+    ) as client:
+        rows = client.status()
+    n_up = sum(1 for r in rows if r["alive"])
+    if args.prom:
+        # the same gauges the coordinator publishes, derived from a
+        # live probe so any scraper can watch ring health from outside
+        from .obs import MetricsRegistry, render_prometheus
+
+        reg = MetricsRegistry()
+        reg.gauge("cluster.nodes_up").set(n_up)
+        reg.gauge("cluster.nodes_total").set(len(rows))
+        reg.gauge("cluster.replication").set(manifest.replication)
+        reg.gauge("cluster.epoch").set(manifest.epoch)
+        for row in rows:
+            reg.gauge("cluster.node_up", node=row["id"]).set(
+                1 if row["alive"] else 0
+            )
+        print(render_prometheus(reg), end="")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "epoch": manifest.epoch,
+                    "replication": manifest.replication,
+                    "vnodes": manifest.vnodes,
+                    "nodes": rows,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"cluster epoch {manifest.epoch}, replication "
+        f"{manifest.replication}, {n_up}/{len(rows)} nodes up"
+    )
+    for row in rows:
+        state = "up" if row["alive"] else "DOWN"
+        extra = ""
+        if row["alive"]:
+            extra = (
+                f"  uptime={row['uptime_s']:.0f}s "
+                f"metrics={row['n_metrics']} elements={row['elements']}"
+            )
+        print(
+            f"  {row['id']:<10} {row['host']}:{row['port']:<6} "
+            f"{state:<5} (manifest: {row['manifest_status']}){extra}"
+        )
+    return 0 if n_up == len(rows) else 1
+
+
+def _cmd_cluster_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import ClusterClient
+
+    with ClusterClient(
+        args.manifest,
+        replication=args.replication,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    ) as client:
+        if args.action == "create":
+            # Fixed-N is the default whenever it is expressible: only
+            # fixed-N metrics serialise, and serialisation is what the
+            # cluster's fan-in merge rides on.
+            kind = args.kind or (
+                "fixed"
+                if args.n is not None or args.engine != "paper"
+                else "adaptive"
+            )
+            created = client.create(
+                args.name,
+                kind=kind,
+                epsilon=args.epsilon,
+                n=args.n,
+                policy=args.policy,
+                engine=args.engine,
+            )
+            print("created" if created else "exists")
+        elif args.action == "ingest":
+            values = _client_values(args)
+            seq = client.ingest(args.name, values)
+            owners = ",".join(client.owners_of(args.name))
+            print(
+                f"ingested {values.size} values to replicas [{owners}] "
+                f"(max journal seq {seq})"
+            )
+        elif args.action == "query":
+            values, bound, n = client.query(args.name, args.phi)
+            for phi, value in zip(args.phi, values):
+                print(f"phi={phi:g}: {value:g}")
+            print(f"n={n}, certified rank bound: {bound:g} elements")
+        elif args.action == "merge":
+            values, bound, n = client.query_merged(args.names, args.phi)
+            for phi, value in zip(args.phi, values):
+                print(f"phi={phi:g}: {value:g}")
+            print(
+                f"union of {len(args.names)} metrics: n={n}, certified "
+                f"rank bound: {bound:g} elements (Sec. 4.9 recombination)"
+            )
+        elif args.action == "cdf":
+            body = client.cdf(args.name, args.value)
+            print(
+                f"rank(x <= {args.value:g}) ~ {body['rank']} of {body['n']} "
+                f"({body['fraction']:.6f}), "
+                f"certified bound {body['error_bound']:g} elements"
+            )
+        elif args.action == "list":
+            for metric in client.list_metrics():
+                owners = ",".join(metric["owners"])
+                print(
+                    f"{metric['name']:<32} {metric['kind']:<9} "
+                    f"n={metric['n']:<12} node={metric['node']} "
+                    f"owners=[{owners}]"
+                )
+        elif args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.action == "drain":
+            print(f"drained through seq {client.drain()}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
     import time
@@ -642,11 +826,156 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(func=_cmd_stats)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-node quantile cluster (serve / status / client)",
+        description=(
+            "Run and talk to a multi-node cluster: N independent server "
+            "processes, consistent-hash routing on metric id, ingest "
+            "replicated to R nodes with exactly-once idempotency "
+            "tokens, and cluster-wide queries merged with a certified "
+            "error bound (see docs/cluster.md)."
+        ),
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cl_serve = csub.add_parser(
+        "serve", help="launch and supervise a cluster in the foreground"
+    )
+    cl_serve.add_argument("--nodes", type=int, default=3)
+    cl_serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="distinct nodes holding each metric's full stream",
+    )
+    cl_serve.add_argument("--host", default="127.0.0.1")
+    cl_serve.add_argument(
+        "--base-port",
+        type=int,
+        default=7400,
+        help="node i listens on base-port + i; 0 for ephemeral ports",
+    )
+    cl_serve.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "root for cluster.json and per-node journal/snapshot dirs "
+            "(node-0 ...); omit for an ephemeral cluster"
+        ),
+    )
+    cl_serve.add_argument("--shards", type=int, default=4)
+    cl_serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual points per node on the hash ring",
+    )
+    cl_serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between node health sweeps; <= 0 disables",
+    )
+    cl_serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        help="seconds between automatic snapshots; <= 0 disables",
+    )
+    cl_serve.add_argument("--fsync", action="store_true")
+    cl_serve.add_argument("--batch-window", type=float, default=0.0)
+    cl_serve.set_defaults(func=_cmd_cluster_serve)
+
+    cl_status = csub.add_parser(
+        "status", help="probe every node in a cluster manifest"
+    )
+    cl_status.add_argument(
+        "--manifest",
+        required=True,
+        help="path to cluster.json (or the data dir holding it)",
+    )
+    cl_status.add_argument("--timeout", type=float, default=5.0)
+    cl_status.add_argument(
+        "--prom",
+        action="store_true",
+        help="print ring health as a Prometheus exposition",
+    )
+    cl_status.add_argument(
+        "--json", action="store_true", help="print the probe as JSON"
+    )
+    cl_status.set_defaults(func=_cmd_cluster_status)
+
+    cl_client = csub.add_parser(
+        "client", help="talk to a running cluster from the shell"
+    )
+    cl_client.add_argument(
+        "--manifest",
+        required=True,
+        help="path to cluster.json (or the data dir holding it)",
+    )
+    cl_client.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help="override the manifest's replication factor",
+    )
+    cl_client.add_argument("--timeout", type=float, default=30.0)
+    cl_client.add_argument("--retries", type=int, default=4)
+    cl_actions = cl_client.add_subparsers(dest="action", required=True)
+
+    cc_create = cl_actions.add_parser(
+        "create", help="create a metric on every live node"
+    )
+    cc_create.add_argument("name")
+    cc_create.add_argument(
+        "--kind", choices=("fixed", "adaptive"), default=None
+    )
+    cc_create.add_argument(
+        "--engine", choices=("paper", "kll", "frugal"), default="paper"
+    )
+    cc_create.add_argument("--epsilon", type=float, default=0.01)
+    cc_create.add_argument("--n", type=int, default=None)
+    cc_create.add_argument("--policy", default="new")
+
+    cc_ingest = cl_actions.add_parser(
+        "ingest", help="replicate values to the metric's owners"
+    )
+    cc_ingest.add_argument("name")
+    cc_ingest.add_argument(
+        "values", nargs="+", help="values, or a single '-' to read stdin"
+    )
+
+    cc_query = cl_actions.add_parser(
+        "query", help="quantiles from the senior live replica"
+    )
+    cc_query.add_argument("name")
+    cc_query.add_argument("--phi", type=float, action="append", required=True)
+
+    cc_merge = cl_actions.add_parser(
+        "merge",
+        help="certified fan-in quantiles over the union of metrics",
+    )
+    cc_merge.add_argument("names", nargs="+")
+    cc_merge.add_argument("--phi", type=float, action="append", required=True)
+
+    cc_cdf = cl_actions.add_parser("cdf", help="rank / CDF of a value")
+    cc_cdf.add_argument("name")
+    cc_cdf.add_argument("value", type=float)
+
+    cl_actions.add_parser(
+        "list", help="metrics on every node with their replica sets"
+    )
+    cl_actions.add_parser("stats", help="per-node STATS as JSON")
+    cl_actions.add_parser("drain", help="barrier on every live node")
+    cl_client.set_defaults(func=_cmd_cluster_client)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    from .cluster.errors import NodeUnavailableError
     from .service.errors import ServiceConnectionError, ServiceTimeoutError
 
     parser = build_parser()
@@ -656,7 +985,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ServiceTimeoutError as exc:
         print(f"error: timed out: {exc}", file=sys.stderr)
         return 3
-    except ServiceConnectionError as exc:
+    except (ServiceConnectionError, NodeUnavailableError) as exc:
         print(f"error: connection failed: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:

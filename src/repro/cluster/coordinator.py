@@ -1,0 +1,372 @@
+"""The cluster coordinator: launch, supervise and account for N nodes.
+
+Each node is a **complete** :class:`~repro.service.server.QuantileService`
+process -- own event loop, own shards, own journal + snapshot pair under
+``data_dir/node-<i>`` -- spawned through the same module-level worker
+entry point the single-machine :class:`~repro.service.cluster
+.ClusterService` uses (``_worker_main``: spawn context, pipe handshake,
+SIGTERM = graceful drain).  What the coordinator adds over that class is
+*topology*: every node knows its ``node_id`` and the manifest ``epoch``
+it was launched under (reported via the ``PING`` opcode), placement is a
+consistent-hash ring instead of ``crc32 % N``, and liveness is tracked.
+
+Supervision model -- deliberately *mark-down, don't restart*: a node
+that dies stays down for the life of the coordinator.  Restarting it
+in-place would resurrect a replica whose journal is missing every batch
+acknowledged by its peers since the death; serving queries from it would
+silently under-count.  Instead the death is surfaced (manifest status,
+``epoch`` bump, Prometheus gauges) and the surviving replicas keep
+serving -- re-synchronising a rejoining node is future work (see
+docs/cluster.md).  ``poll()`` performs one health sweep; pass
+``health_interval_s`` to run sweeps on a background thread.
+
+Observability: the coordinator publishes ``cluster.nodes_up``,
+``cluster.nodes_total``, ``cluster.epoch`` gauges and a
+``cluster.node_deaths`` counter into the process-wide
+:mod:`repro.obs` registry, so :func:`~repro.obs.exposition
+.render_prometheus` (and ``repro cluster status --prom``) exposes ring
+health next to the sketch metrics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.errors import StorageError
+from ..obs import hooks as obs_hooks
+from ..obs.exposition import render_prometheus
+from ..service.cluster import _worker_main
+from .client import ClusterClient
+from .errors import ClusterConfigError
+from .manifest import (
+    MANIFEST_FILE,
+    ClusterManifest,
+    NodeSpec,
+)
+from .ring import DEFAULT_VNODES
+
+__all__ = ["ClusterCoordinator"]
+
+
+def _node_id(index: int) -> str:
+    return f"node-{index}"
+
+
+class ClusterCoordinator:
+    """Launch and supervise a multi-node quantile cluster.
+
+    Parameters
+    ----------
+    nodes:
+        Node count.  Ids are ``node-0`` ... ``node-N-1``.
+    replication:
+        How many distinct nodes hold each metric's full stream.
+    host:
+        Bind address for every node.
+    base_port:
+        ``0`` (default) gives every node an ephemeral port; nonzero
+        binds node *i* to ``base_port + i``.
+    data_dir:
+        Root for the ``cluster.json`` manifest and the per-node
+        durability dirs (``node-0`` ...).  ``None`` runs ephemeral (no
+        manifest file, no journals) -- benchmarks and tests.
+    vnodes:
+        Virtual points per node on the hash ring.
+    health_interval_s:
+        When set, a daemon thread calls :meth:`poll` at this period.
+    service_kwargs:
+        Forwarded verbatim to every node's ``QuantileService``
+        (``n_shards``, ``fsync``, ``batch_window_s``, ...).
+
+    A restart over an existing ``data_dir`` must present the same node
+    count, replication and vnodes (placement and replica sets would
+    otherwise shift away from the journals on disk -- refused, same
+    discipline as ``ClusterService``'s worker pin); the manifest epoch
+    increments on every restart and every membership change.
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes: int = 3,
+        replication: int = 2,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        data_dir: Optional[str] = None,
+        vnodes: int = DEFAULT_VNODES,
+        health_interval_s: Optional[float] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        if nodes < 1:
+            raise ClusterConfigError(f"nodes must be >= 1, got {nodes}")
+        if not 1 <= replication <= nodes:
+            raise ClusterConfigError(
+                f"replication must be in [1, {nodes}], got {replication}"
+            )
+        self.n_nodes = nodes
+        self.replication = replication
+        self.host = host
+        self.base_port = base_port
+        self.data_dir = data_dir
+        self.vnodes = vnodes
+        self.health_interval_s = health_interval_s
+        self.service_kwargs = service_kwargs
+        self.manifest: Optional[ClusterManifest] = None
+        self.node_deaths = 0
+        self._procs: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._health_thread: Optional[threading.Thread] = None
+        self._health_stop = threading.Event()
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    # -- manifest ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, MANIFEST_FILE)
+
+    def _prior_epoch(self) -> int:
+        """Epoch of a previous incarnation (0 if none), with the restart
+        pinned to the same topology parameters."""
+        path = self.manifest_path
+        if path is None or not os.path.exists(path):
+            return 0
+        prior = ClusterManifest.load(path)
+        if len(prior.nodes) != self.n_nodes:
+            raise ClusterConfigError(
+                f"{self.data_dir} was written by a {len(prior.nodes)}-node "
+                f"cluster; restarting with nodes={self.n_nodes} would "
+                f"re-route metrics away from their journals"
+            )
+        if prior.replication != self.replication:
+            raise ClusterConfigError(
+                f"{self.data_dir} was written with replication="
+                f"{prior.replication}; restarting with replication="
+                f"{self.replication} would change every replica set"
+            )
+        if prior.vnodes != self.vnodes:
+            raise ClusterConfigError(
+                f"{self.data_dir} was written with vnodes={prior.vnodes}; "
+                f"restarting with vnodes={self.vnodes} would shift "
+                f"placement away from the journals"
+            )
+        return prior.epoch
+
+    def _save_manifest(self) -> None:
+        if self.manifest is None:
+            return
+        path = self.manifest_path
+        if path is not None:
+            self.manifest.save(path)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> "ClusterCoordinator":
+        if self.data_dir is not None:
+            os.makedirs(self.data_dir, exist_ok=True)
+        epoch = self._prior_epoch() + 1
+        ctx = multiprocessing.get_context("spawn")
+        pending: List[Tuple[str, Any]] = []
+        specs: List[NodeSpec] = []
+        for i in range(self.n_nodes):
+            nid = _node_id(i)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                name=f"repro-{nid}",
+                args=(
+                    i,
+                    self.host,
+                    0 if self.base_port == 0 else self.base_port + i,
+                    (
+                        os.path.join(self.data_dir, nid)
+                        if self.data_dir is not None
+                        else None
+                    ),
+                    child_conn,
+                    {
+                        **self.service_kwargs,
+                        "node_id": nid,
+                        "cluster_epoch": epoch,
+                    },
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs[nid] = proc
+            pending.append((nid, parent_conn))
+            specs.append(NodeSpec(id=nid, host=self.host, port=0))
+        deadline = time.monotonic() + timeout
+        try:
+            for (nid, parent_conn), spec in zip(pending, specs):
+                budget = deadline - time.monotonic()
+                if budget <= 0 or not parent_conn.poll(max(budget, 0.0)):
+                    raise StorageError(
+                        f"{nid} failed to start within {timeout}s"
+                    )
+                try:
+                    status, value = parent_conn.recv()
+                except EOFError:
+                    code = self._procs[nid].exitcode
+                    raise StorageError(
+                        f"{nid} died during startup (exit code {code})"
+                    ) from None
+                if status != "ready":
+                    raise StorageError(f"{nid} failed to start: {value}")
+                spec.port = int(value)
+                parent_conn.close()
+        except BaseException:
+            self.stop(graceful=False)
+            raise
+        self.manifest = ClusterManifest(
+            nodes=specs,
+            replication=self.replication,
+            vnodes=self.vnodes,
+            epoch=epoch,
+        )
+        self._save_manifest()
+        self._publish_obs()
+        if self.health_interval_s:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                name="repro-cluster-health",
+                daemon=True,
+            )
+            self._health_thread.start()
+        return self
+
+    def stop(self, *, graceful: bool = True, timeout: float = 30.0) -> None:
+        """SIGTERM (graceful drain + final snapshot) or SIGKILL every node."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
+        for proc in self._procs.values():
+            if not proc.is_alive():
+                continue
+            if graceful:
+                proc.terminate()
+            else:
+                proc.kill()
+        deadline = time.monotonic() + timeout
+        for proc in self._procs.values():
+            proc.join(max(deadline - time.monotonic(), 0.1))
+            if proc.is_alive():  # pragma: no cover - drain overran
+                proc.kill()
+                proc.join(5.0)
+        self._procs = {}
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[str]:
+        return [_node_id(i) for i in range(self.n_nodes)]
+
+    @property
+    def ports(self) -> List[int]:
+        assert self.manifest is not None, "call start() first"
+        return [spec.port for spec in self.manifest.nodes]
+
+    @property
+    def epoch(self) -> int:
+        return self.manifest.epoch if self.manifest is not None else 0
+
+    def live_ids(self) -> List[str]:
+        assert self.manifest is not None, "call start() first"
+        return self.manifest.live_ids()
+
+    def is_alive(self, node: Union[int, str]) -> bool:
+        proc = self._procs.get(self._resolve(node))
+        return proc is not None and proc.is_alive()
+
+    def client(self, **client_kwargs: Any) -> ClusterClient:
+        """A :class:`ClusterClient` over this cluster's manifest."""
+        assert self.manifest is not None, "call start() first"
+        return ClusterClient(self.manifest, **client_kwargs)
+
+    def _resolve(self, node: Union[int, str]) -> str:
+        return _node_id(node) if isinstance(node, int) else node
+
+    # -- supervision -------------------------------------------------------
+
+    def kill_node(self, node: Union[int, str]) -> str:
+        """SIGKILL one node (the chaos-test hook); returns its id.
+
+        The kill is immediate and ungraceful -- no drain, no final
+        snapshot -- exactly what the crash-recovery story is built for.
+        Detection happens at the next :meth:`poll`.
+        """
+        nid = self._resolve(node)
+        proc = self._procs.get(nid)
+        if proc is None:
+            raise ClusterConfigError(f"unknown node {nid!r}")
+        if proc.is_alive():
+            proc.kill()
+            proc.join(10.0)
+        return nid
+
+    def poll(self) -> List[str]:
+        """One health sweep; returns ids of *newly* dead nodes.
+
+        Every death marks the node ``down`` in the manifest, bumps the
+        epoch once per sweep, rewrites ``cluster.json`` atomically and
+        refreshes the Prometheus gauges.  Clients pick the change up by
+        reloading the manifest (or are already skipping the node via
+        their own connection-failure marking).
+        """
+        assert self.manifest is not None, "call start() first"
+        with self._lock:
+            newly_dead: List[str] = []
+            for spec in self.manifest.nodes:
+                if spec.status == "up" and not self.is_alive(spec.id):
+                    self.manifest.mark(spec.id, "down")
+                    newly_dead.append(spec.id)
+            if newly_dead:
+                self.node_deaths += len(newly_dead)
+                self.manifest.epoch += 1
+                self._save_manifest()
+            self._publish_obs()
+            return newly_dead
+
+    def _health_loop(self) -> None:
+        assert self.health_interval_s is not None
+        while not self._health_stop.wait(self.health_interval_s):
+            try:
+                self.poll()
+            except Exception:  # pragma: no cover - keep sweeping
+                pass
+
+    # -- observability -----------------------------------------------------
+
+    def _publish_obs(self) -> None:
+        reg = obs_hooks.registry()
+        n_up = len(self.manifest.live_ids()) if self.manifest else 0
+        reg.gauge("cluster.nodes_up").set(n_up)
+        reg.gauge("cluster.nodes_total").set(self.n_nodes)
+        reg.gauge("cluster.replication").set(self.replication)
+        reg.gauge("cluster.epoch").set(self.epoch)
+        deaths = reg.counter("cluster.node_deaths")
+        behind = self.node_deaths - int(deaths.get())
+        if behind > 0:
+            deaths.inc(behind)
+
+    def prometheus(self) -> str:
+        """Ring health (+ whatever else the process collected) in
+        Prometheus text format."""
+        self._publish_obs()
+        return render_prometheus(obs_hooks.registry())

@@ -1,0 +1,66 @@
+"""Typed errors for the multi-node cluster layer.
+
+Everything roots at :class:`~repro.core.errors.ReproError`, same as the
+rest of the library, so ``except ReproError`` at a boundary still
+catches cluster failures.  Two distinctions matter to callers:
+
+* :class:`NodeUnavailableError` -- *every* replica that could answer is
+  down.  Also a :class:`ConnectionError`, so retry loops written against
+  the service client's transport errors treat it the same way.
+* :class:`ReplicaEngineMismatchError` -- replicas of one metric (or
+  payloads in one fan-in) disagree on sketch engine.  A subclass of
+  :class:`~repro.core.errors.EngineMismatchError`, but the message names
+  each node and its engine tag, so the operator knows *which* node to
+  fix instead of just that one exists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.errors import EngineMismatchError, ReproError
+
+__all__ = [
+    "ClusterError",
+    "ClusterConfigError",
+    "NodeUnavailableError",
+    "ReplicaEngineMismatchError",
+]
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-layer failures."""
+
+
+class ClusterConfigError(ClusterError, ValueError):
+    """Invalid cluster topology, manifest or restart parameters."""
+
+
+class NodeUnavailableError(ClusterError, ConnectionError):
+    """No live replica can serve the request (all owners are down)."""
+
+
+class ReplicaEngineMismatchError(EngineMismatchError):
+    """Replicas of the same metric answered with different engine tags.
+
+    Carries ``(node_id, engine)`` pairs and a message that names each
+    offender, e.g.::
+
+        replicas of 'api/latency' disagree on sketch engine:
+        node-0=paper, node-2=kll; re-create the metric with one engine
+        everywhere before merging
+
+    ``tagged`` preserves the raw pairs for programmatic handling.
+    """
+
+    def __init__(
+        self, metric: str, tagged: Sequence[Tuple[str, str]]
+    ) -> None:
+        self.metric = metric
+        self.tagged = list(tagged)
+        detail = ", ".join(f"{node}={eng}" for node, eng in self.tagged)
+        super().__init__(
+            f"replicas of {metric!r} disagree on sketch engine: {detail}; "
+            f"re-create the metric with one engine everywhere before "
+            f"merging"
+        )

@@ -1,0 +1,159 @@
+"""Consistent hashing with virtual nodes.
+
+The ring places ``vnodes`` points per node on a 64-bit circle; a key is
+owned by the first node clockwise of its hash.  Replica sets come from
+continuing the walk until ``r`` *distinct* nodes are collected, so
+replicas are always different machines no matter how the virtual points
+interleave.
+
+Why this construction (and not ``crc32(name) % N``, which the
+single-machine :class:`~repro.service.cluster.ClusterService` uses):
+
+* **Minimal movement.**  Adding or removing one node only reassigns the
+  keys whose clockwise walk hit that node's points -- an expected
+  ``1/N`` of keys, ``~2/N`` with replication, versus nearly all of them
+  under mod-N routing.  The durability story depends on this: a metric
+  that moves loses its journal history on the node that held it.
+* **Failover preserves seniority.**  Dropping a dead node from the
+  ``live`` set keeps every survivor's relative order on the circle, and
+  only *appends* new owners at the end of a walk.  The first live owner
+  of a key is therefore always the most senior surviving replica -- the
+  one that has held the metric's full stream the longest -- which is
+  what makes the cluster client's query failover answer with a full
+  (not partial) summary.
+
+Hashes are :func:`hashlib.blake2b` digests, **not** Python's ``hash()``:
+placement must be identical across processes and interpreter runs
+(``PYTHONHASHSEED`` randomises ``hash()``), because clients, the
+coordinator and every test re-derive it independently from the manifest.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .errors import ClusterConfigError
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: virtual points per node; 64 keeps the max/mean key-load imbalance in
+#: the few-percent range for small clusters while the ring stays tiny
+#: (N*64 16-byte entries)
+DEFAULT_VNODES = 64
+
+
+def _hash64(data: str) -> int:
+    """Process-stable 64-bit hash of *data*."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashRing:
+    """An immutable-placement consistent-hash ring.
+
+    Mutation (``add`` / ``remove``) rebuilds the sorted point array;
+    lookups are a ``bisect`` plus a short clockwise walk.  Equality of
+    inputs gives equality of placement -- there is no hidden state.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ClusterConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: Set[str] = set()
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ClusterConfigError("node id must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _hash64(f"{node}#{i}")
+            # ties broken by node id so placement is deterministic even
+            # in the astronomically unlikely event of a point collision
+            bisect.insort(self._points, (point, node))
+        self._keys = [p for p, _ in self._points]
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [
+            (p, n) for p, n in self._points if n != node
+        ]
+        self._keys = [p for p, _ in self._points]
+
+    # -- placement ---------------------------------------------------------
+
+    def owners(
+        self,
+        key: str,
+        r: int = 1,
+        *,
+        live: Optional[Set[str]] = None,
+    ) -> List[str]:
+        """The first *r* distinct nodes clockwise of *key*'s hash.
+
+        ``live`` restricts the walk to that subset (dead nodes are
+        skipped, preserving the order of the survivors).  Returns fewer
+        than *r* nodes when fewer distinct candidates exist; an empty
+        list when none do.
+        """
+        if r < 1:
+            raise ClusterConfigError(f"replication must be >= 1, got {r}")
+        if not self._points:
+            return []
+        eligible = self._nodes if live is None else (self._nodes & live)
+        if not eligible:
+            return []
+        want = min(r, len(eligible))
+        start = bisect.bisect_right(self._keys, _hash64(key))
+        n_points = len(self._points)
+        out: List[str] = []
+        seen: Set[str] = set()
+        for step in range(n_points):
+            node = self._points[(start + step) % n_points][1]
+            if node in seen or node not in eligible:
+                continue
+            seen.add(node)
+            out.append(node)
+            if len(out) == want:
+                break
+        return out
+
+    def owner(
+        self, key: str, *, live: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """The primary (first live) owner of *key*, or ``None``."""
+        found = self.owners(key, 1, live=live)
+        return found[0] if found else None
+
+    def load(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of *keys* each node primarily owns (balance check)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.owner(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

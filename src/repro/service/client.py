@@ -468,13 +468,17 @@ class QuantileClient:
         n: Optional[int] = None,
         policy: str = "new",
         engine: str = "paper",
+        token: int = 0,
     ) -> bool:
         """Create metric *name*; True if new, False if it already existed.
 
         ``engine`` picks the server-side sketch machinery (``"paper"``,
         ``"kll"`` or ``"frugal"``; see docs/api.md).  The non-paper
         engines require ``kind="fixed"`` with no ``n`` -- their own
-        knobs size the sketch.
+        knobs size the sketch.  ``token`` overrides the auto-generated
+        idempotency token: the cluster client passes one token to every
+        replica of a broadcast create so a failover retry against any of
+        them is deduplicated.
         """
         body = self._call(
             Request(
@@ -485,25 +489,41 @@ class QuantileClient:
                 n=n,
                 policy=policy,
                 engine=engine,
+                token=token,
             )
         )
         return bool(body["created"])
 
     def ingest(
-        self, name: str, values: "np.ndarray | Sequence[float]"
+        self,
+        name: str,
+        values: "np.ndarray | Sequence[float]",
+        *,
+        token: int = 0,
     ) -> int:
-        """Send one batch and wait for durability; returns the journal seq."""
+        """Send one batch and wait for durability; returns the journal seq.
+
+        ``token`` overrides the auto-generated idempotency token -- the
+        cluster client sends the *same* token for one logical batch to
+        every replica, so each node applies it exactly once no matter
+        which connection retried.
+        """
         body = self._call(
             Request(
                 opcode=Opcode.INGEST,
                 name=name,
                 values=np.asarray(values, dtype=np.float64),
+                token=token,
             )
         )
         return int(body["seq"])
 
     def ingest_nowait(
-        self, name: str, values: "np.ndarray | Sequence[float]"
+        self,
+        name: str,
+        values: "np.ndarray | Sequence[float]",
+        *,
+        token: int = 0,
     ) -> None:
         """Pipelined ingest: send without reading the ack (see module doc).
 
@@ -514,7 +534,8 @@ class QuantileClient:
         """
         if len(self._unacked) >= self.max_outstanding:
             self.flush()
-        token = self._next_token() if self.idempotency else 0
+        if not token:
+            token = self._next_token() if self.idempotency else 0
         framed = protocol.encode_ingest_framed(name, values, token)
         self._unacked.append(_Pending(Opcode.INGEST, framed))
         self._unsent_bytes += len(framed)
@@ -596,3 +617,9 @@ class QuantileClient:
         return self._call(
             Request(opcode=Opcode.STATS, detail=int(detail))
         )["stats"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness + route metadata: ``node_id``, cluster ``epoch``,
+        ``uptime_s``, ``n_metrics``, ``elements``.  A standalone server
+        answers with an empty ``node_id``."""
+        return self._call(Request(opcode=Opcode.PING))

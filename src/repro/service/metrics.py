@@ -141,6 +141,10 @@ class ServiceMetrics:
             ),
         }
 
+    def uptime_s(self) -> float:
+        """Seconds since this server's metrics were initialised."""
+        return time.monotonic() - self._t0
+
     def recent_rate(self) -> float:
         """Elements/s ingested over the trailing window."""
         if not self._recent:

@@ -87,10 +87,11 @@ class Opcode:
     SNAPSHOT = 7
     DRAIN = 8
     STATS = 9
+    PING = 10
 
     _NAMES = {
         1: "CREATE", 2: "INGEST", 3: "QUERY", 4: "CDF", 5: "LIST",
-        6: "FETCH", 7: "SNAPSHOT", 8: "DRAIN", 9: "STATS",
+        6: "FETCH", 7: "SNAPSHOT", 8: "DRAIN", 9: "STATS", 10: "PING",
     }
 
 
@@ -264,7 +265,7 @@ def encode_request(req: Request) -> bytes:
         # is byte-identical to the pre-detail format
         if req.detail:
             out.append(bytes([req.detail & 0xFF]))
-    elif op in (Opcode.LIST, Opcode.DRAIN):
+    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.PING):
         pass
     else:
         raise ConfigurationError(f"unknown opcode {op}")
@@ -372,7 +373,7 @@ def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
     elif op == Opcode.STATS:
         if r.pos != len(r.buf):  # old clients send no detail byte
             req.detail = r.u8("stats detail")
-    elif op in (Opcode.LIST, Opcode.DRAIN):
+    elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.PING):
         pass
     else:
         raise StorageError(f"unknown opcode {op}")
@@ -429,6 +430,13 @@ def encode_ok(opcode: int, body: Dict[str, Any]) -> bytes:
         raw = json.dumps(body["stats"], sort_keys=True).encode("utf-8")
         out.append(_U32.pack(len(raw)))
         out.append(raw)
+    elif opcode == Opcode.PING:
+        # route metadata: which node answered, under which cluster epoch
+        out.append(_pack_str(body["node_id"]))
+        out.append(_U64.pack(body["epoch"]))
+        out.append(_F64.pack(body["uptime_s"]))
+        out.append(_U32.pack(body["n_metrics"]))
+        out.append(_U64.pack(body["elements"]))
     else:
         raise ConfigurationError(f"unknown opcode {opcode}")
     return b"".join(out)
@@ -493,6 +501,12 @@ def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
     elif opcode == Opcode.STATS:
         size = r.u32("stats size")
         body["stats"] = json.loads(r.take(size, "stats json").decode("utf-8"))
+    elif opcode == Opcode.PING:
+        body["node_id"] = r.string("node id")
+        body["epoch"] = r.u64("cluster epoch")
+        body["uptime_s"] = r.f64("uptime")
+        body["n_metrics"] = r.u32("metric count")
+        body["elements"] = r.u64("ingested elements")
     else:
         raise ConfigurationError(f"unknown opcode {opcode}")
     r.done(f"{Opcode._NAMES.get(opcode, opcode)} response")

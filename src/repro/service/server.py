@@ -152,9 +152,16 @@ class QuantileService:
         max_inflight_bytes: int = 32 * 1024 * 1024,
         drain_grace_s: float = 2.0,
         observability: bool = True,
+        node_id: str = "",
+        cluster_epoch: int = 0,
     ) -> None:
         self.host = host
         self.port = port
+        #: route metadata reported by PING: which cluster node this
+        #: process is (empty for a standalone server) and the manifest
+        #: epoch it was launched under
+        self.node_id = node_id
+        self.cluster_epoch = cluster_epoch
         self.path = path
         self.data_dir = data_dir
         self.n_shards = n_shards
@@ -549,9 +556,20 @@ class QuantileService:
         if op == protocol.Opcode.STATS:
             stats = self.metrics.to_dict(self.registry)
             stats["engines"] = self.registry.engine_counts()
+            if self.node_id:
+                stats["node_id"] = self.node_id
+                stats["cluster_epoch"] = self.cluster_epoch
             if req.detail:
                 stats["prometheus"] = render_prometheus(obs_hooks.registry())
             return {"stats": stats}
+        if op == protocol.Opcode.PING:
+            return {
+                "node_id": self.node_id,
+                "epoch": self.cluster_epoch,
+                "uptime_s": self.metrics.uptime_s(),
+                "n_metrics": len(self.registry),
+                "elements": self.metrics.ingest_elements,
+            }
         raise StorageError(f"unknown opcode {op}")
 
     def _do_ingest(self, req: protocol.Request) -> Dict[str, Any]:

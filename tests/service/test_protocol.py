@@ -69,7 +69,13 @@ class TestRequestRoundtrip:
 
     @pytest.mark.parametrize(
         "opcode",
-        [Opcode.LIST, Opcode.SNAPSHOT, Opcode.DRAIN, Opcode.STATS],
+        [
+            Opcode.LIST,
+            Opcode.SNAPSHOT,
+            Opcode.DRAIN,
+            Opcode.STATS,
+            Opcode.PING,
+        ],
     )
     def test_bodyless_opcodes(self, opcode):
         assert roundtrip(Request(opcode=opcode)).opcode == opcode
@@ -134,6 +140,25 @@ class TestResponses:
         assert protocol.decode_response(Opcode.INGEST, body) == {
             "seq": 7,
             "count": 42,
+        }
+
+    def test_ping_response_roundtrip(self):
+        body = protocol.encode_ok(
+            Opcode.PING,
+            {
+                "node_id": "node-1",
+                "epoch": 3,
+                "uptime_s": 12.5,
+                "n_metrics": 4,
+                "elements": 9001,
+            },
+        )
+        assert protocol.decode_response(Opcode.PING, body) == {
+            "node_id": "node-1",
+            "epoch": 3,
+            "uptime_s": 12.5,
+            "n_metrics": 4,
+            "elements": 9001,
         }
 
 
