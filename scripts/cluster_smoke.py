@@ -243,6 +243,89 @@ def main() -> int:
             finally:
                 client.close()
 
+        # === ISSUE-9: resurrect, re-sync, rebalance -- stream flowing ==
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        totals = {name: TOTAL, side: SIDE_TOTAL}
+
+        def cli_status() -> "subprocess.CompletedProcess[str]":
+            return subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "cluster", "status",
+                    "--manifest", coord.manifest_path,
+                ],
+                env=env, capture_output=True, text=True,
+            )
+
+        def ingest_more(n_batches: int) -> None:
+            with coord.client() as cl:
+                for _ in range(n_batches):
+                    for metric in (name, side):
+                        cl.ingest(metric, rng.standard_normal(BATCH))
+                        totals[metric] += BATCH
+                cl.drain()
+
+        def counts_exact(when: str) -> None:
+            with coord.client() as cl:
+                got = {m: cl.query(m, [0.5])[2] for m in (name, side)}
+            check(
+                got == totals,
+                f"counts exact {when}: {sorted(totals.values())} "
+                f"(zero lost, zero duplicated)",
+            )
+
+        ingest_more(2)  # the corpse stays dead; survivors take writes
+        coord.restart_node(senior, resync=False)
+        status = cli_status()
+        check(
+            status.returncode == 4 and "SYNCING" in status.stdout,
+            "status exits 4 (degraded-but-recovering, not an outage) "
+            "while the node re-syncs",
+        )
+        ingest_more(2)  # still routed around the syncing node
+        report = coord.resync_node(senior)
+        check(
+            bool(report.synced)
+            and all(m.verified for m in report.synced),
+            f"re-sync verified {len(report.synced)} owned metric(s) "
+            f"bit-identical over {report.rounds} round(s)",
+        )
+        with coord.client() as cl:
+            cl.drain()
+            for metric in (name, side):
+                payloads = {p for _, p in cl.fetch_replicas(metric)}
+                check(
+                    len(payloads) == 1,
+                    f"{metric}: every replica serializes to the same "
+                    f"bytes after re-sync",
+                )
+        counts_exact("after kill + re-sync")
+
+        joined = coord.add_node()
+        manifest = ClusterManifest.load(coord.manifest_path)
+        check(
+            manifest.node(joined).status == "up"
+            and len(manifest.nodes) == 4,
+            f"{joined} joined, migrated its ring share, flipped up",
+        )
+        ingest_more(2)
+        counts_exact(f"after {joined} joined")
+
+        coord.remove_node(senior)
+        manifest = ClusterManifest.load(coord.manifest_path)
+        check(
+            senior not in manifest.node_ids()
+            and len(manifest.nodes) == 3,
+            f"{senior} drained its keys to the survivors and left",
+        )
+        ingest_more(2)
+        counts_exact(f"after {senior} left")
+        status = cli_status()
+        check(
+            status.returncode == 0,
+            "`repro cluster status` exits 0 on the rewired cluster",
+        )
+
     print(f"PASS cluster smoke in {time.monotonic() - t0:.1f}s")
     return 0
 

@@ -43,9 +43,12 @@ Four commands cover the library's day-to-day uses without writing code:
     The multi-node layer (:mod:`repro.cluster`): ``cluster serve``
     launches and supervises N server processes with a consistent-hash
     manifest, ``cluster status`` probes every node in a manifest
-    (``--prom`` for scrapers), and ``cluster client`` routes
-    create/ingest/query/merge across the ring with replication and
-    failover.
+    (``--prom`` for scrapers; exit 0 all up / 4 re-syncing / 1 down),
+    ``cluster client`` routes create/ingest/query/merge across the
+    ring with replication and failover, and the membership verbs --
+    ``cluster resync``, ``cluster add-node``, ``cluster remove-node``
+    -- drive the re-sync/rebalance protocol against externally managed
+    node processes (see docs/cluster.md).
 
 ``quantile`` and ``describe`` accept ``-`` as the input path to read
 whitespace-separated values from stdin, so they compose with shell
@@ -445,7 +448,16 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         manifest, timeout=args.timeout, max_retries=0
     ) as client:
         rows = client.status()
-    n_up = sum(1 for r in rows if r["alive"])
+    # three-way health: a syncing node is alive and mid-recovery -- it
+    # must not trip the "cluster degraded" exit code a dead node does,
+    # or every re-sync window would page as an outage
+    n_up = sum(
+        1 for r in rows if r["alive"] and r["manifest_status"] == "up"
+    )
+    n_syncing = sum(
+        1 for r in rows if r["alive"] and r["manifest_status"] == "syncing"
+    )
+    n_down = len(rows) - n_up - n_syncing
     if args.prom:
         # the same gauges the coordinator publishes, derived from a
         # live probe so any scraper can watch ring health from outside
@@ -453,6 +465,7 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
 
         reg = MetricsRegistry()
         reg.gauge("cluster.nodes_up").set(n_up)
+        reg.gauge("cluster.nodes_syncing").set(n_syncing)
         reg.gauge("cluster.nodes_total").set(len(rows))
         reg.gauge("cluster.replication").set(manifest.replication)
         reg.gauge("cluster.epoch").set(manifest.epoch)
@@ -479,9 +492,17 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     print(
         f"cluster epoch {manifest.epoch}, replication "
         f"{manifest.replication}, {n_up}/{len(rows)} nodes up"
+        + (f", {n_syncing} syncing" if n_syncing else "")
     )
     for row in rows:
-        state = "up" if row["alive"] else "DOWN"
+        if not row["alive"]:
+            state = "DOWN"
+        elif row["manifest_status"] == "up":
+            state = "up"
+        else:
+            # alive but not serving reads yet (syncing) or not yet
+            # swept back into the manifest (down-but-answering)
+            state = row["manifest_status"].upper()
         extra = ""
         if row["alive"]:
             extra = (
@@ -490,9 +511,11 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
             )
         print(
             f"  {row['id']:<10} {row['host']}:{row['port']:<6} "
-            f"{state:<5} (manifest: {row['manifest_status']}){extra}"
+            f"{state:<7} (manifest: {row['manifest_status']}){extra}"
         )
-    return 0 if n_up == len(rows) else 1
+    if n_down:
+        return 1
+    return 4 if n_syncing else 0
 
 
 def _cmd_cluster_client(args: argparse.Namespace) -> int:
@@ -564,6 +587,194 @@ def _cmd_cluster_client(args: argparse.Namespace) -> int:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
         elif args.action == "drain":
             print(f"drained through seq {client.drain()}")
+    return 0
+
+
+def _manifest_file(path: str) -> str:
+    """Resolve a manifest argument (file or data dir) to the file path,
+    so the membership verbs can save their edits back."""
+    import os
+
+    from .cluster.manifest import MANIFEST_FILE
+
+    return os.path.join(path, MANIFEST_FILE) if os.path.isdir(path) else path
+
+
+def _cmd_cluster_resync(args: argparse.Namespace) -> int:
+    from .cluster import ClusterManifest, SyncDriver
+
+    path = _manifest_file(args.manifest)
+    manifest = ClusterManifest.load(path)
+    spec = manifest.node(args.node)  # raises on unknown id
+    changed = manifest.mark(args.node, "syncing")
+    if args.endpoint is not None:
+        # the relaunched process may have bound a fresh port; record the
+        # address the operator gives us so clients dial the right one
+        host, _, port = args.endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(
+                f"--endpoint must be HOST:PORT, got {args.endpoint!r}"
+            )
+        changed = (
+            changed or spec.host != host or spec.port != int(port)
+        )
+        spec.host, spec.port = host, int(port)
+    if changed:
+        manifest.epoch += 1
+        manifest.save(path)
+    ring = manifest.ring()
+    live = set(manifest.live_ids())
+    with SyncDriver(
+        manifest, max_rounds=args.max_rounds, timeout=args.timeout
+    ) as driver:
+        report = driver.resync_node(
+            args.node,
+            ring=ring,
+            replication=manifest.replication,
+            live=live,
+            require_identity=True,
+        )
+        manifest.mark(args.node, "up")
+        manifest.epoch += 1
+        manifest.save(path)
+        if report.synced:
+            # closing pass: absorb batches that stale-manifest clients
+            # routed only to the donors while the node was syncing --
+            # donor tokens keep it exactly-once against direct writes
+            driver.resync_node(
+                args.node,
+                ring=ring,
+                replication=manifest.replication,
+                live=live,
+                metrics=[m.name for m in report.synced],
+                require_identity=False,
+            )
+    print(
+        f"{args.node} re-synced at epoch {manifest.epoch}: "
+        f"{len(report.synced)} metrics verified bit-identical "
+        f"({report.bytes} bytes, {report.rounds} rounds), "
+        f"{len(report.defined)} defined, {len(report.kept)} kept "
+        f"(sole surviving copy)"
+    )
+    return 0
+
+
+def _cmd_cluster_add_node(args: argparse.Namespace) -> int:
+    from .cluster import (
+        ClusterManifest,
+        NodeSpec,
+        SyncDriver,
+        delta_donor,
+        ownership_delta,
+    )
+
+    path = _manifest_file(args.manifest)
+    manifest = ClusterManifest.load(path)
+    if args.id is not None:
+        nid = args.id
+    else:
+        indices = []
+        for spec in manifest.nodes:
+            tail = spec.id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                indices.append(int(tail))
+        nid = f"node-{(max(indices) + 1) if indices else len(manifest.nodes)}"
+    ring_before = manifest.ring()
+    live = set(manifest.live_ids())
+    manifest.nodes.append(
+        NodeSpec(id=nid, host=args.host, port=args.port, status="syncing")
+    )
+    manifest.epoch += 1
+    manifest.save(path)
+    ring_after = manifest.ring()
+    with SyncDriver(manifest, timeout=args.timeout) as driver:
+        names = driver.metric_names(sorted(live))
+        delta = ownership_delta(
+            ring_before, ring_after, names, manifest.replication
+        )
+        moved: set = set()
+        for key, gainer in delta.transfers():
+            donor = delta_donor(
+                key, gainer, ring_before, manifest.replication, live
+            )
+            driver.sync_metric(key, donor, gainer)
+            if gainer == nid:
+                moved.add(key)
+        for name in names:
+            if name not in moved and live:
+                driver.define_metric(name, sorted(live)[0], nid)
+        manifest.mark(nid, "up")
+        manifest.epoch += 1
+        manifest.save(path)
+        if moved:
+            driver.resync_node(
+                nid,
+                ring=ring_after,
+                replication=manifest.replication,
+                live=live,
+                metrics=sorted(moved),
+                require_identity=False,
+            )
+    print(
+        f"{nid} ({args.host}:{args.port}) joined at epoch "
+        f"{manifest.epoch}: {len(delta.moved)}/{len(names)} metrics "
+        f"moved ({delta.moved_fraction:.1%}), rest defined only"
+    )
+    return 0
+
+
+def _cmd_cluster_remove_node(args: argparse.Namespace) -> int:
+    from .cluster import (
+        ClusterConfigError,
+        ClusterManifest,
+        HashRing,
+        SyncDriver,
+        delta_donor,
+        ownership_delta,
+    )
+
+    path = _manifest_file(args.manifest)
+    manifest = ClusterManifest.load(path)
+    spec = manifest.node(args.node)  # raises on unknown id
+    if len(manifest.nodes) - 1 < manifest.replication:
+        raise ClusterConfigError(
+            f"removing {args.node} would leave "
+            f"{len(manifest.nodes) - 1} node(s), fewer than "
+            f"replication={manifest.replication}"
+        )
+    ring_before = manifest.ring()
+    surviving = [s.id for s in manifest.nodes if s.id != args.node]
+    ring_after = HashRing(surviving, vnodes=manifest.vnodes)
+    live = set(manifest.live_ids())
+    with SyncDriver(manifest, timeout=args.timeout) as driver:
+        names = driver.metric_names(sorted(live)) if live else []
+        delta = ownership_delta(
+            ring_before, ring_after, names, manifest.replication
+        )
+        transfers = delta.transfers()
+        for key, gainer in transfers:
+            donor = delta_donor(
+                key, gainer, ring_before, manifest.replication, live
+            )
+            driver.sync_metric(key, donor, gainer)
+        leaving_up = spec.status == "up"
+        if leaving_up:
+            # cache the leaving node's connection now: its manifest
+            # entry disappears below, but the closing pass still
+            # drains its journal
+            driver.client(args.node)
+        manifest.nodes.remove(spec)
+        manifest.epoch += 1
+        manifest.save(path)
+        if leaving_up:
+            for key, gainer in transfers:
+                driver.sync_metric(key, args.node, gainer,
+                                   require_identity=False)
+    print(
+        f"{args.node} removed at epoch {manifest.epoch}: "
+        f"{len(delta.moved)}/{len(names)} metrics migrated to new "
+        f"owners; its process can be stopped now"
+    )
     return 0
 
 
@@ -905,6 +1116,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the probe as JSON"
     )
     cl_status.set_defaults(func=_cmd_cluster_status)
+
+    cl_resync = csub.add_parser(
+        "resync",
+        help="re-sync a restarted node from its senior replicas",
+        description=(
+            "Mark the node syncing, stream every metric it owns from "
+            "its senior surviving replica (full-payload install + "
+            "journal-tail catch-up under the donors' idempotency "
+            "tokens), verify bit-identity, then flip it up and bump the "
+            "manifest epoch.  The node's process must already be "
+            "running (under `cluster serve` the coordinator does all of "
+            "this automatically on restart)."
+        ),
+    )
+    cl_resync.add_argument("node", help="node id, e.g. node-1")
+    cl_resync.add_argument(
+        "--manifest",
+        required=True,
+        help="path to cluster.json (or the data dir holding it)",
+    )
+    cl_resync.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "where the relaunched node actually listens, if it rebound "
+            "away from its manifest entry"
+        ),
+    )
+    cl_resync.add_argument("--timeout", type=float, default=30.0)
+    cl_resync.add_argument(
+        "--max-rounds",
+        type=int,
+        default=64,
+        help="per-metric catch-up round budget before giving up",
+    )
+    cl_resync.set_defaults(func=_cmd_cluster_resync)
+
+    cl_add = csub.add_parser(
+        "add-node",
+        help="join an already-running node and migrate its keys",
+        description=(
+            "Append a node to the manifest as syncing, compute the "
+            "ring's ownership delta, stream only the moved metrics "
+            "(~R/N of keys) from their senior pre-join owners with "
+            "bit-identity verification, replicate every other metric's "
+            "definition, then flip the node up.  Start the node's "
+            "server process first; this verb only rewires topology."
+        ),
+    )
+    cl_add.add_argument(
+        "--manifest",
+        required=True,
+        help="path to cluster.json (or the data dir holding it)",
+    )
+    cl_add.add_argument(
+        "--host", default="127.0.0.1", help="where the new node listens"
+    )
+    cl_add.add_argument(
+        "--port", type=int, required=True, help="the new node's port"
+    )
+    cl_add.add_argument(
+        "--id",
+        default=None,
+        help="node id (default: next free node-<i>)",
+    )
+    cl_add.add_argument("--timeout", type=float, default=30.0)
+    cl_add.set_defaults(func=_cmd_cluster_add_node)
+
+    cl_remove = csub.add_parser(
+        "remove-node",
+        help="drain a node's keys to their new owners and drop it",
+        description=(
+            "Migrate every metric the node exclusively anchors to its "
+            "post-removal owner (the leaving node donates while still "
+            "up), remove it from the manifest, then run a closing pass "
+            "so stale-manifest writes are not stranded in its journal.  "
+            "Refused when the remaining nodes could not satisfy the "
+            "replication factor.  Stop the node's process afterwards."
+        ),
+    )
+    cl_remove.add_argument("node", help="node id, e.g. node-0")
+    cl_remove.add_argument(
+        "--manifest",
+        required=True,
+        help="path to cluster.json (or the data dir holding it)",
+    )
+    cl_remove.add_argument("--timeout", type=float, default=30.0)
+    cl_remove.set_defaults(func=_cmd_cluster_remove_node)
 
     cl_client = csub.add_parser(
         "client", help="talk to a running cluster from the shell"

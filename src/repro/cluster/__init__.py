@@ -25,11 +25,13 @@ from .coordinator import ClusterCoordinator
 from .errors import (
     ClusterConfigError,
     ClusterError,
+    ClusterSyncError,
     NodeUnavailableError,
     ReplicaEngineMismatchError,
 )
 from .manifest import ClusterManifest, NodeSpec, manifest_path
-from .ring import DEFAULT_VNODES, HashRing
+from .ring import DEFAULT_VNODES, HashRing, OwnershipDelta, ownership_delta
+from .sync import MetricSyncReport, NodeSyncReport, SyncDriver, delta_donor
 
 __all__ = [
     "ClusterClient",
@@ -37,11 +39,18 @@ __all__ = [
     "ClusterManifest",
     "NodeSpec",
     "HashRing",
+    "OwnershipDelta",
+    "ownership_delta",
     "DEFAULT_VNODES",
+    "SyncDriver",
+    "MetricSyncReport",
+    "NodeSyncReport",
+    "delta_donor",
     "merge_tagged",
     "manifest_path",
     "ClusterError",
     "ClusterConfigError",
+    "ClusterSyncError",
     "NodeUnavailableError",
     "ReplicaEngineMismatchError",
 ]

@@ -123,9 +123,12 @@ class ClusterClient:
         endpoint_overrides: Optional[Dict[str, Tuple[str, int]]] = None,
         **client_kwargs: Any,
     ) -> None:
+        self.manifest_source: Optional[str] = None
         if isinstance(manifest, str):
+            self.manifest_source = manifest
             manifest = ClusterManifest.load(manifest)
         self.manifest = manifest
+        self._replication_override = replication
         self.replication = (
             manifest.replication if replication is None else replication
         )
@@ -149,6 +152,75 @@ class ClusterClient:
             int.from_bytes(os.urandom(4), "little") or 1
         ) << 32
         self._token_counter = 0
+
+    # -- topology refresh --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.manifest.epoch
+
+    def reload_manifest(self) -> bool:
+        """Re-read ``cluster.json`` and adopt any topology change.
+
+        Returns ``True`` when the view actually changed (epoch bump,
+        membership, endpoint or status change).  Connections to nodes
+        whose endpoint moved (a restarted node binds a fresh ephemeral
+        port) are closed so the next call redials; the down-set is
+        rebuilt from the manifest statuses -- ``syncing`` nodes are
+        routed around exactly like ``down`` ones until the coordinator
+        flips them ``up``.  A no-op when this client was built from an
+        in-memory manifest object (no path to re-read).
+        """
+        if self.manifest_source is None:
+            return False
+        fresh = ClusterManifest.load(self.manifest_source)
+        changed = fresh.to_dict() != self.manifest.to_dict()
+        if not changed:
+            return False
+        old_endpoints = {
+            spec.id: (spec.host, spec.port) for spec in self.manifest.nodes
+        }
+        self.manifest = fresh
+        if self._replication_override is None:
+            self.replication = fresh.replication
+        self.ring = fresh.ring()
+        self._down = {
+            spec.id for spec in fresh.nodes if spec.status != "up"
+        }
+        fresh_ids = {spec.id for spec in fresh.nodes}
+        for spec in fresh.nodes:
+            if spec.id in self.endpoint_overrides:
+                continue  # the override, not the manifest, is the truth
+            if old_endpoints.get(spec.id) != (spec.host, spec.port):
+                stale = self._clients.pop(spec.id, None)
+                if stale is not None:
+                    try:
+                        stale.close()
+                    except Exception:  # noqa: BLE001 - being replaced
+                        pass
+        for node_id in list(self._clients):
+            if node_id not in fresh_ids:
+                removed = self._clients.pop(node_id)
+                try:
+                    removed.close()
+                except Exception:  # noqa: BLE001 - node left the cluster
+                    pass
+        return True
+
+    def _with_epoch_retry(self, op: Any) -> Any:
+        """Run *op*; on total unavailability, reload the manifest once.
+
+        The retry covers the epoch-bump window: a node this client
+        marked down may have been re-synced and flipped ``up`` (possibly
+        on a new port), or the membership may have changed entirely.  A
+        reload that changes nothing re-raises immediately.
+        """
+        try:
+            return op()
+        except NodeUnavailableError:
+            if not self.reload_manifest():
+                raise
+            return op()
 
     # -- liveness + routing ------------------------------------------------
 
@@ -249,6 +321,16 @@ class ClusterClient:
         token = self._next_token()
         arr = np.asarray(values, dtype=np.float64)
         acked: Set[str] = set()
+        # the retry shares the token AND the acked set: a replica that
+        # acknowledged before the manifest reload is not resent (and the
+        # server-side dedup window would absorb it even if it were)
+        return self._with_epoch_retry(
+            lambda: self._ingest_attempt(name, arr, token, acked)
+        )
+
+    def _ingest_attempt(
+        self, name: str, arr: np.ndarray, token: int, acked: Set[str]
+    ) -> int:
         max_seq = 0
         while True:
             owners = self.owners_of(name)  # raises when none live
@@ -316,7 +398,17 @@ class ClusterClient:
     # -- failover reads ----------------------------------------------------
 
     def _read_failover(self, name: str, op: Any) -> Any:
-        """Run *op* against the metric's owners, senior first."""
+        """Run *op* against the metric's owners, senior first.
+
+        Exhausting every replica triggers one manifest reload (a
+        re-synced node may have rejoined on a new port) before the
+        :class:`NodeUnavailableError` stands.
+        """
+        return self._with_epoch_retry(
+            lambda: self._read_failover_once(name, op)
+        )
+
+    def _read_failover_once(self, name: str, op: Any) -> Any:
         last_exc: Optional[Exception] = None
         for node_id in self.owners_of(name):
             try:
@@ -361,17 +453,22 @@ class ClusterClient:
         double-count every element).  Use for verification: engine
         agreement, replica divergence checks, picking the senior copy.
         """
-        out: List[Tuple[str, bytes]] = []
-        for node_id in self.owners_of(name):
-            try:
-                out.append((node_id, self.node_client(node_id).fetch_raw(name)))
-            except _TRANSPORT_ERRORS:
-                self.mark_down(node_id)
-        if not out:
-            raise NodeUnavailableError(
-                f"every replica of {name!r} is unreachable"
-            )
-        return out
+        def attempt() -> List[Tuple[str, bytes]]:
+            out: List[Tuple[str, bytes]] = []
+            for node_id in self.owners_of(name):
+                try:
+                    out.append(
+                        (node_id, self.node_client(node_id).fetch_raw(name))
+                    )
+                except _TRANSPORT_ERRORS:
+                    self.mark_down(node_id)
+            if not out:
+                raise NodeUnavailableError(
+                    f"every replica of {name!r} is unreachable"
+                )
+            return out
+
+        return self._with_epoch_retry(attempt)
 
     def check_replicas(self, name: str) -> List[Tuple[str, str]]:
         """Engine tags per reachable replica of *name*.
@@ -410,6 +507,11 @@ class ClusterClient:
         )
 
     def _senior_payload(self, name: str) -> Tuple[str, bytes]:
+        return self._with_epoch_retry(
+            lambda: self._senior_payload_once(name)
+        )
+
+    def _senior_payload_once(self, name: str) -> Tuple[str, bytes]:
         last_exc: Optional[Exception] = None
         for node_id in self.owners_of(name):
             try:
@@ -467,7 +569,13 @@ class ClusterClient:
         return out
 
     def status(self) -> List[Dict[str, Any]]:
-        """One row per manifest node: liveness probe + PING metadata."""
+        """One row per manifest node: liveness probe + PING metadata.
+
+        Every node is probed, *including* ones marked ``down`` or
+        ``syncing`` -- a ``syncing`` node is alive and mid-recovery,
+        which an operator must be able to tell apart from a dead one
+        (routing still skips both; only this diagnostic dials them).
+        """
         rows: List[Dict[str, Any]] = []
         for spec in self.manifest.nodes:
             row: Dict[str, Any] = {
@@ -476,10 +584,6 @@ class ClusterClient:
                 "port": spec.port,
                 "manifest_status": spec.status,
             }
-            if spec.id in self._down:
-                row.update({"alive": False})
-                rows.append(row)
-                continue
             try:
                 pong = self.node_client(spec.id).ping()
             except _TRANSPORT_ERRORS:

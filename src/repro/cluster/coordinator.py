@@ -10,22 +10,30 @@ SIGTERM = graceful drain).  What the coordinator adds over that class is
 it was launched under (reported via the ``PING`` opcode), placement is a
 consistent-hash ring instead of ``crc32 % N``, and liveness is tracked.
 
-Supervision model -- deliberately *mark-down, don't restart*: a node
-that dies stays down for the life of the coordinator.  Restarting it
-in-place would resurrect a replica whose journal is missing every batch
-acknowledged by its peers since the death; serving queries from it would
-silently under-count.  Instead the death is surfaced (manifest status,
-``epoch`` bump, Prometheus gauges) and the surviving replicas keep
-serving -- re-synchronising a rejoining node is future work (see
-docs/cluster.md).  ``poll()`` performs one health sweep; pass
-``health_interval_s`` to run sweeps on a background thread.
+Supervision model -- *mark down, re-sync before rejoining*: a node that
+dies is marked ``down`` (manifest status, ``epoch`` bump, Prometheus
+gauges) and never silently restarted, because its journal is missing
+every batch its peers acknowledged since the death -- serving from it
+would under-count.  Recovery is explicit: :meth:`restart_node`
+relaunches the process, which rejoins as ``syncing`` (alive, routed
+around for reads) and is brought up to its senior donor's exact state
+by :meth:`resync_node` -- full-payload install + journal-tail catch-up
+under the donors' idempotency tokens, verified **bit-identical** before
+the flip to ``up`` (see :mod:`repro.cluster.sync`).  Planned membership
+changes go through :meth:`add_node` / :meth:`remove_node`, which
+compute the ring's ownership delta and migrate only the moved metrics
+(expected ``~R/N`` of keys) while ingest continues.  ``poll()``
+performs one health sweep; pass ``health_interval_s`` to run sweeps on
+a background thread.
 
 Observability: the coordinator publishes ``cluster.nodes_up``,
-``cluster.nodes_total``, ``cluster.epoch`` gauges and a
-``cluster.node_deaths`` counter into the process-wide
-:mod:`repro.obs` registry, so :func:`~repro.obs.exposition
-.render_prometheus` (and ``repro cluster status --prom``) exposes ring
-health next to the sketch metrics.
+``cluster.nodes_syncing``, ``cluster.nodes_total``, ``cluster.epoch``
+gauges and ``cluster.node_deaths`` / ``cluster.resyncs`` /
+``cluster.rebalance_transfers`` counters into the process-wide
+:mod:`repro.obs` registry (the sync driver adds live
+``cluster.sync_metrics_total`` / ``_done`` progress gauges), so
+:func:`~repro.obs.exposition.render_prometheus` (and ``repro cluster
+status --prom``) exposes ring health next to the sketch metrics.
 """
 
 from __future__ import annotations
@@ -41,19 +49,29 @@ from ..obs import hooks as obs_hooks
 from ..obs.exposition import render_prometheus
 from ..service.cluster import _worker_main
 from .client import ClusterClient
-from .errors import ClusterConfigError
+from .errors import ClusterConfigError, ClusterSyncError
 from .manifest import (
     MANIFEST_FILE,
     ClusterManifest,
     NodeSpec,
 )
-from .ring import DEFAULT_VNODES
+from .ring import DEFAULT_VNODES, HashRing, ownership_delta
+from .sync import NodeSyncReport, SyncDriver, delta_donor
 
 __all__ = ["ClusterCoordinator"]
 
 
 def _node_id(index: int) -> str:
     return f"node-{index}"
+
+
+def _node_index(node_id: str) -> int:
+    try:
+        return int(node_id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        raise ClusterConfigError(
+            f"node id {node_id!r} is not of the form 'node-<i>'"
+        ) from None
 
 
 class ClusterCoordinator:
@@ -99,6 +117,7 @@ class ClusterCoordinator:
         data_dir: Optional[str] = None,
         vnodes: int = DEFAULT_VNODES,
         health_interval_s: Optional[float] = None,
+        auto_resync: bool = True,
         **service_kwargs: Any,
     ) -> None:
         if nodes < 1:
@@ -114,9 +133,12 @@ class ClusterCoordinator:
         self.data_dir = data_dir
         self.vnodes = vnodes
         self.health_interval_s = health_interval_s
+        self.auto_resync = auto_resync
         self.service_kwargs = service_kwargs
         self.manifest: Optional[ClusterManifest] = None
         self.node_deaths = 0
+        self.resyncs = 0
+        self.rebalance_transfers = 0
         self._procs: Dict[str, multiprocessing.process.BaseProcess] = {}
         self._health_thread: Optional[threading.Thread] = None
         self._health_stop = threading.Event()
@@ -131,18 +153,28 @@ class ClusterCoordinator:
             return None
         return os.path.join(self.data_dir, MANIFEST_FILE)
 
-    def _prior_epoch(self) -> int:
-        """Epoch of a previous incarnation (0 if none), with the restart
-        pinned to the same topology parameters."""
+    def _prior_manifest(self) -> Optional[ClusterManifest]:
+        """The manifest of a previous incarnation, with the restart
+        pinned to the same topology parameters.
+
+        The prior manifest's node *list* wins over the constructor's
+        ``nodes`` count-derived ids: after a planned ``remove-node`` the
+        ids may be sparse (``node-0``, ``node-2``), and re-deriving them
+        from ``range(n)`` would re-route metrics away from their
+        journals.  The count must still agree, as must replication and
+        vnodes -- membership changes go through :meth:`add_node` /
+        :meth:`remove_node`, never through restart parameters.
+        """
         path = self.manifest_path
         if path is None or not os.path.exists(path):
-            return 0
+            return None
         prior = ClusterManifest.load(path)
         if len(prior.nodes) != self.n_nodes:
             raise ClusterConfigError(
                 f"{self.data_dir} was written by a {len(prior.nodes)}-node "
                 f"cluster; restarting with nodes={self.n_nodes} would "
-                f"re-route metrics away from their journals"
+                f"re-route metrics away from their journals (use "
+                f"add_node/remove_node for planned membership changes)"
             )
         if prior.replication != self.replication:
             raise ClusterConfigError(
@@ -156,7 +188,7 @@ class ClusterCoordinator:
                 f"restarting with vnodes={self.vnodes} would shift "
                 f"placement away from the journals"
             )
-        return prior.epoch
+        return prior
 
     def _save_manifest(self) -> None:
         if self.manifest is None:
@@ -167,61 +199,96 @@ class ClusterCoordinator:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _launch(
+        self, nid: str, epoch: int, ctx: Any = None
+    ) -> Tuple[Any, Any]:
+        """Spawn one node process; returns ``(proc, parent_conn)``.
+
+        The handshake (``("ready", port)`` on the pipe) is collected by
+        :meth:`_await_ready` -- split so :meth:`start` can launch every
+        node before waiting on any of them.
+        """
+        if ctx is None:
+            ctx = multiprocessing.get_context("spawn")
+        index = _node_index(nid)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            name=f"repro-{nid}",
+            args=(
+                index,
+                self.host,
+                0 if self.base_port == 0 else self.base_port + index,
+                (
+                    os.path.join(self.data_dir, nid)
+                    if self.data_dir is not None
+                    else None
+                ),
+                child_conn,
+                {
+                    **self.service_kwargs,
+                    "node_id": nid,
+                    "cluster_epoch": epoch,
+                },
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[nid] = proc
+        return proc, parent_conn
+
+    def _await_ready(
+        self, nid: str, parent_conn: Any, deadline: float
+    ) -> int:
+        """Collect one node's startup handshake; returns its bound port."""
+        budget = deadline - time.monotonic()
+        if budget <= 0 or not parent_conn.poll(max(budget, 0.0)):
+            raise StorageError(f"{nid} failed to start in time")
+        try:
+            status, value = parent_conn.recv()
+        except EOFError:
+            code = self._procs[nid].exitcode
+            raise StorageError(
+                f"{nid} died during startup (exit code {code})"
+            ) from None
+        if status != "ready":
+            raise StorageError(f"{nid} failed to start: {value}")
+        parent_conn.close()
+        return int(value)
+
     def start(self, timeout: float = 30.0) -> "ClusterCoordinator":
         if self.data_dir is not None:
             os.makedirs(self.data_dir, exist_ok=True)
-        epoch = self._prior_epoch() + 1
+        prior = self._prior_manifest()
+        epoch = (prior.epoch if prior is not None else 0) + 1
+        # the prior manifest's node list wins (ids may be sparse after a
+        # remove-node); a fresh cluster derives node-0..node-N-1
+        if prior is not None:
+            planned = [(spec.id, spec.status) for spec in prior.nodes]
+        else:
+            planned = [(_node_id(i), "up") for i in range(self.n_nodes)]
         ctx = multiprocessing.get_context("spawn")
         pending: List[Tuple[str, Any]] = []
         specs: List[NodeSpec] = []
-        for i in range(self.n_nodes):
-            nid = _node_id(i)
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_main,
-                name=f"repro-{nid}",
-                args=(
-                    i,
-                    self.host,
-                    0 if self.base_port == 0 else self.base_port + i,
-                    (
-                        os.path.join(self.data_dir, nid)
-                        if self.data_dir is not None
-                        else None
-                    ),
-                    child_conn,
-                    {
-                        **self.service_kwargs,
-                        "node_id": nid,
-                        "cluster_epoch": epoch,
-                    },
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._procs[nid] = proc
+        behind: List[str] = []
+        for nid, prior_status in planned:
+            _, parent_conn = self._launch(nid, epoch, ctx)
             pending.append((nid, parent_conn))
-            specs.append(NodeSpec(id=nid, host=self.host, port=0))
+            # a node that was down or mid-sync at shutdown restarts
+            # *behind* its peers: its journal stopped while theirs kept
+            # going.  It comes back as "syncing" and must re-sync before
+            # serving reads.
+            status = "up" if prior_status == "up" else "syncing"
+            if status != "up":
+                behind.append(nid)
+            specs.append(
+                NodeSpec(id=nid, host=self.host, port=0, status=status)
+            )
         deadline = time.monotonic() + timeout
         try:
             for (nid, parent_conn), spec in zip(pending, specs):
-                budget = deadline - time.monotonic()
-                if budget <= 0 or not parent_conn.poll(max(budget, 0.0)):
-                    raise StorageError(
-                        f"{nid} failed to start within {timeout}s"
-                    )
-                try:
-                    status, value = parent_conn.recv()
-                except EOFError:
-                    code = self._procs[nid].exitcode
-                    raise StorageError(
-                        f"{nid} died during startup (exit code {code})"
-                    ) from None
-                if status != "ready":
-                    raise StorageError(f"{nid} failed to start: {value}")
-                spec.port = int(value)
-                parent_conn.close()
+                spec.port = self._await_ready(nid, parent_conn, deadline)
         except BaseException:
             self.stop(graceful=False)
             raise
@@ -233,6 +300,9 @@ class ClusterCoordinator:
         )
         self._save_manifest()
         self._publish_obs()
+        if behind and self.auto_resync:
+            for nid in behind:
+                self.resync_node(nid)
         if self.health_interval_s:
             self._health_thread = threading.Thread(
                 target=self._health_loop,
@@ -275,6 +345,8 @@ class ClusterCoordinator:
 
     @property
     def node_ids(self) -> List[str]:
+        if self.manifest is not None:
+            return self.manifest.node_ids()
         return [_node_id(i) for i in range(self.n_nodes)]
 
     @property
@@ -320,6 +392,240 @@ class ClusterCoordinator:
             proc.join(10.0)
         return nid
 
+    # -- recovery + membership ---------------------------------------------
+
+    def _sync_driver(self, **kwargs: Any) -> SyncDriver:
+        assert self.manifest is not None, "call start() first"
+        return SyncDriver(self.manifest, **kwargs)
+
+    def restart_node(
+        self,
+        node: Union[int, str],
+        *,
+        resync: bool = True,
+        timeout: float = 30.0,
+    ) -> str:
+        """Relaunch a dead node in place, then re-sync it from its peers.
+
+        The relaunch recovers whatever the node's own journal holds --
+        which is every batch *it* acknowledged, and none of the ones its
+        replicas took while it was dead.  It therefore rejoins as
+        ``syncing`` (behind, routed around for reads) and, unless
+        ``resync=False``, is immediately brought up to donor state and
+        flipped ``up`` by :meth:`resync_node`.
+        """
+        assert self.manifest is not None, "call start() first"
+        nid = self._resolve(node)
+        spec = self.manifest.node(nid)  # raises on unknown id
+        if self.is_alive(nid):
+            raise ClusterConfigError(
+                f"{nid} is still running; kill it before restarting"
+            )
+        with self._lock:
+            self._procs.pop(nid, None)
+            _, parent_conn = self._launch(nid, self.manifest.epoch + 1)
+            spec.port = self._await_ready(
+                nid, parent_conn, time.monotonic() + timeout
+            )
+            spec.status = "syncing"
+            self.manifest.epoch += 1
+            self._save_manifest()
+            self._publish_obs()
+        if resync:
+            self.resync_node(nid)
+        return nid
+
+    def resync_node(
+        self,
+        node: Union[int, str],
+        *,
+        max_rounds: int = 64,
+        closing_pass: bool = True,
+    ) -> NodeSyncReport:
+        """Supervised re-sync: stream state from donors, verify, flip up.
+
+        Marks the node ``syncing`` (one epoch bump), runs the
+        :class:`~repro.cluster.sync.SyncDriver` until every owned metric
+        verifies bit-identical against its senior donor, then marks the
+        node ``up`` (second epoch bump).  With ``closing_pass`` (the
+        default) one more non-verifying pass runs *after* the flip to
+        absorb any batches that clients routed to the donors alone while
+        their manifest view was stale -- the tail records carry the
+        donors' idempotency tokens, so the pass is exactly-once no
+        matter how it interleaves with direct writes.
+        """
+        assert self.manifest is not None, "call start() first"
+        nid = self._resolve(node)
+        if not self.is_alive(nid):
+            raise ClusterSyncError(
+                f"cannot re-sync {nid}: the node is not running "
+                f"(restart_node relaunches it first)"
+            )
+        with self._lock:
+            if self.manifest.mark(nid, "syncing"):
+                self.manifest.epoch += 1
+                self._save_manifest()
+            self._publish_obs()
+        ring = self.manifest.ring()
+        live = set(self.manifest.live_ids())
+        with self._sync_driver(max_rounds=max_rounds) as driver:
+            report = driver.resync_node(
+                nid,
+                ring=ring,
+                replication=self.replication,
+                live=live,
+                require_identity=True,
+            )
+            with self._lock:
+                self.manifest.mark(nid, "up")
+                self.manifest.epoch += 1
+                self.resyncs += 1
+                self._save_manifest()
+                self._publish_obs()
+            if closing_pass and report.synced:
+                driver.resync_node(
+                    nid,
+                    ring=ring,
+                    replication=self.replication,
+                    live=live,
+                    metrics=[m.name for m in report.synced],
+                    require_identity=False,
+                )
+        return report
+
+    def add_node(self, *, timeout: float = 30.0) -> str:
+        """Grow the cluster by one node, migrating only the moved keys.
+
+        Launches ``node-<max index + 1>``, joins it to the manifest as
+        ``syncing`` (its ring points shift placement immediately, but
+        reads route around it), computes the ownership delta against the
+        pre-join ring, and streams exactly the gained metrics -- the
+        ring's minimal-movement guarantee, expected ``~R/N`` of keys --
+        from their senior pre-join owners.  Every other metric gets its
+        definition only (the CREATE broadcast invariant).  The node
+        flips ``up`` once every transfer verifies bit-identical, and a
+        closing pass absorbs writes from stale-manifest clients.
+        Returns the new node id.
+        """
+        assert self.manifest is not None, "call start() first"
+        with self._lock:
+            nid = _node_id(
+                max(_node_index(s.id) for s in self.manifest.nodes) + 1
+            )
+            ring_before = self.manifest.ring()
+            live = set(self.manifest.live_ids())
+            _, parent_conn = self._launch(nid, self.manifest.epoch + 1)
+            port = self._await_ready(
+                nid, parent_conn, time.monotonic() + timeout
+            )
+            self.manifest.nodes.append(
+                NodeSpec(id=nid, host=self.host, port=port, status="syncing")
+            )
+            self.n_nodes += 1
+            self.manifest.epoch += 1
+            self._save_manifest()
+            self._publish_obs()
+        ring_after = self.manifest.ring()
+        with self._sync_driver() as driver:
+            names = driver.metric_names(sorted(live))
+            delta = ownership_delta(
+                ring_before, ring_after, names, self.replication
+            )
+            moved: set = set()
+            for key, gainer in delta.transfers():
+                donor = delta_donor(
+                    key, gainer, ring_before, self.replication, live
+                )
+                driver.sync_metric(key, donor, gainer)
+                if gainer == nid:
+                    moved.add(key)
+            for name in names:
+                if name not in moved and live:
+                    driver.define_metric(name, sorted(live)[0], nid)
+            with self._lock:
+                self.manifest.mark(nid, "up")
+                self.manifest.epoch += 1
+                self.rebalance_transfers += len(delta.moved)
+                self._save_manifest()
+                self._publish_obs()
+            if moved:
+                driver.resync_node(
+                    nid,
+                    ring=ring_after,
+                    replication=self.replication,
+                    live=live,
+                    metrics=sorted(moved),
+                    require_identity=False,
+                )
+        return nid
+
+    def remove_node(
+        self, node: Union[int, str], *, timeout: float = 30.0
+    ) -> List[str]:
+        """Shrink the cluster by one node, migrating only the moved keys.
+
+        Streams each metric the leaving node exclusively anchors to its
+        post-removal owner (the leaving node itself donates when it is
+        the senior copy -- it stays up throughout the migration), then
+        removes it from the manifest, runs a closing pass from the
+        leaving node to absorb stale-manifest writes, and only then
+        terminates the process gracefully.  Returns the migrated metric
+        names.
+        """
+        assert self.manifest is not None, "call start() first"
+        nid = self._resolve(node)
+        spec = self.manifest.node(nid)  # raises on unknown id
+        if len(self.manifest.nodes) - 1 < self.replication:
+            raise ClusterConfigError(
+                f"removing {nid} would leave "
+                f"{len(self.manifest.nodes) - 1} node(s), fewer than "
+                f"replication={self.replication}"
+            )
+        ring_before = self.manifest.ring()
+        surviving = [s.id for s in self.manifest.nodes if s.id != nid]
+        ring_after = HashRing(surviving, vnodes=self.vnodes)
+        live = set(self.manifest.live_ids())
+        with self._sync_driver() as driver:
+            names = driver.metric_names(sorted(live)) if live else []
+            delta = ownership_delta(
+                ring_before, ring_after, names, self.replication
+            )
+            transfers = delta.transfers()
+            for key, gainer in transfers:
+                donor = delta_donor(
+                    key, gainer, ring_before, self.replication, live
+                )
+                driver.sync_metric(key, donor, gainer)
+            if spec.status == "up" and self.is_alive(nid):
+                # cache the leaving node's connection now: its manifest
+                # entry disappears below, but the closing pass still
+                # drains its journal
+                driver.client(nid)
+            with self._lock:
+                self.manifest.nodes.remove(spec)
+                self.n_nodes -= 1
+                self.manifest.epoch += 1
+                self.rebalance_transfers += len(delta.moved)
+                self._save_manifest()
+                self._publish_obs()
+            # closing pass: batches that stale-manifest clients routed
+            # to the leaving node after the verified transfer still sit
+            # only in its journal -- drain them to the gainers before
+            # the process goes away (donor tokens keep it exactly-once)
+            if spec.status == "up" and self.is_alive(nid):
+                for key, gainer in transfers:
+                    driver.sync_metric(
+                        key, nid, gainer, require_identity=False
+                    )
+        proc = self._procs.pop(nid, None)
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout)
+            if proc.is_alive():  # pragma: no cover - drain overran
+                proc.kill()
+                proc.join(5.0)
+        return [key for key, _ in transfers]
+
     def poll(self) -> List[str]:
         """One health sweep; returns ids of *newly* dead nodes.
 
@@ -333,7 +639,9 @@ class ClusterCoordinator:
         with self._lock:
             newly_dead: List[str] = []
             for spec in self.manifest.nodes:
-                if spec.status == "up" and not self.is_alive(spec.id):
+                if spec.status in ("up", "syncing") and not self.is_alive(
+                    spec.id
+                ):
                     self.manifest.mark(spec.id, "down")
                     newly_dead.append(spec.id)
             if newly_dead:
@@ -356,14 +664,22 @@ class ClusterCoordinator:
     def _publish_obs(self) -> None:
         reg = obs_hooks.registry()
         n_up = len(self.manifest.live_ids()) if self.manifest else 0
+        n_syncing = len(self.manifest.syncing_ids()) if self.manifest else 0
+        n_total = len(self.manifest.nodes) if self.manifest else self.n_nodes
         reg.gauge("cluster.nodes_up").set(n_up)
-        reg.gauge("cluster.nodes_total").set(self.n_nodes)
+        reg.gauge("cluster.nodes_syncing").set(n_syncing)
+        reg.gauge("cluster.nodes_total").set(n_total)
         reg.gauge("cluster.replication").set(self.replication)
         reg.gauge("cluster.epoch").set(self.epoch)
-        deaths = reg.counter("cluster.node_deaths")
-        behind = self.node_deaths - int(deaths.get())
-        if behind > 0:
-            deaths.inc(behind)
+        for name, value in (
+            ("cluster.node_deaths", self.node_deaths),
+            ("cluster.resyncs", self.resyncs),
+            ("cluster.rebalance_transfers", self.rebalance_transfers),
+        ):
+            counter = reg.counter(name)
+            behind = value - int(counter.get())
+            if behind > 0:
+                counter.inc(behind)
 
     def prometheus(self) -> str:
         """Ring health (+ whatever else the process collected) in

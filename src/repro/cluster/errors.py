@@ -23,6 +23,7 @@ from ..core.errors import EngineMismatchError, ReproError
 __all__ = [
     "ClusterError",
     "ClusterConfigError",
+    "ClusterSyncError",
     "NodeUnavailableError",
     "ReplicaEngineMismatchError",
 ]
@@ -34,6 +35,12 @@ class ClusterError(ReproError):
 
 class ClusterConfigError(ClusterError, ValueError):
     """Invalid cluster topology, manifest or restart parameters."""
+
+
+class ClusterSyncError(ClusterError):
+    """A node re-sync failed: no donor, divergent state after catch-up,
+    or the round limit was reached before the target converged on a
+    bit-identical copy of the donor."""
 
 
 class NodeUnavailableError(ClusterError, ConnectionError):

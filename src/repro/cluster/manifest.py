@@ -46,7 +46,12 @@ __all__ = ["NodeSpec", "ClusterManifest", "MANIFEST_VERSION", "MANIFEST_FILE"]
 MANIFEST_VERSION = 1
 MANIFEST_FILE = "cluster.json"
 
-_STATUSES = ("up", "down")
+#: node lifecycle: ``up`` serves reads and writes; ``down`` is dead and
+#: routed around; ``syncing`` is alive but catching up from a donor --
+#: it receives broadcast writes (so it does not fall further behind) but
+#: is excluded from the read/query live set until its state verifies
+#: bit-identical and the coordinator flips it to ``up``
+_STATUSES = ("up", "down", "syncing")
 
 
 @dataclass
@@ -137,6 +142,9 @@ class ClusterManifest:
 
     def live_ids(self) -> List[str]:
         return [n.id for n in self.nodes if n.status == "up"]
+
+    def syncing_ids(self) -> List[str]:
+        return [n.id for n in self.nodes if n.status == "syncing"]
 
     def ring(self) -> HashRing:
         """The placement ring over *all* nodes (liveness filters later)."""

@@ -34,9 +34,11 @@ import bisect
 import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from dataclasses import dataclass, field
+
 from .errors import ClusterConfigError
 
-__all__ = ["HashRing", "DEFAULT_VNODES"]
+__all__ = ["HashRing", "OwnershipDelta", "ownership_delta", "DEFAULT_VNODES"]
 
 #: virtual points per node; 64 keeps the max/mean key-load imbalance in
 #: the few-percent range for small clusters while the ring stays tiny
@@ -157,3 +159,68 @@ class HashRing:
             if node is not None:
                 counts[node] += 1
         return counts
+
+
+@dataclass
+class OwnershipDelta:
+    """Per-key ownership movement between two ring layouts.
+
+    ``gains[node]`` lists the keys *node* owns after but not before (it
+    must acquire their state); ``losses[node]`` the keys it owned before
+    but not after (it may drop them once the gainers are live).
+    ``moved`` is every key whose owner set changed at all, and
+    ``moved_fraction`` is ``len(moved) / len(keys)`` -- the quantity the
+    ring's minimal-movement property bounds at roughly ``r/N`` for a
+    single join or leave.
+    """
+
+    gains: Dict[str, List[str]] = field(default_factory=dict)
+    losses: Dict[str, List[str]] = field(default_factory=dict)
+    moved: List[str] = field(default_factory=list)
+    moved_fraction: float = 0.0
+
+    def transfers(self) -> List[Tuple[str, str]]:
+        """Flat ``(key, gaining_node)`` pairs, deterministic order."""
+        out: List[Tuple[str, str]] = []
+        for node in sorted(self.gains):
+            for key in self.gains[node]:
+                out.append((key, node))
+        return out
+
+
+def ownership_delta(
+    before: HashRing,
+    after: HashRing,
+    keys: Sequence[str],
+    r: int = 1,
+) -> OwnershipDelta:
+    """Which of *keys* change owners between two ring layouts.
+
+    Both rings are walked with the same replication factor *r* and no
+    liveness filter -- the delta describes *placement*, i.e. where state
+    must live once every member is healthy.  Only the keys whose walk
+    actually crossed an added/removed node's points appear; for a single
+    membership change that is the ring's minimal-movement guarantee
+    (expected ``~r/N`` of keys), and callers migrate exactly
+    ``transfers()`` instead of resending the world.
+    """
+    delta = OwnershipDelta()
+    for key in keys:
+        old = before.owners(key, r)
+        new = after.owners(key, r)
+        if old == new:
+            continue
+        old_set, new_set = set(old), set(new)
+        gained = [n for n in new if n not in old_set]
+        lost = [n for n in old if n not in new_set]
+        if not gained and not lost:
+            continue  # same set, different order: nothing to move
+        delta.moved.append(key)
+        for node in gained:
+            delta.gains.setdefault(node, []).append(key)
+        for node in lost:
+            delta.losses.setdefault(node, []).append(key)
+    delta.moved_fraction = (
+        len(delta.moved) / len(keys) if len(keys) else 0.0
+    )
+    return delta

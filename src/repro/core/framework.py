@@ -426,17 +426,17 @@ class QuantileFramework:
     def _snapshot_buffers(self) -> List[Buffer]:
         """Current full buffers plus (if needed) the staged tail as a buffer.
 
-        Mutates only when every slot is full *and* a tail exists: the tail
-        is then placed as a real buffer after policy collapses make room.
+        Never mutates: the tail rides along as a temporary weight-1
+        buffer even when every slot is full, so reads commute with
+        serialization -- two replicas of the same stream stay
+        bit-identical no matter which of them served the queries.
+        Only :meth:`finish` (the terminal OUTPUT) places the tail for
+        real.
         """
         self._flush_scalars()
         tail = self._remainder
         has_tail = tail is not None and len(tail) > 0
         if not has_tail:
-            return list(self._full)
-        if len(self._full) >= self.b:
-            self._place_values(tail)
-            self._remainder = tail[:0]
             return list(self._full)
         level = self.policy.level_for_new(self._full, self.b)
         temp = Buffer.from_values(tail, self.k, level=level)

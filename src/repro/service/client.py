@@ -602,6 +602,57 @@ class QuantileClient:
     def fetch_raw(self, name: str) -> bytes:
         return self._call(Request(opcode=Opcode.FETCH, name=name))["payload"]
 
+    def sync_pull(self, name: str, after_seq: int = 0) -> Dict[str, Any]:
+        """One donor round of the cluster re-sync protocol.
+
+        Returns one atomic view of the metric on this server: its
+        configuration (``kind``/``epsilon``/``n``/``policy``/``engine``),
+        the current full serialized ``payload``, the journal ``seq`` the
+        payload reflects, and ``records`` -- the ``(seq, token, values)``
+        INGEST tail after ``after_seq``.  ``rebase=True`` means the tail
+        could not be produced (rotation or an intervening RESTORE): start
+        over from the full payload.
+        """
+        return self._call(
+            Request(
+                opcode=Opcode.SYNCPULL, name=name, after_seq=int(after_seq)
+            )
+        )
+
+    def restore(
+        self,
+        name: str,
+        *,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        engine: str,
+        payload: bytes,
+        token: int = 0,
+    ) -> Tuple[bool, int]:
+        """Install a metric's full state from a donor payload.
+
+        The receiving half of re-sync: the payload (a donor's
+        :meth:`fetch_raw` / :meth:`sync_pull` bytes) replaces whatever
+        this server holds under *name*, journaled as one RESTORE record.
+        Returns ``(replaced, seq)``.
+        """
+        body = self._call(
+            Request(
+                opcode=Opcode.RESTORE,
+                name=name,
+                kind=kind,
+                epsilon=epsilon,
+                n=n,
+                policy=policy,
+                engine=engine,
+                payload=payload,
+                token=token,
+            )
+        )
+        return bool(body["replaced"]), int(body["seq"])
+
     def snapshot(self) -> Tuple[int, str]:
         """Force a snapshot; returns ``(seq, path)``."""
         body = self._call(Request(opcode=Opcode.SNAPSHOT))

@@ -20,6 +20,16 @@ File layout (little-endian)::
                       | u64 n (0 = unset) | policy (u16 len + utf8)
                       | [u8 engine]  (optional trailing; absent = paper)
     type 2 = INGEST:  name (u16 len + utf8) | u32 count | count * f64
+    type 3 = RESTORE: name (u16 len + utf8) | u8 kind | f64 epsilon
+                      | u64 n (0 = unset) | policy (u16 len + utf8)
+                      | u8 engine | u32 payload_len | payload
+
+A RESTORE record carries the complete serialised engine payload a
+re-sync installed (see the cluster recovery protocol): on replay it
+*replaces* the metric's sketch wholesale, so stale pre-crash INGEST
+records earlier in the journal are subsumed, and tail INGESTs after it
+re-apply on top -- the replayed state is bit-identical to the synced
+one.
 
 ``token`` is the client-supplied idempotency token the mutation arrived
 with (0 when the client sent none).  Recovery replays it into the
@@ -56,6 +66,7 @@ __all__ = [
     "read_journal",
     "CREATE_RECORD",
     "INGEST_RECORD",
+    "RESTORE_RECORD",
 ]
 
 _MAGIC = b"MRLJRN01"
@@ -70,6 +81,7 @@ _F64 = struct.Struct("<d")
 
 CREATE_RECORD = 1
 INGEST_RECORD = 2
+RESTORE_RECORD = 3
 
 #: guard against a corrupt length field allocating unbounded memory
 _MAX_RECORD_BYTES = 256 * 1024 * 1024
@@ -89,6 +101,8 @@ class JournalRecord:
     policy: str = "new"
     # INGEST field
     values: Optional[np.ndarray] = None
+    # RESTORE field: the full serialised engine payload installed
+    payload: bytes = b""
     #: idempotency token the mutation carried (0 = none)
     token: int = 0
     #: CREATE sketch engine (encoded as an optional trailing byte, so
@@ -126,6 +140,29 @@ def _encode_create(
     if engine != "paper":
         body += bytes([_ENGINE_IDS[engine]])
     return body
+
+
+def _encode_restore(
+    name: str,
+    kind: str,
+    epsilon: float,
+    n: Optional[int],
+    policy: str,
+    engine: str,
+    payload: bytes,
+) -> bytes:
+    from .protocol import _ENGINE_IDS, _KIND_IDS, _pack_str
+
+    return (
+        _pack_str(name)
+        + bytes([_KIND_IDS[kind]])
+        + _F64.pack(epsilon)
+        + _U64.pack(0 if n is None else int(n))
+        + _pack_str(policy)
+        + bytes([_ENGINE_IDS[engine]])
+        + _U32.pack(len(payload))
+        + payload
+    )
 
 
 def _ingest_body_parts(
@@ -185,6 +222,31 @@ def _decode_body(body: bytes) -> JournalRecord:
         values = r.f64_array(count, "values")
         rec = JournalRecord(
             seq=seq, type=rtype, name=name, values=values, token=token
+        )
+    elif rtype == RESTORE_RECORD:
+        name = r.string("metric name")
+        kind_id = r.u8("metric kind")
+        if kind_id not in _KIND_NAMES:
+            raise StorageError(f"unknown metric kind id {kind_id}")
+        epsilon = r.f64("epsilon")
+        n = r.u64("n")
+        policy = r.string("policy")
+        engine_id = r.u8("sketch engine")
+        if engine_id not in _ENGINE_NAMES:
+            raise StorageError(f"unknown sketch engine id {engine_id}")
+        size = r.u32("payload size")
+        payload = bytes(r.take(size, "restore payload"))
+        rec = JournalRecord(
+            seq=seq,
+            type=rtype,
+            name=name,
+            kind=_KIND_NAMES[kind_id],
+            epsilon=epsilon,
+            n=None if n == 0 else n,
+            policy=policy,
+            payload=payload,
+            token=token,
+            engine=_ENGINE_NAMES[engine_id],
         )
     else:
         raise StorageError(f"unknown journal record type {rtype}")
@@ -290,6 +352,25 @@ class IngestJournal:
         self._seq += 1
         prefix = _SEQ_TYPE.pack(self._seq, INGEST_RECORD, token)
         self._append_parts(_ingest_body_parts(prefix, name, values))
+        return self._seq
+
+    def append_restore(
+        self,
+        name: str,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        engine: str,
+        payload: bytes,
+        token: int = 0,
+    ) -> int:
+        """Record a full-state install (re-sync); returns its sequence."""
+        self._seq += 1
+        body = _SEQ_TYPE.pack(
+            self._seq, RESTORE_RECORD, token
+        ) + _encode_restore(name, kind, epsilon, n, policy, engine, payload)
+        self._append(body)
         return self._seq
 
     # -- lifecycle ---------------------------------------------------------

@@ -88,10 +88,13 @@ class Opcode:
     DRAIN = 8
     STATS = 9
     PING = 10
+    SYNCPULL = 11
+    RESTORE = 12
 
     _NAMES = {
         1: "CREATE", 2: "INGEST", 3: "QUERY", 4: "CDF", 5: "LIST",
         6: "FETCH", 7: "SNAPSHOT", 8: "DRAIN", 9: "STATS", 10: "PING",
+        11: "SYNCPULL", 12: "RESTORE",
     }
 
 
@@ -99,7 +102,7 @@ class Opcode:
 #: retry after a lost ack is applied exactly once (see the registry's
 #: dedup window)
 MUTATING_OPCODES = frozenset(
-    {Opcode.CREATE, Opcode.INGEST, Opcode.SNAPSHOT}
+    {Opcode.CREATE, Opcode.INGEST, Opcode.SNAPSHOT, Opcode.RESTORE}
 )
 
 
@@ -141,6 +144,12 @@ class Request:
     #: exposition).  Encoded as an optional trailing byte so old clients
     #: and old servers interoperate unchanged.
     detail: int = 0
+    #: SYNCPULL: journal sequence the caller has already applied; the
+    #: donor answers with the tail of records after it (0 = first round,
+    #: full payload only)
+    after_seq: int = 0
+    #: RESTORE: the full serialised engine payload to install
+    payload: bytes = b""
 
 
 # -- primitive writers/readers ------------------------------------------------
@@ -258,6 +267,25 @@ def encode_request(req: Request) -> bytes:
         out.append(_F64.pack(req.value))
     elif op == Opcode.FETCH:
         out.append(_pack_str(req.name))
+    elif op == Opcode.SYNCPULL:
+        out.append(_pack_str(req.name))
+        out.append(_U64.pack(req.after_seq))
+    elif op == Opcode.RESTORE:
+        if req.kind not in _KIND_IDS:
+            raise ConfigurationError(f"unknown metric kind {req.kind!r}")
+        if req.engine not in _ENGINE_IDS:
+            raise ConfigurationError(
+                f"unknown sketch engine {req.engine!r}"
+            )
+        out.append(_pack_str(req.name))
+        out.append(_U64.pack(req.token))
+        out.append(bytes([_KIND_IDS[req.kind]]))
+        out.append(_F64.pack(req.epsilon))
+        out.append(_U64.pack(0 if req.n is None else int(req.n)))
+        out.append(_pack_str(req.policy))
+        out.append(bytes([_ENGINE_IDS[req.engine]]))
+        out.append(_U32.pack(len(req.payload)))
+        out.append(req.payload)
     elif op == Opcode.SNAPSHOT:
         out.append(_U64.pack(req.token))
     elif op == Opcode.STATS:
@@ -368,6 +396,26 @@ def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
         req.value = r.f64("value")
     elif op == Opcode.FETCH:
         req.name = r.string("metric name")
+    elif op == Opcode.SYNCPULL:
+        req.name = r.string("metric name")
+        req.after_seq = r.u64("after seq")
+    elif op == Opcode.RESTORE:
+        req.name = r.string("metric name")
+        req.token = r.u64("idempotency token")
+        kind_id = r.u8("metric kind")
+        if kind_id not in _KIND_NAMES:
+            raise StorageError(f"unknown metric kind id {kind_id}")
+        req.kind = _KIND_NAMES[kind_id]
+        req.epsilon = r.f64("epsilon")
+        n = r.u64("n")
+        req.n = None if n == 0 else n
+        req.policy = r.string("policy")
+        engine_id = r.u8("sketch engine")
+        if engine_id not in _ENGINE_NAMES:
+            raise StorageError(f"unknown sketch engine id {engine_id}")
+        req.engine = _ENGINE_NAMES[engine_id]
+        size = r.u32("payload size")
+        req.payload = bytes(r.take(size, "restore payload"))
     elif op == Opcode.SNAPSHOT:
         req.token = r.u64("idempotency token")
     elif op == Opcode.STATS:
@@ -421,6 +469,30 @@ def encode_ok(opcode: int, body: Dict[str, Any]) -> bytes:
         payload: bytes = body["payload"]
         out.append(_U32.pack(len(payload)))
         out.append(payload)
+    elif opcode == Opcode.SYNCPULL:
+        # one atomic view of the donor: config + full payload + the
+        # journal tail after the caller's seq, all mutually consistent
+        out.append(bytes([1 if body["rebase"] else 0]))
+        out.append(bytes([_KIND_IDS[body["kind"]]]))
+        out.append(_F64.pack(body["epsilon"]))
+        out.append(_U64.pack(0 if body["n"] is None else int(body["n"])))
+        out.append(_pack_str(body["policy"]))
+        out.append(bytes([_ENGINE_IDS[body["engine"]]]))
+        out.append(_U64.pack(body["seq"]))
+        sync_payload: bytes = body["payload"]
+        out.append(_U32.pack(len(sync_payload)))
+        out.append(sync_payload)
+        records = body["records"]
+        out.append(_U32.pack(len(records)))
+        for seq, token, values in records:
+            arr = np.ascontiguousarray(values, dtype="<f8")
+            out.append(_U64.pack(seq))
+            out.append(_U64.pack(token))
+            out.append(_U32.pack(arr.size))
+            out.append(arr.tobytes())
+    elif opcode == Opcode.RESTORE:
+        out.append(bytes([1 if body["replaced"] else 0]))
+        out.append(_U64.pack(body["seq"]))
     elif opcode == Opcode.SNAPSHOT:
         out.append(_U64.pack(body["seq"]))
         out.append(_pack_str(body["path"]))
@@ -493,6 +565,36 @@ def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
     elif opcode == Opcode.FETCH:
         size = r.u32("payload size")
         body["payload"] = r.take(size, "sketch payload")
+    elif opcode == Opcode.SYNCPULL:
+        body["rebase"] = bool(r.u8("rebase flag"))
+        kind_id = r.u8("metric kind")
+        if kind_id not in _KIND_NAMES:
+            raise StorageError(f"unknown metric kind id {kind_id}")
+        body["kind"] = _KIND_NAMES[kind_id]
+        body["epsilon"] = r.f64("epsilon")
+        n = r.u64("n")
+        body["n"] = None if n == 0 else n
+        body["policy"] = r.string("policy")
+        engine_id = r.u8("sketch engine")
+        if engine_id not in _ENGINE_NAMES:
+            raise StorageError(f"unknown sketch engine id {engine_id}")
+        body["engine"] = _ENGINE_NAMES[engine_id]
+        body["seq"] = r.u64("seq")
+        size = r.u32("payload size")
+        body["payload"] = bytes(r.take(size, "sketch payload"))
+        n_records = r.u32("record count")
+        records = []
+        for _ in range(n_records):
+            rec_seq = r.u64("record seq")
+            rec_token = r.u64("record token")
+            count = r.u32("record value count")
+            records.append(
+                (rec_seq, rec_token, r.f64_array(count, "record values"))
+            )
+        body["records"] = records
+    elif opcode == Opcode.RESTORE:
+        body["replaced"] = bool(r.u8("replaced flag"))
+        body["seq"] = r.u64("seq")
     elif opcode == Opcode.SNAPSHOT:
         body["seq"] = r.u64("seq")
         body["path"] = r.string("path")

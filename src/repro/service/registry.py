@@ -326,6 +326,68 @@ class SketchRegistry:
             True,
         )
 
+    def install_serialized(
+        self,
+        name: str,
+        *,
+        kind: str,
+        epsilon: float,
+        n: Optional[int],
+        policy: str,
+        engine: str,
+        payload: bytes,
+    ) -> bool:
+        """Install a metric's complete state from its engine wire payload.
+
+        The replace-or-create half of the cluster re-sync protocol (the
+        ``RESTORE`` opcode and its journal record): the payload -- as
+        produced by :meth:`fetch_serialized` on the donor -- becomes the
+        metric's sketch wholesale, under the given configuration.  An
+        existing metric of the same name is *replaced* (its old bank row
+        is orphaned until the next restart re-adopts a clean registry --
+        bounded by the handful of restores a sync performs, and tens of
+        kilobytes each).  Returns ``True`` when an existing metric was
+        replaced, ``False`` when the name was new here.
+
+        The payload's magic must agree with *engine* -- a donor whose
+        config and bytes disagree is corrupt and must not be installed.
+        Adaptive paper metrics have no exchange format and are refused,
+        same as :meth:`fetch_serialized`.
+        """
+        from ..core.engines import engine_of
+
+        if not name or "\n" in name:
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        if kind not in _KINDS:
+            raise ConfigurationError(
+                f"metric kind must be one of {_KINDS}, got {kind!r}"
+            )
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"metric engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        if kind != "fixed":
+            raise ConfigurationError(
+                f"metric {name!r} is adaptive; only fixed-N metrics "
+                "have an exchange format to restore from"
+            )
+        actual = engine_of(payload)
+        if actual != engine:
+            raise ConfigurationError(
+                f"restore of {name!r} declares engine {engine!r} but the "
+                f"payload is {actual!r}; refusing a corrupt install"
+            )
+        sketch: Sketch
+        if engine == "kll":
+            sketch = KLLSketch.from_bytes(payload)
+        elif engine == "frugal":
+            sketch = FrugalSketch.from_bytes(payload)
+        else:
+            sketch = serialize.loads(payload)
+        replaced = self._metrics.pop(name, None) is not None
+        self._register(name, kind, epsilon, n, policy, sketch, engine)
+        return replaced
+
     def register_restored(
         self,
         name: str,

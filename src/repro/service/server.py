@@ -73,6 +73,7 @@ from . import protocol
 from .journal import (
     CREATE_RECORD,
     INGEST_RECORD,
+    RESTORE_RECORD,
     IngestJournal,
     read_journal,
 )
@@ -229,6 +230,22 @@ class QuantileService:
                     self.registry.dedup.record(
                         rec.token,
                         {"seq": rec.seq, "count": int(rec.values.size)},
+                    )
+                elif rec.type == RESTORE_RECORD:
+                    # a full-state install subsumes every earlier record
+                    # for the metric: replaying them first and replacing
+                    # wholesale here reproduces the live apply order
+                    replaced = self.registry.install_serialized(
+                        rec.name,
+                        kind=rec.kind,
+                        epsilon=rec.epsilon,
+                        n=rec.n,
+                        policy=rec.policy,
+                        engine=rec.engine,
+                        payload=rec.payload,
+                    )
+                    self.registry.dedup.record(
+                        rec.token, {"replaced": replaced, "seq": rec.seq}
                     )
                 replayed += 1
         self.metrics.recovered_records = replayed
@@ -536,6 +553,10 @@ class QuantileService:
         if op == protocol.Opcode.FETCH:
             self.registry.apply_shard(self.registry.get(req.name).shard)
             return {"payload": self.registry.fetch_serialized(req.name)}
+        if op == protocol.Opcode.SYNCPULL:
+            return self._do_syncpull(req)
+        if op == protocol.Opcode.RESTORE:
+            return self._do_restore(req)
         if op == protocol.Opcode.SNAPSHOT:
             if self.journal is None:
                 raise StorageError(
@@ -571,6 +592,94 @@ class QuantileService:
                 "elements": self.metrics.ingest_elements,
             }
         raise StorageError(f"unknown opcode {op}")
+
+    def _do_syncpull(self, req: protocol.Request) -> Dict[str, Any]:
+        """One atomic donor-side view for the re-sync protocol.
+
+        Returns the metric's configuration, its *current* full serialized
+        payload, and the journal tail of INGEST records for it after
+        ``req.after_seq`` -- all computed inside one dispatch, so they
+        are mutually consistent: applying the tail on top of the caller's
+        ``after_seq`` state must reproduce the payload bit-for-bit.
+
+        ``rebase`` is set when the tail cannot be produced (no journal,
+        rotation discarded it, or a RESTORE record sits inside it): the
+        caller must discard its partial state and install the full
+        payload instead.
+        """
+        entry = self.registry.get(req.name)
+        self.registry.apply_shard(entry.shard)
+        payload = self.registry.fetch_serialized(req.name)
+        seq_now = self.journal.seq if self.journal is not None else 0
+        rebase = False
+        records: List[Any] = []
+        if req.after_seq:
+            journal_path = self.journal_path
+            if (
+                self.journal is None
+                or journal_path is None
+                or not os.path.exists(journal_path)
+                or self.journal.start_seq > req.after_seq
+                or req.after_seq > seq_now
+            ):
+                rebase = True
+            else:
+                # safe mid-serve: one request runs per event-loop slot,
+                # and appends flush whole records, so the file holds a
+                # valid prefix ending at seq_now
+                scan = read_journal(journal_path)
+                for rec in scan.records:
+                    if rec.name != req.name or rec.seq <= req.after_seq:
+                        continue
+                    if rec.type == RESTORE_RECORD:
+                        # the tail is not pure deltas: this donor was
+                        # itself re-synced past the caller's position
+                        rebase = True
+                        records = []
+                        break
+                    if rec.type == INGEST_RECORD:
+                        records.append((rec.seq, rec.token, rec.values))
+        return {
+            "rebase": rebase,
+            "kind": entry.kind,
+            "epsilon": entry.epsilon,
+            "n": entry.n,
+            "policy": entry.policy,
+            "engine": entry.engine,
+            "seq": seq_now,
+            "payload": payload,
+            "records": records,
+        }
+
+    def _do_restore(self, req: protocol.Request) -> Dict[str, Any]:
+        """Install a metric's full state from a donor payload."""
+        if req.token:
+            hit = self.registry.dedup.get(req.token)
+            if hit is not None:
+                return hit
+        # flush pending batches first so the live path matches recovery
+        # replay: records journaled before this RESTORE are applied and
+        # then subsumed wholesale by the install
+        self.registry.apply_all()
+        replaced = self.registry.install_serialized(
+            req.name,
+            kind=req.kind,
+            epsilon=req.epsilon,
+            n=req.n,
+            policy=req.policy,
+            engine=req.engine,
+            payload=req.payload,
+        )
+        if self.journal is not None:
+            seq = self.journal.append_restore(
+                req.name, req.kind, req.epsilon, req.n, req.policy,
+                req.engine, req.payload, token=req.token,
+            )
+        else:
+            seq = 0
+        result = {"replaced": replaced, "seq": seq}
+        self.registry.dedup.record(req.token, result)
+        return result
 
     def _do_ingest(self, req: protocol.Request) -> Dict[str, Any]:
         assert req.values is not None

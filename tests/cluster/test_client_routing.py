@@ -9,11 +9,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterClient, ClusterCoordinator, merge_tagged
+from repro.cluster import (
+    ClusterClient,
+    ClusterCoordinator,
+    SyncDriver,
+    merge_tagged,
+)
 from repro.cluster.errors import (
     NodeUnavailableError,
     ReplicaEngineMismatchError,
 )
+from repro.core.engines import engine_of
 from repro.core.errors import EmptySummaryError, EngineMismatchError
 from repro.core.serialize import loads
 from repro.service import QuantileClient
@@ -250,6 +256,104 @@ class TestEngineMismatchSurfacing:
         client.ingest("mix/ok", np.arange(50.0))
         tagged = client.check_replicas("mix/ok")
         assert [eng for _, eng in tagged] == ["paper", "paper"]
+
+
+class TestMixedEngineResync:
+    """ISSUE-9 satellite 3: engine safety on the re-sync transfer path.
+
+    The :class:`SyncDriver` moves whole serialized summaries between
+    nodes; a transfer must carry the engine byte along unchanged and
+    refuse -- naming names -- to install across an engine disagreement,
+    whether the target already holds the metric under another engine or
+    the donor itself is corrupt (its declared config contradicts its
+    payload magic).
+    """
+
+    @pytest.mark.parametrize("engine", ["kll", "frugal"])
+    def test_transfer_preserves_engine_byte_and_bits(
+        self, coord, client, engine
+    ):
+        name = f"mixsync/{engine}"
+        client.create(name, kind="fixed", epsilon=0.02, engine=engine)
+        client.ingest(
+            name, np.random.default_rng(5).standard_normal(1500)
+        )
+        client.drain()
+        owners = client.owners_of(name)
+        bystander = next(
+            n for n in coord.node_ids if n not in owners
+        )
+        with SyncDriver(coord.manifest) as driver:
+            report = driver.sync_metric(name, owners[0], bystander)
+        assert report.verified
+        assert report.engine == engine
+        with direct(coord, owners[0]) as dc, direct(
+            coord, bystander
+        ) as bc:
+            donor_payload = dc.fetch_raw(name)
+            target_payload = bc.fetch_raw(name)
+        assert target_payload == donor_payload
+        assert engine_of(target_payload) == engine
+
+    def test_target_under_other_engine_refuses_named(self, coord, client):
+        """Out-of-band, the two owners hold 'the same' metric under
+        different engines; a sync between them must not clobber."""
+        name = "mixsync/clash"
+        owner_a, owner_b = client.owners_of(name)
+        with direct(coord, owner_a) as qc:
+            qc.create(name, kind="fixed", epsilon=0.02, n=10_000)
+            qc.ingest(name, np.arange(200.0))
+        with direct(coord, owner_b) as qc:
+            qc.create(name, kind="fixed", engine="kll")
+            qc.ingest(name, np.arange(200.0))
+        with SyncDriver(coord.manifest) as driver:
+            with pytest.raises(ReplicaEngineMismatchError) as err:
+                driver.sync_metric(name, owner_a, owner_b)
+        assert dict(err.value.tagged) == {
+            owner_a: "paper",
+            owner_b: "kll",
+        }
+        # nothing was installed: the kll copy survives untouched
+        with direct(coord, owner_b) as qc:
+            assert engine_of(qc.fetch_raw(name)) == "kll"
+
+    def test_corrupt_donor_config_vs_bytes_refuses(self, coord, client):
+        """A donor whose declared engine contradicts its payload magic
+        is corrupt; installing either interpretation would guess, so
+        the driver refuses and names the donor's config explicitly."""
+        offline = SketchRegistry()
+        offline.create("evil/m", kind="fixed", epsilon=0.02, n=10_000)
+        offline.ingest("evil/m", np.arange(300.0))
+        paper_payload = offline.fetch_serialized("evil/m")
+
+        class CorruptDonor:
+            def sync_pull(self, name, after_seq=0):
+                return {
+                    "rebase": False,
+                    "kind": "fixed",
+                    "epsilon": 0.02,
+                    "n": 10_000,
+                    "policy": "new",
+                    "engine": "kll",  # ...but the bytes say paper
+                    "seq": 1,
+                    "payload": paper_payload,
+                    "records": [],
+                }
+
+        target = coord.node_ids[0]
+        with SyncDriver(coord.manifest) as driver:
+            driver._clients["evil-donor"] = CorruptDonor()
+            with pytest.raises(ReplicaEngineMismatchError) as err:
+                driver.sync_metric("evil/m", "evil-donor", target)
+            driver._clients.pop("evil-donor")
+        assert dict(err.value.tagged) == {
+            "evil-donor(config)": "kll",
+            "evil-donor": "paper",
+        }
+        # the refusal happened before any install reached the target
+        with direct(coord, target) as qc:
+            names = [m["name"] for m in qc.list_metrics()]
+        assert "evil/m" not in names
 
 
 class TestClusterWideReads:

@@ -1,0 +1,236 @@
+"""Rebalance planning properties (ISSUE-9 satellite 2).
+
+``add_node`` / ``remove_node`` trust two pure functions to plan a
+rebalance: :func:`ownership_delta` (which keys must move) and
+:func:`delta_donor` (who streams each moved key).  Hypothesis drives
+random join/leave walks over random topologies and checks the contract
+the live cluster leans on:
+
+* only keys whose owner set actually changed ever appear in a transfer
+  plan -- the minimal-movement guarantee, also asserted statistically
+  (``<= ~2R/N`` for a single change on a fixed corpus);
+* replaying the plan against a simulated ``{node: {keys held}}`` state
+  always reproduces exactly the new placement -- no key is ever
+  unowned, under-replicated, or left as garbage on a loser;
+* every donor is a node that held the key's **full** stream before the
+  change and survives it -- never the gainer itself, never a corpse;
+* the plan is deterministic and empty for identical layouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    DEFAULT_VNODES,
+    HashRing,
+    delta_donor,
+    ownership_delta,
+)
+from repro.cluster.errors import ClusterSyncError
+
+#: a fixed metric corpus, large enough for the statistical bound
+CORPUS = [f"svc-{i}/metric-{i % 7}" for i in range(400)]
+
+replication = st.integers(min_value=1, max_value=3)
+
+node_pool = [f"node-{i}" for i in range(10)]
+
+#: a walk is a list of (op, node) membership events applied in order
+walks = st.lists(
+    st.tuples(st.sampled_from(["join", "leave"]), st.sampled_from(node_pool)),
+    min_size=1,
+    max_size=8,
+)
+
+small_keys = st.lists(
+    st.text(min_size=1, max_size=16), min_size=1, max_size=48, unique=True
+)
+
+
+def apply_event(nodes: set, op: str, node: str, r: int) -> set:
+    """The next membership, refusing to shrink below *r* nodes."""
+    out = set(nodes)
+    if op == "join":
+        out.add(node)
+    elif len(out) > r:
+        out.discard(node)
+    return out
+
+
+class TestDeltaIsMinimal:
+    @given(r=replication, walk=walks, sample=small_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_unmoved_keys_never_in_the_plan(self, r, walk, sample):
+        nodes = {f"node-{i}" for i in range(r)} | {"seed-a", "seed-b"}
+        ring = HashRing(nodes, vnodes=8)
+        for op, node in walk:
+            after_nodes = apply_event(nodes, op, node, r)
+            after = HashRing(after_nodes, vnodes=8)
+            delta = ownership_delta(ring, after, sample, r)
+            moved = set(delta.moved)
+            for key in sample:
+                if set(ring.owners(key, r)) == set(after.owners(key, r)):
+                    assert key not in moved, key
+                else:
+                    assert key in moved, key
+            nodes, ring = after_nodes, after
+
+    @given(r=replication, walk=walks, sample=small_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_plan_only_touches_the_changed_nodes_keys(self, r, walk, sample):
+        """Every gained key lists the gainer among its new owners and
+        every lost key listed the loser among its old owners."""
+        nodes = {f"node-{i}" for i in range(r)} | {"seed-a"}
+        ring = HashRing(nodes, vnodes=8)
+        for op, node in walk:
+            after_nodes = apply_event(nodes, op, node, r)
+            after = HashRing(after_nodes, vnodes=8)
+            delta = ownership_delta(ring, after, sample, r)
+            for gainer, keys in delta.gains.items():
+                for key in keys:
+                    assert gainer in after.owners(key, r)
+                    assert gainer not in ring.owners(key, r)
+            for loser, keys in delta.losses.items():
+                for key in keys:
+                    assert loser in ring.owners(key, r)
+                    assert loser not in after.owners(key, r)
+            nodes, ring = after_nodes, after
+
+    @pytest.mark.parametrize("r", [1, 2])
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_single_change_moves_about_r_over_n(self, r, n):
+        """Statistical minimal-movement bound on the fixed corpus."""
+        before = HashRing(
+            [f"node-{i}" for i in range(n)], vnodes=DEFAULT_VNODES
+        )
+        grown = HashRing(
+            [f"node-{i}" for i in range(n + 1)], vnodes=DEFAULT_VNODES
+        )
+        join = ownership_delta(before, grown, CORPUS, r)
+        leave = ownership_delta(grown, before, CORPUS, r)
+        # expected fraction is r/N; 2x headroom absorbs placement noise
+        assert join.moved_fraction <= 2.0 * r / n
+        assert leave.moved_fraction <= 2.0 * r / (n + 1)
+        # join and leave between the same two layouts move the same keys
+        assert set(join.moved) == set(leave.moved)
+
+    def test_identical_layouts_empty_plan(self):
+        a = HashRing(["x", "y", "z"], vnodes=16)
+        b = HashRing(["z", "y", "x"], vnodes=16)
+        delta = ownership_delta(a, b, CORPUS, 2)
+        assert delta.moved == []
+        assert delta.gains == {} and delta.losses == {}
+        assert delta.moved_fraction == 0.0
+        assert delta.transfers() == []
+
+    def test_transfers_are_deterministic_and_flat(self):
+        before = HashRing(["a", "b", "c"], vnodes=16)
+        after = HashRing(["a", "b", "c", "d"], vnodes=16)
+        delta = ownership_delta(before, after, CORPUS, 2)
+        plan = delta.transfers()
+        assert plan == ownership_delta(before, after, CORPUS, 2).transfers()
+        assert [g for _, g in plan] == sorted(g for _, g in plan)
+        assert len(plan) == sum(len(v) for v in delta.gains.values())
+
+
+class TestReplayReachesTheNewPlacement:
+    @given(r=replication, walk=walks, sample=small_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_holdings_track_ownership_exactly(self, r, walk, sample):
+        """Simulate the migration the coordinator performs: gainers copy
+        from their donor, losers drop.  After every step the simulated
+        holdings must equal the ring's placement -- every key held by
+        exactly ``min(r, N)`` nodes, nowhere else."""
+        nodes = {f"node-{i}" for i in range(r)} | {"seed-a", "seed-b"}
+        ring = HashRing(nodes, vnodes=8)
+        holdings = {
+            key: set(ring.owners(key, r)) for key in sample
+        }
+        for op, node in walk:
+            after_nodes = apply_event(nodes, op, node, r)
+            after = HashRing(after_nodes, vnodes=8)
+            delta = ownership_delta(ring, after, sample, r)
+            live = set(after_nodes) | set(nodes)  # migration window
+            for key, gainer in delta.transfers():
+                donor = delta_donor(key, gainer, ring, r, live)
+                # a donor held the full stream and is not the gainer
+                assert donor in holdings[key], (key, donor)
+                assert donor != gainer
+                holdings[key].add(gainer)
+            for loser, keys in delta.losses.items():
+                for key in keys:
+                    holdings[key].discard(loser)
+            for key in sample:
+                want = set(after.owners(key, r))
+                assert holdings[key] == want, (key, holdings[key], want)
+                assert len(want) == min(r, len(after_nodes))
+            nodes, ring = after_nodes, after
+
+    @given(sample=small_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_no_key_is_ever_unowned(self, sample):
+        """Even collapsing 6 nodes down to 1, every key keeps an owner."""
+        nodes = [f"node-{i}" for i in range(6)]
+        for width in range(len(nodes), 0, -1):
+            ring = HashRing(nodes[:width], vnodes=8)
+            for key in sample:
+                owners = ring.owners(key, 2)
+                assert owners, key
+                assert len(owners) == len(set(owners)) == min(2, width)
+
+
+class TestDonorSelection:
+    @given(r=st.integers(min_value=2, max_value=3), sample=small_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_donor_is_senior_surviving_prechange_owner(self, r, sample):
+        nodes = [f"node-{i}" for i in range(r + 2)]
+        before = HashRing(nodes, vnodes=8)
+        after = HashRing(nodes + ["joiner"], vnodes=8)
+        delta = ownership_delta(before, after, sample, r)
+        live = set(nodes) | {"joiner"}
+        for key, gainer in delta.transfers():
+            donor = delta_donor(key, gainer, before, r, live)
+            owners_before = before.owners(key, r)
+            assert donor in owners_before
+            assert donor != gainer
+            # senior: the first pre-change owner that is live and not
+            # the gainer itself
+            want = next(
+                n for n in owners_before if n != gainer and n in live
+            )
+            assert donor == want
+
+    def test_dead_owners_are_skipped(self):
+        before = HashRing(["a", "b", "c", "d"], vnodes=16)
+        key = next(
+            k for k in CORPUS if len(set(before.owners(k, 2))) == 2
+        )
+        owners = before.owners(key, 2)
+        live = {n for n in ["a", "b", "c", "d"] if n != owners[0]}
+        live.add("joiner")
+        donor = delta_donor(key, "joiner", before, 2, live)
+        assert donor == owners[1]
+
+    def test_no_live_donor_raises(self):
+        before = HashRing(["a", "b", "c"], vnodes=16)
+        key = CORPUS[0]
+        owners = before.owners(key, 2)
+        live = {"joiner"} | (set("abc") - set(owners))
+        with pytest.raises(ClusterSyncError, match="no live donor"):
+            delta_donor(key, "joiner", before, 2, live)
+
+    def test_gainer_never_donates_to_itself(self):
+        """Even when the gainer already appears among the pre-change
+        owners (a leave promoting a junior), the donor is someone else."""
+        before = HashRing(["a", "b", "c"], vnodes=16)
+        for key in CORPUS[:50]:
+            owners = before.owners(key, 2)
+            gainer = owners[0]
+            donor = delta_donor(
+                key, gainer, before, 2, {"a", "b", "c"}
+            )
+            assert donor != gainer
+            assert donor == owners[1]

@@ -11,6 +11,7 @@ from repro.core.errors import StorageError
 from repro.service.journal import (
     CREATE_RECORD,
     INGEST_RECORD,
+    RESTORE_RECORD,
     IngestJournal,
     read_journal,
 )
@@ -147,6 +148,60 @@ class TestRotation:
         scan = read_journal(path)
         assert scan.start_seq == 4
         assert [r.seq for r in scan.records] == [5]
+
+
+class TestRestoreRecord:
+    """Type-3 records: the full-state installs a re-sync writes."""
+
+    def test_restore_round_trips_bitwise(self, path):
+        payload = b"KLLSKT01" + bytes(range(200))
+        j = write_sample(path)
+        seq = j.append_restore(
+            "db/rows", "fixed", 0.001, 10**6, "munro-paterson",
+            "kll", payload, token=0xABCD,
+        )
+        j.close()
+        assert seq == 5
+        scan = read_journal(path)
+        assert not scan.damaged
+        rec = scan.records[-1]
+        assert rec.type == RESTORE_RECORD
+        assert (rec.seq, rec.name, rec.token) == (5, "db/rows", 0xABCD)
+        assert (rec.kind, rec.epsilon, rec.n, rec.policy, rec.engine) == (
+            "fixed", 0.001, 10**6, "munro-paterson", "kll"
+        )
+        assert rec.payload == payload
+
+    def test_restore_none_n_encodes_as_zero(self, path):
+        j = IngestJournal(path)
+        j.append_restore("m", "fixed", 0.01, None, "new", "frugal", b"\x01")
+        j.close()
+        rec = read_journal(path).records[0]
+        assert rec.n is None
+        assert rec.engine == "frugal"
+
+    def test_reopen_resumes_sequence_past_restore(self, path):
+        j = IngestJournal(path)
+        j.append_restore("m", "fixed", 0.01, None, "new", "paper", b"MRL")
+        j.close()
+        j = IngestJournal(path)
+        assert j.seq == 1
+        assert j.append_ingest("m", np.array([1.0])) == 2
+        j.close()
+        assert [r.type for r in read_journal(path).records] == [
+            RESTORE_RECORD, INGEST_RECORD,
+        ]
+
+    def test_torn_restore_tail_is_dropped_cleanly(self, path):
+        j = write_sample(path)
+        j.append_restore("m", "fixed", 0.01, None, "new", "paper", b"x" * 64)
+        j.close()
+        with open(path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            fh.truncate(fh.tell() - 7)  # tear inside the restore payload
+        scan = read_journal(path)
+        assert scan.damaged
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4]
 
 
 class TestBadFiles:

@@ -162,6 +162,134 @@ class TestResponses:
         }
 
 
+class TestSyncOpcodes:
+    """SYNCPULL / RESTORE: the re-sync transfer wire format."""
+
+    def test_syncpull_request_roundtrip(self):
+        out = roundtrip(
+            Request(opcode=Opcode.SYNCPULL, name="ns/m", after_seq=417)
+        )
+        assert (out.opcode, out.name, out.after_seq) == (
+            Opcode.SYNCPULL, "ns/m", 417
+        )
+
+    def test_restore_request_roundtrip_bitwise(self):
+        payload = bytes(range(256)) * 3
+        out = roundtrip(
+            Request(
+                opcode=Opcode.RESTORE,
+                name="ns/m",
+                token=0xDEADBEEF,
+                kind="fixed",
+                epsilon=0.005,
+                n=10**6,
+                policy="munro-paterson",
+                engine="kll",
+                payload=payload,
+            )
+        )
+        assert out.token == 0xDEADBEEF
+        assert (out.kind, out.epsilon, out.n, out.policy, out.engine) == (
+            "fixed", 0.005, 10**6, "munro-paterson", "kll"
+        )
+        assert out.payload == payload
+
+    def test_restore_rejects_unknown_engine_on_encode(self):
+        with pytest.raises(ConfigurationError):
+            protocol.encode_request(
+                Request(
+                    opcode=Opcode.RESTORE,
+                    name="m",
+                    kind="fixed",
+                    engine="bogus",
+                    payload=b"",
+                )
+            )
+
+    def test_restore_is_mutating_syncpull_is_not(self):
+        # RESTORE rewrites state, so it must ride the idempotency-token
+        # dedup path; SYNCPULL is a pure read
+        assert Opcode.RESTORE in protocol.MUTATING_OPCODES
+        assert Opcode.SYNCPULL not in protocol.MUTATING_OPCODES
+
+    def test_syncpull_response_roundtrip(self):
+        records = [
+            (8, 101, np.arange(4.0)),
+            (9, 102, np.empty(0, dtype=np.float64)),
+        ]
+        body = protocol.encode_ok(
+            Opcode.SYNCPULL,
+            {
+                "rebase": False,
+                "kind": "fixed",
+                "epsilon": 0.01,
+                "n": None,
+                "policy": "new",
+                "engine": "frugal",
+                "seq": 9,
+                "payload": b"FRGSKT01\x00\x01",
+                "records": records,
+            },
+        )
+        out = protocol.decode_response(Opcode.SYNCPULL, body)
+        assert out["rebase"] is False
+        assert (out["kind"], out["n"], out["engine"]) == (
+            "fixed", None, "frugal"
+        )
+        assert out["seq"] == 9
+        assert out["payload"] == b"FRGSKT01\x00\x01"
+        assert [(s, t) for s, t, _ in out["records"]] == [(8, 101), (9, 102)]
+        np.testing.assert_array_equal(out["records"][0][2], np.arange(4.0))
+        assert out["records"][1][2].size == 0
+
+    def test_syncpull_rebase_flag_survives(self):
+        body = protocol.encode_ok(
+            Opcode.SYNCPULL,
+            {
+                "rebase": True,
+                "kind": "fixed",
+                "epsilon": 0.01,
+                "n": 1000,
+                "policy": "new",
+                "engine": "paper",
+                "seq": 3,
+                "payload": b"",
+                "records": [],
+            },
+        )
+        out = protocol.decode_response(Opcode.SYNCPULL, body)
+        assert out["rebase"] is True
+        assert out["n"] == 1000
+        assert out["records"] == []
+
+    def test_restore_response_roundtrip(self):
+        body = protocol.encode_ok(
+            Opcode.RESTORE, {"replaced": True, "seq": 55}
+        )
+        assert protocol.decode_response(Opcode.RESTORE, body) == {
+            "replaced": True,
+            "seq": 55,
+        }
+
+    def test_truncated_syncpull_response_is_typed(self):
+        body = protocol.encode_ok(
+            Opcode.SYNCPULL,
+            {
+                "rebase": False,
+                "kind": "fixed",
+                "epsilon": 0.01,
+                "n": None,
+                "policy": "new",
+                "engine": "paper",
+                "seq": 1,
+                "payload": b"xyz",
+                "records": [(1, 7, np.arange(8.0))],
+            },
+        )
+        with pytest.raises(StorageError):
+            protocol.decode_response(Opcode.SYNCPULL, body[:-5])
+
+
 class TestFraming:
     def test_socket_roundtrip(self):
         a, b = socket.socketpair()
