@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""CI smoke for the WATCH/alerting layer: windowed metric, synthetic
+clock, certified alerts, kill -9, recover.
+
+Drives the full alerting stack as real OS processes, the way an
+operator would:
+
+1. start ``repro serve`` with ``--clock-file`` (the synthetic event-time
+   source) and a fast ``--watch-interval``;
+2. create a sliding-window metric and a frugal metric, ingest a latency
+   spike, and register rules through the ``repro watch`` CLI;
+3. wait for the *background* watcher to fire one ``definite`` alert
+   (certified bound proves the crossing) and one ``possible`` alert
+   (frugal has no bound, so it can never prove one);
+4. advance the clock file past the window and ingest calm data: the
+   spike expires by event time and the rule settles back to ``ok``;
+5. ``SIGKILL`` the server, restart it on the same data directory, and
+   require the windowed ring bit-identical (journal replay of
+   timestamped batches) and the rule table intact;
+6. re-evaluate after recovery to prove the watcher is fully live.
+
+Exit code 0 on success; any assertion or timeout fails the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/watch_smoke.py [--port 7457]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service import QuantileClient  # noqa: E402
+
+T0 = 1_000_000.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def start_server(port: int, data_dir: str, clock_file: str) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--data-dir", data_dir,
+            "--shards", "2",
+            "--snapshot-interval", "0",
+            "--watch-interval", "0.1",
+            "--clock-file", clock_file,
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 15.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode() if proc.stdout else ""
+            raise SystemExit(f"server died on startup:\n{out}")
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+            return proc
+        except OSError:
+            time.sleep(0.05)
+    proc.kill()
+    raise SystemExit("server did not start listening within 15s")
+
+
+def cli(*argv: str) -> str:
+    """Run one ``repro`` CLI command; returns stdout, asserts exit 0."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(), capture_output=True, text=True, timeout=30,
+    )
+    assert result.returncode == 0, (
+        f"repro {' '.join(argv)} exited {result.returncode}:\n"
+        f"{result.stdout}{result.stderr}"
+    )
+    return result.stdout
+
+
+def set_clock(clock_file: str, t: float) -> None:
+    tmp = clock_file + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(str(t))
+    os.replace(tmp, clock_file)
+
+
+def wait_for(predicate, what: str, timeout: float = 15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise SystemExit(f"timed out waiting for {what}")
+
+
+def rules_via_cli(port: int, *, evaluate: bool = False) -> dict:
+    argv = ["watch", "--port", str(port), "ls", "--json"]
+    if evaluate:
+        argv.insert(-1, "--evaluate")
+    return {r["rule_id"]: r for r in json.loads(cli(*argv))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=7457)
+    args = parser.parse_args(argv)
+    port = args.port
+
+    with tempfile.TemporaryDirectory(prefix="repro-watch-smoke-") as root:
+        data_dir = os.path.join(root, "data")
+        clock_file = os.path.join(root, "clock")
+        set_clock(clock_file, T0)
+        proc = start_server(port, data_dir, clock_file)
+        try:
+            print("[1/6] create windowed + frugal metrics, ingest a spike")
+            with QuantileClient("127.0.0.1", port) as client:
+                client.create("lat", kind="fixed", eps=0.01,
+                              window=60.0, slide=10.0)
+                client.create("fr", kind="fixed", engine="frugal")
+                client.ingest("lat", np.full(2_000, 100.0))
+                client.ingest("fr", np.arange(2_000.0))
+
+            print("[2/6] register rules through the CLI")
+            out = cli("watch", "--port", str(port), "add", "hot", "lat",
+                      "--phi", "0.5", "--threshold", "50")
+            assert "added" in out, out
+            out = cli("watch", "--port", str(port), "add", "fuzzy", "fr",
+                      "--phi", "0.9", "--threshold", "10")
+            assert "added" in out, out
+
+            print("[3/6] background watcher fires definite + possible")
+
+            def fired():
+                with QuantileClient("127.0.0.1", port) as client:
+                    watch = client.stats()["watch"]
+                return (
+                    watch
+                    if watch["alerts_definite_total"] >= 1
+                    and watch["alerts_possible_total"] >= 1
+                    else None
+                )
+
+            watch = wait_for(fired, "one definite + one possible alert")
+            rules = rules_via_cli(port)
+            assert rules["hot"]["state"] == "definite", rules["hot"]
+            assert rules["fuzzy"]["state"] == "possible", rules["fuzzy"]
+            print(f"      definite={watch['alerts_definite_total']} "
+                  f"possible={watch['alerts_possible_total']} after "
+                  f"{watch['evaluations']} evaluations")
+
+            print("[4/6] advance the clock past the window: spike expires")
+            set_clock(clock_file, T0 + 600.0)
+            with QuantileClient("127.0.0.1", port) as client:
+                client.ingest("lat", np.full(2_000, 1.0))
+            wait_for(
+                lambda: rules_via_cli(port)["hot"]["state"] == "ok",
+                "the windowed rule to settle back to ok",
+            )
+
+            with QuantileClient("127.0.0.1", port) as client:
+                client.drain()
+                before_ring = client.fetch_raw("lat")
+                before_rules = {
+                    rid: (r["metric"], r["phi"], r["op"], r["threshold"])
+                    for rid, r in rules_via_cli(port).items()
+                }
+
+            print(f"[5/6] SIGKILL pid {proc.pid}, restart, compare")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            proc = start_server(port, data_dir, clock_file)
+
+            with QuantileClient("127.0.0.1", port) as client:
+                after_ring = client.fetch_raw("lat")
+                assert after_ring == before_ring, (
+                    "windowed ring diverged after journal-only recovery"
+                )
+            after_rules = {
+                rid: (r["metric"], r["phi"], r["op"], r["threshold"])
+                for rid, r in rules_via_cli(port).items()
+            }
+            assert after_rules == before_rules, (
+                f"rules diverged:\n  before: {before_rules}\n"
+                f"   after: {after_rules}"
+            )
+
+            print("[6/6] post-recovery evaluation still answers")
+            recovered = rules_via_cli(port, evaluate=True)
+            assert recovered["hot"]["state"] == "ok", recovered["hot"]
+            assert recovered["fuzzy"]["state"] == "possible", (
+                recovered["fuzzy"]
+            )
+
+            print("watch smoke OK: certified alerts, event-time expiry, "
+                  "SIGKILL recovery of rules + ring all verified")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ Four names cover the common cases, with one consistent spelling
     client = repro.connect("localhost")      # the sharded service
     edges = repro.hist(values, bins=10)      # equi-depth boundaries
 
+    win = repro.Sketch(eps=0.01, window="5m", slide="1m")  # last 5 min
+    dec = repro.Sketch(eps=0.01, decay="1h")   # exponential half-life
+    cc = repro.connect(cluster="./cluster")    # multi-node routing
+
 Every sketch-like object answers the same query quartet --
 ``quantile(phi)``, ``quantiles(phis)``, ``cdf(values)``, ``describe()``
 -- formalised as :class:`repro.core.SketchProtocol`.
@@ -29,6 +33,9 @@ Package layout
 * :mod:`repro.core` -- the paper's contribution: the uniform b/k-buffer
   framework, the three collapse policies, optimal parameter selection,
   the sampling front-end and the parallel mode;
+* :mod:`repro.windows` -- time-aware wrappers: sliding/tumbling
+  :class:`~repro.windows.WindowedSketch` and exponential-decay
+  :class:`~repro.windows.ExpDecaySketch` over any engine;
 * :mod:`repro.obs` -- zero-dependency observability (metrics, traces,
   exposition);
 * :mod:`repro.service` -- the sharded, durable quantile-sketch server;

@@ -28,6 +28,21 @@ query quartet (``quantile`` / ``quantiles`` / ``cdf`` / ``describe``).
     >>> with repro.connect("localhost") as c:     # the sharded service
     ...     c.quantile("latency", 0.99)
     >>> repro.hist(values, bins=10, eps=0.005)    # equi-depth boundaries
+
+Time-aware sketches use the same spellings everywhere -- ``window=`` /
+``slide=`` / ``decay=`` take seconds or duration strings (``"5m"``),
+and mean the same thing on :func:`Sketch`, :func:`hist` and
+``connect().create``:
+
+    >>> win = repro.Sketch(eps=0.01, window="5m", slide="1m")
+    >>> dec = repro.Sketch(eps=0.01, decay="1h")      # half-life
+    >>> with repro.connect("localhost") as c:
+    ...     c.create("latency", eps=0.01, window="5m", slide="1m")
+
+``connect(cluster=...)`` points the same call surface at a multi-node
+cluster (a ``cluster.json`` manifest path or its directory) and returns
+a :class:`~repro.cluster.client.ClusterClient` instead; both clients
+satisfy :class:`~repro.core.protocols.ClientProtocol`.
 """
 
 from __future__ import annotations
@@ -45,6 +60,9 @@ def Sketch(
     kernels: Optional[bool] = None,
     adaptive: Optional[bool] = None,
     engine: str = "paper",
+    window: "str | float | None" = None,
+    slide: "str | float | None" = None,
+    decay: "str | float | None" = None,
     **kwargs: Any,
 ) -> Any:
     """Build a quantile sketch; the facade's one-stop constructor.
@@ -78,6 +96,16 @@ def Sketch(
         1-2 words per tracked fraction, no certified bound (takes
         ``phis=``, ``seed=``).  ``eps``/``n``/``policy`` apply to the
         engines that have those knobs.
+    window, slide, decay:
+        Make the sketch time-aware (seconds, or duration strings like
+        ``"5m"``).  ``window=`` returns a
+        :class:`~repro.windows.WindowedSketch` over the chosen engine --
+        tumbling, or sliding when ``slide`` divides the window evenly;
+        ``decay=`` returns a :class:`~repro.windows.ExpDecaySketch`
+        with that half-life.  The two are mutually exclusive, and
+        ``slide`` requires ``window``.  Both answer the same query
+        quartet; batches are stamped with the injected ``clock=``
+        (default wall time) or explicitly via ``extend_at(values, t)``.
     kwargs:
         Forwarded to the concrete constructor (``delta=``, ``seed=``,
         ``offset_mode=``, ``initial_capacity=``, ...).
@@ -85,6 +113,29 @@ def Sketch(
     Returns the concrete sketch object -- everything it answers is the
     uniform :class:`~repro.core.protocols.SketchProtocol` quartet.
     """
+    if window is not None or decay is not None:
+        from .core.errors import ConfigurationError
+        from .windows import ExpDecaySketch, WindowedSketch, window_config
+
+        if kernels is not None or adaptive is not None:
+            raise ConfigurationError(
+                "kernels=/adaptive= do not apply to windowed or decayed "
+                "sketches (buckets size themselves per engine)"
+            )
+        window_s, slide_s, decay_s = window_config(window, slide, decay)
+        if decay_s:
+            return ExpDecaySketch(
+                eps, half_life=decay_s, engine=engine, policy=policy,
+                n=n, **kwargs,
+            )
+        return WindowedSketch(
+            eps, window=window_s, slide=slide_s or None, engine=engine,
+            policy=policy, n=n, **kwargs,
+        )
+    if slide is not None:
+        from .windows import window_config
+
+        window_config(window, slide, decay)  # raises: slide needs window
     if engine == "kll":
         from .core.kll import KLLSketch
 
@@ -164,20 +215,38 @@ def Bank(
 def connect(
     host: str = "localhost",
     port: int = 7337,
+    *,
+    cluster: Optional[str] = None,
     **kwargs: Any,
 ) -> Any:
-    """Open a :class:`~repro.service.client.QuantileClient` to a running
-    ``repro serve`` instance.
+    """Open a client to a running service: one server, or a cluster.
 
-    The client satisfies the same query quartet per named metric:
-    ``quantile(name, phi)``, ``quantiles(name, phis)``, ``cdf(name,
-    value)``, ``describe(name)``.  Use as a context manager::
+    By default returns a
+    :class:`~repro.service.client.QuantileClient` for the single server
+    at ``host:port``.  With ``cluster=`` (a ``cluster.json`` manifest
+    path, or the directory holding one) returns a
+    :class:`~repro.cluster.client.ClusterClient` instead --
+    consistent-hash routed, replicated, with certified §4.9 fan-in --
+    and ``host``/``port`` are ignored.  Both satisfy
+    :class:`~repro.core.protocols.ClientProtocol`: the same query
+    quartet per named metric (``quantile(name, phi)``,
+    ``quantiles(name, phis)``, ``cdf(name, value)``,
+    ``describe(name)``), the same ``create``/``ingest`` spellings
+    (including ``window=``/``slide=``/``decay=``).  Use as a context
+    manager::
 
         with repro.connect("localhost") as c:
-            c.create("latency", epsilon=0.01)
+            c.create("latency", eps=0.01, window="5m")
             c.ingest("latency", values)
             c.quantile("latency", 0.99)
+
+        with repro.connect(cluster="./cluster") as c:
+            c.quantile("latency", 0.99)
     """
+    if cluster is not None:
+        from .cluster.client import ClusterClient
+
+        return ClusterClient(cluster, **kwargs)
     from .service.client import QuantileClient
 
     return QuantileClient(host, port, **kwargs)
@@ -189,7 +258,12 @@ def hist(
     *,
     eps: float = 0.005,
     policy: str = "new",
+    kernels: Optional[bool] = None,
     engine: str = "paper",
+    window: "str | float | None" = None,
+    slide: "str | float | None" = None,
+    decay: "str | float | None" = None,
+    **kwargs: Any,
 ) -> List[Any]:
     """Equi-depth histogram boundaries of *data* in one bounded-memory pass.
 
@@ -198,22 +272,41 @@ def hist(
     wrapper over :func:`~repro.core.sketch.approximate_quantiles` --
     or, with ``engine="kll"``/``"frugal"``, over that engine's sketch
     (see :func:`Sketch` for the trade-offs).
+
+    Accepts the same facade kwargs as :func:`Sketch`: ``kernels=``
+    toggles the vectorised paper kernels per call, and
+    ``window=``/``slide=``/``decay=`` compute the boundaries over a
+    time-aware sketch of *data* (useful with ``extra`` kwargs like
+    ``clock=`` when *data* carries event times elsewhere; the batch is
+    stamped once at ingest).
     """
     from .core.errors import ConfigurationError
 
     if bins < 2:
         raise ConfigurationError(f"need at least 2 bins, got {bins}")
     phis = [i / bins for i in range(1, bins)]
-    if engine != "paper":
+    if engine != "paper" or window is not None or decay is not None:
         import numpy as np
 
+        time_kwargs: Any = dict(window=window, slide=slide, decay=decay)
         if engine == "frugal":
             # track exactly the requested boundary fractions
-            sk = Sketch(engine=engine, phis=tuple(phis))
+            sk = Sketch(
+                engine=engine, phis=tuple(phis), **time_kwargs, **kwargs
+            )
         else:
-            sk = Sketch(eps=eps, engine=engine)
+            sk = Sketch(
+                eps=eps, policy=policy, engine=engine, **time_kwargs,
+                **kwargs,
+            )
         sk.extend(np.asarray(data, dtype=np.float64))
         return sk.quantiles(phis)
+    if slide is not None:
+        from .windows import window_config
+
+        window_config(window, slide, decay)  # raises: slide needs window
     from .core.sketch import approximate_quantiles
 
-    return approximate_quantiles(data, phis, eps, policy=policy)
+    return approximate_quantiles(
+        data, phis, eps, policy=policy, **kwargs
+    )

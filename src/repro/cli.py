@@ -39,6 +39,15 @@ Four commands cover the library's day-to-day uses without writing code:
     self-metered per-op latency percentiles.  ``--watch`` refreshes in
     place; ``--prom`` prints the Prometheus exposition instead.
 
+``watch``
+    Manage the server's declarative alert rules: ``watch add`` registers
+    "alert when the phi-quantile of METRIC crosses THRESHOLD" (evaluated
+    server-side on the scheduler tick, with certified
+    definite/possible severities), ``watch rm`` drops a rule,
+    ``watch ls`` prints every rule with its last evaluation state and
+    cumulative fire counters.  Exit codes follow the client convention:
+    0 ok, 2 connection failure, 3 timeout.
+
 ``cluster``
     The multi-node layer (:mod:`repro.cluster`): ``cluster serve``
     launches and supervises N server processes with a consistent-hash
@@ -258,6 +267,30 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _file_clock(path: str):
+    """A clock that reads its time from *path* (synthetic-time servers).
+
+    The file holds one float (seconds).  Unreadable or empty reads
+    repeat the last good value, so an in-flight rewrite never makes
+    time jump backwards to zero.  This is the CI/e2e hook: a harness
+    advances the server's event time by writing the file, making window
+    expiry and WATCH firing deterministic without patching the server.
+    """
+    last = [0.0]
+
+    def clock() -> float:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read().strip()
+            if text:
+                last[0] = float(text)
+        except (OSError, ValueError):
+            pass
+        return last[0]
+
+    return clock
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -280,6 +313,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         fsync=args.fsync,
         batch_window_s=args.batch_window,
+        watch_interval_s=(
+            None if args.watch_interval <= 0 else args.watch_interval
+        ),
+        clock=_file_clock(args.clock_file) if args.clock_file else None,
     )
 
     async def _run() -> None:
@@ -348,17 +385,24 @@ def _cmd_client(args: argparse.Namespace) -> int:
     ) as client:
         if args.action == "create":
             # non-paper engines are always kind="fixed" (their own knobs
-            # size the sketch); the paper engine defaults to adaptive
+            # size the sketch), as are windowed/decayed metrics; the
+            # plain paper engine defaults to adaptive
+            windowed = args.window is not None or args.decay is not None
             kind = args.kind or (
-                "adaptive" if args.engine == "paper" else "fixed"
+                "adaptive"
+                if args.engine == "paper" and not windowed
+                else "fixed"
             )
             created = client.create(
                 args.name,
                 kind=kind,
-                epsilon=args.epsilon,
+                eps=args.epsilon,
                 n=args.n,
                 policy=args.policy,
                 engine=args.engine,
+                window=args.window,
+                slide=args.slide,
+                decay=args.decay,
             )
             print("created" if created else "exists")
         elif args.action == "ingest":
@@ -379,10 +423,19 @@ def _cmd_client(args: argparse.Namespace) -> int:
             )
         elif args.action == "list":
             for metric in client.list_metrics():
+                time_cfg = ""
+                if metric.get("window_s"):
+                    time_cfg = (
+                        f" window={metric['window_s']:g}s"
+                        f"/{metric['slide_s'] or metric['window_s']:g}s"
+                    )
+                elif metric.get("decay_s"):
+                    time_cfg = f" decay={metric['decay_s']:g}s"
                 print(
                     f"{metric['name']:<32} {metric['kind']:<9} "
                     f"n={metric['n']:<12} shard={metric['shard']} "
                     f"memory={metric['memory_elements']} elements"
+                    f"{time_cfg}"
                 )
         elif args.action == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -391,6 +444,55 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print(f"snapshot at seq {seq}: {path}")
         elif args.action == "drain":
             print(f"drained through seq {client.drain()}")
+    return 0
+
+
+#: shell-friendly spellings of the rule comparison operators
+_WATCH_OPS = {">": ">", "<": "<", "gt": ">", "lt": "<"}
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import QuantileClient
+
+    with QuantileClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    ) as client:
+        if args.watch_command == "add":
+            added = client.watch_add(
+                args.rule_id,
+                args.metric,
+                args.phi,
+                args.threshold,
+                op=_WATCH_OPS[args.op],
+            )
+            print("added" if added else "exists")
+        elif args.watch_command == "rm":
+            removed = client.watch_remove(args.rule_id)
+            print("removed" if removed else "no such rule")
+        elif args.watch_command == "ls":
+            alerts = client.alerts(evaluate=args.evaluate)
+            if args.json:
+                print(json.dumps(alerts, indent=2, sort_keys=True))
+            else:
+                for a in alerts:
+                    value = (
+                        f"{a['last_value']:g}"
+                        if a["last_value"] is not None
+                        else "-"
+                    )
+                    print(
+                        f"{a['rule_id']:<24} "
+                        f"q{a['phi']:g}({a['metric']}) {a['op']} "
+                        f"{a['threshold']:g}  state={a['state']:<9} "
+                        f"value={value:<12} "
+                        f"fired definite={a['definite_total']} "
+                        f"possible={a['possible_total']}"
+                    )
     return 0
 
 
@@ -535,16 +637,22 @@ def _cmd_cluster_client(args: argparse.Namespace) -> int:
             # cluster's fan-in merge rides on.
             kind = args.kind or (
                 "fixed"
-                if args.n is not None or args.engine != "paper"
+                if args.n is not None
+                or args.engine != "paper"
+                or args.window is not None
+                or args.decay is not None
                 else "adaptive"
             )
             created = client.create(
                 args.name,
                 kind=kind,
-                epsilon=args.epsilon,
+                eps=args.epsilon,
                 n=args.n,
                 policy=args.policy,
                 engine=args.engine,
+                window=args.window,
+                slide=args.slide,
+                decay=args.decay,
             )
             print("created" if created else "exists")
         elif args.action == "ingest":
@@ -924,6 +1032,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds the shard flusher waits to accumulate a batch",
     )
     serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        help=(
+            "seconds between WATCH rule evaluations; <= 0 disables the "
+            "scheduler (rules still evaluate on 'watch ls --evaluate')"
+        ),
+    )
+    serve.add_argument(
+        "--clock-file",
+        default=None,
+        help=(
+            "read event time (one float, seconds) from this file "
+            "instead of the wall clock -- deterministic windows/alerts "
+            "for tests and demos"
+        ),
+    )
+    serve.add_argument(
         "--chaos",
         action="store_true",
         help=(
@@ -984,6 +1110,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--n", type=int, default=None, help="designed N (fixed kind)"
     )
     c_create.add_argument("--policy", default="new")
+    c_create.add_argument(
+        "--window",
+        default=None,
+        help="answer over the trailing window only (e.g. '5m', '300')",
+    )
+    c_create.add_argument(
+        "--slide",
+        default=None,
+        help="window slide granularity (must divide --window evenly)",
+    )
+    c_create.add_argument(
+        "--decay",
+        default=None,
+        help="exponential-decay half-life (mutually exclusive w/ --window)",
+    )
 
     c_ingest = actions.add_parser(
         "ingest", help="ingest values from arguments or stdin"
@@ -1008,6 +1149,64 @@ def build_parser() -> argparse.ArgumentParser:
     actions.add_parser("snapshot", help="force a snapshot")
     actions.add_parser("drain", help="apply all queued ingest batches")
     client.set_defaults(func=_cmd_client)
+
+    watch = sub.add_parser(
+        "watch",
+        help="manage server-side quantile alert rules",
+        description=(
+            "Declarative alerting on a running server: a rule fires "
+            "when the phi-quantile of a metric crosses a threshold.  "
+            "Severity is certified -- 'definite' means the sketch's "
+            "rank bound proves the crossing, 'possible' means only the "
+            "estimate crosses (engines without a bound, like frugal, "
+            "are always 'possible').  Rules are journaled and survive "
+            "server restarts."
+        ),
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=7337)
+    watch.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (retries included)",
+    )
+    watch.add_argument(
+        "--retries", type=int, default=4,
+        help="max reconnect attempts per request on connection faults",
+    )
+    wsub = watch.add_subparsers(dest="watch_command", required=True)
+
+    w_add = wsub.add_parser("add", help="register an alert rule")
+    w_add.add_argument("rule_id", help="rule name (unique on the server)")
+    w_add.add_argument("metric", help="metric the rule watches")
+    w_add.add_argument(
+        "--phi", type=float, required=True,
+        help="quantile fraction to watch, e.g. 0.99",
+    )
+    w_add.add_argument(
+        "--threshold", type=float, required=True,
+        help="alert when the phi-quantile crosses this value",
+    )
+    w_add.add_argument(
+        "--op",
+        choices=sorted(_WATCH_OPS),
+        default=">",
+        help="crossing direction: '>'/'gt' above, '<'/'lt' below",
+    )
+
+    w_rm = wsub.add_parser("rm", help="remove an alert rule")
+    w_rm.add_argument("rule_id")
+
+    w_ls = wsub.add_parser(
+        "ls", help="list rules with state and fire counters"
+    )
+    w_ls.add_argument(
+        "--evaluate", action="store_true",
+        help="run one evaluation pass server-side before listing",
+    )
+    w_ls.add_argument(
+        "--json", action="store_true", help="print raw records as JSON"
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     stats = sub.add_parser(
         "stats",
@@ -1237,6 +1436,9 @@ def build_parser() -> argparse.ArgumentParser:
     cc_create.add_argument("--epsilon", type=float, default=0.01)
     cc_create.add_argument("--n", type=int, default=None)
     cc_create.add_argument("--policy", default="new")
+    cc_create.add_argument("--window", default=None)
+    cc_create.add_argument("--slide", default=None)
+    cc_create.add_argument("--decay", default=None)
 
     cc_ingest = cl_actions.add_parser(
         "ingest", help="replicate values to the metric's owners"

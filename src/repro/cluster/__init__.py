@@ -12,7 +12,7 @@ recombination so the merged result keeps a certified error bound.
     with ClusterCoordinator(nodes=3, replication=2,
                             data_dir="./cluster") as coord:
         with coord.client() as client:
-            client.create("api/latency_ms", epsilon=0.005)
+            client.create("api/latency_ms", eps=0.005)
             client.ingest("api/latency_ms", batch)      # to 2 replicas
             values, bound, n = client.query("api/latency_ms", [0.5, 0.99])
 

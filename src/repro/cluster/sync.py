@@ -303,10 +303,13 @@ class SyncDriver:
         self.client(target_id).create(
             name,
             kind=view["kind"],
-            epsilon=view["epsilon"],
+            eps=view["epsilon"],
             n=view["n"],
             policy=view["policy"],
             engine=view["engine"],
+            window=view.get("window_s") or None,
+            slide=view.get("slide_s") or None,
+            decay=view.get("decay_s") or None,
         )
 
     # -- whole-node sync ---------------------------------------------------

@@ -3,13 +3,20 @@
 The library ships three interchangeable engines behind the runtime-
 checkable :class:`~repro.core.protocols.SketchProtocol`:
 
-========  ==========================  ===========  ==========
-engine    guarantee                   mergeable    wire magic
-========  ==========================  ===========  ==========
-paper     deterministic (Lemma 5)     yes          MRLSKT01
-kll       probabilistic (Hoeffding)   yes          KLLSKT01
-frugal    heuristic (no bound)        no           FRGSKT01
-========  ==========================  ===========  ==========
+=========  ==========================  ===========  ==========
+engine     guarantee                   mergeable    wire magic
+=========  ==========================  ===========  ==========
+paper      deterministic (Lemma 5)     yes          MRLSKT01
+kll        probabilistic (Hoeffding)   yes          KLLSKT01
+frugal     heuristic (no bound)        no           FRGSKT01
+windowed   inherits its inner engine   yes          WINSKT01
+expdecay   inherits its inner engine   yes          EXDSKT01
+=========  ==========================  ===========  ==========
+
+``windowed`` and ``expdecay`` (:mod:`repro.windows`) are *composite*
+engines: a ring of buckets, each itself a paper/kll/frugal sketch.
+They carry their inner engine in their own wire format, so the usual
+magic dispatch and same-engine merge rules apply to them unchanged.
 
 Every engine's serialised form starts with its 8-byte magic, so a
 payload is self-describing: :func:`engine_of` reads the tag,
@@ -101,9 +108,62 @@ def _frugal_spec() -> EngineSpec:
     )
 
 
+def _windowed_spec() -> EngineSpec:
+    # repro.windows imports core; resolve it lazily at call time so the
+    # registry can be built while the core package is still importing
+    def _loads(raw: bytes) -> Any:
+        from ..windows import WindowedSketch
+
+        return WindowedSketch.from_bytes(raw)
+
+    def _read_from(fh: BinaryIO) -> Any:
+        from ..windows import WindowedSketch
+
+        return WindowedSketch.read_from(fh)
+
+    return EngineSpec(
+        name="windowed",
+        magic=b"WINSKT01",
+        mergeable=True,
+        certified=True,
+        loads=_loads,
+        read_from=_read_from,
+        dumps=lambda sk: sk.to_bytes(),
+    )
+
+
+def _expdecay_spec() -> EngineSpec:
+    def _loads(raw: bytes) -> Any:
+        from ..windows import ExpDecaySketch
+
+        return ExpDecaySketch.from_bytes(raw)
+
+    def _read_from(fh: BinaryIO) -> Any:
+        from ..windows import ExpDecaySketch
+
+        return ExpDecaySketch.read_from(fh)
+
+    return EngineSpec(
+        name="expdecay",
+        magic=b"EXDSKT01",
+        mergeable=True,
+        certified=True,
+        loads=_loads,
+        read_from=_read_from,
+        dumps=lambda sk: sk.to_bytes(),
+    )
+
+
 #: name -> spec for every engine the library ships
 ENGINES: Dict[str, EngineSpec] = {
-    spec.name: spec for spec in (_paper_spec(), _kll_spec(), _frugal_spec())
+    spec.name: spec
+    for spec in (
+        _paper_spec(),
+        _kll_spec(),
+        _frugal_spec(),
+        _windowed_spec(),
+        _expdecay_spec(),
+    )
 }
 
 ENGINE_NAMES: Tuple[str, ...] = tuple(ENGINES)
@@ -139,7 +199,12 @@ def engine_of_sketch(sketch: Any) -> str:
     from .framework import QuantileFramework
     from .frugal import FrugalBank, FrugalSketch
     from .kll import KLLSketch
+    from ..windows import ExpDecaySketch, WindowedSketch
 
+    if isinstance(sketch, WindowedSketch):
+        return "windowed"
+    if isinstance(sketch, ExpDecaySketch):
+        return "expdecay"
     if isinstance(sketch, (FrugalSketch, FrugalBank)):
         return "frugal"
     if isinstance(sketch, KLLSketch):

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Protocol, Sequence, runtime_checkable
 
-__all__ = ["SketchProtocol", "DESCRIBE_PHIS", "describe_dict"]
+__all__ = [
+    "SketchProtocol",
+    "ClientProtocol",
+    "DESCRIBE_PHIS",
+    "describe_dict",
+]
 
 #: interior quantile fractions reported by ``describe()``
 DESCRIBE_PHIS = (0.25, 0.5, 0.75, 0.9, 0.99)
@@ -50,6 +55,50 @@ class SketchProtocol(Protocol):
 
     def error_bound(self) -> float:
         """Certified a-posteriori rank-error bound (Lemma 5 family)."""
+        ...
+
+
+@runtime_checkable
+class ClientProtocol(Protocol):
+    """Structural type of a quantile-service client.
+
+    Both :class:`repro.service.client.QuantileClient` (one node) and
+    :class:`repro.cluster.client.ClusterClient` (replicated fan-in)
+    satisfy it, which is what lets :func:`repro.connect` return either
+    behind one surface.  ``create`` accepts the same ``window=`` /
+    ``slide=`` / ``decay=`` kwargs as the local facade.
+    """
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Declare a metric (idempotent for an identical config)."""
+        ...
+
+    def ingest(self, name: str, values: Any) -> Any:
+        """Feed a batch of float64 values into *name*."""
+        ...
+
+    def quantile(self, name: str, phi: float) -> Any:
+        """Approximate ``phi``-quantile of *name*."""
+        ...
+
+    def quantiles(self, name: str, phis: Sequence[float]) -> List[Any]:
+        """Approximate quantiles of *name* for every fraction."""
+        ...
+
+    def cdf(self, name: str, value: Any) -> Any:
+        """Approximate CDF of *name* at a scalar or sequence."""
+        ...
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        """Summary dict for *name*."""
+        ...
+
+    def list_metrics(self) -> Any:
+        """Names of the declared metrics."""
+        ...
+
+    def close(self) -> None:
+        """Release the connection(s)."""
         ...
 
 

@@ -263,17 +263,22 @@ def approximate_quantiles(
     epsilon: float,
     *,
     policy: str = "new",
+    kernels: Optional[bool] = None,
 ) -> List[Any]:
     """One-shot convenience: ``epsilon``-approximate quantiles of *data*.
 
     Sizes the summary exactly for ``len(data)`` and answers all *phis* in a
     single pass with ``b * k`` memory -- the library's "hello world".
+    ``kernels`` overrides the global vectorised-kernel switch for this
+    call (results are bit-identical either way).
     """
     arr = data if isinstance(data, np.ndarray) else list(data)
     n = len(arr)
     if n == 0:
         raise ConfigurationError("data must be non-empty")
     plan = optimal_parameters(epsilon, n, policy=policy)
-    fw = QuantileFramework(plan.b, plan.k, policy=policy, designed_n=n)
+    fw = QuantileFramework(
+        plan.b, plan.k, policy=policy, designed_n=n, kernels=kernels
+    )
     fw.extend(arr)
     return fw.quantiles(list(phis))

@@ -19,7 +19,7 @@ journal tails).
 
     with ServerThread(data_dir="./slo-data") as server:
         client = QuantileClient("127.0.0.1", server.port)
-        client.create("api/latency_ms", kind="adaptive", epsilon=0.005)
+        client.create("api/latency_ms", kind="adaptive", eps=0.005)
         client.ingest("api/latency_ms", latencies)
         values, bound, n = client.query("api/latency_ms", [0.5, 0.99])
 """

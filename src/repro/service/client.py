@@ -39,17 +39,35 @@ import os
 import random
 import socket
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.engines import loads_any
-from ..core.errors import StorageError
+from ..core.errors import ConfigurationError, StorageError
+from ..windows import window_config
 from . import protocol
 from .errors import ServiceConnectionError, ServiceTimeoutError
 from .protocol import MUTATING_OPCODES, Opcode, Request
 
 __all__ = ["QuantileClient"]
+
+#: deprecated keyword names already warned about (once per name per
+#: process -- the shim must not spam a loop that calls create() a lot)
+_WARNED_KWARGS: "set[str]" = set()
+
+
+def _deprecated_kwarg(old: str, new: str) -> None:
+    if old in _WARNED_KWARGS:
+        return
+    _WARNED_KWARGS.add(old)
+    warnings.warn(
+        f"{old}= is deprecated, use {new}= (same meaning; the old "
+        f"spelling will be removed)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class _Pending:
@@ -463,32 +481,61 @@ class QuantileClient:
         self,
         name: str,
         *,
+        eps: Optional[float] = None,
         kind: str = "fixed",
-        epsilon: float = 0.01,
         n: Optional[int] = None,
         policy: str = "new",
         engine: str = "paper",
+        window: "str | float | None" = None,
+        slide: "str | float | None" = None,
+        decay: "str | float | None" = None,
         token: int = 0,
+        epsilon: Optional[float] = None,
     ) -> bool:
         """Create metric *name*; True if new, False if it already existed.
 
-        ``engine`` picks the server-side sketch machinery (``"paper"``,
-        ``"kll"`` or ``"frugal"``; see docs/api.md).  The non-paper
-        engines require ``kind="fixed"`` with no ``n`` -- their own
-        knobs size the sketch.  ``token`` overrides the auto-generated
-        idempotency token: the cluster client passes one token to every
-        replica of a broadcast create so a failover retry against any of
-        them is deduplicated.
+        ``eps`` is the accuracy knob, spelled exactly as on
+        :class:`repro.Sketch` (``epsilon=`` is the deprecated alias and
+        warns once).  ``engine`` picks the server-side sketch machinery
+        (``"paper"``, ``"kll"`` or ``"frugal"``; see docs/api.md).  The
+        non-paper engines require ``kind="fixed"`` with no ``n`` --
+        their own knobs size the sketch.
+
+        ``window=``/``slide=``/``decay=`` make the metric time-aware,
+        with the same spellings as :class:`repro.Sketch`: durations are
+        seconds or strings like ``"5m"``; ``window`` buckets by event
+        time (tumbling, or sliding when ``slide`` divides it), ``decay``
+        is an exponential half-life, and the two are mutually exclusive.
+        The server stamps each ingest batch with its clock and journals
+        the stamp, so windows survive crash recovery bit-identically.
+
+        ``token`` overrides the auto-generated idempotency token: the
+        cluster client passes one token to every replica of a broadcast
+        create so a failover retry against any of them is deduplicated.
         """
+        if epsilon is not None:
+            _deprecated_kwarg("epsilon", "eps")
+            if eps is not None and eps != epsilon:
+                raise ConfigurationError(
+                    f"pass eps= or epsilon=, not both (got {eps} and "
+                    f"{epsilon})"
+                )
+            eps = epsilon
+        if eps is None:
+            eps = 0.01
+        window_s, slide_s, decay_s = window_config(window, slide, decay)
         body = self._call(
             Request(
                 opcode=Opcode.CREATE,
                 name=name,
                 kind=kind,
-                epsilon=epsilon,
+                epsilon=eps,
                 n=n,
                 policy=policy,
                 engine=engine,
+                window_s=window_s,
+                slide_s=slide_s,
+                decay_s=decay_s,
                 token=token,
             )
         )
@@ -674,3 +721,63 @@ class QuantileClient:
         ``uptime_s``, ``n_metrics``, ``elements``.  A standalone server
         answers with an empty ``node_id``."""
         return self._call(Request(opcode=Opcode.PING))
+
+    # -- watch rules -------------------------------------------------------
+
+    def watch_add(
+        self,
+        rule_id: str,
+        metric: str,
+        phi: float,
+        threshold: float,
+        *,
+        op: str = ">",
+        token: int = 0,
+    ) -> bool:
+        """Register a threshold rule: alert when the *phi*-quantile of
+        *metric* is above (``op=">"``) or below (``op="<"``) *threshold*.
+
+        The server evaluates rules on its scheduler tick using the
+        certified bound: ``definite`` severity means the bound *proves*
+        the crossing, ``possible`` means only the estimate crosses (the
+        frugal engine, having no bound, is always ``possible``).  Rules
+        are journaled and snapshotted like metrics: they survive a
+        crash, counters included.  Returns ``True`` if the rule is new;
+        re-adding an identical rule is a no-op, a *different* rule under
+        the same id is an error.
+        """
+        body = self._call(
+            Request(
+                opcode=Opcode.WATCH,
+                name=rule_id,
+                metric=metric,
+                phi=float(phi),
+                rule_op=op,
+                threshold=float(threshold),
+                token=token,
+            )
+        )
+        return bool(body["added"])
+
+    def watch_remove(self, rule_id: str, *, token: int = 0) -> bool:
+        """Drop a watch rule; returns whether it existed."""
+        body = self._call(
+            Request(opcode=Opcode.UNWATCH, name=rule_id, token=token)
+        )
+        return bool(body["removed"])
+
+    def alerts(self, *, evaluate: bool = False) -> List[Dict[str, Any]]:
+        """The current state of every watch rule, sorted by rule id.
+
+        Each record carries the rule's configuration, its last
+        evaluation outcome (``ok`` / ``possible`` / ``definite`` /
+        ``no_data`` / ``no_metric`` / ``pending``), the last observed
+        quantile value, and cumulative ``definite_total`` /
+        ``possible_total`` fire counters.  ``evaluate=True`` runs one
+        evaluation pass server-side first (same code path as the
+        background scheduler) -- handy with an injected clock or when
+        the watcher is disabled.
+        """
+        return self._call(
+            Request(opcode=Opcode.ALERTS, detail=1 if evaluate else 0)
+        )["alerts"]

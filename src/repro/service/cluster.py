@@ -31,7 +31,7 @@ re-route metrics away from their journals, so that is refused.
 
     with ClusterService(workers=4, data_dir="./data") as cluster:
         with ClusterClient("127.0.0.1", cluster.ports) as client:
-            client.create("api/latency_ms", epsilon=0.005)
+            client.create("api/latency_ms", eps=0.005)
             client.ingest("api/latency_ms", batch)
             values, bound, n = client.query("api/latency_ms", [0.5, 0.99])
 """

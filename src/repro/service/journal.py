@@ -16,13 +16,28 @@ File layout (little-endian)::
     record:  u32 crc32 | u32 body_len | body
     body:    u64 seq | u8 type | u64 token | type-specific payload
 
-    type 1 = CREATE:  name (u16 len + utf8) | u8 kind | f64 epsilon
-                      | u64 n (0 = unset) | policy (u16 len + utf8)
-                      | [u8 engine]  (optional trailing; absent = paper)
-    type 2 = INGEST:  name (u16 len + utf8) | u32 count | count * f64
-    type 3 = RESTORE: name (u16 len + utf8) | u8 kind | f64 epsilon
-                      | u64 n (0 = unset) | policy (u16 len + utf8)
-                      | u8 engine | u32 payload_len | payload
+    type 1 = CREATE:    name (u16 len + utf8) | u8 kind | f64 epsilon
+                        | u64 n (0 = unset) | policy (u16 len + utf8)
+                        | [u8 engine]  (optional trailing; absent = paper)
+                        | [u8 wmode | f64 p1 | f64 p2]  (optional window
+                          config; the engine byte is forced when present.
+                          wmode 1 = window: p1 = window seconds, p2 =
+                          slide seconds; wmode 2 = decay: p1 = half-life)
+    type 2 = INGEST:    name (u16 len + utf8) | u32 count | count * f64
+    type 3 = RESTORE:   name (u16 len + utf8) | u8 kind | f64 epsilon
+                        | u64 n (0 = unset) | policy (u16 len + utf8)
+                        | u8 engine | u32 payload_len | payload
+    type 4 = INGEST_AT: name (u16 len + utf8) | f64 event_time
+                        | u32 count | count * f64
+    type 5 = WATCH:     rule_id (u16 len + utf8) | metric (u16 len +
+                        utf8) | f64 phi | u8 op | f64 threshold
+    type 6 = UNWATCH:   rule_id (u16 len + utf8)
+
+An INGEST_AT record carries the batch's *event time*: windowed/decayed
+metrics bucket by timestamp, so the journal pins the time each batch was
+stamped with at ingest -- replay reproduces the ring bit-identically no
+matter when recovery runs.  WATCH/UNWATCH make the rule set itself
+replayable state, exactly like metric CREATEs.
 
 A RESTORE record carries the complete serialised engine payload a
 re-sync installed (see the cluster recovery protocol): on replay it
@@ -67,6 +82,9 @@ __all__ = [
     "CREATE_RECORD",
     "INGEST_RECORD",
     "RESTORE_RECORD",
+    "INGEST_AT_RECORD",
+    "WATCH_RECORD",
+    "UNWATCH_RECORD",
 ]
 
 _MAGIC = b"MRLJRN01"
@@ -82,6 +100,9 @@ _F64 = struct.Struct("<d")
 CREATE_RECORD = 1
 INGEST_RECORD = 2
 RESTORE_RECORD = 3
+INGEST_AT_RECORD = 4
+WATCH_RECORD = 5
+UNWATCH_RECORD = 6
 
 #: guard against a corrupt length field allocating unbounded memory
 _MAX_RECORD_BYTES = 256 * 1024 * 1024
@@ -108,6 +129,17 @@ class JournalRecord:
     #: CREATE sketch engine (encoded as an optional trailing byte, so
     #: pre-engine journals replay unchanged as "paper")
     engine: str = "paper"
+    # CREATE window/decay config (0 = plain all-time metric)
+    window_s: float = 0.0
+    slide_s: float = 0.0
+    decay_s: float = 0.0
+    #: INGEST_AT event time (seconds)
+    t: float = 0.0
+    # WATCH rule fields (``name`` carries the rule id)
+    metric: str = ""
+    phi: float = 0.0
+    rule_op: str = ">"
+    threshold: float = 0.0
 
 
 @dataclass
@@ -127,8 +159,17 @@ def _encode_create(
     n: Optional[int],
     policy: str,
     engine: str = "paper",
+    window_s: float = 0.0,
+    slide_s: float = 0.0,
+    decay_s: float = 0.0,
 ) -> bytes:
-    from .protocol import _ENGINE_IDS, _KIND_IDS, _pack_str
+    from .protocol import (
+        WMODE_DECAY,
+        WMODE_WINDOW,
+        _ENGINE_IDS,
+        _KIND_IDS,
+        _pack_str,
+    )
 
     body = (
         _pack_str(name)
@@ -137,8 +178,20 @@ def _encode_create(
         + _U64.pack(0 if n is None else int(n))
         + _pack_str(policy)
     )
-    if engine != "paper":
+    windowed = bool(window_s or decay_s)
+    if engine != "paper" or windowed:
         body += bytes([_ENGINE_IDS[engine]])
+    if windowed:
+        # same block as the CREATE opcode: the engine byte is forced
+        # (even for paper) so the decode order stays unambiguous
+        if window_s:
+            body += bytes([WMODE_WINDOW])
+            body += _F64.pack(window_s)
+            body += _F64.pack(slide_s or window_s)
+        else:
+            body += bytes([WMODE_DECAY])
+            body += _F64.pack(decay_s)
+            body += _F64.pack(0.0)
     return body
 
 
@@ -185,7 +238,15 @@ def _ingest_body_parts(
 
 
 def _decode_body(body: bytes) -> JournalRecord:
-    from .protocol import _ENGINE_NAMES, _KIND_NAMES, _Reader
+    from .protocol import (
+        WMODE_DECAY,
+        WMODE_NONE,
+        WMODE_WINDOW,
+        _ENGINE_NAMES,
+        _KIND_NAMES,
+        _RULE_OP_NAMES,
+        _Reader,
+    )
 
     r = _Reader(body)
     seq = r.u64("seq")
@@ -205,6 +266,17 @@ def _decode_body(body: bytes) -> JournalRecord:
             if engine_id not in _ENGINE_NAMES:
                 raise StorageError(f"unknown sketch engine id {engine_id}")
             engine = _ENGINE_NAMES[engine_id]
+        window_s = slide_s = decay_s = 0.0
+        if r.pos != len(r.buf):  # window/decay config block
+            wmode = r.u8("window mode")
+            p1 = r.f64("window p1")
+            p2 = r.f64("window p2")
+            if wmode == WMODE_WINDOW:
+                window_s, slide_s = p1, p2
+            elif wmode == WMODE_DECAY:
+                decay_s = p1
+            elif wmode != WMODE_NONE:
+                raise StorageError(f"unknown window mode {wmode}")
         rec = JournalRecord(
             seq=seq,
             type=rtype,
@@ -215,6 +287,9 @@ def _decode_body(body: bytes) -> JournalRecord:
             policy=policy,
             token=token,
             engine=engine,
+            window_s=window_s,
+            slide_s=slide_s,
+            decay_s=decay_s,
         )
     elif rtype == INGEST_RECORD:
         name = r.string("metric name")
@@ -223,6 +298,35 @@ def _decode_body(body: bytes) -> JournalRecord:
         rec = JournalRecord(
             seq=seq, type=rtype, name=name, values=values, token=token
         )
+    elif rtype == INGEST_AT_RECORD:
+        name = r.string("metric name")
+        t = r.f64("event time")
+        count = r.u32("value count")
+        values = r.f64_array(count, "values")
+        rec = JournalRecord(
+            seq=seq, type=rtype, name=name, values=values, token=token, t=t
+        )
+    elif rtype == WATCH_RECORD:
+        name = r.string("rule id")
+        metric = r.string("metric name")
+        phi = r.f64("phi")
+        op_id = r.u8("rule operator")
+        if op_id not in _RULE_OP_NAMES:
+            raise StorageError(f"unknown rule operator id {op_id}")
+        threshold = r.f64("threshold")
+        rec = JournalRecord(
+            seq=seq,
+            type=rtype,
+            name=name,
+            token=token,
+            metric=metric,
+            phi=phi,
+            rule_op=_RULE_OP_NAMES[op_id],
+            threshold=threshold,
+        )
+    elif rtype == UNWATCH_RECORD:
+        name = r.string("rule id")
+        rec = JournalRecord(seq=seq, type=rtype, name=name, token=token)
     elif rtype == RESTORE_RECORD:
         name = r.string("metric name")
         kind_id = r.u8("metric kind")
@@ -336,12 +440,18 @@ class IngestJournal:
         policy: str,
         token: int = 0,
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> int:
         """Record a metric creation; returns its sequence number."""
         self._seq += 1
         body = _SEQ_TYPE.pack(
             self._seq, CREATE_RECORD, token
-        ) + _encode_create(name, kind, epsilon, n, policy, engine)
+        ) + _encode_create(
+            name, kind, epsilon, n, policy, engine,
+            window_s, slide_s, decay_s,
+        )
         self._append(body)
         return self._seq
 
@@ -352,6 +462,65 @@ class IngestJournal:
         self._seq += 1
         prefix = _SEQ_TYPE.pack(self._seq, INGEST_RECORD, token)
         self._append_parts(_ingest_body_parts(prefix, name, values))
+        return self._seq
+
+    def append_ingest_at(
+        self, name: str, values: np.ndarray, t: float, token: int = 0
+    ) -> int:
+        """Record a timestamped (windowed) ingest batch.
+
+        The event time rides in the record, so replay feeds the ring the
+        exact (values, t) pair the live server did.
+        """
+        from .protocol import _pack_str
+
+        self._seq += 1
+        prefix = _SEQ_TYPE.pack(self._seq, INGEST_AT_RECORD, token)
+        arr = np.ascontiguousarray(values, dtype="<f8")
+        self._append_parts(
+            [
+                prefix
+                + _pack_str(name)
+                + _F64.pack(float(t))
+                + _U32.pack(arr.size),
+                arr.data.cast("B"),
+            ]
+        )
+        return self._seq
+
+    def append_watch(
+        self,
+        rule_id: str,
+        metric: str,
+        phi: float,
+        op: str,
+        threshold: float,
+        token: int = 0,
+    ) -> int:
+        """Record a WATCH rule registration."""
+        from .protocol import _RULE_OPS, _pack_str
+
+        self._seq += 1
+        body = (
+            _SEQ_TYPE.pack(self._seq, WATCH_RECORD, token)
+            + _pack_str(rule_id)
+            + _pack_str(metric)
+            + _F64.pack(phi)
+            + bytes([_RULE_OPS[op]])
+            + _F64.pack(threshold)
+        )
+        self._append(body)
+        return self._seq
+
+    def append_unwatch(self, rule_id: str, token: int = 0) -> int:
+        """Record a WATCH rule removal."""
+        from .protocol import _pack_str
+
+        self._seq += 1
+        body = _SEQ_TYPE.pack(
+            self._seq, UNWATCH_RECORD, token
+        ) + _pack_str(rule_id)
+        self._append(body)
         return self._seq
 
     def append_restore(

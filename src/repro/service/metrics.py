@@ -200,7 +200,9 @@ class ServiceMetrics:
             "counters": counters,
         }
 
-    def to_dict(self, registry: SketchRegistry) -> Dict[str, object]:
+    def to_dict(
+        self, registry: SketchRegistry, rules: Optional[object] = None
+    ) -> Dict[str, object]:
         self.flush_observations()
         uptime = time.monotonic() - self._t0
         shard_stats = registry.shard_stats()
@@ -214,6 +216,20 @@ class ServiceMetrics:
         memory_reports = [
             report_memory(entry.sketch) for entry in registry.entries()
         ]
+        watch: Dict[str, object] = {
+            "rules": 0,
+            "evaluations": 0,
+            "alerts_definite_total": 0,
+            "alerts_possible_total": 0,
+        }
+        if rules is not None:
+            totals = rules.alert_totals()
+            watch = {
+                "rules": len(rules),
+                "evaluations": rules.evaluations,
+                "alerts_definite_total": totals["definite"],
+                "alerts_possible_total": totals["possible"],
+            }
         return {
             "uptime_s": round(uptime, 3),
             "started_at_unix": round(self.started_at, 3),
@@ -258,6 +274,7 @@ class ServiceMetrics:
                     r.total_bytes for r in memory_reports
                 ),
             },
+            "watch": watch,
             "shards": shard_stats,
             "obs": self._obs_section(registry),
         }

@@ -90,11 +90,15 @@ class Opcode:
     PING = 10
     SYNCPULL = 11
     RESTORE = 12
+    WATCH = 13
+    UNWATCH = 14
+    ALERTS = 15
 
     _NAMES = {
         1: "CREATE", 2: "INGEST", 3: "QUERY", 4: "CDF", 5: "LIST",
         6: "FETCH", 7: "SNAPSHOT", 8: "DRAIN", 9: "STATS", 10: "PING",
-        11: "SYNCPULL", 12: "RESTORE",
+        11: "SYNCPULL", 12: "RESTORE", 13: "WATCH", 14: "UNWATCH",
+        15: "ALERTS",
     }
 
 
@@ -102,7 +106,14 @@ class Opcode:
 #: retry after a lost ack is applied exactly once (see the registry's
 #: dedup window)
 MUTATING_OPCODES = frozenset(
-    {Opcode.CREATE, Opcode.INGEST, Opcode.SNAPSHOT, Opcode.RESTORE}
+    {
+        Opcode.CREATE,
+        Opcode.INGEST,
+        Opcode.SNAPSHOT,
+        Opcode.RESTORE,
+        Opcode.WATCH,
+        Opcode.UNWATCH,
+    }
 )
 
 
@@ -120,6 +131,18 @@ ENGINE_KLL = 1
 ENGINE_FRUGAL = 2
 _ENGINE_NAMES = {ENGINE_PAPER: "paper", ENGINE_KLL: "kll", ENGINE_FRUGAL: "frugal"}
 _ENGINE_IDS = {v: k for k, v in _ENGINE_NAMES.items()}
+
+#: window modes in the CREATE config block (u8).  When a CREATE carries a
+#: window/decay config, the engine byte (above) is *forced* -- even for
+#: paper -- so the decode order stays unambiguous; plain CREATEs keep the
+#: optional-trailing-byte compatibility story unchanged.
+WMODE_NONE = 0
+WMODE_WINDOW = 1  # p1 = window seconds, p2 = slide seconds
+WMODE_DECAY = 2  # p1 = half-life seconds, p2 = 0
+
+#: WATCH comparison operators (u8)
+_RULE_OPS = {">": 0, "<": 1}
+_RULE_OP_NAMES = {v: k for k, v in _RULE_OPS.items()}
 
 
 @dataclass
@@ -150,6 +173,20 @@ class Request:
     after_seq: int = 0
     #: RESTORE: the full serialised engine payload to install
     payload: bytes = b""
+    #: CREATE: window span in seconds (0 = not windowed)
+    window_s: float = 0.0
+    #: CREATE: bucket slide in seconds (0 = tumbling, i.e. == window_s)
+    slide_s: float = 0.0
+    #: CREATE: exponential-decay half-life in seconds (0 = no decay)
+    decay_s: float = 0.0
+    #: WATCH: metric the rule watches (``name`` carries the rule id)
+    metric: str = ""
+    #: WATCH: quantile fraction the rule evaluates
+    phi: float = 0.0
+    #: WATCH: threshold the quantile is compared against
+    threshold: float = 0.0
+    #: WATCH: comparison operator, ``">"`` or ``"<"``
+    rule_op: str = ">"
 
 
 # -- primitive writers/readers ------------------------------------------------
@@ -246,12 +283,26 @@ def encode_request(req: Request) -> bytes:
         out.append(_F64.pack(req.epsilon))
         out.append(_U64.pack(0 if req.n is None else int(req.n)))
         out.append(_pack_str(req.policy))
-        if req.engine != "paper":
+        windowed = bool(req.window_s or req.decay_s)
+        if req.window_s and req.decay_s:
+            raise ConfigurationError(
+                "a metric is windowed or decayed, not both"
+            )
+        if req.engine != "paper" or windowed:
             if req.engine not in _ENGINE_IDS:
                 raise ConfigurationError(
                     f"unknown sketch engine {req.engine!r}"
                 )
             out.append(bytes([_ENGINE_IDS[req.engine]]))
+        if windowed:
+            if req.window_s:
+                out.append(bytes([WMODE_WINDOW]))
+                out.append(_F64.pack(req.window_s))
+                out.append(_F64.pack(req.slide_s or req.window_s))
+            else:
+                out.append(bytes([WMODE_DECAY]))
+                out.append(_F64.pack(req.decay_s))
+                out.append(_F64.pack(0.0))
     elif op == Opcode.INGEST:
         values = np.ascontiguousarray(req.values, dtype="<f8")
         out.append(_pack_str(req.name))
@@ -291,6 +342,25 @@ def encode_request(req: Request) -> bytes:
     elif op == Opcode.STATS:
         # the detail byte is optional on the wire: a zero-detail request
         # is byte-identical to the pre-detail format
+        if req.detail:
+            out.append(bytes([req.detail & 0xFF]))
+    elif op == Opcode.WATCH:
+        if req.rule_op not in _RULE_OPS:
+            raise ConfigurationError(
+                f"unknown rule operator {req.rule_op!r}; use '>' or '<'"
+            )
+        out.append(_pack_str(req.name))  # rule id
+        out.append(_U64.pack(req.token))
+        out.append(_pack_str(req.metric))
+        out.append(_F64.pack(req.phi))
+        out.append(bytes([_RULE_OPS[req.rule_op]]))
+        out.append(_F64.pack(req.threshold))
+    elif op == Opcode.UNWATCH:
+        out.append(_pack_str(req.name))  # rule id
+        out.append(_U64.pack(req.token))
+    elif op == Opcode.ALERTS:
+        # optional trailing byte: 1 = evaluate all rules now (with the
+        # server's clock) before reporting, 0/absent = report as-is
         if req.detail:
             out.append(bytes([req.detail & 0xFF]))
     elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.PING):
@@ -382,6 +452,16 @@ def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
             if engine_id not in _ENGINE_NAMES:
                 raise StorageError(f"unknown sketch engine id {engine_id}")
             req.engine = _ENGINE_NAMES[engine_id]
+        if r.pos != len(r.buf):  # window/decay config block
+            wmode = r.u8("window mode")
+            p1 = r.f64("window p1")
+            p2 = r.f64("window p2")
+            if wmode == WMODE_WINDOW:
+                req.window_s, req.slide_s = p1, p2
+            elif wmode == WMODE_DECAY:
+                req.decay_s = p1
+            elif wmode != WMODE_NONE:
+                raise StorageError(f"unknown window mode {wmode}")
     elif op == Opcode.INGEST:
         req.name = r.string("metric name")
         req.token = r.u64("idempotency token")
@@ -421,6 +501,22 @@ def decode_request(payload: "bytes | bytearray | memoryview") -> Request:
     elif op == Opcode.STATS:
         if r.pos != len(r.buf):  # old clients send no detail byte
             req.detail = r.u8("stats detail")
+    elif op == Opcode.WATCH:
+        req.name = r.string("rule id")
+        req.token = r.u64("idempotency token")
+        req.metric = r.string("metric name")
+        req.phi = r.f64("phi")
+        op_id = r.u8("rule operator")
+        if op_id not in _RULE_OP_NAMES:
+            raise StorageError(f"unknown rule operator id {op_id}")
+        req.rule_op = _RULE_OP_NAMES[op_id]
+        req.threshold = r.f64("threshold")
+    elif op == Opcode.UNWATCH:
+        req.name = r.string("rule id")
+        req.token = r.u64("idempotency token")
+    elif op == Opcode.ALERTS:
+        if r.pos != len(r.buf):
+            req.detail = r.u8("evaluate flag")
     elif op in (Opcode.LIST, Opcode.DRAIN, Opcode.PING):
         pass
     else:
@@ -465,6 +561,10 @@ def encode_ok(opcode: int, body: Dict[str, Any]) -> bytes:
             out.append(_U64.pack(m["n"]))
             out.append(_U64.pack(m["memory_elements"]))
             out.append(_U32.pack(m["shard"]))
+            out.append(bytes([_ENGINE_IDS[m.get("engine", "paper")]]))
+            out.append(_F64.pack(m.get("window_s", 0.0)))
+            out.append(_F64.pack(m.get("slide_s", 0.0)))
+            out.append(_F64.pack(m.get("decay_s", 0.0)))
     elif opcode == Opcode.FETCH:
         payload: bytes = body["payload"]
         out.append(_U32.pack(len(payload)))
@@ -509,6 +609,14 @@ def encode_ok(opcode: int, body: Dict[str, Any]) -> bytes:
         out.append(_F64.pack(body["uptime_s"]))
         out.append(_U32.pack(body["n_metrics"]))
         out.append(_U64.pack(body["elements"]))
+    elif opcode == Opcode.WATCH:
+        out.append(bytes([1 if body["added"] else 0]))
+    elif opcode == Opcode.UNWATCH:
+        out.append(bytes([1 if body["removed"] else 0]))
+    elif opcode == Opcode.ALERTS:
+        raw = json.dumps(body["alerts"], sort_keys=True).encode("utf-8")
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
     else:
         raise ConfigurationError(f"unknown opcode {opcode}")
     return b"".join(out)
@@ -552,6 +660,10 @@ def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
             n = r.u64("n")
             memory = r.u64("memory")
             shard = r.u32("shard")
+            engine = _ENGINE_NAMES[r.u8("metric engine")]
+            window_s = r.f64("window seconds")
+            slide_s = r.f64("slide seconds")
+            decay_s = r.f64("decay seconds")
             metrics.append(
                 {
                     "name": name,
@@ -559,6 +671,10 @@ def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
                     "n": n,
                     "memory_elements": memory,
                     "shard": shard,
+                    "engine": engine,
+                    "window_s": window_s,
+                    "slide_s": slide_s,
+                    "decay_s": decay_s,
                 }
             )
         body["metrics"] = metrics
@@ -609,6 +725,15 @@ def decode_response(opcode: int, payload: bytes) -> Dict[str, Any]:
         body["uptime_s"] = r.f64("uptime")
         body["n_metrics"] = r.u32("metric count")
         body["elements"] = r.u64("ingested elements")
+    elif opcode == Opcode.WATCH:
+        body["added"] = bool(r.u8("added flag"))
+    elif opcode == Opcode.UNWATCH:
+        body["removed"] = bool(r.u8("removed flag"))
+    elif opcode == Opcode.ALERTS:
+        size = r.u32("alerts size")
+        body["alerts"] = json.loads(
+            bytes(r.take(size, "alerts json")).decode("utf-8")
+        )
     else:
         raise ConfigurationError(f"unknown opcode {opcode}")
     r.done(f"{Opcode._NAMES.get(opcode, opcode)} response")

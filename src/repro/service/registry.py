@@ -26,9 +26,10 @@ thin shell over it, and tests drive it directly.
 
 from __future__ import annotations
 
+import time
 import zlib
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -80,7 +81,7 @@ class MetricEntry:
 
     __slots__ = (
         "name", "kind", "epsilon", "n", "policy", "engine", "shard",
-        "bank_id", "sketch", "n_batches",
+        "bank_id", "sketch", "n_batches", "window_s", "slide_s", "decay_s",
     )
 
     def __init__(
@@ -94,6 +95,9 @@ class MetricEntry:
         sketch: Sketch,
         bank_id: Optional[int],
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -105,6 +109,14 @@ class MetricEntry:
         self.sketch = sketch
         self.bank_id = bank_id
         self.n_batches = 0
+        self.window_s = window_s
+        self.slide_s = slide_s
+        self.decay_s = decay_s
+
+    @property
+    def windowed(self) -> bool:
+        """Whether ingest must carry event time (window or decay config)."""
+        return bool(self.window_s or self.decay_s)
 
     @property
     def count(self) -> int:
@@ -115,10 +127,17 @@ class MetricEntry:
     def memory_elements(self) -> int:
         return self.sketch.memory_elements
 
-    def config_tuple(self) -> Tuple[str, float, Optional[int], str, str]:
-        return (self.kind, self.epsilon, self.n, self.policy, self.engine)
+    def config_tuple(
+        self,
+    ) -> Tuple[str, float, Optional[int], str, str, float, float, float]:
+        return (
+            self.kind, self.epsilon, self.n, self.policy, self.engine,
+            self.window_s, self.slide_s, self.decay_s,
+        )
 
     def collapse_count(self) -> int:
+        if self.windowed:
+            return 0
         if self.engine == "kll":
             assert isinstance(self.sketch, KLLSketch)
             return self.sketch._n_compactions
@@ -149,7 +168,11 @@ class _Shard:
         # so the bank's own epsilon/n are placeholders
         self.bank = SketchBank(0.01)
         self.fbank = FrugalBank(DEFAULT_BANK_PHIS, seed=0)
-        self.pending: List[Tuple[MetricEntry, np.ndarray]] = []
+        # (entry, values, event_time); event_time is None for the
+        # all-time metrics, a float for windowed/decayed ones
+        self.pending: List[
+            Tuple[MetricEntry, np.ndarray, Optional[float]]
+        ] = []
         self.n_applied = 0
         self.n_batches_applied = 0
 
@@ -214,12 +237,19 @@ def shard_of(name: str, n_shards: int) -> int:
 class SketchRegistry:
     """Named sketches, sharded for batched ingest."""
 
-    def __init__(self, n_shards: int = 4) -> None:
+    def __init__(
+        self,
+        n_shards: int = 4,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"need >= 1 shard, got {n_shards}")
         self.n_shards = n_shards
         self._shards = [_Shard() for _ in range(n_shards)]
         self._metrics: Dict[str, MetricEntry] = {}
+        #: timestamp source for windowed metrics (injectable for tests
+        #: and the server's synthetic-clock mode)
+        self.clock: Callable[[], float] = clock or time.time
         #: idempotency-token window (journal-backed via the server)
         self.dedup = DedupWindow()
 
@@ -243,14 +273,38 @@ class SketchRegistry:
             raise ConfigurationError(f"unknown metric {name!r}")
         return entry
 
-    @staticmethod
     def _build_sketch(
+        self,
         kind: str,
         epsilon: float,
         n: Optional[int],
         policy: str,
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> Sketch:
+        if window_s or decay_s:
+            from ..windows import ExpDecaySketch, WindowedSketch
+
+            if window_s:
+                return WindowedSketch(
+                    epsilon,
+                    window=window_s,
+                    slide=slide_s or window_s,
+                    engine=engine,
+                    policy=policy,
+                    n=n,
+                    clock=self.clock,
+                )
+            return ExpDecaySketch(
+                epsilon,
+                half_life=decay_s,
+                engine=engine,
+                policy=policy,
+                n=n,
+                clock=self.clock,
+            )
         if engine == "kll":
             return KLLSketch(eps=epsilon, seed=0)
         if engine == "frugal":
@@ -280,6 +334,9 @@ class SketchRegistry:
         n: Optional[int] = None,
         policy: str = "new",
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> Tuple[MetricEntry, bool]:
         """Create (or idempotently re-open) a metric.
 
@@ -311,18 +368,37 @@ class SketchRegistry:
                 f"engine {engine!r} metrics are sized by their own knobs: "
                 "use kind='fixed' and omit n"
             )
+        if window_s and decay_s:
+            raise ConfigurationError(
+                f"metric {name!r}: a metric is windowed or decayed, "
+                "not both"
+            )
+        if (window_s or decay_s) and kind != "fixed":
+            raise ConfigurationError(
+                f"metric {name!r}: windowed/decayed metrics must be "
+                "kind='fixed'"
+            )
+        if window_s and not slide_s:
+            slide_s = window_s  # tumbling
+        config = (
+            kind, epsilon, n, policy, engine, window_s, slide_s, decay_s,
+        )
         existing = self._metrics.get(name)
         if existing is not None:
-            if existing.config_tuple() != (kind, epsilon, n, policy, engine):
+            if existing.config_tuple() != config:
                 raise ConfigurationError(
                     f"metric {name!r} already exists with configuration "
-                    f"{existing.config_tuple()}, requested "
-                    f"{(kind, epsilon, n, policy, engine)}"
+                    f"{existing.config_tuple()}, requested {config}"
                 )
             return existing, False
-        sketch = self._build_sketch(kind, epsilon, n, policy, engine)
+        sketch = self._build_sketch(
+            kind, epsilon, n, policy, engine, window_s, slide_s, decay_s
+        )
         return (
-            self._register(name, kind, epsilon, n, policy, sketch, engine),
+            self._register(
+                name, kind, epsilon, n, policy, sketch, engine,
+                window_s, slide_s, decay_s,
+            ),
             True,
         )
 
@@ -372,20 +448,46 @@ class SketchRegistry:
                 "have an exchange format to restore from"
             )
         actual = engine_of(payload)
-        if actual != engine:
+        window_s = slide_s = decay_s = 0.0
+        sketch: Sketch
+        if actual in ("windowed", "expdecay"):
+            # windowed payloads are self-describing: the ring carries its
+            # inner engine and window/decay config, so the RESTORE wire
+            # (which has neither) stays unchanged.  The *declared* engine
+            # must still match the ring's inner engine.
+            from ..core.engines import loads_any
+            from ..windows import ExpDecaySketch, WindowedSketch
+
+            loaded = loads_any(payload)
+            if loaded.engine != engine:
+                raise ConfigurationError(
+                    f"restore of {name!r} declares engine {engine!r} but "
+                    f"the {actual} payload's buckets are "
+                    f"{loaded.engine!r}; refusing a corrupt install"
+                )
+            loaded._clock = self.clock
+            if isinstance(loaded, WindowedSketch):
+                window_s, slide_s = loaded.window_s, loaded.slide_s
+            else:
+                assert isinstance(loaded, ExpDecaySketch)
+                decay_s = loaded.half_life_s
+            sketch = loaded
+        elif actual != engine:
             raise ConfigurationError(
                 f"restore of {name!r} declares engine {engine!r} but the "
                 f"payload is {actual!r}; refusing a corrupt install"
             )
-        sketch: Sketch
-        if engine == "kll":
+        elif engine == "kll":
             sketch = KLLSketch.from_bytes(payload)
         elif engine == "frugal":
             sketch = FrugalSketch.from_bytes(payload)
         else:
             sketch = serialize.loads(payload)
         replaced = self._metrics.pop(name, None) is not None
-        self._register(name, kind, epsilon, n, policy, sketch, engine)
+        self._register(
+            name, kind, epsilon, n, policy, sketch, engine,
+            window_s, slide_s, decay_s,
+        )
         return replaced
 
     def register_restored(
@@ -397,11 +499,19 @@ class SketchRegistry:
         policy: str,
         sketch: Sketch,
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> MetricEntry:
         """Attach a sketch rebuilt by the snapshot codec (recovery path)."""
         if name in self._metrics:
             raise ConfigurationError(f"metric {name!r} restored twice")
-        return self._register(name, kind, epsilon, n, policy, sketch, engine)
+        if window_s or decay_s:
+            sketch._clock = self.clock
+        return self._register(
+            name, kind, epsilon, n, policy, sketch, engine,
+            window_s, slide_s, decay_s,
+        )
 
     def _register(
         self,
@@ -412,10 +522,16 @@ class SketchRegistry:
         policy: str,
         sketch: Sketch,
         engine: str = "paper",
+        window_s: float = 0.0,
+        slide_s: float = 0.0,
+        decay_s: float = 0.0,
     ) -> MetricEntry:
         shard_idx = shard_of(name, self.n_shards)
         bank_id: Optional[int] = None
-        if engine == "frugal":
+        if window_s or decay_s:
+            # windowed rings manage their own buckets; no bank adoption
+            pass
+        elif engine == "frugal":
             assert isinstance(sketch, FrugalSketch)
             bank_id = self._shards[shard_idx].fbank.adopt(sketch)
         elif engine == "paper" and kind == "fixed":
@@ -423,7 +539,7 @@ class SketchRegistry:
             bank_id = self._shards[shard_idx].bank.adopt(sketch)
         entry = MetricEntry(
             name, kind, epsilon, n, policy, shard_idx, sketch, bank_id,
-            engine,
+            engine, window_s, slide_s, decay_s,
         )
         self._metrics[name] = entry
         return entry
@@ -453,14 +569,51 @@ class SketchRegistry:
         up as a double charge on the ingest hot path.
         """
         entry = self.get(name)
+        if entry.windowed:
+            raise ConfigurationError(
+                f"metric {name!r} is windowed; ingest must carry event "
+                "time (use enqueue_at/ingest_at)"
+            )
         arr = values if validated else self.coerce_batch(values)
         if arr.size:
-            self._shards[entry.shard].pending.append((entry, arr))
+            self._shards[entry.shard].pending.append((entry, arr, None))
+        return entry
+
+    def enqueue_at(
+        self,
+        name: str,
+        values: np.ndarray,
+        t: float,
+        *,
+        validated: bool = False,
+    ) -> MetricEntry:
+        """Queue a timestamped batch for a windowed/decayed metric.
+
+        *t* is event time in seconds.  The (values, t) pair is what gets
+        journaled, so replay reproduces the ring bit-identically no
+        matter when it runs.
+        """
+        entry = self.get(name)
+        if not entry.windowed:
+            raise ConfigurationError(
+                f"metric {name!r} is not windowed; use enqueue/ingest"
+            )
+        arr = values if validated else self.coerce_batch(values)
+        if arr.size:
+            self._shards[entry.shard].pending.append((entry, arr, float(t)))
         return entry
 
     def ingest(self, name: str, values: np.ndarray) -> MetricEntry:
         """Enqueue and immediately apply (the synchronous/replay path)."""
         entry = self.enqueue(name, values)
+        self.apply_shard(entry.shard)
+        return entry
+
+    def ingest_at(
+        self, name: str, values: np.ndarray, t: float
+    ) -> MetricEntry:
+        """Timestamped enqueue-and-apply (windowed replay path)."""
+        entry = self.enqueue_at(name, values, t)
         self.apply_shard(entry.shard)
         return entry
 
@@ -487,9 +640,15 @@ class SketchRegistry:
         pending, shard.pending = shard.pending, []
         applied = 0
         groups: Dict[int, Tuple[MetricEntry, List[np.ndarray]]] = {}
-        for entry, arr in pending:
+        for entry, arr, t in pending:
             applied += arr.size
             entry.n_batches += 1
+            if t is not None:
+                # windowed batches go to their own ring, one by one in
+                # arrival order -- each carries its own event time, so
+                # they must not be concatenated across timestamps
+                entry.sketch.extend_at(arr, t)
+                continue
             group = groups.get(id(entry))
             if group is None:
                 groups[id(entry)] = (entry, [arr])
@@ -553,6 +712,10 @@ class SketchRegistry:
         no exchange format).
         """
         entry = self.get(name)
+        if entry.windowed:
+            # the ring's own format (WINSKT01/EXDSKT01): self-describing,
+            # mergeable bucket-by-bucket via merge_serialized
+            return entry.sketch.to_bytes()
         if entry.engine == "kll":
             assert isinstance(entry.sketch, KLLSketch)
             return entry.sketch.to_bytes()
@@ -577,6 +740,9 @@ class SketchRegistry:
                 "n": e.count,
                 "memory_elements": e.memory_elements,
                 "shard": e.shard,
+                "window_s": e.window_s,
+                "slide_s": e.slide_s,
+                "decay_s": e.decay_s,
             }
             for e in self._metrics.values()
         ]

@@ -72,13 +72,17 @@ from ..obs.exposition import render_prometheus
 from . import protocol
 from .journal import (
     CREATE_RECORD,
+    INGEST_AT_RECORD,
     INGEST_RECORD,
     RESTORE_RECORD,
+    UNWATCH_RECORD,
+    WATCH_RECORD,
     IngestJournal,
     read_journal,
 )
 from .metrics import ServiceMetrics
 from .registry import SketchRegistry
+from .rules import RuleSet
 from .snapshot import read_snapshot, write_snapshot
 
 __all__ = ["QuantileService", "ServerThread"]
@@ -137,6 +141,14 @@ class QuantileService:
     drain_grace_s:
         How long a graceful stop waits for open connections to finish
         their in-flight frame before forcibly closing them.
+    clock:
+        Event-time source (``() -> float`` seconds) used to stamp
+        ingests into windowed metrics and to drive WATCH evaluation.
+        ``None`` means ``time.time``.  Tests inject a synthetic clock
+        here to make window expiry and alert firing deterministic.
+    watch_interval_s:
+        Period of the WATCH scheduler task (``None`` or ``0`` disables
+        it; rules are then only evaluated by ``ALERTS evaluate=1``).
     """
 
     def __init__(
@@ -155,6 +167,8 @@ class QuantileService:
         observability: bool = True,
         node_id: str = "",
         cluster_epoch: int = 0,
+        clock: Optional[Any] = None,
+        watch_interval_s: Optional[float] = 1.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -172,7 +186,10 @@ class QuantileService:
         self.max_inflight_bytes = max_inflight_bytes
         self.drain_grace_s = drain_grace_s
         self.observability = observability
-        self.registry = SketchRegistry(n_shards)
+        self._clock = clock or time.time
+        self.watch_interval_s = watch_interval_s
+        self.registry = SketchRegistry(n_shards, clock=self._clock)
+        self.rules = RuleSet()
         self.metrics = ServiceMetrics(n_shards)
         self.journal: Optional[IngestJournal] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -203,7 +220,7 @@ class QuantileService:
         seq = 0
         snapshot_path = self.snapshot_path
         if snapshot_path and os.path.exists(snapshot_path):
-            seq = read_snapshot(snapshot_path, self.registry)
+            seq = read_snapshot(snapshot_path, self.registry, self.rules)
         journal_path = self.journal_path
         assert journal_path is not None
         replayed = 0
@@ -220,8 +237,33 @@ class QuantileService:
                         n=rec.n,
                         policy=rec.policy,
                         engine=rec.engine,
+                        window_s=rec.window_s,
+                        slide_s=rec.slide_s,
+                        decay_s=rec.decay_s,
                     )
                     self.registry.dedup.record(rec.token, {"created": True})
+                elif rec.type == INGEST_AT_RECORD:
+                    assert rec.values is not None
+                    # replay at the *journaled* event time, not the
+                    # recovery wall clock: ring placement is a pure
+                    # function of (values, t), so the rebuilt window is
+                    # bit-identical to the pre-crash one
+                    self.registry.ingest_at(rec.name, rec.values, rec.t)
+                    self.registry.dedup.record(
+                        rec.token,
+                        {"seq": rec.seq, "count": int(rec.values.size)},
+                    )
+                elif rec.type == WATCH_RECORD:
+                    added = self.rules.add(
+                        rec.name, rec.metric, rec.phi, rec.rule_op,
+                        rec.threshold,
+                    )
+                    self.registry.dedup.record(rec.token, {"added": added})
+                elif rec.type == UNWATCH_RECORD:
+                    removed = self.rules.remove(rec.name)
+                    self.registry.dedup.record(
+                        rec.token, {"removed": removed}
+                    )
                 elif rec.type == INGEST_RECORD:
                     assert rec.values is not None
                     self.registry.ingest(rec.name, rec.values)
@@ -272,6 +314,8 @@ class QuantileService:
             )
         if self.data_dir is not None and self.snapshot_interval_s:
             self._tasks.append(asyncio.create_task(self._snapshotter()))
+        if self.watch_interval_s:
+            self._tasks.append(asyncio.create_task(self._watcher()))
         # a large stream buffer lets one scheduling slot of the reader
         # task slurp many pipelined ingest frames, so the shard flusher
         # sees them as a single vectorized super-batch (the default 64 KiB
@@ -361,10 +405,28 @@ class QuantileService:
             await asyncio.sleep(self.snapshot_interval_s)
             self._write_snapshot()
 
+    async def _watcher(self) -> None:
+        """The WATCH scheduler: evaluate every rule each tick.
+
+        Sleeps on the *event loop* clock but evaluates at the *injected*
+        clock, so tests drive alert timing by advancing the synthetic
+        clock between (real, short) ticks.  Runs on the loop like every
+        request handler, so an evaluation never observes a half-applied
+        batch.
+        """
+        assert self.watch_interval_s
+        while True:
+            await asyncio.sleep(self.watch_interval_s)
+            if len(self.rules):
+                self.rules.evaluate(self.registry, self._clock())
+
     def _write_snapshot(self) -> str:
         assert self.journal is not None and self.snapshot_path is not None
         self.registry.apply_all()
-        write_snapshot(self.snapshot_path, self.registry, self.journal.seq)
+        write_snapshot(
+            self.snapshot_path, self.registry, self.journal.seq,
+            rules=self.rules,
+        )
         self.journal.rotate(self.journal.seq)
         self.metrics.snapshots += 1
         return self.snapshot_path
@@ -539,11 +601,16 @@ class QuantileService:
                 n=req.n,
                 policy=req.policy,
                 engine=req.engine,
+                window_s=req.window_s,
+                slide_s=req.slide_s,
+                decay_s=req.decay_s,
             )
             if created and self.journal is not None:
                 self.journal.append_create(
                     req.name, req.kind, req.epsilon, req.n, req.policy,
                     token=req.token, engine=req.engine,
+                    window_s=req.window_s, slide_s=req.slide_s,
+                    decay_s=req.decay_s,
                 )
             result = {"created": created}
             self.registry.dedup.record(req.token, result)
@@ -575,7 +642,7 @@ class QuantileService:
             self.registry.apply_all()
             return {"seq": self.journal.seq if self.journal else 0}
         if op == protocol.Opcode.STATS:
-            stats = self.metrics.to_dict(self.registry)
+            stats = self.metrics.to_dict(self.registry, self.rules)
             stats["engines"] = self.registry.engine_counts()
             if self.node_id:
                 stats["node_id"] = self.node_id
@@ -591,6 +658,44 @@ class QuantileService:
                 "n_metrics": len(self.registry),
                 "elements": self.metrics.ingest_elements,
             }
+        if op == protocol.Opcode.WATCH:
+            if req.token:
+                hit = self.registry.dedup.get(req.token)
+                if hit is not None:
+                    return hit
+            added = self.rules.add(
+                req.name, req.metric, req.phi, req.rule_op, req.threshold
+            )
+            if added and self.journal is not None:
+                self.journal.append_watch(
+                    req.name, req.metric, req.phi, req.rule_op,
+                    req.threshold, token=req.token,
+                )
+            result = {"added": added}
+            self.registry.dedup.record(req.token, result)
+            return result
+        if op == protocol.Opcode.UNWATCH:
+            if req.token:
+                hit = self.registry.dedup.get(req.token)
+                if hit is not None:
+                    return hit
+            removed = self.rules.remove(req.name)
+            if removed and self.journal is not None:
+                self.journal.append_unwatch(req.name, token=req.token)
+            result = {"removed": removed}
+            self.registry.dedup.record(req.token, result)
+            return result
+        if op == protocol.Opcode.ALERTS:
+            if req.detail:
+                # evaluate-now: one on-demand scheduler tick, same code
+                # path (and the same certified classification) as the
+                # background watcher
+                return {
+                    "alerts": self.rules.evaluate(
+                        self.registry, self._clock()
+                    )
+                }
+            return {"alerts": self.rules.describe()}
         raise StorageError(f"unknown opcode {op}")
 
     def _do_syncpull(self, req: protocol.Request) -> Dict[str, Any]:
@@ -637,6 +742,14 @@ class QuantileService:
                         rebase = True
                         records = []
                         break
+                    if rec.type == INGEST_AT_RECORD:
+                        # plain SYNCPULL records carry no event times;
+                        # replaying a windowed batch without its stamp
+                        # would place it in the wrong bucket.  Full
+                        # payload install is always correct.
+                        rebase = True
+                        records = []
+                        break
                     if rec.type == INGEST_RECORD:
                         records.append((rec.seq, rec.token, rec.values))
         return {
@@ -646,6 +759,9 @@ class QuantileService:
             "n": entry.n,
             "policy": entry.policy,
             "engine": entry.engine,
+            "window_s": entry.window_s,
+            "slide_s": entry.slide_s,
+            "decay_s": entry.decay_s,
             "seq": seq_now,
             "payload": payload,
             "records": records,
@@ -698,11 +814,26 @@ class QuantileService:
             }
             self.registry.dedup.record(req.token, result)
             return result
-        if self.journal is not None:
-            seq = self.journal.append_ingest(req.name, arr, token=req.token)
+        if entry.windowed:
+            # stamp the arrival time once, here, and journal it with the
+            # batch: ring placement is then a pure function of the
+            # journal, so crash replay rebuilds the same window
+            t = float(self._clock())
+            if self.journal is not None:
+                seq = self.journal.append_ingest_at(
+                    req.name, arr, t, token=req.token
+                )
+            else:
+                seq = 0
+            self.registry.enqueue_at(req.name, arr, t, validated=True)
         else:
-            seq = 0
-        self.registry.enqueue(req.name, arr, validated=True)
+            if self.journal is not None:
+                seq = self.journal.append_ingest(
+                    req.name, arr, token=req.token
+                )
+            else:
+                seq = 0
+            self.registry.enqueue(req.name, arr, validated=True)
         self.metrics.record_ingest(entry.shard, arr.size)
         self._shard_events[entry.shard].set()
         result = {"seq": seq, "count": int(arr.size)}

@@ -17,6 +17,11 @@ File layout (little-endian)::
         name (u16 len + utf8) | u8 kind | f64 epsilon
         | u64 n (0 = unset) | policy (u16 len + utf8)
         | u8 engine                       (version >= 2 only)
+        | u8 wmode | f64 p1 | f64 p2      (version >= 3 only; wmode 0 =
+          plain, 1 = window: p1/p2 = window/slide seconds, 2 = decay:
+          p1 = half-life seconds)
+        windowed (wmode != 0):
+                  u32 len | ring wire payload (WINSKT01/EXDSKT01)
         paper fixed:  u32 len | core-serialize payload
         paper adaptive:
                   u64 initial_capacity | u64 capacity | u64 active_n
@@ -29,10 +34,17 @@ File layout (little-endian)::
                                   | n_values * f64
                   u32 len | core-serialize payload (live stage)
         kll/frugal:   u32 len | engine wire payload (KLLSKT01/FRGSKT01)
+    rules (version >= 3 only):
+        u32 n_rules
+        per rule: rule_id (u16 len + utf8) | metric (u16 len + utf8)
+                  | f64 phi | u8 op | f64 threshold
+                  | u64 definite_total | u64 possible_total
     trailer: u32 crc32 over everything before it
 
-Version 2 added the per-metric engine byte; version-1 files (all
-metrics implicitly ``paper``) still read.
+Version 2 added the per-metric engine byte; version 3 the window/decay
+config block and the WATCH rules section (rule configs plus how often
+each fired, so alert counters survive a crash).  Version-1 files (all
+metrics implicitly ``paper``) and version-2 files still read.
 
 Writes are atomic (temp file + ``os.replace`` + directory fsync): a
 crash mid-write leaves the previous snapshot untouched, and the CRC
@@ -61,7 +73,11 @@ from .registry import SketchRegistry
 __all__ = ["write_snapshot", "read_snapshot", "SNAPSHOT_VERSION"]
 
 _MAGIC = b"MRLSNAP1"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
+
+_WMODE_NONE = 0
+_WMODE_WINDOW = 1
+_WMODE_DECAY = 2
 
 _ENGINE_IDS = {"paper": 0, "kll": 1, "frugal": 2}
 _ENGINE_NAMES = {v: k for k, v in _ENGINE_IDS.items()}
@@ -116,12 +132,19 @@ def _dump_adaptive(sk: AdaptiveQuantileSketch) -> bytes:
     return out.getvalue()
 
 
-def write_snapshot(path: str, registry: SketchRegistry, seq: int) -> None:
+def write_snapshot(
+    path: str,
+    registry: SketchRegistry,
+    seq: int,
+    rules: Optional[object] = None,
+) -> None:
     """Atomically persist *registry* at journal sequence *seq* to *path*.
 
     The caller must have applied all pending shard queues first (the
     server's snapshot command drains before capturing), otherwise queued
-    batches would be silently dropped from the image.
+    batches would be silently dropped from the image.  *rules* is the
+    server's :class:`~repro.service.rules.RuleSet` (or ``None`` for an
+    empty rules section).
     """
     if registry.pending_batches():
         raise StorageError(
@@ -138,7 +161,23 @@ def write_snapshot(path: str, registry: SketchRegistry, seq: int) -> None:
         body.write(_U64.pack(0 if entry.n is None else int(entry.n)))
         body.write(_pack_str(entry.policy))
         body.write(bytes([_ENGINE_IDS[entry.engine]]))
-        if entry.engine in ("kll", "frugal"):
+        if entry.window_s:
+            body.write(bytes([_WMODE_WINDOW]))
+            body.write(_F64.pack(entry.window_s))
+            body.write(_F64.pack(entry.slide_s))
+        elif entry.decay_s:
+            body.write(bytes([_WMODE_DECAY]))
+            body.write(_F64.pack(entry.decay_s))
+            body.write(_F64.pack(0.0))
+        else:
+            body.write(bytes([_WMODE_NONE]))
+            body.write(_F64.pack(0.0))
+            body.write(_F64.pack(0.0))
+        if entry.windowed:
+            payload = entry.sketch.to_bytes()
+            body.write(_U32.pack(len(payload)))
+            body.write(payload)
+        elif entry.engine in ("kll", "frugal"):
             payload = entry.sketch.to_bytes()
             body.write(_U32.pack(len(payload)))
             body.write(payload)
@@ -146,6 +185,19 @@ def write_snapshot(path: str, registry: SketchRegistry, seq: int) -> None:
             body.write(_dump_framework(entry.sketch))
         else:
             body.write(_dump_adaptive(entry.sketch))
+    from .protocol import _RULE_OPS
+
+    rule_list = rules.rules() if rules is not None else []
+    body.write(_U32.pack(len(rule_list)))
+    for rule in rule_list:
+        state = rules.state_of(rule.rule_id)
+        body.write(_pack_str(rule.rule_id))
+        body.write(_pack_str(rule.metric))
+        body.write(_F64.pack(rule.phi))
+        body.write(bytes([_RULE_OPS[rule.op]]))
+        body.write(_F64.pack(rule.threshold))
+        body.write(_U64.pack(state.definite_total))
+        body.write(_U64.pack(state.possible_total))
     raw = body.getvalue()
     raw += _U32.pack(zlib.crc32(raw) & 0xFFFFFFFF)
     tmp = path + ".tmp"
@@ -239,12 +291,19 @@ def _load_adaptive(
     )
 
 
-def read_snapshot(path: str, registry: SketchRegistry) -> int:
+def read_snapshot(
+    path: str,
+    registry: SketchRegistry,
+    rules: Optional[object] = None,
+) -> int:
     """Restore every metric in the snapshot at *path* into *registry*.
 
     Returns the journal sequence number the snapshot was taken at.  The
     registry must be freshly constructed (no metrics); restored sketches
     are re-adopted into its shard banks exactly as live creation would.
+    Passing a fresh :class:`~repro.service.rules.RuleSet` as *rules*
+    restores the WATCH rules and their alert counters (version >= 3
+    snapshots; older files simply have none).
     """
     with open(path, "rb") as fh:
         raw = fh.read()
@@ -257,7 +316,7 @@ def read_snapshot(path: str, registry: SketchRegistry) -> int:
     magic, version, _pad, n_metrics, seq = r.unpack(_HEADER, "header")
     if magic != _MAGIC:
         raise StorageError(f"{path}: bad magic {magic!r}: not a snapshot")
-    if version not in (1, SNAPSHOT_VERSION):
+    if version not in (1, 2, SNAPSHOT_VERSION):
         raise StorageError(f"{path}: unsupported snapshot version {version}")
     for _ in range(n_metrics):
         name = r.string("metric name")
@@ -277,8 +336,24 @@ def read_snapshot(path: str, registry: SketchRegistry) -> int:
                     f"{path}: unknown sketch engine id {engine_id}"
                 )
             engine = _ENGINE_NAMES[engine_id]
-        sketch: "QuantileFramework | AdaptiveQuantileSketch | KLLSketch | FrugalSketch"
-        if engine == "kll":
+        window_s = slide_s = decay_s = 0.0
+        if version >= 3:
+            wmode = r.take(1, "window mode")[0]
+            (p1,) = r.unpack(_F64, "window p1")
+            (p2,) = r.unpack(_F64, "window p2")
+            if wmode == _WMODE_WINDOW:
+                window_s, slide_s = p1, p2
+            elif wmode == _WMODE_DECAY:
+                decay_s = p1
+            elif wmode != _WMODE_NONE:
+                raise StorageError(f"{path}: unknown window mode {wmode}")
+        sketch: object
+        if window_s or decay_s:
+            from ..core.engines import loads_any
+
+            (size,) = r.unpack(_U32, "ring payload size")
+            sketch = loads_any(bytes(r.take(size, "ring payload")))
+        elif engine == "kll":
             (size,) = r.unpack(_U32, "kll payload size")
             sketch = KLLSketch.from_bytes(r.take(size, "kll payload"))
         elif engine == "frugal":
@@ -289,8 +364,32 @@ def read_snapshot(path: str, registry: SketchRegistry) -> int:
         else:
             sketch = _load_adaptive(r, epsilon, policy)
         registry.register_restored(
-            name, kind, epsilon, n, policy, sketch, engine
+            name, kind, epsilon, n, policy, sketch, engine,
+            window_s, slide_s, decay_s,
         )
+    if version >= 3:
+        from .protocol import _RULE_OP_NAMES
+
+        (n_rules,) = r.unpack(_U32, "rule count")
+        for _ in range(n_rules):
+            rule_id = r.string("rule id")
+            metric = r.string("rule metric")
+            (phi,) = r.unpack(_F64, "rule phi")
+            op_id = r.take(1, "rule operator")[0]
+            if op_id not in _RULE_OP_NAMES:
+                raise StorageError(
+                    f"{path}: unknown rule operator id {op_id}"
+                )
+            (threshold,) = r.unpack(_F64, "rule threshold")
+            (definite_total,) = r.unpack(_U64, "definite total")
+            (possible_total,) = r.unpack(_U64, "possible total")
+            if rules is not None:
+                rules.add(
+                    rule_id, metric, phi, _RULE_OP_NAMES[op_id], threshold
+                )
+                rules.restore_counters(
+                    rule_id, definite_total, possible_total
+                )
     if r.pos != len(r.buf):
         raise StorageError(f"{path}: trailing bytes after snapshot payload")
     return seq

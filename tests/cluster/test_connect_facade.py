@@ -1,0 +1,83 @@
+"""``repro.connect(cluster=...)`` and the ClientProtocol contract.
+
+One facade call returns either a single-node :class:`QuantileClient`
+or a :class:`ClusterClient` depending on the ``cluster=`` kwarg; both
+satisfy the runtime-checkable
+:class:`repro.core.protocols.ClientProtocol`, and windowed metric
+definitions replicate through the cluster (CREATE broadcast carries the
+window config; fan-in merges the windowed payloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import ClusterClient, ClusterCoordinator
+from repro.core.protocols import ClientProtocol
+from repro.service import QuantileClient, ServerThread
+
+
+@pytest.fixture(scope="module")
+def coord(tmp_path_factory):
+    data_dir = str(tmp_path_factory.mktemp("cluster"))
+    with ClusterCoordinator(
+        nodes=3,
+        replication=2,
+        data_dir=data_dir,
+        n_shards=1,
+        snapshot_interval_s=None,
+    ) as c:
+        yield c
+
+
+def test_connect_returns_single_node_client(tmp_path):
+    with ServerThread(
+        data_dir=str(tmp_path / "data"), n_shards=1,
+        snapshot_interval_s=None,
+    ) as srv:
+        client = repro.connect("127.0.0.1", srv.port)
+        try:
+            assert isinstance(client, QuantileClient)
+            assert isinstance(client, ClientProtocol)
+        finally:
+            client.close()
+
+
+def test_connect_cluster_kwarg_returns_cluster_client(coord):
+    # accepts the data dir (resolves cluster.json inside) or the file
+    for target in (coord.data_dir, coord.manifest_path):
+        client = repro.connect(cluster=target)
+        try:
+            assert isinstance(client, ClusterClient)
+            assert isinstance(client, ClientProtocol)
+        finally:
+            client.close()
+
+
+def test_both_clients_share_the_query_surface(coord):
+    # the structural contract, not just isinstance: same method names
+    for method in (
+        "create", "ingest", "quantile", "quantiles", "cdf", "describe",
+        "list_metrics", "close",
+    ):
+        assert callable(getattr(QuantileClient, method))
+        assert callable(getattr(ClusterClient, method))
+
+
+def test_windowed_metric_replicates_and_fans_in(coord):
+    with repro.connect(cluster=coord.data_dir) as client:
+        client.create(
+            "facade/win", kind="fixed", eps=0.02, window=3600.0
+        )
+        client.ingest("facade/win", np.arange(5000.0))
+        assert abs(client.quantile("facade/win", 0.5) - 2500) <= 200
+        report = client.describe("facade/win")
+        assert report["n"] == 5000
+    # every node holds the windowed definition (CREATE broadcast)
+    for nid in coord.node_ids:
+        spec = coord.manifest.node(nid)
+        with QuantileClient(spec.host, spec.port) as qc:
+            entry = {m["name"]: m for m in qc.list_metrics()}["facade/win"]
+            assert entry.get("window_s") == 3600.0

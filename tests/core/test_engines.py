@@ -51,12 +51,14 @@ def _frugal():
 
 
 def test_registry_shape():
-    assert ENGINE_NAMES == ("paper", "kll", "frugal")
+    assert ENGINE_NAMES == ("paper", "kll", "frugal", "windowed", "expdecay")
     assert DEFAULT_ENGINE == "paper"
     assert ENGINES["paper"].mergeable and ENGINES["paper"].certified
     assert ENGINES["kll"].mergeable and ENGINES["kll"].certified
     assert not ENGINES["frugal"].mergeable
     assert not ENGINES["frugal"].certified
+    assert ENGINES["windowed"].mergeable and ENGINES["windowed"].certified
+    assert ENGINES["expdecay"].mergeable and ENGINES["expdecay"].certified
     with pytest.raises(ConfigurationError):
         get_engine("tdigest")
 

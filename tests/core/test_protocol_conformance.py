@@ -19,8 +19,13 @@ from repro.core.kll import KLLSketch
 from repro.core.parallel import ParallelQuantileEngine
 from repro.core.sampling import SampledQuantileFramework
 from repro.core.sketch import QuantileSketch
+from repro.windows import ExpDecaySketch, WindowedSketch
 
 N = 20_000
+
+#: fixed fake clock for the time-aware wrappers: every batch lands in
+#: one live bucket, so they answer over exactly the same N elements
+_T0 = 1_000_000.0
 
 
 def _framework():
@@ -51,6 +56,26 @@ def _frugal():
     return FrugalSketch(seed=0)
 
 
+def _windowed(engine):
+    # tumbling hour-wide window; frugal is tumbling-only by construction
+    return lambda: WindowedSketch(
+        eps=0.01, window=3600.0, engine=engine, clock=lambda: _T0
+    )
+
+
+def _windowed_sliding():
+    return WindowedSketch(
+        eps=0.01, window=600.0, slide=100.0, engine="kll",
+        clock=lambda: _T0,
+    )
+
+
+def _decay(engine):
+    return lambda: ExpDecaySketch(
+        eps=0.01, half_life=3600.0, engine=engine, clock=lambda: _T0
+    )
+
+
 # (factory, rank tolerance as a fraction of N): the certified engines get
 # the tight 0.06; frugal has no bound -- its stochastic-approximation
 # estimates on this integer-range stream stay within ~0.12
@@ -62,6 +87,12 @@ FACTORIES = [
     pytest.param(_engine, 0.06, id="ParallelQuantileEngine"),
     pytest.param(_kll, 0.06, id="KLLSketch"),
     pytest.param(_frugal, 0.12, id="FrugalSketch"),
+    pytest.param(_windowed("paper"), 0.06, id="WindowedSketch-paper"),
+    pytest.param(_windowed_sliding, 0.06, id="WindowedSketch-kll-sliding"),
+    pytest.param(_windowed("frugal"), 0.12, id="WindowedSketch-frugal"),
+    pytest.param(_decay("paper"), 0.06, id="ExpDecaySketch-paper"),
+    pytest.param(_decay("kll"), 0.06, id="ExpDecaySketch-kll"),
+    pytest.param(_decay("frugal"), 0.12, id="ExpDecaySketch-frugal"),
 ]
 
 

@@ -1,0 +1,271 @@
+"""WATCH rules over the wire: certified firing, durability, windows.
+
+Drives the server with an *injected* clock (``QuantileService(clock=)``)
+and the background watcher disabled (``watch_interval_s=None``), so
+every evaluation happens deterministically through ``ALERTS`` with the
+evaluate-now flag.  The claims:
+
+* a rule over a certified engine fires ``definite`` only when the rank
+  bound *proves* the crossing, ``possible`` when only the estimate
+  crosses, ``ok`` otherwise;
+* frugal metrics (bound ``inf``) can only ever fire ``possible``;
+* rules and windowed rings survive a non-graceful stop (the in-process
+  SIGKILL stand-in) bit-identically via the journal; alert counters
+  survive via the snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.service import QuantileClient, ServerThread
+
+T0 = 1_000_000.0
+
+
+class FakeClock:
+    def __init__(self, t: float = T0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def server(tmp_path, clock):
+    with ServerThread(
+        data_dir=str(tmp_path / "data"), n_shards=2,
+        snapshot_interval_s=None, clock=clock, watch_interval_s=None,
+    ) as srv:
+        yield srv
+
+
+def client_for(server):
+    return QuantileClient("127.0.0.1", server.port)
+
+
+def rules_by_id(client, *, evaluate=True):
+    return {r["rule_id"]: r for r in client.alerts(evaluate=evaluate)}
+
+
+class TestFiring:
+    def test_definite_when_bound_proves_crossing(self, server):
+        with client_for(server) as client:
+            client.create("lat", kind="adaptive", eps=0.01)
+            client.ingest("lat", np.arange(10_000.0))
+            assert client.watch_add("hot", "lat", 0.99, 500.0)
+            rule = rules_by_id(client)["hot"]
+            # p99 ~ 9900 >> 500: the certified bound proves the crossing
+            assert rule["state"] == "definite"
+            assert rule["definite_total"] == 1
+            assert rule["last_value"] > 500.0
+
+    def test_ok_when_threshold_not_crossed(self, server):
+        with client_for(server) as client:
+            client.create("lat", kind="adaptive", eps=0.01)
+            client.ingest("lat", np.arange(10_000.0))
+            client.watch_add("cold", "lat", 0.5, 1e9)
+            rule = rules_by_id(client)["cold"]
+            assert rule["state"] == "ok"
+            assert rule["definite_total"] == 0
+            assert rule["possible_total"] == 0
+
+    def test_possible_when_only_estimate_crosses(self, server):
+        with client_for(server) as client:
+            client.create("lat", kind="adaptive", eps=0.05)
+            client.ingest("lat", np.arange(10_000.0))
+            # threshold just under the median: the estimated rank crosses
+            # but the certified window still straddles phi*n, so the
+            # crossing is unproven
+            client.watch_add("edge", "lat", 0.5, 4920.0)
+            rule = rules_by_id(client)["edge"]
+            assert rule["state"] == "possible"
+            assert rule["possible_total"] == 1
+
+    def test_frugal_only_fires_possible(self, server):
+        with client_for(server) as client:
+            client.create("fr", kind="fixed", engine="frugal", eps=0.01)
+            client.ingest("fr", np.arange(10_000.0))
+            client.watch_add("f", "fr", 0.9, 10.0)
+            rule = rules_by_id(client)["f"]
+            assert rule["state"] == "possible"  # bound inf: never definite
+            assert rule["definite_total"] == 0
+
+    def test_less_than_operator(self, server):
+        with client_for(server) as client:
+            client.create("lat", kind="adaptive", eps=0.01)
+            client.ingest("lat", np.arange(10_000.0))
+            client.watch_add("low", "lat", 0.5, 9_999.0, op="<")
+            assert rules_by_id(client)["low"]["state"] == "definite"
+            client.watch_add("low2", "lat", 0.5, 1.0, op="<")
+            assert rules_by_id(client)["low2"]["state"] == "ok"
+
+    def test_no_metric_and_no_data_states(self, server):
+        with client_for(server) as client:
+            client.watch_add("ghost", "nope", 0.5, 1.0)
+            assert rules_by_id(client)["ghost"]["state"] == "no_metric"
+            client.create("empty", kind="adaptive")
+            client.watch_add("dry", "empty", 0.5, 1.0)
+            assert rules_by_id(client)["dry"]["state"] == "no_data"
+
+    def test_duplicate_add_and_remove(self, server):
+        with client_for(server) as client:
+            client.create("m", kind="adaptive")
+            assert client.watch_add("r", "m", 0.5, 1.0)
+            assert not client.watch_add("r", "m", 0.5, 1.0)
+            assert client.watch_remove("r")
+            assert not client.watch_remove("r")
+            assert client.alerts() == []
+
+
+class TestWindowedRules:
+    def test_rule_over_sliding_window_follows_event_time(
+        self, server, clock
+    ):
+        with client_for(server) as client:
+            client.create("w", kind="fixed", eps=0.01, window=60.0,
+                          slide=10.0)
+            client.ingest("w", np.full(1000, 100.0))
+            client.watch_add("spike", "w", 0.5, 50.0)
+            assert rules_by_id(client)["spike"]["state"] == "definite"
+            # advance event time past the window: the spike expires once
+            # newer data lands, and the rule calms down
+            clock.t = T0 + 600.0
+            client.ingest("w", np.full(1000, 1.0))
+            assert rules_by_id(client)["spike"]["state"] == "ok"
+
+    def test_windowed_query_reflects_only_live_buckets(self, server, clock):
+        with client_for(server) as client:
+            client.create("w", kind="fixed", eps=0.01, window=60.0)
+            client.ingest("w", np.full(500, 7.0))
+            values, _, n = client.query("w", [0.5])
+            assert n == 500 and values[0] == pytest.approx(7.0)
+            clock.t = T0 + 600.0
+            client.ingest("w", np.full(200, 3.0))
+            values, _, n = client.query("w", [0.5])
+            assert n == 200 and values[0] == pytest.approx(3.0)
+
+    def test_window_and_decay_mutually_exclusive_on_create(self, server):
+        with client_for(server) as client:
+            with pytest.raises(ConfigurationError, match="mutually"):
+                client.create("bad", window=60.0, decay=60.0)
+
+
+class TestDurability:
+    def test_rules_and_ring_survive_sigkill(self, tmp_path, clock):
+        data_dir = str(tmp_path / "data")
+        srv = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+            clock=clock, watch_interval_s=None,
+        ).start()
+        try:
+            with client_for(srv) as client:
+                client.create("w", kind="fixed", eps=0.01, window=60.0,
+                              slide=10.0)
+                client.ingest("w", np.arange(2000.0))
+                client.watch_add("hot", "w", 0.9, 100.0)
+                client.watch_add("gone", "w", 0.1, 1e9)
+                client.watch_remove("gone")
+                before_ring = client.fetch_raw("w")
+                before_rules = {
+                    r["rule_id"]: (r["metric"], r["phi"], r["op"],
+                                   r["threshold"])
+                    for r in client.alerts()
+                }
+        finally:
+            srv.stop(graceful=False)  # no final snapshot: journal only
+
+        srv2 = ServerThread(
+            data_dir=data_dir, n_shards=2, snapshot_interval_s=None,
+            clock=clock, watch_interval_s=None,
+        ).start()
+        try:
+            with client_for(srv2) as client:
+                assert client.fetch_raw("w") == before_ring
+                after_rules = {
+                    r["rule_id"]: (r["metric"], r["phi"], r["op"],
+                                   r["threshold"])
+                    for r in client.alerts()
+                }
+                assert after_rules == before_rules
+                assert "gone" not in after_rules
+                # the recovered ring still answers and the rule refires
+                rule = rules_by_id(client)["hot"]
+                assert rule["state"] == "definite"
+        finally:
+            srv2.stop(graceful=False)
+
+    def test_alert_counters_survive_via_snapshot(self, tmp_path, clock):
+        data_dir = str(tmp_path / "data")
+        srv = ServerThread(
+            data_dir=data_dir, n_shards=1, snapshot_interval_s=None,
+            clock=clock, watch_interval_s=None,
+        ).start()
+        try:
+            with client_for(srv) as client:
+                client.create("m", kind="adaptive", eps=0.01)
+                client.ingest("m", np.arange(1000.0))
+                client.watch_add("r", "m", 0.9, 10.0)
+                client.alerts(evaluate=True)
+                client.alerts(evaluate=True)
+                before = rules_by_id(client, evaluate=False)["r"]
+                assert before["definite_total"] == 2
+        finally:
+            srv.stop(graceful=True)  # graceful stop writes the snapshot
+
+        srv2 = ServerThread(
+            data_dir=data_dir, n_shards=1, snapshot_interval_s=None,
+            clock=clock, watch_interval_s=None,
+        ).start()
+        try:
+            with client_for(srv2) as client:
+                after = rules_by_id(client, evaluate=False)["r"]
+                assert after["definite_total"] == 2
+                # last_state is transient (re-derived on evaluation);
+                # only the counters are persisted
+                assert after["state"] == "pending"
+                refired = rules_by_id(client, evaluate=True)["r"]
+                assert refired["state"] == before["state"] == "definite"
+                assert refired["definite_total"] == 3
+        finally:
+            srv2.stop(graceful=False)
+
+
+class TestStatsAndReplication:
+    def test_stats_watch_section(self, server):
+        with client_for(server) as client:
+            client.create("m", kind="adaptive")
+            client.ingest("m", np.arange(1000.0))
+            client.watch_add("r", "m", 0.9, 10.0)
+            client.alerts(evaluate=True)
+            watch = client.stats()["watch"]
+            assert watch["rules"] == 1
+            assert watch["evaluations"] >= 1
+            assert watch["alerts_definite_total"] == 1
+
+    def test_background_watcher_fires_on_its_own(self, tmp_path, clock):
+        import time as _time
+
+        with ServerThread(
+            data_dir=str(tmp_path / "data"), n_shards=1,
+            snapshot_interval_s=None, clock=clock,
+            watch_interval_s=0.05,
+        ) as srv:
+            with client_for(srv) as client:
+                client.create("m", kind="adaptive")
+                client.ingest("m", np.arange(1000.0))
+                client.watch_add("r", "m", 0.9, 10.0)
+                deadline = _time.monotonic() + 5.0
+                while _time.monotonic() < deadline:
+                    watch = client.stats()["watch"]
+                    if watch["alerts_definite_total"] >= 1:
+                        break
+                    _time.sleep(0.05)
+                assert watch["alerts_definite_total"] >= 1

@@ -327,3 +327,120 @@ class TestClientEngines:
         out = capsys.readouterr().out
         assert "engines:" in out
         assert "kll=1" in out and "paper=1" in out
+
+
+class TestWatchCLI:
+    """The ``repro watch`` family: add/rm/ls and the exit-code contract."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import ServerThread
+
+        with ServerThread(
+            data_dir=str(tmp_path / "srv"), snapshot_interval_s=None,
+            watch_interval_s=None,
+        ) as srv:
+            yield srv
+
+    def _watch(self, server, *argv):
+        return main(["watch", "--port", str(server.port), *argv])
+
+    def _client(self, server, *argv):
+        return main(["client", "--port", str(server.port), *argv])
+
+    def test_add_ls_rm_round_trip(self, server, capsys):
+        assert self._client(
+            server, "create", "api/latency", "--kind", "adaptive"
+        ) == 0
+        assert self._client(
+            server, "ingest", "api/latency",
+            *[str(v) for v in range(500)],
+        ) == 0
+        capsys.readouterr()
+        assert self._watch(
+            server, "add", "hot", "api/latency",
+            "--phi", "0.99", "--threshold", "10",
+        ) == 0
+        assert "added" in capsys.readouterr().out
+        assert self._watch(server, "ls", "--evaluate") == 0
+        out = capsys.readouterr().out
+        assert "hot" in out and "state=definite" in out
+        assert self._watch(server, "rm", "hot") == 0
+        assert "removed" in capsys.readouterr().out
+        assert self._watch(server, "rm", "hot") == 0
+        assert "no such rule" in capsys.readouterr().out
+
+    def test_shell_friendly_operator_spellings(self, server, capsys):
+        self._client(server, "create", "m", "--kind", "adaptive")
+        capsys.readouterr()
+        assert self._watch(
+            server, "add", "low", "m",
+            "--phi", "0.5", "--threshold", "1", "--op", "lt",
+        ) == 0
+        assert self._watch(server, "ls", "--json") == 0
+        out = capsys.readouterr().out
+        assert '"op": "<"' in out
+
+    def test_conflicting_rule_is_clean_error(self, server, capsys):
+        self._client(server, "create", "m", "--kind", "adaptive")
+        self._watch(server, "add", "r", "m",
+                    "--phi", "0.5", "--threshold", "1")
+        capsys.readouterr()
+        # identical re-add: idempotent, exit 0
+        assert self._watch(server, "add", "r", "m",
+                           "--phi", "0.5", "--threshold", "1") == 0
+        assert "exists" in capsys.readouterr().out
+        # different config under the same id: ReproError, exit 1
+        assert self._watch(server, "add", "r", "m",
+                           "--phi", "0.9", "--threshold", "2") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_connection_refused_is_exit_2(self, capsys):
+        assert main(
+            ["watch", "--port", "1", "--retries", "0", "ls"]
+        ) == 2
+        assert "connection failed" in capsys.readouterr().err
+
+    def test_windowed_create_flags(self, server, capsys):
+        assert self._client(
+            server, "create", "w", "--window", "5m", "--slide", "1m"
+        ) == 0
+        assert self._client(
+            server, "create", "d", "--decay", "1h"
+        ) == 0
+        capsys.readouterr()
+        assert self._client(server, "list") == 0
+        out = capsys.readouterr().out
+        assert "window=300s/60s" in out
+        assert "decay=3600s" in out
+        # window and decay together: rejected client-side, exit 1
+        assert self._client(
+            server, "create", "bad", "--window", "5m", "--decay", "1h"
+        ) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unresponsive_server_is_exit_3(self, capsys):
+        import socket
+        import threading
+
+        # a listener that accepts and then stays silent: the client's
+        # read deadline trips -> ServiceTimeoutError -> exit 3
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(1)
+        port = srv.getsockname()[1]
+        conns = []
+        t = threading.Thread(
+            target=lambda: conns.append(srv.accept()), daemon=True
+        )
+        t.start()
+        try:
+            assert main(
+                ["watch", "--port", str(port), "--timeout", "0.2",
+                 "--retries", "0", "ls"]
+            ) == 3
+            assert "timed out" in capsys.readouterr().err
+        finally:
+            srv.close()
+            for c, _ in conns:
+                c.close()

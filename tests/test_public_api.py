@@ -33,7 +33,8 @@ def test_public_all_snapshot():
 def test_sketch_signature():
     params = inspect.signature(repro.Sketch).parameters
     assert list(params) == [
-        "eps", "n", "policy", "kernels", "adaptive", "engine", "kwargs",
+        "eps", "n", "policy", "kernels", "adaptive", "engine",
+        "window", "slide", "decay", "kwargs",
     ]
     assert params["eps"].default == 0.01
     assert params["n"].default is None
@@ -43,6 +44,9 @@ def test_sketch_signature():
     assert params["adaptive"].kind is inspect.Parameter.KEYWORD_ONLY
     assert params["engine"].kind is inspect.Parameter.KEYWORD_ONLY
     assert params["engine"].default == "paper"
+    for name in ("window", "slide", "decay"):
+        assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+        assert params[name].default is None
 
 
 def test_bank_signature():
@@ -55,15 +59,56 @@ def test_bank_signature():
 
 def test_connect_signature():
     params = inspect.signature(repro.connect).parameters
-    assert list(params) == ["host", "port", "kwargs"]
+    assert list(params) == ["host", "port", "cluster", "kwargs"]
     assert params["port"].default == 7337
+    assert params["cluster"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["cluster"].default is None
 
 
 def test_hist_signature():
     params = inspect.signature(repro.hist).parameters
-    assert list(params) == ["data", "bins", "eps", "policy", "engine"]
+    assert list(params) == [
+        "data", "bins", "eps", "policy", "kernels", "engine",
+        "window", "slide", "decay", "kwargs",
+    ]
     assert params["engine"].default == "paper"
     assert params["eps"].kind is inspect.Parameter.KEYWORD_ONLY
+    assert params["kernels"].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+def test_time_kwargs_agree_across_surfaces():
+    """window=/slide=/decay= are spelled identically on every surface
+    that accepts them (the facade constructors and the service client)."""
+    from repro.service.client import QuantileClient
+
+    for fn in (repro.Sketch, repro.hist):
+        params = inspect.signature(fn).parameters
+        for name in ("window", "slide", "decay"):
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+            assert params[name].default is None
+    client_params = inspect.signature(QuantileClient.create).parameters
+    for name in ("window", "slide", "decay"):
+        assert client_params[name].kind is inspect.Parameter.KEYWORD_ONLY
+        assert client_params[name].default is None
+    # the accuracy knob is eps= on the client too (epsilon= is the
+    # deprecated alias, shimmed with a one-shot warning)
+    assert "eps" in client_params
+    assert client_params["epsilon"].default is None
+
+
+def test_client_epsilon_alias_warns_once(tmp_path):
+    from repro.service import client as client_mod
+
+    client_mod._WARNED_KWARGS.discard("epsilon")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        client_mod._deprecated_kwarg("epsilon", "eps")
+        client_mod._deprecated_kwarg("epsilon", "eps")
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "eps=" in str(deprecations[0].message)
 
 
 def test_sketch_dispatch():
